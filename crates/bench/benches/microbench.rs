@@ -1,0 +1,165 @@
+//! Criterion micro-benchmarks of the reproduction's hot paths: the
+//! BCJR decoder (SoftPHY hint source), soft demapping, encoding, fading
+//! synthesis, the collision detector, the full link probe and a complete
+//! one-second network simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use std::time::Duration;
+
+use softrate_channel::link::{Link, LinkConfig};
+use softrate_channel::model::FadingSpec;
+use softrate_core::collision::CollisionDetector;
+use softrate_core::hints::FrameHints;
+use softrate_core::recovery::FrameArq;
+use softrate_core::thresholds::RateThresholds;
+use softrate_phy::bcjr::BcjrDecoder;
+use softrate_phy::bits::{bytes_to_bits, deterministic_payload};
+use softrate_phy::complex::Complex;
+use softrate_phy::convolutional::encode;
+use softrate_phy::modulation::{demap_soft, DemapMethod};
+use softrate_phy::ofdm::SIMULATION;
+use softrate_phy::rates::{Modulation, PAPER_RATES};
+use softrate_phy::viterbi::viterbi_decode;
+use softrate_sim::config::{AdapterKind, SimConfig};
+use softrate_sim::netsim::NetSim;
+use softrate_trace::schema::{LinkTrace, TraceEntry};
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for bytes in [100usize, 960] {
+        let info = bytes_to_bits(&deterministic_payload(1, bytes));
+        let coded = encode(&info);
+        let llrs: Vec<f64> =
+            coded.iter().map(|&b| if b == 1 { 4.0 } else { -4.0 }).collect();
+        g.throughput(Throughput::Elements(info.len() as u64));
+        g.bench_with_input(BenchmarkId::new("conv_encode", bytes), &info, |b, info| {
+            b.iter(|| encode(info))
+        });
+        let dec = BcjrDecoder::new();
+        g.bench_with_input(BenchmarkId::new("bcjr_decode", bytes), &llrs, |b, llrs| {
+            b.iter(|| dec.decode(llrs))
+        });
+        g.bench_with_input(BenchmarkId::new("viterbi_decode", bytes), &llrs, |b, llrs| {
+            b.iter(|| viterbi_decode(llrs))
+        });
+    }
+    g.finish();
+}
+
+fn bench_modulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("modulation");
+    g.measurement_time(Duration::from_secs(2)).sample_size(30);
+    for (m, name) in [(Modulation::Qpsk, "qpsk"), (Modulation::Qam64, "qam64")] {
+        let y = Complex::new(0.41, -0.73);
+        g.bench_function(BenchmarkId::new("demap_exact", name), |b| {
+            let mut out = Vec::with_capacity(8);
+            b.iter(|| {
+                out.clear();
+                demap_soft(y, Complex::ONE, 0.05, m, DemapMethod::Exact, &mut out);
+            })
+        });
+        g.bench_function(BenchmarkId::new("demap_maxlog", name), |b| {
+            let mut out = Vec::with_capacity(8);
+            b.iter(|| {
+                out.clear();
+                demap_soft(y, Complex::ONE, 0.05, m, DemapMethod::MaxLog, &mut out);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("channel");
+    g.measurement_time(Duration::from_secs(2)).sample_size(30);
+    let fading = softrate_channel::jakes::JakesFading::new(400.0, 7);
+    g.bench_function("jakes_gain", |b| {
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 1e-5;
+            fading.gain(t)
+        })
+    });
+
+    // Full probe (frame build + channel + BCJR receive) at two rates.
+    for (idx, name) in [(0usize, "bpsk12"), (5usize, "qam16_34")] {
+        g.bench_function(BenchmarkId::new("link_probe_100B", name), |b| {
+            let mut cfg = LinkConfig::new(SIMULATION);
+            cfg.noise_power_db = -15.0;
+            cfg.fading = FadingSpec::Flat { doppler_hz: 40.0 };
+            let mut link = Link::new(cfg);
+            let mut t = 0.0;
+            b.iter(|| {
+                t += 0.005;
+                link.probe(PAPER_RATES[idx], 100, t, &[], false)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_core(c: &mut Criterion) {
+    let mut g = c.benchmark_group("core");
+    g.measurement_time(Duration::from_secs(2)).sample_size(50);
+    // Detector over a realistic 60-symbol profile.
+    let llrs: Vec<f64> = (0..60 * 96)
+        .map(|k| if (20 * 96..30 * 96).contains(&k) { 0.4 } else { 14.0 })
+        .collect();
+    let hints = FrameHints::from_llrs(&llrs, 96);
+    let det = CollisionDetector::default();
+    g.bench_function("collision_detect_60sym", |b| b.iter(|| det.detect(&hints)));
+
+    g.bench_function("threshold_table", |b| {
+        b.iter(|| RateThresholds::compute(PAPER_RATES, 11_520, &FrameArq))
+    });
+    g.finish();
+}
+
+fn synthetic_trace() -> Arc<LinkTrace> {
+    let entry = |r: usize| TraceEntry {
+        t: 0.0,
+        rate_idx: r,
+        detected: true,
+        header_ok: true,
+        delivered: r <= 4,
+        true_ber: Some((1e-6 * 10f64.powi(r as i32 - 4)).clamp(1e-9, 0.5)),
+        softphy_ber: Some((1e-6 * 10f64.powi(r as i32 - 4)).clamp(1e-9, 0.5)),
+        snr_est_db: Some(18.0),
+        true_snr_db: 18.0,
+        probe_bits: 832,
+    };
+    Arc::new(LinkTrace {
+        name: "bench".into(),
+        mode_name: "simulation".into(),
+        interval: 0.005,
+        duration: 0.005,
+        series: (0..6).map(|r| vec![entry(r)]).collect(),
+        seed: 0,
+    })
+}
+
+fn bench_netsim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim");
+    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    g.bench_function("tcp_1s_softrate_2clients", |b| {
+        b.iter(|| {
+            let mut cfg = SimConfig::new(AdapterKind::SoftRate, 2);
+            cfg.duration = 1.0;
+            let traces = (0..4).map(|_| synthetic_trace()).collect();
+            NetSim::new(cfg, traces).run()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_modulation,
+    bench_channel,
+    bench_core,
+    bench_netsim
+);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Ablation studies beyond the paper's figures (DESIGN.md §7):
+//! 1. SoftRate without interference detection under hidden terminals.
+//! 2. One-level vs two-level rate jumps (convergence after fades).
+//! 3. Threshold tables under frame-ARQ vs chunked-HARQ (see
+//!    `thresholds_table`).
+//! 4. BCJR vs SOVA vs hard-Viterbi hint quality.
+
+use std::sync::Arc;
+
+use softrate_bench::{banner, cached_static_short_traces, mean_std, smoke_mode, write_json};
+use softrate_core::adapter::RateAdapter;
+use softrate_core::hints::FrameHints;
+use softrate_core::softrate::{SoftRate, SoftRateConfig};
+use softrate_phy::bits::{bytes_to_bits, deterministic_payload};
+use softrate_phy::convolutional::{encode, puncture, depuncture, coded_len, TAIL_BITS};
+use softrate_phy::rates::PAPER_RATES;
+use softrate_sim::config::{AdapterKind, SimConfig};
+use softrate_sim::netsim::NetSim;
+
+fn main() {
+    let smoke = smoke_mode();
+    banner("Ablations");
+
+    // ---- 1. interference detection on/off under hidden terminals --------
+    println!("\n[1] SoftRate with vs without interference detection (Pr[CS]=0.2, 3 clients)");
+    let traces = cached_static_short_traces(6, smoke);
+    let mut json1 = Vec::new();
+    for kind in [AdapterKind::SoftRate, AdapterKind::SoftRateNoDetect] {
+        let mut cfg = SimConfig::new(kind.clone(), 3);
+        cfg.duration = if smoke { 2.0 } else { 10.0 };
+        cfg.carrier_sense_prob = 0.2;
+        let r = NetSim::new(cfg, traces.iter().map(Arc::clone).collect()).run();
+        println!(
+            "  {:>22}: {:.2} Mbps (underselect fraction {:.3})",
+            kind.name(),
+            r.aggregate_goodput_bps / 1e6,
+            r.audit.fractions().2
+        );
+        json1.push((kind.name().to_string(), r.aggregate_goodput_bps / 1e6));
+    }
+
+    // ---- 2. jump width -----------------------------------------------------
+    println!("\n[2] One-level vs two-level jumps: decisions to recover from a deep fade");
+    let mut json2 = Vec::new();
+    for max_jump in [1usize, 2, 3] {
+        let cfg = SoftRateConfig { max_jump, initial_rate: 5, ..Default::default() };
+        let mut sr = SoftRate::new(cfg);
+        // Feed a catastrophic BER, then clean feedback, count decisions to
+        // travel 5 -> 1 -> 5.
+        let mut steps_down = 0;
+        while sr.current_rate_idx() > 1 && steps_down < 10 {
+            let mut o = softrate_core::adapter::TxOutcome {
+                rate_idx: sr.current_rate_idx(),
+                acked: false,
+                feedback_received: true,
+                ber_feedback: Some(0.2),
+                interference_flagged: false,
+                postamble_ack: false,
+                snr_feedback_db: None,
+                airtime: 1e-3,
+                now: 0.0,
+            };
+            sr.on_outcome(&o);
+            steps_down += 1;
+            let _ = &mut o;
+        }
+        let mut steps_up = 0;
+        while sr.current_rate_idx() < 5 && steps_up < 10 {
+            let o = softrate_core::adapter::TxOutcome {
+                rate_idx: sr.current_rate_idx(),
+                acked: true,
+                feedback_received: true,
+                ber_feedback: Some(1e-9),
+                interference_flagged: false,
+                postamble_ack: false,
+                snr_feedback_db: None,
+                airtime: 1e-3,
+                now: 0.0,
+            };
+            sr.on_outcome(&o);
+            steps_up += 1;
+        }
+        println!("  max_jump={max_jump}: {steps_down} frames to descend, {steps_up} to climb back");
+        json2.push((max_jump, steps_down, steps_up));
+    }
+
+    // ---- 4. hint source quality: BCJR vs SOVA ------------------------------
+    println!("\n[4] Hint calibration: BCJR posteriors vs SOVA reliabilities");
+    let payload = deterministic_payload(3, if smoke { 60 } else { 200 });
+    let info = bytes_to_bits(&payload);
+    let rate = PAPER_RATES[2];
+    let coded = puncture(&encode(&info), rate.code_rate);
+    let n_info = info.len();
+    let mother = 2 * (n_info + TAIL_BITS);
+    let _ = coded_len(n_info, rate.code_rate);
+    let mut bcjr_err = Vec::new();
+    let mut sova_err = Vec::new();
+    let decoder = softrate_phy::bcjr::BcjrDecoder::new();
+    let mut noise = softrate_channel::noise::NoiseSource::new(9);
+    for trial in 0..(if smoke { 6 } else { 20 }) {
+        // BPSK-like soft channel at ~ 2 dB: measurable BER.
+        let sigma = 0.85;
+        let llrs_tx: Vec<f64> = coded
+            .iter()
+            .map(|&b| {
+                let x = if b == 1 { 1.0 } else { -1.0 };
+                let y = x + sigma * noise.sample_real();
+                2.0 * y / (sigma * sigma)
+            })
+            .collect();
+        let llrs = depuncture(&llrs_tx, rate.code_rate, mother);
+        let soft = decoder.decode(&llrs);
+        let true_ber = softrate_phy::bits::bit_error_rate(&info, &soft.bits);
+        let est = FrameHints::from_llrs(&soft.llrs, 64).frame_ber();
+        bcjr_err.push((est.max(1e-9).log10() - true_ber.max(1e-9).log10()).abs());
+
+        let (vbits, rel) = softrate_phy::viterbi::sova_decode(&llrs);
+        let vber = softrate_phy::bits::bit_error_rate(&info, &vbits);
+        let vest = FrameHints::from_llrs(
+            &rel.iter()
+                .zip(&vbits)
+                .map(|(r, &b)| if b == 1 { *r } else { -*r })
+                .collect::<Vec<_>>(),
+            64,
+        )
+        .frame_ber();
+        sova_err.push((vest.max(1e-9).log10() - vber.max(1e-9).log10()).abs());
+        let _ = trial;
+    }
+    let (bm, bs) = mean_std(&bcjr_err);
+    let (sm, ss) = mean_std(&sova_err);
+    println!("  |log10 est - log10 truth|: BCJR {bm:.2} +- {bs:.2}, SOVA {sm:.2} +- {ss:.2}");
+    println!("  (lower is better; exact posteriors should calibrate best)");
+    write_json("ablations.json", &(json1, json2, bm, sm));
+}

@@ -1,0 +1,54 @@
+//! Runs every table/figure harness in sequence (same process), printing
+//! each one's output. Pass `--smoke` for the scaled-down pass used by CI.
+
+use std::process::Command;
+
+fn main() {
+    let smoke = softrate_bench::smoke_mode();
+    let bins = [
+        "table2_table3_rates_modes",
+        "thresholds_table",
+        "fig01_fading_trace",
+        "fig03_hint_patterns",
+        "table1_fig4_silent_losses",
+        "fig05_ber_across_rates",
+        "fig07_ber_estimation_static",
+        "fig08_09_ber_estimation_mobile",
+        "fig10_11_interference_detection",
+        "fig13_tcp_slow_fading",
+        "fig14_rate_selection_accuracy",
+        "fig15_convergence",
+        "fig16_fast_fading",
+        "fig17_18_interference",
+        "ablations",
+    ];
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.to_path_buf()))
+        .expect("cannot locate sibling binaries");
+    let mut failed = Vec::new();
+    for bin in bins {
+        println!("\n################ {bin} ################\n");
+        let mut cmd = Command::new(exe_dir.join(bin));
+        if smoke {
+            cmd.arg("--smoke");
+        }
+        match cmd.status() {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                failed.push(bin);
+            }
+            Err(e) => {
+                eprintln!("{bin} failed to start: {e}");
+                failed.push(bin);
+            }
+        }
+    }
+    if failed.is_empty() {
+        println!("\nall experiments completed");
+    } else {
+        println!("\nFAILED: {failed:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,77 @@
+//! Figure 5: measured BER at QPSK 3/4 vs the BER at other rates on the
+//! walking trace — validating the two prediction observations of §3.3
+//! (monotonicity in rate, >= one decade per step). Also reports the §6.1
+//! cross-rate monotonicity statistic (96 % in the paper).
+
+use softrate_bench::{banner, cached_walking_traces, smoke_mode, write_json};
+
+fn main() {
+    let smoke = smoke_mode();
+    banner("Figure 5: BER at QPSK 3/4 vs BER at other bit rates (walking trace)");
+    let traces = cached_walking_traces(if smoke { 2 } else { 10 }, smoke);
+
+    // Collect (ber@rate3, ber@other) pairs per time step.
+    let mut pairs: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 6];
+    let mut cycles = 0usize;
+    let mut monotone = 0usize;
+    for tr in &traces {
+        for step in 0..tr.n_steps() {
+            let bers: Vec<Option<f64>> =
+                (0..6).map(|r| tr.series[r][step].softphy_ber).collect();
+            if let Some(base) = bers[3] {
+                for (r, b) in bers.iter().enumerate() {
+                    if let Some(b) = b {
+                        pairs[r].push((base, *b));
+                    }
+                }
+            }
+            // Monotonicity check over the defined entries.
+            let defined: Vec<f64> = bers.iter().flatten().copied().collect();
+            if defined.len() >= 4 {
+                cycles += 1;
+                if defined.windows(2).all(|w| w[1] >= w[0] * 0.5) {
+                    monotone += 1;
+                }
+            }
+        }
+    }
+
+    println!("\nBinned median BER at each rate given the BER at QPSK 3/4 (rate idx 3):");
+    println!(
+        "{:>14} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "BER@QPSK3/4", "BPSK 1/2", "QPSK 1/2", "QPSK 3/4", "QAM16 1/2", "QAM16 3/4"
+    );
+    let mut json_rows = Vec::new();
+    for decade in -8..0 {
+        let lo = 10f64.powi(decade);
+        let hi = 10f64.powi(decade + 1);
+        let median_for = |r: usize| -> Option<f64> {
+            let mut v: Vec<f64> = pairs[r]
+                .iter()
+                .filter(|(b3, _)| *b3 >= lo && *b3 < hi)
+                .map(|(_, b)| *b)
+                .collect();
+            if v.len() < 3 {
+                return None;
+            }
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            Some(v[v.len() / 2])
+        };
+        let cols: Vec<Option<f64>> =
+            [0usize, 2, 3, 4, 5].iter().map(|&r| median_for(r)).collect();
+        if cols.iter().all(|c| c.is_none()) {
+            continue;
+        }
+        let fmt = |c: &Option<f64>| c.map_or("-".to_string(), |v| format!("{v:.1e}"));
+        println!(
+            "{:>6.0e}..{:<6.0e} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            lo, hi, fmt(&cols[0]), fmt(&cols[1]), fmt(&cols[2]), fmt(&cols[3]), fmt(&cols[4])
+        );
+        json_rows.push((lo, cols));
+    }
+    println!(
+        "\ncross-rate BER monotonic in {:.1}% of probe cycles (paper: 96%)",
+        100.0 * monotone as f64 / cycles.max(1) as f64
+    );
+    write_json("fig05_ber_across_rates.json", &json_rows);
+}

@@ -1,0 +1,112 @@
+//! Figures 10 and 11: interference detection accuracy as a function of
+//! relative interferer power and of the sender's bit rate, plus the
+//! false-positive check on interference-free channels (§5.3).
+
+use softrate_bench::{banner, smoke_mode, write_json};
+use softrate_channel::model::FadingSpec;
+use softrate_trace::generate::{
+    interference_detection_samples, quiet_detection_run, DetectionOutcome, DetectionSample,
+};
+use softrate_trace::recipes::InterferenceRecipe;
+use softrate_phy::rates::PAPER_RATES;
+
+#[derive(Default, Clone, Copy, serde::Serialize)]
+struct Tally {
+    correct: usize,
+    flagged: usize,
+    missed: usize,
+    silent: usize,
+}
+
+impl Tally {
+    fn add(&mut self, o: DetectionOutcome) {
+        match o {
+            DetectionOutcome::Correct => self.correct += 1,
+            DetectionOutcome::ErroredFlagged => self.flagged += 1,
+            DetectionOutcome::ErroredMissed => self.missed += 1,
+            DetectionOutcome::SilentLoss => self.silent += 1,
+        }
+    }
+    fn total(&self) -> usize {
+        self.correct + self.flagged + self.missed + self.silent
+    }
+    fn accuracy(&self) -> f64 {
+        let errored = self.flagged + self.missed;
+        if errored == 0 {
+            f64::NAN
+        } else {
+            self.flagged as f64 / errored as f64
+        }
+    }
+    fn row(&self, label: &str) {
+        let t = self.total().max(1) as f64;
+        println!(
+            "{label:>14} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9}",
+            self.correct as f64 / t,
+            (self.flagged + self.missed) as f64 / t,
+            self.silent as f64 / t,
+            self.accuracy(),
+            self.total()
+        );
+    }
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    banner("Figures 10/11: interference detection accuracy");
+    let recipe = if smoke { InterferenceRecipe::smoke() } else { InterferenceRecipe::default() };
+    let samples: Vec<DetectionSample> = interference_detection_samples(&recipe);
+    println!("{} interference frames", samples.len());
+
+    println!("\nFigure 10: by relative interferer power");
+    println!(
+        "{:>14} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "rel power dB", "correct", "errored", "silent", "accuracy", "frames"
+    );
+    let mut by_power = Vec::new();
+    for &p in &recipe.rel_powers_db {
+        let mut t = Tally::default();
+        for s in samples.iter().filter(|s| s.rel_power_db == p && s.truly_interfered) {
+            t.add(s.outcome);
+        }
+        t.row(&format!("{p:.0}"));
+        by_power.push((p, t));
+    }
+
+    println!("\nFigure 11: by sender bit rate");
+    println!(
+        "{:>14} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "rate", "correct", "errored", "silent", "accuracy", "frames"
+    );
+    let mut by_rate = Vec::new();
+    for r in 0..softrate_trace::recipes::N_RATES {
+        let mut t = Tally::default();
+        for s in samples.iter().filter(|s| s.rate_idx == r && s.truly_interfered) {
+            t.add(s.outcome);
+        }
+        t.row(&PAPER_RATES[r].label());
+        by_rate.push((r, t));
+    }
+
+    println!("\nFalse positives on interference-free channels (paper: <1% of lost frames):");
+    let n = if smoke { 80 } else { 400 };
+    let mut total_err = 0;
+    let mut total_flag = 0;
+    for (fading, snr, label) in [
+        (FadingSpec::None, 7.0, "static"),
+        (FadingSpec::Flat { doppler_hz: 40.0 }, 13.0, "walking"),
+    ] {
+        let (errored, flagged) = quiet_detection_run(fading, snr, n, 200, 0xFA15E);
+        println!(
+            "  {label:>8}: {flagged}/{errored} errored frames flagged ({:.1}%)",
+            100.0 * flagged as f64 / errored.max(1) as f64
+        );
+        total_err += errored;
+        total_flag += flagged;
+    }
+    println!(
+        "  overall: {:.2}% false positives",
+        100.0 * total_flag as f64 / total_err.max(1) as f64
+    );
+    write_json("fig10_11_interference_detection.json", &(by_power, by_rate));
+}

@@ -1,0 +1,123 @@
+//! Table 1 and Figure 4: how often collisions destroy *both* the preamble
+//! and the postamble of a frame (silent losses), and the run length of
+//! consecutive silent losses — the justification for SoftRate's
+//! three-silent-losses rule (§3.2).
+//!
+//! Two saturated senders that cannot carrier-sense each other transmit
+//! back-to-back frames at random rates (matching the paper's ns-3 setup in
+//! which "only collisions result in frame losses").
+
+use softrate_bench::{banner, smoke_mode, write_json};
+use softrate_phy::rates::PAPER_RATES;
+use softrate_sim::timing::{data_airtime, DIFS, SLOT};
+use softrate_trace::schema::hash_uniform;
+
+/// One sender's frame schedule: saturated, random rates, DCF-style
+/// backoff. Crucially, a lost frame doubles the contention window —
+/// the mechanism the paper leans on: "channel access protocols typically
+/// implement a backoff mechanism on a frame loss, which changes the
+/// relative alignment between the frames on the retry" (§3.2).
+#[derive(Clone, Copy)]
+struct Tx {
+    start: f64,
+    end: f64,
+}
+
+/// Builds both senders' schedules jointly so backoff can react to losses.
+fn schedules(p1: usize, p2: usize, duration: f64) -> (Vec<Tx>, Vec<Tx>) {
+    let payloads = [p1, p2];
+    let mut t = [0.0f64, hash_uniform(&[7, 0]) * 2e-3];
+    let mut cw = [15u64, 15u64];
+    let mut k = [0u64, 0u64];
+    let mut out: [Vec<Tx>; 2] = [Vec::new(), Vec::new()];
+    while t[0] < duration || t[1] < duration {
+        // Advance whichever sender transmits next.
+        let who = if t[0] <= t[1] { 0 } else { 1 };
+        let other = 1 - who;
+        let seed = [0xA1u64, 0xB2][who];
+        let rate = PAPER_RATES[(hash_uniform(&[seed, k[who], 1]) * 6.0) as usize % 6];
+        let air = data_airtime(rate, payloads[who], true); // postamble on
+        let (start, end) = (t[who], t[who] + air);
+        out[who].push(Tx { start, end });
+        // Did it overlap the other's most recent frames?
+        let lost = out[other]
+            .iter()
+            .rev()
+            .take(8)
+            .any(|o| start < o.end && o.start < end);
+        cw[who] = if lost { (cw[who] * 2 + 1).min(1023) } else { 15 };
+        let backoff =
+            DIFS + (hash_uniform(&[seed, k[who], 2]) * (cw[who] + 1) as f64).floor() * SLOT;
+        t[who] = end + backoff;
+        k[who] += 1;
+    }
+    (out[0].clone(), out[1].clone())
+}
+
+/// Preamble/postamble occupancy windows (2 symbols / 1 symbol of 8 us).
+const T_PRE: f64 = 16e-6;
+const T_POST: f64 = 8e-6;
+
+fn overlaps(a0: f64, a1: f64, b0: f64, b1: f64) -> bool {
+    a0 < b1 && b0 < a1
+}
+
+fn run_pair(p1: usize, p2: usize, duration: f64) -> (f64, f64, Vec<usize>, Vec<usize>) {
+    let (s1, s2) = schedules(p1, p2, duration);
+    let mut fractions = [0.0f64; 2];
+    let mut runs: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
+    for (me, other, slot) in [(&s1, &s2, 0usize), (&s2, &s1, 1)] {
+        let mut both_lost = 0usize;
+        let mut run = 0usize;
+        for f in me {
+            let pre_hit = other
+                .iter()
+                .any(|o| overlaps(f.start, f.start + T_PRE, o.start, o.end));
+            let post_hit = other
+                .iter()
+                .any(|o| overlaps(f.end - T_POST, f.end, o.start, o.end));
+            if pre_hit && post_hit {
+                both_lost += 1;
+                run += 1;
+            } else if run > 0 {
+                runs[slot].push(run);
+                run = 0;
+            }
+        }
+        if run > 0 {
+            runs[slot].push(run);
+        }
+        fractions[slot] = both_lost as f64 / me.len().max(1) as f64;
+    }
+    (fractions[0], fractions[1], runs[0].clone(), runs[1].clone())
+}
+
+fn ccdf(runs: &[usize]) -> Vec<(usize, f64)> {
+    let n = runs.len().max(1) as f64;
+    (1..=9).map(|k| (k, runs.iter().filter(|&&r| r >= k).count() as f64 / n)).collect()
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    banner("Table 1 / Figure 4: silent losses under pure collisions (postambles on)");
+    let duration = if smoke { 10.0 } else { 120.0 };
+
+    println!("\nTable 1: fraction of frames with BOTH preamble and postamble lost");
+    println!("{:>22} {:>22} {:>8} {:>8}", "frame size of s1", "frame size of s2", "f1", "f2");
+    let mut json = Vec::new();
+    for (p1, p2, label) in [(1400, 1400, "equal"), (100, 1400, "unequal")] {
+        let (f1, f2, r1, r2) = run_pair(p1, p2, duration);
+        println!("{:>20} B {:>20} B {:>7.1}% {:>7.1}%", p1, p2, 100.0 * f1, 100.0 * f2);
+
+        println!("  Figure 4 CCDF of consecutive both-lost run lengths ({label} sizes):");
+        println!("  {:>6} {:>14} {:>14}", "len>=", "P(s1)", "P(s2)");
+        let (c1, c2) = (ccdf(&r1), ccdf(&r2));
+        for k in 0..c1.len() {
+            println!("  {:>6} {:>14.4} {:>14.4}", c1[k].0, c1[k].1, c2[k].1);
+        }
+        let p3 = c1.get(2).map(|x| x.1).unwrap_or(0.0);
+        println!("  -> P(run >= 3) for s1: {:.4} (paper: long runs are 'very uncommon')", p3);
+        json.push((p1, p2, f1, f2, c1, c2));
+    }
+    write_json("table1_fig4_silent_losses.json", &json);
+}

@@ -1,0 +1,40 @@
+//! Tables 2 and 3: the bit-rate table and the OFDM operating modes, as
+//! implemented — printed for comparison against the paper.
+
+use softrate_bench::banner;
+use softrate_phy::ofdm::ALL_MODES;
+use softrate_phy::rates::{ALL_RATES, PAPER_RATES};
+
+fn main() {
+    banner("Table 2: modulation/code-rate combinations and raw 20 MHz throughput");
+    println!("{:>12} {:>10} {:>12} {:>13}", "Modulation", "Code Rate", "802.11 Mbps", "Implemented?");
+    for rate in ALL_RATES {
+        let implemented_by_paper = PAPER_RATES.contains(&rate);
+        println!(
+            "{:>12} {:>10} {:>12.0} {:>13}",
+            rate.modulation.name(),
+            rate.code_rate.label(),
+            rate.mbps(),
+            if implemented_by_paper { "yes (paper: yes)" } else { "yes (paper: no)" }
+        );
+    }
+    println!("\n(The paper's Table 2 lists QAM64 1/2 and 2/3 for 48/54 Mbps; the");
+    println!(" self-consistent standard puncturings are 2/3 and 3/4 — see rates.rs.)");
+
+    banner("Table 3: OFDM modes of operation");
+    println!(
+        "{:>12} {:>12} {:>8} {:>8} {:>12} {:>8}",
+        "Mode", "Bandwidth", "Tones", "Data", "Pilots", "T"
+    );
+    for m in ALL_MODES {
+        println!(
+            "{:>12} {:>9.1} MHz {:>8} {:>8} {:>12} {:>7.2?}",
+            m.name,
+            m.bandwidth_hz / 1e6,
+            m.n_tones,
+            m.n_data,
+            m.n_pilot,
+            std::time::Duration::from_secs_f64(m.symbol_time()),
+        );
+    }
+}

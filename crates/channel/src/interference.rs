@@ -1,0 +1,137 @@
+//! Interference: a second transmitter whose frame overlaps the victim's in
+//! time at the receiver.
+//!
+//! The paper's interference experiments (§5.3, Table 4 "static
+//! (interference)") transmit a sender and an interferer simultaneously with
+//! ~one-packet-time random jitter, sweeping the interferer's relative power.
+//! This module builds the interferer's transmitted symbols and positions
+//! them relative to the victim frame; [`crate::link`] adds them into the
+//! received samples through the interferer's own channel.
+
+use softrate_phy::bits::deterministic_payload;
+use softrate_phy::complex::Complex;
+use softrate_phy::frame::{build_frame, FrameConfig, FrameHeader};
+use softrate_phy::ofdm::Mode;
+use softrate_phy::rates::BitRate;
+
+use crate::model::ChannelInstance;
+
+/// An active interferer during one victim-frame reception.
+#[derive(Debug, Clone)]
+pub struct Interferer {
+    /// The interferer's transmitted OFDM symbols.
+    pub symbols: Vec<Vec<Complex>>,
+    /// Offset of the interferer's first symbol relative to the victim
+    /// frame's first symbol (negative: interferer started earlier).
+    pub start_symbol: isize,
+    /// Received interferer power in dB relative to unit symbol energy
+    /// (i.e. relative to the victim at 0 dB attenuation).
+    pub power_db: f64,
+    /// The interferer-to-receiver channel.
+    pub channel: ChannelInstance,
+}
+
+impl Interferer {
+    /// The interferer's transmitted symbol overlapping victim symbol `s`,
+    /// if any.
+    pub fn symbol_at(&self, s: usize) -> Option<&[Complex]> {
+        let idx = s as isize - self.start_symbol;
+        if idx < 0 {
+            return None;
+        }
+        self.symbols.get(idx as usize).map(|v| v.as_slice())
+    }
+
+    /// Linear received power scale.
+    pub fn power_linear(&self) -> f64 {
+        10f64.powf(self.power_db / 10.0)
+    }
+
+    /// Whether the interferer overlaps any victim symbol in
+    /// `0..n_victim_symbols`.
+    pub fn overlaps(&self, n_victim_symbols: usize) -> bool {
+        let end = self.start_symbol + self.symbols.len() as isize;
+        self.start_symbol < n_victim_symbols as isize && end > 0
+    }
+}
+
+/// Builds a realistic interferer waveform: a complete frame (preamble,
+/// header, payload) with a pseudo-random payload, exactly what a colliding
+/// 802.11 sender would emit.
+pub fn interferer_frame(mode: &Mode, rate: BitRate, payload_len: usize, seed: u64) -> Vec<Vec<Complex>> {
+    let cfg = FrameConfig::new(*mode, rate);
+    let header = FrameHeader {
+        src: 0xEEEE,
+        dst: 0xFFFF,
+        rate_idx: 0,
+        payload_len: 0,
+        seq: (seed & 0xFFFF) as u16,
+        flags: 0,
+    };
+    build_frame(header, &deterministic_payload(seed ^ 0x1F2E_3D4C, payload_len), &cfg).symbols
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FadingSpec;
+    use crate::pathloss::Attenuation;
+    use softrate_phy::ofdm::SIMULATION;
+    use softrate_phy::rates::PAPER_RATES;
+
+    fn test_interferer(start: isize, n_sym: usize) -> Interferer {
+        let symbols = vec![vec![Complex::ONE; SIMULATION.n_used()]; n_sym];
+        Interferer {
+            symbols,
+            start_symbol: start,
+            power_db: 0.0,
+            channel: ChannelInstance::new(FadingSpec::None, Attenuation::NONE, SIMULATION.n_used(), 0),
+        }
+    }
+
+    #[test]
+    fn symbol_alignment() {
+        let i = test_interferer(3, 4); // occupies victim symbols 3..7
+        assert!(i.symbol_at(0).is_none());
+        assert!(i.symbol_at(2).is_none());
+        assert!(i.symbol_at(3).is_some());
+        assert!(i.symbol_at(6).is_some());
+        assert!(i.symbol_at(7).is_none());
+    }
+
+    #[test]
+    fn negative_start_clips_head() {
+        let i = test_interferer(-2, 4); // interferer symbols 2,3 overlap victim 0,1
+        assert!(i.symbol_at(0).is_some());
+        assert!(i.symbol_at(1).is_some());
+        assert!(i.symbol_at(2).is_none());
+    }
+
+    #[test]
+    fn overlap_detection() {
+        assert!(test_interferer(0, 4).overlaps(10));
+        assert!(test_interferer(9, 4).overlaps(10));
+        assert!(!test_interferer(10, 4).overlaps(10));
+        assert!(test_interferer(-3, 4).overlaps(10));
+        assert!(!test_interferer(-4, 4).overlaps(10));
+    }
+
+    #[test]
+    fn power_conversion() {
+        let mut i = test_interferer(0, 1);
+        i.power_db = -10.0;
+        assert!((i.power_linear() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interferer_frame_has_frame_structure() {
+        let sym = interferer_frame(&SIMULATION, PAPER_RATES[2], 100, 7);
+        // preamble + header + payload symbols, each of n_used subcarriers
+        assert!(sym.len() > 3);
+        assert!(sym.iter().all(|s| s.len() == SIMULATION.n_used()));
+        // deterministic in seed
+        let again = interferer_frame(&SIMULATION, PAPER_RATES[2], 100, 7);
+        assert_eq!(sym.len(), again.len());
+        assert_eq!(sym[3][0], again[3][0]);
+    }
+}

@@ -1,0 +1,39 @@
+//! # softrate-channel — wireless channel simulation
+//!
+//! The propagation substrate of the SoftRate reproduction: everything
+//! between the transmitter's OFDM symbols and the receiver's.
+//!
+//! * [`noise`] — seeded complex AWGN.
+//! * [`jakes`] — Rayleigh fading via the Zheng–Xiao sum-of-sinusoids model,
+//!   the same model the paper's GNU Radio channel simulator uses (§4).
+//! * [`pathloss`] — large-scale attenuation trajectories (static, walking
+//!   ramp, alternating square wave).
+//! * [`model`] — flat and frequency-selective channel instances.
+//! * [`interference`] — overlapping frames from a second sender.
+//! * [`link`] — the end-to-end pipeline: transmit a frame at a point in
+//!   time, apply channel + interference + noise, run detection and the full
+//!   receiver, and report ground truth alongside what the receiver saw.
+//!
+//! Every random process is seeded; the channel gain is a pure function of
+//! absolute time, so the *same* fading realization can be sampled for every
+//! bit rate — the property the paper's trace methodology depends on (§6.1).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod interference;
+pub mod jakes;
+pub mod link;
+pub mod model;
+pub mod noise;
+pub mod pathloss;
+
+/// Convenient glob-import of the most common items.
+pub mod prelude {
+    pub use crate::interference::{interferer_frame, Interferer};
+    pub use crate::jakes::JakesFading;
+    pub use crate::link::{Link, LinkConfig, LinkObservation};
+    pub use crate::model::{ChannelInstance, FadingSpec};
+    pub use crate::noise::{db_to_linear, linear_to_db, NoiseSource};
+    pub use crate::pathloss::Attenuation;
+}

@@ -1,0 +1,396 @@
+//! The end-to-end link pipeline: frame in, channel-distorted reception out.
+//!
+//! [`Link::transmit`] pushes a [`TxFrame`] through attenuation, fading,
+//! interference and noise, applies the detection model (preamble/postamble
+//! SINR thresholds), and runs the full receiver. The returned
+//! [`LinkObservation`] carries everything the experiments need: the decoded
+//! frame with its SoftPHY LLRs, the preamble SNR estimate, ground-truth BER
+//! and per-symbol interference mask, and the detection outcomes.
+
+use softrate_phy::bits::{bit_error_rate, deterministic_payload};
+use softrate_phy::complex::Complex;
+use softrate_phy::frame::{build_frame, receive_frame, FrameConfig, FrameHeader, RxFrame, TxFrame};
+use softrate_phy::modulation::DemapMethod;
+use softrate_phy::ofdm::Mode;
+use softrate_phy::rates::BitRate;
+use softrate_phy::snr::NUM_PREAMBLE_SYMBOLS;
+
+use crate::interference::Interferer;
+use crate::model::{ChannelInstance, FadingSpec};
+use crate::noise::{db_to_linear, linear_to_db, NoiseSource};
+use crate::pathloss::Attenuation;
+
+/// Configuration of one unidirectional wireless link.
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    /// OFDM operating mode.
+    pub mode: Mode,
+    /// Transmit power in dB relative to unit symbol energy.
+    pub tx_power_db: f64,
+    /// Noise floor N0 in dB relative to unit symbol energy.
+    pub noise_power_db: f64,
+    /// Small-scale fading model.
+    pub fading: FadingSpec,
+    /// Large-scale attenuation profile.
+    pub attenuation: Attenuation,
+    /// Soft demapper flavour.
+    pub demap: DemapMethod,
+    /// Demapper LLR clip.
+    pub llr_clip: f64,
+    /// Minimum preamble (or postamble) SINR in dB for detection. Frame
+    /// detection by correlation works below the decoding threshold, hence
+    /// the default of -3 dB.
+    pub detect_snr_db: f64,
+    /// Master seed for this link's fading and noise.
+    pub seed: u64,
+}
+
+impl LinkConfig {
+    /// A clean static link at roughly 10 dB SNR in `mode`.
+    pub fn new(mode: Mode) -> Self {
+        LinkConfig {
+            mode,
+            tx_power_db: 0.0,
+            noise_power_db: -10.0,
+            fading: FadingSpec::None,
+            attenuation: Attenuation::NONE,
+            demap: DemapMethod::Exact,
+            llr_clip: softrate_phy::frame::DEFAULT_LLR_CLIP,
+            detect_snr_db: -3.0,
+            seed: 0,
+        }
+    }
+
+    /// Mean SNR in dB implied by power, attenuation (at `t`) and noise.
+    pub fn mean_snr_db(&self, t: f64) -> f64 {
+        self.tx_power_db + self.attenuation.db_at(t) - self.noise_power_db
+    }
+}
+
+/// An instantiated link: channel realization plus noise stream.
+#[derive(Debug, Clone)]
+pub struct Link {
+    cfg: LinkConfig,
+    channel: ChannelInstance,
+    noise: NoiseSource,
+    probe_count: u64,
+}
+
+/// Everything observed about one frame transmission over a [`Link`].
+#[derive(Debug, Clone)]
+pub struct LinkObservation {
+    /// Transmission start time (seconds).
+    pub t: f64,
+    /// Whether the preamble cleared the detection SINR threshold.
+    pub preamble_detected: bool,
+    /// Whether the postamble cleared the threshold (always `false` when the
+    /// frame carried none).
+    pub postamble_detected: bool,
+    /// Receiver output, present only when the preamble was detected.
+    pub rx: Option<RxFrame>,
+    /// Ground-truth payload BER (decoded bits vs transmitted bits); `None`
+    /// when the payload was never decoded (no detection / header loss).
+    pub true_ber: Option<f64>,
+    /// Ground-truth mean SNR over the whole frame in dB (fading included,
+    /// interference excluded).
+    pub true_frame_snr_db: f64,
+    /// Ground-truth SINR during the preamble in dB.
+    pub preamble_sinr_db: f64,
+    /// Ground truth: which payload OFDM symbols overlapped interference.
+    pub interfered_symbols: Vec<bool>,
+    /// Whether any interferer overlapped any part of the frame.
+    pub any_interference: bool,
+    /// On-air duration of the frame in seconds.
+    pub airtime: f64,
+}
+
+impl LinkObservation {
+    /// True when the link layer could send feedback for this frame: the
+    /// preamble was detected and the (separately CRC-protected) header
+    /// decoded (paper §3).
+    pub fn feedback_possible(&self) -> bool {
+        self.preamble_detected && self.rx.as_ref().is_some_and(|r| r.header.is_some())
+    }
+
+    /// True when the frame was received fully intact.
+    pub fn delivered(&self) -> bool {
+        self.rx.as_ref().is_some_and(|r| r.crc_ok)
+    }
+}
+
+impl Link {
+    /// Instantiates the link's channel and noise processes.
+    pub fn new(cfg: LinkConfig) -> Self {
+        let channel = ChannelInstance::new(
+            cfg.fading,
+            cfg.attenuation,
+            cfg.mode.n_used(),
+            cfg.seed,
+        );
+        let noise = NoiseSource::new(cfg.seed ^ 0x4E4F_4953_45FF);
+        Link { cfg, channel, noise, probe_count: 0 }
+    }
+
+    /// The link configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.cfg
+    }
+
+    /// The instantiated channel (for ground-truth inspection).
+    pub fn channel(&self) -> &ChannelInstance {
+        &self.channel
+    }
+
+    /// Transmits `tx` starting at absolute time `t` with the given active
+    /// interferers, and attempts reception.
+    pub fn transmit(&mut self, tx: &TxFrame, t: f64, interferers: &[Interferer]) -> LinkObservation {
+        let mode = self.cfg.mode;
+        let t_sym = mode.symbol_time();
+        let n_used = mode.n_used();
+        let tx_amp = db_to_linear(self.cfg.tx_power_db).sqrt();
+        let n0 = db_to_linear(self.cfg.noise_power_db);
+        let n_symbols = tx.symbols.len();
+
+        let mut rx_symbols: Vec<Vec<Complex>> = Vec::with_capacity(n_symbols);
+        let mut sig_power = vec![0.0f64; n_symbols];
+        let mut int_power = vec![0.0f64; n_symbols];
+        let mut gains = vec![Complex::ZERO; n_used];
+        let mut int_gains = vec![Complex::ZERO; n_used];
+
+        for (s, sym) in tx.symbols.iter().enumerate() {
+            let ts = t + s as f64 * t_sym;
+            let mean_chan_power = self.channel.gains_at(ts, &mut gains);
+            sig_power[s] = mean_chan_power * tx_amp * tx_amp;
+
+            let mut out: Vec<Complex> = sym
+                .iter()
+                .zip(gains.iter())
+                .map(|(&x, &h)| h * x * tx_amp + self.noise.sample_scaled(n0))
+                .collect();
+
+            for intf in interferers {
+                if let Some(isym) = intf.symbol_at(s) {
+                    let ip = intf.power_linear();
+                    let iamp = ip.sqrt();
+                    let mean_ip = intf.channel.gains_at(ts, &mut int_gains);
+                    int_power[s] += mean_ip * ip;
+                    for (o, (&x, &h)) in out.iter_mut().zip(isym.iter().zip(int_gains.iter())) {
+                        *o += h * x * iamp;
+                    }
+                }
+            }
+            rx_symbols.push(out);
+        }
+
+        // --- Detection model -------------------------------------------------
+        let sinr_db_over = |range: std::ops::Range<usize>| -> f64 {
+            let mut sig = 0.0;
+            let mut imp = 0.0;
+            let len = range.len().max(1);
+            for s in range {
+                sig += sig_power[s];
+                imp += int_power[s];
+            }
+            linear_to_db((sig / len as f64) / (n0 + imp / len as f64))
+        };
+
+        let preamble_sinr_db = sinr_db_over(0..NUM_PREAMBLE_SYMBOLS);
+        let preamble_detected = preamble_sinr_db >= self.cfg.detect_snr_db;
+
+        let postamble_detected = if tx.postamble {
+            let sinr = sinr_db_over(n_symbols - 1..n_symbols);
+            sinr >= self.cfg.detect_snr_db
+        } else {
+            false
+        };
+
+        // Ground-truth frame SNR (interference excluded): what an oracle
+        // would call the channel quality for rate selection.
+        let mean_sig = sig_power.iter().sum::<f64>() / n_symbols as f64;
+        let true_frame_snr_db = linear_to_db(mean_sig / n0);
+
+        let pay_start = tx.payload_start();
+        let interfered_symbols: Vec<bool> = (0..tx.n_payload_symbols)
+            .map(|s| int_power[pay_start + s] > 0.0)
+            .collect();
+        let any_interference = int_power.iter().any(|&p| p > 0.0);
+
+        let rx = if preamble_detected {
+            Some(receive_frame(&rx_symbols, &mode, self.cfg.demap, self.cfg.llr_clip))
+        } else {
+            None
+        };
+
+        let true_ber = rx.as_ref().and_then(|r| {
+            (r.info_bits.len() == tx.info_bits.len() && !r.info_bits.is_empty())
+                .then(|| bit_error_rate(&tx.info_bits, &r.info_bits))
+        });
+
+        LinkObservation {
+            t,
+            preamble_detected,
+            postamble_detected,
+            rx,
+            true_ber,
+            true_frame_snr_db,
+            preamble_sinr_db,
+            interfered_symbols,
+            any_interference,
+            airtime: mode.airtime(n_symbols),
+        }
+    }
+
+    /// Builds and transmits a probe frame with a deterministic payload:
+    /// the workhorse of the trace generators.
+    pub fn probe(
+        &mut self,
+        rate: BitRate,
+        payload_len: usize,
+        t: f64,
+        interferers: &[Interferer],
+        postamble: bool,
+    ) -> (TxFrame, LinkObservation) {
+        let mut cfg = FrameConfig::new(self.cfg.mode, rate);
+        cfg.postamble = postamble;
+        cfg.demap = self.cfg.demap;
+        cfg.llr_clip = self.cfg.llr_clip;
+        let seq = (self.probe_count & 0xFFFF) as u16;
+        let payload_seed = self.cfg.seed ^ self.probe_count.wrapping_mul(0x5851_F42D_4C95_7F2D);
+        self.probe_count += 1;
+        let header = FrameHeader { src: 1, dst: 2, rate_idx: 0, payload_len: 0, seq, flags: 0 };
+        let tx = build_frame(header, &deterministic_payload(payload_seed, payload_len), &cfg);
+        let obs = self.transmit(&tx, t, interferers);
+        (tx, obs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softrate_phy::ofdm::SIMULATION;
+    use softrate_phy::rates::PAPER_RATES;
+
+    fn clean_link(snr_db: f64, seed: u64) -> Link {
+        let mut cfg = LinkConfig::new(SIMULATION);
+        cfg.tx_power_db = 0.0;
+        cfg.noise_power_db = -snr_db;
+        cfg.seed = seed;
+        Link::new(cfg)
+    }
+
+    #[test]
+    fn high_snr_delivers_all_rates() {
+        let mut link = clean_link(30.0, 1);
+        for (i, &rate) in PAPER_RATES.iter().enumerate() {
+            let (tx, obs) = link.probe(rate, 200, i as f64 * 0.01, &[], false);
+            assert!(obs.preamble_detected, "{rate}");
+            assert!(obs.delivered(), "{rate} not delivered at 30 dB");
+            assert_eq!(obs.true_ber, Some(0.0), "{rate}");
+            assert_eq!(tx.info_bits.len(), (200 + 4) * 8);
+        }
+    }
+
+    #[test]
+    fn very_low_snr_fails_detection() {
+        let mut link = clean_link(-10.0, 2);
+        let (_, obs) = link.probe(PAPER_RATES[0], 100, 0.0, &[], false);
+        assert!(!obs.preamble_detected);
+        assert!(obs.rx.is_none());
+        assert!(obs.true_ber.is_none());
+    }
+
+    #[test]
+    fn snr_estimate_tracks_configured_snr() {
+        for snr in [5.0, 10.0, 20.0] {
+            let mut link = clean_link(snr, 3);
+            let (_, obs) = link.probe(PAPER_RATES[0], 100, 0.0, &[], false);
+            let est = obs.rx.unwrap().snr_db;
+            assert!((est - snr).abs() < 2.0, "configured {snr}, estimated {est}");
+        }
+    }
+
+    #[test]
+    fn mid_snr_high_rate_has_errors_low_rate_clean() {
+        // Around 8 dB: BPSK 1/2 should sail through, QAM16 3/4 should break.
+        let mut link = clean_link(8.0, 4);
+        let (_, lo) = link.probe(PAPER_RATES[0], 200, 0.0, &[], false);
+        let (_, hi) = link.probe(PAPER_RATES[5], 200, 0.01, &[], false);
+        assert!(lo.delivered(), "BPSK 1/2 must survive 8 dB");
+        assert!(!hi.delivered(), "QAM16 3/4 must fail at 8 dB");
+        assert!(hi.true_ber.unwrap_or(0.0) > 1e-3);
+    }
+
+    #[test]
+    fn strong_interference_corrupts_frame() {
+        let mut link = clean_link(25.0, 5);
+        let (tx0, _) = link.probe(PAPER_RATES[2], 200, 0.0, &[], false);
+        let n = tx0.n_symbols();
+        let intf = Interferer {
+            symbols: crate::interference::interferer_frame(&SIMULATION, PAPER_RATES[2], 200, 99),
+            start_symbol: (n / 2) as isize,
+            power_db: 5.0,
+            channel: ChannelInstance::new(FadingSpec::None, Attenuation::NONE, SIMULATION.n_used(), 77),
+        };
+        let (_, obs) = link.probe(PAPER_RATES[2], 200, 1.0, &[intf], false);
+        assert!(obs.preamble_detected, "preamble region was clean");
+        assert!(obs.any_interference);
+        assert!(!obs.delivered(), "mid-frame collision must corrupt payload");
+        assert!(obs.interfered_symbols.iter().any(|&b| b));
+        assert!(!obs.interfered_symbols.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn interference_over_preamble_causes_silent_loss() {
+        let mut link = clean_link(15.0, 6);
+        let intf = Interferer {
+            symbols: crate::interference::interferer_frame(&SIMULATION, PAPER_RATES[0], 400, 98),
+            start_symbol: -2,
+            power_db: 15.0,
+            channel: ChannelInstance::new(FadingSpec::None, Attenuation::NONE, SIMULATION.n_used(), 76),
+        };
+        let (_, obs) = link.probe(PAPER_RATES[0], 100, 0.0, &[intf], false);
+        assert!(!obs.preamble_detected, "equal-power interferer over preamble must kill detection");
+    }
+
+    #[test]
+    fn postamble_detected_when_interference_ends_early() {
+        let mut link = clean_link(15.0, 7);
+        // Interferer covers the preamble but ends before the frame does.
+        let intf = Interferer {
+            symbols: vec![vec![Complex::ONE; SIMULATION.n_used()]; 4],
+            start_symbol: -1,
+            power_db: 10.0,
+            channel: ChannelInstance::new(FadingSpec::None, Attenuation::NONE, SIMULATION.n_used(), 75),
+        };
+        let (_, obs) = link.probe(PAPER_RATES[0], 100, 0.0, &[intf], true);
+        assert!(!obs.preamble_detected);
+        assert!(obs.postamble_detected, "postamble after interference end must be detectable");
+    }
+
+    #[test]
+    fn fading_link_ber_varies_over_time() {
+        let mut cfg = LinkConfig::new(SIMULATION);
+        cfg.noise_power_db = -12.0;
+        cfg.fading = FadingSpec::Flat { doppler_hz: 40.0 };
+        cfg.seed = 8;
+        let mut link = Link::new(cfg);
+        let mut bers = Vec::new();
+        for k in 0..40 {
+            let (_, obs) = link.probe(PAPER_RATES[3], 100, k as f64 * 0.005, &[], false);
+            if let Some(b) = obs.true_ber {
+                bers.push(b);
+            }
+        }
+        assert!(!bers.is_empty());
+        let min = bers.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = bers.iter().cloned().fold(0.0, f64::max);
+        assert!(max > min, "fading must modulate BER over time (min {min}, max {max})");
+    }
+
+    #[test]
+    fn feedback_possible_requires_header() {
+        let mut link = clean_link(30.0, 9);
+        let (_, obs) = link.probe(PAPER_RATES[1], 50, 0.0, &[], false);
+        assert!(obs.feedback_possible());
+    }
+}

@@ -1,0 +1,226 @@
+//! Channel models: composition of small-scale fading ([`crate::jakes`]) and
+//! large-scale attenuation ([`crate::pathloss`]) into a per-symbol,
+//! per-subcarrier complex gain.
+
+use serde::{Deserialize, Serialize};
+use softrate_phy::complex::Complex;
+
+use crate::jakes::JakesFading;
+use crate::pathloss::Attenuation;
+
+/// Small-scale fading specification (what to instantiate).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FadingSpec {
+    /// No fading: `h = 1` (a pure AWGN link).
+    None,
+    /// Flat (frequency-nonselective) Rayleigh fading: a single Jakes
+    /// process applied to every subcarrier. Appropriate when the delay
+    /// spread is negligible versus the symbol time.
+    Flat {
+        /// Maximum Doppler shift in Hz.
+        doppler_hz: f64,
+    },
+    /// Frequency-selective Rayleigh fading: `n_taps` independent Jakes
+    /// processes at consecutive sample delays with exponentially decaying
+    /// power. Adjacent subcarriers fade together; distant ones
+    /// independently — the regime that motivates the 802.11 frequency
+    /// interleaver (paper §4).
+    Multipath {
+        /// Maximum Doppler shift in Hz.
+        doppler_hz: f64,
+        /// Number of channel taps (>= 1).
+        n_taps: usize,
+        /// Power decay per tap in dB.
+        decay_db_per_tap: f64,
+    },
+}
+
+#[derive(Debug, Clone)]
+enum Inner {
+    Static,
+    Flat(JakesFading),
+    Multipath {
+        /// `(amplitude, process)` per tap.
+        taps: Vec<(f64, JakesFading)>,
+        /// FFT length used for the tap-to-subcarrier transform.
+        n_fft: usize,
+    },
+}
+
+/// An instantiated channel: deterministic complex gain as a function of
+/// `(time, subcarrier)`, including large-scale attenuation.
+#[derive(Debug, Clone)]
+pub struct ChannelInstance {
+    inner: Inner,
+    attenuation: Attenuation,
+}
+
+impl ChannelInstance {
+    /// Instantiates `spec` over `n_subcarriers` used subcarriers with the
+    /// given attenuation profile. All randomness derives from `seed`.
+    pub fn new(
+        spec: FadingSpec,
+        attenuation: Attenuation,
+        n_subcarriers: usize,
+        seed: u64,
+    ) -> Self {
+        let inner = match spec {
+            FadingSpec::None => Inner::Static,
+            FadingSpec::Flat { doppler_hz } => Inner::Flat(JakesFading::new(doppler_hz, seed)),
+            FadingSpec::Multipath { doppler_hz, n_taps, decay_db_per_tap } => {
+                assert!(n_taps >= 1);
+                // Exponential power-delay profile, normalized to unit total
+                // power.
+                let mut powers: Vec<f64> =
+                    (0..n_taps).map(|l| 10f64.powf(-(l as f64) * decay_db_per_tap / 10.0)).collect();
+                let total: f64 = powers.iter().sum();
+                for p in &mut powers {
+                    *p /= total;
+                }
+                let taps = powers
+                    .into_iter()
+                    .enumerate()
+                    .map(|(l, p)| {
+                        (p.sqrt(), JakesFading::new(doppler_hz, seed.wrapping_add(l as u64 * 0x9E3779B9)))
+                    })
+                    .collect();
+                Inner::Multipath { taps, n_fft: n_subcarriers }
+            }
+        };
+        ChannelInstance { inner, attenuation }
+    }
+
+    /// Complex gain at absolute time `t` on used subcarrier `k`, including
+    /// the large-scale attenuation amplitude.
+    pub fn gain(&self, t: f64, k: usize) -> Complex {
+        let amp = self.attenuation.amplitude_at(t);
+        match &self.inner {
+            Inner::Static => Complex::new(amp, 0.0),
+            Inner::Flat(f) => f.gain(t).scale(amp),
+            Inner::Multipath { taps, n_fft } => {
+                let mut h = Complex::ZERO;
+                for (l, (a, f)) in taps.iter().enumerate() {
+                    let phase = -2.0 * std::f64::consts::PI * (k as f64) * (l as f64)
+                        / *n_fft as f64;
+                    h += f.gain(t).scale(*a) * Complex::cis(phase);
+                }
+                h.scale(amp)
+            }
+        }
+    }
+
+    /// Fills `out[k]` with the gain on every subcarrier at time `t` and
+    /// returns the mean channel power `mean_k |H_k|^2` (ground truth used
+    /// for SINR accounting).
+    pub fn gains_at(&self, t: f64, out: &mut [Complex]) -> f64 {
+        match &self.inner {
+            // Flat cases: one evaluation covers all subcarriers.
+            Inner::Static | Inner::Flat(_) => {
+                let h = self.gain(t, 0);
+                let p = h.norm_sqr();
+                for o in out.iter_mut() {
+                    *o = h;
+                }
+                p
+            }
+            Inner::Multipath { .. } => {
+                let mut acc = 0.0;
+                for (k, o) in out.iter_mut().enumerate() {
+                    *o = self.gain(t, k);
+                    acc += o.norm_sqr();
+                }
+                acc / out.len().max(1) as f64
+            }
+        }
+    }
+
+    /// The attenuation profile in effect.
+    pub fn attenuation(&self) -> &Attenuation {
+        &self.attenuation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_channel_is_unit_gain() {
+        let c = ChannelInstance::new(FadingSpec::None, Attenuation::NONE, 8, 0);
+        for k in 0..8 {
+            let g = c.gain(3.7, k);
+            assert!((g - Complex::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn attenuation_scales_power() {
+        let c = ChannelInstance::new(FadingSpec::None, Attenuation::Constant { db: -20.0 }, 4, 0);
+        let g = c.gain(0.0, 0);
+        assert!((g.norm_sqr() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_fading_identical_across_subcarriers() {
+        let c = ChannelInstance::new(
+            FadingSpec::Flat { doppler_hz: 100.0 },
+            Attenuation::NONE,
+            16,
+            3,
+        );
+        let g0 = c.gain(0.42, 0);
+        for k in 1..16 {
+            assert_eq!(c.gain(0.42, k), g0);
+        }
+    }
+
+    #[test]
+    fn multipath_varies_across_subcarriers() {
+        let c = ChannelInstance::new(
+            FadingSpec::Multipath { doppler_hz: 10.0, n_taps: 4, decay_db_per_tap: 3.0 },
+            Attenuation::NONE,
+            64,
+            5,
+        );
+        let g0 = c.gain(0.0, 0);
+        let g32 = c.gain(0.0, 32);
+        assert!((g0 - g32).abs() > 1e-6, "distant subcarriers must differ");
+        // Adjacent subcarriers are strongly correlated.
+        let g1 = c.gain(0.0, 1);
+        assert!((g0 - g1).abs() < (g0 - g32).abs());
+    }
+
+    #[test]
+    fn multipath_mean_power_is_unity() {
+        // Average over many seeds: E[|H_k|^2] = sum of tap powers = 1.
+        let mut acc = 0.0;
+        let n = 300;
+        for seed in 0..n {
+            let c = ChannelInstance::new(
+                FadingSpec::Multipath { doppler_hz: 50.0, n_taps: 3, decay_db_per_tap: 3.0 },
+                Attenuation::NONE,
+                32,
+                seed,
+            );
+            let mut out = vec![Complex::ZERO; 32];
+            acc += c.gains_at(0.1, &mut out);
+        }
+        let mean = acc / n as f64;
+        assert!((mean - 1.0).abs() < 0.08, "mean power {mean}");
+    }
+
+    #[test]
+    fn gains_at_matches_gain() {
+        let c = ChannelInstance::new(
+            FadingSpec::Multipath { doppler_hz: 25.0, n_taps: 2, decay_db_per_tap: 6.0 },
+            Attenuation::Constant { db: -3.0 },
+            16,
+            9,
+        );
+        let mut out = vec![Complex::ZERO; 16];
+        c.gains_at(1.5, &mut out);
+        for (k, o) in out.iter().enumerate() {
+            assert_eq!(*o, c.gain(1.5, k));
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Large-scale attenuation trajectories.
+//!
+//! The paper's Figure 1 shows two superimposed effects on a walking trace:
+//! gradual large-scale attenuation as the sender moves away, and multipath
+//! fading on tens-of-milliseconds timescales. This module models the former;
+//! [`crate::jakes`] models the latter.
+
+use serde::{Deserialize, Serialize};
+
+/// A deterministic large-scale attenuation profile: average received power
+/// (in dB relative to the transmit power) as a function of time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Attenuation {
+    /// Constant attenuation, e.g. a static link.
+    Constant {
+        /// Attenuation in dB (negative = loss).
+        db: f64,
+    },
+    /// Linear-in-dB ramp between two instants, constant outside — a node
+    /// walking away from (or towards) its receiver.
+    RampDb {
+        /// Ramp start time, seconds.
+        t_start: f64,
+        /// Attenuation at and before `t_start`, dB.
+        db_start: f64,
+        /// Ramp end time, seconds.
+        t_end: f64,
+        /// Attenuation at and after `t_end`, dB.
+        db_end: f64,
+    },
+    /// Periodic sawtooth between two attenuation levels — a node pacing
+    /// back and forth; used to build the alternating good/bad channel of
+    /// the paper's Figure 15.
+    SquareWave {
+        /// Attenuation during the "good" half-period, dB.
+        db_good: f64,
+        /// Attenuation during the "bad" half-period, dB.
+        db_bad: f64,
+        /// Full period in seconds (half good, half bad).
+        period: f64,
+    },
+}
+
+impl Attenuation {
+    /// No attenuation at all.
+    pub const NONE: Attenuation = Attenuation::Constant { db: 0.0 };
+
+    /// Attenuation in dB at time `t`.
+    pub fn db_at(&self, t: f64) -> f64 {
+        match *self {
+            Attenuation::Constant { db } => db,
+            Attenuation::RampDb { t_start, db_start, t_end, db_end } => {
+                if t <= t_start {
+                    db_start
+                } else if t >= t_end {
+                    db_end
+                } else {
+                    let frac = (t - t_start) / (t_end - t_start);
+                    db_start + frac * (db_end - db_start)
+                }
+            }
+            Attenuation::SquareWave { db_good, db_bad, period } => {
+                let phase = t.rem_euclid(period);
+                if phase < period / 2.0 {
+                    db_good
+                } else {
+                    db_bad
+                }
+            }
+        }
+    }
+
+    /// Linear *amplitude* scale factor at time `t` (`10^(db/20)`).
+    pub fn amplitude_at(&self, t: f64) -> f64 {
+        10f64.powf(self.db_at(t) / 20.0)
+    }
+
+    /// Linear power scale factor at time `t` (`10^(db/10)`).
+    pub fn power_at(&self, t: f64) -> f64 {
+        10f64.powf(self.db_at(t) / 10.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let a = Attenuation::Constant { db: -12.0 };
+        for t in [0.0, 1.0, 1e6] {
+            assert_eq!(a.db_at(t), -12.0);
+        }
+    }
+
+    #[test]
+    fn ramp_interpolates_linearly() {
+        let a = Attenuation::RampDb { t_start: 1.0, db_start: 0.0, t_end: 11.0, db_end: -20.0 };
+        assert_eq!(a.db_at(0.0), 0.0);
+        assert_eq!(a.db_at(1.0), 0.0);
+        assert!((a.db_at(6.0) + 10.0).abs() < 1e-12);
+        assert_eq!(a.db_at(11.0), -20.0);
+        assert_eq!(a.db_at(100.0), -20.0);
+    }
+
+    #[test]
+    fn square_wave_alternates() {
+        let a = Attenuation::SquareWave { db_good: 0.0, db_bad: -15.0, period: 2.0 };
+        assert_eq!(a.db_at(0.1), 0.0);
+        assert_eq!(a.db_at(0.99), 0.0);
+        assert_eq!(a.db_at(1.01), -15.0);
+        assert_eq!(a.db_at(1.99), -15.0);
+        assert_eq!(a.db_at(2.1), 0.0); // periodic
+        assert_eq!(a.db_at(-0.5), -15.0); // rem_euclid handles negatives
+    }
+
+    #[test]
+    fn amplitude_and_power_consistent() {
+        let a = Attenuation::Constant { db: -6.0 };
+        let amp = a.amplitude_at(0.0);
+        let pow = a.power_at(0.0);
+        assert!((amp * amp - pow).abs() < 1e-12);
+        assert!((pow - 0.2512).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,101 @@
+//! The common interface every bit-rate adaptation algorithm implements.
+//!
+//! The trace-driven simulator drives adapters exclusively through this
+//! trait, so SoftRate and every baseline (SampleRate, RRAA, SNR-based,
+//! CHARM, omniscient) are interchangeable — the comparison methodology of
+//! the paper's §6.
+
+use serde::{Deserialize, Serialize};
+
+/// Index into the rate table the adapter was configured with.
+pub type RateIdx = usize;
+
+/// What the adapter wants for the next transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxAttempt {
+    /// Rate to transmit at.
+    pub rate_idx: RateIdx,
+    /// Whether to precede the frame with an RTS/CTS exchange (used by
+    /// RRAA's adaptive RTS filter).
+    pub use_rts: bool,
+}
+
+/// Everything the link layer learned from one transmission attempt.
+///
+/// Different adapters consume different subsets: frame-level protocols look
+/// only at `acked`; SNR protocols at `snr_feedback_db`; SoftRate at
+/// `ber_feedback` / `interference_flagged` / silent losses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TxOutcome {
+    /// Rate the frame was actually sent at.
+    pub rate_idx: RateIdx,
+    /// Whether a link-layer ACK arrived (frame delivered intact).
+    pub acked: bool,
+    /// Whether *any* feedback frame arrived (SoftRate sends feedback even
+    /// for frames with errors, as long as preamble + header decoded).
+    pub feedback_received: bool,
+    /// Interference-free BER measured by the receiver over this frame
+    /// (present iff `feedback_received`).
+    pub ber_feedback: Option<f64>,
+    /// Receiver's collision detector flagged interference on this frame.
+    pub interference_flagged: bool,
+    /// Feedback was triggered by postamble detection alone (preamble lost
+    /// to interference) — only possible when postambles are enabled.
+    pub postamble_ack: bool,
+    /// Preamble SNR estimate measured by the receiver (present iff
+    /// `feedback_received`); consumed by SNR-based protocols.
+    pub snr_feedback_db: Option<f64>,
+    /// Total air time consumed by the attempt, seconds (frame + overhead +
+    /// backoff) — SampleRate's accounting signal.
+    pub airtime: f64,
+    /// Timestamp of the attempt, seconds.
+    pub now: f64,
+}
+
+impl TxOutcome {
+    /// A silent loss: no feedback of any kind (paper §3.2).
+    pub fn is_silent_loss(&self) -> bool {
+        !self.feedback_received && !self.postamble_ack
+    }
+}
+
+/// A bit-rate adaptation algorithm.
+pub trait RateAdapter: Send {
+    /// Short name used in result tables ("SoftRate", "RRAA", ...).
+    fn name(&self) -> &'static str;
+
+    /// Chooses the rate (and RTS policy) for the next transmission.
+    fn next_attempt(&mut self, now: f64) -> TxAttempt;
+
+    /// Digests the outcome of a transmission attempt.
+    fn on_outcome(&mut self, outcome: &TxOutcome);
+
+    /// Number of rates in the table this adapter adapts over.
+    fn num_rates(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silent_loss_definition() {
+        let mut o = TxOutcome {
+            rate_idx: 0,
+            acked: false,
+            feedback_received: false,
+            ber_feedback: None,
+            interference_flagged: false,
+            postamble_ack: false,
+            snr_feedback_db: None,
+            airtime: 1e-3,
+            now: 0.0,
+        };
+        assert!(o.is_silent_loss());
+        o.postamble_ack = true;
+        assert!(!o.is_silent_loss());
+        o.postamble_ack = false;
+        o.feedback_received = true;
+        assert!(!o.is_silent_loss());
+    }
+}

@@ -1,0 +1,369 @@
+//! Interference detection from the per-symbol BER profile (paper §3.2, §4).
+//!
+//! A collision corrupts *all* subcarriers of the OFDM symbols it overlaps,
+//! so the per-symbol BER `p̄_j` jumps *by orders of magnitude* within one
+//! symbol time — something the physics of multipath fading cannot do
+//! ("a sudden change in BER by orders of magnitude within a small number of
+//! bits cannot be explained by stochastic channel fading, whose physics are
+//! more gradual").
+//!
+//! The detector therefore works on BER *ratios*, not absolute differences:
+//!
+//! 1. **Edges**: a boundary between adjacent symbols is an edge when the
+//!    BER changes by at least [`CollisionDetector::edge_ratio`] *and* by at
+//!    least [`CollisionDetector::min_delta`] absolutely (the absolute floor
+//!    suppresses edges between two already-confident symbols, e.g. 1e-9 vs
+//!    1e-7).
+//! 2. **Span reconstruction**: up-edges open an interfered span, down-edges
+//!    close one; a leading down-edge means the interferer was already on at
+//!    the start of the frame body.
+//! 3. **Region validation**: the mean BER inside the candidate span must
+//!    exceed the mean outside by [`CollisionDetector::region_ratio`].
+//!    This rejects single-symbol estimation jitter (a lone noisy symbol in
+//!    an otherwise moderate-BER frame) that survives step 1 during deep
+//!    fades, where per-symbol pilot tracking gets noisy.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hints::FrameHints;
+
+/// Default minimum BER ratio between adjacent symbols to form an edge.
+pub const DEFAULT_EDGE_RATIO: f64 = 20.0;
+
+/// Default minimum absolute BER change to form an edge.
+pub const DEFAULT_MIN_DELTA: f64 = 2e-3;
+
+/// Default minimum inside/outside mean-BER ratio for a span to be
+/// confirmed as interference.
+pub const DEFAULT_REGION_RATIO: f64 = 30.0;
+
+/// Default minimum interfered-span length in OFDM symbols. A colliding
+/// frame overlaps many symbols (even a minimal 802.11 frame lasts several
+/// symbol times), while decoder/noise jitter rarely wrecks three adjacent
+/// symbols; tuned against the quiet-channel false-positive study (§5.3).
+pub const DEFAULT_MIN_REGION: usize = 3;
+
+/// Numerical floor used in ratios.
+const EPS: f64 = 1e-7;
+
+/// Collision detector configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CollisionDetector {
+    /// Minimum BER ratio between adjacent symbols to count as an edge.
+    pub edge_ratio: f64,
+    /// Minimum absolute BER change to count as an edge.
+    pub min_delta: f64,
+    /// Minimum inside/outside mean-BER ratio to confirm a span.
+    pub region_ratio: f64,
+    /// Minimum contiguous span length (symbols) to count as interference.
+    pub min_region: usize,
+}
+
+impl Default for CollisionDetector {
+    fn default() -> Self {
+        CollisionDetector {
+            edge_ratio: DEFAULT_EDGE_RATIO,
+            min_delta: DEFAULT_MIN_DELTA,
+            region_ratio: DEFAULT_REGION_RATIO,
+            min_region: DEFAULT_MIN_REGION,
+        }
+    }
+}
+
+/// The detector's verdict on one frame.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CollisionVerdict {
+    /// Whether a validated interference span was found.
+    pub collision_detected: bool,
+    /// Per-symbol interference mask (true = judged interfered).
+    pub interfered: Vec<bool>,
+    /// Mean bit error probability over the non-interfered symbols — the
+    /// interference-free BER fed back to the sender. Falls back to the
+    /// full-frame BER when nothing is excluded.
+    pub interference_free_ber: f64,
+    /// Mean bit error probability over the whole frame.
+    pub full_ber: f64,
+}
+
+impl CollisionDetector {
+    /// Runs detection on a frame's hints.
+    pub fn detect(&self, hints: &FrameHints) -> CollisionVerdict {
+        let sym = hints.symbol_bers();
+        let mask = self.interference_mask(&sym);
+        let collision_detected = mask.iter().any(|&b| b);
+        CollisionVerdict {
+            collision_detected,
+            interference_free_ber: hints.ber_excluding(&mask),
+            full_ber: hints.frame_ber(),
+            interfered: mask,
+        }
+    }
+
+    /// Reconstructs and validates the interfered span from the per-symbol
+    /// BER profile. Returns an all-false mask when no collision is found.
+    pub fn interference_mask(&self, symbol_bers: &[f64]) -> Vec<bool> {
+        let n = symbol_bers.len();
+        let empty = vec![false; n];
+        if n < 2 {
+            return empty;
+        }
+
+        // --- Step 1: ratio edges -------------------------------------------
+        let mut edges: Vec<(usize, bool)> = Vec::new(); // (index, is_up)
+        for j in 1..n {
+            let a = symbol_bers[j - 1].max(0.0);
+            let b = symbol_bers[j].max(0.0);
+            let delta = (b - a).abs();
+            if delta < self.min_delta {
+                continue;
+            }
+            let ratio = (a.max(b) + EPS) / (a.min(b) + EPS);
+            if ratio >= self.edge_ratio {
+                edges.push((j, b > a));
+            }
+        }
+        if edges.is_empty() {
+            return empty;
+        }
+
+        // --- Step 2: span reconstruction -----------------------------------
+        let mut mask = vec![false; n];
+        let mut state = !edges[0].1; // leading down-edge => interfered from 0
+        let mut from = 0usize;
+        for &(idx, is_up) in &edges {
+            if state {
+                for m in mask.iter_mut().take(idx).skip(from) {
+                    *m = true;
+                }
+            }
+            state = is_up;
+            from = idx;
+        }
+        if state {
+            for m in mask.iter_mut().skip(from) {
+                *m = true;
+            }
+        }
+
+        // --- Step 2b: drop spans shorter than min_region --------------------
+        let mut j = 0;
+        while j < n {
+            if mask[j] {
+                let start = j;
+                while j < n && mask[j] {
+                    j += 1;
+                }
+                if j - start < self.min_region {
+                    for m in mask.iter_mut().take(j).skip(start) {
+                        *m = false;
+                    }
+                }
+            } else {
+                j += 1;
+            }
+        }
+        if !mask.iter().any(|&b| b) {
+            return empty;
+        }
+
+        // --- Step 3: region validation -------------------------------------
+        let inside: Vec<f64> = symbol_bers
+            .iter()
+            .zip(&mask)
+            .filter(|(_, &m)| m)
+            .map(|(&p, _)| p)
+            .collect();
+        let outside: Vec<f64> = symbol_bers
+            .iter()
+            .zip(&mask)
+            .filter(|(_, &m)| !m)
+            .map(|(&p, _)| p)
+            .collect();
+        if inside.is_empty() {
+            return empty;
+        }
+        // Too few clean symbols to compare against: accept the span (a
+        // frame almost fully covered by a collision).
+        if outside.len() >= 2 {
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+            let contrast = (mean(&inside) + EPS) / (mean(&outside) + EPS);
+            if contrast < self.region_ratio {
+                return empty;
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hints_from_symbol_bers(bers: &[f64], bits_per_symbol: usize) -> FrameHints {
+        // Construct per-bit probabilities realizing the requested symbol
+        // averages via fake LLRs: p = 1/(1+e^s) => s = ln((1-p)/p).
+        let mut llrs = Vec::new();
+        for &p in bers {
+            let p = p.clamp(1e-12, 0.5);
+            let s = ((1.0 - p) / p).ln();
+            for _ in 0..bits_per_symbol {
+                llrs.push(s);
+            }
+        }
+        FrameHints::from_llrs(&llrs, bits_per_symbol)
+    }
+
+    #[test]
+    fn clean_frame_no_collision() {
+        let h = hints_from_symbol_bers(&[1e-6, 2e-6, 1.5e-6, 1e-6], 8);
+        let v = CollisionDetector::default().detect(&h);
+        assert!(!v.collision_detected);
+        assert!(v.interfered.iter().all(|&b| !b));
+        assert!((v.interference_free_ber - v.full_ber).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mid_frame_collision_detected_and_masked() {
+        let bers = [1e-6, 1e-6, 0.3, 0.35, 0.3, 1e-6, 1e-6];
+        let h = hints_from_symbol_bers(&bers, 8);
+        let v = CollisionDetector::default().detect(&h);
+        assert!(v.collision_detected);
+        assert_eq!(v.interfered, vec![false, false, true, true, true, false, false]);
+        assert!(v.interference_free_ber < 1e-4, "ifree {}", v.interference_free_ber);
+        assert!(v.full_ber > 0.1);
+    }
+
+    #[test]
+    fn weak_interference_still_detected() {
+        // Interference that only raises BER to ~5e-3 is still orders of
+        // magnitude above a clean 1e-6 floor and must be caught (this is
+        // the -15 dB relative-power regime of Figure 10).
+        let bers = [1e-6, 1e-6, 5e-3, 6e-3, 5e-3, 1e-6];
+        // (three interfered symbols: at the min_region boundary)
+        let h = hints_from_symbol_bers(&bers, 32);
+        let v = CollisionDetector::default().detect(&h);
+        assert!(v.collision_detected);
+        assert_eq!(v.interfered, vec![false, false, true, true, true, false]);
+    }
+
+    #[test]
+    fn collision_to_frame_end() {
+        let bers = [1e-6, 1e-6, 0.4, 0.4, 0.38];
+        let h = hints_from_symbol_bers(&bers, 4);
+        let v = CollisionDetector::default().detect(&h);
+        assert!(v.collision_detected);
+        assert_eq!(v.interfered, vec![false, false, true, true, true]);
+    }
+
+    #[test]
+    fn collision_from_frame_start() {
+        let bers = [0.4, 0.42, 0.4, 1e-6, 1e-6];
+        let h = hints_from_symbol_bers(&bers, 4);
+        let v = CollisionDetector::default().detect(&h);
+        assert!(v.collision_detected);
+        assert_eq!(v.interfered, vec![true, true, true, false, false]);
+        assert!(v.interference_free_ber < 1e-4);
+    }
+
+    #[test]
+    fn gradual_fade_not_flagged() {
+        // BER creeping up smoothly (deep fade over many symbols): each
+        // adjacent ratio is only 3x, far below the edge ratio.
+        let bers: Vec<f64> = (0..12).map(|j| 1e-5 * 3f64.powi(j)).collect();
+        let h = hints_from_symbol_bers(&bers, 8);
+        let v = CollisionDetector::default().detect(&h);
+        assert!(!v.collision_detected, "gradual fade misflagged as collision");
+    }
+
+    #[test]
+    fn uniformly_bad_frame_not_flagged() {
+        // A deep fade ruining the whole frame has no internal structure;
+        // per-symbol jitter around a high mean must not read as collision.
+        let bers = [0.18, 0.31, 0.22, 0.45, 0.27, 0.38, 0.2];
+        let h = hints_from_symbol_bers(&bers, 8);
+        let v = CollisionDetector::default().detect(&h);
+        assert!(!v.collision_detected, "fade jitter misflagged");
+    }
+
+    #[test]
+    fn single_noisy_symbol_rejected_by_region_check() {
+        // One symbol at 2e-2 inside a frame averaging 2e-3: the edge fires
+        // but the 10x contrast fails the 30x region validation.
+        let bers = [2e-3, 3e-3, 2e-2, 2.5e-3, 2e-3, 3e-3];
+        let h = hints_from_symbol_bers(&bers, 16);
+        let v = CollisionDetector::default().detect(&h);
+        assert!(!v.collision_detected, "single-symbol jitter misflagged");
+    }
+
+    #[test]
+    fn confident_symbol_pairs_make_no_edges() {
+        // 1e-9 vs 1e-6 is a 1000x ratio but far below min_delta: the
+        // absolute floor must suppress it.
+        let bers = [1e-9, 1e-6, 1e-9, 1e-7];
+        let h = hints_from_symbol_bers(&bers, 8);
+        let v = CollisionDetector::default().detect(&h);
+        assert!(!v.collision_detected);
+    }
+
+    #[test]
+    fn two_separate_bursts() {
+        let bers = [1e-6, 0.3, 0.32, 0.31, 1e-6, 1e-6, 0.35, 0.3, 0.33, 1e-6];
+        let h = hints_from_symbol_bers(&bers, 4);
+        let v = CollisionDetector::default().detect(&h);
+        assert_eq!(
+            v.interfered,
+            vec![false, true, true, true, false, false, true, true, true, false]
+        );
+    }
+
+    #[test]
+    fn two_symbol_burst_rejected_by_min_region() {
+        let bers = [1e-6, 0.3, 0.32, 1e-6, 1e-6, 1e-6];
+        let h = hints_from_symbol_bers(&bers, 8);
+        let v = CollisionDetector::default().detect(&h);
+        assert!(!v.collision_detected, "two-symbol burst is below min_region");
+    }
+
+    #[test]
+    fn one_symbol_burst_rejected_by_min_region() {
+        // A single wrecked symbol inside a clean frame: decoder jitter,
+        // not a collision (collisions overlap multiple symbols).
+        let bers = [1e-6, 1e-6, 0.3, 1e-6, 1e-6, 1e-6];
+        let h = hints_from_symbol_bers(&bers, 8);
+        let v = CollisionDetector::default().detect(&h);
+        assert!(!v.collision_detected, "single-symbol burst misflagged");
+    }
+
+    #[test]
+    fn single_symbol_frame_never_detects() {
+        let h = hints_from_symbol_bers(&[0.4], 4);
+        let v = CollisionDetector::default().detect(&h);
+        assert!(!v.collision_detected);
+    }
+
+    #[test]
+    fn nearly_full_frame_collision_accepted() {
+        // Only one clean symbol at the head: too few outside symbols to
+        // validate against, so the span is accepted as-is.
+        let bers = [1e-6, 0.3, 0.32, 0.31, 0.3, 0.29];
+        let h = hints_from_symbol_bers(&bers, 8);
+        let v = CollisionDetector::default().detect(&h);
+        assert!(v.collision_detected);
+        assert_eq!(v.interfered[0], false);
+        assert!(v.interfered[1..].iter().all(|&b| b));
+    }
+
+    #[test]
+    fn custom_parameters_change_sensitivity() {
+        let bers = [1e-4, 1e-4, 8e-4, 8e-4, 1e-4, 1e-4]; // 8x jump, tiny delta
+        let h = hints_from_symbol_bers(&bers, 16);
+        assert!(!CollisionDetector::default().detect(&h).collision_detected);
+        let sensitive = CollisionDetector {
+            edge_ratio: 5.0,
+            min_delta: 5e-4,
+            region_ratio: 4.0,
+            min_region: 1,
+        };
+        assert!(sensitive.detect(&h).collision_detected);
+    }
+}

@@ -1,0 +1,177 @@
+//! SoftPHY hints and BER estimation (paper §3.1).
+//!
+//! The PHY's soft decoder exports one log-likelihood ratio per decoded bit.
+//! The *SoftPHY hint* for bit `k` is `s_k = |LLR(k)|`, and the probability
+//! that the sliced bit `y_k` differs from the transmitted bit `x_k` is
+//!
+//! ```text
+//! p_k = 1 / (1 + e^{s_k})                (paper Eq. 3)
+//! ```
+//!
+//! Averaging `p_k` over a frame estimates the channel BER during that frame
+//! — *without knowing the transmitted bits*, and even when the frame has no
+//! errors at all (the property that makes per-frame rate adaptation
+//! possible: an error-free frame still reveals whether the channel BER is
+//! 1e-4 or 1e-9). Averaging per OFDM symbol (paper Eq. 4) gives the
+//! time-resolved BER profile the interference detector consumes.
+
+use serde::{Deserialize, Serialize};
+
+/// The SoftPHY hint for one bit: the magnitude of its LLR.
+#[inline]
+pub fn hint_from_llr(llr: f64) -> f64 {
+    llr.abs()
+}
+
+/// Error probability of a sliced bit given its SoftPHY hint (paper Eq. 3).
+/// Lies in `(0, 1/2]`.
+#[inline]
+pub fn error_prob_from_hint(hint: f64) -> f64 {
+    debug_assert!(hint >= 0.0);
+    1.0 / (1.0 + hint.exp())
+}
+
+/// Error probability straight from a (signed) LLR.
+#[inline]
+pub fn error_prob_from_llr(llr: f64) -> f64 {
+    error_prob_from_hint(hint_from_llr(llr))
+}
+
+/// Per-frame SoftPHY view: bit error probabilities plus the symbol
+/// structure needed for Eq. 4 aggregation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrameHints {
+    /// `p_k` per information bit.
+    pub probs: Vec<f64>,
+    /// Information bits per OFDM symbol (N_dbps at the frame's rate).
+    pub bits_per_symbol: usize,
+}
+
+impl FrameHints {
+    /// Builds hints from the decoder's LLR output.
+    ///
+    /// `bits_per_symbol` is the number of information bits carried by one
+    /// OFDM symbol ([`softrate_phy::ofdm::Mode::data_bits_per_symbol`]).
+    pub fn from_llrs(llrs: &[f64], bits_per_symbol: usize) -> Self {
+        assert!(bits_per_symbol > 0);
+        FrameHints {
+            probs: llrs.iter().map(|&l| error_prob_from_llr(l)).collect(),
+            bits_per_symbol,
+        }
+    }
+
+    /// The frame-average BER estimate: mean of `p_k` (paper §3.1).
+    pub fn frame_ber(&self) -> f64 {
+        if self.probs.is_empty() {
+            return 0.0;
+        }
+        self.probs.iter().sum::<f64>() / self.probs.len() as f64
+    }
+
+    /// Per-OFDM-symbol average BER `p̄_j` (paper Eq. 4). The final symbol
+    /// may carry fewer information bits; its average is over what it
+    /// carries.
+    pub fn symbol_bers(&self) -> Vec<f64> {
+        self.probs
+            .chunks(self.bits_per_symbol)
+            .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+            .collect()
+    }
+
+    /// Number of OFDM symbols spanned.
+    pub fn n_symbols(&self) -> usize {
+        self.probs.len().div_ceil(self.bits_per_symbol)
+    }
+
+    /// Mean BER over a subset of symbols (`true` entries of `mask` are
+    /// *excluded*) — the interference-free BER of paper §3.2. Falls back to
+    /// the full-frame BER if the mask excludes everything.
+    pub fn ber_excluding(&self, excluded_symbols: &[bool]) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for (j, chunk) in self.probs.chunks(self.bits_per_symbol).enumerate() {
+            if excluded_symbols.get(j).copied().unwrap_or(false) {
+                continue;
+            }
+            sum += chunk.iter().sum::<f64>();
+            count += chunk.len();
+        }
+        if count == 0 {
+            self.frame_ber()
+        } else {
+            sum / count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hint_is_absolute_llr() {
+        assert_eq!(hint_from_llr(3.5), 3.5);
+        assert_eq!(hint_from_llr(-3.5), 3.5);
+        assert_eq!(hint_from_llr(0.0), 0.0);
+    }
+
+    #[test]
+    fn zero_hint_means_coin_flip() {
+        assert!((error_prob_from_hint(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_prob_decreases_with_hint() {
+        let mut prev = 0.6;
+        for s in [0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0] {
+            let p = error_prob_from_hint(s);
+            assert!(p < prev);
+            assert!(p > 0.0 && p <= 0.5);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn eq3_closed_form_checks() {
+        // s = ln((1-p)/p)  =>  p = 1/(1+e^s). For p = 0.1, s = ln 9.
+        let s = (0.9f64 / 0.1).ln();
+        assert!((error_prob_from_hint(s) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frame_ber_is_mean_of_probs() {
+        let llrs = vec![0.0, 0.0, 100.0, 100.0]; // p = .5, .5, ~0, ~0
+        let h = FrameHints::from_llrs(&llrs, 2);
+        assert!((h.frame_ber() - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn symbol_bers_group_correctly() {
+        // 2 bits per symbol: [coin, coin], [confident, confident], [coin]
+        let llrs = vec![0.0, 0.0, 50.0, -50.0, 0.0];
+        let h = FrameHints::from_llrs(&llrs, 2);
+        let sb = h.symbol_bers();
+        assert_eq!(sb.len(), 3);
+        assert!((sb[0] - 0.5).abs() < 1e-9);
+        assert!(sb[1] < 1e-9);
+        assert!((sb[2] - 0.5).abs() < 1e-9, "partial last symbol averaged over its own bits");
+        assert_eq!(h.n_symbols(), 3);
+    }
+
+    #[test]
+    fn ber_excluding_masks_symbols() {
+        let llrs = vec![0.0, 0.0, 50.0, 50.0]; // symbol0 = 0.5, symbol1 ~ 0
+        let h = FrameHints::from_llrs(&llrs, 2);
+        let ifree = h.ber_excluding(&[true, false]);
+        assert!(ifree < 1e-9, "excluding the bad symbol leaves the clean one");
+        let all_masked = h.ber_excluding(&[true, true]);
+        assert!((all_masked - h.frame_ber()).abs() < 1e-12, "full mask falls back to frame BER");
+    }
+
+    #[test]
+    fn empty_frame_ber_is_zero() {
+        let h = FrameHints::from_llrs(&[], 8);
+        assert_eq!(h.frame_ber(), 0.0);
+        assert_eq!(h.n_symbols(), 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! # softrate-core — the SoftRate cross-layer rate adaptation system
+//!
+//! The paper's primary contribution (SIGCOMM 2009), implemented over the
+//! [`softrate_phy`] substrate:
+//!
+//! * [`hints`] — SoftPHY hints `s_k = |LLR(k)|` and the per-bit error
+//!   probability `p_k = 1/(1+e^{s_k})` (Eq. 3); frame-level and per-symbol
+//!   (Eq. 4) BER estimation *that works on error-free frames*.
+//! * [`collision`] — the interference detector: sudden per-symbol BER jumps
+//!   are collisions, gradual changes are fading; computes the
+//!   interference-free BER that gets fed back (§3.2).
+//! * [`prediction`] — cross-rate BER prediction without SNR–BER curves
+//!   (the ×10-per-rate rule, §3.3).
+//! * [`recovery`] — pluggable error-recovery goodput models (frame ARQ,
+//!   chunked hybrid ARQ); thresholds are derived from these, which is what
+//!   decouples rate adaptation from error recovery.
+//! * [`thresholds`] — the optimal (α_i, β_i) tables and the jump-window
+//!   rate selection rule.
+//! * [`softrate`] — the sender state machine: per-frame BER feedback,
+//!   collision robustness, 3-silent-loss fallback.
+//! * [`adapter`] — the [`adapter::RateAdapter`] trait every algorithm
+//!   (SoftRate and all baselines in `softrate-adapt`) implements, so the
+//!   simulator can drive them interchangeably.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adapter;
+pub mod collision;
+pub mod hints;
+pub mod prediction;
+pub mod recovery;
+pub mod softrate;
+pub mod thresholds;
+
+/// Convenient glob-import of the most common items.
+pub mod prelude {
+    pub use crate::adapter::{RateAdapter, RateIdx, TxAttempt, TxOutcome};
+    pub use crate::collision::{
+        CollisionDetector, CollisionVerdict, DEFAULT_EDGE_RATIO, DEFAULT_MIN_DELTA,
+        DEFAULT_REGION_RATIO,
+    };
+    pub use crate::hints::{
+        error_prob_from_hint, error_prob_from_llr, hint_from_llr, FrameHints,
+    };
+    pub use crate::prediction::{clamp_ber, predict_ber, BER_CEIL, BER_FLOOR};
+    pub use crate::recovery::{ChunkedHarq, ErrorRecovery, FrameArq};
+    pub use crate::softrate::{SoftRate, SoftRateConfig};
+    pub use crate::thresholds::{select_rate, RateThresholds};
+}

@@ -1,0 +1,85 @@
+//! Cross-rate BER prediction (paper §3.3).
+//!
+//! SoftRate deliberately avoids SNR–BER curves (they depend on radio and
+//! environment). It relies on two robust observations instead:
+//!
+//! 1. at any SNR, BER increases monotonically with the bit-rate index, and
+//! 2. within the usable range (BER below ~1e-2), each step up the rate
+//!    table costs *at least* a factor of 10 in BER.
+//!
+//! So from a measured BER `b` at rate `i`, the BER at rate `j` is predicted
+//! as `b * 10^(j-i)`, clamped to a sane range. Figure 5 of the paper (and
+//! our `fig05_ber_across_rates` harness) validates both observations on
+//! walking-trace data.
+
+/// Lowest representable predicted BER. An error-free frame of `L` bits can
+/// only certify BER down to roughly `1/L`, but the SoftPHY estimate itself
+/// extends further (paper Fig. 7b reaches 1e-7); the floor merely keeps the
+/// arithmetic finite.
+pub const BER_FLOOR: f64 = 1e-9;
+
+/// Highest meaningful BER (random bits).
+pub const BER_CEIL: f64 = 0.5;
+
+/// Decades of BER separating adjacent rates (observation 2: "at least a
+/// factor of 10").
+pub const DECADES_PER_RATE: f64 = 1.0;
+
+/// Clamps a BER estimate into `[BER_FLOOR, BER_CEIL]`.
+#[inline]
+pub fn clamp_ber(ber: f64) -> f64 {
+    ber.clamp(BER_FLOOR, BER_CEIL)
+}
+
+/// Predicts the BER at rate index `to` from a measurement at rate index
+/// `from` (indices into the same ordered rate table).
+pub fn predict_ber(ber_at_from: f64, from: usize, to: usize) -> f64 {
+    let b = clamp_ber(ber_at_from);
+    let steps = to as f64 - from as f64;
+    clamp_ber(b * 10f64.powf(steps * DECADES_PER_RATE))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_rate_is_identity_within_clamp() {
+        assert_eq!(predict_ber(1e-4, 3, 3), 1e-4);
+        assert_eq!(predict_ber(0.0, 3, 3), BER_FLOOR);
+        assert_eq!(predict_ber(0.9, 3, 3), BER_CEIL);
+    }
+
+    #[test]
+    fn one_step_up_is_one_decade() {
+        assert!((predict_ber(1e-5, 2, 3) - 1e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_step_down_is_one_decade() {
+        assert!((predict_ber(1e-3, 4, 3) - 1e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_step_jumps() {
+        assert!((predict_ber(1e-6, 1, 4) - 1e-3).abs() < 1e-12);
+        assert!((predict_ber(1e-2, 5, 2) - 1e-5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predictions_clamp_at_both_ends() {
+        assert_eq!(predict_ber(0.3, 0, 5), BER_CEIL);
+        assert_eq!(predict_ber(1e-8, 5, 0), BER_FLOOR);
+    }
+
+    #[test]
+    fn prediction_is_monotone_in_rate() {
+        let b = 3e-5;
+        let mut prev = 0.0;
+        for j in 0..6 {
+            let p = predict_ber(b, 2, j);
+            assert!(p >= prev, "prediction must not decrease with rate index");
+            prev = p;
+        }
+    }
+}

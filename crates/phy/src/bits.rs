@@ -1,0 +1,149 @@
+//! Bit-level utilities: byte/bit conversion and a deterministic payload
+//! generator used to compute ground-truth BER (the receiver-side experiments
+//! check decoded bits against the known transmitted payload, exactly as the
+//! paper does in §5.2).
+
+/// Unpacks bytes into bits, LSB first within each byte (802.11 bit ordering).
+pub fn bytes_to_bits(bytes: &[u8]) -> Vec<u8> {
+    let mut bits = Vec::with_capacity(bytes.len() * 8);
+    for &b in bytes {
+        for i in 0..8 {
+            bits.push((b >> i) & 1);
+        }
+    }
+    bits
+}
+
+/// Packs bits (LSB first) into bytes. Trailing bits short of a full byte are
+/// packed into a final byte padded with zeros.
+pub fn bits_to_bytes(bits: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(bits.len().div_ceil(8));
+    for chunk in bits.chunks(8) {
+        let mut b = 0u8;
+        for (i, &bit) in chunk.iter().enumerate() {
+            b |= (bit & 1) << i;
+        }
+        bytes.push(b);
+    }
+    bytes
+}
+
+/// Counts positions where two equal-length bit slices differ.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn hamming_distance(a: &[u8], b: &[u8]) -> usize {
+    assert_eq!(a.len(), b.len(), "hamming_distance on unequal lengths");
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+/// Fraction of differing bits between two equal-length bit slices; the
+/// ground-truth BER of a reception.
+pub fn bit_error_rate(sent: &[u8], received: &[u8]) -> f64 {
+    if sent.is_empty() {
+        return 0.0;
+    }
+    hamming_distance(sent, received) as f64 / sent.len() as f64
+}
+
+/// Deterministic pseudo-random payload of `len` bytes derived from `seed`.
+///
+/// Uses a splitmix64 sequence so payload generation needs no external RNG
+/// state; the same `(seed, len)` always yields the same payload, letting any
+/// component regenerate the ground truth for a frame it knows the seed of.
+pub fn deterministic_payload(seed: u64, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut x = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    while out.len() < len {
+        let mut z = x;
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        for byte in z.to_le_bytes() {
+            if out.len() == len {
+                break;
+            }
+            out.push(byte);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_bits_roundtrip() {
+        let data = [0x00, 0xFF, 0xA5, 0x3C, 0x01, 0x80];
+        let bits = bytes_to_bits(&data);
+        assert_eq!(bits.len(), data.len() * 8);
+        assert_eq!(bits_to_bytes(&bits), data);
+    }
+
+    #[test]
+    fn lsb_first_ordering() {
+        let bits = bytes_to_bits(&[0b0000_0001]);
+        assert_eq!(bits[0], 1);
+        assert!(bits[1..].iter().all(|&b| b == 0));
+        let bits = bytes_to_bits(&[0b1000_0000]);
+        assert_eq!(bits[7], 1);
+        assert!(bits[..7].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn partial_byte_packing_pads_with_zeros() {
+        let bits = [1, 0, 1];
+        assert_eq!(bits_to_bytes(&bits), vec![0b0000_0101]);
+    }
+
+    #[test]
+    fn hamming_distance_counts() {
+        assert_eq!(hamming_distance(&[0, 1, 0, 1], &[0, 1, 0, 1]), 0);
+        assert_eq!(hamming_distance(&[0, 1, 0, 1], &[1, 0, 1, 0]), 4);
+        assert_eq!(hamming_distance(&[0, 0, 0, 0], &[0, 0, 0, 1]), 1);
+    }
+
+    #[test]
+    fn ber_of_empty_is_zero() {
+        assert_eq!(bit_error_rate(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn ber_counts_fraction() {
+        let a = [0u8; 10];
+        let mut b = [0u8; 10];
+        b[3] = 1;
+        b[7] = 1;
+        assert!((bit_error_rate(&a, &b) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_payload_is_reproducible_and_seed_sensitive() {
+        let p1 = deterministic_payload(42, 100);
+        let p2 = deterministic_payload(42, 100);
+        let p3 = deterministic_payload(43, 100);
+        assert_eq!(p1, p2);
+        assert_ne!(p1, p3);
+        assert_eq!(p1.len(), 100);
+    }
+
+    #[test]
+    fn deterministic_payload_prefix_property() {
+        // Same seed, shorter length must be a prefix of the longer payload,
+        // so ground truth can be regenerated for truncated frames.
+        let long = deterministic_payload(7, 64);
+        let short = deterministic_payload(7, 16);
+        assert_eq!(&long[..16], &short[..]);
+    }
+
+    #[test]
+    fn deterministic_payload_is_balanced() {
+        // A pseudo-random payload should be roughly half ones.
+        let bits = bytes_to_bits(&deterministic_payload(1, 4096));
+        let ones: usize = bits.iter().map(|&b| b as usize).sum();
+        let frac = ones as f64 / bits.len() as f64;
+        assert!((frac - 0.5).abs() < 0.02, "ones fraction {frac}");
+    }
+}

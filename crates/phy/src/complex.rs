@@ -1,0 +1,272 @@
+//! Minimal complex arithmetic for baseband signal processing.
+//!
+//! The PHY operates on complex baseband samples (one per OFDM subcarrier per
+//! symbol). We implement the small slice of complex math we need rather than
+//! pulling in an external numerics crate; everything is `f64` for numerical
+//! headroom in the log-domain decoder.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex {
+    /// Real (in-phase) component.
+    pub re: f64,
+    /// Imaginary (quadrature) component.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular coordinates.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a complex number from polar coordinates (magnitude, phase in
+    /// radians).
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// `e^{i theta}`: a unit-magnitude complex number at phase `theta`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude `|z|^2` (avoids the square root of [`Self::abs`]).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Phase angle in radians, in `(-pi, pi]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplication by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Complex::new(self.re * s, self.im * s)
+    }
+
+    /// True if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.norm_sqr();
+        Complex::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+/// Mean power (`|z|^2` averaged) of a slice of samples.
+pub fn mean_power(samples: &[Complex]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().map(|s| s.norm_sqr()).sum::<f64>() / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Complex::new(1.5, -2.5);
+        let b = Complex::new(-0.5, 4.0);
+        let c = a + b - b;
+        assert!(close(c.re, a.re) && close(c.im, a.im));
+    }
+
+    #[test]
+    fn mul_matches_polar() {
+        let a = Complex::from_polar(2.0, 0.3);
+        let b = Complex::from_polar(3.0, -1.1);
+        let p = a * b;
+        assert!(close(p.abs(), 6.0));
+        assert!(close(p.arg(), 0.3 - 1.1));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex::new(3.0, -4.0);
+        let b = Complex::new(-1.0, 2.0);
+        let q = (a * b) / b;
+        assert!(close(q.re, a.re) && close(q.im, a.im));
+    }
+
+    #[test]
+    fn conjugate_norm() {
+        let a = Complex::new(3.0, 4.0);
+        assert!(close((a * a.conj()).re, 25.0));
+        assert!(close((a * a.conj()).im, 0.0));
+        assert!(close(a.abs(), 5.0));
+    }
+
+    #[test]
+    fn cis_is_unit_magnitude() {
+        for k in 0..16 {
+            let z = Complex::cis(k as f64 * 0.7);
+            assert!(close(z.abs(), 1.0));
+        }
+    }
+
+    #[test]
+    fn mean_power_of_unit_circle() {
+        let v: Vec<Complex> = (0..100).map(|k| Complex::cis(k as f64)).collect();
+        assert!(close(mean_power(&v), 1.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(format!("{}", Complex::new(1.0, -1.0)), "1.000000-1.000000i");
+        assert_eq!(format!("{}", Complex::new(1.0, 1.0)), "1.000000+1.000000i");
+    }
+
+    #[test]
+    fn sum_of_symmetric_points_is_zero() {
+        let v = [Complex::new(1.0, 2.0), Complex::new(-1.0, -2.0)];
+        let s: Complex = v.into_iter().sum();
+        assert!(close(s.re, 0.0) && close(s.im, 0.0));
+    }
+}

@@ -1,0 +1,198 @@
+//! The 802.11 rate-1/2 convolutional encoder (constraint length 7,
+//! generators 133/171 octal) with the standard puncturing to rates 2/3 and
+//! 3/4 (paper §4: "incoming data passes through a standard rate-1/2
+//! convolutional encoder, after which it is punctured at varying code
+//! rates").
+
+use crate::rates::CodeRate;
+
+/// Constraint length of the 802.11 mother code.
+pub const CONSTRAINT_LENGTH: usize = 7;
+/// Number of encoder states (2^(K-1)).
+pub const NUM_STATES: usize = 1 << (CONSTRAINT_LENGTH - 1);
+/// Generator polynomial A (0o133).
+pub const GEN_A: u32 = 0o133;
+/// Generator polynomial B (0o171).
+pub const GEN_B: u32 = 0o171;
+/// Number of zero tail bits appended to terminate the trellis in state 0.
+pub const TAIL_BITS: usize = CONSTRAINT_LENGTH - 1;
+
+#[inline]
+fn parity(x: u32) -> u8 {
+    (x.count_ones() & 1) as u8
+}
+
+/// Computes the (A, B) output pair for input bit `bit` in state `state`.
+///
+/// State convention: the 6-bit register holds the most recent input bit in
+/// its MSB (bit 5). The 7-bit generator window is `bit` (bit 6) followed by
+/// the state.
+#[inline]
+pub fn encode_step(state: usize, bit: u8) -> (u8, u8, usize) {
+    debug_assert!(state < NUM_STATES);
+    debug_assert!(bit <= 1);
+    let window = ((bit as u32) << (CONSTRAINT_LENGTH - 1)) | state as u32;
+    let a = parity(window & GEN_A);
+    let b = parity(window & GEN_B);
+    let next = (window >> 1) as usize;
+    (a, b, next)
+}
+
+/// Encodes `info` bits with the rate-1/2 mother code, appending
+/// [`TAIL_BITS`] zero bits so the trellis terminates in state 0.
+///
+/// Output is the interleaved stream `[A1, B1, A2, B2, ...]` of length
+/// `2 * (info.len() + TAIL_BITS)`.
+pub fn encode(info: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 * (info.len() + TAIL_BITS));
+    let mut state = 0usize;
+    for &bit in info.iter().chain(std::iter::repeat(&0u8).take(TAIL_BITS)) {
+        let (a, b, next) = encode_step(state, bit);
+        out.push(a);
+        out.push(b);
+        state = next;
+    }
+    debug_assert_eq!(state, 0, "tail bits must terminate the trellis");
+    out
+}
+
+/// Punctures a rate-1/2 coded stream to the target code rate by deleting the
+/// positions marked `false` in the rate's puncture pattern.
+pub fn puncture(coded: &[u8], rate: CodeRate) -> Vec<u8> {
+    let pattern = rate.puncture_pattern();
+    coded
+        .iter()
+        .zip(pattern.iter().cycle())
+        .filter_map(|(&bit, &keep)| keep.then_some(bit))
+        .collect()
+}
+
+/// Number of transmitted (punctured) bits for `n_coded` mother-code bits.
+pub fn punctured_len(n_coded: usize, rate: CodeRate) -> usize {
+    let pattern = rate.puncture_pattern();
+    let period = pattern.len();
+    let kept_per_period = pattern.iter().filter(|&&k| k).count();
+    let full = n_coded / period;
+    let rem = n_coded % period;
+    full * kept_per_period + pattern[..rem].iter().filter(|&&k| k).count()
+}
+
+/// Number of transmitted bits for `n_info` information bits (tail included).
+pub fn coded_len(n_info: usize, rate: CodeRate) -> usize {
+    punctured_len(2 * (n_info + TAIL_BITS), rate)
+}
+
+/// Re-inserts erasures (LLR 0) at punctured positions, recovering a
+/// rate-1/2-aligned LLR stream of length `n_coded` for the decoder.
+///
+/// `llrs` holds one log-likelihood ratio per *transmitted* bit (positive
+/// favours 1). Punctured positions carry no channel information, so the
+/// decoder treats them as LLR 0.
+pub fn depuncture(llrs: &[f64], rate: CodeRate, n_coded: usize) -> Vec<f64> {
+    let pattern = rate.puncture_pattern();
+    let mut out = Vec::with_capacity(n_coded);
+    let mut it = llrs.iter();
+    for i in 0..n_coded {
+        if pattern[i % pattern.len()] {
+            out.push(*it.next().unwrap_or(&0.0));
+        } else {
+            out.push(0.0);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::bytes_to_bits;
+
+    #[test]
+    fn encoder_output_length() {
+        let info = vec![1, 0, 1, 1];
+        let coded = encode(&info);
+        assert_eq!(coded.len(), 2 * (4 + TAIL_BITS));
+    }
+
+    #[test]
+    fn encoder_known_vector() {
+        // All-zero input must produce all-zero output (linear code).
+        let coded = encode(&[0; 16]);
+        assert!(coded.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn encoder_impulse_response() {
+        // A single 1 followed by zeros emits the generator taps:
+        // A outputs = bits of 133 octal MSB-first, B = 171 octal.
+        let coded = encode(&[1, 0, 0, 0, 0, 0, 0]);
+        let a: Vec<u8> = coded.iter().step_by(2).copied().collect();
+        let b: Vec<u8> = coded.iter().skip(1).step_by(2).copied().collect();
+        // 0o133 = 1011011 (window MSB = newest bit) read out over 7 steps:
+        // step k sees the impulse in window position 6-k.
+        let g_a = [1, 0, 1, 1, 0, 1, 1]; // 0o133 bits from bit6 down to bit0
+        let g_b = [1, 1, 1, 1, 0, 0, 1]; // 0o171
+        assert_eq!(&a[..7], &g_a);
+        assert_eq!(&b[..7], &g_b);
+    }
+
+    #[test]
+    fn trellis_terminates_in_zero_state() {
+        // encode() debug-asserts termination; exercise a few payloads.
+        for seed in 0..8u64 {
+            let payload = crate::bits::deterministic_payload(seed, 32);
+            let _ = encode(&bytes_to_bits(&payload));
+        }
+    }
+
+    #[test]
+    fn puncture_lengths() {
+        let coded = vec![0u8; 24];
+        assert_eq!(puncture(&coded, CodeRate::Half).len(), 24);
+        assert_eq!(puncture(&coded, CodeRate::TwoThirds).len(), 18);
+        assert_eq!(puncture(&coded, CodeRate::ThreeQuarters).len(), 16);
+        for r in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
+            assert_eq!(puncture(&coded, r).len(), punctured_len(24, r));
+        }
+    }
+
+    #[test]
+    fn punctured_len_partial_period() {
+        // 5 coded bits at 3/4: pattern [T T T F F T], first 5 => 3 kept.
+        assert_eq!(punctured_len(5, CodeRate::ThreeQuarters), 3);
+        assert_eq!(punctured_len(1, CodeRate::TwoThirds), 1);
+    }
+
+    #[test]
+    fn depuncture_restores_positions() {
+        // Encode a known stream, puncture, then depuncture LLRs built from
+        // the punctured bits; kept positions must carry the bit sign and
+        // deleted positions must be exactly 0.
+        let coded: Vec<u8> = (0..12).map(|i| (i % 2) as u8).collect();
+        let rate = CodeRate::ThreeQuarters;
+        let punct = puncture(&coded, rate);
+        let llrs: Vec<f64> = punct.iter().map(|&b| if b == 1 { 5.0 } else { -5.0 }).collect();
+        let restored = depuncture(&llrs, rate, coded.len());
+        assert_eq!(restored.len(), coded.len());
+        let pattern = rate.puncture_pattern();
+        for (i, &l) in restored.iter().enumerate() {
+            if pattern[i % pattern.len()] {
+                let expect = if coded[i] == 1 { 5.0 } else { -5.0 };
+                assert_eq!(l, expect, "position {i}");
+            } else {
+                assert_eq!(l, 0.0, "punctured position {i} must be erased");
+            }
+        }
+    }
+
+    #[test]
+    fn coded_len_matches_pipeline() {
+        for rate in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
+            for n in [1usize, 7, 64, 100] {
+                let info = vec![0u8; n];
+                let tx = puncture(&encode(&info), rate);
+                assert_eq!(tx.len(), coded_len(n, rate), "n={n} rate={rate:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Frame check sequences.
+//!
+//! SoftRate frames carry two CRCs (paper §3): the usual CRC-32 over the whole
+//! payload (the 802.11 FCS), plus a *separate CRC-16 over the link-layer
+//! header* so that the receiver can identify the sender/receiver of a frame
+//! and send BER feedback even when the payload has bit errors.
+
+/// CRC-32 (IEEE 802.3 polynomial 0x04C11DB7, reflected), as used for the
+/// 802.11 frame check sequence.
+pub fn crc32(data: &[u8]) -> u32 {
+    const POLY: u32 = 0xEDB8_8320; // reflected 0x04C11DB7
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (POLY & mask);
+        }
+    }
+    !crc
+}
+
+/// CRC-16/CCITT-FALSE (polynomial 0x1021, init 0xFFFF), used for the
+/// link-layer header check.
+pub fn crc16(data: &[u8]) -> u16 {
+    const POLY: u16 = 0x1021;
+    let mut crc: u16 = 0xFFFF;
+    for &byte in data {
+        crc ^= (byte as u16) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ POLY;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// Appends a little-endian CRC-32 to `data`.
+pub fn append_crc32(data: &mut Vec<u8>) {
+    let c = crc32(data);
+    data.extend_from_slice(&c.to_le_bytes());
+}
+
+/// Verifies and strips a trailing little-endian CRC-32. Returns the payload
+/// without the CRC if it matches, `None` otherwise.
+pub fn check_crc32(data: &[u8]) -> Option<&[u8]> {
+    if data.len() < 4 {
+        return None;
+    }
+    let (payload, tail) = data.split_at(data.len() - 4);
+    let expected = u32::from_le_bytes([tail[0], tail[1], tail[2], tail[3]]);
+    if crc32(payload) == expected {
+        Some(payload)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_check_vector() {
+        // Standard test vector: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc16_check_vector() {
+        // CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+        assert_eq!(crc16(b"123456789"), 0x29B1);
+    }
+
+    #[test]
+    fn crc32_empty() {
+        assert_eq!(crc32(&[]), 0x0000_0000);
+    }
+
+    #[test]
+    fn append_and_check_roundtrip() {
+        let mut data = b"softrate frame payload".to_vec();
+        append_crc32(&mut data);
+        assert_eq!(check_crc32(&data), Some(&b"softrate frame payload"[..]));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_check() {
+        let mut data = b"hello world".to_vec();
+        append_crc32(&mut data);
+        data[2] ^= 0x04;
+        assert_eq!(check_crc32(&data), None);
+    }
+
+    #[test]
+    fn corrupted_crc_fails_check() {
+        let mut data = b"hello world".to_vec();
+        append_crc32(&mut data);
+        let n = data.len();
+        data[n - 1] ^= 0x80;
+        assert_eq!(check_crc32(&data), None);
+    }
+
+    #[test]
+    fn short_input_fails_check() {
+        assert_eq!(check_crc32(&[1, 2, 3]), None);
+        assert_eq!(check_crc32(&[]), None);
+    }
+
+    #[test]
+    fn single_bit_sensitivity() {
+        // Flipping any single bit in a short message must change the CRC.
+        let base = b"abcdef".to_vec();
+        let c0 = crc32(&base);
+        for i in 0..base.len() * 8 {
+            let mut m = base.clone();
+            m[i / 8] ^= 1 << (i % 8);
+            assert_ne!(crc32(&m), c0, "bit {i} undetected");
+        }
+    }
+}

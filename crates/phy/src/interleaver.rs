@@ -1,0 +1,142 @@
+//! The 802.11a per-OFDM-symbol block interleaver.
+//!
+//! Coded bits within one OFDM symbol are interleaved so that adjacent coded
+//! bits land on non-adjacent subcarriers (first permutation) and alternate
+//! between high- and low-reliability constellation bit positions (second
+//! permutation). The paper relies on this (§4): frequency-selective fading
+//! corrupts a few subcarriers across *all* symbols, while a collision
+//! corrupts *all* subcarriers in a few symbols — which is what makes the
+//! per-symbol BER jump a reliable collision signature.
+
+/// Block interleaver for one OFDM symbol of `ncbps` coded bits carrying
+/// `nbpsc` bits per subcarrier.
+#[derive(Debug, Clone)]
+pub struct Interleaver {
+    ncbps: usize,
+    /// `perm[k]` = output position of input bit `k`.
+    perm: Vec<usize>,
+    /// `inv[j]` = input position that lands at output `j`.
+    inv: Vec<usize>,
+}
+
+impl Interleaver {
+    /// Builds the interleaver for a symbol of `ncbps` coded bits at `nbpsc`
+    /// bits per subcarrier. `ncbps` must be a multiple of 16 (true for all
+    /// modes in this crate, as in 802.11a).
+    pub fn new(ncbps: usize, nbpsc: usize) -> Self {
+        assert!(ncbps % 16 == 0, "Ncbps must be a multiple of 16");
+        assert!(ncbps % nbpsc == 0);
+        let s = (nbpsc / 2).max(1);
+        let mut perm = vec![0usize; ncbps];
+        for k in 0..ncbps {
+            // First permutation: write row-wise into 16 columns, read
+            // column-wise.
+            let i = (ncbps / 16) * (k % 16) + k / 16;
+            // Second permutation: rotate within groups of s so adjacent
+            // coded bits map alternately onto more/less significant
+            // constellation bits.
+            let j = s * (i / s) + (i + ncbps - (16 * i) / ncbps) % s;
+            perm[k] = j;
+        }
+        let mut inv = vec![0usize; ncbps];
+        for (k, &j) in perm.iter().enumerate() {
+            inv[j] = k;
+        }
+        Interleaver { ncbps, perm, inv }
+    }
+
+    /// Coded bits per symbol this interleaver was built for.
+    pub fn ncbps(&self) -> usize {
+        self.ncbps
+    }
+
+    /// Interleaves one symbol's worth of coded bits.
+    pub fn interleave(&self, bits: &[u8]) -> Vec<u8> {
+        assert_eq!(bits.len(), self.ncbps);
+        let mut out = vec![0u8; self.ncbps];
+        for (k, &b) in bits.iter().enumerate() {
+            out[self.perm[k]] = b;
+        }
+        out
+    }
+
+    /// Deinterleaves one symbol's worth of per-bit LLRs (receiver side).
+    pub fn deinterleave_llrs(&self, llrs: &[f64]) -> Vec<f64> {
+        assert_eq!(llrs.len(), self.ncbps);
+        let mut out = vec![0.0f64; self.ncbps];
+        for (j, &l) in llrs.iter().enumerate() {
+            out[self.inv[j]] = l;
+        }
+        out
+    }
+
+    /// Deinterleaves hard bits (used in tests).
+    pub fn deinterleave_bits(&self, bits: &[u8]) -> Vec<u8> {
+        assert_eq!(bits.len(), self.ncbps);
+        let mut out = vec![0u8; self.ncbps];
+        for (j, &b) in bits.iter().enumerate() {
+            out[self.inv[j]] = b;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::{bytes_to_bits, deterministic_payload};
+
+    #[test]
+    fn permutation_is_bijective() {
+        for (ncbps, nbpsc) in [(96, 1), (192, 2), (384, 4), (576, 6), (768, 2)] {
+            let il = Interleaver::new(ncbps, nbpsc);
+            let mut seen = vec![false; ncbps];
+            for &j in &il.perm {
+                assert!(j < ncbps);
+                assert!(!seen[j], "collision at {j} for ncbps={ncbps}");
+                seen[j] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn interleave_deinterleave_roundtrip() {
+        let il = Interleaver::new(192, 2);
+        let bits = bytes_to_bits(&deterministic_payload(1, 24));
+        let inter = il.interleave(&bits);
+        assert_ne!(inter, bits, "interleaver must actually move bits");
+        assert_eq!(il.deinterleave_bits(&inter), bits);
+    }
+
+    #[test]
+    fn llr_deinterleave_matches_bit_deinterleave() {
+        let il = Interleaver::new(96, 1);
+        let bits = bytes_to_bits(&deterministic_payload(2, 12));
+        let inter = il.interleave(&bits);
+        let llrs: Vec<f64> = inter.iter().map(|&b| if b == 1 { 1.0 } else { -1.0 }).collect();
+        let de = il.deinterleave_llrs(&llrs);
+        for (l, &b) in de.iter().zip(&bits) {
+            assert_eq!(*l > 0.0, b == 1);
+        }
+    }
+
+    #[test]
+    fn adjacent_bits_spread_across_subcarriers() {
+        // The defining property: adjacent coded bits must never land on the
+        // same or adjacent subcarriers.
+        let nbpsc = 4;
+        let il = Interleaver::new(384, nbpsc);
+        for k in 0..383 {
+            let sc_a = il.perm[k] / nbpsc;
+            let sc_b = il.perm[k + 1] / nbpsc;
+            let dist = sc_a.abs_diff(sc_b);
+            assert!(dist >= 2, "bits {k},{} land on subcarriers {sc_a},{sc_b}", k + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 16")]
+    fn rejects_bad_ncbps() {
+        Interleaver::new(90, 1);
+    }
+}

@@ -1,0 +1,79 @@
+//! # softrate-phy — an 802.11a/g-like software PHY with soft outputs
+//!
+//! This crate is the physical-layer substrate of the SoftRate reproduction
+//! (SIGCOMM 2009). It implements, from scratch, everything the paper's GNU
+//! Radio prototype provided:
+//!
+//! * the 802.11 rate-1/2 constraint-7 convolutional code with puncturing to
+//!   2/3 and 3/4 ([`convolutional`]),
+//! * a soft-output **BCJR (log-MAP) decoder** emitting per-bit LLRs — the
+//!   source of SoftPHY hints ([`bcjr`]) — plus Viterbi/SOVA for comparison
+//!   ([`viterbi`]),
+//! * Gray-mapped BPSK/QPSK/QAM16/QAM64 with an exact soft demapper
+//!   ([`modulation`]),
+//! * the 802.11 per-symbol block interleaver ([`interleaver`]),
+//! * OFDM operating modes matching the paper's Table 3 ([`ofdm`]),
+//! * frame assembly/reception with separately CRC-protected headers,
+//!   preamble-based channel/SNR estimation and pilot tracking ([`frame`],
+//!   [`snr`], [`crc`]),
+//! * the full bit-rate table of Table 2 ([`rates`]).
+//!
+//! The crate is deterministic and allocation-light; all randomness lives in
+//! callers (the channel simulator seeds everything explicitly).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use softrate_phy::prelude::*;
+//!
+//! // Build a frame at QPSK 3/4 in the 20 MHz simulation mode.
+//! let cfg = FrameConfig::new(SIMULATION, ALL_RATES[3]);
+//! let header = FrameHeader { src: 1, dst: 2, rate_idx: 0, payload_len: 0, seq: 7, flags: 0 };
+//! let payload = deterministic_payload(1, 120);
+//! let tx = build_frame(header, &payload, &cfg);
+//!
+//! // Loop it back over a perfect channel and decode.
+//! let rx = receive_frame(&tx.symbols, &SIMULATION, DemapMethod::Exact, DEFAULT_LLR_CLIP);
+//! assert!(rx.crc_ok);
+//! assert_eq!(rx.payload.as_deref(), Some(&payload[..]));
+//! // Per-bit LLRs are the SoftPHY hint source.
+//! assert_eq!(rx.llrs.len(), tx.info_bits.len());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bcjr;
+pub mod bits;
+pub mod complex;
+pub mod convolutional;
+pub mod crc;
+pub mod frame;
+pub mod interleaver;
+pub mod modulation;
+pub mod ofdm;
+pub mod rates;
+pub mod scrambler;
+pub mod snr;
+pub mod trellis;
+pub mod viterbi;
+
+/// Convenient glob-import of the most common items.
+pub mod prelude {
+    pub use crate::bcjr::{BcjrDecoder, SoftDecode};
+    pub use crate::bits::{bit_error_rate, bits_to_bytes, bytes_to_bits, deterministic_payload};
+    pub use crate::complex::Complex;
+    pub use crate::frame::{
+        build_frame, frame_airtime_secs, frame_symbol_count, receive_frame, FrameConfig,
+        FrameHeader, RxFrame, TxFrame, DEFAULT_LLR_CLIP, FLAG_FEEDBACK, FLAG_POSTAMBLE,
+        HEADER_RATE,
+    };
+    pub use crate::modulation::DemapMethod;
+    pub use crate::ofdm::{Mode, ALL_MODES, LONG_RANGE, SHORT_RANGE, SIMULATION};
+    pub use crate::rates::{
+        rate_index, BitRate, CodeRate, Modulation, ALL_RATES, NUM_PAPER_RATES, PAPER_RATES,
+    };
+    pub use crate::snr::{
+        estimate_channel, ChannelEstimate, NUM_POSTAMBLE_SYMBOLS, NUM_PREAMBLE_SYMBOLS,
+    };
+}

@@ -1,0 +1,330 @@
+//! Gray-coded constellation mapping and soft demapping.
+//!
+//! The mapper takes interleaved coded bits to 802.11a constellation points
+//! (unit average energy). The demapper produces per-coded-bit
+//! log-likelihood ratios given the received sample, the channel estimate and
+//! the noise variance — the channel evidence consumed by the BCJR decoder.
+
+use std::sync::OnceLock;
+
+use crate::complex::Complex;
+use crate::rates::Modulation;
+use crate::trellis::max_star;
+
+/// A constellation: `points[i]` is the symbol whose Gray-coded bit label is
+/// `i` (bit 0 of the label is the *first* of the `bits_per_symbol` coded
+/// bits mapped onto the symbol).
+#[derive(Debug, Clone)]
+pub struct Constellation {
+    /// Modulation this table belongs to.
+    pub modulation: Modulation,
+    /// Symbol for each bit label.
+    pub points: Vec<Complex>,
+}
+
+/// 802.11a Gray mapping for one axis carrying `bits` bits. Returns the
+/// unnormalized coordinate in `{-7..7}`.
+fn gray_axis(label: usize, bits: usize) -> f64 {
+    match bits {
+        1 => match label {
+            0 => -1.0,
+            _ => 1.0,
+        },
+        2 => match label {
+            0b00 => -3.0,
+            0b01 => -1.0,
+            0b11 => 1.0,
+            _ => 3.0, // 0b10
+        },
+        3 => match label {
+            0b000 => -7.0,
+            0b001 => -5.0,
+            0b011 => -3.0,
+            0b010 => -1.0,
+            0b110 => 1.0,
+            0b111 => 3.0,
+            0b101 => 5.0,
+            _ => 7.0, // 0b100
+        },
+        _ => unreachable!("axes carry 1..=3 bits"),
+    }
+}
+
+impl Constellation {
+    fn build(modulation: Modulation) -> Self {
+        let n_bits = modulation.bits_per_symbol();
+        let n_points = 1usize << n_bits;
+        // Normalization factors giving unit average symbol energy.
+        let scale = match modulation {
+            Modulation::Bpsk => 1.0,
+            Modulation::Qpsk => 1.0 / 2.0_f64.sqrt(),
+            Modulation::Qam16 => 1.0 / 10.0_f64.sqrt(),
+            Modulation::Qam64 => 1.0 / 42.0_f64.sqrt(),
+        };
+        let points = (0..n_points)
+            .map(|label| {
+                match modulation {
+                    // BPSK: single bit on the real axis.
+                    Modulation::Bpsk => Complex::new(gray_axis(label, 1) * scale, 0.0),
+                    // QPSK/QAM: first half of the bits (LSBs of the label)
+                    // select I, second half select Q, per 802.11a.
+                    _ => {
+                        let half = n_bits / 2;
+                        let i_label = label & ((1 << half) - 1);
+                        let q_label = label >> half;
+                        Complex::new(
+                            gray_axis(i_label, half) * scale,
+                            gray_axis(q_label, half) * scale,
+                        )
+                    }
+                }
+            })
+            .collect();
+        Constellation { modulation, points }
+    }
+
+    /// Returns the shared table for `modulation`.
+    pub fn get(modulation: Modulation) -> &'static Constellation {
+        static TABLES: OnceLock<[Constellation; 4]> = OnceLock::new();
+        let tables = TABLES.get_or_init(|| {
+            [
+                Constellation::build(Modulation::Bpsk),
+                Constellation::build(Modulation::Qpsk),
+                Constellation::build(Modulation::Qam16),
+                Constellation::build(Modulation::Qam64),
+            ]
+        });
+        match modulation {
+            Modulation::Bpsk => &tables[0],
+            Modulation::Qpsk => &tables[1],
+            Modulation::Qam16 => &tables[2],
+            Modulation::Qam64 => &tables[3],
+        }
+    }
+
+    /// Bits per symbol for this constellation.
+    pub fn bits_per_symbol(&self) -> usize {
+        self.modulation.bits_per_symbol()
+    }
+
+    /// Maps `bits_per_symbol` coded bits (LSB-first into the label) to a
+    /// constellation point.
+    pub fn map(&self, bits: &[u8]) -> Complex {
+        debug_assert_eq!(bits.len(), self.bits_per_symbol());
+        let mut label = 0usize;
+        for (i, &b) in bits.iter().enumerate() {
+            label |= (b as usize & 1) << i;
+        }
+        self.points[label]
+    }
+}
+
+/// Maps a coded-bit stream onto constellation symbols. The stream length
+/// must be a multiple of `bits_per_symbol`.
+pub fn map_bits(bits: &[u8], modulation: Modulation) -> Vec<Complex> {
+    let table = Constellation::get(modulation);
+    let n = table.bits_per_symbol();
+    assert_eq!(bits.len() % n, 0, "bit stream not a multiple of bits/symbol");
+    bits.chunks(n).map(|chunk| table.map(chunk)).collect()
+}
+
+/// Soft demapper flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DemapMethod {
+    /// Exact log-MAP bit LLRs (log-sum-exp over the constellation). Best
+    /// calibrated hints; the default.
+    Exact,
+    /// Max-log approximation (minimum-distance differences). Slightly
+    /// optimistic hints, noticeably faster on QAM64.
+    MaxLog,
+}
+
+/// Computes per-coded-bit LLRs for a received sample.
+///
+/// Model: `y = h * x + n`, `n ~ CN(0, n0)`. Appends `bits_per_symbol` LLRs
+/// to `out`; positive favours bit 1:
+/// `LLR(b_i) = ln P(b_i = 1 | y) / P(b_i = 0 | y)`.
+pub fn demap_soft(
+    y: Complex,
+    h: Complex,
+    n0: f64,
+    modulation: Modulation,
+    method: DemapMethod,
+    out: &mut Vec<f64>,
+) {
+    let table = Constellation::get(modulation);
+    let nb = table.bits_per_symbol();
+    let inv_n0 = 1.0 / n0.max(1e-12);
+
+    // Log-metric for each constellation point: -|y - h x|^2 / n0.
+    let mut metrics = [0.0f64; 64];
+    for (label, &x) in table.points.iter().enumerate() {
+        metrics[label] = -(y - h * x).norm_sqr() * inv_n0;
+    }
+
+    for bit in 0..nb {
+        let mut m1 = f64::NEG_INFINITY;
+        let mut m0 = f64::NEG_INFINITY;
+        for (label, &m) in metrics[..table.points.len()].iter().enumerate() {
+            if (label >> bit) & 1 == 1 {
+                m1 = match method {
+                    DemapMethod::Exact => max_star(m1, m),
+                    DemapMethod::MaxLog => m1.max(m),
+                };
+            } else {
+                m0 = match method {
+                    DemapMethod::Exact => max_star(m0, m),
+                    DemapMethod::MaxLog => m0.max(m),
+                };
+            }
+        }
+        out.push(m1 - m0);
+    }
+}
+
+/// Hard demap: nearest constellation point's bits (LSB-first), appended to
+/// `out`. Used by tests and the hard-decision ablation.
+pub fn demap_hard(y: Complex, h: Complex, modulation: Modulation, out: &mut Vec<u8>) {
+    let table = Constellation::get(modulation);
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (label, &x) in table.points.iter().enumerate() {
+        let d = (y - h * x).norm_sqr();
+        if d < best_d {
+            best_d = d;
+            best = label;
+        }
+    }
+    for bit in 0..table.bits_per_symbol() {
+        out.push(((best >> bit) & 1) as u8);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constellations_have_unit_energy() {
+        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            let c = Constellation::get(m);
+            let e: f64 =
+                c.points.iter().map(|p| p.norm_sqr()).sum::<f64>() / c.points.len() as f64;
+            assert!((e - 1.0).abs() < 1e-12, "{m}: energy {e}");
+        }
+    }
+
+    #[test]
+    fn constellation_points_are_distinct() {
+        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            let c = Constellation::get(m);
+            for i in 0..c.points.len() {
+                for j in i + 1..c.points.len() {
+                    assert!((c.points[i] - c.points[j]).abs() > 1e-9, "{m}: {i} == {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gray_neighbours_differ_by_one_bit_qam16() {
+        // Along each axis, adjacent amplitude levels must differ in exactly
+        // one label bit (the Gray property that bounds per-symbol-error bit
+        // errors).
+        let axis_labels = [0b00usize, 0b01, 0b11, 0b10]; // -3,-1,+1,+3
+        for w in axis_labels.windows(2) {
+            assert_eq!((w[0] ^ w[1]).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn map_demap_roundtrip_noiseless() {
+        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            let nb = m.bits_per_symbol();
+            let n_sym = 1usize << nb;
+            // Exercise every label.
+            let mut bits = Vec::new();
+            for label in 0..n_sym {
+                for b in 0..nb {
+                    bits.push(((label >> b) & 1) as u8);
+                }
+            }
+            let syms = map_bits(&bits, m);
+            let mut hard = Vec::new();
+            for &s in &syms {
+                demap_hard(s, Complex::ONE, m, &mut hard);
+            }
+            assert_eq!(hard, bits, "{m}");
+        }
+    }
+
+    #[test]
+    fn soft_demap_signs_match_bits_noiseless() {
+        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            let nb = m.bits_per_symbol();
+            for label in 0..(1usize << nb) {
+                let bits: Vec<u8> = (0..nb).map(|b| ((label >> b) & 1) as u8).collect();
+                let sym = Constellation::get(m).map(&bits);
+                let mut llrs = Vec::new();
+                demap_soft(sym, Complex::ONE, 0.1, m, DemapMethod::Exact, &mut llrs);
+                for (i, (&l, &b)) in llrs.iter().zip(&bits).enumerate() {
+                    assert!(
+                        (l >= 0.0) == (b == 1),
+                        "{m} label {label} bit {i}: llr {l} for bit {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn llr_magnitude_scales_with_snr() {
+        let m = Modulation::Qpsk;
+        let sym = Constellation::get(m).map(&[1, 0]);
+        let mut low = Vec::new();
+        let mut high = Vec::new();
+        demap_soft(sym, Complex::ONE, 1.0, m, DemapMethod::Exact, &mut low);
+        demap_soft(sym, Complex::ONE, 0.01, m, DemapMethod::Exact, &mut high);
+        assert!(high[0].abs() > 10.0 * low[0].abs());
+    }
+
+    #[test]
+    fn channel_rotation_is_compensated() {
+        // Demapping with the true (rotated, scaled) channel must recover the
+        // same decisions as an identity channel.
+        let m = Modulation::Qam16;
+        let h = Complex::from_polar(0.7, 1.1);
+        let bits = [1u8, 0, 1, 1];
+        let sym = Constellation::get(m).map(&bits);
+        let y = h * sym;
+        let mut hard = Vec::new();
+        demap_hard(y, h, m, &mut hard);
+        assert_eq!(hard, bits);
+    }
+
+    #[test]
+    fn maxlog_close_to_exact_at_high_snr() {
+        let m = Modulation::Qam64;
+        let bits = [0u8, 1, 1, 0, 1, 0];
+        let sym = Constellation::get(m).map(&bits);
+        let y = sym + Complex::new(0.01, -0.02);
+        let mut exact = Vec::new();
+        let mut maxlog = Vec::new();
+        demap_soft(y, Complex::ONE, 0.01, m, DemapMethod::Exact, &mut exact);
+        demap_soft(y, Complex::ONE, 0.01, m, DemapMethod::MaxLog, &mut maxlog);
+        for (e, x) in exact.iter().zip(&maxlog) {
+            assert!((e - x).abs() / e.abs().max(1.0) < 0.05, "exact {e} vs maxlog {x}");
+        }
+    }
+
+    #[test]
+    fn bpsk_llr_matches_closed_form() {
+        // For BPSK with h=1: LLR = 4 * Re(y) / n0.
+        let n0 = 0.5;
+        let y = Complex::new(0.3, 0.7); // imaginary part carries no info
+        let mut llrs = Vec::new();
+        demap_soft(y, Complex::ONE, n0, Modulation::Bpsk, DemapMethod::Exact, &mut llrs);
+        let expected = 4.0 * y.re / n0;
+        assert!((llrs[0] - expected).abs() < 1e-9, "{} vs {expected}", llrs[0]);
+    }
+}

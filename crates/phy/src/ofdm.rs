@@ -1,0 +1,218 @@
+//! OFDM operating modes (paper Table 3) and subcarrier layout.
+//!
+//! The paper's prototype runs in three modes differing in sampled bandwidth
+//! and subcarrier count; symbol time is `tones * (1 + cp) / bandwidth` with
+//! a cyclic prefix of one quarter of the OFDM symbol length. We simulate in
+//! the frequency domain (one complex sample per used subcarrier per symbol),
+//! so the cyclic prefix appears only in the timing arithmetic.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rates::BitRate;
+
+/// An OFDM operating mode: RF bandwidth, FFT size, and subcarrier layout.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mode {
+    /// Human-readable mode name.
+    pub name: &'static str,
+    /// Sampled RF bandwidth in Hz.
+    pub bandwidth_hz: f64,
+    /// FFT size (total subcarriers, paper's "Tones" column).
+    pub n_tones: usize,
+    /// Subcarriers carrying data.
+    pub n_data: usize,
+    /// Subcarriers carrying known pilot symbols (for per-symbol channel
+    /// tracking).
+    pub n_pilot: usize,
+    /// Cyclic prefix length as a fraction of the FFT size (1/4 in the
+    /// paper).
+    pub cp_frac: f64,
+}
+
+/// Long range mode: 500 kHz over 1024 tones; symbol time 2.56 ms, frame
+/// durations of tens of milliseconds (usable only for static experiments,
+/// Table 3).
+pub const LONG_RANGE: Mode = Mode {
+    name: "long-range",
+    bandwidth_hz: 500e3,
+    n_tones: 1024,
+    n_data: 768,
+    n_pilot: 32,
+    cp_frac: 0.25,
+};
+
+/// Short range mode: 4 MHz over 512 tones; symbol time 160 us, frames under
+/// a millisecond (used for the mobility experiments).
+pub const SHORT_RANGE: Mode = Mode {
+    name: "short-range",
+    bandwidth_hz: 4e6,
+    n_tones: 512,
+    n_data: 384,
+    n_pilot: 16,
+    cp_frac: 0.25,
+};
+
+/// Simulation mode: the normal 20 MHz 802.11 band over 128 tones; symbol
+/// time 8 us, 802.11-like frame durations (used with the fading channel
+/// simulator).
+pub const SIMULATION: Mode = Mode {
+    name: "simulation",
+    bandwidth_hz: 20e6,
+    n_tones: 128,
+    n_data: 96,
+    n_pilot: 8,
+    cp_frac: 0.25,
+};
+
+/// All three paper modes, for iteration in tests and table generators.
+pub const ALL_MODES: [Mode; 3] = [LONG_RANGE, SHORT_RANGE, SIMULATION];
+
+impl Mode {
+    /// OFDM symbol duration in seconds, including the cyclic prefix.
+    pub fn symbol_time(&self) -> f64 {
+        self.n_tones as f64 * (1.0 + self.cp_frac) / self.bandwidth_hz
+    }
+
+    /// Number of used (data + pilot) subcarriers simulated per symbol.
+    pub fn n_used(&self) -> usize {
+        self.n_data + self.n_pilot
+    }
+
+    /// Coded bits per OFDM symbol at `rate` (N_cbps).
+    pub fn coded_bits_per_symbol(&self, rate: BitRate) -> usize {
+        self.n_data * rate.modulation.bits_per_symbol()
+    }
+
+    /// Information (data) bits per OFDM symbol at `rate` (N_dbps).
+    pub fn data_bits_per_symbol(&self, rate: BitRate) -> usize {
+        let ncbps = self.coded_bits_per_symbol(rate);
+        ncbps * rate.code_rate.numerator() / rate.code_rate.denominator()
+    }
+
+    /// Indices of pilot subcarriers within the used-subcarrier array:
+    /// evenly spaced so scalar tracking sees the whole band.
+    pub fn pilot_indices(&self) -> Vec<usize> {
+        let stride = self.n_used() / self.n_pilot;
+        (0..self.n_pilot).map(|p| p * stride + stride / 2).collect()
+    }
+
+    /// Indices of data subcarriers (the used positions that are not pilots).
+    pub fn data_indices(&self) -> Vec<usize> {
+        let pilots = self.pilot_indices();
+        (0..self.n_used()).filter(|i| !pilots.contains(i)).collect()
+    }
+
+    /// Pilot BPSK polarity for OFDM symbol `sym_idx`, pilot position `p`:
+    /// a fixed pseudo-random +-1 pattern known to both ends.
+    pub fn pilot_value(&self, sym_idx: usize, p: usize) -> f64 {
+        // Small xorshift over the (symbol, pilot) pair; deterministic and
+        // cheap, equivalent in role to 802.11's scrambler-driven polarity.
+        let mut x = (sym_idx as u64).wrapping_mul(0x9E37_79B9) ^ ((p as u64) << 17) ^ 0x2545_F491;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        if x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 63 == 0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Air time in seconds of `n_symbols` OFDM symbols.
+    pub fn airtime(&self, n_symbols: usize) -> f64 {
+        n_symbols as f64 * self.symbol_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rates::ALL_RATES;
+
+    #[test]
+    fn table3_symbol_times() {
+        // Paper Table 3: 2.6 ms (quoted rounded), 160 us, 8 us.
+        assert!((LONG_RANGE.symbol_time() - 2.56e-3).abs() < 1e-9);
+        assert!((SHORT_RANGE.symbol_time() - 160e-6).abs() < 1e-12);
+        assert!((SIMULATION.symbol_time() - 8e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simulation_mode_matches_80211_throughput() {
+        // In the 20 MHz simulation mode the data bits per symbol over the
+        // symbol time must reproduce Table 2's Mbps column exactly.
+        for rate in ALL_RATES {
+            let mbps =
+                SIMULATION.data_bits_per_symbol(rate) as f64 / SIMULATION.symbol_time() / 1e6;
+            assert!(
+                (mbps - rate.mbps()).abs() < 1e-9,
+                "{rate}: {mbps} vs {}",
+                rate.mbps()
+            );
+        }
+    }
+
+    #[test]
+    fn ncbps_is_multiple_of_16_for_all_modes_and_rates() {
+        // Required by the 802.11 interleaver.
+        for mode in ALL_MODES {
+            for rate in ALL_RATES {
+                assert_eq!(mode.coded_bits_per_symbol(rate) % 16, 0, "{} {rate}", mode.name);
+            }
+        }
+    }
+
+    #[test]
+    fn ndbps_is_integral() {
+        for mode in ALL_MODES {
+            for rate in ALL_RATES {
+                let ncbps = mode.coded_bits_per_symbol(rate);
+                assert_eq!(
+                    ncbps * rate.code_rate.numerator() % rate.code_rate.denominator(),
+                    0,
+                    "{} {rate}",
+                    mode.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pilot_and_data_indices_partition_used() {
+        for mode in ALL_MODES {
+            let pilots = mode.pilot_indices();
+            let data = mode.data_indices();
+            assert_eq!(pilots.len(), mode.n_pilot);
+            assert_eq!(data.len(), mode.n_data);
+            let mut all: Vec<usize> = pilots.iter().chain(data.iter()).copied().collect();
+            all.sort_unstable();
+            let expect: Vec<usize> = (0..mode.n_used()).collect();
+            assert_eq!(all, expect, "{}", mode.name);
+        }
+    }
+
+    #[test]
+    fn pilot_values_are_balanced_and_deterministic() {
+        let m = SIMULATION;
+        let mut plus = 0usize;
+        let mut total = 0usize;
+        for sym in 0..200 {
+            for p in 0..m.n_pilot {
+                let v = m.pilot_value(sym, p);
+                assert!(v == 1.0 || v == -1.0);
+                assert_eq!(v, m.pilot_value(sym, p));
+                if v > 0.0 {
+                    plus += 1;
+                }
+                total += 1;
+            }
+        }
+        let frac = plus as f64 / total as f64;
+        assert!((frac - 0.5).abs() < 0.1, "pilot polarity fraction {frac}");
+    }
+
+    #[test]
+    fn airtime_scales_linearly() {
+        assert_eq!(SIMULATION.airtime(10), 10.0 * SIMULATION.symbol_time());
+    }
+}

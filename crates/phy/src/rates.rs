@@ -1,0 +1,275 @@
+//! The 802.11a/g bit-rate table (paper Table 2): combinations of modulation
+//! and convolutional code rate, and the raw throughput each achieves over a
+//! 20 MHz channel.
+//!
+//! The paper's prototype implements the six rates from 6 to 36 Mbps; we
+//! implement all eight (the two QAM64 rates were marked "future work" in
+//! Table 2). Note a typo in the paper's Table 2: it lists QAM64 with code
+//! rates 1/2 and 2/3 for 48/54 Mbps, but those throughputs correspond to the
+//! standard 802.11a puncturings of 2/3 and 3/4 (48 data subcarriers x 6 bits
+//! x 2/3 / 4 us = 48 Mbps). We use the standard, self-consistent mapping.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Subcarrier modulation scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Modulation {
+    /// Binary phase-shift keying: 1 bit per subcarrier symbol.
+    Bpsk,
+    /// Quadrature phase-shift keying: 2 bits.
+    Qpsk,
+    /// 16-point quadrature amplitude modulation: 4 bits.
+    Qam16,
+    /// 64-point quadrature amplitude modulation: 6 bits.
+    Qam64,
+}
+
+impl Modulation {
+    /// Coded bits carried by one subcarrier symbol (N_bpsc in 802.11 terms).
+    pub const fn bits_per_symbol(self) -> usize {
+        match self {
+            Modulation::Bpsk => 1,
+            Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 6,
+        }
+    }
+
+    /// Number of constellation points.
+    pub const fn points(self) -> usize {
+        1 << self.bits_per_symbol()
+    }
+
+    /// Short human-readable name matching the paper's figures.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Modulation::Bpsk => "BPSK",
+            Modulation::Qpsk => "QPSK",
+            Modulation::Qam16 => "QAM16",
+            Modulation::Qam64 => "QAM64",
+        }
+    }
+}
+
+impl fmt::Display for Modulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Convolutional code rate after puncturing the mother rate-1/2 code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CodeRate {
+    /// Unpunctured rate 1/2.
+    Half,
+    /// Punctured rate 2/3.
+    TwoThirds,
+    /// Punctured rate 3/4.
+    ThreeQuarters,
+}
+
+impl CodeRate {
+    /// Information bits per `denominator()` coded bits.
+    pub const fn numerator(self) -> usize {
+        match self {
+            CodeRate::Half => 1,
+            CodeRate::TwoThirds => 2,
+            CodeRate::ThreeQuarters => 3,
+        }
+    }
+
+    /// Coded bits per `numerator()` information bits.
+    pub const fn denominator(self) -> usize {
+        match self {
+            CodeRate::Half => 2,
+            CodeRate::TwoThirds => 3,
+            CodeRate::ThreeQuarters => 4,
+        }
+    }
+
+    /// The code rate as a float (e.g. 0.75).
+    pub fn as_f64(self) -> f64 {
+        self.numerator() as f64 / self.denominator() as f64
+    }
+
+    /// Fraction label used in the paper ("1/2", "2/3", "3/4").
+    pub const fn label(self) -> &'static str {
+        match self {
+            CodeRate::Half => "1/2",
+            CodeRate::TwoThirds => "2/3",
+            CodeRate::ThreeQuarters => "3/4",
+        }
+    }
+
+    /// The 802.11a puncturing pattern applied to the (A, B) output pair
+    /// stream of the rate-1/2 mother code: `true` entries are transmitted,
+    /// `false` entries are deleted. The pattern is given per input-bit
+    /// period: element `2*i` is output A of step `i`, element `2*i + 1` is
+    /// output B of step `i`.
+    pub fn puncture_pattern(self) -> &'static [bool] {
+        match self {
+            // No puncturing.
+            CodeRate::Half => &[true, true],
+            // 802.11a rate 2/3: transmit A1 B1 A2, delete B2.
+            CodeRate::TwoThirds => &[true, true, true, false],
+            // 802.11a rate 3/4: transmit A1 B1 A2 B3, delete B2 A3.
+            CodeRate::ThreeQuarters => &[true, true, true, false, false, true],
+        }
+    }
+}
+
+impl fmt::Display for CodeRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One entry of the bit-rate table: a modulation / code-rate pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitRate {
+    /// Subcarrier modulation.
+    pub modulation: Modulation,
+    /// Convolutional code rate.
+    pub code_rate: CodeRate,
+}
+
+impl BitRate {
+    /// Creates a bit rate from its components.
+    pub const fn new(modulation: Modulation, code_rate: CodeRate) -> Self {
+        BitRate { modulation, code_rate }
+    }
+
+    /// Information bits per modulated subcarrier symbol, as a float
+    /// (e.g. QAM16 3/4 carries 3 information bits per subcarrier).
+    pub fn info_bits_per_subcarrier(self) -> f64 {
+        self.modulation.bits_per_symbol() as f64 * self.code_rate.as_f64()
+    }
+
+    /// Raw 802.11 throughput in Mbit/s over a 20 MHz channel (paper Table 2):
+    /// 48 data subcarriers, 4 us OFDM symbols.
+    pub fn mbps(self) -> f64 {
+        48.0 * self.info_bits_per_subcarrier() / 4.0
+    }
+
+    /// Raw throughput in bit/s over a 20 MHz channel.
+    pub fn bits_per_sec(self) -> f64 {
+        self.mbps() * 1e6
+    }
+
+    /// Label like "QPSK 3/4" as used throughout the paper's figures.
+    pub fn label(self) -> String {
+        format!("{} {}", self.modulation, self.code_rate)
+    }
+}
+
+impl fmt::Display for BitRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.modulation, self.code_rate)
+    }
+}
+
+/// Index into [`ALL_RATES`]; rate `i + 1` is the next-faster rate than `i`.
+pub type RateIdx = usize;
+
+/// The full 802.11a/g rate table in increasing-throughput order
+/// (paper Table 2). BER at a given SNR increases monotonically with the
+/// index — the ordering SoftRate's prediction heuristic relies on (§3.3).
+pub const ALL_RATES: [BitRate; 8] = [
+    BitRate::new(Modulation::Bpsk, CodeRate::Half), // 6 Mbps
+    BitRate::new(Modulation::Bpsk, CodeRate::ThreeQuarters), // 9 Mbps
+    BitRate::new(Modulation::Qpsk, CodeRate::Half), // 12 Mbps
+    BitRate::new(Modulation::Qpsk, CodeRate::ThreeQuarters), // 18 Mbps
+    BitRate::new(Modulation::Qam16, CodeRate::Half), // 24 Mbps
+    BitRate::new(Modulation::Qam16, CodeRate::ThreeQuarters), // 36 Mbps
+    BitRate::new(Modulation::Qam64, CodeRate::TwoThirds), // 48 Mbps
+    BitRate::new(Modulation::Qam64, CodeRate::ThreeQuarters), // 54 Mbps
+];
+
+/// The six rates implemented by the paper's prototype (6..36 Mbps), used by
+/// all its experiments. The AP in the ns-3 evaluation "supports the 802.11a/g
+/// bit rates from 6 Mbps to 36 Mbps" (§6.1).
+pub const PAPER_RATES: &[BitRate] = &[
+    ALL_RATES[0],
+    ALL_RATES[1],
+    ALL_RATES[2],
+    ALL_RATES[3],
+    ALL_RATES[4],
+    ALL_RATES[5],
+];
+
+/// Number of rates in [`PAPER_RATES`].
+pub const NUM_PAPER_RATES: usize = 6;
+
+/// Looks up the index of `rate` within [`ALL_RATES`].
+pub fn rate_index(rate: BitRate) -> Option<RateIdx> {
+    ALL_RATES.iter().position(|r| *r == rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_throughputs() {
+        // The Mbps column of paper Table 2 (with the QAM64 typo corrected to
+        // the self-consistent standard puncturings).
+        let expected = [6.0, 9.0, 12.0, 18.0, 24.0, 36.0, 48.0, 54.0];
+        for (rate, mbps) in ALL_RATES.iter().zip(expected) {
+            assert!(
+                (rate.mbps() - mbps).abs() < 1e-9,
+                "{rate}: got {} expected {mbps}",
+                rate.mbps()
+            );
+        }
+    }
+
+    #[test]
+    fn rates_strictly_increasing() {
+        for w in ALL_RATES.windows(2) {
+            assert!(w[1].mbps() > w[0].mbps());
+        }
+    }
+
+    #[test]
+    fn paper_rates_are_first_six() {
+        assert_eq!(PAPER_RATES.len(), NUM_PAPER_RATES);
+        assert_eq!(PAPER_RATES[5].label(), "QAM16 3/4");
+        assert_eq!(PAPER_RATES[0].label(), "BPSK 1/2");
+    }
+
+    #[test]
+    fn rate_index_roundtrip() {
+        for (i, r) in ALL_RATES.iter().enumerate() {
+            assert_eq!(rate_index(*r), Some(i));
+        }
+    }
+
+    #[test]
+    fn puncture_pattern_rates() {
+        // Each pattern must keep numerator()*2 of denominator() positions...
+        // i.e. out of 2*numerator coded bits, keep denominator.
+        for cr in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
+            let p = cr.puncture_pattern();
+            assert_eq!(p.len(), 2 * cr.numerator());
+            let kept = p.iter().filter(|&&k| k).count();
+            assert_eq!(kept, cr.denominator());
+        }
+    }
+
+    #[test]
+    fn modulation_bit_widths() {
+        assert_eq!(Modulation::Bpsk.bits_per_symbol(), 1);
+        assert_eq!(Modulation::Qpsk.bits_per_symbol(), 2);
+        assert_eq!(Modulation::Qam16.bits_per_symbol(), 4);
+        assert_eq!(Modulation::Qam64.bits_per_symbol(), 6);
+        assert_eq!(Modulation::Qam64.points(), 64);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(ALL_RATES[3].label(), "QPSK 3/4");
+        assert_eq!(ALL_RATES[4].label(), "QAM16 1/2");
+    }
+}

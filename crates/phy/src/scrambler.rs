@@ -1,0 +1,112 @@
+//! The 802.11 frame-synchronous scrambler (x^7 + x^4 + 1).
+//!
+//! Real 802.11 whitens payload bits before encoding so that pathological
+//! payloads (long runs of zeros) don't produce degenerate waveforms. Our
+//! experiment payloads are pseudo-random already, so the frame pipeline
+//! leaves scrambling to callers; the implementation is provided for
+//! completeness and for users feeding real data through the PHY.
+
+/// 7-bit LFSR scrambler state. 802.11 initializes it to a pseudo-random
+/// nonzero value per frame (carried in the SERVICE field); any nonzero
+/// 7-bit seed works here.
+#[derive(Debug, Clone, Copy)]
+pub struct Scrambler {
+    state: u8,
+}
+
+impl Scrambler {
+    /// Creates a scrambler; `seed` must have a nonzero low 7 bits.
+    pub fn new(seed: u8) -> Self {
+        let state = seed & 0x7F;
+        assert!(state != 0, "scrambler seed must be nonzero");
+        Scrambler { state }
+    }
+
+    /// The standard's all-ones initial state.
+    pub fn default_seed() -> Self {
+        Scrambler::new(0x7F)
+    }
+
+    /// Next keystream bit: feedback x^7 + x^4 + 1.
+    #[inline]
+    fn next_bit(&mut self) -> u8 {
+        let b = ((self.state >> 6) ^ (self.state >> 3)) & 1;
+        self.state = ((self.state << 1) | b) & 0x7F;
+        b
+    }
+
+    /// Scrambles (or descrambles — the operation is an involution given
+    /// the same seed) a bit slice in place.
+    pub fn apply(&mut self, bits: &mut [u8]) {
+        for bit in bits {
+            *bit ^= self.next_bit();
+        }
+    }
+
+    /// Convenience: returns a scrambled copy.
+    pub fn scrambled(mut self, bits: &[u8]) -> Vec<u8> {
+        let mut out = bits.to_vec();
+        self.apply(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::bytes_to_bits;
+
+    #[test]
+    fn scramble_descramble_roundtrip() {
+        let data = bytes_to_bits(&[0x00, 0xFF, 0x55, 0xAA, 0x12]);
+        let scrambled = Scrambler::new(0x5D).scrambled(&data);
+        assert_ne!(scrambled, data);
+        let back = Scrambler::new(0x5D).scrambled(&scrambled);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn known_keystream_prefix() {
+        // With the all-ones state the 802.11 scrambler's first 16 output
+        // bits are 0000 1110 1111 0010 (IEEE 802.11-2007 Figure 17-7,
+        // reading the published 127-bit sequence).
+        let mut s = Scrambler::default_seed();
+        let stream: Vec<u8> = (0..16).map(|_| s.next_bit()).collect();
+        assert_eq!(stream, vec![0, 0, 0, 0, 1, 1, 1, 0, 1, 1, 1, 1, 0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn keystream_period_is_127() {
+        let mut s = Scrambler::new(0x31);
+        let first: Vec<u8> = (0..127).map(|_| s.next_bit()).collect();
+        let second: Vec<u8> = (0..127).map(|_| s.next_bit()).collect();
+        assert_eq!(first, second, "LFSR period must be 2^7 - 1");
+        // And it's not shorter than 127:
+        for p in [1usize, 7, 31, 63] {
+            assert_ne!(&first[..127 - p], &first[p..], "period divides {p}?");
+        }
+    }
+
+    #[test]
+    fn whitens_all_zero_input() {
+        let zeros = vec![0u8; 254];
+        let out = Scrambler::default_seed().scrambled(&zeros);
+        let ones: usize = out.iter().map(|&b| b as usize).sum();
+        // The 127-bit m-sequence has 64 ones per period.
+        assert_eq!(ones, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn rejects_zero_seed() {
+        Scrambler::new(0x80); // low 7 bits are zero
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let data = vec![0u8; 64];
+        let a = Scrambler::new(0x01).scrambled(&data);
+        let b = Scrambler::new(0x7F).scrambled(&data);
+        assert_ne!(a, b);
+    }
+}

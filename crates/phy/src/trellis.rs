@@ -1,0 +1,152 @@
+//! Precomputed trellis of the 802.11 convolutional code, shared by the
+//! Viterbi and BCJR decoders.
+
+use crate::convolutional::{encode_step, NUM_STATES};
+
+/// One trellis transition: from a state, on an input bit, to a next state,
+/// emitting two coded bits.
+#[derive(Debug, Clone, Copy)]
+pub struct Transition {
+    /// Originating state.
+    pub from: usize,
+    /// Input (information) bit driving the transition.
+    pub input: u8,
+    /// Destination state.
+    pub to: usize,
+    /// First coded output bit (generator A).
+    pub out_a: u8,
+    /// Second coded output bit (generator B).
+    pub out_b: u8,
+}
+
+/// The full trellis: forward transitions indexed by `(state, input)` and the
+/// reverse adjacency used by the backward BCJR recursion.
+#[derive(Debug, Clone)]
+pub struct Trellis {
+    /// `forward[state][input]` — the transition taken from `state` on `input`.
+    pub forward: Vec<[Transition; 2]>,
+    /// `reverse[state]` — the two transitions arriving at `state`.
+    pub reverse: Vec<[Transition; 2]>,
+}
+
+impl Trellis {
+    /// Builds the 64-state trellis of the 133/171 code.
+    pub fn new() -> Self {
+        let mut forward = Vec::with_capacity(NUM_STATES);
+        for state in 0..NUM_STATES {
+            let mut row = [Transition { from: 0, input: 0, to: 0, out_a: 0, out_b: 0 }; 2];
+            for input in 0..2u8 {
+                let (a, b, next) = encode_step(state, input);
+                row[input as usize] =
+                    Transition { from: state, input, to: next, out_a: a, out_b: b };
+            }
+            forward.push(row);
+        }
+
+        let mut incoming: Vec<Vec<Transition>> = vec![Vec::with_capacity(2); NUM_STATES];
+        for row in &forward {
+            for t in row {
+                incoming[t.to].push(*t);
+            }
+        }
+        let reverse: Vec<[Transition; 2]> = incoming
+            .into_iter()
+            .map(|v| {
+                assert_eq!(v.len(), 2, "every state must have exactly two predecessors");
+                [v[0], v[1]]
+            })
+            .collect();
+
+        Trellis { forward, reverse }
+    }
+
+    /// Number of states (64 for the 802.11 code).
+    pub fn num_states(&self) -> usize {
+        self.forward.len()
+    }
+}
+
+impl Default for Trellis {
+    fn default() -> Self {
+        Trellis::new()
+    }
+}
+
+/// Jacobian logarithm `max*(a, b) = ln(e^a + e^b)`, the numerically stable
+/// log-domain addition used by the log-MAP BCJR recursion.
+#[inline]
+pub fn max_star(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    let m = a.max(b);
+    m + (-(a - b).abs()).exp().ln_1p()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trellis_has_64_states() {
+        let t = Trellis::new();
+        assert_eq!(t.num_states(), 64);
+    }
+
+    #[test]
+    fn forward_transitions_are_consistent() {
+        let t = Trellis::new();
+        for state in 0..t.num_states() {
+            for input in 0..2usize {
+                let tr = t.forward[state][input];
+                assert_eq!(tr.from, state);
+                assert_eq!(tr.input as usize, input);
+                assert!(tr.to < t.num_states());
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_is_inverse_of_forward() {
+        let t = Trellis::new();
+        for state in 0..t.num_states() {
+            for tr in &t.reverse[state] {
+                assert_eq!(tr.to, state);
+                let fwd = t.forward[tr.from][tr.input as usize];
+                assert_eq!(fwd.to, state);
+                assert_eq!(fwd.out_a, tr.out_a);
+                assert_eq!(fwd.out_b, tr.out_b);
+            }
+        }
+    }
+
+    #[test]
+    fn each_state_reachable_from_two_distinct_predecessors() {
+        let t = Trellis::new();
+        for state in 0..t.num_states() {
+            let [p, q] = t.reverse[state];
+            assert!(p.from != q.from || p.input != q.input);
+        }
+    }
+
+    #[test]
+    fn max_star_properties() {
+        // max*(a, b) >= max(a, b) and equals ln(e^a + e^b).
+        let cases = [(0.0, 0.0), (1.0, -1.0), (-30.0, 2.0), (5.0, 5.0)];
+        for (a, b) in cases {
+            let exact = ((a as f64).exp() + (b as f64).exp()).ln();
+            assert!((max_star(a, b) - exact).abs() < 1e-12, "({a},{b})");
+            assert!(max_star(a, b) >= a.max(b));
+        }
+    }
+
+    #[test]
+    fn max_star_handles_neg_infinity() {
+        assert_eq!(max_star(f64::NEG_INFINITY, 3.0), 3.0);
+        assert_eq!(max_star(3.0, f64::NEG_INFINITY), 3.0);
+        assert_eq!(max_star(f64::NEG_INFINITY, f64::NEG_INFINITY), f64::NEG_INFINITY);
+    }
+}

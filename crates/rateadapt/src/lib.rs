@@ -1,0 +1,32 @@
+//! # softrate-adapt — baseline bit-rate adaptation algorithms
+//!
+//! Every protocol SoftRate is evaluated against in the paper's §6, behind
+//! the shared [`softrate_core::adapter::RateAdapter`] trait:
+//!
+//! * [`samplerate::SampleRate`] — windowed mean transmission time +
+//!   periodic sampling (Bicket 2005; the Linux Atheros default).
+//! * [`rraa::Rraa`] — short-term loss-ratio windows with P_ORI/P_MTL
+//!   thresholds and the adaptive RTS filter (Wong et al. 2006).
+//! * [`snr::SnrAdapter`] — trained-table SNR protocols: RBAR-like
+//!   instantaneous feedback and CHARM-like EWMA.
+//! * [`misc::FixedRate`], [`misc::Omniscient`] — the reference points.
+//!
+//! SoftRate itself lives in `softrate-core` (it *is* the paper's system);
+//! this crate holds the competition.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod misc;
+pub mod rraa;
+pub mod samplerate;
+pub mod snr;
+
+/// Convenient glob-import of all adapters.
+pub mod prelude {
+    pub use crate::misc::{FixedRate, Omniscient};
+    pub use crate::rraa::Rraa;
+    pub use crate::samplerate::SampleRate;
+    pub use crate::snr::{SnrAdapter, SnrMode, SnrTable};
+    pub use softrate_core::adapter::{RateAdapter, TxAttempt, TxOutcome};
+}

@@ -1,0 +1,98 @@
+//! Reference adapters: fixed-rate and the omniscient oracle of §6.1.
+
+use softrate_core::adapter::{RateAdapter, RateIdx, TxAttempt, TxOutcome};
+
+/// An adapter pinned to one rate (baseline / debugging aid).
+pub struct FixedRate {
+    rate_idx: RateIdx,
+    num_rates: usize,
+}
+
+impl FixedRate {
+    /// Creates a fixed-rate adapter.
+    pub fn new(rate_idx: RateIdx, num_rates: usize) -> Self {
+        assert!(rate_idx < num_rates);
+        FixedRate { rate_idx, num_rates }
+    }
+}
+
+impl RateAdapter for FixedRate {
+    fn name(&self) -> &'static str {
+        "Fixed"
+    }
+
+    fn next_attempt(&mut self, _now: f64) -> TxAttempt {
+        TxAttempt { rate_idx: self.rate_idx, use_rts: false }
+    }
+
+    fn on_outcome(&mut self, _outcome: &TxOutcome) {}
+
+    fn num_rates(&self) -> usize {
+        self.num_rates
+    }
+}
+
+/// The "omniscient" algorithm of §6.1: "always picks the highest rate
+/// guaranteed to succeed, which a simulator with a priori knowledge of
+/// channel characteristics computes from the traces". The oracle closure
+/// is injected by the simulator, which can look the answer up in its trace.
+pub struct Omniscient {
+    oracle: Box<dyn FnMut(f64) -> RateIdx + Send>,
+    num_rates: usize,
+}
+
+impl Omniscient {
+    /// Creates an omniscient adapter around a `time -> best rate` oracle.
+    pub fn new(num_rates: usize, oracle: Box<dyn FnMut(f64) -> RateIdx + Send>) -> Self {
+        Omniscient { oracle, num_rates }
+    }
+}
+
+impl RateAdapter for Omniscient {
+    fn name(&self) -> &'static str {
+        "Omniscient"
+    }
+
+    fn next_attempt(&mut self, now: f64) -> TxAttempt {
+        let r = (self.oracle)(now).min(self.num_rates - 1);
+        TxAttempt { rate_idx: r, use_rts: false }
+    }
+
+    fn on_outcome(&mut self, _outcome: &TxOutcome) {}
+
+    fn num_rates(&self) -> usize {
+        self.num_rates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_never_moves() {
+        let mut f = FixedRate::new(3, 6);
+        for k in 0..10 {
+            assert_eq!(f.next_attempt(k as f64).rate_idx, 3);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn fixed_rejects_out_of_range() {
+        FixedRate::new(6, 6);
+    }
+
+    #[test]
+    fn omniscient_follows_oracle() {
+        let mut o = Omniscient::new(6, Box::new(|t| if t < 1.0 { 5 } else { 1 }));
+        assert_eq!(o.next_attempt(0.5).rate_idx, 5);
+        assert_eq!(o.next_attempt(1.5).rate_idx, 1);
+    }
+
+    #[test]
+    fn omniscient_clamps_to_table() {
+        let mut o = Omniscient::new(4, Box::new(|_| 99));
+        assert_eq!(o.next_attempt(0.0).rate_idx, 3);
+    }
+}

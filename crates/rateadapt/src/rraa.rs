@@ -1,0 +1,279 @@
+//! RRAA — Robust Rate Adaptation Algorithm (Wong et al., MobiCom 2006),
+//! the more opportunistic frame-level baseline (paper §2.1).
+//!
+//! RRAA estimates the short-term loss ratio `P` over a small window of
+//! recent frames at the current rate and compares it against two
+//! pre-computed thresholds: above `P_MTL` (maximum tolerable loss) the rate
+//! steps down, below `P_ORI` (opportunistic rate increase) it steps up.
+//! An adaptive RTS filter (A-RTS) turns RTS/CTS on when losses look like
+//! collisions.
+
+use softrate_core::adapter::{RateAdapter, RateIdx, TxAttempt, TxOutcome};
+use std::collections::VecDeque;
+
+/// Scaling factor between `P_MTL` of the next rate and `P_ORI` of the
+/// current rate (RRAA uses P_ORI = P_MTL(next)/alpha with alpha ~ 2).
+const ORI_ALPHA: f64 = 2.0;
+
+/// The RRAA adapter.
+pub struct Rraa {
+    /// Estimation window length per rate, in frames.
+    ewnd: Vec<usize>,
+    /// Loss-ratio threshold to step down, per rate.
+    p_mtl: Vec<f64>,
+    /// Loss-ratio threshold to step up, per rate.
+    p_ori: Vec<f64>,
+    /// Outcomes (true = lost) of recent frames at the current rate.
+    window: VecDeque<bool>,
+    current: RateIdx,
+    /// A-RTS state: how many of the next frames get RTS protection.
+    rts_window: u32,
+    rts_counter: u32,
+    /// Whether the previous frame used RTS (for the A-RTS update rule).
+    last_used_rts: bool,
+}
+
+impl Rraa {
+    /// Builds RRAA from the loss-free air time of a frame at each rate
+    /// (frame + overhead), which determines the critical loss ratios.
+    ///
+    /// `P_MTL(i)` is the loss ratio at which the delivered throughput of
+    /// rate `i` equals the loss-free throughput of rate `i-1`:
+    /// `(1 - P) / airtime_i = 1 / airtime_{i-1}`.
+    pub fn new(lossless_airtime: Vec<f64>) -> Self {
+        let n = lossless_airtime.len();
+        assert!(n >= 2);
+        let mut p_mtl = vec![1.0; n]; // bottom rate: never forced down
+        for i in 1..n {
+            let p = 1.0 - lossless_airtime[i] / lossless_airtime[i - 1];
+            p_mtl[i] = p.clamp(0.01, 0.95);
+        }
+        let mut p_ori = vec![0.0; n];
+        for i in 0..n - 1 {
+            p_ori[i] = p_mtl[i + 1] / ORI_ALPHA;
+        }
+        // Estimation windows: larger at higher rates (frames are shorter,
+        // so more of them fit in the same wall-clock span) — RRAA's ewnd
+        // table ranges over roughly 6..40.
+        let ewnd = (0..n).map(|i| (10 + 5 * i).min(40)).collect();
+        Rraa {
+            ewnd,
+            p_mtl,
+            p_ori,
+            window: VecDeque::new(),
+            current: 0,
+            rts_window: 0,
+            rts_counter: 0,
+            last_used_rts: false,
+        }
+    }
+
+    /// Current loss ratio over the estimation window.
+    fn loss_ratio(&self) -> f64 {
+        if self.window.is_empty() {
+            return 0.0;
+        }
+        self.window.iter().filter(|&&l| l).count() as f64 / self.window.len() as f64
+    }
+
+    fn change_rate(&mut self, to: RateIdx) {
+        if to != self.current {
+            self.current = to;
+            self.window.clear();
+        }
+    }
+
+    /// The per-rate thresholds, exposed for the threshold-table harness.
+    pub fn thresholds(&self) -> (&[f64], &[f64]) {
+        (&self.p_ori, &self.p_mtl)
+    }
+}
+
+impl RateAdapter for Rraa {
+    fn name(&self) -> &'static str {
+        "RRAA"
+    }
+
+    fn next_attempt(&mut self, _now: f64) -> TxAttempt {
+        let use_rts = self.rts_counter > 0;
+        if self.rts_counter > 0 {
+            self.rts_counter -= 1;
+        }
+        self.last_used_rts = use_rts;
+        TxAttempt { rate_idx: self.current, use_rts }
+    }
+
+    fn on_outcome(&mut self, outcome: &TxOutcome) {
+        // --- A-RTS filter (RRAA §4.3): grow the RTS window when unprotected
+        // frames are lost, shrink it when RTS-protected frames are lost or
+        // unprotected frames succeed.
+        let lost = !outcome.acked;
+        if !self.last_used_rts && lost {
+            self.rts_window += 1;
+            self.rts_counter = self.rts_window;
+        } else if (self.last_used_rts && lost) || (!self.last_used_rts && !lost) {
+            self.rts_window /= 2;
+            self.rts_counter = self.rts_counter.min(self.rts_window);
+        }
+
+        // --- Loss-ratio estimation at the current rate only.
+        if outcome.rate_idx != self.current {
+            return;
+        }
+        let ewnd = self.ewnd[self.current];
+        self.window.push_back(lost);
+        while self.window.len() > ewnd {
+            self.window.pop_front();
+        }
+
+        let p = self.loss_ratio();
+        // Immediate down-shift when the short-term loss ratio exceeds MTL
+        // with at least half a window of evidence.
+        if self.window.len() >= ewnd / 2 && p > self.p_mtl[self.current] && self.current > 0 {
+            let to = self.current - 1;
+            self.change_rate(to);
+            return;
+        }
+        // Opportunistic up-shift evaluated on full windows.
+        if self.window.len() >= ewnd {
+            if p < self.p_ori[self.current] && self.current + 1 < self.p_mtl.len() {
+                let to = self.current + 1;
+                self.change_rate(to);
+            } else {
+                // Window complete without a decision: slide anew.
+                self.window.clear();
+            }
+        }
+    }
+
+    fn num_rates(&self) -> usize {
+        self.p_mtl.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn airtimes() -> Vec<f64> {
+        vec![2.0e-3, 1.4e-3, 1.05e-3, 0.75e-3, 0.6e-3, 0.45e-3]
+    }
+
+    fn outcome(rate_idx: usize, acked: bool, now: f64) -> TxOutcome {
+        TxOutcome {
+            rate_idx,
+            acked,
+            feedback_received: acked,
+            ber_feedback: None,
+            interference_flagged: false,
+            postamble_ack: false,
+            snr_feedback_db: None,
+            airtime: 1e-3,
+            now,
+        }
+    }
+
+    #[test]
+    fn thresholds_are_ordered() {
+        let r = Rraa::new(airtimes());
+        let (ori, mtl) = r.thresholds();
+        for i in 0..6 {
+            assert!(ori[i] < mtl[i], "rate {i}: ori {} mtl {}", ori[i], mtl[i]);
+            assert!((0.0..=1.0).contains(&mtl[i]));
+        }
+    }
+
+    #[test]
+    fn climbs_on_clean_channel() {
+        let mut r = Rraa::new(airtimes());
+        let mut now = 0.0;
+        for _ in 0..500 {
+            let a = r.next_attempt(now);
+            r.on_outcome(&outcome(a.rate_idx, true, now));
+            now += 1e-3;
+        }
+        assert_eq!(r.current, 5, "lossless channel must reach the top rate");
+    }
+
+    #[test]
+    fn steps_down_under_heavy_loss() {
+        let mut r = Rraa::new(airtimes());
+        r.current = 4;
+        let mut now = 0.0;
+        for _ in 0..40 {
+            let a = r.next_attempt(now);
+            r.on_outcome(&outcome(a.rate_idx, false, now));
+            now += 1e-3;
+        }
+        assert!(r.current < 4, "persistent loss must lower the rate");
+    }
+
+    #[test]
+    fn holds_on_moderate_loss() {
+        // A loss ratio between ORI and MTL must keep the rate.
+        let mut r = Rraa::new(airtimes());
+        r.current = 3;
+        let (ori, mtl) = (r.p_ori[3], r.p_mtl[3]);
+        let target = (ori + mtl) / 2.0;
+        let mut now = 0.0;
+        let mut lost_budget = 0.0;
+        for _ in 0..200 {
+            let a = r.next_attempt(now);
+            lost_budget += target;
+            let lose = lost_budget >= 1.0;
+            if lose {
+                lost_budget -= 1.0;
+            }
+            r.on_outcome(&outcome(a.rate_idx, !lose, now));
+            now += 1e-3;
+        }
+        assert_eq!(r.current, 3, "loss ratio {target:.2} should hold rate 3");
+    }
+
+    #[test]
+    fn rts_window_grows_on_unprotected_loss() {
+        let mut r = Rraa::new(airtimes());
+        let a = r.next_attempt(0.0);
+        assert!(!a.use_rts);
+        r.on_outcome(&outcome(a.rate_idx, false, 0.0));
+        assert_eq!(r.rts_window, 1);
+        let a2 = r.next_attempt(1e-3);
+        assert!(a2.use_rts, "after an unprotected loss the next frame gets RTS");
+    }
+
+    #[test]
+    fn rts_window_shrinks_on_protected_loss() {
+        let mut r = Rraa::new(airtimes());
+        r.rts_window = 4;
+        r.rts_counter = 4;
+        let a = r.next_attempt(0.0);
+        assert!(a.use_rts);
+        r.on_outcome(&outcome(a.rate_idx, false, 0.0)); // lost *with* RTS: not a collision
+        assert_eq!(r.rts_window, 2);
+    }
+
+    #[test]
+    fn rts_window_shrinks_on_unprotected_success() {
+        let mut r = Rraa::new(airtimes());
+        r.rts_window = 4;
+        let a = r.next_attempt(0.0);
+        assert!(!a.use_rts);
+        r.on_outcome(&outcome(a.rate_idx, true, 0.0));
+        assert_eq!(r.rts_window, 2);
+    }
+
+    #[test]
+    fn window_clears_on_rate_change() {
+        let mut r = Rraa::new(airtimes());
+        r.current = 2;
+        for k in 0..30 {
+            let a = r.next_attempt(k as f64 * 1e-3);
+            r.on_outcome(&outcome(a.rate_idx, false, k as f64 * 1e-3));
+            if r.current != 2 {
+                break;
+            }
+        }
+        assert!(r.current < 2);
+        assert!(r.window.is_empty(), "window must reset after a rate change");
+    }
+}

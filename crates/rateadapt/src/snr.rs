@@ -1,0 +1,242 @@
+//! SNR-based rate adaptation (paper §2.2, §6.1): an RBAR-like protocol
+//! using per-frame SNR feedback, and a CHARM-like variant using an averaged
+//! SNR.
+//!
+//! Both select the fastest rate whose *trained* minimum-SNR threshold the
+//! (fed back) SNR clears. The training table is everything: the paper shows
+//! that a table trained in one propagation environment (e.g. static or
+//! walking) picks wrong rates in another (vehicular), because the SNR-BER
+//! relationship shifts with channel coherence time — while SoftRate needs
+//! no training at all. Tables are built from traces by
+//! `softrate-trace::snr_training`.
+
+use serde::{Deserialize, Serialize};
+use softrate_core::adapter::{RateAdapter, RateIdx, TxAttempt, TxOutcome};
+
+/// A trained SNR threshold table: the minimum preamble SNR (dB) at which
+/// each rate sustains acceptably low loss in the training environment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnrTable {
+    /// Per-rate minimum usable SNR in dB; must be non-decreasing.
+    pub min_snr_db: Vec<f64>,
+}
+
+impl SnrTable {
+    /// Creates a table, asserting monotonicity.
+    pub fn new(min_snr_db: Vec<f64>) -> Self {
+        assert!(!min_snr_db.is_empty());
+        for w in min_snr_db.windows(2) {
+            assert!(w[1] >= w[0], "thresholds must be non-decreasing: {min_snr_db:?}");
+        }
+        SnrTable { min_snr_db }
+    }
+
+    /// The fastest rate usable at `snr_db` (rate 0 if none qualifies).
+    pub fn select(&self, snr_db: f64) -> RateIdx {
+        let mut pick = 0;
+        for (i, &thr) in self.min_snr_db.iter().enumerate() {
+            if snr_db >= thr {
+                pick = i;
+            }
+        }
+        pick
+    }
+
+    /// Number of rates covered.
+    pub fn len(&self) -> usize {
+        self.min_snr_db.len()
+    }
+
+    /// Whether the table is empty (never; API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.min_snr_db.is_empty()
+    }
+}
+
+/// How the adapter digests SNR feedback.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SnrMode {
+    /// Use the most recent per-frame SNR (RBAR-like, but fed back in the
+    /// link-layer ACK instead of an RTS/CTS exchange — §6.1).
+    Instantaneous,
+    /// Exponentially averaged SNR (CHARM-like): slower, smoother.
+    Ewma {
+        /// Smoothing factor in (0, 1]; weight of the newest sample.
+        alpha: f64,
+    },
+}
+
+/// The SNR-feedback rate adapter.
+pub struct SnrAdapter {
+    table: SnrTable,
+    mode: SnrMode,
+    label: &'static str,
+    snr_state: Option<f64>,
+    current: RateIdx,
+    silent_losses: u32,
+}
+
+impl SnrAdapter {
+    /// RBAR-like instantaneous-SNR adapter.
+    pub fn rbar(table: SnrTable) -> Self {
+        SnrAdapter {
+            table,
+            mode: SnrMode::Instantaneous,
+            label: "SNR",
+            snr_state: None,
+            current: 0,
+            silent_losses: 0,
+        }
+    }
+
+    /// CHARM-like averaged-SNR adapter.
+    pub fn charm(table: SnrTable) -> Self {
+        SnrAdapter {
+            table,
+            mode: SnrMode::Ewma { alpha: 0.1 },
+            label: "CHARM",
+            snr_state: None,
+            current: 0,
+            silent_losses: 0,
+        }
+    }
+
+    /// The smoothed/last SNR the adapter is acting on.
+    pub fn tracked_snr(&self) -> Option<f64> {
+        self.snr_state
+    }
+}
+
+impl RateAdapter for SnrAdapter {
+    fn name(&self) -> &'static str {
+        self.label
+    }
+
+    fn next_attempt(&mut self, _now: f64) -> TxAttempt {
+        TxAttempt { rate_idx: self.current, use_rts: false }
+    }
+
+    fn on_outcome(&mut self, outcome: &TxOutcome) {
+        if let Some(snr) = outcome.snr_feedback_db {
+            self.silent_losses = 0;
+            let tracked = match self.mode {
+                SnrMode::Instantaneous => snr,
+                SnrMode::Ewma { alpha } => match self.snr_state {
+                    Some(prev) => prev + alpha * (snr - prev),
+                    None => snr,
+                },
+            };
+            self.snr_state = Some(tracked);
+            self.current = self.table.select(tracked);
+        } else if outcome.is_silent_loss() {
+            // No SNR measurement at all: like other protocols, back off
+            // after a run of silent losses.
+            self.silent_losses += 1;
+            if self.silent_losses >= 3 {
+                self.silent_losses = 0;
+                self.snr_state = None;
+                if self.current > 0 {
+                    self.current -= 1;
+                }
+            }
+        }
+    }
+
+    fn num_rates(&self) -> usize {
+        self.table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> SnrTable {
+        SnrTable::new(vec![2.0, 5.0, 8.0, 11.0, 14.0, 18.0])
+    }
+
+    fn outcome_with_snr(rate_idx: usize, snr: Option<f64>) -> TxOutcome {
+        TxOutcome {
+            rate_idx,
+            acked: snr.is_some(),
+            feedback_received: snr.is_some(),
+            ber_feedback: None,
+            interference_flagged: false,
+            postamble_ack: false,
+            snr_feedback_db: snr,
+            airtime: 1e-3,
+            now: 0.0,
+        }
+    }
+
+    #[test]
+    fn table_select_picks_fastest_qualifying() {
+        let t = table();
+        assert_eq!(t.select(1.0), 0, "below every threshold falls to base rate");
+        assert_eq!(t.select(5.0), 1);
+        assert_eq!(t.select(13.9), 3);
+        assert_eq!(t.select(14.0), 4);
+        assert_eq!(t.select(50.0), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn table_rejects_nonmonotone() {
+        SnrTable::new(vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn rbar_follows_instantaneous_snr() {
+        let mut a = SnrAdapter::rbar(table());
+        a.on_outcome(&outcome_with_snr(0, Some(15.0)));
+        assert_eq!(a.next_attempt(0.0).rate_idx, 4);
+        a.on_outcome(&outcome_with_snr(4, Some(3.0)));
+        assert_eq!(a.next_attempt(0.0).rate_idx, 0);
+    }
+
+    #[test]
+    fn charm_smooths_snr() {
+        let mut a = SnrAdapter::charm(table());
+        a.on_outcome(&outcome_with_snr(0, Some(20.0)));
+        assert_eq!(a.next_attempt(0.0).rate_idx, 5, "first sample initializes the EWMA");
+        // A single dip barely moves the average.
+        a.on_outcome(&outcome_with_snr(5, Some(0.0)));
+        let tracked = a.tracked_snr().unwrap();
+        assert!((tracked - 18.0).abs() < 1e-9);
+        assert_eq!(a.next_attempt(0.0).rate_idx, 5);
+        // Repeated dips eventually drag it down.
+        for _ in 0..30 {
+            a.on_outcome(&outcome_with_snr(5, Some(0.0)));
+        }
+        assert!(a.next_attempt(0.0).rate_idx < 2);
+    }
+
+    #[test]
+    fn silent_losses_step_down() {
+        let mut a = SnrAdapter::rbar(table());
+        a.on_outcome(&outcome_with_snr(0, Some(12.0)));
+        assert_eq!(a.current, 3);
+        let silent = outcome_with_snr(3, None);
+        a.on_outcome(&silent);
+        a.on_outcome(&silent);
+        assert_eq!(a.current, 3);
+        a.on_outcome(&silent);
+        assert_eq!(a.current, 2, "three silent losses step down");
+    }
+
+    #[test]
+    fn rbar_beats_charm_in_responsiveness() {
+        // After an abrupt SNR drop, RBAR reacts on the next frame while
+        // CHARM is still high — the effect the paper reports (§6.2).
+        let mut rbar = SnrAdapter::rbar(table());
+        let mut charm = SnrAdapter::charm(table());
+        for _ in 0..20 {
+            rbar.on_outcome(&outcome_with_snr(0, Some(20.0)));
+            charm.on_outcome(&outcome_with_snr(0, Some(20.0)));
+        }
+        rbar.on_outcome(&outcome_with_snr(5, Some(4.0)));
+        charm.on_outcome(&outcome_with_snr(5, Some(4.0)));
+        assert_eq!(rbar.next_attempt(0.0).rate_idx, 0, "4 dB only clears the 2 dB threshold");
+        assert!(charm.next_attempt(0.0).rate_idx >= 4, "CHARM must lag the drop");
+    }
+}

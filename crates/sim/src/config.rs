@@ -1,0 +1,230 @@
+//! Simulation configuration: topology, adapter choice, MAC options.
+
+use std::sync::Arc;
+
+use softrate_adapt::misc::{FixedRate, Omniscient};
+use softrate_adapt::rraa::Rraa;
+use softrate_adapt::samplerate::SampleRate;
+use softrate_adapt::snr::{SnrAdapter, SnrTable};
+use softrate_core::adapter::RateAdapter;
+use softrate_core::softrate::{SoftRate, SoftRateConfig};
+use softrate_trace::schema::LinkTrace;
+
+use crate::tcp::TcpConfig;
+use crate::timing::lossless_airtimes;
+
+/// Which rate-adaptation algorithm the wireless senders run.
+#[derive(Debug, Clone)]
+pub enum AdapterKind {
+    /// SoftRate as implemented in the paper's evaluation: interference
+    /// detection succeeds 80 % of the time, no postambles (§6.4).
+    SoftRate,
+    /// The "ideal" SoftRate: postambles enabled and perfect interference
+    /// detection (§6.4).
+    SoftRateIdeal,
+    /// SoftRate with its interference detector disabled (ablation: reacts
+    /// to collision BER like a naive protocol would).
+    SoftRateNoDetect,
+    /// SampleRate with the paper's 1-second averaging window.
+    SampleRate,
+    /// RRAA with adaptive RTS.
+    Rraa,
+    /// Per-frame SNR feedback against a trained threshold table.
+    Snr(SnrTable),
+    /// CHARM-like averaged SNR against a trained table.
+    Charm(SnrTable),
+    /// Oracle: highest rate guaranteed to succeed, from the trace.
+    Omniscient,
+    /// Fixed rate (debugging / bounds).
+    Fixed(usize),
+}
+
+impl AdapterKind {
+    /// Short display name matching the paper's figure legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdapterKind::SoftRate => "SoftRate",
+            AdapterKind::SoftRateIdeal => "SoftRate (Ideal)",
+            AdapterKind::SoftRateNoDetect => "SoftRate (no detect)",
+            AdapterKind::SampleRate => "SampleRate",
+            AdapterKind::Rraa => "RRAA",
+            AdapterKind::Snr(_) => "SNR (trained)",
+            AdapterKind::Charm(_) => "CHARM",
+            AdapterKind::Omniscient => "Omniscient",
+            AdapterKind::Fixed(_) => "Fixed",
+        }
+    }
+
+    /// Probability that the receiver's collision detector flags a
+    /// collision-damaged frame (paper §6.4: 80 % for present SoftRate,
+    /// 100 % for ideal).
+    pub fn detect_prob(&self) -> f64 {
+        match self {
+            AdapterKind::SoftRateIdeal => 1.0,
+            AdapterKind::SoftRateNoDetect => 0.0,
+            _ => 0.8,
+        }
+    }
+
+    /// Whether frames carry postambles (ideal SoftRate only).
+    pub fn postambles(&self) -> bool {
+        matches!(self, AdapterKind::SoftRateIdeal)
+    }
+
+    /// Builds one adapter instance for a link whose fates come from
+    /// `trace`.
+    pub fn build(
+        &self,
+        trace: &Arc<LinkTrace>,
+        frame_bits: usize,
+        payload: usize,
+        seed: u64,
+    ) -> Box<dyn RateAdapter> {
+        match self {
+            AdapterKind::SoftRate | AdapterKind::SoftRateIdeal | AdapterKind::SoftRateNoDetect => {
+                let cfg = SoftRateConfig { frame_bits, ..Default::default() };
+                Box::new(SoftRate::new(cfg))
+            }
+            AdapterKind::SampleRate => {
+                Box::new(SampleRate::new(lossless_airtimes(payload), 1.0, seed))
+            }
+            AdapterKind::Rraa => Box::new(Rraa::new(lossless_airtimes(payload))),
+            AdapterKind::Snr(table) => Box::new(SnrAdapter::rbar(table.clone())),
+            AdapterKind::Charm(table) => Box::new(SnrAdapter::charm(table.clone())),
+            AdapterKind::Omniscient => {
+                let trace = Arc::clone(trace);
+                Box::new(Omniscient::new(
+                    softrate_trace::recipes::N_RATES,
+                    Box::new(move |t| trace.best_rate_at(t, frame_bits)),
+                ))
+            }
+            AdapterKind::Fixed(idx) => {
+                Box::new(FixedRate::new(*idx, softrate_trace::recipes::N_RATES))
+            }
+        }
+    }
+}
+
+/// Full simulation configuration (Figure 12 topology).
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Simulated seconds.
+    pub duration: f64,
+    /// Number of wireless clients (N TCP flows).
+    pub n_clients: usize,
+    /// `true`: clients upload to LAN hosts; `false`: download.
+    pub upload: bool,
+    /// Probability that one wireless sender carrier-senses another's
+    /// ongoing transmission (1.0 = perfect carrier sense, §6.4).
+    pub carrier_sense_prob: f64,
+    /// Rate adaptation algorithm under test.
+    pub adapter: AdapterKind,
+    /// MAC queue capacity in frames ("slightly exceeds the
+    /// bandwidth-delay product of the bottleneck wireless link", §6.1).
+    pub queue_cap: usize,
+    /// TCP parameters.
+    pub tcp: TcpConfig,
+    /// Wired link rate, bit/s (50 Mbps in Figure 12).
+    pub wired_rate_bps: f64,
+    /// Wired one-way propagation delay, seconds (10 ms in Figure 12).
+    pub wired_delay: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The paper's default setup for `n_clients` uploading flows.
+    pub fn new(adapter: AdapterKind, n_clients: usize) -> Self {
+        SimConfig {
+            duration: 10.0,
+            n_clients,
+            upload: true,
+            carrier_sense_prob: 1.0,
+            adapter,
+            queue_cap: 50,
+            tcp: TcpConfig::default(),
+            wired_rate_bps: 50e6,
+            wired_delay: 0.010,
+            seed: 0x51AB,
+        }
+    }
+
+    /// Nominal data-frame size on the air, bits (MSS + TCP/IP headers).
+    pub fn frame_bits(&self) -> usize {
+        (self.tcp.mss + crate::timing::IP_TCP_HEADER) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softrate_trace::schema::{LinkTrace, TraceEntry};
+
+    fn dummy_trace() -> Arc<LinkTrace> {
+        let entry = |r: usize| TraceEntry {
+            t: 0.0,
+            rate_idx: r,
+            detected: true,
+            header_ok: true,
+            delivered: true,
+            true_ber: Some(1e-9),
+            softphy_ber: Some(1e-9),
+            snr_est_db: Some(20.0),
+            true_snr_db: 20.0,
+            probe_bits: 832,
+        };
+        Arc::new(LinkTrace {
+            name: "dummy".into(),
+            mode_name: "simulation".into(),
+            interval: 0.005,
+            duration: 0.005,
+            series: (0..6).map(|r| vec![entry(r)]).collect(),
+            seed: 0,
+        })
+    }
+
+    #[test]
+    fn all_kinds_build() {
+        let trace = dummy_trace();
+        let table = SnrTable::new(vec![2.0, 4.0, 6.0, 8.0, 10.0, 14.0]);
+        let kinds = [
+            AdapterKind::SoftRate,
+            AdapterKind::SoftRateIdeal,
+            AdapterKind::SoftRateNoDetect,
+            AdapterKind::SampleRate,
+            AdapterKind::Rraa,
+            AdapterKind::Snr(table.clone()),
+            AdapterKind::Charm(table),
+            AdapterKind::Omniscient,
+            AdapterKind::Fixed(3),
+        ];
+        for kind in kinds {
+            let mut a = kind.build(&trace, 1440 * 8, 1440, 1);
+            let attempt = a.next_attempt(0.0);
+            assert!(attempt.rate_idx < 6, "{}", kind.name());
+            assert_eq!(a.num_rates(), 6);
+        }
+    }
+
+    #[test]
+    fn detect_prob_matches_paper() {
+        assert_eq!(AdapterKind::SoftRate.detect_prob(), 0.8);
+        assert_eq!(AdapterKind::SoftRateIdeal.detect_prob(), 1.0);
+        assert!(AdapterKind::SoftRateIdeal.postambles());
+        assert!(!AdapterKind::SoftRate.postambles());
+    }
+
+    #[test]
+    fn omniscient_uses_trace_oracle() {
+        let trace = dummy_trace();
+        let mut a = AdapterKind::Omniscient.build(&trace, 1440 * 8, 1440, 0);
+        // All rates clean in the dummy trace: oracle picks the top.
+        assert_eq!(a.next_attempt(0.0).rate_idx, 5);
+    }
+
+    #[test]
+    fn frame_bits_includes_headers() {
+        let cfg = SimConfig::new(AdapterKind::SoftRate, 1);
+        assert_eq!(cfg.frame_bits(), (1400 + 40) * 8);
+    }
+}

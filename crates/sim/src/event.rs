@@ -1,0 +1,154 @@
+//! The discrete-event core: a time-ordered queue with stable FIFO ordering
+//! for simultaneous events.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event.
+#[derive(Debug, Clone)]
+pub struct Scheduled<E> {
+    /// Absolute simulation time, seconds.
+    pub time: f64,
+    /// Monotonic sequence number breaking ties (FIFO among equal times).
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (time, seq).
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic event queue.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: f64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: 0.0 }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulation time (time of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `time`. Times in the past are
+    /// clamped to `now` (events fire immediately, in order).
+    pub fn schedule(&mut self, time: f64, event: E) {
+        let time = if time < self.now { self.now } else { time };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Schedules `event` after a delay from now.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        debug_assert!(delay >= 0.0);
+        let now = self.now;
+        self.schedule(now + delay, event);
+    }
+
+    /// Pops the next event, advancing the clock.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.time >= self.now);
+        self.now = ev.time;
+        Some(ev)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, "c");
+        q.schedule(1.0, "a");
+        q.schedule(2.0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, 1);
+        q.schedule(1.0, 2);
+        q.schedule(1.0, 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        q.schedule(2.0, ());
+        q.pop();
+        assert_eq!(q.now(), 2.0);
+        q.pop();
+        assert_eq!(q.now(), 5.0);
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, "later");
+        q.pop();
+        q.schedule(1.0, "past");
+        let e = q.pop().unwrap();
+        assert_eq!(e.time, 2.0, "past schedule clamps to now");
+        assert_eq!(e.event, "past");
+    }
+
+    #[test]
+    fn schedule_in_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule(4.0, "x");
+        q.pop();
+        q.schedule_in(0.5, "y");
+        assert_eq!(q.pop().unwrap().time, 4.5);
+    }
+}

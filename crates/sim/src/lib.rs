@@ -1,0 +1,33 @@
+//! # softrate-sim — trace-driven discrete-event network simulator
+//!
+//! The evaluation substrate of §6: the paper replaces ns-3's PHY models
+//! with software-radio traces; this crate is the surrounding machinery,
+//! built from scratch:
+//!
+//! * [`event`] — deterministic event queue.
+//! * [`timing`] — 802.11a/g-like MAC timing and air-time model.
+//! * [`tcp`] — TCP NewReno endpoints (slow start, congestion avoidance,
+//!   fast retransmit/recovery, RTO with Karn + backoff).
+//! * [`config`] — topology + algorithm selection ([`config::AdapterKind`]).
+//! * [`netsim`] — the Figure 12 simulation: DCF with probabilistic carrier
+//!   sense, trace-driven frame fates, collision semantics with
+//!   SoftRate-style feedback, drop-tail queues, a 50 Mbps / 10 ms wired
+//!   segment, and rate-selection auditing against the omniscient oracle.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod event;
+pub mod netsim;
+pub mod tcp;
+pub mod timing;
+
+/// Convenient glob-import of the most common items.
+pub mod prelude {
+    pub use crate::config::{AdapterKind, SimConfig};
+    pub use crate::event::EventQueue;
+    pub use crate::netsim::{NetSim, RateAudit, SimReport};
+    pub use crate::tcp::{TcpConfig, TcpReceiver, TcpSender};
+    pub use crate::timing::{attempt_airtime, data_airtime, lossless_airtimes};
+}

@@ -1,0 +1,416 @@
+//! TCP NewReno, in segment units.
+//!
+//! The paper evaluates rate adaptation under *TCP* rather than UDP because
+//! "gains obtained on UDP transfers without congestion control are hard to
+//! realize in most practical applications" (§6): burst losses from slow
+//! rate adaptation make TCP collapse its window, which is precisely the
+//! effect Figures 13/16/17 measure. This module implements the classic
+//! NewReno loss recovery: slow start, congestion avoidance, fast
+//! retransmit/recovery with partial-ACK handling, and Jacobson/Karn RTO
+//! estimation with exponential backoff.
+//!
+//! Sequence numbers count MSS-sized segments (the simulator transfers bulk
+//! data, so byte granularity adds nothing).
+
+use std::collections::{BTreeSet, HashMap};
+
+/// TCP configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpConfig {
+    /// Maximum segment size in bytes (1400 in the paper's setup).
+    pub mss: usize,
+    /// Initial congestion window, segments.
+    pub initial_cwnd: f64,
+    /// Initial slow-start threshold, segments.
+    pub initial_ssthresh: f64,
+    /// Minimum retransmission timeout, seconds.
+    pub rto_min: f64,
+    /// Maximum retransmission timeout, seconds.
+    pub rto_max: f64,
+    /// Receiver window (sender never has more than this outstanding),
+    /// segments.
+    pub rcv_wnd: f64,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1400,
+            initial_cwnd: 2.0,
+            initial_ssthresh: 64.0,
+            rto_min: 0.2,
+            rto_max: 60.0,
+            rcv_wnd: 256.0,
+        }
+    }
+}
+
+/// The NewReno sender state machine.
+#[derive(Debug)]
+pub struct TcpSender {
+    cfg: TcpConfig,
+    /// Next never-sent segment.
+    next_new: u64,
+    /// Oldest unacknowledged segment.
+    snd_una: u64,
+    /// Congestion window in segments (fractional during CA growth).
+    cwnd: f64,
+    ssthresh: f64,
+    dup_acks: u32,
+    /// NewReno fast-recovery state: `Some(recover)` while in recovery.
+    recovery: Option<u64>,
+    /// Pending retransmission (one at a time: cumulative ACKs drive the
+    /// next).
+    retransmit_now: Option<u64>,
+    /// Send time per in-flight segment for RTT sampling; `true` when the
+    /// segment was retransmitted (Karn's rule: no sample).
+    sent_at: HashMap<u64, (f64, bool)>,
+    srtt: Option<f64>,
+    rttvar: f64,
+    rto: f64,
+    /// Exponential RTO backoff exponent.
+    backoff: u32,
+    /// Epoch counter invalidating stale RTO timer events.
+    pub timer_epoch: u64,
+    /// Total segments newly delivered (goodput accounting).
+    pub delivered: u64,
+    /// Total retransmissions sent.
+    pub retransmissions: u64,
+    /// Total RTO events.
+    pub timeouts: u64,
+}
+
+impl TcpSender {
+    /// Creates a bulk-transfer sender (infinite application backlog).
+    pub fn new(cfg: TcpConfig) -> Self {
+        TcpSender {
+            next_new: 0,
+            snd_una: 0,
+            cwnd: cfg.initial_cwnd,
+            ssthresh: cfg.initial_ssthresh,
+            dup_acks: 0,
+            recovery: None,
+            retransmit_now: None,
+            sent_at: HashMap::new(),
+            srtt: None,
+            rttvar: 0.0,
+            rto: 1.0,
+            backoff: 0,
+            timer_epoch: 0,
+            delivered: 0,
+            retransmissions: 0,
+            timeouts: 0,
+            cfg,
+        }
+    }
+
+    /// Segments currently in flight.
+    pub fn in_flight(&self) -> u64 {
+        self.next_new - self.snd_una
+    }
+
+    /// Current congestion window (segments).
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// Current retransmission timeout with backoff applied.
+    pub fn current_rto(&self) -> f64 {
+        (self.rto * (1u64 << self.backoff.min(16)) as f64).clamp(self.cfg.rto_min, self.cfg.rto_max)
+    }
+
+    /// The next segment to transmit, if the window allows: retransmissions
+    /// take priority over new data. Call repeatedly; returns `None` when
+    /// the window is full.
+    pub fn next_segment(&mut self, now: f64) -> Option<u64> {
+        if let Some(seq) = self.retransmit_now.take() {
+            self.retransmissions += 1;
+            self.sent_at.insert(seq, (now, true));
+            return Some(seq);
+        }
+        let wnd = self.cwnd.min(self.cfg.rcv_wnd).floor() as u64;
+        if self.in_flight() < wnd.max(1) {
+            let seq = self.next_new;
+            self.next_new += 1;
+            self.sent_at.insert(seq, (now, false));
+            return Some(seq);
+        }
+        None
+    }
+
+    /// Digests a cumulative ACK (`cum_ack` = next segment the receiver
+    /// expects). Returns `true` if the RTO timer should be restarted.
+    pub fn on_ack(&mut self, cum_ack: u64, now: f64) -> bool {
+        if cum_ack > self.snd_una {
+            // --- New data acknowledged -----------------------------------
+            let newly = cum_ack - self.snd_una;
+            self.delivered += newly;
+
+            // RTT sample from the latest cleanly-sent segment (Karn).
+            if let Some(&(sent, retx)) = self.sent_at.get(&(cum_ack - 1)) {
+                if !retx {
+                    self.rtt_sample(now - sent);
+                }
+            }
+            for s in self.snd_una..cum_ack {
+                self.sent_at.remove(&s);
+            }
+            self.snd_una = cum_ack;
+            self.backoff = 0;
+            self.dup_acks = 0;
+
+            match self.recovery {
+                Some(recover) if cum_ack > recover => {
+                    // Full ACK: leave fast recovery.
+                    self.recovery = None;
+                    self.cwnd = self.ssthresh;
+                }
+                Some(_) => {
+                    // Partial ACK (NewReno): retransmit the next hole,
+                    // deflate by the amount acked.
+                    self.retransmit_now = Some(self.snd_una);
+                    self.cwnd = (self.cwnd - newly as f64 + 1.0).max(1.0);
+                }
+                None => {
+                    // Normal growth.
+                    if self.cwnd < self.ssthresh {
+                        self.cwnd += newly as f64; // slow start
+                    } else {
+                        self.cwnd += newly as f64 / self.cwnd; // CA
+                    }
+                }
+            }
+            true
+        } else {
+            // --- Duplicate ACK -------------------------------------------
+            if self.in_flight() == 0 {
+                return false;
+            }
+            self.dup_acks += 1;
+            if self.recovery.is_some() {
+                // Window inflation during recovery.
+                self.cwnd += 1.0;
+            } else if self.dup_acks == 3 {
+                // Fast retransmit.
+                self.ssthresh = (self.in_flight() as f64 / 2.0).max(2.0);
+                self.cwnd = self.ssthresh + 3.0;
+                self.recovery = Some(self.next_new.saturating_sub(1));
+                self.retransmit_now = Some(self.snd_una);
+            }
+            false
+        }
+    }
+
+    /// Handles an RTO expiry: collapse to one segment, back off the timer,
+    /// retransmit the oldest hole.
+    pub fn on_timeout(&mut self) {
+        self.timeouts += 1;
+        self.ssthresh = (self.in_flight() as f64 / 2.0).max(2.0);
+        self.cwnd = 1.0;
+        self.dup_acks = 0;
+        self.recovery = None;
+        self.retransmit_now = Some(self.snd_una);
+        self.backoff += 1;
+        self.timer_epoch += 1;
+        // All in-flight segments are now suspect; their RTT samples would
+        // violate Karn's rule anyway.
+        for (_, v) in self.sent_at.iter_mut() {
+            v.1 = true;
+        }
+    }
+
+    /// Whether any data is outstanding (RTO timer should be armed).
+    pub fn needs_timer(&self) -> bool {
+        self.in_flight() > 0
+    }
+
+    fn rtt_sample(&mut self, rtt: f64) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2.0;
+            }
+            Some(srtt) => {
+                self.rttvar = 0.75 * self.rttvar + 0.25 * (srtt - rtt).abs();
+                self.srtt = Some(0.875 * srtt + 0.125 * rtt);
+            }
+        }
+        self.rto = (self.srtt.unwrap() + 4.0 * self.rttvar).clamp(self.cfg.rto_min, self.cfg.rto_max);
+    }
+}
+
+/// The receiver: cumulative ACKs with out-of-order buffering.
+#[derive(Debug, Default)]
+pub struct TcpReceiver {
+    rcv_nxt: u64,
+    out_of_order: BTreeSet<u64>,
+}
+
+impl TcpReceiver {
+    /// Creates a receiver expecting segment 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accepts a segment; returns the cumulative ACK to send back (the
+    /// next expected segment).
+    pub fn on_segment(&mut self, seq: u64) -> u64 {
+        if seq == self.rcv_nxt {
+            self.rcv_nxt += 1;
+            while self.out_of_order.remove(&self.rcv_nxt) {
+                self.rcv_nxt += 1;
+            }
+        } else if seq > self.rcv_nxt {
+            self.out_of_order.insert(seq);
+        }
+        self.rcv_nxt
+    }
+
+    /// Next expected segment (current cumulative ACK value).
+    pub fn rcv_nxt(&self) -> u64 {
+        self.rcv_nxt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(sender: &mut TcpSender, now: f64) -> Vec<u64> {
+        let mut out = Vec::new();
+        while let Some(s) = sender.next_segment(now) {
+            out.push(s);
+        }
+        out
+    }
+
+    #[test]
+    fn slow_start_doubles_window() {
+        let mut s = TcpSender::new(TcpConfig::default());
+        let w0 = drain(&mut s, 0.0);
+        assert_eq!(w0, vec![0, 1], "initial window of 2");
+        // ACK both: cwnd 2 -> 4.
+        s.on_ack(1, 0.1);
+        s.on_ack(2, 0.1);
+        let w1 = drain(&mut s, 0.1);
+        assert_eq!(w1.len(), 4);
+    }
+
+    #[test]
+    fn congestion_avoidance_grows_linearly() {
+        let mut cfg = TcpConfig::default();
+        cfg.initial_ssthresh = 2.0; // CA from the start
+        let mut s = TcpSender::new(cfg);
+        let w = drain(&mut s, 0.0);
+        let base = s.cwnd();
+        for &seq in &w {
+            s.on_ack(seq + 1, 0.05);
+        }
+        // One window of ACKs grows cwnd by ~1 segment in CA.
+        assert!((s.cwnd() - base - 1.0).abs() < 0.2, "cwnd {} from {base}", s.cwnd());
+    }
+
+    #[test]
+    fn receiver_cumulative_and_out_of_order() {
+        let mut r = TcpReceiver::new();
+        assert_eq!(r.on_segment(0), 1);
+        assert_eq!(r.on_segment(2), 1, "gap holds the ACK");
+        assert_eq!(r.on_segment(3), 1);
+        assert_eq!(r.on_segment(1), 4, "filling the hole releases the run");
+        assert_eq!(r.on_segment(1), 4, "duplicate segment re-acks");
+    }
+
+    #[test]
+    fn fast_retransmit_on_three_dupacks() {
+        let mut s = TcpSender::new(TcpConfig { initial_cwnd: 8.0, ..Default::default() });
+        let w = drain(&mut s, 0.0);
+        assert_eq!(w.len(), 8);
+        // Segment 0 lost; receiver acks "expect 0" for segments 1,2,3.
+        assert!(!s.on_ack(0, 0.1));
+        assert!(!s.on_ack(0, 0.11));
+        assert!(!s.on_ack(0, 0.12));
+        let next = s.next_segment(0.13);
+        assert_eq!(next, Some(0), "fast retransmit of the hole");
+        assert_eq!(s.retransmissions, 1);
+        assert!(s.recovery.is_some());
+        assert!(s.ssthresh >= 2.0 && s.ssthresh <= 4.0);
+    }
+
+    #[test]
+    fn newreno_partial_ack_retransmits_next_hole() {
+        let mut s = TcpSender::new(TcpConfig { initial_cwnd: 8.0, ..Default::default() });
+        drain(&mut s, 0.0); // 0..8 in flight
+        // Lose 0 and 4: dupacks for 0.
+        for t in [0.1, 0.11, 0.12] {
+            s.on_ack(0, t);
+        }
+        assert_eq!(s.next_segment(0.13), Some(0));
+        // Retransmitted 0 arrives; receiver now has 0..4 but not 4: partial
+        // ACK to 4 (recovery point is 7).
+        s.on_ack(4, 0.2);
+        assert!(s.recovery.is_some(), "partial ACK stays in recovery");
+        assert_eq!(s.next_segment(0.21), Some(4), "next hole retransmitted immediately");
+        // Full ACK exits recovery.
+        s.on_ack(8, 0.3);
+        assert!(s.recovery.is_none());
+        assert!((s.cwnd() - s.ssthresh).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeout_collapses_window_and_backs_off() {
+        let mut s = TcpSender::new(TcpConfig { initial_cwnd: 8.0, ..Default::default() });
+        drain(&mut s, 0.0);
+        let rto0 = s.current_rto();
+        s.on_timeout();
+        assert_eq!(s.cwnd(), 1.0);
+        assert_eq!(s.next_segment(1.0), Some(0), "oldest hole retransmitted");
+        assert!(s.current_rto() >= 2.0 * rto0 || s.current_rto() == s.cfg.rto_max);
+        s.on_timeout();
+        assert!(s.current_rto() >= 2.0 * rto0);
+    }
+
+    #[test]
+    fn rtt_estimation_converges() {
+        let mut s = TcpSender::new(TcpConfig::default());
+        let mut now = 0.0;
+        for _ in 0..50 {
+            let segs = drain(&mut s, now);
+            now += 0.05; // constant 50 ms RTT
+            for &seq in &segs {
+                s.on_ack(seq + 1, now);
+            }
+        }
+        let srtt = s.srtt.unwrap();
+        assert!((srtt - 0.05).abs() < 0.005, "srtt {srtt}");
+        assert_eq!(s.current_rto(), s.cfg.rto_min, "tight RTT -> clamped at rto_min");
+    }
+
+    #[test]
+    fn karns_rule_skips_retransmitted_segments() {
+        let mut s = TcpSender::new(TcpConfig::default());
+        drain(&mut s, 0.0);
+        s.on_timeout();
+        assert_eq!(s.next_segment(10.0), Some(0));
+        // ACK arrives for the retransmitted segment much later; no RTT
+        // sample must be taken (srtt stays None).
+        s.on_ack(1, 30.0);
+        assert!(s.srtt.is_none());
+    }
+
+    #[test]
+    fn delivered_counts_unique_segments() {
+        let mut s = TcpSender::new(TcpConfig { initial_cwnd: 4.0, ..Default::default() });
+        drain(&mut s, 0.0);
+        s.on_ack(4, 0.1);
+        assert_eq!(s.delivered, 4);
+        s.on_ack(4, 0.2); // dupack adds nothing
+        assert_eq!(s.delivered, 4);
+    }
+
+    #[test]
+    fn window_respects_receiver_limit() {
+        let cfg = TcpConfig { initial_cwnd: 1000.0, rcv_wnd: 10.0, ..Default::default() };
+        let mut s = TcpSender::new(cfg);
+        assert_eq!(drain(&mut s, 0.0).len(), 10);
+    }
+}

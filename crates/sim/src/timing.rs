@@ -1,0 +1,107 @@
+//! MAC timing model: 802.11a/g-like constants and air-time computation.
+//!
+//! Regardless of the OFDM mode a *trace* was collected in, the simulator
+//! times frames in the 20 MHz simulation mode (like the paper's ns-3 setup,
+//! which keeps 802.11 timing and takes only frame *fates* from the traces).
+
+use softrate_phy::frame::frame_airtime_secs;
+use softrate_phy::ofdm::SIMULATION;
+use softrate_phy::rates::{BitRate, PAPER_RATES};
+
+/// Slot time, seconds (802.11a: 9 us).
+pub const SLOT: f64 = 9e-6;
+/// Short inter-frame space (802.11a: 16 us).
+pub const SIFS: f64 = 16e-6;
+/// DCF inter-frame space (SIFS + 2 slots).
+pub const DIFS: f64 = SIFS + 2.0 * SLOT;
+/// Minimum contention window (slots - 1).
+pub const CW_MIN: u32 = 15;
+/// Maximum contention window.
+pub const CW_MAX: u32 = 1023;
+/// Link-layer retry limit before a frame is dropped.
+pub const MAX_RETRIES: u32 = 7;
+
+/// Link-layer feedback frame payload: a 32-bit BER plus addressing already
+/// in the header (paper §4.1: the ACK carries "a 32-bit estimate of the
+/// received frame's interference-free bit error rate").
+pub const FEEDBACK_PAYLOAD: usize = 4;
+
+/// TCP/IP header bytes added to each segment on the air.
+pub const IP_TCP_HEADER: usize = 40;
+
+/// Air time of a data frame of `payload` bytes at `rate`.
+pub fn data_airtime(rate: BitRate, payload: usize, postamble: bool) -> f64 {
+    frame_airtime_secs(&SIMULATION, rate, payload, postamble)
+}
+
+/// Air time of the base-rate feedback/ACK frame.
+pub fn feedback_airtime() -> f64 {
+    frame_airtime_secs(&SIMULATION, PAPER_RATES[0], FEEDBACK_PAYLOAD, false)
+}
+
+/// Air time of an RTS/CTS exchange (two minimal base-rate frames plus two
+/// SIFS gaps).
+pub fn rts_cts_overhead() -> f64 {
+    2.0 * frame_airtime_secs(&SIMULATION, PAPER_RATES[0], 0, false) + 2.0 * SIFS
+}
+
+/// The complete cost of one delivery attempt at `rate` excluding backoff:
+/// DIFS + (optional RTS/CTS) + data + SIFS + feedback.
+pub fn attempt_airtime(rate: BitRate, payload: usize, postamble: bool, rts: bool) -> f64 {
+    DIFS + if rts { rts_cts_overhead() } else { 0.0 }
+        + data_airtime(rate, payload, postamble)
+        + SIFS
+        + feedback_airtime()
+}
+
+/// Loss-free per-frame air times for each paper rate (the cost model given
+/// to SampleRate and RRAA).
+pub fn lossless_airtimes(payload: usize) -> Vec<f64> {
+    PAPER_RATES.iter().map(|&r| attempt_airtime(r, payload, false, false)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn difs_is_sifs_plus_two_slots() {
+        assert!((DIFS - 34e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn airtime_decreases_with_rate() {
+        let times = lossless_airtimes(1440);
+        for w in times.windows(2) {
+            assert!(w[1] < w[0], "faster rate must cost less air time: {times:?}");
+        }
+    }
+
+    #[test]
+    fn throughput_upper_bound_is_sane() {
+        // At 36 Mbps with 1440-byte frames, the per-frame cost bounds MAC
+        // throughput somewhere between 15 and 30 Mbps.
+        let t = attempt_airtime(PAPER_RATES[5], 1440, false, false);
+        let thr = 1400.0 * 8.0 / t;
+        assert!(thr > 15e6 && thr < 30e6, "throughput bound {thr}");
+    }
+
+    #[test]
+    fn feedback_is_short() {
+        let f = feedback_airtime();
+        assert!(f < 100e-6, "feedback frame too long: {f}");
+        assert!(f > 10e-6);
+    }
+
+    #[test]
+    fn rts_cts_costs_less_than_data() {
+        assert!(rts_cts_overhead() < data_airtime(PAPER_RATES[0], 1440, false));
+    }
+
+    #[test]
+    fn postamble_costs_one_symbol() {
+        let with = data_airtime(PAPER_RATES[3], 1440, true);
+        let without = data_airtime(PAPER_RATES[3], 1440, false);
+        assert!((with - without - 8e-6).abs() < 1e-12);
+    }
+}

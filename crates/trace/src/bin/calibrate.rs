@@ -1,0 +1,50 @@
+//! Calibration sweep: delivery probability per (SNR, rate) on a static
+//! channel, plus the implied success probability of 1400-byte data frames.
+//! Used to pin the recipe operating points (alternating good/bad SNR,
+//! static-short SNR) to the PHY's actual thresholds.
+
+use softrate_channel::link::{Link, LinkConfig};
+use softrate_phy::ofdm::SHORT_RANGE;
+use softrate_phy::rates::PAPER_RATES;
+
+fn main() {
+    let frames = 40;
+    let payload = 100;
+    println!("static short-range calibration: {frames} probes per point, {payload} B payload");
+    println!(
+        "{:>6} | {}",
+        "SNR dB",
+        PAPER_RATES.iter().map(|r| format!("{:>16}", r.label())).collect::<String>()
+    );
+    for snr_x2 in 4..=52 {
+        let snr = snr_x2 as f64 / 2.0;
+        let mut row = format!("{snr:>6.1} |");
+        for &rate in PAPER_RATES {
+            let mut cfg = LinkConfig::new(SHORT_RANGE);
+            cfg.noise_power_db = -snr;
+            cfg.seed = 1234 ^ (snr_x2 as u64) << 8;
+            let mut link = Link::new(cfg);
+            let mut delivered = 0usize;
+            let mut ber_acc = 0.0;
+            let mut ber_n = 0usize;
+            for k in 0..frames {
+                let (_, obs) = link.probe(rate, payload, k as f64 * 0.01, &[], false);
+                if obs.delivered() {
+                    delivered += 1;
+                }
+                if let Some(b) = obs.true_ber {
+                    ber_acc += b;
+                    ber_n += 1;
+                }
+            }
+            let mean_ber = if ber_n > 0 { ber_acc / ber_n as f64 } else { f64::NAN };
+            let p1400 = (1.0 - mean_ber).powi(1404 * 8).max(0.0);
+            row.push_str(&format!(
+                " {:>4.0}%/p14={:<4.2} ",
+                100.0 * delivered as f64 / frames as f64,
+                if p1400.is_nan() { 0.0 } else { p1400 }
+            ));
+        }
+        println!("{row}");
+    }
+}

@@ -1,0 +1,87 @@
+//! Load-or-generate caching of traces on disk.
+//!
+//! Trace generation runs the full PHY per probe and takes seconds-to-
+//! minutes per trace; experiments cache traces as JSON under `results/` so
+//! re-running a figure harness is instant. Set `SOFTRATE_REGEN=1` to force
+//! regeneration.
+
+use std::fs;
+use std::path::Path;
+
+use crate::schema::LinkTrace;
+
+/// Loads `path` if it exists and parses, otherwise generates with `gen`,
+/// stores, and returns. Respects the `SOFTRATE_REGEN` environment variable.
+pub fn load_or_generate<P: AsRef<Path>>(path: P, gen: impl FnOnce() -> LinkTrace) -> LinkTrace {
+    let path = path.as_ref();
+    let force = std::env::var("SOFTRATE_REGEN").map(|v| v == "1").unwrap_or(false);
+    if !force {
+        if let Ok(text) = fs::read_to_string(path) {
+            if let Ok(trace) = LinkTrace::from_json(&text) {
+                return trace;
+            }
+            // Unparseable cache: fall through and regenerate.
+        }
+    }
+    let trace = gen();
+    if let Some(parent) = path.parent() {
+        let _ = fs::create_dir_all(parent);
+    }
+    if let Err(e) = fs::write(path, trace.to_json()) {
+        eprintln!("warning: could not cache trace to {}: {e}", path.display());
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TraceEntry;
+
+    fn tiny_trace(marker: f64) -> LinkTrace {
+        LinkTrace {
+            name: "tiny".into(),
+            mode_name: "simulation".into(),
+            interval: 0.005,
+            duration: 0.005,
+            series: vec![vec![TraceEntry::silent(0.0, 0, marker)]],
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn generates_then_loads() {
+        let dir = std::env::temp_dir().join(format!("softrate-cache-test-{}", std::process::id()));
+        let path = dir.join("t.json");
+        let _ = fs::remove_file(&path);
+
+        let mut calls = 0;
+        let t1 = load_or_generate(&path, || {
+            calls += 1;
+            tiny_trace(1.0)
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(t1.series[0][0].true_snr_db, 1.0);
+
+        // Second call must hit the cache, not the generator.
+        let t2 = load_or_generate(&path, || {
+            calls += 1;
+            tiny_trace(2.0)
+        });
+        assert_eq!(calls, 1, "generator must not run again");
+        assert_eq!(t2.series[0][0].true_snr_db, 1.0);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_regenerates() {
+        let dir = std::env::temp_dir().join(format!("softrate-cache-test2-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        fs::write(&path, "{not json").unwrap();
+        let t = load_or_generate(&path, || tiny_trace(3.0));
+        assert_eq!(t.series[0][0].true_snr_db, 3.0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,87 @@
+//! Minimal data-parallel map over OS threads.
+//!
+//! Trace generation is embarrassingly parallel across (run, power, rate)
+//! combinations; this avoids pulling a full work-stealing runtime into the
+//! workspace for a one-shot batch job (the coding guides' advice: CPU-bound
+//! batch work belongs on plain threads, not an async runtime).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item, using up to `available_parallelism` threads.
+/// Order of results matches the order of `items`. `f` must be `Sync` (it is
+/// shared across threads) and the items/results must be `Send`.
+pub fn par_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i].lock().unwrap().take().expect("item taken twice");
+                let out = f(item);
+                *results[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker died before finishing"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let out = par_map((0..100).collect(), |x: i32| x * x);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as i32);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = par_map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(par_map(vec![41], |x: i32| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn heavy_closure_state_is_shared_safely() {
+        use std::sync::atomic::AtomicU64;
+        let calls = AtomicU64::new(0);
+        let out = par_map((0..1000).collect(), |x: u64| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x + 1
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1000);
+        assert_eq!(out.len(), 1000);
+    }
+}

@@ -1,0 +1,311 @@
+//! The paper's Table 4 experiment recipes, as data.
+//!
+//! Each recipe captures the workload parameters of one row of Table 4.
+//! Defaults are paper-scale; `smoke()` variants are scaled down for tests
+//! and quick runs. Substitutions from the paper's testbed to our simulated
+//! channel are documented in DESIGN.md §1.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of evaluated rates (the paper's prototype rates, 6..36 Mbps).
+pub const N_RATES: usize = softrate_phy::rates::NUM_PAPER_RATES;
+
+/// Probe payload used in trace collection (small frames so a full rate
+/// cycle fits in the 5 ms channel-coherence budget, §6.1).
+pub const PROBE_PAYLOAD: usize = 100;
+
+/// Probing interval: all rates are cycled once per interval (§6.1: "running
+/// through all the bit rates once in under 5 milliseconds").
+pub const PROBE_INTERVAL: f64 = 0.005;
+
+/// "Static" recipe (Table 4 row 1): static sender-receiver pairs, power
+/// sweep, 960-byte frames — the BER-estimation study of §5.2 / Figure 7.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StaticRecipe {
+    /// Number of sender-receiver pairs (seeds).
+    pub n_pairs: usize,
+    /// Transmit powers swept, in dB.
+    pub tx_powers_db: Vec<f64>,
+    /// Frames per (pair, power, rate) point.
+    pub frames_per_point: usize,
+    /// Probe payload bytes.
+    pub payload_len: usize,
+    /// Noise floor in dB.
+    pub noise_db: f64,
+}
+
+impl Default for StaticRecipe {
+    fn default() -> Self {
+        StaticRecipe {
+            n_pairs: 6,
+            // 20 powers spanning SNR ~2..26 dB against the -26 dB floor.
+            tx_powers_db: (0..20).map(|k| -24.0 + 1.25 * k as f64).collect(),
+            frames_per_point: 100,
+            payload_len: 960,
+            noise_db: -26.0,
+        }
+    }
+}
+
+impl StaticRecipe {
+    /// Scaled-down variant for tests / quick runs.
+    pub fn smoke() -> Self {
+        StaticRecipe {
+            n_pairs: 2,
+            tx_powers_db: (0..8).map(|k| -24.0 + 3.2 * k as f64).collect(),
+            frames_per_point: 10,
+            payload_len: 240,
+            noise_db: -26.0,
+        }
+    }
+}
+
+/// "Walking" recipe (Table 4 row 2): one sender moving away from the
+/// receiver at walking speed; 10 runs of 10 seconds (§5.2, §6.2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WalkingRecipe {
+    /// Trace duration per run, seconds.
+    pub duration: f64,
+    /// Probing interval, seconds.
+    pub interval: f64,
+    /// Probe payload bytes.
+    pub payload_len: usize,
+    /// Noise floor dB.
+    pub noise_db: f64,
+    /// Start-of-run attenuation dB.
+    pub atten_start_db: f64,
+    /// End-of-run attenuation dB (more negative = farther away).
+    pub atten_end_db: f64,
+    /// Doppler spread at walking speed, Hz.
+    pub doppler_hz: f64,
+}
+
+impl Default for WalkingRecipe {
+    fn default() -> Self {
+        WalkingRecipe {
+            duration: 10.0,
+            interval: PROBE_INTERVAL,
+            payload_len: PROBE_PAYLOAD,
+            noise_db: -26.0,
+            atten_start_db: 0.0,
+            atten_end_db: -20.0,
+            doppler_hz: 40.0,
+        }
+    }
+}
+
+impl WalkingRecipe {
+    /// Scaled-down variant.
+    pub fn smoke() -> Self {
+        WalkingRecipe { duration: 1.0, ..Default::default() }
+    }
+}
+
+/// "Simulation" recipe (Table 4 row 3): fading-channel simulator with the
+/// Doppler spread swept 40 Hz .. 4 kHz (§5.2, §6.3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DopplerRecipe {
+    /// Doppler spread, Hz.
+    pub doppler_hz: f64,
+    /// Trace duration, seconds.
+    pub duration: f64,
+    /// Probing interval, seconds.
+    pub interval: f64,
+    /// Probe payload bytes.
+    pub payload_len: usize,
+    /// Mean SNR in dB (power fixed; the fading does the sweeping).
+    pub mean_snr_db: f64,
+}
+
+impl Default for DopplerRecipe {
+    fn default() -> Self {
+        DopplerRecipe {
+            doppler_hz: 400.0,
+            duration: 10.0,
+            interval: PROBE_INTERVAL,
+            payload_len: PROBE_PAYLOAD,
+            mean_snr_db: 16.0,
+        }
+    }
+}
+
+impl DopplerRecipe {
+    /// The paper's Doppler sweep endpoints: 40 Hz .. 4 kHz, i.e. coherence
+    /// times 10 ms .. 100 us.
+    pub fn paper_sweep() -> Vec<f64> {
+        vec![40.0, 100.0, 400.0, 1000.0, 2000.0, 4000.0]
+    }
+
+    /// Coherence time implied by this recipe's Doppler (0.4 / f_d).
+    pub fn coherence_time(&self) -> f64 {
+        0.4 / self.doppler_hz
+    }
+
+    /// Scaled-down variant.
+    pub fn smoke(doppler_hz: f64) -> Self {
+        DopplerRecipe { doppler_hz, duration: 1.0, ..Default::default() }
+    }
+}
+
+/// "Static (interference)" recipe (Table 4 row 4): sender + interferer with
+/// ~one-packet-time jitter, interferer power swept (§5.3, Figures 10/11).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InterferenceRecipe {
+    /// Interferer power relative to the sender, dB (paper x-axis:
+    /// -15..0 dB).
+    pub rel_powers_db: Vec<f64>,
+    /// Frames per (power, rate) point.
+    pub frames_per_point: usize,
+    /// Sender payload bytes.
+    pub payload_len: usize,
+    /// Interferer payload bytes (equal sizes in the paper's accuracy
+    /// study).
+    pub interferer_payload_len: usize,
+    /// Sender SNR in dB (high: the link is clean absent interference).
+    pub snr_db: f64,
+}
+
+impl Default for InterferenceRecipe {
+    fn default() -> Self {
+        InterferenceRecipe {
+            rel_powers_db: vec![-15.0, -8.0, -4.0, -2.0, 0.0],
+            frames_per_point: 100,
+            payload_len: 700,
+            interferer_payload_len: 700,
+            snr_db: 25.0,
+        }
+    }
+}
+
+impl InterferenceRecipe {
+    /// Scaled-down variant. Payloads stay long enough (500 B, ~15+ OFDM
+    /// symbols) that an overlap spans several symbols — the geometry the
+    /// detector's min-region rule expects from real collisions.
+    pub fn smoke() -> Self {
+        InterferenceRecipe {
+            rel_powers_db: vec![-8.0, 0.0],
+            frames_per_point: 15,
+            payload_len: 500,
+            interferer_payload_len: 500,
+            snr_db: 25.0,
+        }
+    }
+}
+
+/// "Static (short range)" recipe (Table 4 row 5): single static sender,
+/// 10 s runs — the substrate for the interference-dominated evaluation of
+/// §6.4 (a static channel isolates the interference-detection benefit).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StaticShortRecipe {
+    /// Trace duration, seconds.
+    pub duration: f64,
+    /// Probing interval, seconds.
+    pub interval: f64,
+    /// Probe payload bytes.
+    pub payload_len: usize,
+    /// Link SNR in dB.
+    pub snr_db: f64,
+}
+
+impl Default for StaticShortRecipe {
+    fn default() -> Self {
+        StaticShortRecipe {
+            duration: 10.0,
+            interval: PROBE_INTERVAL,
+            payload_len: PROBE_PAYLOAD,
+            snr_db: 17.0,
+        }
+    }
+}
+
+impl StaticShortRecipe {
+    /// Scaled-down variant.
+    pub fn smoke() -> Self {
+        StaticShortRecipe { duration: 1.0, ..Default::default() }
+    }
+}
+
+/// Synthetic alternating-channel recipe for the convergence study
+/// (Figure 15): the channel flips between a "good" state (best rate QAM16
+/// 3/4) and a "bad" state (best rate QAM16 1/2) every second.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AlternatingRecipe {
+    /// Seconds per state (1.0 in the paper).
+    pub half_period: f64,
+    /// Total duration, seconds.
+    pub duration: f64,
+    /// Probing interval, seconds.
+    pub interval: f64,
+    /// SNR during the good state, dB.
+    pub snr_good_db: f64,
+    /// SNR during the bad state, dB.
+    pub snr_bad_db: f64,
+    /// Probe payload bytes.
+    pub payload_len: usize,
+}
+
+impl Default for AlternatingRecipe {
+    fn default() -> Self {
+        AlternatingRecipe {
+            half_period: 1.0,
+            duration: 10.0,
+            interval: PROBE_INTERVAL,
+            // Calibrated to the PHY (see crates/trace/src/bin/calibrate.rs):
+            // QAM16 3/4 needs ~14 dB, QAM16 1/2 ~12.5 dB.
+            snr_good_db: 16.0,
+            snr_bad_db: 12.5,
+            payload_len: PROBE_PAYLOAD,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table4_scale() {
+        let s = StaticRecipe::default();
+        assert_eq!(s.n_pairs, 6);
+        assert_eq!(s.tx_powers_db.len(), 20);
+        assert_eq!(s.frames_per_point, 100);
+        assert_eq!(s.payload_len, 960);
+
+        let w = WalkingRecipe::default();
+        assert_eq!(w.duration, 10.0);
+        // 10 s / 5 ms = 2000 probes per rate per run; x 10 runs x 2 (both
+        // trace endpoints) covers the paper's 4000 packets per rate.
+        assert!((w.duration / w.interval - 2000.0).abs() < 1e-9);
+
+        let i = InterferenceRecipe::default();
+        assert_eq!(i.rel_powers_db.len(), 5);
+        assert_eq!(i.frames_per_point, 100);
+    }
+
+    #[test]
+    fn doppler_sweep_covers_coherence_decade() {
+        let sweep = DopplerRecipe::paper_sweep();
+        assert_eq!(*sweep.first().unwrap(), 40.0);
+        assert_eq!(*sweep.last().unwrap(), 4000.0);
+        let fast = DopplerRecipe { doppler_hz: 4000.0, ..Default::default() };
+        assert!((fast.coherence_time() - 1e-4).abs() < 1e-12, "4 kHz ~ 100 us coherence");
+    }
+
+    #[test]
+    fn smoke_variants_are_smaller() {
+        assert!(StaticRecipe::smoke().frames_per_point < StaticRecipe::default().frames_per_point);
+        assert!(WalkingRecipe::smoke().duration < WalkingRecipe::default().duration);
+        assert!(
+            InterferenceRecipe::smoke().frames_per_point
+                < InterferenceRecipe::default().frames_per_point
+        );
+    }
+
+    #[test]
+    fn recipes_serialize() {
+        let r = WalkingRecipe::default();
+        let s = serde_json::to_string(&r).unwrap();
+        let back: WalkingRecipe = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.duration, r.duration);
+    }
+}

@@ -1,0 +1,61 @@
+//! Using the PHY directly: SoftPHY hints estimate BER *without knowing the
+//! transmitted bits* — even on error-free frames (§3.1, Figure 7).
+//!
+//! Sweeps SNR on an AWGN channel, and for each reception compares the
+//! hint-based BER estimate `mean(1/(1+e^{s_k}))` with the ground truth
+//! (which this example knows because it generated the payload).
+//!
+//! Run with: `cargo run --release --example custom_phy_ber`
+
+use softrate::channel::link::{Link, LinkConfig};
+use softrate::core::hints::FrameHints;
+use softrate::phy::ofdm::SIMULATION;
+use softrate::phy::rates::PAPER_RATES;
+
+fn main() {
+    let rate = PAPER_RATES[3]; // QPSK 3/4
+    println!("rate: {}, 400-byte frames, AWGN channel", rate.label());
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>10}",
+        "SNR dB", "est BER", "true BER", "|log err|", "CRC ok"
+    );
+    for snr_x2 in 10..=26 {
+        let snr = snr_x2 as f64 / 2.0;
+        let mut cfg = LinkConfig::new(SIMULATION);
+        cfg.noise_power_db = -snr;
+        cfg.seed = snr_x2 as u64;
+        let mut link = Link::new(cfg);
+
+        // Average a few frames per point.
+        let mut est_acc = 0.0;
+        let mut true_acc = 0.0;
+        let mut n = 0;
+        let mut crc_ok = 0;
+        for k in 0..8 {
+            let (_, obs) = link.probe(rate, 400, k as f64 * 0.01, &[], false);
+            if let Some(rx) = &obs.rx {
+                if rx.header.is_some() && !rx.llrs.is_empty() {
+                    let hints = FrameHints::from_llrs(&rx.llrs, rx.info_bits_per_symbol);
+                    est_acc += hints.frame_ber();
+                    true_acc += obs.true_ber.unwrap_or(0.0);
+                    n += 1;
+                    crc_ok += rx.crc_ok as usize;
+                }
+            }
+        }
+        if n == 0 {
+            println!("{snr:>8.1} {:>12} {:>12} {:>12} {:>10}", "-", "-", "-", "0/8");
+            continue;
+        }
+        let est = est_acc / n as f64;
+        let truth = true_acc / n as f64;
+        let log_err = (est.max(1e-9).log10() - truth.max(1e-9).log10()).abs();
+        println!(
+            "{snr:>8.1} {est:>12.2e} {truth:>12.2e} {log_err:>12.2} {:>7}/8",
+            crc_ok
+        );
+    }
+    println!("\nNote the rows where true BER is 0 (error-free frames) but the");
+    println!("estimate still distinguishes 1e-5 from 1e-8 — the property that");
+    println!("lets SoftRate adapt *upward* without probing (paper §1).");
+}

@@ -1,0 +1,35 @@
+//! # softrate — a full reproduction of "Cross-Layer Wireless Bit Rate
+//! Adaptation" (SoftRate, SIGCOMM 2009)
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`phy`] — the 802.11a/g-like software PHY with the soft-output BCJR
+//!   decoder that produces SoftPHY hints.
+//! * [`channel`] — AWGN / Jakes-Rayleigh channel simulation with
+//!   interference, and the end-to-end link pipeline.
+//! * [`core`] — the paper's contribution: hints → BER, the interference
+//!   detector, threshold computation and the SoftRate algorithm.
+//! * [`adapt`] — every baseline SoftRate is compared against.
+//! * [`trace`] — Table 4 workloads and trace-driven channel state.
+//! * [`sim`] — the Figure 12 network simulator (802.11-like MAC + TCP
+//!   NewReno).
+//!
+//! See `examples/quickstart.rs` for a guided tour and the
+//! `softrate-bench` binaries for every table and figure of the paper.
+
+pub use softrate_adapt as adapt;
+pub use softrate_channel as channel;
+pub use softrate_core as core;
+pub use softrate_phy as phy;
+pub use softrate_sim as sim;
+pub use softrate_trace as trace;
+
+/// The most commonly used items from every layer.
+pub mod prelude {
+    pub use softrate_adapt::prelude::*;
+    pub use softrate_channel::prelude::*;
+    pub use softrate_core::prelude::*;
+    pub use softrate_phy::prelude::*;
+    pub use softrate_sim::prelude::*;
+    pub use softrate_trace::prelude::*;
+}

@@ -1,0 +1,154 @@
+//! Integration tests of baseline-adapter behaviour against live PHY links
+//! (not traces): each protocol's characteristic failure mode from the
+//! paper, demonstrated end to end.
+
+use softrate::adapt::misc::FixedRate;
+use softrate::adapt::rraa::Rraa;
+use softrate::adapt::samplerate::SampleRate;
+use softrate::adapt::snr::{SnrAdapter, SnrTable};
+use softrate::channel::link::{Link, LinkConfig};
+use softrate::channel::model::FadingSpec;
+use softrate::channel::pathloss::Attenuation;
+use softrate::core::adapter::{RateAdapter, TxOutcome};
+use softrate::phy::ofdm::SIMULATION;
+use softrate::phy::rates::PAPER_RATES;
+use softrate::sim::timing::lossless_airtimes;
+
+/// Drives any adapter over a live link; returns (rates chosen, deliveries).
+fn drive(adapter: &mut dyn RateAdapter, link: &mut Link, frames: usize) -> (Vec<usize>, usize) {
+    let mut rates = Vec::new();
+    let mut delivered = 0;
+    let mut t = 0.0;
+    for _ in 0..frames {
+        let attempt = adapter.next_attempt(t);
+        rates.push(attempt.rate_idx);
+        let rate = PAPER_RATES[attempt.rate_idx];
+        let (tx, obs) = link.probe(rate, 100, t, &[], false);
+        t += 0.005;
+        let ok = obs.delivered();
+        delivered += ok as usize;
+        let snr = obs.rx.as_ref().map(|r| r.snr_db);
+        adapter.on_outcome(&TxOutcome {
+            rate_idx: attempt.rate_idx,
+            acked: ok,
+            feedback_received: obs.feedback_possible(),
+            ber_feedback: None,
+            interference_flagged: false,
+            postamble_ack: false,
+            snr_feedback_db: snr,
+            airtime: tx.airtime(),
+            now: t,
+        });
+    }
+    (rates, delivered)
+}
+
+fn strong_link(seed: u64) -> Link {
+    let mut cfg = LinkConfig::new(SIMULATION);
+    cfg.noise_power_db = -25.0;
+    cfg.seed = seed;
+    Link::new(cfg)
+}
+
+#[test]
+fn rraa_climbs_a_clean_channel() {
+    let mut link = strong_link(1);
+    let mut rraa = Rraa::new(lossless_airtimes(104));
+    let (rates, delivered) = drive(&mut rraa, &mut link, 400);
+    assert_eq!(*rates.last().unwrap(), 5, "RRAA must reach the top rate");
+    assert!(delivered > 350);
+    // But it takes many frames (window-driven): count frames to first
+    // reach the top rate.
+    let first_top = rates.iter().position(|&r| r == 5).unwrap();
+    assert!(
+        first_top > 30,
+        "RRAA needs multiple windows to climb (took {first_top} frames)"
+    );
+}
+
+#[test]
+fn samplerate_finds_the_working_rate() {
+    // 8.5 dB: QPSK 3/4 and below work, QAM16+ fail.
+    let mut cfg = LinkConfig::new(SIMULATION);
+    cfg.noise_power_db = -8.5;
+    cfg.seed = 2;
+    let mut link = Link::new(cfg);
+    let mut sr = SampleRate::new(lossless_airtimes(104), 1.0, 7);
+    let (rates, _) = drive(&mut sr, &mut link, 300);
+    let tail = &rates[200..];
+    let at_3 = tail.iter().filter(|&&r| r == 3).count();
+    assert!(
+        at_3 * 10 >= tail.len() * 6,
+        "SampleRate should mostly sit at QPSK 3/4: {:?}",
+        &tail[..20.min(tail.len())]
+    );
+}
+
+#[test]
+fn snr_adapter_follows_the_channel_without_probing() {
+    // Thresholds from our calibration sweep (crates/trace/src/bin/calibrate.rs).
+    let table = SnrTable::new(vec![2.5, 4.5, 5.5, 8.5, 12.5, 14.0]);
+    let mut link = strong_link(3);
+    let mut snr = SnrAdapter::rbar(table);
+    let (rates, delivered) = drive(&mut snr, &mut link, 40);
+    // After the first feedback the adapter should sit at the top.
+    assert!(rates[5..].iter().all(|&r| r == 5), "{rates:?}");
+    assert!(delivered > 35);
+}
+
+#[test]
+fn snr_adapter_overselects_in_fast_fading_with_stale_table() {
+    // The fig16 mechanism in miniature: a table trained for static
+    // conditions applied at 2 kHz Doppler. The preamble SNR is often high
+    // while mid-frame fades kill the payload, so the adapter overselects
+    // and loses frames that a fixed mid rate would deliver.
+    let table = SnrTable::new(vec![2.5, 4.5, 5.5, 8.5, 12.5, 14.0]);
+    let mk_link = |seed| {
+        let mut cfg = LinkConfig::new(SIMULATION);
+        cfg.noise_power_db = -14.0;
+        cfg.fading = FadingSpec::Flat { doppler_hz: 2000.0 };
+        cfg.seed = seed;
+        Link::new(cfg)
+    };
+    let mut snr = SnrAdapter::rbar(table);
+    let (_, snr_delivered) = drive(&mut snr, &mut mk_link(4), 200);
+    let mut fixed = FixedRate::new(1, 6);
+    let (_, fixed_delivered) = drive(&mut fixed, &mut mk_link(4), 200);
+    assert!(
+        fixed_delivered > snr_delivered,
+        "BPSK 3/4 fixed ({fixed_delivered}) should out-deliver the stale SNR table ({snr_delivered}) in fast fading"
+    );
+}
+
+#[test]
+fn walking_away_forces_every_adapter_down() {
+    // 25 dB -> 2 dB ramp: by the end only the lowest rates deliver. Every
+    // adapter must end below rate 2.
+    let mk_link = |seed| {
+        let mut cfg = LinkConfig::new(SIMULATION);
+        cfg.noise_power_db = -26.0;
+        // Ramp completes at t = 1.0 s (frame ~200 of 300), leaving the
+        // adapters a hundred frames to converge on the degraded channel.
+        cfg.attenuation =
+            Attenuation::RampDb { t_start: 0.0, db_start: 0.0, t_end: 1.0, db_end: -23.0 };
+        cfg.seed = seed;
+        Link::new(cfg)
+    };
+    let table = SnrTable::new(vec![2.5, 4.5, 5.5, 8.5, 12.5, 14.0]);
+    let mut adapters: Vec<Box<dyn RateAdapter>> = vec![
+        Box::new(Rraa::new(lossless_airtimes(104))),
+        Box::new(SampleRate::new(lossless_airtimes(104), 1.0, 9)),
+        Box::new(SnrAdapter::rbar(table)),
+    ];
+    for (i, adapter) in adapters.iter_mut().enumerate() {
+        let mut link = mk_link(40 + i as u64);
+        let (rates, _) = drive(adapter.as_mut(), &mut link, 300);
+        let tail_mean: f64 =
+            rates[280..].iter().map(|&r| r as f64).sum::<f64>() / 20.0;
+        assert!(
+            tail_mean < 2.5,
+            "{} ended at mean rate {tail_mean:.1} on a dying channel",
+            adapter.name()
+        );
+    }
+}

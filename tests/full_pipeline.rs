@@ -1,0 +1,216 @@
+//! Cross-crate integration tests: frame → channel → SoftPHY hints →
+//! SoftRate decisions, exercising the full Figure 2 loop.
+
+use softrate::channel::interference::{interferer_frame, Interferer};
+use softrate::channel::link::{Link, LinkConfig};
+use softrate::channel::model::{ChannelInstance, FadingSpec};
+use softrate::channel::pathloss::Attenuation;
+use softrate::core::adapter::{RateAdapter, TxOutcome};
+use softrate::core::collision::CollisionDetector;
+use softrate::core::hints::FrameHints;
+use softrate::core::softrate::SoftRate;
+use softrate::phy::ofdm::SIMULATION;
+use softrate::phy::rates::PAPER_RATES;
+
+/// Drives a SoftRate sender over a live (non-trace) link for `frames`
+/// probes and returns the chosen rate indices.
+fn drive_softrate(link: &mut Link, frames: usize, payload: usize) -> Vec<usize> {
+    let mut sender = SoftRate::with_defaults();
+    let detector = CollisionDetector::default();
+    let mut rates = Vec::new();
+    let mut t = 0.0;
+    for _ in 0..frames {
+        let attempt = sender.next_attempt(t);
+        rates.push(attempt.rate_idx);
+        let rate = PAPER_RATES[attempt.rate_idx];
+        let (tx, obs) = link.probe(rate, payload, t, &[], false);
+        t += 0.005;
+        let outcome = match &obs.rx {
+            Some(rx) if rx.header.is_some() && !rx.llrs.is_empty() => {
+                let hints = FrameHints::from_llrs(&rx.llrs, rx.info_bits_per_symbol);
+                let v = detector.detect(&hints);
+                TxOutcome {
+                    rate_idx: attempt.rate_idx,
+                    acked: rx.crc_ok,
+                    feedback_received: true,
+                    ber_feedback: Some(v.interference_free_ber),
+                    interference_flagged: v.collision_detected,
+                    postamble_ack: false,
+                    snr_feedback_db: Some(rx.snr_db),
+                    airtime: tx.airtime(),
+                    now: t,
+                }
+            }
+            _ => TxOutcome {
+                rate_idx: attempt.rate_idx,
+                acked: false,
+                feedback_received: false,
+                ber_feedback: None,
+                interference_flagged: false,
+                postamble_ack: false,
+                snr_feedback_db: None,
+                airtime: tx.airtime(),
+                now: t,
+            },
+        };
+        sender.on_outcome(&outcome);
+    }
+    rates
+}
+
+#[test]
+fn softrate_climbs_on_a_strong_channel() {
+    let mut cfg = LinkConfig::new(SIMULATION);
+    cfg.noise_power_db = -25.0; // 25 dB SNR: every paper rate works
+    cfg.seed = 1;
+    let mut link = Link::new(cfg);
+    let rates = drive_softrate(&mut link, 12, 100);
+    assert_eq!(rates[0], 0, "starts at the base rate");
+    assert_eq!(*rates.last().unwrap(), 5, "must reach the top rate: {rates:?}");
+}
+
+#[test]
+fn softrate_settles_midtable_on_a_mid_channel() {
+    // ~9 dB: QPSK 3/4 (idx 3) works, QAM16 1/2 is marginal, QAM16 3/4 dead.
+    let mut cfg = LinkConfig::new(SIMULATION);
+    cfg.noise_power_db = -9.0;
+    cfg.seed = 2;
+    let mut link = Link::new(cfg);
+    let rates = drive_softrate(&mut link, 30, 100);
+    let tail = &rates[10..];
+    let mean: f64 = tail.iter().map(|&r| r as f64).sum::<f64>() / tail.len() as f64;
+    assert!(
+        (2.0..=4.5).contains(&mean),
+        "should hover around QPSK3/4-QAM16: mean {mean:.2}, rates {rates:?}"
+    );
+    // SoftRate keeps re-probing upward whenever the measured BER sits at
+    // the floor (its documented ±2-jump behaviour, §3.3), but a dead rate
+    // must never be *kept*: no two consecutive picks of QAM16 3/4.
+    assert!(
+        tail.windows(2).all(|w| !(w[0] == 5 && w[1] == 5)),
+        "QAM16 3/4 is dead at 9 dB and must not persist: {rates:?}"
+    );
+}
+
+#[test]
+fn softrate_tracks_a_fading_channel_downward() {
+    // Strong channel that ramps down 25 dB over the run.
+    let mut cfg = LinkConfig::new(SIMULATION);
+    cfg.noise_power_db = -28.0;
+    cfg.attenuation = Attenuation::RampDb {
+        t_start: 0.0,
+        db_start: 0.0,
+        t_end: 0.4,
+        db_end: -25.0,
+    };
+    cfg.seed = 3;
+    let mut link = Link::new(cfg);
+    let rates = drive_softrate(&mut link, 80, 100);
+    let early: f64 = rates[5..15].iter().map(|&r| r as f64).sum::<f64>() / 10.0;
+    let late: f64 = rates[70..].iter().map(|&r| r as f64).sum::<f64>() / 10.0;
+    assert!(
+        early - late >= 2.0,
+        "rate must fall with the channel: early {early:.1}, late {late:.1}"
+    );
+}
+
+#[test]
+fn interference_free_feedback_keeps_rate_through_collisions() {
+    // A clean 25 dB channel where every second frame is hit by an equal-
+    // power interferer mid-frame. The detector should excise it and the
+    // sender should stay high.
+    let mut cfg = LinkConfig::new(SIMULATION);
+    cfg.noise_power_db = -25.0;
+    cfg.seed = 4;
+    let mut link = Link::new(cfg);
+    let mut sender = SoftRate::with_defaults();
+    let detector = CollisionDetector::default();
+    let mut t = 0.0;
+    let mut flagged = 0;
+    // Long victim frames (700 B) so the short interferer hits the middle
+    // of the payload, leaving clean symbols on both sides for the jump
+    // detector.
+    for k in 0..24 {
+        let attempt = sender.next_attempt(t);
+        let rate = PAPER_RATES[attempt.rate_idx];
+        let interferers: Vec<Interferer> = if k % 2 == 0 && k > 6 {
+            let n = softrate::phy::frame::frame_symbol_count(&SIMULATION, rate, 700, false);
+            vec![Interferer {
+                symbols: interferer_frame(&SIMULATION, PAPER_RATES[1], 80, k),
+                start_symbol: (n / 2) as isize,
+                // Clearly above the victim: the overlap is unambiguous at
+                // every victim rate (at 0 dB relative, BPSK 1/2 decodes
+                // through the collision and there is nothing to detect).
+                power_db: 3.0,
+                channel: ChannelInstance::new(
+                    FadingSpec::None,
+                    Attenuation::NONE,
+                    SIMULATION.n_used(),
+                    k,
+                ),
+            }]
+        } else {
+            Vec::new()
+        };
+        let (tx, obs) = link.probe(rate, 700, t, &interferers, false);
+        t += 0.005;
+        if let Some(rx) = &obs.rx {
+            if rx.header.is_some() && !rx.llrs.is_empty() {
+                let hints = FrameHints::from_llrs(&rx.llrs, rx.info_bits_per_symbol);
+                let v = detector.detect(&hints);
+                if v.collision_detected {
+                    flagged += 1;
+                }
+                sender.on_outcome(&TxOutcome {
+                    rate_idx: attempt.rate_idx,
+                    acked: rx.crc_ok,
+                    feedback_received: true,
+                    ber_feedback: Some(v.interference_free_ber),
+                    interference_flagged: v.collision_detected,
+                    postamble_ack: false,
+                    snr_feedback_db: Some(rx.snr_db),
+                    airtime: tx.airtime(),
+                    now: t,
+                });
+            }
+        }
+    }
+    // The paper's own detector catches ~80 % of collision-errored frames;
+    // expect at least half here.
+    assert!(flagged >= 4, "detector must catch most mid-frame collisions, got {flagged}");
+    assert!(
+        sender.current_rate_idx() >= 4,
+        "collisions must not drag the rate down on a clean channel (at {})",
+        sender.current_rate_idx()
+    );
+}
+
+#[test]
+fn ber_estimate_matches_truth_within_half_decade() {
+    // Across a range of SNRs, the SoftPHY estimate should stay within
+    // about half a decade of the truth whenever the truth is measurable
+    // (paper Fig. 7a: "error variance below one-tenth of one order of
+    // magnitude" for binned means; individual frames are noisier).
+    let mut errs = Vec::new();
+    for snr_x2 in 8..20 {
+        let mut cfg = LinkConfig::new(SIMULATION);
+        cfg.noise_power_db = -(snr_x2 as f64) / 2.0 - 2.0;
+        cfg.seed = 100 + snr_x2;
+        let mut link = Link::new(cfg);
+        for k in 0..6 {
+            for &rate in &PAPER_RATES[2..] {
+                let (_, obs) = link.probe(rate, 400, k as f64 * 0.01, &[], false);
+                if let (Some(rx), Some(truth)) = (&obs.rx, obs.true_ber) {
+                    if rx.header.is_some() && !rx.llrs.is_empty() && truth > 3e-4 {
+                        let est =
+                            FrameHints::from_llrs(&rx.llrs, rx.info_bits_per_symbol).frame_ber();
+                        errs.push((est.log10() - truth.log10()).abs());
+                    }
+                }
+            }
+        }
+    }
+    assert!(errs.len() > 20, "need measurable-BER frames ({} found)", errs.len());
+    let mean_err = errs.iter().sum::<f64>() / errs.len() as f64;
+    assert!(mean_err < 0.5, "mean |log10 est/truth| = {mean_err:.2} (want < 0.5)");
+}

@@ -1,0 +1,151 @@
+//! Property-based tests (proptest) on the core invariants, spanning crates.
+
+use proptest::prelude::*;
+
+use softrate::core::hints::{error_prob_from_hint, FrameHints};
+use softrate::core::prediction::{clamp_ber, predict_ber, BER_CEIL, BER_FLOOR};
+use softrate::core::recovery::{ChunkedHarq, ErrorRecovery, FrameArq};
+use softrate::core::thresholds::select_rate;
+use softrate::phy::bits::{bit_error_rate, bits_to_bytes, bytes_to_bits, deterministic_payload};
+use softrate::phy::bcjr::BcjrDecoder;
+use softrate::phy::convolutional::{coded_len, depuncture, encode, puncture, TAIL_BITS};
+use softrate::phy::crc::{append_crc32, check_crc32};
+use softrate::phy::interleaver::Interleaver;
+use softrate::phy::rates::{CodeRate, PAPER_RATES};
+use softrate::trace::schema::hash_uniform;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bits_bytes_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let bits = bytes_to_bits(&data);
+        prop_assert_eq!(bits_to_bytes(&bits), data);
+    }
+
+    #[test]
+    fn crc_roundtrip_and_detects_flip(
+        data in proptest::collection::vec(any::<u8>(), 1..128),
+        flip in any::<u16>(),
+    ) {
+        let mut framed = data.clone();
+        append_crc32(&mut framed);
+        prop_assert_eq!(check_crc32(&framed), Some(&data[..]));
+        let bit = flip as usize % (framed.len() * 8);
+        framed[bit / 8] ^= 1 << (bit % 8);
+        prop_assert_eq!(check_crc32(&framed), None);
+    }
+
+    #[test]
+    fn encode_decode_identity_under_no_noise(
+        seed in any::<u64>(),
+        len in 4usize..64,
+        rate_sel in 0usize..3,
+    ) {
+        let rate = [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters][rate_sel];
+        let info = bytes_to_bits(&deterministic_payload(seed, len));
+        let tx = puncture(&encode(&info), rate);
+        prop_assert_eq!(tx.len(), coded_len(info.len(), rate));
+        let llrs: Vec<f64> = tx.iter().map(|&b| if b == 1 { 6.0 } else { -6.0 }).collect();
+        let mother = depuncture(&llrs, rate, 2 * (info.len() + TAIL_BITS));
+        let out = BcjrDecoder::new().decode(&mother);
+        prop_assert_eq!(out.bits, info);
+    }
+
+    #[test]
+    fn interleaver_is_bijective(
+        sel in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let (ncbps, nbpsc) = [(96, 1), (192, 2), (384, 4), (576, 6)][sel];
+        let il = Interleaver::new(ncbps, nbpsc);
+        let bits = bytes_to_bits(&deterministic_payload(seed, ncbps / 8));
+        prop_assert_eq!(il.deinterleave_bits(&il.interleave(&bits)), bits);
+    }
+
+    #[test]
+    fn error_prob_is_half_at_zero_and_decreasing(h in 0.0f64..40.0) {
+        let p = error_prob_from_hint(h);
+        prop_assert!(p > 0.0 && p <= 0.5);
+        prop_assert!(error_prob_from_hint(h + 0.5) < p);
+    }
+
+    #[test]
+    fn frame_hints_ber_bounded(
+        llrs in proptest::collection::vec(-30.0f64..30.0, 1..256),
+        bps in 1usize..64,
+    ) {
+        let hints = FrameHints::from_llrs(&llrs, bps);
+        let ber = hints.frame_ber();
+        prop_assert!((0.0..=0.5).contains(&ber));
+        // Per-symbol BERs average back to the frame BER.
+        let sym = hints.symbol_bers();
+        let weighted: f64 = sym
+            .iter()
+            .enumerate()
+            .map(|(j, p)| {
+                let n = (llrs.len() - j * bps).min(bps);
+                p * n as f64
+            })
+            .sum::<f64>() / llrs.len() as f64;
+        prop_assert!((weighted - ber).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prediction_monotone_and_clamped(
+        ber in 1e-12f64..1.0,
+        from in 0usize..6,
+        to in 0usize..6,
+    ) {
+        let p = predict_ber(ber, from, to);
+        prop_assert!((BER_FLOOR..=BER_CEIL).contains(&p));
+        if to > from {
+            prop_assert!(p >= clamp_ber(ber));
+        } else if to < from {
+            prop_assert!(p <= clamp_ber(ber));
+        }
+    }
+
+    #[test]
+    fn goodput_monotone_in_ber(ber in 0.0f64..0.4, bump in 1e-6f64..0.1) {
+        let r = PAPER_RATES[3];
+        for rec in [&FrameArq as &dyn ErrorRecovery, &ChunkedHarq::default()] {
+            let g1 = rec.goodput(r, 10_000, ber);
+            let g2 = rec.goodput(r, 10_000, (ber + bump).min(0.5));
+            prop_assert!(g2 <= g1 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn select_rate_stays_in_window(
+        current in 0usize..6,
+        ber in 1e-9f64..0.5,
+        jump in 1usize..3,
+    ) {
+        let sel = select_rate(current, ber, PAPER_RATES, 11_520, &FrameArq, jump);
+        prop_assert!(sel <= current + jump);
+        prop_assert!(sel + jump >= current);
+        prop_assert!(sel < PAPER_RATES.len());
+    }
+
+    #[test]
+    fn hash_uniform_in_range(words in proptest::collection::vec(any::<u64>(), 1..6)) {
+        let u = hash_uniform(&words);
+        prop_assert!((0.0..1.0).contains(&u));
+        prop_assert_eq!(u, hash_uniform(&words), "must be deterministic");
+    }
+
+    #[test]
+    fn ground_truth_ber_survives_decoding_floor(
+        seed in any::<u64>(),
+        len in 8usize..48,
+    ) {
+        // A clean loopback must decode with zero BER for any payload.
+        let info = bytes_to_bits(&deterministic_payload(seed, len));
+        let tx = puncture(&encode(&info), CodeRate::ThreeQuarters);
+        let llrs: Vec<f64> = tx.iter().map(|&b| if b == 1 { 8.0 } else { -8.0 }).collect();
+        let mother = depuncture(&llrs, CodeRate::ThreeQuarters, 2 * (info.len() + TAIL_BITS));
+        let out = BcjrDecoder::new().decode(&mother);
+        prop_assert_eq!(bit_error_rate(&info, &out.bits), 0.0);
+    }
+}
