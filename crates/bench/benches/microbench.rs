@@ -31,8 +31,10 @@ fn bench_codec(c: &mut Criterion) {
     for bytes in [100usize, 960] {
         let info = bytes_to_bits(&deterministic_payload(1, bytes));
         let coded = encode(&info);
-        let llrs: Vec<f64> =
-            coded.iter().map(|&b| if b == 1 { 4.0 } else { -4.0 }).collect();
+        let llrs: Vec<f64> = coded
+            .iter()
+            .map(|&b| if b == 1 { 4.0 } else { -4.0 })
+            .collect();
         g.throughput(Throughput::Elements(info.len() as u64));
         g.bench_with_input(BenchmarkId::new("conv_encode", bytes), &info, |b, info| {
             b.iter(|| encode(info))
@@ -41,9 +43,11 @@ fn bench_codec(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("bcjr_decode", bytes), &llrs, |b, llrs| {
             b.iter(|| dec.decode(llrs))
         });
-        g.bench_with_input(BenchmarkId::new("viterbi_decode", bytes), &llrs, |b, llrs| {
-            b.iter(|| viterbi_decode(llrs))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("viterbi_decode", bytes),
+            &llrs,
+            |b, llrs| b.iter(|| viterbi_decode(llrs)),
+        );
     }
     g.finish();
 }
@@ -105,7 +109,13 @@ fn bench_core(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(2)).sample_size(50);
     // Detector over a realistic 60-symbol profile.
     let llrs: Vec<f64> = (0..60 * 96)
-        .map(|k| if (20 * 96..30 * 96).contains(&k) { 0.4 } else { 14.0 })
+        .map(|k| {
+            if (20 * 96..30 * 96).contains(&k) {
+                0.4
+            } else {
+                14.0
+            }
+        })
         .collect();
     let hints = FrameHints::from_llrs(&llrs, 96);
     let det = CollisionDetector::default();

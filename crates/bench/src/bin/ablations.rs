@@ -12,7 +12,7 @@ use softrate_core::adapter::RateAdapter;
 use softrate_core::hints::FrameHints;
 use softrate_core::softrate::{SoftRate, SoftRateConfig};
 use softrate_phy::bits::{bytes_to_bits, deterministic_payload};
-use softrate_phy::convolutional::{encode, puncture, depuncture, coded_len, TAIL_BITS};
+use softrate_phy::convolutional::{coded_len, depuncture, encode, puncture, TAIL_BITS};
 use softrate_phy::rates::PAPER_RATES;
 use softrate_sim::config::{AdapterKind, SimConfig};
 use softrate_sim::netsim::NetSim;
@@ -43,7 +43,11 @@ fn main() {
     println!("\n[2] One-level vs two-level jumps: decisions to recover from a deep fade");
     let mut json2 = Vec::new();
     for max_jump in [1usize, 2, 3] {
-        let cfg = SoftRateConfig { max_jump, initial_rate: 5, ..Default::default() };
+        let cfg = SoftRateConfig {
+            max_jump,
+            initial_rate: 5,
+            ..Default::default()
+        };
         let mut sr = SoftRate::new(cfg);
         // Feed a catastrophic BER, then clean feedback, count decisions to
         // travel 5 -> 1 -> 5.

@@ -10,7 +10,10 @@ fn main() {
     let smoke = smoke_mode();
     banner("Figure 1: experimental SNR fluctuations over a walking fading channel");
     let recipe = if smoke {
-        WalkingRecipe { duration: 2.0, ..Default::default() }
+        WalkingRecipe {
+            duration: 2.0,
+            ..Default::default()
+        }
     } else {
         WalkingRecipe::default()
     };
@@ -41,9 +44,16 @@ fn main() {
 
     // Quantify the two fading scales of the figure's caption.
     let snrs: Vec<f64> = bpsk.iter().filter_map(|e| e.snr_est_db).collect();
-    let (first, last) = (snrs[..snrs.len() / 10].to_vec(), snrs[snrs.len() * 9 / 10..].to_vec());
+    let (first, last) = (
+        snrs[..snrs.len() / 10].to_vec(),
+        snrs[snrs.len() * 9 / 10..].to_vec(),
+    );
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-    println!("\nlarge-scale fade over the trace: {:.1} dB -> {:.1} dB", mean(&first), mean(&last));
+    println!(
+        "\nlarge-scale fade over the trace: {:.1} dB -> {:.1} dB",
+        mean(&first),
+        mean(&last)
+    );
     let mut fades = 0;
     let mut in_fade = false;
     let trace_mean = mean(&snrs);
@@ -55,6 +65,9 @@ fn main() {
             in_fade = false;
         }
     }
-    println!("deep (>8 dB) fades observed: {fades} over {:.0} s (tens-of-ms durations)", trace.duration);
+    println!(
+        "deep (>8 dB) fades observed: {fades} over {:.0} s (tens-of-ms durations)",
+        trace.duration
+    );
     write_json("fig01_fading_trace.json", &rows);
 }

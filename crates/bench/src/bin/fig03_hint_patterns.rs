@@ -15,7 +15,11 @@ use softrate_phy::rates::PAPER_RATES;
 fn hint_summary(label: &str, llrs: &[f64], bits_per_symbol: usize) -> Vec<(usize, f64)> {
     let hints = FrameHints::from_llrs(llrs, bits_per_symbol);
     println!("\n-- {label} --");
-    println!("bits: {}   frame BER estimate: {:.3e}", llrs.len(), hints.frame_ber());
+    println!(
+        "bits: {}   frame BER estimate: {:.3e}",
+        llrs.len(),
+        hints.frame_ber()
+    );
     println!("{:>10} {:>12}", "bit", "hint |LLR|");
     let stride = (llrs.len() / 40).max(1);
     let mut rows = Vec::new();
@@ -56,7 +60,11 @@ fn main() {
     };
     let (_, obs) = link.probe(rate, payload, 1.0, std::slice::from_ref(&intf), false);
     let rx = obs.rx.expect("preamble was clean");
-    let collision_rows = hint_summary("frame lost to a COLLISION (upper panel)", &rx.llrs, rx.info_bits_per_symbol);
+    let collision_rows = hint_summary(
+        "frame lost to a COLLISION (upper panel)",
+        &rx.llrs,
+        rx.info_bits_per_symbol,
+    );
 
     // --- Fading case: marginal SNR, walking-to-vehicular Doppler. Prefer a
     //     frame the detector does NOT flag (fading is gradual); fall back

@@ -16,8 +16,7 @@ fn main() {
     let mut monotone = 0usize;
     for tr in &traces {
         for step in 0..tr.n_steps() {
-            let bers: Vec<Option<f64>> =
-                (0..6).map(|r| tr.series[r][step].softphy_ber).collect();
+            let bers: Vec<Option<f64>> = (0..6).map(|r| tr.series[r][step].softphy_ber).collect();
             if let Some(base) = bers[3] {
                 for (r, b) in bers.iter().enumerate() {
                     if let Some(b) = b {
@@ -57,15 +56,23 @@ fn main() {
             v.sort_by(|a, b| a.partial_cmp(b).unwrap());
             Some(v[v.len() / 2])
         };
-        let cols: Vec<Option<f64>> =
-            [0usize, 2, 3, 4, 5].iter().map(|&r| median_for(r)).collect();
+        let cols: Vec<Option<f64>> = [0usize, 2, 3, 4, 5]
+            .iter()
+            .map(|&r| median_for(r))
+            .collect();
         if cols.iter().all(|c| c.is_none()) {
             continue;
         }
         let fmt = |c: &Option<f64>| c.map_or("-".to_string(), |v| format!("{v:.1e}"));
         println!(
             "{:>6.0e}..{:<6.0e} {:>12} {:>12} {:>12} {:>12} {:>12}",
-            lo, hi, fmt(&cols[0]), fmt(&cols[1]), fmt(&cols[2]), fmt(&cols[3]), fmt(&cols[4])
+            lo,
+            hi,
+            fmt(&cols[0]),
+            fmt(&cols[1]),
+            fmt(&cols[2]),
+            fmt(&cols[3]),
+            fmt(&cols[4])
         );
         json_rows.push((lo, cols));
     }

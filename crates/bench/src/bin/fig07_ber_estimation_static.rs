@@ -14,7 +14,11 @@ fn log_bin(v: f64, per_decade: f64) -> i64 {
 fn main() {
     let smoke = smoke_mode();
     banner("Figure 7: SoftPHY-based and SNR-based BER estimation (static channel)");
-    let recipe = if smoke { StaticRecipe::smoke() } else { StaticRecipe::default() };
+    let recipe = if smoke {
+        StaticRecipe::smoke()
+    } else {
+        StaticRecipe::default()
+    };
     println!(
         "recipe: {} pairs x {} powers x 6 rates x {} frames of {} B",
         recipe.n_pairs,
@@ -27,7 +31,10 @@ fn main() {
 
     // ---- (a) per-frame estimate vs truth, binned by the estimate --------
     println!("\n(a) per-frame: ground-truth BER vs SoftPHY estimate (quarter-decade bins)");
-    println!("{:>14} {:>14} {:>14} {:>8}", "estimate bin", "mean true BER", "std", "frames");
+    println!(
+        "{:>14} {:>14} {:>14} {:>8}",
+        "estimate bin", "mean true BER", "std", "frames"
+    );
     let mut bins: std::collections::BTreeMap<i64, Vec<f64>> = Default::default();
     for s in &samples {
         if let (Some(est), Some(truth)) = (s.softphy_ber, s.true_ber) {
@@ -43,13 +50,22 @@ fn main() {
         }
         let center = 10f64.powf((*bin as f64 + 0.5) / 4.0);
         let (m, s) = mean_std(truths);
-        println!("{:>14.2e} {:>14.2e} {:>14.2e} {:>8}", center, m, s, truths.len());
+        println!(
+            "{:>14.2e} {:>14.2e} {:>14.2e} {:>8}",
+            center,
+            m,
+            s,
+            truths.len()
+        );
         panel_a.push((center, m, s, truths.len()));
     }
 
     // ---- (b) aggregated: weight every frame's bits together --------------
     println!("\n(b) aggregated: bit-weighted true BER per estimate bin (reaches ~1e-7)");
-    println!("{:>14} {:>14} {:>10}", "estimate bin", "agg true BER", "Mbits");
+    println!(
+        "{:>14} {:>14} {:>10}",
+        "estimate bin", "agg true BER", "Mbits"
+    );
     let mut agg: std::collections::BTreeMap<i64, (f64, f64)> = Default::default();
     for s in &samples {
         if let (Some(est), Some(truth)) = (s.softphy_ber, s.true_ber) {
@@ -73,7 +89,10 @@ fn main() {
     println!("\n(c) SNR vs ground-truth BER (1 dB bins) — note the spread");
     for (rate_idx, label) in [(3usize, "QPSK 3/4"), (4usize, "QAM16 1/2")] {
         println!("  rate {label}:");
-        println!("  {:>8} {:>14} {:>14} {:>8}", "SNR dB", "mean true BER", "std", "frames");
+        println!(
+            "  {:>8} {:>14} {:>14} {:>8}",
+            "SNR dB", "mean true BER", "std", "frames"
+        );
         let mut bins: std::collections::BTreeMap<i64, Vec<f64>> = Default::default();
         for s in samples.iter().filter(|s| s.rate_idx == rate_idx) {
             if let (Some(snr), Some(truth)) = (s.snr_est_db, s.true_ber) {
@@ -88,7 +107,13 @@ fn main() {
                 continue;
             }
             let (m, sd) = mean_std(truths);
-            println!("  {:>8} {:>14.2e} {:>14.2e} {:>8}", snr, m, sd, truths.len());
+            println!(
+                "  {:>8} {:>14.2e} {:>14.2e} {:>8}",
+                snr,
+                m,
+                sd,
+                truths.len()
+            );
             variance_acc.push(sd * sd);
         }
         let mean_var = variance_acc.iter().sum::<f64>() / variance_acc.len().max(1) as f64;

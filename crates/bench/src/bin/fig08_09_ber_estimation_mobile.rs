@@ -14,7 +14,13 @@ fn collect(doppler: f64, smoke: bool) -> Vec<BerSample> {
         (0..20).map(|k| -20.0 + 1.25 * k as f64).collect()
     };
     let frames = if smoke { 20 } else { 100 };
-    mobile_ber_samples(doppler, &powers, frames, if smoke { 240 } else { 960 }, -26.0)
+    mobile_ber_samples(
+        doppler,
+        &powers,
+        frames,
+        if smoke { 240 } else { 960 },
+        -26.0,
+    )
 }
 
 fn main() {
@@ -22,10 +28,17 @@ fn main() {
     banner("Figures 8/9: BER estimation in mobile channels (walking vs vehicular)");
     let walking = collect(40.0, smoke); // ~10 ms coherence
     let vehicular = collect(400.0, smoke); // ~1 ms coherence
-    println!("collected {} walking + {} vehicular probes", walking.len(), vehicular.len());
+    println!(
+        "collected {} walking + {} vehicular probes",
+        walking.len(),
+        vehicular.len()
+    );
 
     println!("\nFigure 8: ground-truth BER vs SoftPHY estimate (half-decade bins)");
-    println!("{:>16} {:>16} {:>16}", "estimate bin", "truth @40 Hz", "truth @400 Hz");
+    println!(
+        "{:>16} {:>16} {:>16}",
+        "estimate bin", "truth @40 Hz", "truth @400 Hz"
+    );
     let bin_of = |v: f64| (v.max(1e-12).log10() * 2.0).floor() as i64;
     let binned = |samples: &[BerSample]| {
         let mut m: std::collections::BTreeMap<i64, Vec<f64>> = Default::default();
@@ -40,7 +53,12 @@ fn main() {
     };
     let (wb, vb) = (binned(&walking), binned(&vehicular));
     let mut fig8 = Vec::new();
-    for bin in wb.keys().chain(vb.keys()).copied().collect::<std::collections::BTreeSet<_>>() {
+    for bin in wb
+        .keys()
+        .chain(vb.keys())
+        .copied()
+        .collect::<std::collections::BTreeSet<_>>()
+    {
         let center = 10f64.powf((bin as f64 + 0.5) / 2.0);
         let w = wb.get(&bin).filter(|v| v.len() >= 5).map(|v| mean_std(v).0);
         let v = vb.get(&bin).filter(|v| v.len() >= 5).map(|v| mean_std(v).0);
@@ -70,7 +88,12 @@ fn main() {
     let mut fig9 = Vec::new();
     let mut shifted_bins = 0usize;
     let mut compared = 0usize;
-    for bin in ws.keys().chain(vs.keys()).copied().collect::<std::collections::BTreeSet<_>>() {
+    for bin in ws
+        .keys()
+        .chain(vs.keys())
+        .copied()
+        .collect::<std::collections::BTreeSet<_>>()
+    {
         let w = ws.get(&bin).filter(|v| v.len() >= 5).map(|v| mean_std(v).0);
         let v = vs.get(&bin).filter(|v| v.len() >= 5).map(|v| mean_std(v).0);
         if w.is_none() && v.is_none() {

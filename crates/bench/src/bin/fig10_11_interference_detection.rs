@@ -4,11 +4,11 @@
 
 use softrate_bench::{banner, smoke_mode, write_json};
 use softrate_channel::model::FadingSpec;
+use softrate_phy::rates::PAPER_RATES;
 use softrate_trace::generate::{
     interference_detection_samples, quiet_detection_run, DetectionOutcome, DetectionSample,
 };
 use softrate_trace::recipes::InterferenceRecipe;
-use softrate_phy::rates::PAPER_RATES;
 
 #[derive(Default, Clone, Copy, serde::Serialize)]
 struct Tally {
@@ -54,7 +54,11 @@ impl Tally {
 fn main() {
     let smoke = smoke_mode();
     banner("Figures 10/11: interference detection accuracy");
-    let recipe = if smoke { InterferenceRecipe::smoke() } else { InterferenceRecipe::default() };
+    let recipe = if smoke {
+        InterferenceRecipe::smoke()
+    } else {
+        InterferenceRecipe::default()
+    };
     let samples: Vec<DetectionSample> = interference_detection_samples(&recipe);
     println!("{} interference frames", samples.len());
 
@@ -66,7 +70,10 @@ fn main() {
     let mut by_power = Vec::new();
     for &p in &recipe.rel_powers_db {
         let mut t = Tally::default();
-        for s in samples.iter().filter(|s| s.rel_power_db == p && s.truly_interfered) {
+        for s in samples
+            .iter()
+            .filter(|s| s.rel_power_db == p && s.truly_interfered)
+        {
             t.add(s.outcome);
         }
         t.row(&format!("{p:.0}"));
@@ -79,9 +86,13 @@ fn main() {
         "rate", "correct", "errored", "silent", "accuracy", "frames"
     );
     let mut by_rate = Vec::new();
+    #[allow(clippy::needless_range_loop)] // `r` is a rate index shared by several tables
     for r in 0..softrate_trace::recipes::N_RATES {
         let mut t = Tally::default();
-        for s in samples.iter().filter(|s| s.rate_idx == r && s.truly_interfered) {
+        for s in samples
+            .iter()
+            .filter(|s| s.rate_idx == r && s.truly_interfered)
+        {
             t.add(s.outcome);
         }
         t.row(&PAPER_RATES[r].label());

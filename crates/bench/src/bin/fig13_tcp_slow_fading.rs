@@ -35,7 +35,9 @@ fn main() {
     println!(
         "\n{:>20} {}",
         "algorithm",
-        (1..=max_clients).map(|n| format!("{:>9}", format!("N={n}"))).collect::<String>()
+        (1..=max_clients)
+            .map(|n| format!("{:>9}", format!("N={n}")))
+            .collect::<String>()
     );
     let mut json = Vec::new();
     for kind in adapters {

@@ -13,7 +13,11 @@ use softrate_trace::recipes::AlternatingRecipe;
 
 /// Mean time from each state flip until the adapter first selects the new
 /// best rate.
-fn convergence_times(timeline: &[(f64, usize)], half_period: f64, duration: f64) -> (Vec<f64>, Vec<f64>) {
+fn convergence_times(
+    timeline: &[(f64, usize)],
+    half_period: f64,
+    duration: f64,
+) -> (Vec<f64>, Vec<f64>) {
     let mut to_lower = Vec::new(); // good -> bad flips (t = odd multiples)
     let mut to_higher = Vec::new(); // bad -> good flips
     let mut flip = half_period;
@@ -52,11 +56,16 @@ fn main() {
     );
 
     let mut json = Vec::new();
-    for kind in [AdapterKind::Rraa, AdapterKind::SampleRate, AdapterKind::SoftRate] {
+    for kind in [
+        AdapterKind::Rraa,
+        AdapterKind::SampleRate,
+        AdapterKind::SoftRate,
+    ] {
         let mut cfg = SimConfig::new(kind.clone(), 1);
         cfg.duration = recipe.duration;
         let report = NetSim::new(cfg, vec![Arc::clone(&trace), Arc::clone(&trace)]).run();
-        let (down, up) = convergence_times(&report.rate_timeline, recipe.half_period, recipe.duration);
+        let (down, up) =
+            convergence_times(&report.rate_timeline, recipe.half_period, recipe.duration);
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
         println!("\n{}:", kind.name());
         println!(
@@ -67,11 +76,21 @@ fn main() {
             up.len()
         );
         print!("  rate timeline (first 1.5 s after a flip, decimated): ");
-        for (t, r) in report.rate_timeline.iter().filter(|(t, _)| *t >= 1.0 && *t < 2.5).step_by(8) {
+        for (t, r) in report
+            .rate_timeline
+            .iter()
+            .filter(|(t, _)| *t >= 1.0 && *t < 2.5)
+            .step_by(8)
+        {
             print!("({t:.2}s,r{r}) ");
         }
         println!();
-        json.push((kind.name().to_string(), mean(&down), mean(&up), report.rate_timeline.clone()));
+        json.push((
+            kind.name().to_string(),
+            mean(&down),
+            mean(&up),
+            report.rate_timeline.clone(),
+        ));
     }
     println!("\npaper: RRAA converges in ~15/85 ms, SampleRate in ~600/650 ms;");
     println!("RRAA's choice is also unstable in the good state");

@@ -2,22 +2,26 @@
 //! as coherence time shrinks from 1 ms to 100 us. The SNR protocol uses a
 //! table trained on *walking* data (untrained for this environment) and
 //! collapses; SoftRate needs no retraining.
+//!
+//! A thin wrapper over the scenario engine: the experiment is one
+//! PHY-backed scenario with a Doppler sweep axis and five adapters; this
+//! binary only injects the stale (walking-trained) SNR table and renders
+//! the normalized table.
 
-use std::sync::Arc;
-
-use softrate_bench::{banner, cached_walking_traces, results_dir, smoke_mode, write_json};
-use softrate_sim::config::{AdapterKind, SimConfig};
-use softrate_sim::netsim::NetSim;
-use softrate_trace::cache::load_or_generate;
-use softrate_trace::generate::doppler_trace;
-use softrate_trace::recipes::DopplerRecipe;
+use softrate_bench::{banner, cached_walking_traces, smoke_mode, write_json};
+use softrate_scenario::engine::run_spec;
+use softrate_scenario::prelude::*;
+use softrate_scenario::spec::{Sweep, SweepAxis};
 use softrate_trace::snr_training::{observations_from_trace, train_snr_table};
 
 fn main() {
     let smoke = smoke_mode();
     banner("Figure 16: TCP throughput in fast fading, normalized to omniscient");
-    let dopplers: Vec<f64> =
-        if smoke { vec![400.0, 4000.0] } else { vec![400.0, 800.0, 2000.0, 4000.0] };
+    let dopplers: Vec<f64> = if smoke {
+        vec![400.0, 4000.0]
+    } else {
+        vec![400.0, 800.0, 2000.0, 4000.0]
+    };
     let duration = if smoke { 2.0 } else { 10.0 };
 
     // Untrained table: trained on walking-speed traces (§6.3: "SNR-BER
@@ -29,8 +33,63 @@ fn main() {
         obs.extend(observations_from_trace(t));
     }
     let untrained = train_snr_table(&obs);
-    println!("SNR table trained on walking traces: {:?}", untrained.min_snr_db);
+    println!(
+        "SNR table trained on walking traces: {:?}",
+        untrained.min_snr_db
+    );
 
+    // Omniscient first: the normalization reference for every column.
+    let adapters = vec![
+        AdapterSpec::Omniscient,
+        AdapterSpec::SoftRate,
+        AdapterSpec::Snr {
+            table: Some(untrained.min_snr_db.clone()),
+        },
+        AdapterSpec::Rraa,
+        AdapterSpec::SampleRate,
+    ];
+
+    let spec = ScenarioSpec {
+        name: "fig16-fast-fading".into(),
+        description: Some("fig. 16: Doppler sweep over the full PHY".into()),
+        duration,
+        seed: 0xF16,
+        topology: TopologySpec {
+            n_clients: 1,
+            carrier_sense_prob: None,
+            queue_cap: None,
+        },
+        channel: ChannelSpec {
+            model: ChannelModel::Phy,
+            snr_db: 16.0,
+            fading: softrate_channel::model::FadingSpec::Flat {
+                doppler_hz: dopplers[0],
+            },
+            attenuation: None,
+            interference: None,
+            probe_interval: None,
+        },
+        traffic: TrafficSpec {
+            kind: TrafficModel::Tcp,
+            direction: None,
+        },
+        adapters: Some(adapters.clone()),
+        sweep: Some(Sweep(vec![SweepAxis {
+            param: "channel.fading.Flat.doppler_hz".into(),
+            values: dopplers.iter().map(|&d| serde::Value::Float(d)).collect(),
+        }])),
+    };
+
+    eprintln!("(PHY trace generation is cached under results/traces; first run is slow)");
+    let results = run_spec(&spec, None).expect("fig16 scenario runs");
+
+    // Group by Doppler (sweep order is deterministic: dopplers outermost,
+    // adapters innermost) and normalize each column by the omniscient run.
+    let n_adapters = adapters.len();
+    let mut omni_abs = Vec::new();
+    for (d, _) in dopplers.iter().enumerate() {
+        omni_abs.push(results[d * n_adapters].goodput_bps);
+    }
     println!(
         "\n{:>20} {}",
         "algorithm",
@@ -39,53 +98,26 @@ fn main() {
             .map(|d| format!("{:>12}", format!("Tc={:.0}us", 0.4 / d * 1e6)))
             .collect::<String>()
     );
-
-    let tag = if smoke { "smoke" } else { "full" };
-    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
-    let mut omni_abs = Vec::new();
-    // First compute the omniscient reference per Doppler.
-    let mut traces_by_doppler = Vec::new();
-    for &d in &dopplers {
-        let recipe = DopplerRecipe { doppler_hz: d, duration, ..Default::default() };
-        let up = Arc::new(load_or_generate(
-            results_dir().join(format!("traces/doppler-{tag}-{d}-up.json")),
-            || doppler_trace(0, &recipe),
-        ));
-        let down = Arc::new(load_or_generate(
-            results_dir().join(format!("traces/doppler-{tag}-{d}-down.json")),
-            || doppler_trace(1, &recipe),
-        ));
-        let mut cfg = SimConfig::new(AdapterKind::Omniscient, 1);
-        cfg.duration = duration;
-        let r = NetSim::new(cfg, vec![Arc::clone(&up), Arc::clone(&down)]).run();
-        omni_abs.push(r.aggregate_goodput_bps);
-        traces_by_doppler.push((up, down));
-    }
     println!(
         "{:>20} {}",
         "Omniscient (Mbps)",
-        omni_abs.iter().map(|g| format!("{:>12.2}", g / 1e6)).collect::<String>()
+        omni_abs
+            .iter()
+            .map(|g| format!("{:>12.2}", g / 1e6))
+            .collect::<String>()
     );
 
-    for kind in [
-        AdapterKind::SoftRate,
-        AdapterKind::Snr(untrained.clone()),
-        AdapterKind::Rraa,
-        AdapterKind::SampleRate,
-    ] {
-        let label = if matches!(kind, AdapterKind::Snr(_)) {
-            "SNR (untrained)".to_string()
-        } else {
-            kind.name().to_string()
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+    for (a, adapter) in adapters.iter().enumerate().skip(1) {
+        let label = match adapter {
+            AdapterSpec::Snr { .. } => "SNR (untrained)".to_string(),
+            other => other.label(),
         };
         let mut row = format!("{label:>20}");
         let mut series = Vec::new();
-        for (i, _) in dopplers.iter().enumerate() {
-            let (up, down) = &traces_by_doppler[i];
-            let mut cfg = SimConfig::new(kind.clone(), 1);
-            cfg.duration = duration;
-            let r = NetSim::new(cfg, vec![Arc::clone(up), Arc::clone(down)]).run();
-            let norm = r.aggregate_goodput_bps / omni_abs[i].max(1.0);
+        for (d, _) in dopplers.iter().enumerate() {
+            let r = &results[d * n_adapters + a];
+            let norm = r.goodput_bps / omni_abs[d].max(1.0);
             row.push_str(&format!("{norm:>12.2}"));
             series.push(norm);
         }

@@ -45,7 +45,11 @@ fn schedules(p1: usize, p2: usize, duration: f64) -> (Vec<Tx>, Vec<Tx>) {
             .rev()
             .take(8)
             .any(|o| start < o.end && o.start < end);
-        cw[who] = if lost { (cw[who] * 2 + 1).min(1023) } else { 15 };
+        cw[who] = if lost {
+            (cw[who] * 2 + 1).min(1023)
+        } else {
+            15
+        };
         let backoff =
             DIFS + (hash_uniform(&[seed, k[who], 2]) * (cw[who] + 1) as f64).floor() * SLOT;
         t[who] = end + backoff;
@@ -94,7 +98,9 @@ fn run_pair(p1: usize, p2: usize, duration: f64) -> (f64, f64, Vec<usize>, Vec<u
 
 fn ccdf(runs: &[usize]) -> Vec<(usize, f64)> {
     let n = runs.len().max(1) as f64;
-    (1..=9).map(|k| (k, runs.iter().filter(|&&r| r >= k).count() as f64 / n)).collect()
+    (1..=9)
+        .map(|k| (k, runs.iter().filter(|&&r| r >= k).count() as f64 / n))
+        .collect()
 }
 
 fn main() {
@@ -103,11 +109,20 @@ fn main() {
     let duration = if smoke { 10.0 } else { 120.0 };
 
     println!("\nTable 1: fraction of frames with BOTH preamble and postamble lost");
-    println!("{:>22} {:>22} {:>8} {:>8}", "frame size of s1", "frame size of s2", "f1", "f2");
+    println!(
+        "{:>22} {:>22} {:>8} {:>8}",
+        "frame size of s1", "frame size of s2", "f1", "f2"
+    );
     let mut json = Vec::new();
     for (p1, p2, label) in [(1400, 1400, "equal"), (100, 1400, "unequal")] {
         let (f1, f2, r1, r2) = run_pair(p1, p2, duration);
-        println!("{:>20} B {:>20} B {:>7.1}% {:>7.1}%", p1, p2, 100.0 * f1, 100.0 * f2);
+        println!(
+            "{:>20} B {:>20} B {:>7.1}% {:>7.1}%",
+            p1,
+            p2,
+            100.0 * f1,
+            100.0 * f2
+        );
 
         println!("  Figure 4 CCDF of consecutive both-lost run lengths ({label} sizes):");
         println!("  {:>6} {:>14} {:>14}", "len>=", "P(s1)", "P(s2)");
@@ -116,7 +131,10 @@ fn main() {
             println!("  {:>6} {:>14.4} {:>14.4}", c1[k].0, c1[k].1, c2[k].1);
         }
         let p3 = c1.get(2).map(|x| x.1).unwrap_or(0.0);
-        println!("  -> P(run >= 3) for s1: {:.4} (paper: long runs are 'very uncommon')", p3);
+        println!(
+            "  -> P(run >= 3) for s1: {:.4} (paper: long runs are 'very uncommon')",
+            p3
+        );
         json.push((p1, p2, f1, f2, c1, c2));
     }
     write_json("table1_fig4_silent_losses.json", &json);

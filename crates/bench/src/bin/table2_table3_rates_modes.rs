@@ -7,7 +7,10 @@ use softrate_phy::rates::{ALL_RATES, PAPER_RATES};
 
 fn main() {
     banner("Table 2: modulation/code-rate combinations and raw 20 MHz throughput");
-    println!("{:>12} {:>10} {:>12} {:>13}", "Modulation", "Code Rate", "802.11 Mbps", "Implemented?");
+    println!(
+        "{:>12} {:>10} {:>12} {:>13}",
+        "Modulation", "Code Rate", "802.11 Mbps", "Implemented?"
+    );
     for rate in ALL_RATES {
         let implemented_by_paper = PAPER_RATES.contains(&rate);
         println!(
@@ -15,7 +18,11 @@ fn main() {
             rate.modulation.name(),
             rate.code_rate.label(),
             rate.mbps(),
-            if implemented_by_paper { "yes (paper: yes)" } else { "yes (paper: no)" }
+            if implemented_by_paper {
+                "yes (paper: yes)"
+            } else {
+                "yes (paper: no)"
+            }
         );
     }
     println!("\n(The paper's Table 2 lists QAM64 1/2 and 2/3 for 48/54 Mbps; the");

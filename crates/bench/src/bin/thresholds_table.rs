@@ -8,11 +8,20 @@ use softrate_core::thresholds::RateThresholds;
 use softrate_phy::rates::PAPER_RATES;
 
 fn print_table(recovery: &dyn ErrorRecovery, frame_bits: usize) {
-    println!("\nrecovery model: {} (frames of {} bits)", recovery.name(), frame_bits);
+    println!(
+        "\nrecovery model: {} (frames of {} bits)",
+        recovery.name(),
+        frame_bits
+    );
     let t = RateThresholds::compute(PAPER_RATES, frame_bits, recovery);
     println!("{:>12} {:>12} {:>12}", "rate", "alpha_i", "beta_i");
     for (i, rate) in PAPER_RATES.iter().enumerate() {
-        println!("{:>12} {:>12.2e} {:>12.2e}", rate.label(), t.alpha[i], t.beta[i]);
+        println!(
+            "{:>12} {:>12.2e} {:>12.2e}",
+            rate.label(),
+            t.alpha[i],
+            t.beta[i]
+        );
     }
 }
 

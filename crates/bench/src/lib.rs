@@ -24,7 +24,9 @@ use softrate_trace::schema::LinkTrace;
 /// Whether the current invocation asked for the scaled-down run.
 pub fn smoke_mode() -> bool {
     std::env::args().any(|a| a == "--smoke")
-        || std::env::var("SOFTRATE_SMOKE").map(|v| v == "1").unwrap_or(false)
+        || std::env::var("SOFTRATE_SMOKE")
+            .map(|v| v == "1")
+            .unwrap_or(false)
 }
 
 /// Repository-relative results directory (created on demand).
@@ -61,7 +63,10 @@ pub fn banner(title: &str) {
 /// `n` runs; smoke mode shortens each run.
 pub fn cached_walking_traces(n: usize, smoke: bool) -> Vec<Arc<LinkTrace>> {
     let recipe = if smoke {
-        WalkingRecipe { duration: 2.0, ..Default::default() }
+        WalkingRecipe {
+            duration: 2.0,
+            ..Default::default()
+        }
     } else {
         WalkingRecipe::default()
     };
@@ -77,7 +82,10 @@ pub fn cached_walking_traces(n: usize, smoke: bool) -> Vec<Arc<LinkTrace>> {
 /// The static short-range traces (Table 4 row 5), cached.
 pub fn cached_static_short_traces(n: usize, smoke: bool) -> Vec<Arc<LinkTrace>> {
     let recipe = if smoke {
-        StaticShortRecipe { duration: 2.0, ..Default::default() }
+        StaticShortRecipe {
+            duration: 2.0,
+            ..Default::default()
+        }
     } else {
         StaticShortRecipe::default()
     };

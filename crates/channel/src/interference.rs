@@ -58,7 +58,12 @@ impl Interferer {
 /// Builds a realistic interferer waveform: a complete frame (preamble,
 /// header, payload) with a pseudo-random payload, exactly what a colliding
 /// 802.11 sender would emit.
-pub fn interferer_frame(mode: &Mode, rate: BitRate, payload_len: usize, seed: u64) -> Vec<Vec<Complex>> {
+pub fn interferer_frame(
+    mode: &Mode,
+    rate: BitRate,
+    payload_len: usize,
+    seed: u64,
+) -> Vec<Vec<Complex>> {
     let cfg = FrameConfig::new(*mode, rate);
     let header = FrameHeader {
         src: 0xEEEE,
@@ -68,7 +73,12 @@ pub fn interferer_frame(mode: &Mode, rate: BitRate, payload_len: usize, seed: u6
         seq: (seed & 0xFFFF) as u16,
         flags: 0,
     };
-    build_frame(header, &deterministic_payload(seed ^ 0x1F2E_3D4C, payload_len), &cfg).symbols
+    build_frame(
+        header,
+        &deterministic_payload(seed ^ 0x1F2E_3D4C, payload_len),
+        &cfg,
+    )
+    .symbols
 }
 
 #[cfg(test)]
@@ -85,7 +95,12 @@ mod tests {
             symbols,
             start_symbol: start,
             power_db: 0.0,
-            channel: ChannelInstance::new(FadingSpec::None, Attenuation::NONE, SIMULATION.n_used(), 0),
+            channel: ChannelInstance::new(
+                FadingSpec::None,
+                Attenuation::NONE,
+                SIMULATION.n_used(),
+                0,
+            ),
         }
     }
 

@@ -58,7 +58,14 @@ impl JakesFading {
         // sqrt(2/M) per component gives E[h_I^2] = E[h_Q^2] = 1; a further
         // 1/sqrt(2) normalizes total mean power E[|h|^2] to 1.
         let amp = (2.0 / NUM_SINUSOIDS as f64).sqrt() / 2f64.sqrt();
-        JakesFading { doppler_hz, wi, wq, phi, psi, amp }
+        JakesFading {
+            doppler_hz,
+            wi,
+            wq,
+            phi,
+            psi,
+            amp,
+        }
     }
 
     /// The Doppler spread this process was built with.
@@ -171,7 +178,10 @@ mod tests {
             rho_long += (h0 * f.gain(0.5 + 0.05).conj()).re; // lag 50 ms
         }
         assert!(rho_short / power > 0.9, "short-lag correlation too low");
-        assert!(rho_long.abs() / power < 0.2, "long-lag correlation too high");
+        assert!(
+            rho_long.abs() / power < 0.2,
+            "long-lag correlation too high"
+        );
     }
 
     #[test]

@@ -121,14 +121,15 @@ impl LinkObservation {
 impl Link {
     /// Instantiates the link's channel and noise processes.
     pub fn new(cfg: LinkConfig) -> Self {
-        let channel = ChannelInstance::new(
-            cfg.fading,
-            cfg.attenuation,
-            cfg.mode.n_used(),
-            cfg.seed,
-        );
+        let channel =
+            ChannelInstance::new(cfg.fading, cfg.attenuation, cfg.mode.n_used(), cfg.seed);
         let noise = NoiseSource::new(cfg.seed ^ 0x4E4F_4953_45FF);
-        Link { cfg, channel, noise, probe_count: 0 }
+        Link {
+            cfg,
+            channel,
+            noise,
+            probe_count: 0,
+        }
     }
 
     /// The link configuration.
@@ -143,7 +144,12 @@ impl Link {
 
     /// Transmits `tx` starting at absolute time `t` with the given active
     /// interferers, and attempts reception.
-    pub fn transmit(&mut self, tx: &TxFrame, t: f64, interferers: &[Interferer]) -> LinkObservation {
+    pub fn transmit(
+        &mut self,
+        tx: &TxFrame,
+        t: f64,
+        interferers: &[Interferer],
+    ) -> LinkObservation {
         let mode = self.cfg.mode;
         let t_sym = mode.symbol_time();
         let n_used = mode.n_used();
@@ -216,7 +222,12 @@ impl Link {
         let any_interference = int_power.iter().any(|&p| p > 0.0);
 
         let rx = if preamble_detected {
-            Some(receive_frame(&rx_symbols, &mode, self.cfg.demap, self.cfg.llr_clip))
+            Some(receive_frame(
+                &rx_symbols,
+                &mode,
+                self.cfg.demap,
+                self.cfg.llr_clip,
+            ))
         } else {
             None
         };
@@ -257,8 +268,19 @@ impl Link {
         let seq = (self.probe_count & 0xFFFF) as u16;
         let payload_seed = self.cfg.seed ^ self.probe_count.wrapping_mul(0x5851_F42D_4C95_7F2D);
         self.probe_count += 1;
-        let header = FrameHeader { src: 1, dst: 2, rate_idx: 0, payload_len: 0, seq, flags: 0 };
-        let tx = build_frame(header, &deterministic_payload(payload_seed, payload_len), &cfg);
+        let header = FrameHeader {
+            src: 1,
+            dst: 2,
+            rate_idx: 0,
+            payload_len: 0,
+            seq,
+            flags: 0,
+        };
+        let tx = build_frame(
+            header,
+            &deterministic_payload(payload_seed, payload_len),
+            &cfg,
+        );
         let obs = self.transmit(&tx, t, interferers);
         (tx, obs)
     }
@@ -329,7 +351,12 @@ mod tests {
             symbols: crate::interference::interferer_frame(&SIMULATION, PAPER_RATES[2], 200, 99),
             start_symbol: (n / 2) as isize,
             power_db: 5.0,
-            channel: ChannelInstance::new(FadingSpec::None, Attenuation::NONE, SIMULATION.n_used(), 77),
+            channel: ChannelInstance::new(
+                FadingSpec::None,
+                Attenuation::NONE,
+                SIMULATION.n_used(),
+                77,
+            ),
         };
         let (_, obs) = link.probe(PAPER_RATES[2], 200, 1.0, &[intf], false);
         assert!(obs.preamble_detected, "preamble region was clean");
@@ -346,10 +373,18 @@ mod tests {
             symbols: crate::interference::interferer_frame(&SIMULATION, PAPER_RATES[0], 400, 98),
             start_symbol: -2,
             power_db: 15.0,
-            channel: ChannelInstance::new(FadingSpec::None, Attenuation::NONE, SIMULATION.n_used(), 76),
+            channel: ChannelInstance::new(
+                FadingSpec::None,
+                Attenuation::NONE,
+                SIMULATION.n_used(),
+                76,
+            ),
         };
         let (_, obs) = link.probe(PAPER_RATES[0], 100, 0.0, &[intf], false);
-        assert!(!obs.preamble_detected, "equal-power interferer over preamble must kill detection");
+        assert!(
+            !obs.preamble_detected,
+            "equal-power interferer over preamble must kill detection"
+        );
     }
 
     #[test]
@@ -360,11 +395,19 @@ mod tests {
             symbols: vec![vec![Complex::ONE; SIMULATION.n_used()]; 4],
             start_symbol: -1,
             power_db: 10.0,
-            channel: ChannelInstance::new(FadingSpec::None, Attenuation::NONE, SIMULATION.n_used(), 75),
+            channel: ChannelInstance::new(
+                FadingSpec::None,
+                Attenuation::NONE,
+                SIMULATION.n_used(),
+                75,
+            ),
         };
         let (_, obs) = link.probe(PAPER_RATES[0], 100, 0.0, &[intf], true);
         assert!(!obs.preamble_detected);
-        assert!(obs.postamble_detected, "postamble after interference end must be detectable");
+        assert!(
+            obs.postamble_detected,
+            "postamble after interference end must be detectable"
+        );
     }
 
     #[test]
@@ -384,7 +427,10 @@ mod tests {
         assert!(!bers.is_empty());
         let min = bers.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = bers.iter().cloned().fold(0.0, f64::max);
-        assert!(max > min, "fading must modulate BER over time (min {min}, max {max})");
+        assert!(
+            max > min,
+            "fading must modulate BER over time (min {min}, max {max})"
+        );
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub enum FadingSpec {
 }
 
 #[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // one instance per link; Box would add an indirection to the hot gain() path
 enum Inner {
     Static,
     Flat(JakesFading),
@@ -67,12 +68,17 @@ impl ChannelInstance {
         let inner = match spec {
             FadingSpec::None => Inner::Static,
             FadingSpec::Flat { doppler_hz } => Inner::Flat(JakesFading::new(doppler_hz, seed)),
-            FadingSpec::Multipath { doppler_hz, n_taps, decay_db_per_tap } => {
+            FadingSpec::Multipath {
+                doppler_hz,
+                n_taps,
+                decay_db_per_tap,
+            } => {
                 assert!(n_taps >= 1);
                 // Exponential power-delay profile, normalized to unit total
                 // power.
-                let mut powers: Vec<f64> =
-                    (0..n_taps).map(|l| 10f64.powf(-(l as f64) * decay_db_per_tap / 10.0)).collect();
+                let mut powers: Vec<f64> = (0..n_taps)
+                    .map(|l| 10f64.powf(-(l as f64) * decay_db_per_tap / 10.0))
+                    .collect();
                 let total: f64 = powers.iter().sum();
                 for p in &mut powers {
                     *p /= total;
@@ -81,10 +87,16 @@ impl ChannelInstance {
                     .into_iter()
                     .enumerate()
                     .map(|(l, p)| {
-                        (p.sqrt(), JakesFading::new(doppler_hz, seed.wrapping_add(l as u64 * 0x9E3779B9)))
+                        (
+                            p.sqrt(),
+                            JakesFading::new(doppler_hz, seed.wrapping_add(l as u64 * 0x9E3779B9)),
+                        )
                     })
                     .collect();
-                Inner::Multipath { taps, n_fft: n_subcarriers }
+                Inner::Multipath {
+                    taps,
+                    n_fft: n_subcarriers,
+                }
             }
         };
         ChannelInstance { inner, attenuation }
@@ -100,8 +112,8 @@ impl ChannelInstance {
             Inner::Multipath { taps, n_fft } => {
                 let mut h = Complex::ZERO;
                 for (l, (a, f)) in taps.iter().enumerate() {
-                    let phase = -2.0 * std::f64::consts::PI * (k as f64) * (l as f64)
-                        / *n_fft as f64;
+                    let phase =
+                        -2.0 * std::f64::consts::PI * (k as f64) * (l as f64) / *n_fft as f64;
                     h += f.gain(t).scale(*a) * Complex::cis(phase);
                 }
                 h.scale(amp)
@@ -177,7 +189,11 @@ mod tests {
     #[test]
     fn multipath_varies_across_subcarriers() {
         let c = ChannelInstance::new(
-            FadingSpec::Multipath { doppler_hz: 10.0, n_taps: 4, decay_db_per_tap: 3.0 },
+            FadingSpec::Multipath {
+                doppler_hz: 10.0,
+                n_taps: 4,
+                decay_db_per_tap: 3.0,
+            },
             Attenuation::NONE,
             64,
             5,
@@ -197,7 +213,11 @@ mod tests {
         let n = 300;
         for seed in 0..n {
             let c = ChannelInstance::new(
-                FadingSpec::Multipath { doppler_hz: 50.0, n_taps: 3, decay_db_per_tap: 3.0 },
+                FadingSpec::Multipath {
+                    doppler_hz: 50.0,
+                    n_taps: 3,
+                    decay_db_per_tap: 3.0,
+                },
                 Attenuation::NONE,
                 32,
                 seed,
@@ -212,7 +232,11 @@ mod tests {
     #[test]
     fn gains_at_matches_gain() {
         let c = ChannelInstance::new(
-            FadingSpec::Multipath { doppler_hz: 25.0, n_taps: 2, decay_db_per_tap: 6.0 },
+            FadingSpec::Multipath {
+                doppler_hz: 25.0,
+                n_taps: 2,
+                decay_db_per_tap: 6.0,
+            },
             Attenuation::Constant { db: -3.0 },
             16,
             9,

@@ -16,7 +16,9 @@ pub struct NoiseSource {
 impl NoiseSource {
     /// Creates a noise source from a seed.
     pub fn new(seed: u64) -> Self {
-        NoiseSource { rng: SmallRng::seed_from_u64(seed) }
+        NoiseSource {
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// One standard complex Gaussian sample: `CN(0, 1)` —
@@ -68,7 +70,10 @@ mod tests {
     fn noise_power_matches_request() {
         let mut src = NoiseSource::new(1);
         let n = 200_000;
-        let p: f64 = (0..n).map(|_| src.sample_scaled(0.25).norm_sqr()).sum::<f64>() / n as f64;
+        let p: f64 = (0..n)
+            .map(|_| src.sample_scaled(0.25).norm_sqr())
+            .sum::<f64>()
+            / n as f64;
         assert!((p - 0.25).abs() < 0.01, "measured power {p}");
     }
 

@@ -49,7 +49,12 @@ impl Attenuation {
     pub fn db_at(&self, t: f64) -> f64 {
         match *self {
             Attenuation::Constant { db } => db,
-            Attenuation::RampDb { t_start, db_start, t_end, db_end } => {
+            Attenuation::RampDb {
+                t_start,
+                db_start,
+                t_end,
+                db_end,
+            } => {
                 if t <= t_start {
                     db_start
                 } else if t >= t_end {
@@ -59,7 +64,11 @@ impl Attenuation {
                     db_start + frac * (db_end - db_start)
                 }
             }
-            Attenuation::SquareWave { db_good, db_bad, period } => {
+            Attenuation::SquareWave {
+                db_good,
+                db_bad,
+                period,
+            } => {
                 let phase = t.rem_euclid(period);
                 if phase < period / 2.0 {
                     db_good
@@ -95,7 +104,12 @@ mod tests {
 
     #[test]
     fn ramp_interpolates_linearly() {
-        let a = Attenuation::RampDb { t_start: 1.0, db_start: 0.0, t_end: 11.0, db_end: -20.0 };
+        let a = Attenuation::RampDb {
+            t_start: 1.0,
+            db_start: 0.0,
+            t_end: 11.0,
+            db_end: -20.0,
+        };
         assert_eq!(a.db_at(0.0), 0.0);
         assert_eq!(a.db_at(1.0), 0.0);
         assert!((a.db_at(6.0) + 10.0).abs() < 1e-12);
@@ -105,7 +119,11 @@ mod tests {
 
     #[test]
     fn square_wave_alternates() {
-        let a = Attenuation::SquareWave { db_good: 0.0, db_bad: -15.0, period: 2.0 };
+        let a = Attenuation::SquareWave {
+            db_good: 0.0,
+            db_bad: -15.0,
+            period: 2.0,
+        };
         assert_eq!(a.db_at(0.1), 0.0);
         assert_eq!(a.db_at(0.99), 0.0);
         assert_eq!(a.db_at(1.01), -15.0);

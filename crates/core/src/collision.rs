@@ -228,8 +228,15 @@ mod tests {
         let h = hints_from_symbol_bers(&bers, 8);
         let v = CollisionDetector::default().detect(&h);
         assert!(v.collision_detected);
-        assert_eq!(v.interfered, vec![false, false, true, true, true, false, false]);
-        assert!(v.interference_free_ber < 1e-4, "ifree {}", v.interference_free_ber);
+        assert_eq!(
+            v.interfered,
+            vec![false, false, true, true, true, false, false]
+        );
+        assert!(
+            v.interference_free_ber < 1e-4,
+            "ifree {}",
+            v.interference_free_ber
+        );
         assert!(v.full_ber > 0.1);
     }
 
@@ -272,7 +279,10 @@ mod tests {
         let bers: Vec<f64> = (0..12).map(|j| 1e-5 * 3f64.powi(j)).collect();
         let h = hints_from_symbol_bers(&bers, 8);
         let v = CollisionDetector::default().detect(&h);
-        assert!(!v.collision_detected, "gradual fade misflagged as collision");
+        assert!(
+            !v.collision_detected,
+            "gradual fade misflagged as collision"
+        );
     }
 
     #[test]
@@ -321,7 +331,10 @@ mod tests {
         let bers = [1e-6, 0.3, 0.32, 1e-6, 1e-6, 1e-6];
         let h = hints_from_symbol_bers(&bers, 8);
         let v = CollisionDetector::default().detect(&h);
-        assert!(!v.collision_detected, "two-symbol burst is below min_region");
+        assert!(
+            !v.collision_detected,
+            "two-symbol burst is below min_region"
+        );
     }
 
     #[test]
@@ -349,7 +362,7 @@ mod tests {
         let h = hints_from_symbol_bers(&bers, 8);
         let v = CollisionDetector::default().detect(&h);
         assert!(v.collision_detected);
-        assert_eq!(v.interfered[0], false);
+        assert!(!v.interfered[0]);
         assert!(v.interfered[1..].iter().all(|&b| b));
     }
 

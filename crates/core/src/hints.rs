@@ -154,7 +154,10 @@ mod tests {
         assert_eq!(sb.len(), 3);
         assert!((sb[0] - 0.5).abs() < 1e-9);
         assert!(sb[1] < 1e-9);
-        assert!((sb[2] - 0.5).abs() < 1e-9, "partial last symbol averaged over its own bits");
+        assert!(
+            (sb[2] - 0.5).abs() < 1e-9,
+            "partial last symbol averaged over its own bits"
+        );
         assert_eq!(h.n_symbols(), 3);
     }
 
@@ -163,9 +166,15 @@ mod tests {
         let llrs = vec![0.0, 0.0, 50.0, 50.0]; // symbol0 = 0.5, symbol1 ~ 0
         let h = FrameHints::from_llrs(&llrs, 2);
         let ifree = h.ber_excluding(&[true, false]);
-        assert!(ifree < 1e-9, "excluding the bad symbol leaves the clean one");
+        assert!(
+            ifree < 1e-9,
+            "excluding the bad symbol leaves the clean one"
+        );
         let all_masked = h.ber_excluding(&[true, true]);
-        assert!((all_masked - h.frame_ber()).abs() < 1e-12, "full mask falls back to frame BER");
+        assert!(
+            (all_masked - h.frame_ber()).abs() < 1e-12,
+            "full mask falls back to frame BER"
+        );
     }
 
     #[test]

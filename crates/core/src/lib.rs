@@ -40,9 +40,7 @@ pub mod prelude {
         CollisionDetector, CollisionVerdict, DEFAULT_EDGE_RATIO, DEFAULT_MIN_DELTA,
         DEFAULT_REGION_RATIO,
     };
-    pub use crate::hints::{
-        error_prob_from_hint, error_prob_from_llr, hint_from_llr, FrameHints,
-    };
+    pub use crate::hints::{error_prob_from_hint, error_prob_from_llr, hint_from_llr, FrameHints};
     pub use crate::prediction::{clamp_ber, predict_ber, BER_CEIL, BER_FLOOR};
     pub use crate::recovery::{ChunkedHarq, ErrorRecovery, FrameArq};
     pub use crate::softrate::{SoftRate, SoftRateConfig};

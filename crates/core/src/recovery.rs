@@ -59,7 +59,10 @@ pub struct ChunkedHarq {
 impl Default for ChunkedHarq {
     fn default() -> Self {
         // 64-byte chunks, 3 % overhead.
-        ChunkedHarq { chunk_bits: 512, overhead: 0.03 }
+        ChunkedHarq {
+            chunk_bits: 512,
+            overhead: 0.03,
+        }
     }
 }
 
@@ -123,12 +126,18 @@ mod tests {
         let g_arq = arq.goodput(r, frame, 1e-3);
         let g_harq = harq.goodput(r, frame, 1e-3);
         assert!(g_arq < 0.01 * r.bits_per_sec(), "frame ARQ should collapse");
-        assert!(g_harq > 0.5 * r.bits_per_sec(), "chunked HARQ should survive");
+        assert!(
+            g_harq > 0.5 * r.bits_per_sec(),
+            "chunked HARQ should survive"
+        );
     }
 
     #[test]
     fn harq_overhead_charged_at_zero_ber() {
-        let harq = ChunkedHarq { chunk_bits: 512, overhead: 0.10 };
+        let harq = ChunkedHarq {
+            chunk_bits: 512,
+            overhead: 0.10,
+        };
         let r = PAPER_RATES[0];
         let g = harq.goodput(r, 8000, 0.0);
         assert!((g - 0.9 * r.bits_per_sec()).abs() < 1e-6);

@@ -122,7 +122,10 @@ impl RateAdapter for SoftRate {
     }
 
     fn next_attempt(&mut self, _now: f64) -> TxAttempt {
-        TxAttempt { rate_idx: self.current, use_rts: false }
+        TxAttempt {
+            rate_idx: self.current,
+            use_rts: false,
+        }
     }
 
     fn on_outcome(&mut self, outcome: &TxOutcome) {
@@ -199,7 +202,11 @@ mod tests {
             o.ber_feedback = Some(1e-9);
             sr.on_outcome(&o);
         }
-        assert_eq!(sr.current_rate_idx(), 5, "clean channel must reach the top rate");
+        assert_eq!(
+            sr.current_rate_idx(),
+            5,
+            "clean channel must reach the top rate"
+        );
     }
 
     #[test]
@@ -208,7 +215,11 @@ mod tests {
         let mut o = outcome(0);
         o.ber_feedback = Some(1e-9);
         sr.on_outcome(&o);
-        assert_eq!(sr.current_rate_idx(), 2, "BER at floor justifies a two-level jump");
+        assert_eq!(
+            sr.current_rate_idx(),
+            2,
+            "BER at floor justifies a two-level jump"
+        );
     }
 
     #[test]
@@ -225,7 +236,11 @@ mod tests {
         o.acked = false;
         o.ber_feedback = Some(0.05);
         sr.on_outcome(&o);
-        assert_eq!(sr.current_rate_idx(), 3, "catastrophic BER takes the full two-level jump");
+        assert_eq!(
+            sr.current_rate_idx(),
+            3,
+            "catastrophic BER takes the full two-level jump"
+        );
     }
 
     #[test]
@@ -259,7 +274,11 @@ mod tests {
         o.interference_flagged = true;
         o.ber_feedback = Some(1e-7);
         sr.on_outcome(&o);
-        assert_eq!(sr.current_rate_idx(), before, "collision must not reduce the rate");
+        assert_eq!(
+            sr.current_rate_idx(),
+            before,
+            "collision must not reduce the rate"
+        );
     }
 
     #[test]
@@ -284,9 +303,17 @@ mod tests {
         };
         sr.on_outcome(&silent);
         sr.on_outcome(&silent);
-        assert_eq!(sr.current_rate_idx(), start, "two silent losses are not enough");
+        assert_eq!(
+            sr.current_rate_idx(),
+            start,
+            "two silent losses are not enough"
+        );
         sr.on_outcome(&silent);
-        assert_eq!(sr.current_rate_idx(), start - 1, "third silent loss steps down");
+        assert_eq!(
+            sr.current_rate_idx(),
+            start - 1,
+            "third silent loss steps down"
+        );
         assert_eq!(sr.silent_losses(), 0, "counter resets after the step");
     }
 
@@ -332,7 +359,11 @@ mod tests {
         sr.on_outcome(&pa);
         sr.on_outcome(&pa);
         sr.on_outcome(&pa);
-        assert_eq!(sr.current_rate_idx(), here, "postamble ACKs are collisions, not fades");
+        assert_eq!(
+            sr.current_rate_idx(),
+            here,
+            "postamble ACKs are collisions, not fades"
+        );
     }
 
     #[test]
@@ -361,7 +392,11 @@ mod tests {
         // down is perfectly fine to hold (the modularity claim).
         use crate::recovery::ChunkedHarq;
         let mk = |recovery: Arc<dyn ErrorRecovery + Send + Sync>| {
-            let cfg = SoftRateConfig { recovery, initial_rate: 3, ..Default::default() };
+            let cfg = SoftRateConfig {
+                recovery,
+                initial_rate: 3,
+                ..Default::default()
+            };
             SoftRate::new(cfg)
         };
         let mut arq = mk(Arc::new(FrameArq));
@@ -371,6 +406,9 @@ mod tests {
         arq.on_outcome(&o);
         harq.on_outcome(&o);
         assert!(arq.current_rate_idx() < 3, "frame ARQ must flee BER 3e-4");
-        assert!(harq.current_rate_idx() >= 3, "chunked HARQ tolerates BER 3e-4");
+        assert!(
+            harq.current_rate_idx() >= 3,
+            "chunked HARQ tolerates BER 3e-4"
+        );
     }
 }

@@ -115,6 +115,7 @@ pub fn select_rate(
     let hi = (current + max_jump).min(rates.len() - 1);
     let mut best = current;
     let mut best_g = f64::NEG_INFINITY;
+    #[allow(clippy::needless_range_loop)] // `j` is a rate index, not just a subscript
     for j in lo..=hi {
         let predicted = predict_ber(measured_ber, current, j);
         let g = recovery.goodput(rates[j], frame_bits, predicted);
@@ -158,7 +159,11 @@ mod tests {
     #[test]
     fn boundary_rates_never_leave_table() {
         let t = RateThresholds::compute(PAPER_RATES, FRAME_BITS, &FrameArq);
-        assert_eq!(t.alpha[PAPER_RATES.len() - 1], 0.0, "top rate never moves up");
+        assert_eq!(
+            t.alpha[PAPER_RATES.len() - 1],
+            0.0,
+            "top rate never moves up"
+        );
         assert_eq!(t.beta[0], BER_CEIL, "bottom rate never moves down");
     }
 
@@ -202,7 +207,11 @@ mod tests {
         let i = 3;
         let mid = (t.alpha[i].max(BER_FLOOR) * t.beta[i]).sqrt();
         let sel = select_rate(i, mid, PAPER_RATES, FRAME_BITS, &FrameArq, 2);
-        assert_eq!(sel, i, "BER {mid:.2e} inside ({:.2e},{:.2e})", t.alpha[i], t.beta[i]);
+        assert_eq!(
+            sel, i,
+            "BER {mid:.2e} inside ({:.2e},{:.2e})",
+            t.alpha[i], t.beta[i]
+        );
     }
 
     #[test]
@@ -235,7 +244,10 @@ mod tests {
 
     #[test]
     fn select_rate_clamps_at_table_edges() {
-        assert_eq!(select_rate(0, 0.5, PAPER_RATES, FRAME_BITS, &FrameArq, 2), 0);
+        assert_eq!(
+            select_rate(0, 0.5, PAPER_RATES, FRAME_BITS, &FrameArq, 2),
+            0
+        );
         assert_eq!(
             select_rate(5, 1e-9, PAPER_RATES, FRAME_BITS, &FrameArq, 2),
             5,

@@ -12,6 +12,10 @@
 //! given per-coded-bit channel LLRs from the soft demapper. The SoftPHY hint
 //! for bit `k` is `|LLR(k)|` (paper §3.1).
 
+// Trellis state recursions index `alpha`/`beta` arrays by state number on
+// purpose — iterator rewrites obscure the textbook form of the algorithm.
+#![allow(clippy::needless_range_loop)]
+
 use crate::convolutional::{NUM_STATES, TAIL_BITS};
 use crate::trellis::{max_star, Trellis};
 
@@ -35,7 +39,9 @@ pub struct BcjrDecoder {
 impl BcjrDecoder {
     /// Creates a decoder for the 133/171 rate-1/2 code.
     pub fn new() -> Self {
-        BcjrDecoder { trellis: Trellis::new() }
+        BcjrDecoder {
+            trellis: Trellis::new(),
+        }
     }
 
     /// Decodes a terminated codeword.
@@ -48,7 +54,10 @@ impl BcjrDecoder {
     /// # Panics
     /// Panics if `coded_llrs.len()` is odd or shorter than one tail.
     pub fn decode(&self, coded_llrs: &[f64]) -> SoftDecode {
-        assert!(coded_llrs.len() % 2 == 0, "coded LLR stream must be even-length");
+        assert!(
+            coded_llrs.len().is_multiple_of(2),
+            "coded LLR stream must be even-length"
+        );
         let steps = coded_llrs.len() / 2;
         assert!(steps > TAIL_BITS, "codeword shorter than the tail");
         let n_info = steps - TAIL_BITS;
@@ -166,7 +175,10 @@ mod tests {
 
     /// Maps coded bits to ideal channel LLRs of magnitude `mag`.
     fn ideal_llrs(coded: &[u8], mag: f64) -> Vec<f64> {
-        coded.iter().map(|&b| if b == 1 { mag } else { -mag }).collect()
+        coded
+            .iter()
+            .map(|&b| if b == 1 { mag } else { -mag })
+            .collect()
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub fn encode_step(state: usize, bit: u8) -> (u8, u8, usize) {
 pub fn encode(info: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(2 * (info.len() + TAIL_BITS));
     let mut state = 0usize;
-    for &bit in info.iter().chain(std::iter::repeat(&0u8).take(TAIL_BITS)) {
+    for &bit in info.iter().chain(std::iter::repeat_n(&0u8, TAIL_BITS)) {
         let (a, b, next) = encode_step(state, bit);
         out.push(a);
         out.push(b);
@@ -171,7 +171,10 @@ mod tests {
         let coded: Vec<u8> = (0..12).map(|i| (i % 2) as u8).collect();
         let rate = CodeRate::ThreeQuarters;
         let punct = puncture(&coded, rate);
-        let llrs: Vec<f64> = punct.iter().map(|&b| if b == 1 { 5.0 } else { -5.0 }).collect();
+        let llrs: Vec<f64> = punct
+            .iter()
+            .map(|&b| if b == 1 { 5.0 } else { -5.0 })
+            .collect();
         let restored = depuncture(&llrs, rate, coded.len());
         assert_eq!(restored.len(), coded.len());
         let pattern = rate.puncture_pattern();

@@ -220,7 +220,12 @@ pub fn payload_symbol_count(mode: &Mode, rate: BitRate, payload_len: usize) -> u
 
 /// Total OFDM symbols of a frame (preamble + header + payload
 /// [+ postamble]).
-pub fn frame_symbol_count(mode: &Mode, rate: BitRate, payload_len: usize, postamble: bool) -> usize {
+pub fn frame_symbol_count(
+    mode: &Mode,
+    rate: BitRate,
+    payload_len: usize,
+    postamble: bool,
+) -> usize {
     NUM_PREAMBLE_SYMBOLS
         + header_symbol_count(mode)
         + payload_symbol_count(mode, rate, payload_len)
@@ -258,7 +263,11 @@ fn encode_block(
         let mut sym_bits = Vec::with_capacity(ncbps);
         for i in 0..ncbps {
             let pos = s * ncbps + i;
-            sym_bits.push(if pos < coded.len() { coded[pos] } else { pad_bit(pos) });
+            sym_bits.push(if pos < coded.len() {
+                coded[pos]
+            } else {
+                pad_bit(pos)
+            });
         }
         let interleaved = interleaver.interleave(&sym_bits);
         let points = map_bits(&interleaved, rate.modulation);
@@ -372,7 +381,14 @@ fn demap_block(
         sym_llrs.clear();
         for &idx in &data_idx {
             let h_eff = est.h[idx] * c;
-            demap_soft(sym[idx], h_eff, est.noise_var, modulation, demap, &mut sym_llrs);
+            demap_soft(
+                sym[idx],
+                h_eff,
+                est.noise_var,
+                modulation,
+                demap,
+                &mut sym_llrs,
+            );
         }
         for l in &mut sym_llrs {
             *l = l.clamp(-llr_clip, llr_clip);
@@ -448,8 +464,15 @@ pub fn receive_frame(
         return rx; // truncated capture
     }
     let pay_syms = &symbols[pay_start..pay_start + n_pay];
-    let pay_llrs_all =
-        demap_block(pay_syms, &rx.est, mode, rate.modulation, pay_start, demap, llr_clip);
+    let pay_llrs_all = demap_block(
+        pay_syms,
+        &rx.est,
+        mode,
+        rate.modulation,
+        pay_start,
+        demap,
+        llr_clip,
+    );
     let mother_len = 2 * (n_info + crate::convolutional::TAIL_BITS);
     let pay_llrs = depuncture(&pay_llrs_all[..coded], rate.code_rate, mother_len);
     let decode = decoder.decode(&pay_llrs);
@@ -472,12 +495,26 @@ mod tests {
     use crate::rates::PAPER_RATES;
 
     fn test_header() -> FrameHeader {
-        FrameHeader { src: 1, dst: 2, rate_idx: 0, payload_len: 0, seq: 42, flags: 0 }
+        FrameHeader {
+            src: 1,
+            dst: 2,
+            rate_idx: 0,
+            payload_len: 0,
+            seq: 42,
+            flags: 0,
+        }
     }
 
     #[test]
     fn header_roundtrip() {
-        let h = FrameHeader { src: 7, dst: 9, rate_idx: 3, payload_len: 960, seq: 1234, flags: 1 };
+        let h = FrameHeader {
+            src: 7,
+            dst: 9,
+            rate_idx: 3,
+            payload_len: 960,
+            seq: 1234,
+            flags: 1,
+        };
         let parsed = FrameHeader::from_bytes(&h.to_bytes()).unwrap();
         assert_eq!(parsed, h);
     }
@@ -505,7 +542,12 @@ mod tests {
             let cfg = FrameConfig::new(SIMULATION, rate);
             let payload = deterministic_payload(99, 60);
             let tx = build_frame(test_header(), &payload, &cfg);
-            let rx = receive_frame(&tx.symbols, &SIMULATION, DemapMethod::Exact, DEFAULT_LLR_CLIP);
+            let rx = receive_frame(
+                &tx.symbols,
+                &SIMULATION,
+                DemapMethod::Exact,
+                DEFAULT_LLR_CLIP,
+            );
             assert!(rx.crc_ok, "{rate}: CRC failed on clean channel");
             assert_eq!(rx.payload.as_deref(), Some(&payload[..]), "{rate}");
             assert_eq!(rx.header.unwrap().seq, 42);
@@ -519,7 +561,12 @@ mod tests {
         let cfg = FrameConfig::new(SHORT_RANGE, rate);
         let payload = deterministic_payload(5, 100);
         let tx = build_frame(test_header(), &payload, &cfg);
-        let rx = receive_frame(&tx.symbols, &SHORT_RANGE, DemapMethod::Exact, DEFAULT_LLR_CLIP);
+        let rx = receive_frame(
+            &tx.symbols,
+            &SHORT_RANGE,
+            DemapMethod::Exact,
+            DEFAULT_LLR_CLIP,
+        );
         assert!(rx.crc_ok);
         assert_eq!(rx.payload.as_deref(), Some(&payload[..]));
     }
@@ -529,7 +576,12 @@ mod tests {
         let cfg = FrameConfig::new(SIMULATION, PAPER_RATES[4]);
         let payload = deterministic_payload(7, 64);
         let tx = build_frame(test_header(), &payload, &cfg);
-        let rx = receive_frame(&tx.symbols, &SIMULATION, DemapMethod::Exact, DEFAULT_LLR_CLIP);
+        let rx = receive_frame(
+            &tx.symbols,
+            &SIMULATION,
+            DemapMethod::Exact,
+            DEFAULT_LLR_CLIP,
+        );
         assert_eq!(rx.llrs.len(), tx.info_bits.len());
         // On a noiseless channel every posterior must be confident and
         // correct.
@@ -550,7 +602,10 @@ mod tests {
                     frame_symbol_count(&SIMULATION, rate, len, false),
                     "{rate} len {len}"
                 );
-                assert_eq!(tx.n_payload_symbols, payload_symbol_count(&SIMULATION, rate, len));
+                assert_eq!(
+                    tx.n_payload_symbols,
+                    payload_symbol_count(&SIMULATION, rate, len)
+                );
             }
         }
     }

@@ -24,10 +24,11 @@ impl Interleaver {
     /// bits per subcarrier. `ncbps` must be a multiple of 16 (true for all
     /// modes in this crate, as in 802.11a).
     pub fn new(ncbps: usize, nbpsc: usize) -> Self {
-        assert!(ncbps % 16 == 0, "Ncbps must be a multiple of 16");
-        assert!(ncbps % nbpsc == 0);
+        assert!(ncbps.is_multiple_of(16), "Ncbps must be a multiple of 16");
+        assert!(ncbps.is_multiple_of(nbpsc));
         let s = (nbpsc / 2).max(1);
         let mut perm = vec![0usize; ncbps];
+        #[allow(clippy::needless_range_loop)] // `k` feeds the permutation algebra
         for k in 0..ncbps {
             // First permutation: write row-wise into 16 columns, read
             // column-wise.
@@ -113,7 +114,10 @@ mod tests {
         let il = Interleaver::new(96, 1);
         let bits = bytes_to_bits(&deterministic_payload(2, 12));
         let inter = il.interleave(&bits);
-        let llrs: Vec<f64> = inter.iter().map(|&b| if b == 1 { 1.0 } else { -1.0 }).collect();
+        let llrs: Vec<f64> = inter
+            .iter()
+            .map(|&b| if b == 1 { 1.0 } else { -1.0 })
+            .collect();
         let de = il.deinterleave_llrs(&llrs);
         for (l, &b) in de.iter().zip(&bits) {
             assert_eq!(*l > 0.0, b == 1);
@@ -130,7 +134,11 @@ mod tests {
             let sc_a = il.perm[k] / nbpsc;
             let sc_b = il.perm[k + 1] / nbpsc;
             let dist = sc_a.abs_diff(sc_b);
-            assert!(dist >= 2, "bits {k},{} land on subcarriers {sc_a},{sc_b}", k + 1);
+            assert!(
+                dist >= 2,
+                "bits {k},{} land on subcarriers {sc_a},{sc_b}",
+                k + 1
+            );
         }
     }
 

@@ -124,7 +124,11 @@ impl Constellation {
 pub fn map_bits(bits: &[u8], modulation: Modulation) -> Vec<Complex> {
     let table = Constellation::get(modulation);
     let n = table.bits_per_symbol();
-    assert_eq!(bits.len() % n, 0, "bit stream not a multiple of bits/symbol");
+    assert_eq!(
+        bits.len() % n,
+        0,
+        "bit stream not a multiple of bits/symbol"
+    );
     bits.chunks(n).map(|chunk| table.map(chunk)).collect()
 }
 
@@ -206,17 +210,26 @@ mod tests {
 
     #[test]
     fn constellations_have_unit_energy() {
-        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+        for m in [
+            Modulation::Bpsk,
+            Modulation::Qpsk,
+            Modulation::Qam16,
+            Modulation::Qam64,
+        ] {
             let c = Constellation::get(m);
-            let e: f64 =
-                c.points.iter().map(|p| p.norm_sqr()).sum::<f64>() / c.points.len() as f64;
+            let e: f64 = c.points.iter().map(|p| p.norm_sqr()).sum::<f64>() / c.points.len() as f64;
             assert!((e - 1.0).abs() < 1e-12, "{m}: energy {e}");
         }
     }
 
     #[test]
     fn constellation_points_are_distinct() {
-        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+        for m in [
+            Modulation::Bpsk,
+            Modulation::Qpsk,
+            Modulation::Qam16,
+            Modulation::Qam64,
+        ] {
             let c = Constellation::get(m);
             for i in 0..c.points.len() {
                 for j in i + 1..c.points.len() {
@@ -239,7 +252,12 @@ mod tests {
 
     #[test]
     fn map_demap_roundtrip_noiseless() {
-        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+        for m in [
+            Modulation::Bpsk,
+            Modulation::Qpsk,
+            Modulation::Qam16,
+            Modulation::Qam64,
+        ] {
             let nb = m.bits_per_symbol();
             let n_sym = 1usize << nb;
             // Exercise every label.
@@ -260,7 +278,12 @@ mod tests {
 
     #[test]
     fn soft_demap_signs_match_bits_noiseless() {
-        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+        for m in [
+            Modulation::Bpsk,
+            Modulation::Qpsk,
+            Modulation::Qam16,
+            Modulation::Qam64,
+        ] {
             let nb = m.bits_per_symbol();
             for label in 0..(1usize << nb) {
                 let bits: Vec<u8> = (0..nb).map(|b| ((label >> b) & 1) as u8).collect();
@@ -313,7 +336,10 @@ mod tests {
         demap_soft(y, Complex::ONE, 0.01, m, DemapMethod::Exact, &mut exact);
         demap_soft(y, Complex::ONE, 0.01, m, DemapMethod::MaxLog, &mut maxlog);
         for (e, x) in exact.iter().zip(&maxlog) {
-            assert!((e - x).abs() / e.abs().max(1.0) < 0.05, "exact {e} vs maxlog {x}");
+            assert!(
+                (e - x).abs() / e.abs().max(1.0) < 0.05,
+                "exact {e} vs maxlog {x}"
+            );
         }
     }
 
@@ -323,8 +349,19 @@ mod tests {
         let n0 = 0.5;
         let y = Complex::new(0.3, 0.7); // imaginary part carries no info
         let mut llrs = Vec::new();
-        demap_soft(y, Complex::ONE, n0, Modulation::Bpsk, DemapMethod::Exact, &mut llrs);
+        demap_soft(
+            y,
+            Complex::ONE,
+            n0,
+            Modulation::Bpsk,
+            DemapMethod::Exact,
+            &mut llrs,
+        );
         let expected = 4.0 * y.re / n0;
-        assert!((llrs[0] - expected).abs() < 1e-9, "{} vs {expected}", llrs[0]);
+        assert!(
+            (llrs[0] - expected).abs() < 1e-9,
+            "{} vs {expected}",
+            llrs[0]
+        );
     }
 }

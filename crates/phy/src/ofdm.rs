@@ -157,7 +157,12 @@ mod tests {
         // Required by the 802.11 interleaver.
         for mode in ALL_MODES {
             for rate in ALL_RATES {
-                assert_eq!(mode.coded_bits_per_symbol(rate) % 16, 0, "{} {rate}", mode.name);
+                assert_eq!(
+                    mode.coded_bits_per_symbol(rate) % 16,
+                    0,
+                    "{} {rate}",
+                    mode.name
+                );
             }
         }
     }

@@ -138,7 +138,10 @@ pub struct BitRate {
 impl BitRate {
     /// Creates a bit rate from its components.
     pub const fn new(modulation: Modulation, code_rate: CodeRate) -> Self {
-        BitRate { modulation, code_rate }
+        BitRate {
+            modulation,
+            code_rate,
+        }
     }
 
     /// Information bits per modulated subcarrier symbol, as a float

@@ -29,8 +29,7 @@ pub fn training_value(k: usize) -> Complex {
     let mut x = (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03;
     x ^= x >> 29;
     x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    let phase = std::f64::consts::FRAC_PI_2 * ((x >> 60) & 3) as f64
-        + std::f64::consts::FRAC_PI_4;
+    let phase = std::f64::consts::FRAC_PI_2 * ((x >> 60) & 3) as f64 + std::f64::consts::FRAC_PI_4;
     Complex::cis(phase)
 }
 
@@ -42,7 +41,9 @@ pub fn preamble_symbol(mode: &Mode) -> Vec<Complex> {
 /// Builds the postamble OFDM symbol. A different deterministic sequence from
 /// the preamble so the two are distinguishable.
 pub fn postamble_symbol(mode: &Mode) -> Vec<Complex> {
-    (0..mode.n_used()).map(|k| training_value(k + 0x10_000)).collect()
+    (0..mode.n_used())
+        .map(|k| training_value(k + 0x10_000))
+        .collect()
 }
 
 /// Channel state estimated from the preamble.
@@ -60,7 +61,9 @@ impl ChannelEstimate {
     /// Preamble SNR estimate in dB — the quantity an SNR-based rate
     /// adaptation protocol would feed back.
     pub fn snr_db(&self) -> f64 {
-        10.0 * (self.signal_power / self.noise_var.max(1e-15)).max(1e-15).log10()
+        10.0 * (self.signal_power / self.noise_var.max(1e-15))
+            .max(1e-15)
+            .log10()
     }
 
     /// Linear SNR.
@@ -97,7 +100,11 @@ pub fn estimate_channel(p1: &[Complex], p2: &[Complex], mode: &Mode) -> ChannelE
     // The averaged preamble still carries noise_var/2 of noise power;
     // subtract it so the SNR estimate is unbiased.
     let signal_power = (sig_acc / n as f64 - noise_var / 2.0).max(1e-15);
-    ChannelEstimate { h, noise_var, signal_power }
+    ChannelEstimate {
+        h,
+        noise_var,
+        signal_power,
+    }
 }
 
 #[cfg(test)]
@@ -119,7 +126,7 @@ mod tests {
     fn noisy_preambles(h: Complex, noise_var: f64, seed: u64) -> (Vec<Complex>, Vec<Complex>) {
         let mode = SIMULATION;
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut mk = |rng: &mut SmallRng| {
+        let mk = |rng: &mut SmallRng| {
             preamble_symbol(&mode)
                 .into_iter()
                 .map(|x| {
@@ -142,8 +149,15 @@ mod tests {
     fn pre_and_postamble_differ() {
         let pre = preamble_symbol(&SIMULATION);
         let post = postamble_symbol(&SIMULATION);
-        let same = pre.iter().zip(&post).filter(|(a, b)| (**a - **b).abs() < 1e-9).count();
-        assert!(same < pre.len() / 2, "sequences too similar: {same} matches");
+        let same = pre
+            .iter()
+            .zip(&post)
+            .filter(|(a, b)| (**a - **b).abs() < 1e-9)
+            .count();
+        assert!(
+            same < pre.len() / 2,
+            "sequences too similar: {same} matches"
+        );
     }
 
     #[test]

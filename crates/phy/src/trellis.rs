@@ -34,16 +34,28 @@ impl Trellis {
     pub fn new() -> Self {
         let mut forward = Vec::with_capacity(NUM_STATES);
         for state in 0..NUM_STATES {
-            let mut row = [Transition { from: 0, input: 0, to: 0, out_a: 0, out_b: 0 }; 2];
+            let mut row = [Transition {
+                from: 0,
+                input: 0,
+                to: 0,
+                out_a: 0,
+                out_b: 0,
+            }; 2];
             for input in 0..2u8 {
                 let (a, b, next) = encode_step(state, input);
-                row[input as usize] =
-                    Transition { from: state, input, to: next, out_a: a, out_b: b };
+                row[input as usize] = Transition {
+                    from: state,
+                    input,
+                    to: next,
+                    out_a: a,
+                    out_b: b,
+                };
             }
             forward.push(row);
         }
 
-        let mut incoming: Vec<Vec<Transition>> = vec![Vec::with_capacity(2); NUM_STATES];
+        let mut incoming: Vec<Vec<Transition>> =
+            (0..NUM_STATES).map(|_| Vec::with_capacity(2)).collect();
         for row in &forward {
             for t in row {
                 incoming[t.to].push(*t);
@@ -135,9 +147,9 @@ mod tests {
     #[test]
     fn max_star_properties() {
         // max*(a, b) >= max(a, b) and equals ln(e^a + e^b).
-        let cases = [(0.0, 0.0), (1.0, -1.0), (-30.0, 2.0), (5.0, 5.0)];
+        let cases: [(f64, f64); 4] = [(0.0, 0.0), (1.0, -1.0), (-30.0, 2.0), (5.0, 5.0)];
         for (a, b) in cases {
-            let exact = ((a as f64).exp() + (b as f64).exp()).ln();
+            let exact = (a.exp() + b.exp()).ln();
             assert!((max_star(a, b) - exact).abs() < 1e-12, "({a},{b})");
             assert!(max_star(a, b) >= a.max(b));
         }
@@ -147,6 +159,9 @@ mod tests {
     fn max_star_handles_neg_infinity() {
         assert_eq!(max_star(f64::NEG_INFINITY, 3.0), 3.0);
         assert_eq!(max_star(3.0, f64::NEG_INFINITY), 3.0);
-        assert_eq!(max_star(f64::NEG_INFINITY, f64::NEG_INFINITY), f64::NEG_INFINITY);
+        assert_eq!(
+            max_star(f64::NEG_INFINITY, f64::NEG_INFINITY),
+            f64::NEG_INFINITY
+        );
     }
 }

@@ -36,7 +36,10 @@ struct ViterbiOutput {
 }
 
 fn decode_internal(coded_llrs: &[f64], soft: bool) -> ViterbiOutput {
-    assert!(coded_llrs.len() % 2 == 0, "coded LLR stream must be even-length");
+    assert!(
+        coded_llrs.len().is_multiple_of(2),
+        "coded LLR stream must be even-length"
+    );
     let steps = coded_llrs.len() / 2;
     assert!(steps > TAIL_BITS, "codeword shorter than the tail");
     let n_info = steps - TAIL_BITS;
@@ -55,7 +58,11 @@ fn decode_internal(coded_llrs: &[f64], soft: bool) -> ViterbiOutput {
     let mut pm = vec![NEG; NUM_STATES];
     pm[0] = 0.0;
     let mut survivor = vec![vec![(0usize, 0u8); NUM_STATES]; steps];
-    let mut delta = if soft { vec![vec![f64::INFINITY; NUM_STATES]; steps] } else { Vec::new() };
+    let mut delta = if soft {
+        vec![vec![f64::INFINITY; NUM_STATES]; steps]
+    } else {
+        Vec::new()
+    };
 
     for k in 0..steps {
         let mut next = vec![NEG; NUM_STATES];
@@ -63,8 +70,16 @@ fn decode_internal(coded_llrs: &[f64], soft: bool) -> ViterbiOutput {
         let mut dlt = vec![f64::INFINITY; NUM_STATES];
         for s in 0..NUM_STATES {
             let [p, q] = trellis.reverse[s];
-            let mp = if pm[p.from] == NEG { NEG } else { pm[p.from] + metric(k, p.out_a, p.out_b) };
-            let mq = if pm[q.from] == NEG { NEG } else { pm[q.from] + metric(k, q.out_a, q.out_b) };
+            let mp = if pm[p.from] == NEG {
+                NEG
+            } else {
+                pm[p.from] + metric(k, p.out_a, p.out_b)
+            };
+            let mq = if pm[q.from] == NEG {
+                NEG
+            } else {
+                pm[q.from] + metric(k, q.out_a, q.out_b)
+            };
             if mp >= mq {
                 next[s] = mp;
                 surv[s] = (p.from, p.input);
@@ -111,7 +126,11 @@ fn decode_internal(coded_llrs: &[f64], soft: bool) -> ViterbiOutput {
             // Identify the competing (discarded) predecessor transition.
             let [p, q] = trellis.reverse[s];
             let (win_prev, _) = survivor[k][s];
-            let loser = if p.from == win_prev && p.input == decisions[k] { q } else { p };
+            let loser = if p.from == win_prev && p.input == decisions[k] {
+                q
+            } else {
+                p
+            };
             // The competing path differs at step k if its input differs.
             if loser.input != decisions[k] {
                 rel[k] = rel[k].min(d);
@@ -137,7 +156,10 @@ fn decode_internal(coded_llrs: &[f64], soft: bool) -> ViterbiOutput {
             .collect();
     }
 
-    ViterbiOutput { bits: decisions[..n_info].to_vec(), reliability }
+    ViterbiOutput {
+        bits: decisions[..n_info].to_vec(),
+        reliability,
+    }
 }
 
 #[cfg(test)]
@@ -147,7 +169,10 @@ mod tests {
     use crate::convolutional::encode;
 
     fn ideal_llrs(coded: &[u8], mag: f64) -> Vec<f64> {
-        coded.iter().map(|&b| if b == 1 { mag } else { -mag }).collect()
+        coded
+            .iter()
+            .map(|&b| if b == 1 { mag } else { -mag })
+            .collect()
     }
 
     #[test]
@@ -189,6 +214,7 @@ mod tests {
         let coded = encode(&info);
         let mut llrs = ideal_llrs(&coded, 4.0);
         let weak_bit = 200usize; // info bit index
+        #[allow(clippy::needless_range_loop)] // `c` is a coded-bit position in the stream
         for c in 2 * weak_bit..2 * weak_bit + 14 {
             llrs[c] *= 0.05;
         }

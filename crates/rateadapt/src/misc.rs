@@ -12,7 +12,10 @@ impl FixedRate {
     /// Creates a fixed-rate adapter.
     pub fn new(rate_idx: RateIdx, num_rates: usize) -> Self {
         assert!(rate_idx < num_rates);
-        FixedRate { rate_idx, num_rates }
+        FixedRate {
+            rate_idx,
+            num_rates,
+        }
     }
 }
 
@@ -22,7 +25,10 @@ impl RateAdapter for FixedRate {
     }
 
     fn next_attempt(&mut self, _now: f64) -> TxAttempt {
-        TxAttempt { rate_idx: self.rate_idx, use_rts: false }
+        TxAttempt {
+            rate_idx: self.rate_idx,
+            use_rts: false,
+        }
     }
 
     fn on_outcome(&mut self, _outcome: &TxOutcome) {}
@@ -55,7 +61,10 @@ impl RateAdapter for Omniscient {
 
     fn next_attempt(&mut self, now: f64) -> TxAttempt {
         let r = (self.oracle)(now).min(self.num_rates - 1);
-        TxAttempt { rate_idx: r, use_rts: false }
+        TxAttempt {
+            rate_idx: r,
+            use_rts: false,
+        }
     }
 
     fn on_outcome(&mut self, _outcome: &TxOutcome) {}

@@ -100,7 +100,10 @@ impl RateAdapter for Rraa {
             self.rts_counter -= 1;
         }
         self.last_used_rts = use_rts;
-        TxAttempt { rate_idx: self.current, use_rts }
+        TxAttempt {
+            rate_idx: self.current,
+            use_rts,
+        }
     }
 
     fn on_outcome(&mut self, outcome: &TxOutcome) {
@@ -238,7 +241,10 @@ mod tests {
         r.on_outcome(&outcome(a.rate_idx, false, 0.0));
         assert_eq!(r.rts_window, 1);
         let a2 = r.next_attempt(1e-3);
-        assert!(a2.use_rts, "after an unprotected loss the next frame gets RTS");
+        assert!(
+            a2.use_rts,
+            "after an unprotected loss the next frame gets RTS"
+        );
     }
 
     #[test]

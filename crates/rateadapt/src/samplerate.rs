@@ -150,13 +150,16 @@ impl RateAdapter for SampleRate {
         self.prune(now);
         let best = self.best_rate();
         self.frames_sent += 1;
-        let rate_idx = if self.frames_sent % SAMPLE_EVERY == 0 {
+        let rate_idx = if self.frames_sent.is_multiple_of(SAMPLE_EVERY) {
             self.sample_rate_candidate(best).unwrap_or(best)
         } else {
             best
         };
         self.current = rate_idx;
-        TxAttempt { rate_idx, use_rts: false }
+        TxAttempt {
+            rate_idx,
+            use_rts: false,
+        }
     }
 
     fn on_outcome(&mut self, outcome: &TxOutcome) {
@@ -224,7 +227,12 @@ mod tests {
         let picks: Vec<usize> = (0..20)
             .map(|k| {
                 let a = sr.next_attempt(now + k as f64 * 1e-3);
-                sr.on_outcome(&outcome(a.rate_idx, a.rate_idx == 3, now + k as f64 * 1e-3, 1e-3));
+                sr.on_outcome(&outcome(
+                    a.rate_idx,
+                    a.rate_idx == 3,
+                    now + k as f64 * 1e-3,
+                    1e-3,
+                ));
                 a.rate_idx
             })
             .collect();
@@ -258,7 +266,7 @@ mod tests {
         }
         assert_eq!(sr.consecutive_failures[5], 4);
         // It must no longer be offered as a sampling candidate.
-        assert!(sr.sample_rate_candidate(3).map_or(true, |c| c != 5));
+        assert!(sr.sample_rate_candidate(3) != Some(5));
         // A success clears the blacklist.
         sr.on_outcome(&outcome(5, true, 0.01, 0.45e-3));
         assert_eq!(sr.consecutive_failures[5], 0);

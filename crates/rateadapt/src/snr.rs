@@ -26,7 +26,10 @@ impl SnrTable {
     pub fn new(min_snr_db: Vec<f64>) -> Self {
         assert!(!min_snr_db.is_empty());
         for w in min_snr_db.windows(2) {
-            assert!(w[1] >= w[0], "thresholds must be non-decreasing: {min_snr_db:?}");
+            assert!(
+                w[1] >= w[0],
+                "thresholds must be non-decreasing: {min_snr_db:?}"
+            );
         }
         SnrTable { min_snr_db }
     }
@@ -113,7 +116,10 @@ impl RateAdapter for SnrAdapter {
     }
 
     fn next_attempt(&mut self, _now: f64) -> TxAttempt {
-        TxAttempt { rate_idx: self.current, use_rts: false }
+        TxAttempt {
+            rate_idx: self.current,
+            use_rts: false,
+        }
     }
 
     fn on_outcome(&mut self, outcome: &TxOutcome) {
@@ -198,7 +204,11 @@ mod tests {
     fn charm_smooths_snr() {
         let mut a = SnrAdapter::charm(table());
         a.on_outcome(&outcome_with_snr(0, Some(20.0)));
-        assert_eq!(a.next_attempt(0.0).rate_idx, 5, "first sample initializes the EWMA");
+        assert_eq!(
+            a.next_attempt(0.0).rate_idx,
+            5,
+            "first sample initializes the EWMA"
+        );
         // A single dip barely moves the average.
         a.on_outcome(&outcome_with_snr(5, Some(0.0)));
         let tracked = a.tracked_snr().unwrap();
@@ -236,7 +246,14 @@ mod tests {
         }
         rbar.on_outcome(&outcome_with_snr(5, Some(4.0)));
         charm.on_outcome(&outcome_with_snr(5, Some(4.0)));
-        assert_eq!(rbar.next_attempt(0.0).rate_idx, 0, "4 dB only clears the 2 dB threshold");
-        assert!(charm.next_attempt(0.0).rate_idx >= 4, "CHARM must lag the drop");
+        assert_eq!(
+            rbar.next_attempt(0.0).rate_idx,
+            0,
+            "4 dB only clears the 2 dB threshold"
+        );
+        assert!(
+            charm.next_attempt(0.0).rate_idx >= 4,
+            "CHARM must lag the drop"
+        );
     }
 }

@@ -1,0 +1,259 @@
+//! The scenario engine's command-line interface.
+//!
+//! ```text
+//! softrate-scenarios list
+//! softrate-scenarios show <name | --file spec.toml> [--expanded]
+//! softrate-scenarios run  <name | --file spec.toml> [--threads N]
+//!                         [--out results.jsonl] [--duration SECS] [--seed N]
+//! softrate-scenarios sweep --file spec.toml [--threads N] [--out results.jsonl]
+//! ```
+//!
+//! `run` and `sweep` both execute the *full* expanded matrix in parallel;
+//! `sweep` merely requires the spec to declare sweep axes (guarding
+//! against accidentally running a 1-point "sweep"). Results go to stdout
+//! as a summary table and, with `--out`, to a JSON-lines file whose bytes
+//! are identical across repeat runs and thread counts.
+
+use std::process::ExitCode;
+
+use softrate_scenario::engine::{self, expand, run_all, summary_table, to_jsonl};
+use softrate_scenario::spec::ScenarioSpec;
+use softrate_scenario::{builtin, toml};
+
+fn usage() -> &'static str {
+    "softrate-scenarios — declarative scenario engine for the SoftRate reproduction
+
+USAGE:
+    softrate-scenarios list
+    softrate-scenarios show <name | --file spec.toml> [--expanded]
+    softrate-scenarios run  <--name name | --file spec.toml> [--threads N]
+                            [--out results.jsonl] [--duration SECS] [--seed N]
+                            [--only RUN_IDX]
+    softrate-scenarios sweep --file spec.toml [--threads N] [--out results.jsonl]
+
+The scenario may be given as a bare positional name, `--name <builtin>`,
+or `--file <spec.toml|spec.json>`.
+
+COMMANDS:
+    list    Catalogue the built-in scenario library
+    show    Print a scenario's TOML (with --expanded: every run in its matrix)
+    run     Execute a scenario's full run matrix in parallel
+    sweep   Like run, but requires the spec to declare [sweep] axes
+"
+}
+
+struct Args {
+    positional: Vec<String>,
+    file: Option<String>,
+    out: Option<String>,
+    threads: Option<usize>,
+    duration: Option<f64>,
+    seed: Option<u64>,
+    only: Option<usize>,
+    expanded: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        positional: Vec::new(),
+        file: None,
+        out: None,
+        threads: None,
+        duration: None,
+        seed: None,
+        only: None,
+        expanded: false,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--file" | "-f" => args.file = Some(value_of("--file")?),
+            "--name" | "-n" => args.positional.push(value_of("--name")?),
+            "--out" | "-o" => args.out = Some(value_of("--out")?),
+            "--threads" | "-j" => {
+                args.threads = Some(
+                    value_of("--threads")?
+                        .parse()
+                        .map_err(|_| "--threads must be an integer".to_string())?,
+                )
+            }
+            "--duration" => {
+                args.duration = Some(
+                    value_of("--duration")?
+                        .parse()
+                        .map_err(|_| "--duration must be a number".to_string())?,
+                )
+            }
+            "--seed" => {
+                args.seed = Some(
+                    value_of("--seed")?
+                        .parse()
+                        .map_err(|_| "--seed must be an integer".to_string())?,
+                )
+            }
+            "--only" => {
+                args.only = Some(
+                    value_of("--only")?
+                        .parse()
+                        .map_err(|_| "--only must be a run index".to_string())?,
+                )
+            }
+            "--expanded" => args.expanded = true,
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            name => args.positional.push(name.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+/// Loads the spec named by `--file` or the positional built-in name.
+fn load_spec(args: &Args) -> Result<ScenarioSpec, String> {
+    let mut spec = if let Some(path) = &args.file {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        engine::parse_spec(&text).map_err(|e| format!("{path}: {e}"))?
+    } else if let Some(name) = args.positional.first() {
+        builtin::get(name)
+            .map_err(|e| format!("{e}\navailable: {}", builtin::names().join(", ")))?
+    } else {
+        return Err("give a built-in scenario name or --file <spec>".to_string());
+    };
+    if let Some(d) = args.duration {
+        spec.duration = d;
+    }
+    if let Some(s) = args.seed {
+        spec.seed = s;
+    }
+    spec.validate().map_err(|e| e.to_string())?;
+    Ok(spec)
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("{:<18} {:>5}  description", "name", "runs");
+    for name in builtin::names() {
+        let spec = builtin::get(name).map_err(|e| e.to_string())?;
+        let runs = expand(&spec).map_err(|e| e.to_string())?.len();
+        println!(
+            "{name:<18} {runs:>5}  {}",
+            spec.description.as_deref().unwrap_or("")
+        );
+    }
+    Ok(())
+}
+
+fn cmd_show(args: &Args) -> Result<(), String> {
+    let spec = load_spec(args)?;
+    if args.expanded {
+        let plans = expand(&spec).map_err(|e| e.to_string())?;
+        println!("# {} runs in the matrix of `{}`\n", plans.len(), spec.name);
+        for plan in plans {
+            let params: Vec<String> = plan
+                .params
+                .iter()
+                .map(|(k, v)| format!("{k}={}", serde_json::to_string(v).unwrap_or_default()))
+                .collect();
+            println!(
+                "run {:>4}  seed {:>20}  adapter {:<18} {}",
+                plan.run_idx,
+                plan.seed,
+                plan.adapter.label(),
+                params.join(" ")
+            );
+        }
+    } else {
+        print!("{}", spec.to_toml());
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &Args, require_sweep: bool) -> Result<(), String> {
+    let spec = load_spec(args)?;
+    if require_sweep && spec.sweep.as_ref().is_none_or(|s| s.0.is_empty()) {
+        return Err(format!(
+            "`sweep` needs a spec with [sweep] axes; `{}` has none (use `run`)",
+            spec.name
+        ));
+    }
+    let mut plans = expand(&spec).map_err(|e| e.to_string())?;
+    if let Some(idx) = args.only {
+        let total = plans.len();
+        plans.retain(|p| p.run_idx == idx);
+        if plans.is_empty() {
+            return Err(format!(
+                "--only {idx} is out of range: the matrix has {total} runs (0..{})",
+                total.saturating_sub(1)
+            ));
+        }
+    }
+    let threads = args.threads.map(|t| t.max(1));
+    eprintln!(
+        "scenario `{}`: {} runs x {:.1}s simulated, {} threads",
+        spec.name,
+        plans.len(),
+        spec.duration,
+        threads
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "auto".to_string()),
+    );
+    let started = std::time::Instant::now();
+    let results = run_all(&plans, threads);
+    eprintln!("completed in {:.2}s", started.elapsed().as_secs_f64());
+    print!("{}", summary_table(&results));
+    if let Some(out) = &args.out {
+        let jsonl = to_jsonl(&results);
+        if let Some(parent) = std::path::Path::new(out).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(out, jsonl).map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("[wrote {out}]");
+    }
+    Ok(())
+}
+
+/// Sanity helper for `show --file` on raw TOML that is not a scenario:
+/// kept internal; surfaces parser line numbers to the user.
+#[allow(dead_code)]
+fn check_toml(text: &str) -> Result<(), String> {
+    toml::parse(text).map(|_| ()).map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let args = match parse_args(rest) {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprint!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "list" => cmd_list(),
+        "show" => cmd_show(&args),
+        "run" => cmd_run(&args, false),
+        "sweep" => cmd_run(&args, true),
+        "--help" | "-h" | "help" => {
+            print!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

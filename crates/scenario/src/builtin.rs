@@ -1,0 +1,122 @@
+//! The built-in scenario library: curated TOML documents embedded at
+//! compile time from `crates/scenario/scenarios/`.
+//!
+//! Coverage follows the cross-layer evaluation playbook — static baseline,
+//! pedestrian / vehicular / slow / fast fading, periodic interference,
+//! hidden terminals, multi-client contention, both directions, UDP and
+//! TCP, an attenuation ramp, and a multi-axis stress sweep — so that new
+//! studies start from `softrate-scenarios run --name <x>` instead of a new
+//! binary.
+
+use crate::spec::{ScenarioSpec, SpecError};
+
+/// `(name, TOML source)` of every built-in scenario.
+pub const BUILTINS: &[(&str, &str)] = &[
+    (
+        "static-office",
+        include_str!("../scenarios/static-office.toml"),
+    ),
+    ("pedestrian", include_str!("../scenarios/pedestrian.toml")),
+    ("vehicular", include_str!("../scenarios/vehicular.toml")),
+    ("slow-fading", include_str!("../scenarios/slow-fading.toml")),
+    ("fast-fading", include_str!("../scenarios/fast-fading.toml")),
+    (
+        "microwave-oven",
+        include_str!("../scenarios/microwave-oven.toml"),
+    ),
+    (
+        "hidden-terminal",
+        include_str!("../scenarios/hidden-terminal.toml"),
+    ),
+    ("contention", include_str!("../scenarios/contention.toml")),
+    (
+        "downlink-office",
+        include_str!("../scenarios/downlink-office.toml"),
+    ),
+    (
+        "udp-vehicular",
+        include_str!("../scenarios/udp-vehicular.toml"),
+    ),
+    ("walk-away", include_str!("../scenarios/walk-away.toml")),
+    ("campus-mix", include_str!("../scenarios/campus-mix.toml")),
+];
+
+/// Names of every built-in scenario, in catalogue order.
+pub fn names() -> Vec<&'static str> {
+    BUILTINS.iter().map(|(n, _)| *n).collect()
+}
+
+/// The raw TOML of a built-in scenario.
+pub fn raw(name: &str) -> Option<&'static str> {
+    BUILTINS.iter().find(|(n, _)| *n == name).map(|(_, t)| *t)
+}
+
+/// Parses a built-in scenario.
+pub fn get(name: &str) -> Result<ScenarioSpec, SpecError> {
+    let text =
+        raw(name).ok_or_else(|| SpecError(format!("no built-in scenario named `{name}`")))?;
+    ScenarioSpec::from_toml(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::expand;
+
+    #[test]
+    fn library_has_at_least_ten_scenarios() {
+        assert!(BUILTINS.len() >= 10, "only {} built-ins", BUILTINS.len());
+    }
+
+    #[test]
+    fn every_builtin_parses_validates_and_expands() {
+        for (name, _) in BUILTINS {
+            let spec = get(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(
+                spec.name, *name,
+                "file name and spec name must agree for `{name}`"
+            );
+            assert!(spec.description.is_some(), "{name} needs a description");
+            let plans = expand(&spec).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!plans.is_empty(), "{name} expands to zero runs");
+        }
+    }
+
+    #[test]
+    fn builtins_roundtrip_through_toml() {
+        for (name, _) in BUILTINS {
+            let spec = get(name).unwrap();
+            let back =
+                ScenarioSpec::from_toml(&spec.to_toml()).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(back, spec, "{name} must round-trip");
+        }
+    }
+
+    #[test]
+    fn campus_mix_is_a_three_axis_matrix() {
+        let spec = get("campus-mix").unwrap();
+        let plans = expand(&spec).unwrap();
+        // 3 client counts x 3 SNRs x 2 Dopplers x 2 adapters.
+        assert_eq!(plans.len(), 36);
+    }
+
+    #[test]
+    fn library_spans_the_scenario_space() {
+        use crate::spec::{ChannelModel, Direction, TrafficModel};
+        let specs: Vec<_> = BUILTINS.iter().map(|(n, _)| get(n).unwrap()).collect();
+        assert!(specs
+            .iter()
+            .any(|s| s.traffic.kind == TrafficModel::UdpBulk));
+        assert!(specs
+            .iter()
+            .any(|s| matches!(s.direction(), Direction::Download)));
+        assert!(specs.iter().any(|s| s.channel.interference.is_some()));
+        assert!(specs.iter().any(|s| s.topology.n_clients >= 3));
+        assert!(specs.iter().any(|s| s.carrier_sense_prob() < 1.0));
+        assert!(specs.iter().any(|s| s.channel.attenuation.is_some()));
+        assert!(specs.iter().any(|s| s.sweep.is_some()));
+        assert!(specs
+            .iter()
+            .all(|s| s.channel.model == ChannelModel::Analytic));
+    }
+}

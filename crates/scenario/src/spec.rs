@@ -1,0 +1,522 @@
+//! The declarative scenario schema: what one experiment *is*, as data.
+//!
+//! A [`ScenarioSpec`] fully describes an experiment — topology, channel,
+//! traffic, adapters under test, duration, and RNG seed — and can carry a
+//! [`Sweep`] of parameter axes that the engine expands into a cartesian run
+//! matrix. Specs serialize to/from TOML (via [`crate::toml`]) and JSON (via
+//! `serde_json`), so "a new workload" is a data file, not a new binary.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use softrate_channel::model::FadingSpec;
+use softrate_channel::pathloss::Attenuation;
+
+use crate::toml;
+
+/// Error building or validating a scenario.
+#[derive(Debug, Clone)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<DeError> for SpecError {
+    fn from(e: DeError) -> Self {
+        SpecError(e.to_string())
+    }
+}
+
+impl From<toml::TomlError> for SpecError {
+    fn from(e: toml::TomlError) -> Self {
+        SpecError(e.to_string())
+    }
+}
+
+/// One fully described experiment (before sweep expansion).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Scenario name (used in run labels and result files).
+    pub name: String,
+    /// Human-readable description.
+    pub description: Option<String>,
+    /// Simulated seconds per run.
+    pub duration: f64,
+    /// Master seed; every run derives its own seed from this plus its
+    /// position in the expanded matrix.
+    pub seed: u64,
+    /// Who talks to whom.
+    pub topology: TopologySpec,
+    /// The wireless channel every link experiences.
+    pub channel: ChannelSpec,
+    /// What the flows carry.
+    pub traffic: TrafficSpec,
+    /// Adapters under test — one run per adapter (an implicit matrix axis).
+    /// Defaults to SoftRate alone when omitted.
+    pub adapters: Option<Vec<AdapterSpec>>,
+    /// Parameter sweep axes (cartesian product).
+    pub sweep: Option<Sweep>,
+}
+
+/// Topology parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologySpec {
+    /// Number of wireless clients (one flow each).
+    pub n_clients: usize,
+    /// Probability that one client carrier-senses another's transmission
+    /// (1.0 = perfect carrier sense, 0.0 = fully hidden terminals).
+    pub carrier_sense_prob: Option<f64>,
+    /// MAC queue capacity in frames (default 50).
+    pub queue_cap: Option<usize>,
+}
+
+/// Traffic parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficSpec {
+    /// Transport workload.
+    pub kind: TrafficModel,
+    /// Flow direction (default `Upload`).
+    pub direction: Option<Direction>,
+}
+
+/// Transport workload kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrafficModel {
+    /// TCP NewReno bulk transfer.
+    Tcp,
+    /// Saturated UDP datagram stream.
+    UdpBulk,
+}
+
+/// Flow direction over the wireless hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Clients send to LAN hosts.
+    Upload,
+    /// LAN hosts send to clients.
+    Download,
+}
+
+/// How link traces are produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChannelModel {
+    /// Closed-form SNR→BER model over the real Jakes fading envelope:
+    /// hundreds of times faster than the PHY, good enough for protocol
+    /// dynamics studies and large sweeps. Deterministic per seed.
+    Analytic,
+    /// Full software PHY per probe (OFDM + BCJR), the paper's methodology.
+    /// Slow; traces are cached on disk keyed by the channel parameters.
+    Phy,
+}
+
+/// The wireless channel shared by every link in the scenario. Each link
+/// gets its own fading/noise realization (distinct seeds) of this spec.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelSpec {
+    /// Trace production model.
+    pub model: ChannelModel,
+    /// Mean SNR in dB (before attenuation/fading).
+    pub snr_db: f64,
+    /// Small-scale fading (reuses the channel crate's spec verbatim).
+    pub fading: FadingSpec,
+    /// Large-scale attenuation trajectory (default: none).
+    pub attenuation: Option<Attenuation>,
+    /// Periodic wideband interference bursts — a microwave-oven-style
+    /// duty cycle that floors the SINR while active. Analytic model only.
+    pub interference: Option<BurstInterference>,
+    /// Probing interval in seconds (default 5 ms, the paper's budget).
+    pub probe_interval: Option<f64>,
+}
+
+/// Periodic interference bursts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BurstInterference {
+    /// Burst repetition period, seconds.
+    pub period: f64,
+    /// Burst duration within each period, seconds.
+    pub burst_len: f64,
+    /// SINR penalty while the burst is active, dB.
+    pub penalty_db: f64,
+}
+
+/// A rate-adaptation algorithm under test.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AdapterSpec {
+    /// SoftRate as evaluated in the paper (80 % detection, no postambles).
+    SoftRate,
+    /// Ideal SoftRate: postambles + perfect interference detection.
+    SoftRateIdeal,
+    /// SoftRate with its interference detector disabled (ablation).
+    SoftRateNoDetect,
+    /// SampleRate with a 1-second window.
+    SampleRate,
+    /// RRAA with adaptive RTS.
+    Rraa,
+    /// Per-frame SNR feedback. `table` is the per-rate minimum SNR in dB;
+    /// when omitted the engine trains a table on this run's own traces.
+    Snr {
+        /// Explicit per-rate minimum-SNR thresholds (dB), non-decreasing.
+        table: Option<Vec<f64>>,
+    },
+    /// CHARM-like averaged SNR; `table` as for `Snr`.
+    Charm {
+        /// Explicit per-rate minimum-SNR thresholds (dB), non-decreasing.
+        table: Option<Vec<f64>>,
+    },
+    /// The trace oracle.
+    Omniscient,
+    /// Pinned to one rate.
+    Fixed {
+        /// Rate index to pin.
+        rate_idx: usize,
+    },
+}
+
+impl AdapterSpec {
+    /// Display label used in run names and result lines.
+    pub fn label(&self) -> String {
+        match self {
+            AdapterSpec::SoftRate => "SoftRate".into(),
+            AdapterSpec::SoftRateIdeal => "SoftRate-Ideal".into(),
+            AdapterSpec::SoftRateNoDetect => "SoftRate-NoDetect".into(),
+            AdapterSpec::SampleRate => "SampleRate".into(),
+            AdapterSpec::Rraa => "RRAA".into(),
+            AdapterSpec::Snr { table: Some(_) } => "SNR-pretrained".into(),
+            AdapterSpec::Snr { table: None } => "SNR".into(),
+            AdapterSpec::Charm { .. } => "CHARM".into(),
+            AdapterSpec::Omniscient => "Omniscient".into(),
+            AdapterSpec::Fixed { rate_idx } => format!("Fixed-{rate_idx}"),
+        }
+    }
+}
+
+/// Sweep axes: an ordered list of `(dotted parameter path, values)`.
+///
+/// In TOML this is a table whose keys are dotted paths into the spec:
+///
+/// ```toml
+/// [sweep]
+/// "channel.snr_db" = [10.0, 16.0, 22.0]
+/// "topology.n_clients" = [1, 3]
+/// ```
+///
+/// Axes expand in declaration order (first axis outermost), so the run
+/// matrix order — and therefore result files — is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep(pub Vec<SweepAxis>);
+
+/// One sweep axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepAxis {
+    /// Dotted path of the field to vary (e.g. `channel.snr_db`).
+    pub param: String,
+    /// Values the axis takes.
+    pub values: Vec<Value>,
+}
+
+impl Serialize for Sweep {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.0
+                .iter()
+                .map(|axis| (axis.param.clone(), Value::Seq(axis.values.clone())))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for Sweep {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = serde::struct_map(v, "Sweep")?;
+        let mut axes = Vec::new();
+        for (param, values) in m {
+            let values = serde::seq(values, "Sweep axis")?.to_vec();
+            if values.is_empty() {
+                return Err(DeError::custom(format!(
+                    "sweep axis `{param}` has no values"
+                )));
+            }
+            axes.push(SweepAxis {
+                param: param.clone(),
+                values,
+            });
+        }
+        Ok(Sweep(axes))
+    }
+}
+
+impl ScenarioSpec {
+    /// Parses a TOML scenario document.
+    pub fn from_toml(text: &str) -> Result<Self, SpecError> {
+        let doc = toml::parse(text)?;
+        let spec = ScenarioSpec::from_value(&doc)?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Serializes to TOML.
+    pub fn to_toml(&self) -> String {
+        toml::to_string(&self.to_value()).expect("spec serializes to a map")
+    }
+
+    /// Parses a JSON scenario document.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        let spec: ScenarioSpec =
+            serde_json::from_str(text).map_err(|e| SpecError(e.to_string()))?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serializes")
+    }
+
+    /// Adapters under test, defaulting to SoftRate alone.
+    pub fn adapters(&self) -> Vec<AdapterSpec> {
+        match &self.adapters {
+            Some(a) if !a.is_empty() => a.clone(),
+            _ => vec![AdapterSpec::SoftRate],
+        }
+    }
+
+    /// Effective carrier-sense probability.
+    pub fn carrier_sense_prob(&self) -> f64 {
+        self.topology.carrier_sense_prob.unwrap_or(1.0)
+    }
+
+    /// Effective flow direction.
+    pub fn direction(&self) -> Direction {
+        self.traffic.direction.unwrap_or(Direction::Upload)
+    }
+
+    /// Effective probing interval.
+    pub fn probe_interval(&self) -> f64 {
+        self.channel.probe_interval.unwrap_or(0.005)
+    }
+
+    /// Structural sanity checks, run after every (re)deserialization —
+    /// including on each sweep-expanded point.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let fail = |msg: String| Err(SpecError(format!("scenario `{}`: {msg}", self.name)));
+        if self.name.is_empty() {
+            return Err(SpecError("scenario name must not be empty".into()));
+        }
+        if !self.duration.is_finite() || self.duration <= 0.0 {
+            return fail(format!("duration must be positive, got {}", self.duration));
+        }
+        if self.topology.n_clients == 0 {
+            return fail("topology.n_clients must be >= 1".into());
+        }
+        let cs = self.carrier_sense_prob();
+        if !(0.0..=1.0).contains(&cs) {
+            return fail(format!("carrier_sense_prob must be in [0,1], got {cs}"));
+        }
+        if !self.probe_interval().is_finite() || self.probe_interval() <= 0.0 {
+            return fail("probe_interval must be positive".into());
+        }
+        if self.channel.interference.is_some() && self.channel.model == ChannelModel::Phy {
+            return fail(
+                "interference bursts are only supported by the Analytic channel model".into(),
+            );
+        }
+        if self.channel.model == ChannelModel::Analytic
+            && matches!(self.channel.fading, FadingSpec::Multipath { .. })
+        {
+            return fail(
+                "the Analytic channel model is frequency-flat and cannot honour \
+                 Multipath fading (n_taps / decay_db_per_tap would be silently \
+                 ignored) — use `model = \"Phy\"` or `fading.Flat`"
+                    .into(),
+            );
+        }
+        if let Some(b) = &self.channel.interference {
+            if !b.period.is_finite() || b.period <= 0.0 || !(0.0..=b.period).contains(&b.burst_len)
+            {
+                return fail(format!(
+                    "interference bursts need 0 <= burst_len <= period, got {}/{}",
+                    b.burst_len, b.period
+                ));
+            }
+        }
+        for adapter in self.adapters() {
+            match adapter {
+                AdapterSpec::Fixed { rate_idx } if rate_idx >= softrate_trace::recipes::N_RATES => {
+                    return fail(format!("Fixed rate_idx {rate_idx} out of range"));
+                }
+                AdapterSpec::Snr { table: Some(t) } | AdapterSpec::Charm { table: Some(t) } => {
+                    if t.len() != softrate_trace::recipes::N_RATES {
+                        return fail(format!(
+                            "SNR table must list {} thresholds, got {}",
+                            softrate_trace::recipes::N_RATES,
+                            t.len()
+                        ));
+                    }
+                    if t.windows(2).any(|w| w[1] < w[0]) {
+                        return fail("SNR table thresholds must be non-decreasing".into());
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(sweep) = &self.sweep {
+            for axis in &sweep.0 {
+                if axis.values.is_empty() {
+                    return fail(format!("sweep axis `{}` has no values", axis.param));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "demo".into(),
+            description: Some("a demo".into()),
+            duration: 2.0,
+            seed: 11,
+            topology: TopologySpec {
+                n_clients: 2,
+                carrier_sense_prob: Some(0.8),
+                queue_cap: None,
+            },
+            channel: ChannelSpec {
+                model: ChannelModel::Analytic,
+                snr_db: 18.0,
+                fading: FadingSpec::Flat { doppler_hz: 40.0 },
+                attenuation: Some(Attenuation::Constant { db: -1.0 }),
+                interference: None,
+                probe_interval: None,
+            },
+            traffic: TrafficSpec {
+                kind: TrafficModel::Tcp,
+                direction: None,
+            },
+            adapters: Some(vec![
+                AdapterSpec::SoftRate,
+                AdapterSpec::Fixed { rate_idx: 3 },
+                AdapterSpec::Snr { table: None },
+            ]),
+            sweep: Some(Sweep(vec![SweepAxis {
+                param: "channel.snr_db".into(),
+                values: vec![Value::Float(10.0), Value::Float(18.0)],
+            }])),
+        }
+    }
+
+    #[test]
+    fn toml_roundtrip_is_lossless() {
+        let spec = demo_spec();
+        let text = spec.to_toml();
+        let back = ScenarioSpec::from_toml(&text).unwrap();
+        assert_eq!(back, spec, "TOML:\n{text}");
+        // And a second serialization is byte-identical.
+        assert_eq!(back.to_toml(), text);
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let spec = demo_spec();
+        let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn validation_catches_nonsense() {
+        let mut s = demo_spec();
+        s.duration = 0.0;
+        assert!(s.validate().is_err());
+
+        let mut s = demo_spec();
+        s.topology.n_clients = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = demo_spec();
+        s.adapters = Some(vec![AdapterSpec::Fixed { rate_idx: 99 }]);
+        assert!(s.validate().is_err());
+
+        let mut s = demo_spec();
+        s.adapters = Some(vec![AdapterSpec::Snr {
+            table: Some(vec![5.0, 4.0]),
+        }]);
+        assert!(s.validate().is_err());
+
+        let mut s = demo_spec();
+        s.channel.model = ChannelModel::Phy;
+        s.channel.interference = Some(BurstInterference {
+            period: 0.02,
+            burst_len: 0.01,
+            penalty_db: 20.0,
+        });
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let mut s = demo_spec();
+        s.adapters = None;
+        s.topology.carrier_sense_prob = None;
+        assert_eq!(s.adapters(), vec![AdapterSpec::SoftRate]);
+        assert_eq!(s.carrier_sense_prob(), 1.0);
+        assert_eq!(s.probe_interval(), 0.005);
+        assert!(matches!(s.direction(), Direction::Upload));
+    }
+
+    #[test]
+    fn minimal_toml_parses_with_defaults() {
+        let text = r#"
+name = "tiny"
+duration = 1.0
+seed = 3
+
+[topology]
+n_clients = 1
+
+[channel]
+model = "Analytic"
+snr_db = 20.0
+fading = "None"
+
+[traffic]
+kind = "Tcp"
+"#;
+        let spec = ScenarioSpec::from_toml(text).unwrap();
+        assert_eq!(spec.name, "tiny");
+        assert!(spec.adapters.is_none());
+        assert_eq!(spec.adapters(), vec![AdapterSpec::SoftRate]);
+        assert_eq!(spec.channel.fading, FadingSpec::None);
+    }
+
+    #[test]
+    fn fading_enum_tables_parse() {
+        let text = r#"
+name = "f"
+duration = 1.0
+seed = 0
+
+[topology]
+n_clients = 1
+
+[channel]
+model = "Analytic"
+snr_db = 15.0
+
+[channel.fading.Flat]
+doppler_hz = 200.0
+
+[traffic]
+kind = "UdpBulk"
+"#;
+        let spec = ScenarioSpec::from_toml(text).unwrap();
+        assert_eq!(spec.channel.fading, FadingSpec::Flat { doppler_hz: 200.0 });
+        assert_eq!(spec.traffic.kind, TrafficModel::UdpBulk);
+    }
+}

@@ -1,0 +1,725 @@
+//! A small TOML front-end over the serde shim's [`Value`] model.
+//!
+//! Supports the subset scenario specs use: `[table]` and `[[array-of-
+//! table]]` headers, dotted and quoted keys, basic strings, integers,
+//! floats, booleans, homogeneous arrays (multi-line allowed), and inline
+//! tables. The writer emits scalars and arrays-of-scalars as `key = value`
+//! lines, nested maps as `[dotted.path]` tables, and arrays of maps as
+//! `[[dotted.path]]` blocks — and round-trips everything the parser
+//! accepts. `Null` values are skipped on write (TOML has no null), which is
+//! how optional spec fields disappear from serialized scenarios.
+
+use serde::Value;
+
+/// TOML parse / serialize error.
+#[derive(Debug, Clone)]
+pub struct TomlError(String);
+
+impl std::fmt::Display for TomlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+/// Parses a TOML document into a map-rooted [`Value`].
+pub fn parse(text: &str) -> Result<Value, TomlError> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut root = Vec::new();
+    // Path of the table currently receiving key-values; empty = root.
+    let mut current: Vec<String> = Vec::new();
+    loop {
+        parser.skip_trivia();
+        let Some(b) = parser.peek() else { break };
+        if b == b'[' {
+            parser.pos += 1;
+            let is_array = parser.peek() == Some(b'[');
+            if is_array {
+                parser.pos += 1;
+            }
+            let path = parser.key_path()?;
+            parser.expect(b']')?;
+            if is_array {
+                parser.expect(b']')?;
+            }
+            parser.end_of_line()?;
+            if is_array {
+                push_array_table(&mut root, &path, parser.line)?;
+            } else {
+                ensure_table(&mut root, &path, parser.line)?;
+            }
+            current = path;
+        } else {
+            let path = parser.key_path()?;
+            parser.expect(b'=')?;
+            parser.skip_inline_ws();
+            let value = parser.value()?;
+            parser.end_of_line()?;
+            let mut full = current.clone();
+            full.extend(path);
+            insert(&mut root, &full, value, parser.line)?;
+        }
+    }
+    Ok(Value::Map(root))
+}
+
+/// Serializes a map-rooted [`Value`] to TOML text.
+pub fn to_string(v: &Value) -> Result<String, TomlError> {
+    let Value::Map(entries) = v else {
+        return Err(TomlError("TOML documents must be maps at top level".into()));
+    };
+    let mut out = String::new();
+    write_table(&mut out, entries, &mut Vec::new());
+    Ok(out)
+}
+
+// --- writer -----------------------------------------------------------------
+
+fn is_bare_key(k: &str) -> bool {
+    !k.is_empty()
+        && k.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+fn write_key(out: &mut String, k: &str) {
+    if is_bare_key(k) {
+        out.push_str(k);
+    } else {
+        write_basic_string(out, k);
+    }
+}
+
+fn write_basic_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04X}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A value the writer can place on the right-hand side of `key = ...`.
+/// Only non-empty arrays whose elements are *all* maps become
+/// `[[table]]` blocks; anything else (including arrays mixing scalars
+/// with inline tables, e.g. adapter lists) stays inline.
+fn is_inline(v: &Value) -> bool {
+    match v {
+        Value::Map(_) => false,
+        Value::Seq(items) => items.is_empty() || !items.iter().all(|i| matches!(i, Value::Map(_))),
+        _ => true,
+    }
+}
+
+fn write_inline(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("\"\""), // unreachable: nulls are skipped
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if f.is_nan() {
+                out.push_str("nan");
+            } else if f.is_infinite() {
+                out.push_str(if *f > 0.0 { "inf" } else { "-inf" });
+            } else if f.fract() == 0.0 && f.abs() < 1e15 {
+                // Keep floats recognizable as floats on re-parse.
+                out.push_str(&format!("{f:.1}"));
+            } else {
+                out.push_str(&f.to_string());
+            }
+        }
+        Value::Str(s) => write_basic_string(out, s),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_inline_any(out, item);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            let mut first = true;
+            for (k, v) in entries {
+                if matches!(v, Value::Null) {
+                    continue;
+                }
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                write_key(out, k);
+                out.push_str(" = ");
+                write_inline_any(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Inline writer that also accepts maps (as inline tables) — used inside
+/// arrays that mix maps with scalars.
+fn write_inline_any(out: &mut String, v: &Value) {
+    write_inline(out, v);
+}
+
+fn write_table(out: &mut String, entries: &[(String, Value)], path: &mut Vec<String>) {
+    // Scalar / inline lines first.
+    for (k, v) in entries {
+        if matches!(v, Value::Null) {
+            continue;
+        }
+        if is_inline(v) {
+            write_key(out, k);
+            out.push_str(" = ");
+            write_inline(out, v);
+            out.push('\n');
+        }
+    }
+    // Then sub-tables and arrays of tables.
+    for (k, v) in entries {
+        match v {
+            Value::Map(sub) => {
+                path.push(k.clone());
+                out.push('\n');
+                out.push('[');
+                write_path(out, path);
+                out.push_str("]\n");
+                write_table(out, sub, path);
+                path.pop();
+            }
+            Value::Seq(items) if !is_inline(v) => {
+                path.push(k.clone());
+                for item in items {
+                    let Value::Map(sub) = item else {
+                        unreachable!("is_inline admits only all-map arrays here");
+                    };
+                    out.push('\n');
+                    out.push_str("[[");
+                    write_path(out, path);
+                    out.push_str("]]\n");
+                    write_table(out, sub, path);
+                }
+                path.pop();
+            }
+            _ => {}
+        }
+    }
+}
+
+fn write_path(out: &mut String, path: &[String]) {
+    for (i, seg) in path.iter().enumerate() {
+        if i > 0 {
+            out.push('.');
+        }
+        write_key(out, seg);
+    }
+}
+
+// --- document assembly ------------------------------------------------------
+
+fn get_or_make<'a>(
+    map: &'a mut Vec<(String, Value)>,
+    key: &str,
+    make: impl FnOnce() -> Value,
+) -> &'a mut Value {
+    if let Some(i) = map.iter().position(|(k, _)| k == key) {
+        &mut map[i].1
+    } else {
+        map.push((key.to_string(), make()));
+        let i = map.len() - 1;
+        &mut map[i].1
+    }
+}
+
+/// Descends to (creating as needed) the map at `path`. For an
+/// array-of-tables segment the last element of the array is entered.
+fn descend<'a>(
+    root: &'a mut Vec<(String, Value)>,
+    path: &[String],
+    line: usize,
+) -> Result<&'a mut Vec<(String, Value)>, TomlError> {
+    let mut cur = root;
+    for seg in path {
+        let v = get_or_make(cur, seg, || Value::Map(Vec::new()));
+        let next = match v {
+            Value::Map(_) => v,
+            Value::Seq(items) => items
+                .last_mut()
+                .ok_or_else(|| TomlError(format!("line {line}: empty table array `{seg}`")))?,
+            _ => return Err(TomlError(format!("line {line}: `{seg}` is not a table"))),
+        };
+        cur = match next {
+            Value::Map(m) => m,
+            _ => return Err(TomlError(format!("line {line}: `{seg}` is not a table"))),
+        };
+    }
+    Ok(cur)
+}
+
+fn ensure_table(
+    root: &mut Vec<(String, Value)>,
+    path: &[String],
+    line: usize,
+) -> Result<(), TomlError> {
+    descend(root, path, line).map(|_| ())
+}
+
+fn push_array_table(
+    root: &mut Vec<(String, Value)>,
+    path: &[String],
+    line: usize,
+) -> Result<(), TomlError> {
+    let (last, parents) = path
+        .split_last()
+        .ok_or_else(|| TomlError(format!("line {line}: empty table-array path")))?;
+    let parent = descend(root, parents, line)?;
+    let v = get_or_make(parent, last, || Value::Seq(Vec::new()));
+    match v {
+        Value::Seq(items) => {
+            items.push(Value::Map(Vec::new()));
+            Ok(())
+        }
+        _ => Err(TomlError(format!(
+            "line {line}: `{last}` is not a table array"
+        ))),
+    }
+}
+
+fn insert(
+    root: &mut Vec<(String, Value)>,
+    path: &[String],
+    value: Value,
+    line: usize,
+) -> Result<(), TomlError> {
+    let (last, parents) = path
+        .split_last()
+        .ok_or_else(|| TomlError(format!("line {line}: empty key")))?;
+    let parent = descend(root, parents, line)?;
+    if parent.iter().any(|(k, _)| k == last) {
+        return Err(TomlError(format!("line {line}: duplicate key `{last}`")));
+    }
+    parent.push((last.clone(), value));
+    Ok(())
+}
+
+// --- lexer/parser -----------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> TomlError {
+        TomlError(format!("line {}: {msg}", self.line))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// Skips spaces/tabs on the current line.
+    fn skip_inline_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips whitespace, newlines, and comments.
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\r') => self.pos += 1,
+                Some(b'\n') => {
+                    self.pos += 1;
+                    self.line += 1;
+                }
+                Some(b'#') => {
+                    while !matches!(self.peek(), None | Some(b'\n')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), TomlError> {
+        self.skip_inline_ws();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    /// After a value or header: optional comment, then newline or EOF.
+    fn end_of_line(&mut self) -> Result<(), TomlError> {
+        self.skip_inline_ws();
+        if self.peek() == Some(b'#') {
+            while !matches!(self.peek(), None | Some(b'\n')) {
+                self.pos += 1;
+            }
+        }
+        match self.peek() {
+            None => Ok(()),
+            Some(b'\n') => {
+                self.pos += 1;
+                self.line += 1;
+                Ok(())
+            }
+            Some(b'\r') => {
+                self.pos += 1;
+                self.end_of_line()
+            }
+            _ => Err(self.err("expected end of line")),
+        }
+    }
+
+    /// `a.b."quoted c"` key paths.
+    fn key_path(&mut self) -> Result<Vec<String>, TomlError> {
+        let mut path = Vec::new();
+        loop {
+            self.skip_inline_ws();
+            path.push(self.key_segment()?);
+            self.skip_inline_ws();
+            if self.peek() == Some(b'.') {
+                self.pos += 1;
+            } else {
+                return Ok(path);
+            }
+        }
+    }
+
+    fn key_segment(&mut self) -> Result<String, TomlError> {
+        match self.peek() {
+            Some(b'"') => self.basic_string(),
+            Some(b) if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' => {
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+            }
+            _ => Err(self.err("expected a key")),
+        }
+    }
+
+    fn basic_string(&mut self) -> Result<String, TomlError> {
+        if self.peek() != Some(b'"') {
+            return Err(self.err("expected `\"`"));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\n' => return Err(self.err("newline in basic string")),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' | b'U' => {
+                            let len = if esc == b'u' { 4 } else { 8 };
+                            if self.pos + len > self.bytes.len() {
+                                return Err(self.err("truncated unicode escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + len])
+                                .map_err(|_| self.err("bad unicode escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad unicode escape"))?;
+                            self.pos += len;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, TomlError> {
+        self.skip_inline_ws();
+        match self.peek() {
+            Some(b'"') => self.basic_string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.inline_table(),
+            Some(b't') | Some(b'f') => {
+                if self.keyword("true") {
+                    Ok(Value::Bool(true))
+                } else if self.keyword("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(self.err("expected a value"))
+                }
+            }
+            Some(b) if b == b'-' || b == b'+' || b.is_ascii_digit() || b == b'i' || b == b'n' => {
+                self.number()
+            }
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, TomlError> {
+        self.pos += 1; // [
+        let mut items = Vec::new();
+        loop {
+            self.skip_trivia();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Seq(items));
+            }
+            items.push(self.value()?);
+            self.skip_trivia();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn inline_table(&mut self) -> Result<Value, TomlError> {
+        self.pos += 1; // {
+        let mut entries = Vec::new();
+        self.skip_inline_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_inline_ws();
+            let path = self.key_path()?;
+            self.expect(b'=')?;
+            self.skip_inline_ws();
+            let value = self.value()?;
+            insert(&mut entries, &path, value, self.line)?;
+            self.skip_inline_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, TomlError> {
+        let start = self.pos;
+        if matches!(self.peek(), Some(b'+' | b'-')) {
+            self.pos += 1;
+        }
+        if self.keyword("inf") {
+            let text = &self.bytes[start..self.pos];
+            return Ok(Value::Float(if text[0] == b'-' {
+                f64::NEG_INFINITY
+            } else {
+                f64::INFINITY
+            }));
+        }
+        if self.keyword("nan") {
+            return Ok(Value::Float(f64::NAN));
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' | b'_' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                    if matches!(self.peek(), Some(b'+' | b'-')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text: String = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?
+            .chars()
+            .filter(|&c| c != '_' && c != '+')
+            .collect();
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_tables() {
+        let doc = parse(
+            "name = \"x\"\nn = 3\nf = 1.5\nneg = -2\nok = true\n\n\
+             [sub]\na = 1\n\n[sub.deep]\nb = \"y\"\n",
+        )
+        .unwrap();
+        assert_eq!(doc.get("name"), Some(&Value::Str("x".into())));
+        assert_eq!(doc.get("n"), Some(&Value::Int(3)));
+        assert_eq!(doc.get("f"), Some(&Value::Float(1.5)));
+        assert_eq!(doc.get("neg"), Some(&Value::Int(-2)));
+        assert_eq!(doc.get("sub").unwrap().get("a"), Some(&Value::Int(1)));
+        assert_eq!(
+            doc.get("sub").unwrap().get("deep").unwrap().get("b"),
+            Some(&Value::Str("y".into()))
+        );
+    }
+
+    #[test]
+    fn arrays_inline_tables_and_comments() {
+        let doc = parse(
+            "# header\nxs = [1, 2, 3] # trailing\nmix = [\"a\", {k = 1}]\n\
+             multi = [\n  1.0,\n  2.0, # c\n]\nt = {a = 1, b = \"s\"}\n",
+        )
+        .unwrap();
+        assert_eq!(
+            doc.get("xs"),
+            Some(&Value::Seq(vec![
+                Value::Int(1),
+                Value::Int(2),
+                Value::Int(3)
+            ]))
+        );
+        assert_eq!(
+            doc.get("multi"),
+            Some(&Value::Seq(vec![Value::Float(1.0), Value::Float(2.0)]))
+        );
+        assert_eq!(
+            doc.get("t").unwrap().get("b"),
+            Some(&Value::Str("s".into()))
+        );
+        assert_eq!(
+            doc.get("mix").unwrap(),
+            &Value::Seq(vec![
+                Value::Str("a".into()),
+                Value::Map(vec![("k".into(), Value::Int(1))]),
+            ])
+        );
+    }
+
+    #[test]
+    fn array_of_tables_and_dotted_keys() {
+        let doc = parse("[[run]]\nname = \"a\"\n[[run]]\nname = \"b\"\nnested.k = 1\n").unwrap();
+        let Value::Seq(runs) = doc.get("run").unwrap() else {
+            panic!()
+        };
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].get("name"), Some(&Value::Str("a".into())));
+        assert_eq!(
+            runs[1].get("nested").unwrap().get("k"),
+            Some(&Value::Int(1))
+        );
+    }
+
+    #[test]
+    fn quoted_and_dotted_keys() {
+        let doc = parse("[sweep]\n\"channel.snr_db\" = [1.0, 2.0]\n").unwrap();
+        assert_eq!(
+            doc.get("sweep").unwrap().get("channel.snr_db"),
+            Some(&Value::Seq(vec![Value::Float(1.0), Value::Float(2.0)]))
+        );
+    }
+
+    #[test]
+    fn roundtrip() {
+        let text = "name = \"demo\"\nxs = [1, 2]\n\n[sub]\na = 1.5\nflag = true\n\n\
+                    [[runs]]\nid = 1\n\n[[runs]]\nid = 2\n";
+        let doc = parse(text).unwrap();
+        let emitted = to_string(&doc).unwrap();
+        let reparsed = parse(&emitted).unwrap();
+        assert_eq!(doc, reparsed, "emitted TOML:\n{emitted}");
+    }
+
+    #[test]
+    fn floats_stay_floats_across_roundtrip() {
+        let doc = Value::Map(vec![("x".into(), Value::Float(3.0))]);
+        let text = to_string(&doc).unwrap();
+        assert!(text.contains("3.0"), "{text}");
+        assert_eq!(parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn null_fields_are_skipped() {
+        let doc = Value::Map(vec![("a".into(), Value::Null), ("b".into(), Value::Int(1))]);
+        let text = to_string(&doc).unwrap();
+        assert!(!text.contains('a'), "{text}");
+        assert_eq!(parse(&text).unwrap().get("b"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("ok = true\nbad =").unwrap_err().to_string();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(
+            parse("a = 1\na = 2\n").is_err(),
+            "duplicate keys must error"
+        );
+    }
+}

@@ -82,7 +82,10 @@ impl AdapterKind {
     ) -> Box<dyn RateAdapter> {
         match self {
             AdapterKind::SoftRate | AdapterKind::SoftRateIdeal | AdapterKind::SoftRateNoDetect => {
-                let cfg = SoftRateConfig { frame_bits, ..Default::default() };
+                let cfg = SoftRateConfig {
+                    frame_bits,
+                    ..Default::default()
+                };
                 Box::new(SoftRate::new(cfg))
             }
             AdapterKind::SampleRate => {
@@ -105,15 +108,29 @@ impl AdapterKind {
     }
 }
 
+/// What the flows carry over the wireless hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrafficKind {
+    /// TCP NewReno bulk transfer (the paper's Figure 12 workload).
+    #[default]
+    Tcp,
+    /// Saturated UDP: the sender keeps the MAC queue topped up and goodput
+    /// counts delivered datagrams — isolates MAC + rate adaptation from
+    /// transport dynamics.
+    UdpBulk,
+}
+
 /// Full simulation configuration (Figure 12 topology).
 #[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Simulated seconds.
     pub duration: f64,
-    /// Number of wireless clients (N TCP flows).
+    /// Number of wireless clients (N flows).
     pub n_clients: usize,
     /// `true`: clients upload to LAN hosts; `false`: download.
     pub upload: bool,
+    /// Transport workload carried by each flow.
+    pub traffic: TrafficKind,
     /// Probability that one wireless sender carrier-senses another's
     /// ongoing transmission (1.0 = perfect carrier sense, §6.4).
     pub carrier_sense_prob: f64,
@@ -139,6 +156,7 @@ impl SimConfig {
             duration: 10.0,
             n_clients,
             upload: true,
+            traffic: TrafficKind::Tcp,
             carrier_sense_prob: 1.0,
             adapter,
             queue_cap: 50,

@@ -47,7 +47,11 @@ pub struct EventQueue<E> {
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: 0.0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0.0,
+        }
     }
 }
 

@@ -23,7 +23,7 @@ use rand::{Rng, SeedableRng};
 use softrate_core::adapter::{RateAdapter, TxOutcome};
 use softrate_trace::schema::{hash_uniform, LinkTrace};
 
-use crate::config::SimConfig;
+use crate::config::{SimConfig, TrafficKind};
 use crate::event::EventQueue;
 use crate::tcp::{TcpReceiver, TcpSender};
 use crate::timing::{
@@ -50,7 +50,12 @@ enum Ev {
     /// Feedback window closed: resolve the attempt at the sender.
     Outcome { tx: u64 },
     /// A packet crossed the wired link.
-    WiredDeliver { flow: usize, payload_is_segment: bool, value: u64, to_lan: bool },
+    WiredDeliver {
+        flow: usize,
+        payload_is_segment: bool,
+        value: u64,
+        to_lan: bool,
+    },
     /// TCP retransmission timer.
     Rto { flow: usize, epoch: u64 },
 }
@@ -59,7 +64,6 @@ enum Ev {
 /// path — and the converse for download flows).
 struct WLink {
     src: usize,
-    dst: usize,
     flow: usize,
     trace: Arc<LinkTrace>,
     adapter: Box<dyn RateAdapter>,
@@ -104,6 +108,10 @@ struct SimFlow {
     data_link: usize,
     /// Link carrying this flow's TCP ACKs over the air.
     ack_link: usize,
+    /// Next datagram sequence number (UDP bulk traffic only).
+    udp_next: u64,
+    /// Datagrams delivered end to end (UDP bulk traffic only).
+    udp_delivered: u64,
 }
 
 /// Rate-selection accuracy tallies (Figures 14 and 18).
@@ -195,7 +203,12 @@ impl NetSim {
         let payload_bytes = cfg.tcp.mss + IP_TCP_HEADER;
 
         let mut nodes: Vec<WNode> = (0..=cfg.n_clients)
-            .map(|_| WNode { links_out: Vec::new(), rr: 0, busy: false, start_pending: false })
+            .map(|_| WNode {
+                links_out: Vec::new(),
+                rr: 0,
+                busy: false,
+                start_pending: false,
+            })
             .collect();
         let mut links = Vec::new();
         let mut flows = Vec::new();
@@ -209,9 +222,13 @@ impl NetSim {
             let up_id = links.len();
             links.push(WLink {
                 src: client,
-                dst: 0,
                 flow: c,
-                adapter: cfg.adapter.build(&up_trace, frame_bits, payload_bytes, cfg.seed ^ up_id as u64),
+                adapter: cfg.adapter.build(
+                    &up_trace,
+                    frame_bits,
+                    payload_bytes,
+                    cfg.seed ^ up_id as u64,
+                ),
                 trace: up_trace,
                 queue: VecDeque::new(),
                 retries: 0,
@@ -224,7 +241,6 @@ impl NetSim {
             let down_id = links.len();
             links.push(WLink {
                 src: 0,
-                dst: client,
                 flow: c,
                 adapter: cfg.adapter.build(
                     &down_trace,
@@ -240,14 +256,19 @@ impl NetSim {
             });
             nodes[0].links_out.push(down_id);
 
-            let (data_link, ack_link) =
-                if cfg.upload { (up_id, down_id) } else { (down_id, up_id) };
+            let (data_link, ack_link) = if cfg.upload {
+                (up_id, down_id)
+            } else {
+                (down_id, up_id)
+            };
             flows.push(SimFlow {
                 sender: TcpSender::new(cfg.tcp),
                 receiver: TcpReceiver::new(),
                 rto_epoch: 0,
                 data_link,
                 ack_link,
+                udp_next: 0,
+                udp_delivered: 0,
             });
         }
 
@@ -292,18 +313,25 @@ impl NetSim {
                 Ev::TxStart { node } => self.on_tx_start(node),
                 Ev::TxEnd { tx } => self.on_tx_end(tx),
                 Ev::Outcome { tx } => self.on_outcome(tx),
-                Ev::WiredDeliver { flow, payload_is_segment, value, to_lan } => {
-                    self.on_wired(flow, payload_is_segment, value, to_lan)
-                }
+                Ev::WiredDeliver {
+                    flow,
+                    payload_is_segment,
+                    value,
+                    to_lan,
+                } => self.on_wired(flow, payload_is_segment, value, to_lan),
                 Ev::Rto { flow, epoch } => self.on_rto(flow, epoch),
             }
         }
 
         let duration = self.cfg.duration;
+        let mss_bits = self.cfg.tcp.mss as f64 * 8.0;
         let per_flow: Vec<f64> = self
             .flows
             .iter()
-            .map(|f| f.sender.delivered as f64 * self.cfg.tcp.mss as f64 * 8.0 / duration)
+            .map(|f| match self.cfg.traffic {
+                TrafficKind::Tcp => f.sender.delivered as f64 * mss_bits / duration,
+                TrafficKind::UdpBulk => f.udp_delivered as f64 * mss_bits / duration,
+            })
             .collect();
         SimReport {
             adapter_name: self.cfg.adapter.name().to_string(),
@@ -326,6 +354,18 @@ impl NetSim {
         let now = self.events.now();
         let data_link = self.flows[flow].data_link;
         let upload = self.cfg.upload;
+        if self.cfg.traffic == TrafficKind::UdpBulk {
+            // Saturated source: keep the data link's MAC queue topped up.
+            // The queue lives at whichever node originates the data (client
+            // for uploads, AP for downloads); there is no transport-layer
+            // feedback and no retransmission timer.
+            while self.links[data_link].queue.len() < self.cfg.queue_cap {
+                let seq = self.flows[flow].udp_next;
+                self.flows[flow].udp_next += 1;
+                self.enqueue(data_link, Payload::Segment(seq));
+            }
+            return;
+        }
         loop {
             if upload {
                 // Sender sits on the client; segments enter the uplink MAC
@@ -341,8 +381,8 @@ impl NetSim {
                 }
             } else {
                 // Sender sits on the LAN host; segments cross the wire
-                // first. The wired link is not the bottleneck;窗口 limits
-                // apply at the sender.
+                // first. The wired link is not the bottleneck; window
+                // limits apply at the sender.
                 match self.flows[flow].sender.next_segment(now) {
                     Some(seq) => self.send_wired(flow, true, seq, false),
                     None => break,
@@ -353,6 +393,9 @@ impl NetSim {
     }
 
     fn arm_rto(&mut self, flow: usize) {
+        if self.cfg.traffic == TrafficKind::UdpBulk {
+            return;
+        }
         if !self.flows[flow].sender.needs_timer() {
             return;
         }
@@ -363,6 +406,9 @@ impl NetSim {
     }
 
     fn on_rto(&mut self, flow: usize, epoch: u64) {
+        if self.cfg.traffic == TrafficKind::UdpBulk && epoch != 0 {
+            return;
+        }
         // Epoch 0 is the kick-off pseudo-timer.
         if epoch != 0 && epoch != self.flows[flow].rto_epoch {
             return; // stale timer
@@ -379,13 +425,29 @@ impl NetSim {
     /// Sends a packet across the wired link (AP<->LAN gateway).
     fn send_wired(&mut self, flow: usize, payload_is_segment: bool, value: u64, to_lan: bool) {
         let now = self.events.now();
-        let bytes = if payload_is_segment { self.cfg.tcp.mss + IP_TCP_HEADER } else { 40 };
+        let bytes = if payload_is_segment {
+            self.cfg.tcp.mss + IP_TCP_HEADER
+        } else {
+            40
+        };
         let ser = bytes as f64 * 8.0 / self.cfg.wired_rate_bps;
-        let busy = if to_lan { &mut self.wired_busy_to_lan } else { &mut self.wired_busy_to_ap };
+        let busy = if to_lan {
+            &mut self.wired_busy_to_lan
+        } else {
+            &mut self.wired_busy_to_ap
+        };
         let start = busy.max(now);
         *busy = start + ser;
         let deliver = start + ser + self.cfg.wired_delay;
-        self.events.schedule(deliver, Ev::WiredDeliver { flow, payload_is_segment, value, to_lan });
+        self.events.schedule(
+            deliver,
+            Ev::WiredDeliver {
+                flow,
+                payload_is_segment,
+                value,
+                to_lan,
+            },
+        );
     }
 
     fn on_wired(&mut self, flow: usize, payload_is_segment: bool, value: u64, to_lan: bool) {
@@ -410,8 +472,11 @@ impl NetSim {
                 self.flows[flow].ack_link // upload ACK path
             };
             if self.links[link].queue.len() < self.cfg.queue_cap {
-                let payload =
-                    if payload_is_segment { Payload::Segment(value) } else { Payload::Ack(value) };
+                let payload = if payload_is_segment {
+                    Payload::Segment(value)
+                } else {
+                    Payload::Ack(value)
+                };
                 self.enqueue(link, payload);
             }
             // else: drop-tail; TCP recovers.
@@ -472,7 +537,11 @@ impl NetSim {
             if other_src == node {
                 continue;
             }
-            let p = if node == 0 || other_src == 0 { 1.0 } else { self.cfg.carrier_sense_prob };
+            let p = if node == 0 || other_src == 0 {
+                1.0
+            } else {
+                self.cfg.carrier_sense_prob
+            };
             let heard = hash_uniform(&[tx.id, node as u64, self.cfg.seed]) < p;
             if heard {
                 sensed_until = Some(sensed_until.map_or(tx.end, |u: f64| u.max(tx.end)));
@@ -549,7 +618,9 @@ impl NetSim {
         if matches!(payload, Payload::Segment(_)) {
             self.frames_sent += 1;
             // Audit against the omniscient oracle (Figures 14/18).
-            let best = self.links[link].trace.best_rate_at(now, self.cfg.frame_bits());
+            let best = self.links[link]
+                .trace
+                .best_rate_at(now, self.cfg.frame_bits());
             match attempt.rate_idx.cmp(&best) {
                 std::cmp::Ordering::Greater => self.audit.overselect += 1,
                 std::cmp::Ordering::Equal => self.audit.accurate += 1,
@@ -562,16 +633,27 @@ impl NetSim {
     }
 
     fn on_tx_end(&mut self, tx_id: u64) {
-        let idx = self.active.iter().position(|t| t.id == tx_id).expect("unknown tx");
+        let idx = self
+            .active
+            .iter()
+            .position(|t| t.id == tx_id)
+            .expect("unknown tx");
         let mut tx = self.active.swap_remove(idx);
         tx.done = true;
         // Sender waits a feedback window before concluding anything.
-        self.events.schedule(tx.end + SIFS + feedback_airtime(), Ev::Outcome { tx: tx_id });
+        self.events.schedule(
+            tx.end + SIFS + feedback_airtime(),
+            Ev::Outcome { tx: tx_id },
+        );
         self.pending.push(tx);
     }
 
     fn on_outcome(&mut self, tx_id: u64) {
-        let idx = self.pending.iter().position(|t| t.id == tx_id).expect("unknown pending tx");
+        let idx = self
+            .pending
+            .iter()
+            .position(|t| t.id == tx_id)
+            .expect("unknown pending tx");
         let tx = self.pending.swap_remove(idx);
         let now = self.events.now();
         let link = tx.link;
@@ -614,7 +696,7 @@ impl NetSim {
                 // Feedback frame goes out; does the detector flag the
                 // collision?
                 outcome.feedback_received = true;
-                let flagged = hash_uniform(&[tx.id, 0xDE7E_C7, self.cfg.seed])
+                let flagged = hash_uniform(&[tx.id, 0x00DE_7EC7, self.cfg.seed])
                     < self.cfg.adapter.detect_prob();
                 if flagged {
                     outcome.interference_flagged = true;
@@ -654,7 +736,8 @@ impl NetSim {
             self.links[link].queue.pop_front();
             self.links[link].retries = 0;
             self.links[link].cw = CW_MIN;
-            self.nodes[node].rr = (self.nodes[node].rr + 1) % self.nodes[node].links_out.len().max(1);
+            self.nodes[node].rr =
+                (self.nodes[node].rr + 1) % self.nodes[node].links_out.len().max(1);
             self.deliver_payload(link, tx.payload);
         } else {
             let l = &mut self.links[link];
@@ -680,6 +763,16 @@ impl NetSim {
     fn deliver_payload(&mut self, link: usize, payload: Payload) {
         let flow = self.links[link].flow;
         let upload = self.cfg.upload;
+        if self.cfg.traffic == TrafficKind::UdpBulk {
+            // Datagram reached the far side of the wireless hop; count it
+            // and keep the source saturated. (The wired segment is never
+            // the bottleneck and UDP has no return traffic.)
+            if matches!(payload, Payload::Segment(_)) {
+                self.flows[flow].udp_delivered += 1;
+            }
+            self.pump_flow(flow);
+            return;
+        }
         match payload {
             Payload::Segment(seq) => {
                 if upload {
@@ -760,7 +853,11 @@ mod tests {
     #[test]
     fn fixed_rate_moves_data() {
         let r = run_with(AdapterKind::Fixed(3), 1, 1.0, 5);
-        assert!(r.aggregate_goodput_bps > 1e6, "goodput {}", r.aggregate_goodput_bps);
+        assert!(
+            r.aggregate_goodput_bps > 1e6,
+            "goodput {}",
+            r.aggregate_goodput_bps
+        );
         assert!(r.frames_delivered > 0);
         assert_eq!(r.collisions, 0, "perfect carrier sense, one client");
     }
@@ -852,7 +949,52 @@ mod tests {
         cfg.upload = false;
         let traces = (0..2).map(|_| synthetic_trace(5)).collect();
         let r = NetSim::new(cfg, traces).run();
-        assert!(r.aggregate_goodput_bps > 1e6, "download goodput {}", r.aggregate_goodput_bps);
+        assert!(
+            r.aggregate_goodput_bps > 1e6,
+            "download goodput {}",
+            r.aggregate_goodput_bps
+        );
+    }
+
+    #[test]
+    fn udp_bulk_saturates_the_link() {
+        let mut cfg = SimConfig::new(AdapterKind::Fixed(3), 1);
+        cfg.duration = 3.0;
+        cfg.traffic = TrafficKind::UdpBulk;
+        let traces = (0..2).map(|_| synthetic_trace(5)).collect();
+        let r = NetSim::new(cfg, traces).run();
+        assert!(
+            r.aggregate_goodput_bps > 1e6,
+            "UDP goodput {}",
+            r.aggregate_goodput_bps
+        );
+        // Without TCP's window/ACK clocking, UDP keeps the queue full:
+        // goodput must be at least what TCP achieves on the same channel.
+        let mut tcp_cfg = SimConfig::new(AdapterKind::Fixed(3), 1);
+        tcp_cfg.duration = 3.0;
+        let tcp_traces = (0..2).map(|_| synthetic_trace(5)).collect();
+        let tcp = NetSim::new(tcp_cfg, tcp_traces).run();
+        assert!(
+            r.aggregate_goodput_bps >= 0.95 * tcp.aggregate_goodput_bps,
+            "UDP {} must not trail TCP {}",
+            r.aggregate_goodput_bps,
+            tcp.aggregate_goodput_bps
+        );
+    }
+
+    #[test]
+    fn udp_bulk_download_direction_works() {
+        let mut cfg = SimConfig::new(AdapterKind::Fixed(3), 1);
+        cfg.duration = 2.0;
+        cfg.upload = false;
+        cfg.traffic = TrafficKind::UdpBulk;
+        let traces = (0..2).map(|_| synthetic_trace(5)).collect();
+        let r = NetSim::new(cfg, traces).run();
+        assert!(
+            r.aggregate_goodput_bps > 1e6,
+            "download UDP goodput {}",
+            r.aggregate_goodput_bps
+        );
     }
 
     #[test]

@@ -235,7 +235,8 @@ impl TcpSender {
                 self.srtt = Some(0.875 * srtt + 0.125 * rtt);
             }
         }
-        self.rto = (self.srtt.unwrap() + 4.0 * self.rttvar).clamp(self.cfg.rto_min, self.cfg.rto_max);
+        self.rto =
+            (self.srtt.unwrap() + 4.0 * self.rttvar).clamp(self.cfg.rto_min, self.cfg.rto_max);
     }
 }
 
@@ -298,8 +299,10 @@ mod tests {
 
     #[test]
     fn congestion_avoidance_grows_linearly() {
-        let mut cfg = TcpConfig::default();
-        cfg.initial_ssthresh = 2.0; // CA from the start
+        let cfg = TcpConfig {
+            initial_ssthresh: 2.0, // CA from the start
+            ..Default::default()
+        };
         let mut s = TcpSender::new(cfg);
         let w = drain(&mut s, 0.0);
         let base = s.cwnd();
@@ -307,7 +310,11 @@ mod tests {
             s.on_ack(seq + 1, 0.05);
         }
         // One window of ACKs grows cwnd by ~1 segment in CA.
-        assert!((s.cwnd() - base - 1.0).abs() < 0.2, "cwnd {} from {base}", s.cwnd());
+        assert!(
+            (s.cwnd() - base - 1.0).abs() < 0.2,
+            "cwnd {} from {base}",
+            s.cwnd()
+        );
     }
 
     #[test]
@@ -322,7 +329,10 @@ mod tests {
 
     #[test]
     fn fast_retransmit_on_three_dupacks() {
-        let mut s = TcpSender::new(TcpConfig { initial_cwnd: 8.0, ..Default::default() });
+        let mut s = TcpSender::new(TcpConfig {
+            initial_cwnd: 8.0,
+            ..Default::default()
+        });
         let w = drain(&mut s, 0.0);
         assert_eq!(w.len(), 8);
         // Segment 0 lost; receiver acks "expect 0" for segments 1,2,3.
@@ -338,9 +348,12 @@ mod tests {
 
     #[test]
     fn newreno_partial_ack_retransmits_next_hole() {
-        let mut s = TcpSender::new(TcpConfig { initial_cwnd: 8.0, ..Default::default() });
+        let mut s = TcpSender::new(TcpConfig {
+            initial_cwnd: 8.0,
+            ..Default::default()
+        });
         drain(&mut s, 0.0); // 0..8 in flight
-        // Lose 0 and 4: dupacks for 0.
+                            // Lose 0 and 4: dupacks for 0.
         for t in [0.1, 0.11, 0.12] {
             s.on_ack(0, t);
         }
@@ -349,7 +362,11 @@ mod tests {
         // ACK to 4 (recovery point is 7).
         s.on_ack(4, 0.2);
         assert!(s.recovery.is_some(), "partial ACK stays in recovery");
-        assert_eq!(s.next_segment(0.21), Some(4), "next hole retransmitted immediately");
+        assert_eq!(
+            s.next_segment(0.21),
+            Some(4),
+            "next hole retransmitted immediately"
+        );
         // Full ACK exits recovery.
         s.on_ack(8, 0.3);
         assert!(s.recovery.is_none());
@@ -358,7 +375,10 @@ mod tests {
 
     #[test]
     fn timeout_collapses_window_and_backs_off() {
-        let mut s = TcpSender::new(TcpConfig { initial_cwnd: 8.0, ..Default::default() });
+        let mut s = TcpSender::new(TcpConfig {
+            initial_cwnd: 8.0,
+            ..Default::default()
+        });
         drain(&mut s, 0.0);
         let rto0 = s.current_rto();
         s.on_timeout();
@@ -382,7 +402,11 @@ mod tests {
         }
         let srtt = s.srtt.unwrap();
         assert!((srtt - 0.05).abs() < 0.005, "srtt {srtt}");
-        assert_eq!(s.current_rto(), s.cfg.rto_min, "tight RTT -> clamped at rto_min");
+        assert_eq!(
+            s.current_rto(),
+            s.cfg.rto_min,
+            "tight RTT -> clamped at rto_min"
+        );
     }
 
     #[test]
@@ -399,7 +423,10 @@ mod tests {
 
     #[test]
     fn delivered_counts_unique_segments() {
-        let mut s = TcpSender::new(TcpConfig { initial_cwnd: 4.0, ..Default::default() });
+        let mut s = TcpSender::new(TcpConfig {
+            initial_cwnd: 4.0,
+            ..Default::default()
+        });
         drain(&mut s, 0.0);
         s.on_ack(4, 0.1);
         assert_eq!(s.delivered, 4);
@@ -409,7 +436,11 @@ mod tests {
 
     #[test]
     fn window_respects_receiver_limit() {
-        let cfg = TcpConfig { initial_cwnd: 1000.0, rcv_wnd: 10.0, ..Default::default() };
+        let cfg = TcpConfig {
+            initial_cwnd: 1000.0,
+            rcv_wnd: 10.0,
+            ..Default::default()
+        };
         let mut s = TcpSender::new(cfg);
         assert_eq!(drain(&mut s, 0.0).len(), 10);
     }

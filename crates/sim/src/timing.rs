@@ -57,7 +57,10 @@ pub fn attempt_airtime(rate: BitRate, payload: usize, postamble: bool, rts: bool
 /// Loss-free per-frame air times for each paper rate (the cost model given
 /// to SampleRate and RRAA).
 pub fn lossless_airtimes(payload: usize) -> Vec<f64> {
-    PAPER_RATES.iter().map(|&r| attempt_airtime(r, payload, false, false)).collect()
+    PAPER_RATES
+        .iter()
+        .map(|&r| attempt_airtime(r, payload, false, false))
+        .collect()
 }
 
 #[cfg(test)]
@@ -73,7 +76,10 @@ mod tests {
     fn airtime_decreases_with_rate() {
         let times = lossless_airtimes(1440);
         for w in times.windows(2) {
-            assert!(w[1] < w[0], "faster rate must cost less air time: {times:?}");
+            assert!(
+                w[1] < w[0],
+                "faster rate must cost less air time: {times:?}"
+            );
         }
     }
 

@@ -14,7 +14,10 @@ fn main() {
     println!(
         "{:>6} | {}",
         "SNR dB",
-        PAPER_RATES.iter().map(|r| format!("{:>16}", r.label())).collect::<String>()
+        PAPER_RATES
+            .iter()
+            .map(|r| format!("{:>16}", r.label()))
+            .collect::<String>()
     );
     for snr_x2 in 4..=52 {
         let snr = snr_x2 as f64 / 2.0;
@@ -37,7 +40,11 @@ fn main() {
                     ber_n += 1;
                 }
             }
-            let mean_ber = if ber_n > 0 { ber_acc / ber_n as f64 } else { f64::NAN };
+            let mean_ber = if ber_n > 0 {
+                ber_acc / ber_n as f64
+            } else {
+                f64::NAN
+            };
             let p1400 = (1.0 - mean_ber).powi(1404 * 8).max(0.0);
             row.push_str(&format!(
                 " {:>4.0}%/p14={:<4.2} ",

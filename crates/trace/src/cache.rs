@@ -14,7 +14,9 @@ use crate::schema::LinkTrace;
 /// stores, and returns. Respects the `SOFTRATE_REGEN` environment variable.
 pub fn load_or_generate<P: AsRef<Path>>(path: P, gen: impl FnOnce() -> LinkTrace) -> LinkTrace {
     let path = path.as_ref();
-    let force = std::env::var("SOFTRATE_REGEN").map(|v| v == "1").unwrap_or(false);
+    let force = std::env::var("SOFTRATE_REGEN")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     if !force {
         if let Ok(text) = fs::read_to_string(path) {
             if let Ok(trace) = LinkTrace::from_json(&text) {
@@ -27,7 +29,13 @@ pub fn load_or_generate<P: AsRef<Path>>(path: P, gen: impl FnOnce() -> LinkTrace
     if let Some(parent) = path.parent() {
         let _ = fs::create_dir_all(parent);
     }
-    if let Err(e) = fs::write(path, trace.to_json()) {
+    // Write-then-rename so concurrent readers (parallel scenario runs
+    // sharing a cache entry) never observe a truncated file; a torn cache
+    // would silently trigger regeneration.
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let stored = fs::write(&tmp, trace.to_json()).and_then(|()| fs::rename(&tmp, path));
+    if let Err(e) = stored {
+        let _ = fs::remove_file(&tmp);
         eprintln!("warning: could not cache trace to {}: {e}", path.display());
     }
     trace

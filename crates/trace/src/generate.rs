@@ -41,15 +41,18 @@ fn probe_to_entry(t: f64, rate_idx: usize, tx: &TxFrame, obs: &LinkObservation) 
 }
 
 /// Runs one probing time series over `link`, cycling all paper rates at
-/// each step — the trace-collection loop of §6.1.
-fn run_probe_series(
+/// each step — the trace-collection loop of §6.1. Public so other trace
+/// producers (e.g. the scenario engine's PHY-backed channels) can reuse it
+/// on links they configure themselves.
+pub fn run_probe_series(
     link: &mut Link,
     duration: f64,
     interval: f64,
     payload_len: usize,
 ) -> Vec<Vec<TraceEntry>> {
     let n_steps = (duration / interval).round() as usize;
-    let mut series: Vec<Vec<TraceEntry>> = vec![Vec::with_capacity(n_steps); N_RATES];
+    let mut series: Vec<Vec<TraceEntry>> =
+        (0..N_RATES).map(|_| Vec::with_capacity(n_steps)).collect();
     for step in 0..n_steps {
         let t = step as f64 * interval;
         for (r, &rate) in PAPER_RATES.iter().enumerate() {
@@ -64,10 +67,12 @@ fn run_probe_series(
 /// `run`): short-range mode, 40 Hz Jakes fading plus a large-scale
 /// attenuation ramp as the sender walks away.
 pub fn walking_trace(run: usize, recipe: &WalkingRecipe) -> LinkTrace {
-    let seed = 0x57414C4B_0000 ^ run as u64; // "WALK"
+    let seed = 0x5741_4C4B_0000 ^ run as u64; // "WALK"
     let mut cfg = LinkConfig::new(SHORT_RANGE);
     cfg.noise_power_db = recipe.noise_db;
-    cfg.fading = FadingSpec::Flat { doppler_hz: recipe.doppler_hz };
+    cfg.fading = FadingSpec::Flat {
+        doppler_hz: recipe.doppler_hz,
+    };
     cfg.attenuation = Attenuation::RampDb {
         t_start: 0.0,
         db_start: recipe.atten_start_db,
@@ -81,7 +86,12 @@ pub fn walking_trace(run: usize, recipe: &WalkingRecipe) -> LinkTrace {
         mode_name: SHORT_RANGE.name.to_string(),
         interval: recipe.interval,
         duration: recipe.duration,
-        series: run_probe_series(&mut link, recipe.duration, recipe.interval, recipe.payload_len),
+        series: run_probe_series(
+            &mut link,
+            recipe.duration,
+            recipe.interval,
+            recipe.payload_len,
+        ),
         seed,
     }
 }
@@ -95,10 +105,12 @@ pub fn walking_traces(n_runs: usize, recipe: &WalkingRecipe) -> Vec<LinkTrace> {
 /// "Simulation"): 20 MHz simulation mode, flat Rayleigh fading, constant
 /// mean SNR.
 pub fn doppler_trace(run: usize, recipe: &DopplerRecipe) -> LinkTrace {
-    let seed = 0x444F5050_0000 ^ ((recipe.doppler_hz as u64) << 8) ^ run as u64; // "DOPP"
+    let seed = 0x444F_5050_0000 ^ ((recipe.doppler_hz as u64) << 8) ^ run as u64; // "DOPP"
     let mut cfg = LinkConfig::new(SIMULATION);
     cfg.noise_power_db = -recipe.mean_snr_db;
-    cfg.fading = FadingSpec::Flat { doppler_hz: recipe.doppler_hz };
+    cfg.fading = FadingSpec::Flat {
+        doppler_hz: recipe.doppler_hz,
+    };
     cfg.seed = seed;
     let mut link = Link::new(cfg);
     LinkTrace {
@@ -106,7 +118,12 @@ pub fn doppler_trace(run: usize, recipe: &DopplerRecipe) -> LinkTrace {
         mode_name: SIMULATION.name.to_string(),
         interval: recipe.interval,
         duration: recipe.duration,
-        series: run_probe_series(&mut link, recipe.duration, recipe.interval, recipe.payload_len),
+        series: run_probe_series(
+            &mut link,
+            recipe.duration,
+            recipe.interval,
+            recipe.payload_len,
+        ),
         seed,
     }
 }
@@ -114,7 +131,7 @@ pub fn doppler_trace(run: usize, recipe: &DopplerRecipe) -> LinkTrace {
 /// Generates a static short-range trace (Table 4 "Static (short range)"):
 /// the §6.4 substrate.
 pub fn static_short_trace(run: usize, recipe: &StaticShortRecipe) -> LinkTrace {
-    let seed = 0x53544154_0000 ^ run as u64; // "STAT"
+    let seed = 0x5354_4154_0000 ^ run as u64; // "STAT"
     let mut cfg = LinkConfig::new(SHORT_RANGE);
     cfg.noise_power_db = -recipe.snr_db;
     cfg.fading = FadingSpec::None;
@@ -125,7 +142,12 @@ pub fn static_short_trace(run: usize, recipe: &StaticShortRecipe) -> LinkTrace {
         mode_name: SHORT_RANGE.name.to_string(),
         interval: recipe.interval,
         duration: recipe.duration,
-        series: run_probe_series(&mut link, recipe.duration, recipe.interval, recipe.payload_len),
+        series: run_probe_series(
+            &mut link,
+            recipe.duration,
+            recipe.interval,
+            recipe.payload_len,
+        ),
         seed,
     }
 }
@@ -147,7 +169,12 @@ pub fn alternating_trace(recipe: &AlternatingRecipe, seed: u64) -> LinkTrace {
         mode_name: SHORT_RANGE.name.to_string(),
         interval: recipe.interval,
         duration: recipe.duration,
-        series: run_probe_series(&mut link, recipe.duration, recipe.interval, recipe.payload_len),
+        series: run_probe_series(
+            &mut link,
+            recipe.duration,
+            recipe.interval,
+            recipe.payload_len,
+        ),
         seed,
     }
 }
@@ -353,7 +380,12 @@ fn interference_batch(
                 }
             }
         };
-        out.push(DetectionSample { rate_idx, rel_power_db, outcome, truly_interfered });
+        out.push(DetectionSample {
+            rate_idx,
+            rel_power_db,
+            outcome,
+            truly_interfered,
+        });
     }
     out
 }
@@ -400,19 +432,28 @@ mod tests {
 
     #[test]
     fn walking_trace_smoke_has_shape() {
-        let recipe = WalkingRecipe { duration: 0.1, ..WalkingRecipe::smoke() };
+        let recipe = WalkingRecipe {
+            duration: 0.1,
+            ..WalkingRecipe::smoke()
+        };
         let tr = walking_trace(0, &recipe);
         assert_eq!(tr.n_rates(), N_RATES);
         assert_eq!(tr.n_steps(), (0.1 / PROBE_INTERVAL).round() as usize);
         // Early in the run the channel is strong: the lowest rate must
         // deliver at least sometimes.
         let low = &tr.series[0];
-        assert!(low.iter().take(10).any(|e| e.delivered), "BPSK 1/2 dead at trace start");
+        assert!(
+            low.iter().take(10).any(|e| e.delivered),
+            "BPSK 1/2 dead at trace start"
+        );
     }
 
     #[test]
     fn walking_trace_is_deterministic() {
-        let recipe = WalkingRecipe { duration: 0.05, ..WalkingRecipe::smoke() };
+        let recipe = WalkingRecipe {
+            duration: 0.05,
+            ..WalkingRecipe::smoke()
+        };
         let a = walking_trace(3, &recipe);
         let b = walking_trace(3, &recipe);
         assert_eq!(
@@ -423,7 +464,10 @@ mod tests {
 
     #[test]
     fn static_short_trace_is_stable() {
-        let recipe = StaticShortRecipe { duration: 0.2, ..StaticShortRecipe::smoke() };
+        let recipe = StaticShortRecipe {
+            duration: 0.2,
+            ..StaticShortRecipe::smoke()
+        };
         let tr = static_short_trace(0, &recipe);
         // No fading: the best rate should not change across the trace.
         let fates: Vec<usize> = (0..tr.n_steps())
@@ -431,7 +475,10 @@ mod tests {
             .collect();
         let first = fates[0];
         let same = fates.iter().filter(|&&f| f == first).count();
-        assert!(same * 10 >= fates.len() * 9, "static trace best rate unstable: {fates:?}");
+        assert!(
+            same * 10 >= fates.len() * 9,
+            "static trace best rate unstable: {fates:?}"
+        );
     }
 
     #[test]
@@ -439,9 +486,8 @@ mod tests {
         // Higher power => more deliveries at a mid rate.
         let lo = ber_sample_batch(SIMULATION, FadingSpec::None, -20.0, -26.0, 0.0, 8, 100, 1);
         let hi = ber_sample_batch(SIMULATION, FadingSpec::None, 0.0, -26.0, 0.0, 8, 100, 1);
-        let delivered = |v: &[BerSample]| {
-            v.iter().filter(|s| s.rate_idx == 3 && s.delivered).count()
-        };
+        let delivered =
+            |v: &[BerSample]| v.iter().filter(|s| s.rate_idx == 3 && s.delivered).count();
         assert!(delivered(&hi) > delivered(&lo));
     }
 
@@ -449,11 +495,16 @@ mod tests {
     fn interference_samples_classify() {
         let recipe = InterferenceRecipe::smoke();
         let samples = interference_detection_samples(&recipe);
-        assert_eq!(samples.len(), recipe.rel_powers_db.len() * N_RATES * recipe.frames_per_point);
+        assert_eq!(
+            samples.len(),
+            recipe.rel_powers_db.len() * N_RATES * recipe.frames_per_point
+        );
         // Strong interference must produce at least some errored frames,
         // and the detector must catch a decent share of them.
-        let strong: Vec<_> =
-            samples.iter().filter(|s| s.rel_power_db == 0.0 && s.truly_interfered).collect();
+        let strong: Vec<_> = samples
+            .iter()
+            .filter(|s| s.rel_power_db == 0.0 && s.truly_interfered)
+            .collect();
         assert!(!strong.is_empty());
         let errored: Vec<_> = strong
             .iter()
@@ -485,13 +536,8 @@ mod tests {
     #[test]
     fn quiet_channel_false_positives_are_rare() {
         // Fading-only losses must (almost) never be flagged as collisions.
-        let (errored, flagged) = quiet_detection_run(
-            FadingSpec::Flat { doppler_hz: 40.0 },
-            13.0,
-            60,
-            100,
-            42,
-        );
+        let (errored, flagged) =
+            quiet_detection_run(FadingSpec::Flat { doppler_hz: 40.0 }, 13.0, 60, 100, 42);
         assert!(errored > 0, "need some errored frames to measure FP rate");
         assert!(
             (flagged as f64) <= (errored as f64) * 0.05 + 1.0,
@@ -507,8 +553,21 @@ mod tests {
             ..Default::default()
         };
         let tr = alternating_trace(&recipe, 7);
-        let good = tr.best_rate_at(0.5, 1400 * 8);
-        let bad = tr.best_rate_at(1.5, 1400 * 8);
-        assert!(good > bad, "good state must allow a faster rate ({good} vs {bad})");
+        // Single instants are noisy (one probe per (rate, step) — a lucky
+        // error-free probe at a borderline SNR can momentarily qualify a
+        // rate), so compare the oracle averaged over each half-period.
+        let mean_best = |t0: f64, t1: f64| -> f64 {
+            let steps = ((t1 - t0) / tr.interval) as usize;
+            (0..steps)
+                .map(|k| tr.best_rate_at(t0 + k as f64 * tr.interval, 1400 * 8) as f64)
+                .sum::<f64>()
+                / steps as f64
+        };
+        let good = mean_best(0.0, 1.0);
+        let bad = mean_best(1.0, 2.0);
+        assert!(
+            good > bad + 0.3,
+            "good state must allow faster rates on average ({good:.2} vs {bad:.2})"
+        );
     }
 }

@@ -33,8 +33,8 @@ pub mod prelude {
     pub use crate::cache::load_or_generate;
     pub use crate::generate::{
         alternating_trace, doppler_trace, interference_detection_samples, mobile_ber_samples,
-        quiet_detection_run, static_ber_samples, static_short_trace, walking_trace,
-        walking_traces, DetectionOutcome, DetectionSample,
+        quiet_detection_run, static_ber_samples, static_short_trace, walking_trace, walking_traces,
+        DetectionOutcome, DetectionSample,
     };
     pub use crate::par::par_map;
     pub use crate::recipes::{

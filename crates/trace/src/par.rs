@@ -17,11 +17,27 @@ where
     U: Send,
     F: Fn(T) -> U + Sync,
 {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    par_map_threads(threads, items, f)
+}
+
+/// [`par_map`] with an explicit worker count (≥ 1). Results are ordered by
+/// input index regardless of the worker count, so output is reproducible
+/// across machines and `--threads` settings — the scenario engine's
+/// determinism guarantee relies on this.
+pub fn par_map_threads<T, U, F>(threads: usize, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
     let n = items.len();
     if n == 0 {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
+    let threads = threads.max(1).min(n);
     if threads <= 1 {
         return items.into_iter().map(f).collect();
     }
@@ -46,7 +62,11 @@ where
 
     results
         .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("worker died before finishing"))
+        .map(|m| {
+            m.into_inner()
+                .unwrap()
+                .expect("worker died before finishing")
+        })
         .collect()
 }
 
@@ -59,6 +79,15 @@ mod tests {
         let out = par_map((0..100).collect(), |x: i32| x * x);
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, (i * i) as i32);
+        }
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        let reference: Vec<i64> = (0..200).map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 7, 64] {
+            let out = par_map_threads(threads, (0..200).collect(), |x: i64| x * 3 + 1);
+            assert_eq!(out, reference, "threads = {threads}");
         }
     }
 

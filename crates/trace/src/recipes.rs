@@ -97,7 +97,10 @@ impl Default for WalkingRecipe {
 impl WalkingRecipe {
     /// Scaled-down variant.
     pub fn smoke() -> Self {
-        WalkingRecipe { duration: 1.0, ..Default::default() }
+        WalkingRecipe {
+            duration: 1.0,
+            ..Default::default()
+        }
     }
 }
 
@@ -143,7 +146,11 @@ impl DopplerRecipe {
 
     /// Scaled-down variant.
     pub fn smoke(doppler_hz: f64) -> Self {
-        DopplerRecipe { doppler_hz, duration: 1.0, ..Default::default() }
+        DopplerRecipe {
+            doppler_hz,
+            duration: 1.0,
+            ..Default::default()
+        }
     }
 }
 
@@ -221,7 +228,10 @@ impl Default for StaticShortRecipe {
 impl StaticShortRecipe {
     /// Scaled-down variant.
     pub fn smoke() -> Self {
-        StaticShortRecipe { duration: 1.0, ..Default::default() }
+        StaticShortRecipe {
+            duration: 1.0,
+            ..Default::default()
+        }
     }
 }
 
@@ -287,8 +297,14 @@ mod tests {
         let sweep = DopplerRecipe::paper_sweep();
         assert_eq!(*sweep.first().unwrap(), 40.0);
         assert_eq!(*sweep.last().unwrap(), 4000.0);
-        let fast = DopplerRecipe { doppler_hz: 4000.0, ..Default::default() };
-        assert!((fast.coherence_time() - 1e-4).abs() < 1e-12, "4 kHz ~ 100 us coherence");
+        let fast = DopplerRecipe {
+            doppler_hz: 4000.0,
+            ..Default::default()
+        };
+        assert!(
+            (fast.coherence_time() - 1e-4).abs() < 1e-12,
+            "4 kHz ~ 100 us coherence"
+        );
     }
 
     #[test]

@@ -67,7 +67,10 @@ impl TraceEntry {
 pub fn hash_uniform(words: &[u64]) -> f64 {
     let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
     for &w in words {
-        x ^= w.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(x << 6).wrapping_add(x >> 2);
+        x ^= w
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(x << 6)
+            .wrapping_add(x >> 2);
         x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
         x ^= x >> 27;
     }
@@ -240,8 +243,16 @@ mod tests {
     fn small_trace() -> LinkTrace {
         // 2 rates, 3 steps at 5 ms.
         let series = vec![
-            vec![entry(0.0, 0, 1e-9), entry(0.005, 0, 1e-9), entry(0.010, 0, 1e-7)],
-            vec![entry(0.0, 1, 1e-8), entry(0.005, 1, 0.2), entry(0.010, 1, 1e-6)],
+            vec![
+                entry(0.0, 0, 1e-9),
+                entry(0.005, 0, 1e-9),
+                entry(0.010, 0, 1e-7),
+            ],
+            vec![
+                entry(0.0, 1, 1e-8),
+                entry(0.005, 1, 0.2),
+                entry(0.010, 1, 1e-6),
+            ],
         ];
         LinkTrace {
             name: "test".into(),
@@ -295,8 +306,9 @@ mod tests {
             series: vec![vec![e]],
             seed: 0,
         };
-        let fates: Vec<bool> =
-            (0..64).map(|a| tr.frame_fate(0, 0.0, 10_000, 1, a).delivered).collect();
+        let fates: Vec<bool> = (0..64)
+            .map(|a| tr.frame_fate(0, 0.0, 10_000, 1, a).delivered)
+            .collect();
         assert!(fates.iter().any(|&d| d) && fates.iter().any(|&d| !d));
     }
 
@@ -329,8 +341,7 @@ mod tests {
     #[test]
     fn hash_uniform_distribution_sane() {
         let n = 10_000;
-        let mean: f64 =
-            (0..n).map(|i| hash_uniform(&[i as u64, 42])).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|i| hash_uniform(&[i as u64, 42])).sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
         // Sensitivity: different salts give different streams.
         let a = hash_uniform(&[1, 2, 3]);

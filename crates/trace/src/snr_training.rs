@@ -36,11 +36,13 @@ pub fn observations_from_samples(samples: &[BerSample]) -> Vec<SnrObservation> {
     samples
         .iter()
         .filter_map(|s| {
-            s.snr_est_db.filter(|v| v.is_finite()).map(|snr_db| SnrObservation {
-                rate_idx: s.rate_idx,
-                snr_db,
-                delivered: s.delivered,
-            })
+            s.snr_est_db
+                .filter(|v| v.is_finite())
+                .map(|snr_db| SnrObservation {
+                    rate_idx: s.rate_idx,
+                    snr_db,
+                    delivered: s.delivered,
+                })
         })
         .collect()
 }
@@ -51,7 +53,11 @@ pub fn observations_from_trace(trace: &LinkTrace) -> Vec<SnrObservation> {
     for (r, series) in trace.series.iter().enumerate() {
         for e in series {
             if let Some(snr_db) = e.snr_est_db.filter(|v| v.is_finite()) {
-                out.push(SnrObservation { rate_idx: r, snr_db, delivered: e.delivered });
+                out.push(SnrObservation {
+                    rate_idx: r,
+                    snr_db,
+                    delivered: e.delivered,
+                });
             }
         }
     }
@@ -67,6 +73,7 @@ pub fn observations_from_trace(trace: &LinkTrace) -> Vec<SnrObservation> {
 pub fn train_snr_table(observations: &[SnrObservation]) -> SnrTable {
     let mut thresholds = vec![f64::NAN; N_RATES];
 
+    #[allow(clippy::needless_range_loop)] // `rate` filters observations and indexes the table
     for rate in 0..N_RATES {
         let mut bins: std::collections::BTreeMap<i64, (u32, u32)> = Default::default();
         for o in observations.iter().filter(|o| o.rate_idx == rate) {
@@ -118,11 +125,16 @@ mod tests {
     /// Synthesizes observations where rate `r` needs SNR >= 3r + 4 dB.
     fn synthetic_observations() -> Vec<SnrObservation> {
         let mut out = Vec::new();
+        #[allow(clippy::needless_range_loop)] // `rate` filters observations and indexes the table
         for rate in 0..N_RATES {
             let need = 4.0 + 3.0 * rate as f64;
             for k in 0..400 {
                 let snr = (k % 30) as f64;
-                out.push(SnrObservation { rate_idx: rate, snr_db: snr, delivered: snr >= need });
+                out.push(SnrObservation {
+                    rate_idx: rate,
+                    snr_db: snr,
+                    delivered: snr >= need,
+                });
             }
         }
         out
@@ -131,6 +143,7 @@ mod tests {
     #[test]
     fn trained_table_recovers_synthetic_thresholds() {
         let table = train_snr_table(&synthetic_observations());
+        #[allow(clippy::needless_range_loop)] // `rate` filters observations and indexes the table
         for rate in 0..N_RATES {
             let need = 4.0 + 3.0 * rate as f64;
             let got = table.min_snr_db[rate];
@@ -160,7 +173,10 @@ mod tests {
         }
         let table = train_snr_table(&obs);
         let max_seen = 29.0;
-        assert!(table.min_snr_db[5] > max_seen, "unusable rate must sit above observed SNRs");
+        assert!(
+            table.min_snr_db[5] > max_seen,
+            "unusable rate must sit above observed SNRs"
+        );
     }
 
     #[test]
@@ -168,7 +184,11 @@ mod tests {
         // A single lucky delivery at low SNR must not pull the threshold
         // down (bins need >= 3 samples).
         let mut obs = synthetic_observations();
-        obs.push(SnrObservation { rate_idx: 5, snr_db: 1.0, delivered: true });
+        obs.push(SnrObservation {
+            rate_idx: 5,
+            snr_db: 1.0,
+            delivered: true,
+        });
         let table = train_snr_table(&obs);
         assert!(table.min_snr_db[5] > 10.0);
     }

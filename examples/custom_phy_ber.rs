@@ -44,7 +44,10 @@ fn main() {
             }
         }
         if n == 0 {
-            println!("{snr:>8.1} {:>12} {:>12} {:>12} {:>10}", "-", "-", "-", "0/8");
+            println!(
+                "{snr:>8.1} {:>12} {:>12} {:>12} {:>10}",
+                "-", "-", "-", "0/8"
+            );
             continue;
         }
         let est = est_acc / n as f64;

@@ -7,46 +7,41 @@
 //! drops its rate and loses throughput; SoftRate's interference detection
 //! keeps the rate up.
 //!
+//! A thin wrapper over the scenario engine's built-in `hidden-terminal`
+//! scenario — the setup lives in
+//! `crates/scenario/scenarios/hidden-terminal.toml`, not in this file.
+//!
 //! Run with: `cargo run --release --example hidden_terminal`
 
-use std::sync::Arc;
-
-use softrate::sim::config::{AdapterKind, SimConfig};
-use softrate::sim::netsim::NetSim;
-use softrate::trace::generate::static_short_trace;
-use softrate::trace::recipes::StaticShortRecipe;
+use softrate::scenario::builtin;
+use softrate::scenario::engine::run_spec;
 
 fn main() {
-    let recipe = StaticShortRecipe { duration: 2.0, ..Default::default() };
-    println!("generating static traces (full PHY per probe; ~tens of seconds)...");
-    let traces: Vec<Arc<_>> =
-        (0..6).map(|run| Arc::new(static_short_trace(run, &recipe))).collect();
+    let spec = builtin::get("hidden-terminal").expect("built-in scenario parses");
+    println!(
+        "{}: {}\n",
+        spec.name,
+        spec.description.as_deref().unwrap_or("")
+    );
+    let results = run_spec(&spec, None).expect("scenario runs");
 
-    println!("\n3 uploading clients, Pr[carrier sense] = 0.2 between clients\n");
     println!(
         "{:>24} {:>12} {:>12} {:>14}",
         "algorithm", "goodput", "collisions", "underselect %"
     );
-    for kind in [
-        AdapterKind::SoftRateIdeal,
-        AdapterKind::SoftRate,
-        AdapterKind::SoftRateNoDetect,
-        AdapterKind::Rraa,
-        AdapterKind::SampleRate,
-    ] {
-        let mut cfg = SimConfig::new(kind.clone(), 3);
-        cfg.duration = recipe.duration;
-        cfg.carrier_sense_prob = 0.2;
-        let report = NetSim::new(cfg, traces.iter().map(Arc::clone).collect()).run();
+    for r in &results {
         println!(
             "{:>24} {:>9.2} Mbps {:>12} {:>13.1}%",
-            report.adapter_name,
-            report.aggregate_goodput_bps / 1e6,
-            report.collisions,
-            report.audit.fractions().2 * 100.0,
+            r.adapter,
+            r.goodput_bps / 1e6,
+            r.collisions,
+            r.underselect * 100.0,
         );
     }
     println!("\nThe channel itself is static and clean: every loss here is a");
     println!("collision. Watch the underselect column — protocols without");
     println!("interference detection flee to low rates for no benefit.");
+    println!("\nTweak the scenario with e.g.:");
+    println!("  softrate-scenarios show hidden-terminal > my.toml");
+    println!("  softrate-scenarios run --file my.toml");
 }

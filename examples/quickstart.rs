@@ -29,7 +29,10 @@ fn main() {
     let mut sender = SoftRate::with_defaults();
     let detector = CollisionDetector::default();
 
-    println!("{:>6} {:>12} {:>10} {:>12} {:>10}", "frame", "rate", "delivered", "BER est", "true BER");
+    println!(
+        "{:>6} {:>12} {:>10} {:>12} {:>10}",
+        "frame", "rate", "delivered", "BER est", "true BER"
+    );
     let mut t = 0.0;
     for frame in 0..40 {
         // 1. The sender picks a rate.
@@ -66,7 +69,13 @@ fn main() {
                 }
             }
             _ => {
-                println!("{frame:>6} {:>12} {:>10} {:>12} {:>10}", rate.label(), "SILENT", "-", "-");
+                println!(
+                    "{frame:>6} {:>12} {:>10} {:>12} {:>10}",
+                    rate.label(),
+                    "SILENT",
+                    "-",
+                    "-"
+                );
                 TxOutcome {
                     rate_idx: attempt.rate_idx,
                     acked: false,

@@ -1,57 +1,41 @@
 //! Walking-speed mobility: the paper's headline scenario (§6.2).
 //!
-//! Generates a short walking trace (Table 4), then runs one TCP upload over
-//! it with SoftRate, RRAA and SampleRate, printing the goodput each
-//! achieves — a miniature Figure 13.
+//! A sender walks away from its receiver — large-scale attenuation ramps
+//! ~20 dB down over the run with walking-speed Rayleigh fading on top —
+//! while SoftRate, the frame-level baselines, and a self-trained SNR
+//! protocol race the omniscient oracle: a miniature Figure 13.
+//!
+//! A thin wrapper over the scenario engine's built-in `walk-away`
+//! scenario — the setup lives in
+//! `crates/scenario/scenarios/walk-away.toml`, not in this file.
 //!
 //! Run with: `cargo run --release --example walking_mobility`
 
-use std::sync::Arc;
-
-use softrate::sim::config::{AdapterKind, SimConfig};
-use softrate::sim::netsim::NetSim;
-use softrate::trace::generate::walking_trace;
-use softrate::trace::recipes::WalkingRecipe;
-use softrate::trace::snr_training::{observations_from_trace, train_snr_table};
+use softrate::scenario::builtin;
+use softrate::scenario::engine::run_spec;
 
 fn main() {
-    // A 3-second walk away from the receiver: SNR ramps down ~20 dB with
-    // 40 Hz Rayleigh fading on top.
-    let recipe = WalkingRecipe { duration: 3.0, ..Default::default() };
-    println!("generating walking traces (runs the full PHY per probe; ~tens of seconds)...");
-    let up = Arc::new(walking_trace(0, &recipe));
-    let down = Arc::new(walking_trace(1, &recipe));
+    let spec = builtin::get("walk-away").expect("built-in scenario parses");
     println!(
-        "trace: {} steps x {} rates over {:.0} s",
-        up.n_steps(),
-        up.n_rates(),
-        up.duration
+        "{}: {}\n",
+        spec.name,
+        spec.description.as_deref().unwrap_or("")
     );
+    let results = run_spec(&spec, None).expect("scenario runs");
 
-    let mut obs = observations_from_trace(&up);
-    obs.extend(observations_from_trace(&down));
-    let table = train_snr_table(&obs);
-
-    println!("\n{:>20} {:>12}", "algorithm", "goodput");
-    for kind in [
-        AdapterKind::Omniscient,
-        AdapterKind::SoftRate,
-        AdapterKind::Snr(table.clone()),
-        AdapterKind::Rraa,
-        AdapterKind::SampleRate,
-    ] {
-        let mut cfg = SimConfig::new(kind.clone(), 1);
-        cfg.duration = recipe.duration;
-        let report = NetSim::new(cfg, vec![Arc::clone(&up), Arc::clone(&down)]).run();
+    println!("{:>20} {:>12}", "algorithm", "goodput");
+    for r in &results {
         println!(
             "{:>20} {:>9.2} Mbps  (audit: {:.0}%/{:.0}%/{:.0}% over/acc/under)",
-            report.adapter_name,
-            report.aggregate_goodput_bps / 1e6,
-            report.audit.fractions().0 * 100.0,
-            report.audit.fractions().1 * 100.0,
-            report.audit.fractions().2 * 100.0,
+            r.adapter,
+            r.goodput_bps / 1e6,
+            r.overselect * 100.0,
+            r.accurate * 100.0,
+            r.underselect * 100.0,
         );
     }
     println!("\nSoftRate should approach the omniscient bound; the frame-level");
     println!("protocols lag because they need tens of frames to detect each fade.");
+    println!("\nFor the paper's full-PHY version of this experiment, see the");
+    println!("`softrate-bench` binary fig13_tcp_slow_fading.");
 }

@@ -12,15 +12,23 @@
 //! * [`adapt`] — every baseline SoftRate is compared against.
 //! * [`trace`] — Table 4 workloads and trace-driven channel state.
 //! * [`sim`] — the Figure 12 network simulator (802.11-like MAC + TCP
-//!   NewReno).
+//!   NewReno and saturated-UDP traffic).
+//! * [`scenario`] — the declarative scenario engine: TOML/JSON specs,
+//!   parameter sweeps, a built-in scenario library, and a parallel runner
+//!   with deterministic JSON-lines results.
 //!
-//! See `examples/quickstart.rs` for a guided tour and the
-//! `softrate-bench` binaries for every table and figure of the paper.
+//! Start with `cargo run --release --example quickstart` for a guided tour
+//! of the cross-layer loop, then explore scenarios with the
+//! `softrate-scenarios` binary (`cargo run --release -p softrate-scenario
+//! --bin softrate-scenarios -- list`). Every table and figure of the paper
+//! has a binary in the `softrate-bench` package (`cargo run --release -p
+//! softrate-bench --bin fig16_fast_fading -- --smoke`).
 
 pub use softrate_adapt as adapt;
 pub use softrate_channel as channel;
 pub use softrate_core as core;
 pub use softrate_phy as phy;
+pub use softrate_scenario as scenario;
 pub use softrate_sim as sim;
 pub use softrate_trace as trace;
 
@@ -30,6 +38,7 @@ pub mod prelude {
     pub use softrate_channel::prelude::*;
     pub use softrate_core::prelude::*;
     pub use softrate_phy::prelude::*;
+    pub use softrate_scenario::prelude::*;
     pub use softrate_sim::prelude::*;
     pub use softrate_trace::prelude::*;
 }

@@ -12,7 +12,7 @@ use softrate::channel::pathloss::Attenuation;
 use softrate::core::adapter::{RateAdapter, TxOutcome};
 use softrate::phy::ofdm::SIMULATION;
 use softrate::phy::rates::PAPER_RATES;
-use softrate::sim::timing::lossless_airtimes;
+use softrate::sim::timing::{attempt_airtime, lossless_airtimes};
 
 /// Drives any adapter over a live link; returns (rates chosen, deliveries).
 fn drive(adapter: &mut dyn RateAdapter, link: &mut Link, frames: usize) -> (Vec<usize>, usize) {
@@ -23,7 +23,7 @@ fn drive(adapter: &mut dyn RateAdapter, link: &mut Link, frames: usize) -> (Vec<
         let attempt = adapter.next_attempt(t);
         rates.push(attempt.rate_idx);
         let rate = PAPER_RATES[attempt.rate_idx];
-        let (tx, obs) = link.probe(rate, 100, t, &[], false);
+        let (_tx, obs) = link.probe(rate, 100, t, &[], false);
         t += 0.005;
         let ok = obs.delivered();
         delivered += ok as usize;
@@ -36,7 +36,13 @@ fn drive(adapter: &mut dyn RateAdapter, link: &mut Link, frames: usize) -> (Vec<
             interference_flagged: false,
             postamble_ack: false,
             snr_feedback_db: snr,
-            airtime: tx.airtime(),
+            // MAC-level attempt airtime (frame + overhead), matching what
+            // the simulator feeds adapters — SampleRate compares windowed
+            // averages against `lossless_airtimes`, which includes the
+            // same overhead; feeding bare `tx.airtime()` here would let a
+            // slow rate's frame-only average undercut every faster rate's
+            // lossless airtime and permanently starve sampling.
+            airtime: attempt_airtime(rate, 104, false, attempt.use_rts),
             now: t,
         });
     }
@@ -129,8 +135,12 @@ fn walking_away_forces_every_adapter_down() {
         cfg.noise_power_db = -26.0;
         // Ramp completes at t = 1.0 s (frame ~200 of 300), leaving the
         // adapters a hundred frames to converge on the degraded channel.
-        cfg.attenuation =
-            Attenuation::RampDb { t_start: 0.0, db_start: 0.0, t_end: 1.0, db_end: -23.0 };
+        cfg.attenuation = Attenuation::RampDb {
+            t_start: 0.0,
+            db_start: 0.0,
+            t_end: 1.0,
+            db_end: -23.0,
+        };
         cfg.seed = seed;
         Link::new(cfg)
     };
@@ -143,8 +153,7 @@ fn walking_away_forces_every_adapter_down() {
     for (i, adapter) in adapters.iter_mut().enumerate() {
         let mut link = mk_link(40 + i as u64);
         let (rates, _) = drive(adapter.as_mut(), &mut link, 300);
-        let tail_mean: f64 =
-            rates[280..].iter().map(|&r| r as f64).sum::<f64>() / 20.0;
+        let tail_mean: f64 = rates[280..].iter().map(|&r| r as f64).sum::<f64>() / 20.0;
         assert!(
             tail_mean < 2.5,
             "{} ended at mean rate {tail_mean:.1} on a dying channel",

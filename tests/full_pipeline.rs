@@ -66,7 +66,11 @@ fn softrate_climbs_on_a_strong_channel() {
     let mut link = Link::new(cfg);
     let rates = drive_softrate(&mut link, 12, 100);
     assert_eq!(rates[0], 0, "starts at the base rate");
-    assert_eq!(*rates.last().unwrap(), 5, "must reach the top rate: {rates:?}");
+    assert_eq!(
+        *rates.last().unwrap(),
+        5,
+        "must reach the top rate: {rates:?}"
+    );
 }
 
 #[test]
@@ -177,7 +181,10 @@ fn interference_free_feedback_keeps_rate_through_collisions() {
     }
     // The paper's own detector catches ~80 % of collision-errored frames;
     // expect at least half here.
-    assert!(flagged >= 4, "detector must catch most mid-frame collisions, got {flagged}");
+    assert!(
+        flagged >= 4,
+        "detector must catch most mid-frame collisions, got {flagged}"
+    );
     assert!(
         sender.current_rate_idx() >= 4,
         "collisions must not drag the rate down on a clean channel (at {})",
@@ -210,7 +217,14 @@ fn ber_estimate_matches_truth_within_half_decade() {
             }
         }
     }
-    assert!(errs.len() > 20, "need measurable-BER frames ({} found)", errs.len());
+    assert!(
+        errs.len() > 20,
+        "need measurable-BER frames ({} found)",
+        errs.len()
+    );
     let mean_err = errs.iter().sum::<f64>() / errs.len() as f64;
-    assert!(mean_err < 0.5, "mean |log10 est/truth| = {mean_err:.2} (want < 0.5)");
+    assert!(
+        mean_err < 0.5,
+        "mean |log10 est/truth| = {mean_err:.2} (want < 0.5)"
+    );
 }

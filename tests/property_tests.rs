@@ -6,8 +6,8 @@ use softrate::core::hints::{error_prob_from_hint, FrameHints};
 use softrate::core::prediction::{clamp_ber, predict_ber, BER_CEIL, BER_FLOOR};
 use softrate::core::recovery::{ChunkedHarq, ErrorRecovery, FrameArq};
 use softrate::core::thresholds::select_rate;
-use softrate::phy::bits::{bit_error_rate, bits_to_bytes, bytes_to_bits, deterministic_payload};
 use softrate::phy::bcjr::BcjrDecoder;
+use softrate::phy::bits::{bit_error_rate, bits_to_bytes, bytes_to_bits, deterministic_payload};
 use softrate::phy::convolutional::{coded_len, depuncture, encode, puncture, TAIL_BITS};
 use softrate::phy::crc::{append_crc32, check_crc32};
 use softrate::phy::interleaver::Interleaver;

@@ -11,8 +11,14 @@ use softrate::trace::schema::LinkTrace;
 use softrate::trace::snr_training::{observations_from_trace, train_snr_table};
 
 fn short_walking_pair() -> (Arc<LinkTrace>, Arc<LinkTrace>) {
-    let recipe = WalkingRecipe { duration: 1.5, ..Default::default() };
-    (Arc::new(walking_trace(0, &recipe)), Arc::new(walking_trace(1, &recipe)))
+    let recipe = WalkingRecipe {
+        duration: 1.5,
+        ..Default::default()
+    };
+    (
+        Arc::new(walking_trace(0, &recipe)),
+        Arc::new(walking_trace(1, &recipe)),
+    )
 }
 
 #[test]
@@ -69,14 +75,22 @@ fn snr_trained_table_is_usable() {
     let mut cfg = SimConfig::new(AdapterKind::Snr(table), 1);
     cfg.duration = 1.5;
     let r = NetSim::new(cfg, vec![up, down]).run();
-    assert!(r.aggregate_goodput_bps > 5e5, "trained SNR protocol too slow: {}", r.aggregate_goodput_bps);
+    assert!(
+        r.aggregate_goodput_bps > 5e5,
+        "trained SNR protocol too slow: {}",
+        r.aggregate_goodput_bps
+    );
 }
 
 #[test]
 fn interference_detection_pays_under_hidden_terminals() {
-    let recipe = StaticShortRecipe { duration: 1.5, ..Default::default() };
-    let traces: Vec<Arc<LinkTrace>> =
-        (0..6).map(|r| Arc::new(static_short_trace(r, &recipe))).collect();
+    let recipe = StaticShortRecipe {
+        duration: 1.5,
+        ..Default::default()
+    };
+    let traces: Vec<Arc<LinkTrace>> = (0..6)
+        .map(|r| Arc::new(static_short_trace(r, &recipe)))
+        .collect();
     // cs = 0.2: heavy but not total hidden-terminal interference. (At
     // cs = 0.0 the blind variant can *starve* all flows but one, which
     // inflates the aggregate while destroying fairness — an emergent
