@@ -55,9 +55,10 @@ fn main() {
         duration,
         seed: 0xF16,
         topology: TopologySpec {
-            n_clients: 1,
+            n_clients: Some(1),
             carrier_sense_prob: None,
             queue_cap: None,
+            spatial: None,
         },
         channel: ChannelSpec {
             model: ChannelModel::Phy,

@@ -36,9 +36,10 @@ fn main() {
         duration,
         seed: 0xF17,
         topology: TopologySpec {
-            n_clients,
+            n_clients: Some(n_clients),
             carrier_sense_prob: Some(probs[0]),
             queue_cap: None,
+            spatial: None,
         },
         channel: ChannelSpec {
             model: ChannelModel::Phy,

@@ -1,0 +1,134 @@
+//! `netscale` — events/sec and wall time of the multi-cell spatial
+//! simulator versus station count.
+//!
+//! The scaling story of `softrate-net`: streaming channels keep memory
+//! O(stations), so the only question is event-loop throughput. This bench
+//! runs a roaming random-waypoint deployment on a 3x3 AP grid at a ladder
+//! of station counts and reports simulated seconds, wall seconds,
+//! events/sec, and sim-time speedup, then drops machine-readable results
+//! in `BENCH_netscale.json` at the repository root — the seed of the
+//! repo's perf trajectory (compare across PRs).
+//!
+//! `--smoke` (or `SOFTRATE_SMOKE=1`) shrinks the ladder and the duration.
+
+use serde::Serialize;
+use softrate_bench::{banner, smoke_mode};
+use softrate_net::mobility::MobilitySpec;
+use softrate_net::sim::{SpatialConfig, SpatialSim};
+use softrate_net::spatial::{HandoffPolicy, RoamingSpec, SpatialSpec};
+use softrate_sim::config::AdapterKind;
+
+/// One ladder point.
+#[derive(Debug, Clone, Serialize)]
+struct NetScaleRow {
+    stations: usize,
+    aps: usize,
+    sim_seconds: f64,
+    wall_seconds: f64,
+    events: u64,
+    events_per_sec: f64,
+    /// Simulated seconds per wall second.
+    speedup: f64,
+    goodput_bps: f64,
+    frames_sent: u64,
+    handoffs: u64,
+}
+
+/// The whole result file.
+#[derive(Debug, Clone, Serialize)]
+struct NetScaleResults {
+    bench: String,
+    smoke: bool,
+    rows: Vec<NetScaleRow>,
+}
+
+fn spec(stations: usize) -> SpatialSpec {
+    SpatialSpec {
+        ap_cols: 3,
+        ap_rows: 3,
+        ap_spacing_m: 25.0,
+        n_stations: stations,
+        snr_ref_db: None,
+        path_loss_exp: None,
+        // Sensing range of roughly one cell pitch: real spatial reuse,
+        // real inter-cell interference (same shape as dense-enterprise).
+        sense_snr_db: Some(13.0),
+        capture_sir_db: None,
+        doppler_hz: None,
+        mobility: MobilitySpec::RandomWaypoint {
+            speed_mps: 1.5,
+            pause_s: 2.0,
+        },
+        roaming: Some(RoamingSpec {
+            hysteresis_db: 3.0,
+            check_interval_s: None,
+            handoff: HandoffPolicy::Preserve,
+        }),
+    }
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    banner("netscale — spatial simulator throughput vs station count");
+    let (ladder, sim_seconds): (&[usize], f64) = if smoke {
+        (&[20, 60], 2.0)
+    } else {
+        (&[50, 100, 200, 400], 10.0)
+    };
+
+    println!(
+        "{:>9} {:>5} {:>8} {:>9} {:>11} {:>13} {:>9} {:>11} {:>9}",
+        "stations", "aps", "sim s", "wall s", "events", "events/s", "speedup", "Mbit/s", "handoffs"
+    );
+    let mut rows = Vec::new();
+    for &stations in ladder {
+        let mut cfg = SpatialConfig::new(AdapterKind::SoftRate, spec(stations));
+        cfg.duration = sim_seconds;
+        let sim = SpatialSim::new(cfg).expect("bench spec is valid");
+        let started = std::time::Instant::now();
+        let report = sim.run();
+        let wall = started.elapsed().as_secs_f64();
+        let row = NetScaleRow {
+            stations,
+            aps: 9,
+            sim_seconds,
+            wall_seconds: wall,
+            events: report.events_processed,
+            events_per_sec: report.events_processed as f64 / wall.max(1e-9),
+            speedup: sim_seconds / wall.max(1e-9),
+            goodput_bps: report.aggregate_goodput_bps,
+            frames_sent: report.frames_sent,
+            handoffs: report.handoffs,
+        };
+        println!(
+            "{:>9} {:>5} {:>8.1} {:>9.3} {:>11} {:>13.0} {:>9.1} {:>11.2} {:>9}",
+            row.stations,
+            row.aps,
+            row.sim_seconds,
+            row.wall_seconds,
+            row.events,
+            row.events_per_sec,
+            row.speedup,
+            row.goodput_bps / 1e6,
+            row.handoffs
+        );
+        rows.push(row);
+    }
+
+    let results = NetScaleResults {
+        bench: "netscale".to_string(),
+        smoke,
+        rows,
+    };
+    let path = "BENCH_netscale.json";
+    match serde_json::to_string_pretty(&results) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(path, s) {
+                eprintln!("warning: cannot write {path}: {e}");
+            } else {
+                eprintln!("[wrote {path}]");
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize results: {e}"),
+    }
+}

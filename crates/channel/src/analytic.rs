@@ -1,0 +1,102 @@
+//! The closed-form SNR→BER map: the workspace's fast analytic channel.
+//!
+//! Calibrated against this workspace's software PHY (see
+//! `crates/trace/src/bin/calibrate.rs`), it turns an instantaneous SNR into
+//! a per-rate bit error rate without running the OFDM/BCJR pipeline —
+//! hundreds of times faster, which is what makes thousand-run sweeps and
+//! the streaming multi-cell simulator (`softrate-net`) feasible. The
+//! scenario engine's trace generator and the spatial network layer both
+//! sample this map over the *real* Jakes fading envelope, so protocol
+//! dynamics see realistic temporal correlation.
+
+/// Per-rate minimum SNR (dB) at which a ~100-byte probe is essentially
+/// error-free: BPSK 1/2, BPSK 3/4, QPSK 1/2, QPSK 3/4, QAM16 1/2,
+/// QAM16 3/4.
+pub const REQUIRED_SNR_DB: [f64; 6] = [4.5, 6.0, 7.5, 10.0, 12.5, 14.0];
+
+/// Detection threshold in dB (matches `LinkConfig::detect_snr_db`): frame
+/// detection by preamble correlation works below the decoding threshold.
+pub const DETECT_SNR_DB: f64 = -3.0;
+
+/// BER above which the short, separately CRC-protected link-layer header is
+/// considered undecodable (no feedback possible).
+pub const HEADER_FAIL_BER: f64 = 0.05;
+
+/// Closed-form BER at `snr_db` for `rate_idx`: one decade per ~0.67 dB of
+/// margin, anchored at 1e-6 when the margin is zero. Clamped to
+/// `[1e-9, 0.4]`. The anchor makes [`REQUIRED_SNR_DB`] the lowest SNR at
+/// which a full-size (1440 B) frame is "essentially guaranteed" in the
+/// oracle's sense (success probability > 0.95).
+pub fn analytic_ber(snr_db: f64, rate_idx: usize) -> f64 {
+    let margin = snr_db - REQUIRED_SNR_DB[rate_idx.min(REQUIRED_SNR_DB.len() - 1)];
+    10f64.powf(-(6.0 + 1.5 * margin)).clamp(1e-9, 0.4)
+}
+
+/// Success probability of a `frame_bits`-bit frame at bit error rate
+/// `ber` under the independent-bit-error model — the one formula every
+/// fate draw and oracle in the workspace must agree on.
+pub fn frame_success_prob(ber: f64, frame_bits: usize) -> f64 {
+    (1.0 - ber).powi(frame_bits as i32).clamp(0.0, 1.0)
+}
+
+/// Success probability of a `frame_bits`-bit frame at `snr_db` and
+/// `rate_idx` under the independent-bit-error model.
+pub fn analytic_frame_success(snr_db: f64, rate_idx: usize, frame_bits: usize) -> f64 {
+    frame_success_prob(analytic_ber(snr_db, rate_idx), frame_bits)
+}
+
+/// The omniscient oracle over the analytic map: the highest rate whose
+/// `frame_bits`-bit frame is essentially guaranteed (success probability
+/// > 0.95) at `snr_db`; the most robust rate when none qualifies.
+pub fn best_rate_for_snr(snr_db: f64, frame_bits: usize) -> usize {
+    if snr_db < DETECT_SNR_DB {
+        return 0;
+    }
+    let mut best = 0;
+    for r in 0..REQUIRED_SNR_DB.len() {
+        if analytic_ber(snr_db, r) < HEADER_FAIL_BER
+            && analytic_frame_success(snr_db, r, frame_bits) > 0.95
+        {
+            best = r;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ber_curve_is_monotone_and_anchored() {
+        #[allow(clippy::needless_range_loop)] // `r` is a rate index into two tables
+        for r in 0..REQUIRED_SNR_DB.len() {
+            assert!(analytic_ber(REQUIRED_SNR_DB[r], r) <= 1.0001e-6);
+            assert!(analytic_ber(REQUIRED_SNR_DB[r] - 3.0, r) > 1e-3);
+            let mut prev = f64::MAX;
+            for k in 0..40 {
+                let b = analytic_ber(k as f64, r);
+                assert!(b <= prev);
+                prev = b;
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_tracks_snr() {
+        // Just above each rate's requirement, that rate is the best choice.
+        for (r, &snr) in REQUIRED_SNR_DB.iter().enumerate() {
+            assert_eq!(best_rate_for_snr(snr + 0.1, 11_520), r);
+        }
+        // Deep in the noise: fall back to the most robust rate.
+        assert_eq!(best_rate_for_snr(-20.0, 11_520), 0);
+        // Sky-high SNR: the top rate.
+        assert_eq!(best_rate_for_snr(40.0, 11_520), 5);
+    }
+
+    #[test]
+    fn success_probability_shapes() {
+        assert!(analytic_frame_success(30.0, 5, 11_520) > 0.99);
+        assert!(analytic_frame_success(5.0, 5, 11_520) < 1e-6);
+    }
+}

@@ -4,6 +4,9 @@
 //! between the transmitter's OFDM symbols and the receiver's.
 //!
 //! * [`noise`] — seeded complex AWGN.
+//! * [`analytic`] — the calibrated closed-form SNR→BER map (the fast
+//!   alternative to running the PHY, used by the scenario engine and the
+//!   spatial network layer).
 //! * [`jakes`] — Rayleigh fading via the Zheng–Xiao sum-of-sinusoids model,
 //!   the same model the paper's GNU Radio channel simulator uses (§4).
 //! * [`pathloss`] — large-scale attenuation trajectories (static, walking
@@ -21,6 +24,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod analytic;
 pub mod interference;
 pub mod jakes;
 pub mod link;
@@ -30,6 +34,7 @@ pub mod pathloss;
 
 /// Convenient glob-import of the most common items.
 pub mod prelude {
+    pub use crate::analytic::{analytic_ber, best_rate_for_snr, REQUIRED_SNR_DB};
     pub use crate::interference::{interferer_frame, Interferer};
     pub use crate::jakes::JakesFading;
     pub use crate::link::{Link, LinkConfig, LinkObservation};

@@ -1,0 +1,169 @@
+//! 2-D geometry: positions, distances, the AP grid, and distance-based
+//! path loss.
+//!
+//! The spatial simulator works in meters on a flat plane. Large-scale
+//! received power follows the log-distance path-loss law: the mean SNR of
+//! a link at distance `d` is `snr_ref_db - 10 * path_loss_exp * log10(d)`
+//! (clamped below 1 m), which feeds the workspace's calibrated analytic
+//! SNR→BER map (`softrate_channel::analytic`). Small-scale fading rides on
+//! top per link (see [`crate::channel`]).
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the plane, meters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// X coordinate, meters.
+    pub x: f64,
+    /// Y coordinate, meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Euclidean distance to `other`.
+    pub fn dist(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// The axis-aligned rectangle stations live in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Minimum corner.
+    pub min: Point,
+    /// Maximum corner.
+    pub max: Point,
+}
+
+impl Rect {
+    /// Width in meters.
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height in meters.
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// The point at fractional coordinates `(u, v)` in `[0,1]²`.
+    pub fn lerp(&self, u: f64, v: f64) -> Point {
+        Point {
+            x: self.min.x + u * self.width(),
+            y: self.min.y + v * self.height(),
+        }
+    }
+
+    /// Reflects an unbounded coordinate offset into the rectangle
+    /// ("bouncing" off the walls): the triangular fold of `min + offset`.
+    pub fn fold(&self, offset_x: f64, offset_y: f64) -> Point {
+        Point {
+            x: self.min.x + fold_axis(offset_x, self.width()),
+            y: self.min.y + fold_axis(offset_y, self.height()),
+        }
+    }
+}
+
+/// Triangular fold of `x` into `[0, w]` (reflecting boundaries).
+fn fold_axis(x: f64, w: f64) -> f64 {
+    if w <= 0.0 {
+        return 0.0;
+    }
+    let m = x.rem_euclid(2.0 * w);
+    if m <= w {
+        m
+    } else {
+        2.0 * w - m
+    }
+}
+
+/// AP positions for a `cols x rows` grid with the given spacing, anchored
+/// at the origin (AP 0 at `(0, 0)`, row-major order).
+pub fn ap_grid(cols: usize, rows: usize, spacing_m: f64) -> Vec<Point> {
+    let mut aps = Vec::with_capacity(cols * rows);
+    for r in 0..rows {
+        for c in 0..cols {
+            aps.push(Point {
+                x: c as f64 * spacing_m,
+                y: r as f64 * spacing_m,
+            });
+        }
+    }
+    aps
+}
+
+/// The station area for an AP grid: the grid's bounding box padded by half
+/// a cell on every side, so edge cells have edges too.
+pub fn grid_bounds(cols: usize, rows: usize, spacing_m: f64) -> Rect {
+    let pad = spacing_m / 2.0;
+    Rect {
+        min: Point { x: -pad, y: -pad },
+        max: Point {
+            x: (cols.saturating_sub(1)) as f64 * spacing_m + pad,
+            y: (rows.saturating_sub(1)) as f64 * spacing_m + pad,
+        },
+    }
+}
+
+/// Mean (path-loss only) SNR in dB of a link at distance `d_m`, given the
+/// reference SNR at 1 m and the path-loss exponent. Distances below 1 m
+/// clamp to the reference.
+pub fn mean_snr_db(snr_ref_db: f64, path_loss_exp: f64, d_m: f64) -> f64 {
+    snr_ref_db - 10.0 * path_loss_exp * d_m.max(1.0).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_and_bounds_shapes() {
+        let aps = ap_grid(3, 2, 10.0);
+        assert_eq!(aps.len(), 6);
+        assert_eq!(aps[0], Point { x: 0.0, y: 0.0 });
+        assert_eq!(aps[2], Point { x: 20.0, y: 0.0 });
+        assert_eq!(aps[3], Point { x: 0.0, y: 10.0 });
+        let b = grid_bounds(3, 2, 10.0);
+        assert_eq!(b.min, Point { x: -5.0, y: -5.0 });
+        assert_eq!(b.max, Point { x: 25.0, y: 15.0 });
+        assert_eq!(b.width(), 30.0);
+    }
+
+    #[test]
+    fn single_ap_bounds_are_one_cell() {
+        let b = grid_bounds(1, 1, 20.0);
+        assert_eq!(b.width(), 20.0);
+        assert_eq!(b.height(), 20.0);
+    }
+
+    #[test]
+    fn fold_reflects_at_walls() {
+        let b = grid_bounds(1, 1, 10.0);
+        // Walk 12 m right from the left wall of a 10 m box: bounce to 8.
+        let p = b.fold(12.0, 0.0);
+        assert!((p.x - (b.min.x + 8.0)).abs() < 1e-12);
+        // A full out-and-back period returns to the start.
+        let q = b.fold(20.0, 0.0);
+        assert!((q.x - b.min.x).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_loss_is_monotone_and_clamped() {
+        assert_eq!(mean_snr_db(55.0, 2.7, 0.5), 55.0);
+        assert_eq!(mean_snr_db(55.0, 2.7, 1.0), 55.0);
+        let near = mean_snr_db(55.0, 2.7, 10.0);
+        let far = mean_snr_db(55.0, 2.7, 40.0);
+        assert!(near > far);
+        // 10 m at exponent 2.7 costs 27 dB.
+        assert!((near - 28.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point { x: 0.0, y: 0.0 };
+        let b = Point { x: 3.0, y: 4.0 };
+        assert_eq!(a.dist(b), 5.0);
+    }
+}

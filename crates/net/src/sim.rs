@@ -1,0 +1,835 @@
+//! The multi-cell spatial network simulator.
+//!
+//! N stations spread over a grid of APs, each saturated with uplink UDP
+//! traffic toward its associated AP. Every BSS runs the same 802.11-like
+//! DCF as the single-cell simulator (`softrate_sim::netsim`): DIFS plus
+//! binary-exponential backoff, a base-rate feedback window after SIFS, and
+//! a retry limit. What is new here:
+//!
+//! * **Geometry decides everything.** Carrier sense is physical (a station
+//!   defers when another transmitter is audible above a mean-SNR
+//!   threshold), so hidden terminals and spatial reuse both *emerge* from
+//!   positions rather than from a configured probability. A concurrent
+//!   transmission corrupts a reception only when the
+//!   signal-to-interference ratio at that receiver falls below the capture
+//!   threshold — co-channel interference between overlapping cells, and
+//!   clean parallel operation between distant ones.
+//! * **Streaming channels.** Frame fates are drawn at transmit time from
+//!   per-link [`StreamingLink`]s (Jakes fading + the calibrated analytic
+//!   SNR→BER map + a per-link SplitMix64 coin stream). No `LinkTrace` is
+//!   ever materialized, so memory stays O(stations) regardless of
+//!   duration.
+//! * **Roaming.** Stations periodically re-evaluate mean RSSI and hand off
+//!   to a stronger AP past a hysteresis, with the rate adapter's learned
+//!   state either preserved or reset across the handoff (both policies are
+//!   first-class, so their cost can be measured).
+//!
+//! The collision *feedback* semantics reproduce §6.4 exactly as the
+//! single-cell simulator does: a flagged collision feeds back the
+//! interference-free BER, an unflagged one a catastrophic BER, a destroyed
+//! header nothing at all (except a postamble-only ACK in ideal mode).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use softrate_channel::analytic::best_rate_for_snr;
+use softrate_core::adapter::{RateAdapter, TxOutcome};
+use softrate_sim::config::AdapterKind;
+use softrate_sim::event::EventQueue;
+use softrate_sim::feedback::{apply_collision_feedback, CollisionTiming, HEADER_AIRTIME_FRAC};
+use softrate_sim::netsim::RateAudit;
+use softrate_sim::timing::{
+    attempt_airtime, data_airtime, feedback_airtime, rts_cts_overhead, CW_MAX, CW_MIN, DIFS,
+    IP_TCP_HEADER, MAX_RETRIES, SIFS, SLOT,
+};
+use softrate_trace::schema::hash_uniform;
+
+use crate::channel::StreamingLink;
+use crate::geometry::Point;
+use crate::mobility::MobilityWalker;
+use crate::spatial::{HandoffPolicy, SpatialParams, SpatialSpec};
+use crate::stream::mix_seed;
+
+/// Configuration of one spatial simulation run.
+#[derive(Debug, Clone)]
+pub struct SpatialConfig {
+    /// Simulated seconds.
+    pub duration: f64,
+    /// Rate-adaptation algorithm every station runs on its uplink.
+    pub adapter: AdapterKind,
+    /// On-air bytes per data frame (payload + IP/TCP-sized headers).
+    pub payload_bytes: usize,
+    /// Deployment seed: station spawns, trajectories, fading, and fate
+    /// streams all derive from it.
+    pub seed: u64,
+    /// Seed for MAC-layer randomness (backoff draws, collision-detector
+    /// verdicts, adapter tie-breaks). Defaults to `seed`; the scenario
+    /// engine sets it to the per-run seed while `seed` stays per-spec, so
+    /// every adapter in a matrix is compared over identical channel
+    /// realizations (§6.1) with independent MAC randomness per run.
+    pub mac_seed: u64,
+    /// The deployment.
+    pub spatial: SpatialSpec,
+}
+
+impl SpatialConfig {
+    /// A default-duration run of `spatial` under `adapter`.
+    pub fn new(adapter: AdapterKind, spatial: SpatialSpec) -> Self {
+        SpatialConfig {
+            duration: 10.0,
+            adapter,
+            payload_bytes: 1440,
+            seed: 0x5A7A,
+            mac_seed: 0x5A7A,
+            spatial,
+        }
+    }
+
+    /// Data-frame size on the air, bits.
+    pub fn frame_bits(&self) -> usize {
+        self.payload_bytes * 8
+    }
+}
+
+/// One recorded handoff.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HandoffRecord {
+    /// When, seconds.
+    pub t: f64,
+    /// Which station.
+    pub station: usize,
+    /// AP roamed away from.
+    pub from: usize,
+    /// AP roamed to.
+    pub to: usize,
+}
+
+/// Results of one spatial run.
+#[derive(Debug, Clone)]
+pub struct SpatialReport {
+    /// Algorithm under test.
+    pub adapter_name: String,
+    /// Sum of per-station goodputs, bit/s.
+    pub aggregate_goodput_bps: f64,
+    /// Per-station goodput, bit/s (useful payload, headers excluded).
+    pub per_station_goodput_bps: Vec<f64>,
+    /// Data frames transmitted on the air.
+    pub frames_sent: u64,
+    /// Data frames delivered intact.
+    pub frames_delivered: u64,
+    /// Frames corrupted by concurrent transmissions.
+    pub collisions: u64,
+    /// Attempts that produced no feedback at all.
+    pub silent_losses: u64,
+    /// Corruption events whose interferer belonged to a different BSS than
+    /// the victim receiver (co-channel inter-cell interference).
+    pub inter_cell_corruptions: u64,
+    /// Completed handoffs.
+    pub handoffs: u64,
+    /// Rate-selection accuracy vs the instantaneous analytic oracle.
+    pub audit: RateAudit,
+    /// Initial association (station -> AP) chosen by strongest RSSI.
+    pub initial_assoc: Vec<usize>,
+    /// Every handoff, in order.
+    pub handoff_log: Vec<HandoffRecord>,
+    /// Events processed by the discrete-event loop.
+    pub events_processed: u64,
+}
+
+/// Simulator events.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// A station's backoff expired: try to transmit.
+    TxStart { st: usize },
+    /// A transmission's air time ended.
+    TxEnd { tx: u64 },
+    /// Feedback window closed: resolve the attempt at the sender.
+    Outcome { tx: u64 },
+    /// Periodic association re-evaluation.
+    Roam { st: usize },
+}
+
+/// One station and its current uplink.
+struct Station {
+    /// Associated AP.
+    ap: usize,
+    /// Association epoch (increments on every handoff; keys fate streams).
+    epoch: u64,
+    /// Streaming channel to the current AP.
+    link: StreamingLink,
+    /// Rate adapter for the uplink.
+    adapter: Box<dyn RateAdapter>,
+    retries: u32,
+    cw: u32,
+    attempts: u64,
+    /// A transmission is on the air or awaiting its outcome.
+    in_flight: bool,
+    /// A TxStart event is already scheduled.
+    start_pending: bool,
+    /// Handoff decided while a frame was in flight; applied at outcome.
+    pending_handoff: Option<usize>,
+    delivered: u64,
+}
+
+/// An in-flight transmission.
+#[derive(Debug, Clone, Copy)]
+struct ActiveTx {
+    id: u64,
+    st: usize,
+    ap: usize,
+    start: f64,
+    end: f64,
+    header_end: f64,
+    rate_idx: usize,
+    use_rts: bool,
+    /// Mean (path-loss only) signal SNR at the receiver at start, dB.
+    sig_snr_db: f64,
+    collided: bool,
+    first_other_start: f64,
+    max_other_end: f64,
+}
+
+/// The multi-cell simulator.
+pub struct SpatialSim {
+    cfg: SpatialConfig,
+    params: SpatialParams,
+    events: EventQueue<Ev>,
+    stations: Vec<Station>,
+    /// Per-station resumable mobility cursors (amortized O(1) positions).
+    walkers: Vec<MobilityWalker>,
+    active: Vec<ActiveTx>,
+    pending: Vec<ActiveTx>,
+    next_tx_id: u64,
+    rng: SmallRng,
+    // statistics
+    frames_sent: u64,
+    frames_delivered: u64,
+    collisions: u64,
+    silent_losses: u64,
+    inter_cell_corruptions: u64,
+    handoffs: u64,
+    audit: RateAudit,
+    initial_assoc: Vec<usize>,
+    handoff_log: Vec<HandoffRecord>,
+    events_processed: u64,
+}
+
+impl SpatialSim {
+    /// Builds the deployment: lays out the grid, spawns stations, and
+    /// associates each with its strongest AP.
+    pub fn new(cfg: SpatialConfig) -> Result<Self, crate::spatial::SpatialError> {
+        let params = cfg.spatial.resolve()?;
+        let walkers = (0..params.n_stations)
+            .map(|s| MobilityWalker::new(params.station_seed(cfg.seed, s)))
+            .collect();
+        let mut sim = SpatialSim {
+            events: EventQueue::with_capacity(params.n_stations * 8),
+            stations: Vec::with_capacity(params.n_stations),
+            walkers,
+            active: Vec::new(),
+            pending: Vec::new(),
+            next_tx_id: 1,
+            rng: SmallRng::seed_from_u64(cfg.mac_seed ^ 0x4E45_5453_5041),
+            frames_sent: 0,
+            frames_delivered: 0,
+            collisions: 0,
+            silent_losses: 0,
+            inter_cell_corruptions: 0,
+            handoffs: 0,
+            audit: RateAudit::default(),
+            initial_assoc: Vec::with_capacity(params.n_stations),
+            handoff_log: Vec::new(),
+            events_processed: 0,
+            params,
+            cfg,
+        };
+        for s in 0..sim.params.n_stations {
+            let pos = sim.params.station_pos(sim.cfg.seed, s, 0.0);
+            let (ap, _) = sim.params.best_ap(pos);
+            sim.initial_assoc.push(ap);
+            let station = Station {
+                ap,
+                epoch: 0,
+                link: sim.make_link(s, ap, 0),
+                adapter: sim.make_adapter(s),
+                retries: 0,
+                cw: CW_MIN,
+                attempts: 0,
+                in_flight: false,
+                start_pending: false,
+                pending_handoff: None,
+                delivered: 0,
+            };
+            sim.stations.push(station);
+        }
+        Ok(sim)
+    }
+
+    /// The link's fading process is keyed by its endpoints only (a
+    /// physical field between two places); the fate stream additionally by
+    /// the association epoch, so re-associating never replays coin flips.
+    fn make_link(&self, st: usize, ap: usize, epoch: u64) -> StreamingLink {
+        let pair = mix_seed(self.cfg.seed ^ 0x4C49_4E4B, ((st as u64) << 20) | ap as u64);
+        StreamingLink::new(pair, mix_seed(pair, 0xFA7E ^ epoch), self.params.doppler_hz)
+    }
+
+    fn make_adapter(&self, st: usize) -> Box<dyn RateAdapter> {
+        // The omniscient oracle needs the station's *current* link, which
+        // changes at handoff; the simulator injects the rate at TxStart
+        // instead (see `on_tx_start`), so the closure here is never the
+        // source of truth.
+        self.cfg.adapter.build_with_oracle(
+            self.cfg.frame_bits(),
+            self.cfg.payload_bytes,
+            mix_seed(self.cfg.mac_seed ^ 0xADA7, st as u64),
+            Box::new(|_| 0),
+        )
+    }
+
+    /// Position of station `s` at time `t` via its resumable walker
+    /// (identical to `params.station_pos`, amortized O(1) per query).
+    fn walker_pos(&mut self, s: usize, t: f64) -> Point {
+        self.walkers[s].position(&self.params.mobility, &self.params.bounds, t)
+    }
+
+    /// Runs to `cfg.duration` and reports.
+    pub fn run(mut self) -> SpatialReport {
+        let n = self.params.n_stations;
+        for s in 0..n {
+            // Slight stagger so the whole floor doesn't draw backoff at the
+            // exact same instant.
+            self.schedule_tx_start(s, Some(s as f64 * 2e-4));
+        }
+        if let Some((_, interval, _)) = self.params.roaming {
+            for s in 0..n {
+                let first = interval * (1.0 + s as f64 / n as f64);
+                self.events.schedule(first, Ev::Roam { st: s });
+            }
+        }
+
+        while let Some(ev) = self.events.pop() {
+            if ev.time > self.cfg.duration {
+                break;
+            }
+            self.events_processed += 1;
+            match ev.event {
+                Ev::TxStart { st } => self.on_tx_start(st),
+                Ev::TxEnd { tx } => self.on_tx_end(tx),
+                Ev::Outcome { tx } => self.on_outcome(tx),
+                Ev::Roam { st } => self.on_roam(st),
+            }
+        }
+
+        let useful_bits = (self.cfg.payload_bytes - IP_TCP_HEADER) as f64 * 8.0;
+        let per_station: Vec<f64> = self
+            .stations
+            .iter()
+            .map(|s| s.delivered as f64 * useful_bits / self.cfg.duration)
+            .collect();
+        SpatialReport {
+            adapter_name: self.cfg.adapter.name().to_string(),
+            aggregate_goodput_bps: per_station.iter().sum(),
+            per_station_goodput_bps: per_station,
+            frames_sent: self.frames_sent,
+            frames_delivered: self.frames_delivered,
+            collisions: self.collisions,
+            silent_losses: self.silent_losses,
+            inter_cell_corruptions: self.inter_cell_corruptions,
+            handoffs: self.handoffs,
+            audit: self.audit,
+            initial_assoc: self.initial_assoc,
+            handoff_log: self.handoff_log,
+            events_processed: self.events_processed,
+        }
+    }
+
+    /// Schedules the station's next channel-access attempt after DIFS plus
+    /// a backoff drawn from its contention window.
+    fn schedule_tx_start(&mut self, st: usize, after: Option<f64>) {
+        let cw = self.stations[st].cw;
+        let slots = self.rng.gen_range(0..=cw) as f64;
+        let at = after.unwrap_or(self.events.now()) + DIFS + slots * SLOT;
+        self.stations[st].start_pending = true;
+        self.events.schedule(at, Ev::TxStart { st });
+    }
+
+    fn on_tx_start(&mut self, st: usize) {
+        self.stations[st].start_pending = false;
+        if self.stations[st].in_flight {
+            return;
+        }
+        let now = self.events.now();
+        let pos = self.walker_pos(st, now);
+
+        // Positions of every active transmitter, computed once and shared
+        // by the carrier-sense and interference passes below.
+        let mut tx_pos = Vec::with_capacity(self.active.len());
+        for i in 0..self.active.len() {
+            let s = self.active[i].st;
+            tx_pos.push(self.walker_pos(s, now));
+        }
+
+        // Physical carrier sense: defer while any foreign transmitter is
+        // audible above the sensing threshold.
+        let mut sensed_until: Option<f64> = None;
+        for (tx, &tpos) in self.active.iter().zip(&tx_pos) {
+            if tx.st == st {
+                continue;
+            }
+            if self.params.snr_between(tpos, pos) >= self.params.sense_snr_db {
+                sensed_until = Some(sensed_until.map_or(tx.end, |u: f64| u.max(tx.end)));
+            }
+        }
+        if let Some(until) = sensed_until {
+            self.schedule_tx_start(st, Some(until));
+            return;
+        }
+
+        // Transmit toward the associated AP.
+        let ap = self.stations[st].ap;
+        let ap_pos = self.params.aps[ap];
+        let sig_snr_db = self.params.snr_between(pos, ap_pos);
+        let mut attempt = self.stations[st].adapter.next_attempt(now);
+        let oracle_rate = best_rate_for_snr(
+            self.stations[st].link.snr_db(sig_snr_db, now),
+            self.cfg.frame_bits(),
+        );
+        if matches!(self.cfg.adapter, AdapterKind::Omniscient) {
+            attempt.rate_idx = oracle_rate;
+        }
+        let rate = softrate_phy::rates::PAPER_RATES[attempt.rate_idx];
+        let postamble = self.cfg.adapter.postambles();
+        let air = data_airtime(rate, self.cfg.payload_bytes, postamble)
+            + if attempt.use_rts {
+                rts_cts_overhead()
+            } else {
+                0.0
+            };
+        let id = self.next_tx_id;
+        self.next_tx_id += 1;
+        self.stations[st].attempts += 1;
+
+        let mut tx = ActiveTx {
+            id,
+            st,
+            ap,
+            start: now,
+            end: now + air,
+            header_end: now + air * HEADER_AIRTIME_FRAC,
+            rate_idx: attempt.rate_idx,
+            use_rts: attempt.use_rts,
+            sig_snr_db,
+            collided: false,
+            first_other_start: f64::INFINITY,
+            max_other_end: f64::NEG_INFINITY,
+        };
+
+        // Interference bookkeeping: a concurrent transmission corrupts a
+        // reception only when the interferer's power at that receiver
+        // leaves less than `capture_sir_db` of margin. RTS-protected
+        // frames reserved the medium and neither corrupt nor get
+        // corrupted (as in the single-cell simulator).
+        if !tx.use_rts {
+            for (i, &o_pos) in tx_pos.iter().enumerate() {
+                let o = self.active[i];
+                if o.use_rts {
+                    continue;
+                }
+                // Does the new transmission corrupt `o` at `o`'s receiver?
+                // Interference buried below the noise floor (mean SNR of
+                // the interferer < 0 dB at the receiver) cannot corrupt
+                // anything the noise wasn't already corrupting.
+                let int_at_o = self.params.snr_between(pos, self.params.aps[o.ap]);
+                if int_at_o >= 0.0 && o.sig_snr_db - int_at_o < self.params.capture_sir_db {
+                    let om = &mut self.active[i];
+                    om.collided = true;
+                    om.first_other_start = om.first_other_start.min(now);
+                    om.max_other_end = om.max_other_end.max(tx.end);
+                    if o.ap != ap {
+                        self.inter_cell_corruptions += 1;
+                    }
+                }
+                // Does `o` corrupt the new transmission at our AP?
+                let int_at_mine = self.params.snr_between(o_pos, ap_pos);
+                if int_at_mine >= 0.0 && tx.sig_snr_db - int_at_mine < self.params.capture_sir_db {
+                    tx.collided = true;
+                    tx.first_other_start = tx.first_other_start.min(o.start);
+                    tx.max_other_end = tx.max_other_end.max(o.end);
+                    if o.ap != ap {
+                        self.inter_cell_corruptions += 1;
+                    }
+                }
+            }
+        }
+
+        self.stations[st].in_flight = true;
+        self.events.schedule(tx.end, Ev::TxEnd { tx: id });
+        self.active.push(tx);
+        self.frames_sent += 1;
+
+        // Audit against the instantaneous analytic oracle.
+        match attempt.rate_idx.cmp(&oracle_rate) {
+            std::cmp::Ordering::Greater => self.audit.overselect += 1,
+            std::cmp::Ordering::Equal => self.audit.accurate += 1,
+            std::cmp::Ordering::Less => self.audit.underselect += 1,
+        }
+    }
+
+    fn on_tx_end(&mut self, tx_id: u64) {
+        let idx = self
+            .active
+            .iter()
+            .position(|t| t.id == tx_id)
+            .expect("unknown tx");
+        let tx = self.active.swap_remove(idx);
+        self.events.schedule(
+            tx.end + SIFS + feedback_airtime(),
+            Ev::Outcome { tx: tx_id },
+        );
+        self.pending.push(tx);
+    }
+
+    fn on_outcome(&mut self, tx_id: u64) {
+        let idx = self
+            .pending
+            .iter()
+            .position(|t| t.id == tx_id)
+            .expect("unknown pending tx");
+        let tx = self.pending.swap_remove(idx);
+        let now = self.events.now();
+        let st = tx.st;
+        let frame_bits = self.cfg.frame_bits();
+        let rate = softrate_phy::rates::PAPER_RATES[tx.rate_idx];
+        let postambles = self.cfg.adapter.postambles();
+
+        // Interference-free fate from the streaming channel (also needed
+        // under collision for the §6.4 interference-free BER feedback).
+        let fate = self.stations[st]
+            .link
+            .fate(tx.sig_snr_db, tx.start, tx.rate_idx, frame_bits);
+
+        let mut outcome = TxOutcome {
+            rate_idx: tx.rate_idx,
+            acked: false,
+            feedback_received: false,
+            ber_feedback: None,
+            interference_flagged: false,
+            postamble_ack: false,
+            snr_feedback_db: None,
+            airtime: attempt_airtime(rate, self.cfg.payload_bytes, postambles, tx.use_rts),
+            now,
+        };
+
+        if tx.collided && !tx.use_rts {
+            self.collisions += 1;
+            let flagged = hash_uniform(&[tx.id, 0x00DE_7EC7, self.cfg.mac_seed])
+                < self.cfg.adapter.detect_prob();
+            let timing = CollisionTiming {
+                start: tx.start,
+                header_end: tx.header_end,
+                end: tx.end,
+                first_other_start: tx.first_other_start,
+                max_other_end: tx.max_other_end,
+            };
+            if apply_collision_feedback(&mut outcome, &timing, &fate, flagged, postambles) {
+                self.silent_losses += 1;
+            }
+        } else if fate.detected && fate.header_ok {
+            outcome.feedback_received = true;
+            outcome.acked = fate.delivered;
+            outcome.ber_feedback = fate.ber_feedback;
+            outcome.snr_feedback_db = fate.snr_feedback_db;
+        } else {
+            self.silent_losses += 1;
+        }
+
+        self.stations[st].adapter.on_outcome(&outcome);
+
+        if outcome.acked {
+            self.frames_delivered += 1;
+            self.stations[st].delivered += 1;
+            self.stations[st].retries = 0;
+            self.stations[st].cw = CW_MIN;
+        } else {
+            let s = &mut self.stations[st];
+            s.retries += 1;
+            if s.retries > MAX_RETRIES {
+                // Frame dropped; the saturated source moves to the next.
+                s.retries = 0;
+                s.cw = CW_MIN;
+            } else {
+                s.cw = (s.cw * 2 + 1).min(CW_MAX);
+            }
+        }
+
+        self.stations[st].in_flight = false;
+        if let Some(to) = self.stations[st].pending_handoff.take() {
+            self.apply_handoff(st, to, now);
+        }
+        // Saturated uplink: there is always a next frame.
+        if !self.stations[st].start_pending {
+            self.schedule_tx_start(st, None);
+        }
+    }
+
+    fn on_roam(&mut self, st: usize) {
+        let Some((hysteresis, interval, _)) = self.params.roaming else {
+            return;
+        };
+        let now = self.events.now();
+        let pos = self.walker_pos(st, now);
+        let cur = self.stations[st].ap;
+        let (best, best_rssi) = self.params.best_ap(pos);
+        let cur_rssi = self.params.snr_between(pos, self.params.aps[cur]);
+        if best != cur && best_rssi >= cur_rssi + hysteresis {
+            if self.stations[st].in_flight {
+                self.stations[st].pending_handoff = Some(best);
+            } else {
+                self.apply_handoff(st, best, now);
+            }
+        }
+        self.events.schedule(now + interval, Ev::Roam { st });
+    }
+
+    fn apply_handoff(&mut self, st: usize, to: usize, now: f64) {
+        let from = self.stations[st].ap;
+        if from == to {
+            return;
+        }
+        let epoch = self.stations[st].epoch + 1;
+        self.stations[st].ap = to;
+        self.stations[st].epoch = epoch;
+        self.stations[st].link = self.make_link(st, to, epoch);
+        if matches!(self.params.roaming, Some((_, _, HandoffPolicy::Reset))) {
+            self.stations[st].adapter = self.make_adapter(st);
+        }
+        self.stations[st].retries = 0;
+        self.stations[st].cw = CW_MIN;
+        self.handoffs += 1;
+        self.handoff_log.push(HandoffRecord {
+            t: now,
+            station: st,
+            from,
+            to,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mobility::MobilitySpec;
+    use crate::spatial::RoamingSpec;
+
+    fn small_spec(cols: usize, spacing: f64, n_stations: usize) -> SpatialSpec {
+        SpatialSpec {
+            ap_cols: cols,
+            ap_rows: 1,
+            ap_spacing_m: spacing,
+            n_stations,
+            snr_ref_db: None,
+            path_loss_exp: None,
+            sense_snr_db: None,
+            capture_sir_db: None,
+            doppler_hz: None,
+            mobility: MobilitySpec::Static,
+            roaming: None,
+        }
+    }
+
+    fn run(cfg: SpatialConfig) -> SpatialReport {
+        SpatialSim::new(cfg).expect("valid spec").run()
+    }
+
+    #[test]
+    fn single_cell_moves_data() {
+        let mut cfg = SpatialConfig::new(AdapterKind::Fixed(2), small_spec(1, 20.0, 3));
+        cfg.duration = 2.0;
+        let r = run(cfg);
+        assert!(r.frames_sent > 100, "sent {}", r.frames_sent);
+        assert!(
+            r.aggregate_goodput_bps > 1e6,
+            "goodput {}",
+            r.aggregate_goodput_bps
+        );
+        assert_eq!(r.handoffs, 0);
+        assert_eq!(r.initial_assoc, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn far_cells_are_independent_collision_domains() {
+        // Two cells 300 m apart: any cross-cell transmitter is >= 150 m
+        // from the foreign AP, which at the default path loss puts its
+        // interference below the noise floor — the domains cannot mix,
+        // while stations near their own AP still deliver.
+        let mut cfg = SpatialConfig::new(AdapterKind::Fixed(0), small_spec(2, 300.0, 24));
+        cfg.duration = 1.5;
+        let r = run(cfg);
+        assert_eq!(r.inter_cell_corruptions, 0, "distant cells must not mix");
+        // Both cells got stations (uniform spawn over a 2-cell strip) and
+        // data moved.
+        let aps: std::collections::HashSet<usize> = r.initial_assoc.iter().copied().collect();
+        assert_eq!(aps.len(), 2, "spawn should cover both cells");
+        assert!(r.frames_delivered > 0);
+    }
+
+    #[test]
+    fn overlapping_cells_interfere() {
+        // APs 12 m apart: heavy overlap. Sensing threshold raised so
+        // cross-cell transmitters are *not* deferred to, forcing actual
+        // concurrent transmissions.
+        let mut spec = small_spec(3, 12.0, 12);
+        spec.sense_snr_db = Some(100.0); // nobody ever defers
+        let mut cfg = SpatialConfig::new(AdapterKind::Fixed(2), spec);
+        cfg.duration = 1.0;
+        let r = run(cfg);
+        assert!(r.collisions > 0, "overlap with no sensing must collide");
+        assert!(r.inter_cell_corruptions > 0);
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let mk = || {
+            let mut spec = small_spec(2, 25.0, 10);
+            spec.mobility = MobilitySpec::RandomWaypoint {
+                speed_mps: 1.5,
+                pause_s: 1.0,
+            };
+            spec.roaming = Some(RoamingSpec {
+                hysteresis_db: 2.0,
+                check_interval_s: None,
+                handoff: HandoffPolicy::Preserve,
+            });
+            let mut cfg = SpatialConfig::new(AdapterKind::SoftRate, spec);
+            cfg.duration = 2.0;
+            cfg
+        };
+        let a = run(mk());
+        let b = run(mk());
+        assert_eq!(a.aggregate_goodput_bps, b.aggregate_goodput_bps);
+        assert_eq!(a.frames_sent, b.frames_sent);
+        assert_eq!(a.handoffs, b.handoffs);
+        assert_eq!(a.handoff_log, b.handoff_log);
+    }
+
+    #[test]
+    fn roaming_walk_hands_off_and_stays_singly_associated() {
+        let mut spec = small_spec(3, 24.0, 6);
+        spec.mobility = MobilitySpec::RandomWaypoint {
+            speed_mps: 12.0, // brisk, to force several cell crossings
+            pause_s: 0.0,
+        };
+        spec.roaming = Some(RoamingSpec {
+            hysteresis_db: 1.0,
+            check_interval_s: Some(0.1),
+            handoff: HandoffPolicy::Preserve,
+        });
+        let mut cfg = SpatialConfig::new(AdapterKind::SoftRate, spec);
+        cfg.duration = 6.0;
+        let r = run(cfg);
+        assert!(r.handoffs > 0, "fast walkers across 3 cells must roam");
+        // Invariant: the handoff log forms a consistent chain per station
+        // (every `from` equals the previous association), which is exactly
+        // the statement that a station is associated to one AP at a time.
+        let mut assoc = r.initial_assoc.clone();
+        for h in &r.handoff_log {
+            assert_eq!(assoc[h.station], h.from, "log out of order");
+            assert_ne!(h.from, h.to);
+            assert!(h.to < 3);
+            assoc[h.station] = h.to;
+        }
+        assert_eq!(r.handoffs as usize, r.handoff_log.len());
+    }
+
+    #[test]
+    fn reset_and_preserve_policies_both_run_and_differ() {
+        // Cells large enough that SNR swings decades between center and
+        // edge: adapter state carried across a handoff is then *wrong*
+        // state, and the two policies must measurably diverge.
+        let mk = |policy| {
+            let mut spec = small_spec(3, 70.0, 6);
+            spec.mobility = MobilitySpec::RandomWaypoint {
+                speed_mps: 12.0,
+                pause_s: 0.0,
+            };
+            spec.roaming = Some(RoamingSpec {
+                hysteresis_db: 1.0,
+                check_interval_s: Some(0.1),
+                handoff: policy,
+            });
+            let mut cfg = SpatialConfig::new(AdapterKind::SoftRate, spec);
+            cfg.duration = 6.0;
+            cfg
+        };
+        let preserve = run(mk(HandoffPolicy::Preserve));
+        let reset = run(mk(HandoffPolicy::Reset));
+        assert!(preserve.handoffs > 0 && reset.handoffs > 0);
+        assert_ne!(
+            (preserve.frames_sent, preserve.frames_delivered),
+            (reset.frames_sent, reset.frames_delivered),
+            "handoff policy must alter rate-adaptation behaviour"
+        );
+    }
+
+    #[test]
+    fn omniscient_tracks_the_oracle_exactly() {
+        let mut cfg = SpatialConfig::new(AdapterKind::Omniscient, small_spec(2, 30.0, 4));
+        cfg.duration = 1.0;
+        let r = run(cfg);
+        let (over, acc, under) = r.audit.fractions();
+        assert_eq!(over, 0.0);
+        assert_eq!(under, 0.0);
+        assert_eq!(acc, 1.0);
+        assert!(r.frames_delivered > 0);
+    }
+
+    #[test]
+    fn softrate_adapts_across_the_cell() {
+        // Over a cell whose SNR spans many rates, SoftRate must clearly
+        // beat the most robust fixed rate and stay within reach of the
+        // omniscient oracle.
+        let mk = |adapter| {
+            let mut cfg = SpatialConfig::new(adapter, small_spec(2, 60.0, 6));
+            cfg.duration = 3.0;
+            cfg
+        };
+        let sr = run(mk(AdapterKind::SoftRate));
+        let slow = run(mk(AdapterKind::Fixed(0)));
+        let omni = run(mk(AdapterKind::Omniscient));
+        assert!(
+            sr.aggregate_goodput_bps > 1.5 * slow.aggregate_goodput_bps,
+            "SoftRate {} vs Fixed-0 {}",
+            sr.aggregate_goodput_bps,
+            slow.aggregate_goodput_bps
+        );
+        assert!(
+            sr.aggregate_goodput_bps > 0.5 * omni.aggregate_goodput_bps,
+            "SoftRate {} vs Omniscient {}",
+            sr.aggregate_goodput_bps,
+            omni.aggregate_goodput_bps
+        );
+    }
+
+    #[test]
+    fn hundred_stations_three_aps_runs_fast_and_streams() {
+        // The acceptance-scale shape: >= 100 stations, >= 3 APs, no trace
+        // materialization (structurally impossible here: SpatialSim never
+        // touches LinkTrace).
+        let mut spec = small_spec(3, 30.0, 120);
+        spec.mobility = MobilitySpec::RandomWaypoint {
+            speed_mps: 1.5,
+            pause_s: 2.0,
+        };
+        spec.roaming = Some(RoamingSpec {
+            hysteresis_db: 3.0,
+            check_interval_s: None,
+            handoff: HandoffPolicy::Preserve,
+        });
+        let mut cfg = SpatialConfig::new(AdapterKind::SoftRate, spec);
+        cfg.duration = 1.0;
+        let r = run(cfg);
+        assert_eq!(r.per_station_goodput_bps.len(), 120);
+        assert!(r.frames_sent > 500, "sent {}", r.frames_sent);
+        assert!(r.events_processed > 1000);
+    }
+}

@@ -39,6 +39,20 @@ pub const BUILTINS: &[(&str, &str)] = &[
     ),
     ("walk-away", include_str!("../scenarios/walk-away.toml")),
     ("campus-mix", include_str!("../scenarios/campus-mix.toml")),
+    // Multi-cell spatial deployments (streaming channels, softrate-net).
+    (
+        "dense-enterprise",
+        include_str!("../scenarios/dense-enterprise.toml"),
+    ),
+    ("cell-edge", include_str!("../scenarios/cell-edge.toml")),
+    (
+        "roaming-walkabout",
+        include_str!("../scenarios/roaming-walkabout.toml"),
+    ),
+    (
+        "vehicular-driveby",
+        include_str!("../scenarios/vehicular-driveby.toml"),
+    ),
 ];
 
 /// Names of every built-in scenario, in catalogue order.
@@ -111,12 +125,55 @@ mod tests {
             .iter()
             .any(|s| matches!(s.direction(), Direction::Download)));
         assert!(specs.iter().any(|s| s.channel.interference.is_some()));
-        assert!(specs.iter().any(|s| s.topology.n_clients >= 3));
+        assert!(specs.iter().any(|s| s.n_clients() >= 3));
         assert!(specs.iter().any(|s| s.carrier_sense_prob() < 1.0));
         assert!(specs.iter().any(|s| s.channel.attenuation.is_some()));
         assert!(specs.iter().any(|s| s.sweep.is_some()));
         assert!(specs
             .iter()
             .all(|s| s.channel.model == ChannelModel::Analytic));
+    }
+
+    #[test]
+    fn spatial_builtins_cover_the_multi_cell_space() {
+        use softrate_net::mobility::MobilitySpec;
+        use softrate_net::spatial::HandoffPolicy;
+        let spatial: Vec<_> = BUILTINS
+            .iter()
+            .map(|(n, _)| get(n).unwrap())
+            .filter(|s| s.topology.spatial.is_some())
+            .collect();
+        assert!(spatial.len() >= 4, "need >= 4 spatial built-ins");
+        let specs: Vec<_> = spatial
+            .iter()
+            .map(|s| s.topology.spatial.clone().unwrap())
+            .collect();
+        // Acceptance scale exists: >= 100 stations on >= 3 APs.
+        assert!(specs
+            .iter()
+            .any(|s| s.n_stations >= 100 && s.ap_cols * s.ap_rows >= 3));
+        // Every mobility model is represented.
+        assert!(specs.iter().any(|s| s.mobility == MobilitySpec::Static));
+        assert!(specs
+            .iter()
+            .any(|s| matches!(s.mobility, MobilitySpec::Linear { .. })));
+        assert!(specs
+            .iter()
+            .any(|s| matches!(s.mobility, MobilitySpec::RandomWaypoint { .. })));
+        // Both handoff policies appear (directly or via a sweep axis).
+        let policies: Vec<HandoffPolicy> = specs
+            .iter()
+            .filter_map(|s| s.roaming.as_ref().map(|r| r.handoff))
+            .collect();
+        assert!(policies.contains(&HandoffPolicy::Reset));
+        let sweeps_handoff = spatial.iter().any(|s| {
+            s.sweep
+                .as_ref()
+                .is_some_and(|sw| sw.0.iter().any(|a| a.param.contains("roaming.handoff")))
+        });
+        assert!(
+            policies.contains(&HandoffPolicy::Preserve) || sweeps_handoff,
+            "Preserve must be exercised somewhere"
+        );
     }
 }

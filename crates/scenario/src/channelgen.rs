@@ -28,27 +28,14 @@ use softrate_trace::schema::{hash_uniform, LinkTrace, TraceEntry};
 
 use crate::spec::{ChannelModel, ChannelSpec, ScenarioSpec};
 
-/// Per-rate minimum SNR (dB) at which a ~100-byte probe is essentially
-/// error-free, calibrated against this workspace's PHY (see
-/// `crates/trace/src/bin/calibrate.rs`): BPSK 1/2, BPSK 3/4, QPSK 1/2,
-/// QPSK 3/4, QAM16 1/2, QAM16 3/4.
-pub const REQUIRED_SNR_DB: [f64; 6] = [4.5, 6.0, 7.5, 10.0, 12.5, 14.0];
+// The closed-form SNR→BER map lives in `softrate_channel::analytic` (the
+// spatial network layer samples it too); re-exported here for the existing
+// callers of this module.
+pub use softrate_channel::analytic::{analytic_ber, REQUIRED_SNR_DB};
+use softrate_channel::analytic::{DETECT_SNR_DB, HEADER_FAIL_BER};
 
 /// Probe payload bits assumed by the analytic model (100 B + CRC-32).
 const PROBE_BITS: usize = 832;
-
-/// Detection threshold in dB (matches `LinkConfig::detect_snr_db`).
-const DETECT_SNR_DB: f64 = -3.0;
-
-/// Closed-form BER at `snr_db` for `rate_idx`: one decade per ~0.67 dB of
-/// margin, anchored at 1e-6 when the margin is zero. Clamped to
-/// `[1e-9, 0.4]`. The anchor makes `REQUIRED_SNR_DB` the lowest SNR at
-/// which a full-size (1440 B) frame is "essentially guaranteed" in the
-/// oracle's sense (success probability > 0.95).
-pub fn analytic_ber(snr_db: f64, rate_idx: usize) -> f64 {
-    let margin = snr_db - REQUIRED_SNR_DB[rate_idx.min(REQUIRED_SNR_DB.len() - 1)];
-    10f64.powf(-(6.0 + 1.5 * margin)).clamp(1e-9, 0.4)
-}
 
 /// Instantaneous SNR of the spec's channel at time `t`, combining the mean
 /// SNR, the attenuation trajectory, the Jakes envelope, and any active
@@ -98,7 +85,7 @@ fn analytic_trace(spec: &ScenarioSpec, name: String, seed: u64) -> LinkTrace {
             if detected {
                 // The link-layer header is short and separately protected;
                 // it survives anything but catastrophic BER.
-                e.header_ok = ber < 0.05;
+                e.header_ok = ber < HEADER_FAIL_BER;
                 e.probe_bits = PROBE_BITS;
                 if e.header_ok {
                     e.true_ber = Some(ber);
@@ -206,9 +193,10 @@ mod tests {
             duration: 1.0,
             seed: 5,
             topology: TopologySpec {
-                n_clients: 1,
+                n_clients: Some(1),
                 carrier_sense_prob: None,
                 queue_cap: None,
+                spatial: None,
             },
             channel,
             traffic: TrafficSpec {

@@ -12,6 +12,8 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize, Value};
 use softrate_adapt::snr::SnrTable;
+use softrate_net::sim::{SpatialConfig, SpatialSim};
+use softrate_net::stream::mix_seed;
 use softrate_sim::config::{AdapterKind, SimConfig, TrafficKind};
 use softrate_sim::netsim::NetSim;
 use softrate_trace::par::par_map_threads;
@@ -73,14 +75,8 @@ pub struct RunResult {
     pub accurate: f64,
     /// Fraction sent below the oracle rate.
     pub underselect: f64,
-}
-
-/// SplitMix64 — stable per-run seed derivation.
-fn mix_seed(a: u64, b: u64) -> u64 {
-    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    /// Completed handoffs (spatial topologies only; 0 otherwise).
+    pub handoffs: u64,
 }
 
 /// Sets `value` at a dotted `path` inside a map-rooted document, creating
@@ -238,7 +234,7 @@ pub fn expand(spec: &ScenarioSpec) -> Result<Vec<RunPlan>, SpecError> {
 /// serve a whole adapter axis from one generation pass.
 fn traces_for(plan: &RunPlan) -> Vec<Arc<LinkTrace>> {
     let channel_seed = mix_seed(plan.spec.seed, 0xC4A2_17CE);
-    (0..2 * plan.spec.topology.n_clients)
+    (0..2 * plan.spec.n_clients())
         .map(|link| build_trace(&plan.spec, channel_seed, link))
         .collect()
 }
@@ -272,14 +268,73 @@ fn resolve_adapter(adapter: &AdapterSpec, traces: &[Arc<LinkTrace>]) -> AdapterK
     }
 }
 
+/// Resolves an [`AdapterSpec`] without traces (spatial topologies): the
+/// SNR/CHARM tables must be explicit, which spec validation guarantees.
+fn resolve_adapter_traceless(adapter: &AdapterSpec) -> AdapterKind {
+    match adapter {
+        AdapterSpec::Snr { table: Some(t) } => AdapterKind::Snr(SnrTable::new(t.clone())),
+        AdapterSpec::Charm { table: Some(t) } => AdapterKind::Charm(SnrTable::new(t.clone())),
+        other => resolve_adapter(other, &[]),
+    }
+}
+
+/// Executes one spatial plan on the streaming multi-cell simulator.
+///
+/// The spatial seed derives from the *spec* seed (not the per-run seed)
+/// for the same reason single-cell traces do: every adapter in a matrix
+/// shares one deployment — station spawns, trajectories, and fading — so
+/// algorithms are compared over identical channel realizations (§6.1).
+fn run_spatial_plan(plan: &RunPlan) -> RunResult {
+    let spec = &plan.spec;
+    let mut spatial = spec
+        .topology
+        .spatial
+        .clone()
+        .expect("spatial plan has a spatial topology");
+    // `channel.snr_db` is the reference SNR at 1 m unless the spatial
+    // table overrides it — one consistent meaning for the field.
+    spatial.snr_ref_db = Some(spatial.snr_ref_db.unwrap_or(spec.channel.snr_db));
+    let mut cfg = SpatialConfig::new(resolve_adapter_traceless(&plan.adapter), spatial);
+    cfg.duration = spec.duration;
+    cfg.seed = mix_seed(spec.seed, 0x5A7A_11CE);
+    cfg.mac_seed = plan.seed;
+    let report = SpatialSim::new(cfg)
+        .expect("validated spatial spec resolves")
+        .run();
+    let (over, accurate, under) = report.audit.fractions();
+    RunResult {
+        scenario: spec.name.clone(),
+        run_idx: plan.run_idx,
+        adapter: plan.adapter.label(),
+        params: plan.params.clone(),
+        seed: plan.seed,
+        duration: spec.duration,
+        goodput_bps: report.aggregate_goodput_bps,
+        per_flow_goodput_bps: report.per_station_goodput_bps,
+        frames_sent: report.frames_sent,
+        frames_delivered: report.frames_delivered,
+        loss_rate: if report.frames_sent == 0 {
+            0.0
+        } else {
+            1.0 - report.frames_delivered as f64 / report.frames_sent as f64
+        },
+        collisions: report.collisions,
+        silent_losses: report.silent_losses,
+        overselect: over,
+        accurate,
+        underselect: under,
+        handoffs: report.handoffs,
+    }
+}
+
 /// Executes one plan.
 pub fn run_plan(plan: &RunPlan) -> RunResult {
+    if plan.spec.topology.spatial.is_some() {
+        return run_spatial_plan(plan);
+    }
     let traces = traces_for(plan);
     let spec = &plan.spec;
-    let mut cfg = SimConfig::new(
-        resolve_adapter(&plan.adapter, &traces),
-        spec.topology.n_clients,
-    );
+    let mut cfg = SimConfig::new(resolve_adapter(&plan.adapter, &traces), spec.n_clients());
     cfg.duration = spec.duration;
     cfg.upload = matches!(spec.direction(), Direction::Upload);
     cfg.carrier_sense_prob = spec.carrier_sense_prob();
@@ -315,6 +370,7 @@ pub fn run_plan(plan: &RunPlan) -> RunResult {
         overselect: over,
         accurate,
         underselect: under,
+        handoffs: 0,
     }
 }
 
@@ -420,9 +476,10 @@ mod tests {
             duration: 0.5,
             seed: 99,
             topology: TopologySpec {
-                n_clients: 1,
+                n_clients: Some(1),
                 carrier_sense_prob: None,
                 queue_cap: None,
+                spatial: None,
             },
             channel: ChannelSpec {
                 model: ChannelModel::Analytic,
@@ -462,8 +519,8 @@ mod tests {
         assert_eq!(plans[4].spec.channel.snr_db, 16.0);
         // Params record the assignment.
         assert_eq!(plans[0].params[0].0, "channel.snr_db");
-        assert_eq!(plans[1].spec.topology.n_clients, 1);
-        assert_eq!(plans[2].spec.topology.n_clients, 2);
+        assert_eq!(plans[1].spec.n_clients(), 1);
+        assert_eq!(plans[2].spec.n_clients(), 2);
         // Expanded points carry no sweep of their own.
         assert!(plans[0].spec.sweep.is_none());
         // Seeds are distinct per run (sort first: dedup is adjacent-only).

@@ -9,6 +9,7 @@
 use serde::{DeError, Deserialize, Serialize, Value};
 use softrate_channel::model::FadingSpec;
 use softrate_channel::pathloss::Attenuation;
+use softrate_net::spatial::SpatialSpec;
 
 use crate::toml;
 
@@ -62,15 +63,26 @@ pub struct ScenarioSpec {
 }
 
 /// Topology parameters.
+///
+/// Two mutually exclusive shapes: the classic single-cell Figure 12
+/// topology (`n_clients` stations around one AP, trace-driven links), or a
+/// multi-cell spatial deployment (`[topology.spatial]`: an AP grid,
+/// mobility, roaming, streaming channels — see
+/// [`softrate_net::spatial::SpatialSpec`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TopologySpec {
-    /// Number of wireless clients (one flow each).
-    pub n_clients: usize,
+    /// Number of wireless clients (one flow each) in the single-cell
+    /// topology; defaults to 1. Must be omitted when `spatial` is set.
+    pub n_clients: Option<usize>,
     /// Probability that one client carrier-senses another's transmission
     /// (1.0 = perfect carrier sense, 0.0 = fully hidden terminals).
+    /// Single-cell only: the spatial topology senses by geometry.
     pub carrier_sense_prob: Option<f64>,
-    /// MAC queue capacity in frames (default 50).
+    /// MAC queue capacity in frames (default 50). Single-cell only.
     pub queue_cap: Option<usize>,
+    /// Multi-cell spatial deployment; routes the run to the streaming
+    /// `softrate-net` simulator instead of the trace-driven one.
+    pub spatial: Option<SpatialSpec>,
 }
 
 /// Traffic parameters.
@@ -283,6 +295,11 @@ impl ScenarioSpec {
         }
     }
 
+    /// Effective client count for the single-cell topology.
+    pub fn n_clients(&self) -> usize {
+        self.topology.n_clients.unwrap_or(1)
+    }
+
     /// Effective carrier-sense probability.
     pub fn carrier_sense_prob(&self) -> f64 {
         self.topology.carrier_sense_prob.unwrap_or(1.0)
@@ -308,12 +325,74 @@ impl ScenarioSpec {
         if !self.duration.is_finite() || self.duration <= 0.0 {
             return fail(format!("duration must be positive, got {}", self.duration));
         }
-        if self.topology.n_clients == 0 {
+        if self.topology.n_clients == Some(0) {
             return fail("topology.n_clients must be >= 1".into());
         }
         let cs = self.carrier_sense_prob();
         if !(0.0..=1.0).contains(&cs) {
             return fail(format!("carrier_sense_prob must be in [0,1], got {cs}"));
+        }
+        if let Some(spatial) = &self.topology.spatial {
+            if let Err(e) = spatial.resolve() {
+                return fail(e.to_string());
+            }
+            if self.topology.n_clients.is_some() {
+                return fail(
+                    "topology.n_clients does not apply to a spatial topology \
+                     (station count is topology.spatial.n_stations)"
+                        .into(),
+                );
+            }
+            if self.topology.carrier_sense_prob.is_some() || self.topology.queue_cap.is_some() {
+                return fail(
+                    "carrier_sense_prob / queue_cap do not apply to a spatial topology \
+                     (sensing is geometric: topology.spatial.sense_snr_db)"
+                        .into(),
+                );
+            }
+            if self.channel.model != ChannelModel::Analytic {
+                return fail(
+                    "a spatial topology streams fates from the analytic model; \
+                     set channel.model = \"Analytic\""
+                        .into(),
+                );
+            }
+            if self.channel.fading != FadingSpec::None {
+                return fail(
+                    "the spatial layer owns small-scale fading (Rayleigh, Doppler from \
+                     mobility or topology.spatial.doppler_hz); set channel.fading = \"None\""
+                        .into(),
+                );
+            }
+            if self.channel.attenuation.is_some() || self.channel.interference.is_some() {
+                return fail(
+                    "channel.attenuation / channel.interference do not apply to a spatial \
+                     topology (path loss comes from geometry, interference from \
+                     concurrent transmissions)"
+                        .into(),
+                );
+            }
+            if self.traffic.kind != TrafficModel::UdpBulk
+                || matches!(self.direction(), Direction::Download)
+            {
+                return fail(
+                    "spatial topologies currently support saturated uplink UDP only \
+                     (traffic.kind = \"UdpBulk\", direction = \"Upload\")"
+                        .into(),
+                );
+            }
+            for adapter in self.adapters() {
+                if matches!(
+                    adapter,
+                    AdapterSpec::Snr { table: None } | AdapterSpec::Charm { table: None }
+                ) {
+                    return fail(
+                        "SNR/CHARM adapters need an explicit `table` in a spatial topology \
+                         (there are no traces to train on)"
+                            .into(),
+                    );
+                }
+            }
         }
         if !self.probe_interval().is_finite() || self.probe_interval() <= 0.0 {
             return fail("probe_interval must be positive".into());
@@ -384,9 +463,10 @@ mod tests {
             duration: 2.0,
             seed: 11,
             topology: TopologySpec {
-                n_clients: 2,
+                n_clients: Some(2),
                 carrier_sense_prob: Some(0.8),
                 queue_cap: None,
+                spatial: None,
             },
             channel: ChannelSpec {
                 model: ChannelModel::Analytic,
@@ -436,7 +516,7 @@ mod tests {
         assert!(s.validate().is_err());
 
         let mut s = demo_spec();
-        s.topology.n_clients = 0;
+        s.topology.n_clients = Some(0);
         assert!(s.validate().is_err());
 
         let mut s = demo_spec();
@@ -468,6 +548,76 @@ mod tests {
         assert_eq!(s.carrier_sense_prob(), 1.0);
         assert_eq!(s.probe_interval(), 0.005);
         assert!(matches!(s.direction(), Direction::Upload));
+        s.topology.n_clients = None;
+        assert_eq!(s.n_clients(), 1);
+    }
+
+    fn spatial_demo() -> ScenarioSpec {
+        use softrate_net::mobility::MobilitySpec;
+        let mut s = demo_spec();
+        s.topology = TopologySpec {
+            n_clients: None,
+            carrier_sense_prob: None,
+            queue_cap: None,
+            spatial: Some(SpatialSpec {
+                ap_cols: 3,
+                ap_rows: 1,
+                ap_spacing_m: 30.0,
+                n_stations: 20,
+                snr_ref_db: None,
+                path_loss_exp: None,
+                sense_snr_db: None,
+                capture_sir_db: None,
+                doppler_hz: None,
+                mobility: MobilitySpec::Static,
+                roaming: None,
+            }),
+        };
+        s.channel.fading = FadingSpec::None;
+        s.channel.attenuation = None;
+        s.traffic.kind = TrafficModel::UdpBulk;
+        s.sweep = None;
+        s.adapters = Some(vec![AdapterSpec::SoftRate]);
+        s
+    }
+
+    #[test]
+    fn spatial_spec_roundtrips_and_validates() {
+        let s = spatial_demo();
+        s.validate().unwrap();
+        let back = ScenarioSpec::from_toml(&s.to_toml()).unwrap();
+        assert_eq!(back, s, "TOML:\n{}", s.to_toml());
+        let back = ScenarioSpec::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn spatial_validation_rejects_single_cell_knobs_and_bad_channels() {
+        let mut s = spatial_demo();
+        s.topology.n_clients = Some(2);
+        assert!(s.validate().is_err(), "n_clients + spatial must clash");
+
+        let mut s = spatial_demo();
+        s.topology.carrier_sense_prob = Some(0.5);
+        assert!(s.validate().is_err());
+
+        let mut s = spatial_demo();
+        s.channel.fading = FadingSpec::Flat { doppler_hz: 40.0 };
+        assert!(s.validate().is_err(), "spatial owns fading");
+
+        let mut s = spatial_demo();
+        s.traffic.kind = TrafficModel::Tcp;
+        assert!(s.validate().is_err(), "spatial is UDP-only for now");
+
+        let mut s = spatial_demo();
+        s.adapters = Some(vec![AdapterSpec::Snr { table: None }]);
+        assert!(s.validate().is_err(), "no traces to train SNR tables on");
+
+        let mut s = spatial_demo();
+        if let Some(sp) = &mut s.topology.spatial {
+            sp.n_stations = 0;
+        }
+        assert!(s.validate().is_err(), "spatial resolve errors must surface");
     }
 
     #[test]

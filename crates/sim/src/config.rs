@@ -72,13 +72,36 @@ impl AdapterKind {
     }
 
     /// Builds one adapter instance for a link whose fates come from
-    /// `trace`.
+    /// `trace` (the omniscient oracle looks its answers up in the trace).
     pub fn build(
         &self,
         trace: &Arc<LinkTrace>,
         frame_bits: usize,
         payload: usize,
         seed: u64,
+    ) -> Box<dyn RateAdapter> {
+        let trace = Arc::clone(trace);
+        self.build_with_oracle(
+            frame_bits,
+            payload,
+            seed,
+            Box::new(move |t| trace.best_rate_at(t, frame_bits)),
+        )
+    }
+
+    /// Builds one adapter instance without a [`LinkTrace`]: the omniscient
+    /// variant consults the injected `time -> best rate` closure instead of
+    /// a trace. The streaming spatial simulator (`softrate-net`) builds its
+    /// adapters through this path because it has no traces; note that its
+    /// oracle depends on sim state (the station's *current* link changes at
+    /// handoff), so it injects the omniscient rate at transmit time and
+    /// passes a dummy closure here.
+    pub fn build_with_oracle(
+        &self,
+        frame_bits: usize,
+        payload: usize,
+        seed: u64,
+        oracle: Box<dyn FnMut(f64) -> usize + Send>,
     ) -> Box<dyn RateAdapter> {
         match self {
             AdapterKind::SoftRate | AdapterKind::SoftRateIdeal | AdapterKind::SoftRateNoDetect => {
@@ -95,11 +118,7 @@ impl AdapterKind {
             AdapterKind::Snr(table) => Box::new(SnrAdapter::rbar(table.clone())),
             AdapterKind::Charm(table) => Box::new(SnrAdapter::charm(table.clone())),
             AdapterKind::Omniscient => {
-                let trace = Arc::clone(trace);
-                Box::new(Omniscient::new(
-                    softrate_trace::recipes::N_RATES,
-                    Box::new(move |t| trace.best_rate_at(t, frame_bits)),
-                ))
+                Box::new(Omniscient::new(softrate_trace::recipes::N_RATES, oracle))
             }
             AdapterKind::Fixed(idx) => {
                 Box::new(FixedRate::new(*idx, softrate_trace::recipes::N_RATES))
@@ -238,6 +257,17 @@ mod tests {
         let mut a = AdapterKind::Omniscient.build(&trace, 1440 * 8, 1440, 0);
         // All rates clean in the dummy trace: oracle picks the top.
         assert_eq!(a.next_attempt(0.0).rate_idx, 5);
+    }
+
+    #[test]
+    fn traceless_build_uses_injected_oracle() {
+        let mut a =
+            AdapterKind::Omniscient.build_with_oracle(1440 * 8, 1440, 0, Box::new(|t| t as usize));
+        assert_eq!(a.next_attempt(2.0).rate_idx, 2);
+        assert_eq!(a.next_attempt(4.0).rate_idx, 4);
+        // Non-oracle kinds ignore the closure entirely.
+        let mut f = AdapterKind::Fixed(1).build_with_oracle(1440 * 8, 1440, 0, Box::new(|_| 5));
+        assert_eq!(f.next_attempt(0.0).rate_idx, 1);
     }
 
     #[test]

@@ -61,6 +61,29 @@ impl<E> EventQueue<E> {
         Self::default()
     }
 
+    /// An empty queue at time zero with room for `capacity` pending events
+    /// before the backing heap reallocates. Large simulations (the
+    /// multi-cell spatial layer keeps a few events in flight per station)
+    /// should size the queue up front: push/pop is the hottest loop at
+    /// scale and reallocation pauses show up directly in events/sec.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            now: 0.0,
+        }
+    }
+
+    /// Reserves room for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Number of pending events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Current simulation time (time of the last popped event).
     pub fn now(&self) -> f64 {
         self.now
@@ -154,5 +177,31 @@ mod tests {
         q.pop();
         q.schedule_in(0.5, "y");
         assert_eq!(q.pop().unwrap().time, 4.5);
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let mut q: EventQueue<u32> = EventQueue::with_capacity(1024);
+        assert!(q.capacity() >= 1024);
+        let cap = q.capacity();
+        for k in 0..1024 {
+            q.schedule(k as f64, k);
+        }
+        assert_eq!(q.capacity(), cap, "no growth within the preallocation");
+        q.reserve(4096);
+        assert!(q.capacity() >= q.len() + 4096);
+    }
+
+    #[test]
+    fn capacity_does_not_change_order() {
+        let mut a: EventQueue<usize> = EventQueue::new();
+        let mut b: EventQueue<usize> = EventQueue::with_capacity(64);
+        for k in [5usize, 1, 3, 1, 2] {
+            a.schedule(k as f64, k);
+            b.schedule(k as f64, k);
+        }
+        let oa: Vec<usize> = std::iter::from_fn(|| a.pop().map(|e| e.event)).collect();
+        let ob: Vec<usize> = std::iter::from_fn(|| b.pop().map(|e| e.event)).collect();
+        assert_eq!(oa, ob);
     }
 }

@@ -1,0 +1,175 @@
+//! The §6.4 collision-feedback semantics, shared by the single-cell
+//! trace-driven simulator ([`crate::netsim`]) and the multi-cell spatial
+//! simulator (`softrate-net`).
+//!
+//! When a frame collides, what the sender learns depends on timing: if the
+//! victim's preamble and header went out before any interferer started,
+//! the receiver locks on and sends feedback — carrying the
+//! interference-free BER when its collision detector flags the overlap,
+//! or a catastrophic BER when it mistakes the damage for noise. If the
+//! header was destroyed, the loss is silent, unless postambles are enabled
+//! and the frame's tail outlived every interferer (a postamble-only ACK,
+//! ideal SoftRate). Keeping this decision in one place is what guarantees
+//! the two simulators cannot drift apart.
+
+use softrate_core::adapter::TxOutcome;
+use softrate_trace::schema::FrameFate;
+
+/// Preamble + header share of a frame's air time (the window interferers
+/// must miss for the receiver to lock on).
+pub const HEADER_AIRTIME_FRAC: f64 = 0.12;
+
+/// Air time of the postamble at the frame's tail: one OFDM symbol.
+pub const POSTAMBLE_TAIL_S: f64 = 8e-6;
+
+/// Timing of a collided transmission relative to its interferers
+/// (absolute seconds).
+#[derive(Debug, Clone, Copy)]
+pub struct CollisionTiming {
+    /// Transmission start.
+    pub start: f64,
+    /// End of the preamble + header window.
+    pub header_end: f64,
+    /// Transmission end.
+    pub end: f64,
+    /// Earliest start among overlapping transmissions.
+    pub first_other_start: f64,
+    /// Latest end among overlapping transmissions.
+    pub max_other_end: f64,
+}
+
+/// Fills in `outcome`'s feedback fields for a collided frame per §6.4.
+/// `flagged` is the (caller-drawn) verdict of the receiver's collision
+/// detector; `fate` is the frame's interference-free fate. Returns `true`
+/// when the attempt was a silent loss (no feedback of any kind).
+pub fn apply_collision_feedback(
+    outcome: &mut TxOutcome,
+    timing: &CollisionTiming,
+    fate: &FrameFate,
+    flagged: bool,
+    postambles: bool,
+) -> bool {
+    let first = timing.start < timing.first_other_start;
+    let header_clean = first && timing.first_other_start > timing.header_end;
+    if header_clean && fate.detected && fate.header_ok {
+        // Feedback frame goes out; did the detector flag the collision?
+        outcome.feedback_received = true;
+        if flagged {
+            outcome.interference_flagged = true;
+            outcome.ber_feedback = fate.ber_feedback.or(Some(1e-6));
+        } else {
+            // Mistaken for a noise loss: report a very high BER.
+            outcome.ber_feedback = Some(0.1);
+        }
+        outcome.snr_feedback_db = fate.snr_feedback_db;
+        false
+    } else {
+        // Receiver never locked on (or header destroyed): silent, unless
+        // the postamble survived past the interference.
+        let tail_clear = timing.end - POSTAMBLE_TAIL_S > timing.max_other_end;
+        if postambles && tail_clear && fate.detected {
+            outcome.postamble_ack = true;
+            outcome.interference_flagged = true;
+            false
+        } else {
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fate(detected: bool, header_ok: bool) -> FrameFate {
+        FrameFate {
+            detected,
+            header_ok,
+            delivered: false,
+            ber_feedback: header_ok.then_some(2e-5),
+            snr_feedback_db: header_ok.then_some(14.0),
+        }
+    }
+
+    fn outcome() -> TxOutcome {
+        TxOutcome {
+            rate_idx: 3,
+            acked: false,
+            feedback_received: false,
+            ber_feedback: None,
+            interference_flagged: false,
+            postamble_ack: false,
+            snr_feedback_db: None,
+            airtime: 1e-3,
+            now: 1.0,
+        }
+    }
+
+    /// Victim started first, interferer arrived after the header.
+    fn header_clean_timing() -> CollisionTiming {
+        CollisionTiming {
+            start: 0.0,
+            header_end: 0.1e-3,
+            end: 1.0e-3,
+            first_other_start: 0.5e-3,
+            max_other_end: 1.5e-3,
+        }
+    }
+
+    #[test]
+    fn flagged_collision_feeds_back_interference_free_ber() {
+        let mut o = outcome();
+        let silent = apply_collision_feedback(
+            &mut o,
+            &header_clean_timing(),
+            &fate(true, true),
+            true,
+            false,
+        );
+        assert!(!silent);
+        assert!(o.feedback_received && o.interference_flagged);
+        assert_eq!(o.ber_feedback, Some(2e-5));
+        assert_eq!(o.snr_feedback_db, Some(14.0));
+    }
+
+    #[test]
+    fn unflagged_collision_reports_catastrophic_ber() {
+        let mut o = outcome();
+        let silent = apply_collision_feedback(
+            &mut o,
+            &header_clean_timing(),
+            &fate(true, true),
+            false,
+            false,
+        );
+        assert!(!silent);
+        assert!(o.feedback_received && !o.interference_flagged);
+        assert_eq!(o.ber_feedback, Some(0.1));
+    }
+
+    #[test]
+    fn destroyed_header_is_silent_without_postambles() {
+        let mut t = header_clean_timing();
+        t.first_other_start = 0.05e-3; // inside the header window
+        let mut o = outcome();
+        assert!(apply_collision_feedback(
+            &mut o,
+            &t,
+            &fate(true, true),
+            true,
+            false
+        ));
+        assert!(!o.feedback_received && !o.postamble_ack);
+    }
+
+    #[test]
+    fn postamble_ack_when_tail_outlives_interference() {
+        let mut t = header_clean_timing();
+        t.first_other_start = 0.05e-3;
+        t.max_other_end = 0.8e-3; // interferer ends before the tail
+        let mut o = outcome();
+        let silent = apply_collision_feedback(&mut o, &t, &fate(true, true), true, true);
+        assert!(!silent);
+        assert!(o.postamble_ack && o.interference_flagged && !o.feedback_received);
+    }
+}

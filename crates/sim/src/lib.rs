@@ -9,6 +9,8 @@
 //! * [`tcp`] — TCP NewReno endpoints (slow start, congestion avoidance,
 //!   fast retransmit/recovery, RTO with Karn + backoff).
 //! * [`config`] — topology + algorithm selection ([`config::AdapterKind`]).
+//! * [`feedback`] — the §6.4 collision-feedback semantics, shared with the
+//!   multi-cell spatial simulator (`softrate-net`).
 //! * [`netsim`] — the Figure 12 simulation: DCF with probabilistic carrier
 //!   sense, trace-driven frame fates, collision semantics with
 //!   SoftRate-style feedback, drop-tail queues, a 50 Mbps / 10 ms wired
@@ -19,6 +21,7 @@
 
 pub mod config;
 pub mod event;
+pub mod feedback;
 pub mod netsim;
 pub mod tcp;
 pub mod timing;

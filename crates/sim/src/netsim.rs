@@ -25,6 +25,7 @@ use softrate_trace::schema::{hash_uniform, LinkTrace};
 
 use crate::config::{SimConfig, TrafficKind};
 use crate::event::EventQueue;
+use crate::feedback::{apply_collision_feedback, CollisionTiming, HEADER_AIRTIME_FRAC};
 use crate::tcp::{TcpReceiver, TcpSender};
 use crate::timing::{
     attempt_airtime, data_airtime, feedback_airtime, rts_cts_overhead, CW_MAX, CW_MIN, DIFS,
@@ -566,7 +567,6 @@ impl NetSim {
         let rts = attempt.use_rts;
         let air = data_airtime(rate, payload_bytes, postamble)
             + if rts { rts_cts_overhead() } else { 0.0 };
-        let header_frac = 0.12; // preamble + header share of the frame
         let id = self.next_tx_id;
         self.next_tx_id += 1;
         l.attempts += 1;
@@ -577,7 +577,7 @@ impl NetSim {
             link,
             start: now,
             end: now + air,
-            header_end: now + air * header_frac,
+            header_end: now + air * HEADER_AIRTIME_FRAC,
             rate_idx: attempt.rate_idx,
             use_rts: rts,
             payload,
@@ -690,32 +690,17 @@ impl NetSim {
 
         if tx.collided && !tx.use_rts {
             self.collisions += 1;
-            let first = tx.start < tx.first_other_start;
-            let header_clean = first && tx.first_other_start > tx.header_end;
-            if header_clean && fate.detected && fate.header_ok {
-                // Feedback frame goes out; does the detector flag the
-                // collision?
-                outcome.feedback_received = true;
-                let flagged = hash_uniform(&[tx.id, 0x00DE_7EC7, self.cfg.seed])
-                    < self.cfg.adapter.detect_prob();
-                if flagged {
-                    outcome.interference_flagged = true;
-                    outcome.ber_feedback = fate.ber_feedback.or(Some(1e-6));
-                } else {
-                    // Mistaken for a noise loss: report a very high BER.
-                    outcome.ber_feedback = Some(0.1);
-                }
-                outcome.snr_feedback_db = fate.snr_feedback_db;
-            } else {
-                // Receiver never locked on (or header destroyed): silent,
-                // unless the postamble survived past the interference.
-                let tail_clear = tx.end - 8e-6 > tx.max_other_end;
-                if postambles && tail_clear && fate.detected {
-                    outcome.postamble_ack = true;
-                    outcome.interference_flagged = true;
-                } else {
-                    self.silent_losses += 1;
-                }
+            let flagged =
+                hash_uniform(&[tx.id, 0x00DE_7EC7, self.cfg.seed]) < self.cfg.adapter.detect_prob();
+            let timing = CollisionTiming {
+                start: tx.start,
+                header_end: tx.header_end,
+                end: tx.end,
+                first_other_start: tx.first_other_start,
+                max_other_end: tx.max_other_end,
+            };
+            if apply_collision_feedback(&mut outcome, &timing, &fate, flagged, postambles) {
+                self.silent_losses += 1;
             }
         } else {
             // Clean medium: the trace decides.

@@ -13,6 +13,8 @@
 //! * [`trace`] — Table 4 workloads and trace-driven channel state.
 //! * [`sim`] — the Figure 12 network simulator (802.11-like MAC + TCP
 //!   NewReno and saturated-UDP traffic).
+//! * [`net`] — the multi-cell spatial layer: AP grids, mobility, roaming,
+//!   and streaming per-link channels that need no precomputed traces.
 //! * [`scenario`] — the declarative scenario engine: TOML/JSON specs,
 //!   parameter sweeps, a built-in scenario library, and a parallel runner
 //!   with deterministic JSON-lines results.
@@ -27,6 +29,7 @@
 pub use softrate_adapt as adapt;
 pub use softrate_channel as channel;
 pub use softrate_core as core;
+pub use softrate_net as net;
 pub use softrate_phy as phy;
 pub use softrate_scenario as scenario;
 pub use softrate_sim as sim;
@@ -37,6 +40,7 @@ pub mod prelude {
     pub use softrate_adapt::prelude::*;
     pub use softrate_channel::prelude::*;
     pub use softrate_core::prelude::*;
+    pub use softrate_net::prelude::*;
     pub use softrate_phy::prelude::*;
     pub use softrate_scenario::prelude::*;
     pub use softrate_sim::prelude::*;

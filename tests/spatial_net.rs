@@ -1,0 +1,136 @@
+//! Integration tests of the multi-cell spatial subsystem through the
+//! facade crate: determinism of the JSONL sink across thread counts at
+//! acceptance scale, handoff invariants, and collision-domain isolation.
+
+use softrate::net::mobility::MobilitySpec;
+use softrate::net::sim::{SpatialConfig, SpatialSim};
+use softrate::net::spatial::{HandoffPolicy, RoamingSpec, SpatialSpec};
+use softrate::scenario::builtin;
+use softrate::scenario::engine::{expand, run_all, to_jsonl};
+use softrate::sim::config::AdapterKind;
+
+/// The acceptance-scale scenario: >= 100 stations, >= 3 APs, streaming
+/// channels only (the spatial path never materializes a `LinkTrace`).
+/// Shortened for test runtime; the station/AP shape is the builtin's.
+fn dense() -> softrate::scenario::spec::ScenarioSpec {
+    let mut spec = builtin::get("dense-enterprise").expect("builtin exists");
+    assert!(spec.topology.spatial.as_ref().unwrap().n_stations >= 100);
+    assert!({
+        let s = spec.topology.spatial.as_ref().unwrap();
+        s.ap_cols * s.ap_rows >= 3
+    });
+    spec.duration = 1.0;
+    spec
+}
+
+#[test]
+fn dense_enterprise_jsonl_is_byte_identical_across_threads_and_repeats() {
+    let plans = expand(&dense()).expect("expands");
+    let a = to_jsonl(&run_all(&plans, Some(1)));
+    let b = to_jsonl(&run_all(&plans, Some(4)));
+    let c = to_jsonl(&run_all(&plans, Some(4)));
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "thread count must not change spatial results");
+    assert_eq!(b, c, "repeat runs must be byte-identical");
+}
+
+#[test]
+fn dense_enterprise_moves_data_at_scale() {
+    let results = run_all(&expand(&dense()).unwrap(), None);
+    for r in &results {
+        assert_eq!(r.per_flow_goodput_bps.len(), 120, "one entry per station");
+        assert!(
+            r.goodput_bps > 10e6,
+            "{}: a 9-cell floor must aggregate > 10 Mbit/s, got {}",
+            r.adapter,
+            r.goodput_bps
+        );
+        assert!(r.frames_sent > 1000);
+    }
+}
+
+#[test]
+fn roaming_walkabout_reports_handoffs_through_the_engine() {
+    let mut spec = builtin::get("roaming-walkabout").expect("builtin exists");
+    spec.duration = 6.0;
+    let results = run_all(&expand(&spec).unwrap(), None);
+    assert_eq!(results.len(), 4, "2 adapters x 2 handoff policies");
+    let total: u64 = results.iter().map(|r| r.handoffs).sum();
+    assert!(total > 0, "walking stations must hand off somewhere");
+    // The handoff sweep axis is recorded in params.
+    assert!(results
+        .iter()
+        .any(|r| r.params.iter().any(|(k, _)| k.contains("handoff"))));
+}
+
+#[test]
+fn handoff_log_proves_single_association_at_all_times() {
+    let spec = SpatialSpec {
+        ap_cols: 3,
+        ap_rows: 1,
+        ap_spacing_m: 30.0,
+        n_stations: 12,
+        snr_ref_db: None,
+        path_loss_exp: None,
+        sense_snr_db: None,
+        capture_sir_db: None,
+        doppler_hz: None,
+        mobility: MobilitySpec::RandomWaypoint {
+            speed_mps: 10.0,
+            pause_s: 0.0,
+        },
+        roaming: Some(RoamingSpec {
+            hysteresis_db: 1.0,
+            check_interval_s: Some(0.1),
+            handoff: HandoffPolicy::Reset,
+        }),
+    };
+    let mut cfg = SpatialConfig::new(AdapterKind::SoftRate, spec);
+    cfg.duration = 5.0;
+    let r = SpatialSim::new(cfg).expect("valid").run();
+    assert_eq!(r.initial_assoc.len(), 12);
+    assert!(r.handoffs > 0, "fast walkers over 3 cells must roam");
+    // Replay the log: every handoff leaves from the station's current AP,
+    // so at every instant each station is associated to exactly one AP.
+    let mut assoc = r.initial_assoc.clone();
+    let mut last_t = 0.0;
+    for h in &r.handoff_log {
+        assert!(h.t >= last_t, "log must be time-ordered");
+        last_t = h.t;
+        assert_eq!(assoc[h.station], h.from, "chain broken for {}", h.station);
+        assert_ne!(h.from, h.to);
+        assert!(h.to < 3);
+        assoc[h.station] = h.to;
+    }
+}
+
+#[test]
+fn non_overlapping_domains_never_exchange_interference() {
+    // 300 m cells: every cross-cell transmitter is >= 150 m from the
+    // foreign AP, below the noise floor at the default path loss.
+    let spec = SpatialSpec {
+        ap_cols: 2,
+        ap_rows: 1,
+        ap_spacing_m: 300.0,
+        n_stations: 30,
+        snr_ref_db: None,
+        path_loss_exp: None,
+        sense_snr_db: None,
+        capture_sir_db: None,
+        doppler_hz: None,
+        mobility: MobilitySpec::Static,
+        roaming: None,
+    };
+    let mut cfg = SpatialConfig::new(AdapterKind::SoftRate, spec);
+    cfg.duration = 2.0;
+    let r = SpatialSim::new(cfg).expect("valid").run();
+    assert_eq!(
+        r.inter_cell_corruptions, 0,
+        "disjoint collision domains must not corrupt each other"
+    );
+    // Every delivery happened inside a domain (structurally: stations only
+    // ever transmit to their associated AP), and both domains were live.
+    let aps: std::collections::HashSet<usize> = r.initial_assoc.iter().copied().collect();
+    assert_eq!(aps.len(), 2);
+    assert!(r.frames_delivered > 0);
+}
