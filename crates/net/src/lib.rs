@@ -14,7 +14,8 @@
 //!   calibrated analytic SNR→BER map, sampled at transmit time.
 //! * [`spatial`] — the `[topology.spatial]` specification and its resolved
 //!   parameters (grid, thresholds, roaming policy).
-//! * [`sim`] — the multi-cell discrete-event simulator: per-BSS DCF,
+//! * [`sim`] — the multi-cell simulator: the shared
+//!   `softrate_sim::mac::MacEngine` configured with a spatial medium —
 //!   physical carrier sense, SIR-based inter-cell interference with the
 //!   §6.4 collision-feedback semantics, and RSSI-threshold handoff with
 //!   adapter state preserved or reset.
@@ -38,7 +39,7 @@ pub mod prelude {
     pub use crate::channel::StreamingLink;
     pub use crate::geometry::{ap_grid, grid_bounds, mean_snr_db, Point, Rect};
     pub use crate::mobility::{MobilitySpec, MobilityWalker};
-    pub use crate::sim::{HandoffRecord, SpatialConfig, SpatialReport, SpatialSim};
+    pub use crate::sim::{SpatialConfig, SpatialSim};
     pub use crate::spatial::{HandoffPolicy, RoamingSpec, SpatialParams, SpatialSpec};
     pub use crate::stream::{mix_seed, SplitMix64};
 }

@@ -2,9 +2,9 @@
 //!
 //! N stations spread over a grid of APs, each saturated with uplink UDP
 //! traffic toward its associated AP. Every BSS runs the same 802.11-like
-//! DCF as the single-cell simulator (`softrate_sim::netsim`): DIFS plus
-//! binary-exponential backoff, a base-rate feedback window after SIFS, and
-//! a retry limit. What is new here:
+//! DCF as the single-cell simulator — literally: the backoff/feedback
+//! state machine is the shared [`MacEngine`](softrate_sim::mac::MacEngine);
+//! this module contributes [`SpatialMedium`], the environment where:
 //!
 //! * **Geometry decides everything.** Carrier sense is physical (a station
 //!   defers when another transmitter is audible above a mean-SNR
@@ -15,34 +15,27 @@
 //!   threshold — co-channel interference between overlapping cells, and
 //!   clean parallel operation between distant ones.
 //! * **Streaming channels.** Frame fates are drawn at transmit time from
-//!   per-link [`StreamingLink`]s (Jakes fading + the calibrated analytic
-//!   SNR→BER map + a per-link SplitMix64 coin stream). No `LinkTrace` is
-//!   ever materialized, so memory stays O(stations) regardless of
-//!   duration.
+//!   per-link [`StreamingLink`]s (Jakes fading + analytic SNR→BER + a
+//!   SplitMix64 fate stream). No `LinkTrace` is ever materialized, so
+//!   memory stays O(stations) regardless of duration.
 //! * **Roaming.** Stations periodically re-evaluate mean RSSI and hand off
 //!   to a stronger AP past a hysteresis, with the rate adapter's learned
 //!   state either preserved or reset across the handoff (both policies are
 //!   first-class, so their cost can be measured).
 //!
 //! The collision *feedback* semantics reproduce §6.4 exactly as the
-//! single-cell simulator does: a flagged collision feeds back the
-//! interference-free BER, an unflagged one a catastrophic BER, a destroyed
-//! header nothing at all (except a postamble-only ACK in ideal mode).
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//! single-cell simulator does — structurally, because both run the same
+//! engine over `softrate_sim::feedback`.
 
 use softrate_channel::analytic::best_rate_for_snr;
-use softrate_core::adapter::{RateAdapter, TxOutcome};
+use softrate_core::adapter::{RateAdapter, TxAttempt};
 use softrate_sim::config::AdapterKind;
-use softrate_sim::event::EventQueue;
-use softrate_sim::feedback::{apply_collision_feedback, CollisionTiming, HEADER_AIRTIME_FRAC};
-use softrate_sim::netsim::RateAudit;
-use softrate_sim::timing::{
-    attempt_airtime, data_airtime, feedback_airtime, rts_cts_overhead, CW_MAX, CW_MIN, DIFS,
-    IP_TCP_HEADER, MAX_RETRIES, SIFS, SLOT,
+use softrate_sim::mac::{
+    ActiveTx, AttemptInfo, HandoffRecord, MacCore, MacEngine, MacEv, MacParams, Medium, Port,
+    RunReport,
 };
-use softrate_trace::schema::hash_uniform;
+use softrate_sim::timing::IP_TCP_HEADER;
+use softrate_trace::schema::FrameFate;
 
 use crate::channel::StreamingLink;
 use crate::geometry::Point;
@@ -91,65 +84,8 @@ impl SpatialConfig {
     }
 }
 
-/// One recorded handoff.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct HandoffRecord {
-    /// When, seconds.
-    pub t: f64,
-    /// Which station.
-    pub station: usize,
-    /// AP roamed away from.
-    pub from: usize,
-    /// AP roamed to.
-    pub to: usize,
-}
-
-/// Results of one spatial run.
-#[derive(Debug, Clone)]
-pub struct SpatialReport {
-    /// Algorithm under test.
-    pub adapter_name: String,
-    /// Sum of per-station goodputs, bit/s.
-    pub aggregate_goodput_bps: f64,
-    /// Per-station goodput, bit/s (useful payload, headers excluded).
-    pub per_station_goodput_bps: Vec<f64>,
-    /// Data frames transmitted on the air.
-    pub frames_sent: u64,
-    /// Data frames delivered intact.
-    pub frames_delivered: u64,
-    /// Frames corrupted by concurrent transmissions.
-    pub collisions: u64,
-    /// Attempts that produced no feedback at all.
-    pub silent_losses: u64,
-    /// Corruption events whose interferer belonged to a different BSS than
-    /// the victim receiver (co-channel inter-cell interference).
-    pub inter_cell_corruptions: u64,
-    /// Completed handoffs.
-    pub handoffs: u64,
-    /// Rate-selection accuracy vs the instantaneous analytic oracle.
-    pub audit: RateAudit,
-    /// Initial association (station -> AP) chosen by strongest RSSI.
-    pub initial_assoc: Vec<usize>,
-    /// Every handoff, in order.
-    pub handoff_log: Vec<HandoffRecord>,
-    /// Events processed by the discrete-event loop.
-    pub events_processed: u64,
-}
-
-/// Simulator events.
-#[derive(Debug, Clone, Copy)]
-enum Ev {
-    /// A station's backoff expired: try to transmit.
-    TxStart { st: usize },
-    /// A transmission's air time ended.
-    TxEnd { tx: u64 },
-    /// Feedback window closed: resolve the attempt at the sender.
-    Outcome { tx: u64 },
-    /// Periodic association re-evaluation.
-    Roam { st: usize },
-}
-
-/// One station and its current uplink.
+/// One station's medium-side state (the rate adapter and retry/CW state
+/// live in the engine's matching [`Port`]).
 struct Station {
     /// Associated AP.
     ap: usize,
@@ -157,114 +93,54 @@ struct Station {
     epoch: u64,
     /// Streaming channel to the current AP.
     link: StreamingLink,
-    /// Rate adapter for the uplink.
-    adapter: Box<dyn RateAdapter>,
-    retries: u32,
-    cw: u32,
-    attempts: u64,
-    /// A transmission is on the air or awaiting its outcome.
-    in_flight: bool,
-    /// A TxStart event is already scheduled.
-    start_pending: bool,
     /// Handoff decided while a frame was in flight; applied at outcome.
     pending_handoff: Option<usize>,
     delivered: u64,
 }
 
-/// An in-flight transmission.
+/// Per-attempt data: the receiver AP and the mean signal SNR at start.
 #[derive(Debug, Clone, Copy)]
-struct ActiveTx {
-    id: u64,
-    st: usize,
+struct SpatialTx {
+    /// Receiver AP.
     ap: usize,
-    start: f64,
-    end: f64,
-    header_end: f64,
-    rate_idx: usize,
-    use_rts: bool,
     /// Mean (path-loss only) signal SNR at the receiver at start, dB.
     sig_snr_db: f64,
-    collided: bool,
-    first_other_start: f64,
-    max_other_end: f64,
 }
 
-/// The multi-cell simulator.
-pub struct SpatialSim {
+/// Medium-specific events: periodic association re-evaluation.
+#[derive(Debug, Clone, Copy)]
+struct Roam {
+    st: usize,
+}
+
+type Core = MacCore<Roam, SpatialTx>;
+
+/// Position of station `s` at time `t` via its resumable walker
+/// (identical to `params.station_pos`, amortized O(1) per query).
+fn walker_pos(walkers: &mut [MobilityWalker], params: &SpatialParams, s: usize, t: f64) -> Point {
+    walkers[s].position(&params.mobility, &params.bounds, t)
+}
+
+/// The multi-cell geometric environment with streaming channels.
+struct SpatialMedium {
     cfg: SpatialConfig,
     params: SpatialParams,
-    events: EventQueue<Ev>,
     stations: Vec<Station>,
     /// Per-station resumable mobility cursors (amortized O(1) positions).
     walkers: Vec<MobilityWalker>,
-    active: Vec<ActiveTx>,
-    pending: Vec<ActiveTx>,
-    next_tx_id: u64,
-    rng: SmallRng,
+    /// Scratch: the sensing station's position this TxStart.
+    sense_pos: Point,
+    /// Scratch: positions of every active transmitter this TxStart
+    /// (computed once by `carrier_sense`, reused by `mark_collisions`).
+    tx_pos: Vec<Point>,
     // statistics
-    frames_sent: u64,
-    frames_delivered: u64,
-    collisions: u64,
-    silent_losses: u64,
     inter_cell_corruptions: u64,
     handoffs: u64,
-    audit: RateAudit,
     initial_assoc: Vec<usize>,
     handoff_log: Vec<HandoffRecord>,
-    events_processed: u64,
 }
 
-impl SpatialSim {
-    /// Builds the deployment: lays out the grid, spawns stations, and
-    /// associates each with its strongest AP.
-    pub fn new(cfg: SpatialConfig) -> Result<Self, crate::spatial::SpatialError> {
-        let params = cfg.spatial.resolve()?;
-        let walkers = (0..params.n_stations)
-            .map(|s| MobilityWalker::new(params.station_seed(cfg.seed, s)))
-            .collect();
-        let mut sim = SpatialSim {
-            events: EventQueue::with_capacity(params.n_stations * 8),
-            stations: Vec::with_capacity(params.n_stations),
-            walkers,
-            active: Vec::new(),
-            pending: Vec::new(),
-            next_tx_id: 1,
-            rng: SmallRng::seed_from_u64(cfg.mac_seed ^ 0x4E45_5453_5041),
-            frames_sent: 0,
-            frames_delivered: 0,
-            collisions: 0,
-            silent_losses: 0,
-            inter_cell_corruptions: 0,
-            handoffs: 0,
-            audit: RateAudit::default(),
-            initial_assoc: Vec::with_capacity(params.n_stations),
-            handoff_log: Vec::new(),
-            events_processed: 0,
-            params,
-            cfg,
-        };
-        for s in 0..sim.params.n_stations {
-            let pos = sim.params.station_pos(sim.cfg.seed, s, 0.0);
-            let (ap, _) = sim.params.best_ap(pos);
-            sim.initial_assoc.push(ap);
-            let station = Station {
-                ap,
-                epoch: 0,
-                link: sim.make_link(s, ap, 0),
-                adapter: sim.make_adapter(s),
-                retries: 0,
-                cw: CW_MIN,
-                attempts: 0,
-                in_flight: false,
-                start_pending: false,
-                pending_handoff: None,
-                delivered: 0,
-            };
-            sim.stations.push(station);
-        }
-        Ok(sim)
-    }
-
+impl SpatialMedium {
     /// The link's fading process is keyed by its endpoints only (a
     /// physical field between two places); the fate stream additionally by
     /// the association epoch, so re-associating never replays coin flips.
@@ -275,8 +151,8 @@ impl SpatialSim {
 
     fn make_adapter(&self, st: usize) -> Box<dyn RateAdapter> {
         // The omniscient oracle needs the station's *current* link, which
-        // changes at handoff; the simulator injects the rate at TxStart
-        // instead (see `on_tx_start`), so the closure here is never the
+        // changes at handoff; the medium injects the rate at transmit time
+        // instead (see `begin_attempt`), so the closure here is never the
         // source of truth.
         self.cfg.adapter.build_with_oracle(
             self.cfg.frame_bits(),
@@ -286,312 +162,7 @@ impl SpatialSim {
         )
     }
 
-    /// Position of station `s` at time `t` via its resumable walker
-    /// (identical to `params.station_pos`, amortized O(1) per query).
-    fn walker_pos(&mut self, s: usize, t: f64) -> Point {
-        self.walkers[s].position(&self.params.mobility, &self.params.bounds, t)
-    }
-
-    /// Runs to `cfg.duration` and reports.
-    pub fn run(mut self) -> SpatialReport {
-        let n = self.params.n_stations;
-        for s in 0..n {
-            // Slight stagger so the whole floor doesn't draw backoff at the
-            // exact same instant.
-            self.schedule_tx_start(s, Some(s as f64 * 2e-4));
-        }
-        if let Some((_, interval, _)) = self.params.roaming {
-            for s in 0..n {
-                let first = interval * (1.0 + s as f64 / n as f64);
-                self.events.schedule(first, Ev::Roam { st: s });
-            }
-        }
-
-        while let Some(ev) = self.events.pop() {
-            if ev.time > self.cfg.duration {
-                break;
-            }
-            self.events_processed += 1;
-            match ev.event {
-                Ev::TxStart { st } => self.on_tx_start(st),
-                Ev::TxEnd { tx } => self.on_tx_end(tx),
-                Ev::Outcome { tx } => self.on_outcome(tx),
-                Ev::Roam { st } => self.on_roam(st),
-            }
-        }
-
-        let useful_bits = (self.cfg.payload_bytes - IP_TCP_HEADER) as f64 * 8.0;
-        let per_station: Vec<f64> = self
-            .stations
-            .iter()
-            .map(|s| s.delivered as f64 * useful_bits / self.cfg.duration)
-            .collect();
-        SpatialReport {
-            adapter_name: self.cfg.adapter.name().to_string(),
-            aggregate_goodput_bps: per_station.iter().sum(),
-            per_station_goodput_bps: per_station,
-            frames_sent: self.frames_sent,
-            frames_delivered: self.frames_delivered,
-            collisions: self.collisions,
-            silent_losses: self.silent_losses,
-            inter_cell_corruptions: self.inter_cell_corruptions,
-            handoffs: self.handoffs,
-            audit: self.audit,
-            initial_assoc: self.initial_assoc,
-            handoff_log: self.handoff_log,
-            events_processed: self.events_processed,
-        }
-    }
-
-    /// Schedules the station's next channel-access attempt after DIFS plus
-    /// a backoff drawn from its contention window.
-    fn schedule_tx_start(&mut self, st: usize, after: Option<f64>) {
-        let cw = self.stations[st].cw;
-        let slots = self.rng.gen_range(0..=cw) as f64;
-        let at = after.unwrap_or(self.events.now()) + DIFS + slots * SLOT;
-        self.stations[st].start_pending = true;
-        self.events.schedule(at, Ev::TxStart { st });
-    }
-
-    fn on_tx_start(&mut self, st: usize) {
-        self.stations[st].start_pending = false;
-        if self.stations[st].in_flight {
-            return;
-        }
-        let now = self.events.now();
-        let pos = self.walker_pos(st, now);
-
-        // Positions of every active transmitter, computed once and shared
-        // by the carrier-sense and interference passes below.
-        let mut tx_pos = Vec::with_capacity(self.active.len());
-        for i in 0..self.active.len() {
-            let s = self.active[i].st;
-            tx_pos.push(self.walker_pos(s, now));
-        }
-
-        // Physical carrier sense: defer while any foreign transmitter is
-        // audible above the sensing threshold.
-        let mut sensed_until: Option<f64> = None;
-        for (tx, &tpos) in self.active.iter().zip(&tx_pos) {
-            if tx.st == st {
-                continue;
-            }
-            if self.params.snr_between(tpos, pos) >= self.params.sense_snr_db {
-                sensed_until = Some(sensed_until.map_or(tx.end, |u: f64| u.max(tx.end)));
-            }
-        }
-        if let Some(until) = sensed_until {
-            self.schedule_tx_start(st, Some(until));
-            return;
-        }
-
-        // Transmit toward the associated AP.
-        let ap = self.stations[st].ap;
-        let ap_pos = self.params.aps[ap];
-        let sig_snr_db = self.params.snr_between(pos, ap_pos);
-        let mut attempt = self.stations[st].adapter.next_attempt(now);
-        let oracle_rate = best_rate_for_snr(
-            self.stations[st].link.snr_db(sig_snr_db, now),
-            self.cfg.frame_bits(),
-        );
-        if matches!(self.cfg.adapter, AdapterKind::Omniscient) {
-            attempt.rate_idx = oracle_rate;
-        }
-        let rate = softrate_phy::rates::PAPER_RATES[attempt.rate_idx];
-        let postamble = self.cfg.adapter.postambles();
-        let air = data_airtime(rate, self.cfg.payload_bytes, postamble)
-            + if attempt.use_rts {
-                rts_cts_overhead()
-            } else {
-                0.0
-            };
-        let id = self.next_tx_id;
-        self.next_tx_id += 1;
-        self.stations[st].attempts += 1;
-
-        let mut tx = ActiveTx {
-            id,
-            st,
-            ap,
-            start: now,
-            end: now + air,
-            header_end: now + air * HEADER_AIRTIME_FRAC,
-            rate_idx: attempt.rate_idx,
-            use_rts: attempt.use_rts,
-            sig_snr_db,
-            collided: false,
-            first_other_start: f64::INFINITY,
-            max_other_end: f64::NEG_INFINITY,
-        };
-
-        // Interference bookkeeping: a concurrent transmission corrupts a
-        // reception only when the interferer's power at that receiver
-        // leaves less than `capture_sir_db` of margin. RTS-protected
-        // frames reserved the medium and neither corrupt nor get
-        // corrupted (as in the single-cell simulator).
-        if !tx.use_rts {
-            for (i, &o_pos) in tx_pos.iter().enumerate() {
-                let o = self.active[i];
-                if o.use_rts {
-                    continue;
-                }
-                // Does the new transmission corrupt `o` at `o`'s receiver?
-                // Interference buried below the noise floor (mean SNR of
-                // the interferer < 0 dB at the receiver) cannot corrupt
-                // anything the noise wasn't already corrupting.
-                let int_at_o = self.params.snr_between(pos, self.params.aps[o.ap]);
-                if int_at_o >= 0.0 && o.sig_snr_db - int_at_o < self.params.capture_sir_db {
-                    let om = &mut self.active[i];
-                    om.collided = true;
-                    om.first_other_start = om.first_other_start.min(now);
-                    om.max_other_end = om.max_other_end.max(tx.end);
-                    if o.ap != ap {
-                        self.inter_cell_corruptions += 1;
-                    }
-                }
-                // Does `o` corrupt the new transmission at our AP?
-                let int_at_mine = self.params.snr_between(o_pos, ap_pos);
-                if int_at_mine >= 0.0 && tx.sig_snr_db - int_at_mine < self.params.capture_sir_db {
-                    tx.collided = true;
-                    tx.first_other_start = tx.first_other_start.min(o.start);
-                    tx.max_other_end = tx.max_other_end.max(o.end);
-                    if o.ap != ap {
-                        self.inter_cell_corruptions += 1;
-                    }
-                }
-            }
-        }
-
-        self.stations[st].in_flight = true;
-        self.events.schedule(tx.end, Ev::TxEnd { tx: id });
-        self.active.push(tx);
-        self.frames_sent += 1;
-
-        // Audit against the instantaneous analytic oracle.
-        match attempt.rate_idx.cmp(&oracle_rate) {
-            std::cmp::Ordering::Greater => self.audit.overselect += 1,
-            std::cmp::Ordering::Equal => self.audit.accurate += 1,
-            std::cmp::Ordering::Less => self.audit.underselect += 1,
-        }
-    }
-
-    fn on_tx_end(&mut self, tx_id: u64) {
-        let idx = self
-            .active
-            .iter()
-            .position(|t| t.id == tx_id)
-            .expect("unknown tx");
-        let tx = self.active.swap_remove(idx);
-        self.events.schedule(
-            tx.end + SIFS + feedback_airtime(),
-            Ev::Outcome { tx: tx_id },
-        );
-        self.pending.push(tx);
-    }
-
-    fn on_outcome(&mut self, tx_id: u64) {
-        let idx = self
-            .pending
-            .iter()
-            .position(|t| t.id == tx_id)
-            .expect("unknown pending tx");
-        let tx = self.pending.swap_remove(idx);
-        let now = self.events.now();
-        let st = tx.st;
-        let frame_bits = self.cfg.frame_bits();
-        let rate = softrate_phy::rates::PAPER_RATES[tx.rate_idx];
-        let postambles = self.cfg.adapter.postambles();
-
-        // Interference-free fate from the streaming channel (also needed
-        // under collision for the §6.4 interference-free BER feedback).
-        let fate = self.stations[st]
-            .link
-            .fate(tx.sig_snr_db, tx.start, tx.rate_idx, frame_bits);
-
-        let mut outcome = TxOutcome {
-            rate_idx: tx.rate_idx,
-            acked: false,
-            feedback_received: false,
-            ber_feedback: None,
-            interference_flagged: false,
-            postamble_ack: false,
-            snr_feedback_db: None,
-            airtime: attempt_airtime(rate, self.cfg.payload_bytes, postambles, tx.use_rts),
-            now,
-        };
-
-        if tx.collided && !tx.use_rts {
-            self.collisions += 1;
-            let flagged = hash_uniform(&[tx.id, 0x00DE_7EC7, self.cfg.mac_seed])
-                < self.cfg.adapter.detect_prob();
-            let timing = CollisionTiming {
-                start: tx.start,
-                header_end: tx.header_end,
-                end: tx.end,
-                first_other_start: tx.first_other_start,
-                max_other_end: tx.max_other_end,
-            };
-            if apply_collision_feedback(&mut outcome, &timing, &fate, flagged, postambles) {
-                self.silent_losses += 1;
-            }
-        } else if fate.detected && fate.header_ok {
-            outcome.feedback_received = true;
-            outcome.acked = fate.delivered;
-            outcome.ber_feedback = fate.ber_feedback;
-            outcome.snr_feedback_db = fate.snr_feedback_db;
-        } else {
-            self.silent_losses += 1;
-        }
-
-        self.stations[st].adapter.on_outcome(&outcome);
-
-        if outcome.acked {
-            self.frames_delivered += 1;
-            self.stations[st].delivered += 1;
-            self.stations[st].retries = 0;
-            self.stations[st].cw = CW_MIN;
-        } else {
-            let s = &mut self.stations[st];
-            s.retries += 1;
-            if s.retries > MAX_RETRIES {
-                // Frame dropped; the saturated source moves to the next.
-                s.retries = 0;
-                s.cw = CW_MIN;
-            } else {
-                s.cw = (s.cw * 2 + 1).min(CW_MAX);
-            }
-        }
-
-        self.stations[st].in_flight = false;
-        if let Some(to) = self.stations[st].pending_handoff.take() {
-            self.apply_handoff(st, to, now);
-        }
-        // Saturated uplink: there is always a next frame.
-        if !self.stations[st].start_pending {
-            self.schedule_tx_start(st, None);
-        }
-    }
-
-    fn on_roam(&mut self, st: usize) {
-        let Some((hysteresis, interval, _)) = self.params.roaming else {
-            return;
-        };
-        let now = self.events.now();
-        let pos = self.walker_pos(st, now);
-        let cur = self.stations[st].ap;
-        let (best, best_rssi) = self.params.best_ap(pos);
-        let cur_rssi = self.params.snr_between(pos, self.params.aps[cur]);
-        if best != cur && best_rssi >= cur_rssi + hysteresis {
-            if self.stations[st].in_flight {
-                self.stations[st].pending_handoff = Some(best);
-            } else {
-                self.apply_handoff(st, best, now);
-            }
-        }
-        self.events.schedule(now + interval, Ev::Roam { st });
-    }
-
-    fn apply_handoff(&mut self, st: usize, to: usize, now: f64) {
+    fn apply_handoff(&mut self, core: &mut Core, st: usize, to: usize, now: f64) {
         let from = self.stations[st].ap;
         if from == to {
             return;
@@ -601,10 +172,10 @@ impl SpatialSim {
         self.stations[st].epoch = epoch;
         self.stations[st].link = self.make_link(st, to, epoch);
         if matches!(self.params.roaming, Some((_, _, HandoffPolicy::Reset))) {
-            self.stations[st].adapter = self.make_adapter(st);
+            core.ports[st].adapter = self.make_adapter(st);
         }
-        self.stations[st].retries = 0;
-        self.stations[st].cw = CW_MIN;
+        core.ports[st].retries = 0;
+        core.ports[st].cw = softrate_sim::timing::CW_MIN;
         self.handoffs += 1;
         self.handoff_log.push(HandoffRecord {
             t: now,
@@ -612,6 +183,273 @@ impl SpatialSim {
             from,
             to,
         });
+    }
+}
+
+impl Medium for SpatialMedium {
+    type Event = Roam;
+    type TxInfo = SpatialTx;
+
+    fn kickoff(&mut self, core: &mut Core) {
+        let n = self.params.n_stations;
+        for s in 0..n {
+            // Slight stagger so the whole floor doesn't draw backoff at the
+            // exact same instant.
+            let cw = core.ports[s].cw;
+            core.schedule_tx_start(s, Some(s as f64 * 2e-4), cw);
+        }
+        if let Some((_, interval, _)) = self.params.roaming {
+            for s in 0..n {
+                let first = interval * (1.0 + s as f64 / n as f64);
+                core.events.schedule(first, MacEv::Medium(Roam { st: s }));
+            }
+        }
+    }
+
+    /// Saturated uplink: every station always has a frame for its AP.
+    fn pick_port(&mut self, st: usize) -> Option<usize> {
+        Some(st)
+    }
+
+    /// Physical carrier sense: defer while any foreign transmitter is
+    /// audible above the sensing threshold.
+    fn carrier_sense(&mut self, core: &Core, st: usize) -> Option<f64> {
+        let now = core.now();
+        self.sense_pos = walker_pos(&mut self.walkers, &self.params, st, now);
+
+        // Positions of every active transmitter, computed once and shared
+        // with the interference pass in `mark_collisions`.
+        self.tx_pos.clear();
+        for i in 0..core.active.len() {
+            let s = core.active[i].sender;
+            let p = walker_pos(&mut self.walkers, &self.params, s, now);
+            self.tx_pos.push(p);
+        }
+
+        let mut sensed_until: Option<f64> = None;
+        for (tx, &tpos) in core.active.iter().zip(&self.tx_pos) {
+            if tx.sender == st {
+                continue;
+            }
+            if self.params.snr_between(tpos, self.sense_pos) >= self.params.sense_snr_db {
+                sensed_until = Some(sensed_until.map_or(tx.end, |u: f64| u.max(tx.end)));
+            }
+        }
+        sensed_until
+    }
+
+    fn begin_attempt(
+        &mut self,
+        st: usize,
+        _port: usize,
+        now: f64,
+        attempt: &mut TxAttempt,
+    ) -> AttemptInfo<SpatialTx> {
+        // Transmit toward the associated AP from the position the sensing
+        // pass just computed.
+        let ap = self.stations[st].ap;
+        let ap_pos = self.params.aps[ap];
+        let sig_snr_db = self.params.snr_between(self.sense_pos, ap_pos);
+        let oracle_rate = best_rate_for_snr(
+            self.stations[st].link.snr_db(sig_snr_db, now),
+            self.cfg.frame_bits(),
+        );
+        if matches!(self.cfg.adapter, AdapterKind::Omniscient) {
+            attempt.rate_idx = oracle_rate;
+        }
+        AttemptInfo {
+            payload_bytes: self.cfg.payload_bytes,
+            counts_as_data: true,
+            // Audit against the instantaneous analytic oracle.
+            audit_best: Some(oracle_rate),
+            timeline: false,
+            info: SpatialTx { ap, sig_snr_db },
+        }
+    }
+
+    /// Interference bookkeeping: a concurrent transmission corrupts a
+    /// reception only when the interferer's power at that receiver leaves
+    /// less than `capture_sir_db` of margin. RTS-protected frames reserved
+    /// the medium and neither corrupt nor get corrupted (as in the
+    /// single-cell medium).
+    fn mark_collisions(
+        &mut self,
+        tx: &mut ActiveTx<SpatialTx>,
+        active: &mut [ActiveTx<SpatialTx>],
+    ) {
+        if tx.use_rts {
+            return;
+        }
+        let ap_pos = self.params.aps[tx.info.ap];
+        for (i, &o_pos) in self.tx_pos.iter().enumerate() {
+            let o = active[i];
+            if o.use_rts {
+                continue;
+            }
+            // Does the new transmission corrupt `o` at `o`'s receiver?
+            // Interference buried below the noise floor (mean SNR of the
+            // interferer < 0 dB at the receiver) cannot corrupt anything
+            // the noise wasn't already corrupting.
+            let int_at_o = self
+                .params
+                .snr_between(self.sense_pos, self.params.aps[o.info.ap]);
+            if int_at_o >= 0.0 && o.info.sig_snr_db - int_at_o < self.params.capture_sir_db {
+                let om = &mut active[i];
+                om.collided = true;
+                om.first_other_start = om.first_other_start.min(tx.start);
+                om.max_other_end = om.max_other_end.max(tx.end);
+                if o.info.ap != tx.info.ap {
+                    self.inter_cell_corruptions += 1;
+                }
+            }
+            // Does `o` corrupt the new transmission at our AP?
+            let int_at_mine = self.params.snr_between(o_pos, ap_pos);
+            if int_at_mine >= 0.0 && tx.info.sig_snr_db - int_at_mine < self.params.capture_sir_db {
+                tx.collided = true;
+                tx.first_other_start = tx.first_other_start.min(o.start);
+                tx.max_other_end = tx.max_other_end.max(o.end);
+                if o.info.ap != tx.info.ap {
+                    self.inter_cell_corruptions += 1;
+                }
+            }
+        }
+    }
+
+    /// Interference-free fate from the streaming channel.
+    fn fate(&mut self, tx: &ActiveTx<SpatialTx>) -> FrameFate {
+        self.stations[tx.sender].link.fate(
+            tx.info.sig_snr_db,
+            tx.start,
+            tx.rate_idx,
+            tx.payload_bytes * 8,
+        )
+    }
+
+    fn on_acked(&mut self, core: &mut Core, tx: &ActiveTx<SpatialTx>) {
+        core.stats.frames_delivered += 1;
+        self.stations[tx.sender].delivered += 1;
+    }
+
+    fn on_dropped(&mut self, _core: &mut Core, _tx: &ActiveTx<SpatialTx>) {
+        // Frame dropped; the saturated source moves to the next.
+    }
+
+    fn after_outcome(&mut self, core: &mut Core, st: usize) {
+        if let Some(to) = self.stations[st].pending_handoff.take() {
+            let now = core.now();
+            self.apply_handoff(core, st, to, now);
+        }
+        // Saturated uplink: there is always a next frame.
+        if !core.senders[st].start_pending {
+            let cw = core.ports[st].cw;
+            core.schedule_tx_start(st, None, cw);
+        }
+    }
+
+    /// Periodic association re-evaluation.
+    fn on_event(&mut self, core: &mut Core, Roam { st }: Roam) {
+        let Some((hysteresis, interval, _)) = self.params.roaming else {
+            return;
+        };
+        let now = core.now();
+        let pos = walker_pos(&mut self.walkers, &self.params, st, now);
+        let cur = self.stations[st].ap;
+        let (best, best_rssi) = self.params.best_ap(pos);
+        let cur_rssi = self.params.snr_between(pos, self.params.aps[cur]);
+        if best != cur && best_rssi >= cur_rssi + hysteresis {
+            if core.senders[st].busy {
+                self.stations[st].pending_handoff = Some(best);
+            } else {
+                self.apply_handoff(core, st, best, now);
+            }
+        }
+        core.events
+            .schedule(now + interval, MacEv::Medium(Roam { st }));
+    }
+}
+
+/// The multi-cell simulator: a [`MacEngine`] configured with a
+/// [`SpatialMedium`].
+pub struct SpatialSim {
+    engine: MacEngine<SpatialMedium>,
+}
+
+impl SpatialSim {
+    /// Builds the deployment: lays out the grid, spawns stations, and
+    /// associates each with its strongest AP.
+    pub fn new(cfg: SpatialConfig) -> Result<Self, crate::spatial::SpatialError> {
+        let params = cfg.spatial.resolve()?;
+        let walkers = (0..params.n_stations)
+            .map(|s| MobilityWalker::new(params.station_seed(cfg.seed, s)))
+            .collect();
+        let mac_params = MacParams {
+            postambles: cfg.adapter.postambles(),
+            detect_prob: cfg.adapter.detect_prob(),
+            backoff_seed: cfg.mac_seed ^ 0x4E45_5453_5041,
+            collision_seed: cfg.mac_seed,
+        };
+        let n = params.n_stations;
+        let mut medium = SpatialMedium {
+            stations: Vec::with_capacity(n),
+            walkers,
+            sense_pos: Point { x: 0.0, y: 0.0 },
+            tx_pos: Vec::new(),
+            inter_cell_corruptions: 0,
+            handoffs: 0,
+            initial_assoc: Vec::with_capacity(n),
+            handoff_log: Vec::new(),
+            params,
+            cfg,
+        };
+        let mut ports = Vec::with_capacity(n);
+        for s in 0..n {
+            let pos = medium.params.station_pos(medium.cfg.seed, s, 0.0);
+            let (ap, _) = medium.params.best_ap(pos);
+            medium.initial_assoc.push(ap);
+            let link = medium.make_link(s, ap, 0);
+            ports.push(Port::new(medium.make_adapter(s)));
+            medium.stations.push(Station {
+                ap,
+                epoch: 0,
+                link,
+                pending_handoff: None,
+                delivered: 0,
+            });
+        }
+        Ok(SpatialSim {
+            engine: MacEngine::new(n, ports, mac_params, medium),
+        })
+    }
+
+    /// Runs to `cfg.duration` and reports.
+    pub fn run(mut self) -> RunReport {
+        let duration = self.engine.medium.cfg.duration;
+        self.engine.run(duration);
+
+        let m = self.engine.medium;
+        let stats = self.engine.core.stats;
+        let useful_bits = (m.cfg.payload_bytes - IP_TCP_HEADER) as f64 * 8.0;
+        let per_station: Vec<f64> = m
+            .stations
+            .iter()
+            .map(|s| s.delivered as f64 * useful_bits / duration)
+            .collect();
+        RunReport {
+            adapter_name: m.cfg.adapter.name().to_string(),
+            aggregate_goodput_bps: per_station.iter().sum(),
+            per_flow_goodput_bps: per_station,
+            audit: stats.audit,
+            frames_sent: stats.frames_sent,
+            frames_delivered: stats.frames_delivered,
+            collisions: stats.collisions,
+            silent_losses: stats.silent_losses,
+            rate_timeline: Vec::new(),
+            inter_cell_corruptions: m.inter_cell_corruptions,
+            handoffs: m.handoffs,
+            initial_assoc: m.initial_assoc,
+            handoff_log: m.handoff_log,
+            events_processed: stats.events_processed,
+        }
     }
 }
 
@@ -637,7 +475,7 @@ mod tests {
         }
     }
 
-    fn run(cfg: SpatialConfig) -> SpatialReport {
+    fn run(cfg: SpatialConfig) -> RunReport {
         SpatialSim::new(cfg).expect("valid spec").run()
     }
 
@@ -828,7 +666,7 @@ mod tests {
         let mut cfg = SpatialConfig::new(AdapterKind::SoftRate, spec);
         cfg.duration = 1.0;
         let r = run(cfg);
-        assert_eq!(r.per_station_goodput_bps.len(), 120);
+        assert_eq!(r.per_flow_goodput_bps.len(), 120);
         assert!(r.frames_sent > 500, "sent {}", r.frames_sent);
         assert!(r.events_processed > 1000);
     }

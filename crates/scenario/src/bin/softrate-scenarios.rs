@@ -118,8 +118,15 @@ fn load_spec(args: &Args) -> Result<ScenarioSpec, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         engine::parse_spec(&text).map_err(|e| format!("{path}: {e}"))?
     } else if let Some(name) = args.positional.first() {
-        builtin::get(name)
-            .map_err(|e| format!("{e}\navailable: {}", builtin::names().join(", ")))?
+        builtin::get(name).map_err(|e| {
+            let near = builtin::suggestions(name);
+            let hint = if near.is_empty() {
+                String::new()
+            } else {
+                format!("did you mean: {}?\n", near.join(", "))
+            };
+            format!("{e}\n{hint}available: {}", builtin::names().join(", "))
+        })?
     } else {
         return Err("give a built-in scenario name or --file <spec>".to_string());
     };

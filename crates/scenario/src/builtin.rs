@@ -72,10 +72,62 @@ pub fn get(name: &str) -> Result<ScenarioSpec, SpecError> {
     ScenarioSpec::from_toml(text)
 }
 
+/// Levenshtein edit distance, for near-miss suggestions on typo'd names.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut prev = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cur = row[j + 1];
+            row[j + 1] = if ca == cb {
+                prev
+            } else {
+                1 + prev.min(cur).min(row[j])
+            };
+            prev = cur;
+        }
+    }
+    row[b.len()]
+}
+
+/// Built-in names close enough to `input` to be plausible typos, best
+/// match first. "Close enough" scales with the input's length (an edit
+/// distance of 3 is a typo in `dense-enterprise` but a different word in
+/// `ped`), and substring matches always qualify.
+pub fn suggestions(input: &str) -> Vec<&'static str> {
+    let input_lower = input.to_ascii_lowercase();
+    let budget = (input.chars().count() / 3).clamp(1, 4);
+    let mut scored: Vec<(usize, &'static str)> = names()
+        .into_iter()
+        .filter_map(|n| {
+            let d = edit_distance(&input_lower, n);
+            let contains = n.contains(&input_lower) || input_lower.contains(n);
+            (d <= budget || contains).then_some((d, n))
+        })
+        .collect();
+    scored.sort_by_key(|&(d, n)| (d, n));
+    scored.into_iter().map(|(_, n)| n).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::engine::expand;
+
+    #[test]
+    fn suggestions_catch_typos_and_rank_best_first() {
+        assert_eq!(suggestions("dense-enterprize")[0], "dense-enterprise");
+        assert_eq!(suggestions("fastfading")[0], "fast-fading");
+        assert_eq!(suggestions("pedestrain")[0], "pedestrian");
+        // Substrings qualify even past the edit budget.
+        assert!(suggestions("roaming").contains(&"roaming-walkabout"));
+        // Exact names trivially suggest themselves first.
+        assert_eq!(suggestions("cell-edge")[0], "cell-edge");
+        // Garbage matches nothing.
+        assert!(suggestions("quux-zorble-9000").is_empty());
+    }
 
     #[test]
     fn library_has_at_least_ten_scenarios() {

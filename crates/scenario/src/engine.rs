@@ -15,6 +15,7 @@ use softrate_adapt::snr::SnrTable;
 use softrate_net::sim::{SpatialConfig, SpatialSim};
 use softrate_net::stream::mix_seed;
 use softrate_sim::config::{AdapterKind, SimConfig, TrafficKind};
+use softrate_sim::mac::RunReport;
 use softrate_sim::netsim::NetSim;
 use softrate_trace::par::par_map_threads;
 use softrate_trace::schema::LinkTrace;
@@ -278,6 +279,36 @@ fn resolve_adapter_traceless(adapter: &AdapterSpec) -> AdapterKind {
     }
 }
 
+/// Builds one JSONL row from a plan and the unified engine report — both
+/// simulators now speak [`RunReport`], so one constructor serves the
+/// trace-backed and spatial paths alike.
+fn result_from_report(plan: &RunPlan, report: RunReport) -> RunResult {
+    let (over, accurate, under) = report.audit.fractions();
+    RunResult {
+        scenario: plan.spec.name.clone(),
+        run_idx: plan.run_idx,
+        adapter: plan.adapter.label(),
+        params: plan.params.clone(),
+        seed: plan.seed,
+        duration: plan.spec.duration,
+        goodput_bps: report.aggregate_goodput_bps,
+        per_flow_goodput_bps: report.per_flow_goodput_bps,
+        frames_sent: report.frames_sent,
+        frames_delivered: report.frames_delivered,
+        loss_rate: if report.frames_sent == 0 {
+            0.0
+        } else {
+            1.0 - report.frames_delivered as f64 / report.frames_sent as f64
+        },
+        collisions: report.collisions,
+        silent_losses: report.silent_losses,
+        overselect: over,
+        accurate,
+        underselect: under,
+        handoffs: report.handoffs,
+    }
+}
+
 /// Executes one spatial plan on the streaming multi-cell simulator.
 ///
 /// The spatial seed derives from the *spec* seed (not the per-run seed)
@@ -301,30 +332,7 @@ fn run_spatial_plan(plan: &RunPlan) -> RunResult {
     let report = SpatialSim::new(cfg)
         .expect("validated spatial spec resolves")
         .run();
-    let (over, accurate, under) = report.audit.fractions();
-    RunResult {
-        scenario: spec.name.clone(),
-        run_idx: plan.run_idx,
-        adapter: plan.adapter.label(),
-        params: plan.params.clone(),
-        seed: plan.seed,
-        duration: spec.duration,
-        goodput_bps: report.aggregate_goodput_bps,
-        per_flow_goodput_bps: report.per_station_goodput_bps,
-        frames_sent: report.frames_sent,
-        frames_delivered: report.frames_delivered,
-        loss_rate: if report.frames_sent == 0 {
-            0.0
-        } else {
-            1.0 - report.frames_delivered as f64 / report.frames_sent as f64
-        },
-        collisions: report.collisions,
-        silent_losses: report.silent_losses,
-        overselect: over,
-        accurate,
-        underselect: under,
-        handoffs: report.handoffs,
-    }
+    result_from_report(plan, report)
 }
 
 /// Executes one plan.
@@ -348,30 +356,7 @@ pub fn run_plan(plan: &RunPlan) -> RunResult {
     cfg.seed = plan.seed;
 
     let report = NetSim::new(cfg, traces).run();
-    let (over, accurate, under) = report.audit.fractions();
-    RunResult {
-        scenario: spec.name.clone(),
-        run_idx: plan.run_idx,
-        adapter: plan.adapter.label(),
-        params: plan.params.clone(),
-        seed: plan.seed,
-        duration: spec.duration,
-        goodput_bps: report.aggregate_goodput_bps,
-        per_flow_goodput_bps: report.per_flow_goodput_bps,
-        frames_sent: report.frames_sent,
-        frames_delivered: report.frames_delivered,
-        loss_rate: if report.frames_sent == 0 {
-            0.0
-        } else {
-            1.0 - report.frames_delivered as f64 / report.frames_sent as f64
-        },
-        collisions: report.collisions,
-        silent_losses: report.silent_losses,
-        overselect: over,
-        accurate,
-        underselect: under,
-        handoffs: 0,
-    }
+    result_from_report(plan, report)
 }
 
 /// Executes every plan across `threads` workers (defaulting to the

@@ -11,10 +11,15 @@
 //! * [`config`] — topology + algorithm selection ([`config::AdapterKind`]).
 //! * [`feedback`] — the §6.4 collision-feedback semantics, shared with the
 //!   multi-cell spatial simulator (`softrate-net`).
-//! * [`netsim`] — the Figure 12 simulation: DCF with probabilistic carrier
-//!   sense, trace-driven frame fates, collision semantics with
-//!   SoftRate-style feedback, drop-tail queues, a 50 Mbps / 10 ms wired
-//!   segment, and rate-selection auditing against the omniscient oracle.
+//! * [`mac`] — the generic DCF engine ([`mac::MacEngine`]) behind every
+//!   simulator: DIFS/backoff/CW, in-flight tracking, feedback-window
+//!   resolution, retries, and rate-adapter plumbing, generic over a
+//!   [`mac::Medium`] that supplies frame fates, carrier sense, and
+//!   collision topology.
+//! * [`netsim`] — the Figure 12 simulation: the engine configured with a
+//!   trace-backed single-collision-domain medium (probabilistic carrier
+//!   sense, drop-tail queues, a 50 Mbps / 10 ms wired segment, TCP/UDP
+//!   flows, and rate-selection auditing against the omniscient oracle).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -22,6 +27,7 @@
 pub mod config;
 pub mod event;
 pub mod feedback;
+pub mod mac;
 pub mod netsim;
 pub mod tcp;
 pub mod timing;
@@ -30,7 +36,8 @@ pub mod timing;
 pub mod prelude {
     pub use crate::config::{AdapterKind, SimConfig};
     pub use crate::event::EventQueue;
-    pub use crate::netsim::{NetSim, RateAudit, SimReport};
+    pub use crate::mac::{HandoffRecord, MacEngine, Medium, RateAudit, RunReport};
+    pub use crate::netsim::NetSim;
     pub use crate::tcp::{TcpConfig, TcpReceiver, TcpSender};
     pub use crate::timing::{attempt_airtime, data_airtime, lossless_airtimes};
 }

@@ -1,0 +1,711 @@
+//! The generic discrete-event MAC engine shared by every simulator in the
+//! workspace.
+//!
+//! Both network simulators — the trace-backed single-cell one
+//! ([`crate::netsim`]) and the streaming multi-cell spatial one
+//! (`softrate-net`) — run the *same* 802.11-like DCF: DIFS plus
+//! binary-exponential backoff, in-flight transmission tracking with
+//! collision-overlap bookkeeping, a base-rate feedback window after SIFS
+//! resolved through [`crate::feedback`], a retry limit, and per-sender
+//! rate-adapter plumbing. What differs between them is the *medium*: how
+//! frame fates are sampled (trace lookup vs streaming draw), how carrier
+//! sense works (a configured probability vs physical SNR), and what a
+//! concurrent transmission corrupts (everything in one collision domain vs
+//! receivers within SIR-capture range).
+//!
+//! [`MacEngine`] owns the shared state machine; the [`Medium`] trait is
+//! the seam where the two environments plug in. Keeping the DCF in one
+//! place is what guarantees the simulators cannot drift apart — the
+//! paper's central claim (§6) is that SoftRate's cross-layer feedback is
+//! independent of the environment it runs in, and the engine makes that
+//! independence structural.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use softrate_core::adapter::{RateAdapter, TxAttempt, TxOutcome};
+use softrate_trace::schema::{hash_uniform, FrameFate};
+
+use crate::event::EventQueue;
+use crate::feedback::{apply_collision_feedback, CollisionTiming, HEADER_AIRTIME_FRAC};
+use crate::timing::{
+    attempt_airtime, data_airtime, feedback_airtime, rts_cts_overhead, CW_MAX, CW_MIN, DIFS,
+    MAX_RETRIES, SIFS, SLOT,
+};
+
+/// Rate-selection accuracy tallies (Figures 14 and 18).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RateAudit {
+    /// Frames sent above the highest rate that would have succeeded.
+    pub overselect: u64,
+    /// Frames sent exactly at the oracle rate.
+    pub accurate: u64,
+    /// Frames sent below the oracle rate.
+    pub underselect: u64,
+}
+
+impl RateAudit {
+    /// Total audited frames.
+    pub fn total(&self) -> u64 {
+        self.overselect + self.accurate + self.underselect
+    }
+
+    /// Fractions `(over, accurate, under)`.
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let t = self.total().max(1) as f64;
+        (
+            self.overselect as f64 / t,
+            self.accurate as f64 / t,
+            self.underselect as f64 / t,
+        )
+    }
+}
+
+/// One recorded handoff (spatial media only).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HandoffRecord {
+    /// When, seconds.
+    pub t: f64,
+    /// Which station.
+    pub station: usize,
+    /// AP roamed away from.
+    pub from: usize,
+    /// AP roamed to.
+    pub to: usize,
+}
+
+/// Results of one simulation run, for every medium.
+///
+/// The union of what the trace-backed and spatial simulators report.
+/// Single-cell runs leave the spatial fields at their defaults
+/// (`inter_cell_corruptions = 0`, empty handoff log); spatial runs leave
+/// `rate_timeline` empty.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Algorithm under test.
+    pub adapter_name: String,
+    /// Sum of per-flow goodputs, bit/s.
+    pub aggregate_goodput_bps: f64,
+    /// Per-flow goodput, bit/s (one entry per flow or station).
+    pub per_flow_goodput_bps: Vec<f64>,
+    /// Rate-selection accuracy over audited data frames.
+    pub audit: RateAudit,
+    /// Data frames transmitted on the air.
+    pub frames_sent: u64,
+    /// Data frames delivered intact.
+    pub frames_delivered: u64,
+    /// Frames corrupted by concurrent transmissions.
+    pub collisions: u64,
+    /// Attempts that produced no feedback at all.
+    pub silent_losses: u64,
+    /// `(time, rate_idx)` of every audited data-frame attempt on the
+    /// observed link (the Figure 15 timeline; single-cell only).
+    pub rate_timeline: Vec<(f64, usize)>,
+    /// Corruption events whose interferer belonged to a different BSS than
+    /// the victim receiver (spatial media only).
+    pub inter_cell_corruptions: u64,
+    /// Completed handoffs (spatial media only).
+    pub handoffs: u64,
+    /// Initial association (station -> AP; spatial media only).
+    pub initial_assoc: Vec<usize>,
+    /// Every handoff, in order (spatial media only).
+    pub handoff_log: Vec<HandoffRecord>,
+    /// Events processed by the discrete-event loop.
+    pub events_processed: u64,
+}
+
+/// Engine events. `Medium(E)` carries everything above or beside the MAC —
+/// transport timers, wired deliveries, roaming checks.
+#[derive(Debug, Clone, Copy)]
+pub enum MacEv<E> {
+    /// A sender's backoff expired: try to transmit.
+    TxStart {
+        /// The sender whose backoff expired.
+        sender: usize,
+    },
+    /// A transmission's air time ended.
+    TxEnd {
+        /// Transmission id.
+        tx: u64,
+    },
+    /// Feedback window closed: resolve the attempt at the sender.
+    Outcome {
+        /// Transmission id.
+        tx: u64,
+    },
+    /// A medium-specific event, dispatched to [`Medium::on_event`].
+    Medium(E),
+}
+
+/// One backoff/busy state machine — a physical transmitter (a station, or
+/// the AP which serves many ports round-robin).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sender {
+    /// A transmission is on the air or awaiting its outcome.
+    pub busy: bool,
+    /// A TxStart event is already scheduled.
+    pub start_pending: bool,
+}
+
+/// One rate-adapted unidirectional link: the adapter and its retry/CW
+/// state. Single-cell media have one port per wireless link (the AP owns
+/// several); spatial media one per station.
+pub struct Port {
+    /// The rate-adaptation algorithm driving this link.
+    pub adapter: Box<dyn RateAdapter>,
+    /// Consecutive failed attempts for the head-of-line frame.
+    pub retries: u32,
+    /// Current contention window.
+    pub cw: u32,
+    /// Lifetime attempt counter (keys trace fate draws).
+    pub attempts: u64,
+}
+
+impl Port {
+    /// A fresh port around `adapter`.
+    pub fn new(adapter: Box<dyn RateAdapter>) -> Self {
+        Port {
+            adapter,
+            retries: 0,
+            cw: CW_MIN,
+            attempts: 0,
+        }
+    }
+}
+
+/// An in-flight (or feedback-pending) transmission. `I` is the medium's
+/// per-attempt payload: the single-cell simulator stores the MAC payload,
+/// the spatial one the receiver AP and the signal SNR at transmit time.
+#[derive(Debug, Clone, Copy)]
+pub struct ActiveTx<I> {
+    /// Transmission id.
+    pub id: u64,
+    /// Transmitting sender.
+    pub sender: usize,
+    /// Port the frame left from.
+    pub port: usize,
+    /// Transmission start, seconds.
+    pub start: f64,
+    /// Transmission end, seconds.
+    pub end: f64,
+    /// End of the preamble + header window, seconds.
+    pub header_end: f64,
+    /// Rate the frame is sent at.
+    pub rate_idx: usize,
+    /// Whether the frame is RTS/CTS-protected.
+    pub use_rts: bool,
+    /// On-air payload size, bytes.
+    pub payload_bytes: usize,
+    /// The port's attempt counter at transmit time.
+    pub attempt: u64,
+    /// A concurrent transmission corrupted this one.
+    pub collided: bool,
+    /// Earliest start among corrupting transmissions.
+    pub first_other_start: f64,
+    /// Latest end among corrupting transmissions.
+    pub max_other_end: f64,
+    /// Medium-specific attempt data.
+    pub info: I,
+}
+
+/// What the medium decides about an attempt at transmit time.
+#[derive(Debug, Clone, Copy)]
+pub struct AttemptInfo<I> {
+    /// On-air payload size, bytes.
+    pub payload_bytes: usize,
+    /// Whether this frame counts toward `frames_sent` (data frames only).
+    pub counts_as_data: bool,
+    /// Oracle rate to audit the attempt against, if it should be audited.
+    pub audit_best: Option<usize>,
+    /// Record the attempt in the Figure 15 rate timeline.
+    pub timeline: bool,
+    /// Medium-specific attempt data carried on the [`ActiveTx`].
+    pub info: I,
+}
+
+/// Engine parameters every medium supplies at construction.
+#[derive(Debug, Clone, Copy)]
+pub struct MacParams {
+    /// Whether frames carry postambles (ideal SoftRate).
+    pub postambles: bool,
+    /// Probability the receiver's collision detector flags a collision.
+    pub detect_prob: f64,
+    /// Seed of the backoff RNG.
+    pub backoff_seed: u64,
+    /// Seed salting collision-detector verdict draws.
+    pub collision_seed: u64,
+}
+
+/// Shared counters every run reports.
+#[derive(Debug, Clone, Default)]
+pub struct MacStats {
+    /// Data frames transmitted on the air.
+    pub frames_sent: u64,
+    /// Data frames delivered intact.
+    pub frames_delivered: u64,
+    /// Frames corrupted by concurrent transmissions.
+    pub collisions: u64,
+    /// Attempts that produced no feedback at all.
+    pub silent_losses: u64,
+    /// Rate-selection accuracy over audited frames.
+    pub audit: RateAudit,
+    /// The Figure 15 rate timeline.
+    pub rate_timeline: Vec<(f64, usize)>,
+    /// Events processed by the discrete-event loop.
+    pub events_processed: u64,
+}
+
+/// The engine state a [`Medium`] implementation may inspect and drive:
+/// the event queue, sender/port state, in-flight transmissions, and the
+/// shared statistics. Splitting this from the medium itself is what lets
+/// medium hooks take `&mut self` alongside `&mut MacCore` without borrow
+/// conflicts.
+pub struct MacCore<E, I> {
+    /// The discrete-event queue.
+    pub events: EventQueue<MacEv<E>>,
+    /// Backoff/busy state per sender.
+    pub senders: Vec<Sender>,
+    /// Adapter + retry/CW state per port.
+    pub ports: Vec<Port>,
+    /// Transmissions currently on the air.
+    pub active: Vec<ActiveTx<I>>,
+    /// Transmissions past TxEnd awaiting their feedback window.
+    pub pending: Vec<ActiveTx<I>>,
+    /// Shared run statistics.
+    pub stats: MacStats,
+    params: MacParams,
+    rng: SmallRng,
+    next_tx_id: u64,
+}
+
+impl<E, I> MacCore<E, I> {
+    /// A core for `n_senders` transmitters driving `ports`, with the event
+    /// queue preallocated for a few in-flight events per sender (the same
+    /// sizing the spatial simulator established; reallocation pauses show
+    /// up directly in events/sec at scale).
+    pub fn new(n_senders: usize, ports: Vec<Port>, params: MacParams) -> Self {
+        MacCore {
+            events: EventQueue::with_capacity(n_senders * 8),
+            senders: vec![Sender::default(); n_senders],
+            ports,
+            active: Vec::new(),
+            pending: Vec::new(),
+            stats: MacStats::default(),
+            rng: SmallRng::seed_from_u64(params.backoff_seed),
+            params,
+            next_tx_id: 1,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> f64 {
+        self.events.now()
+    }
+
+    /// Schedules `sender`'s next channel-access attempt after DIFS plus a
+    /// backoff drawn from contention window `cw` (callers read it from the
+    /// port the sender would serve, or pass [`CW_MIN`]).
+    pub fn schedule_tx_start(&mut self, sender: usize, after: Option<f64>, cw: u32) {
+        let slots = self.rng.gen_range(0..=cw) as f64;
+        let at = after.unwrap_or(self.events.now()) + DIFS + slots * SLOT;
+        self.senders[sender].start_pending = true;
+        self.events.schedule(at, MacEv::TxStart { sender });
+    }
+}
+
+/// The environment a [`MacEngine`] runs in: everything that differs
+/// between the trace-backed single-cell world and the streaming spatial
+/// one.
+///
+/// Hook order within one transmission: [`Medium::pick_port`] →
+/// [`Medium::carrier_sense`] → the port adapter's `next_attempt` →
+/// [`Medium::begin_attempt`] → [`Medium::mark_collisions`]; then at the
+/// feedback window [`Medium::fate`] → (`on_acked` | retry | `on_dropped`)
+/// → [`Medium::after_outcome`].
+pub trait Medium {
+    /// Medium-specific events (transport timers, wired hops, roaming).
+    type Event: Copy;
+    /// Per-attempt data carried on in-flight transmissions.
+    type TxInfo: Copy;
+
+    /// Schedules the initial events (traffic kickoff, roaming timers).
+    fn kickoff(&mut self, core: &mut MacCore<Self::Event, Self::TxInfo>);
+
+    /// The port `sender` would transmit on next, if it has a frame.
+    fn pick_port(&mut self, sender: usize) -> Option<usize>;
+
+    /// If the medium is sensed busy at `sender`, the time the latest
+    /// audible transmission ends (the engine defers until then).
+    fn carrier_sense(
+        &mut self,
+        core: &MacCore<Self::Event, Self::TxInfo>,
+        sender: usize,
+    ) -> Option<f64>;
+
+    /// Resolves the head-of-line frame on `port`: payload size, audit
+    /// oracle, and the medium's per-attempt data. May override the
+    /// adapter's `attempt` (the spatial omniscient oracle does).
+    fn begin_attempt(
+        &mut self,
+        sender: usize,
+        port: usize,
+        now: f64,
+        attempt: &mut TxAttempt,
+    ) -> AttemptInfo<Self::TxInfo>;
+
+    /// Marks mutual corruption between the new transmission and the ones
+    /// already on the air.
+    fn mark_collisions(
+        &mut self,
+        tx: &mut ActiveTx<Self::TxInfo>,
+        active: &mut [ActiveTx<Self::TxInfo>],
+    );
+
+    /// The interference-free fate of `tx` (also consulted under collision
+    /// for the §6.4 interference-free BER feedback).
+    fn fate(&mut self, tx: &ActiveTx<Self::TxInfo>) -> FrameFate;
+
+    /// The frame was delivered: advance queues and hand the payload up.
+    fn on_acked(
+        &mut self,
+        core: &mut MacCore<Self::Event, Self::TxInfo>,
+        tx: &ActiveTx<Self::TxInfo>,
+    );
+
+    /// The frame exhausted its retries and was dropped.
+    fn on_dropped(
+        &mut self,
+        core: &mut MacCore<Self::Event, Self::TxInfo>,
+        tx: &ActiveTx<Self::TxInfo>,
+    );
+
+    /// The attempt fully resolved and the sender is idle again: apply
+    /// deferred state changes (handoffs) and schedule the next access.
+    fn after_outcome(&mut self, core: &mut MacCore<Self::Event, Self::TxInfo>, sender: usize);
+
+    /// Dispatches a medium-specific event.
+    fn on_event(&mut self, core: &mut MacCore<Self::Event, Self::TxInfo>, ev: Self::Event);
+}
+
+/// The generic DCF discrete-event engine: one MAC, many media.
+pub struct MacEngine<M: Medium> {
+    /// The shared MAC state.
+    pub core: MacCore<M::Event, M::TxInfo>,
+    /// The environment.
+    pub medium: M,
+}
+
+impl<M: Medium> MacEngine<M> {
+    /// An engine over `medium` with `n_senders` transmitters and `ports`.
+    pub fn new(n_senders: usize, ports: Vec<Port>, params: MacParams, medium: M) -> Self {
+        MacEngine {
+            core: MacCore::new(n_senders, ports, params),
+            medium,
+        }
+    }
+
+    /// Runs the event loop to `duration` simulated seconds.
+    pub fn run(&mut self, duration: f64) {
+        self.medium.kickoff(&mut self.core);
+        while let Some(ev) = self.core.events.pop() {
+            if ev.time > duration {
+                break;
+            }
+            self.core.stats.events_processed += 1;
+            match ev.event {
+                MacEv::TxStart { sender } => self.on_tx_start(sender),
+                MacEv::TxEnd { tx } => self.on_tx_end(tx),
+                MacEv::Outcome { tx } => self.on_outcome(tx),
+                MacEv::Medium(e) => self.medium.on_event(&mut self.core, e),
+            }
+        }
+    }
+
+    fn on_tx_start(&mut self, sender: usize) {
+        let core = &mut self.core;
+        core.senders[sender].start_pending = false;
+        if core.senders[sender].busy {
+            return; // will reschedule when freed
+        }
+        let Some(port) = self.medium.pick_port(sender) else {
+            return;
+        };
+
+        if let Some(until) = self.medium.carrier_sense(core, sender) {
+            let cw = core.ports[port].cw;
+            core.schedule_tx_start(sender, Some(until), cw);
+            return;
+        }
+
+        // Transmit.
+        let now = core.events.now();
+        let mut attempt = core.ports[port].adapter.next_attempt(now);
+        let info = self.medium.begin_attempt(sender, port, now, &mut attempt);
+        let rate = softrate_phy::rates::PAPER_RATES[attempt.rate_idx];
+        let air = data_airtime(rate, info.payload_bytes, core.params.postambles)
+            + if attempt.use_rts {
+                rts_cts_overhead()
+            } else {
+                0.0
+            };
+        let id = core.next_tx_id;
+        core.next_tx_id += 1;
+        core.ports[port].attempts += 1;
+
+        let mut tx = ActiveTx {
+            id,
+            sender,
+            port,
+            start: now,
+            end: now + air,
+            header_end: now + air * HEADER_AIRTIME_FRAC,
+            rate_idx: attempt.rate_idx,
+            use_rts: attempt.use_rts,
+            payload_bytes: info.payload_bytes,
+            attempt: core.ports[port].attempts,
+            collided: false,
+            first_other_start: f64::INFINITY,
+            max_other_end: f64::NEG_INFINITY,
+            info: info.info,
+        };
+        self.medium.mark_collisions(&mut tx, &mut core.active);
+
+        core.senders[sender].busy = true;
+        core.events.schedule(tx.end, MacEv::TxEnd { tx: id });
+        core.active.push(tx);
+
+        if info.counts_as_data {
+            core.stats.frames_sent += 1;
+        }
+        if let Some(best) = info.audit_best {
+            match attempt.rate_idx.cmp(&best) {
+                std::cmp::Ordering::Greater => core.stats.audit.overselect += 1,
+                std::cmp::Ordering::Equal => core.stats.audit.accurate += 1,
+                std::cmp::Ordering::Less => core.stats.audit.underselect += 1,
+            }
+        }
+        if info.timeline {
+            core.stats.rate_timeline.push((now, attempt.rate_idx));
+        }
+    }
+
+    fn on_tx_end(&mut self, tx_id: u64) {
+        let core = &mut self.core;
+        let idx = core
+            .active
+            .iter()
+            .position(|t| t.id == tx_id)
+            .expect("unknown tx");
+        let tx = core.active.swap_remove(idx);
+        // Sender waits a feedback window before concluding anything.
+        core.events.schedule(
+            tx.end + SIFS + feedback_airtime(),
+            MacEv::Outcome { tx: tx_id },
+        );
+        core.pending.push(tx);
+    }
+
+    fn on_outcome(&mut self, tx_id: u64) {
+        let core = &mut self.core;
+        let idx = core
+            .pending
+            .iter()
+            .position(|t| t.id == tx_id)
+            .expect("unknown pending tx");
+        let tx = core.pending.swap_remove(idx);
+        let now = core.events.now();
+        let rate = softrate_phy::rates::PAPER_RATES[tx.rate_idx];
+        let postambles = core.params.postambles;
+
+        // Interference-free fate from the medium (also needed under
+        // collision for the §6.4 interference-free BER feedback).
+        let fate = self.medium.fate(&tx);
+
+        let mut outcome = TxOutcome {
+            rate_idx: tx.rate_idx,
+            acked: false,
+            feedback_received: false,
+            ber_feedback: None,
+            interference_flagged: false,
+            postamble_ack: false,
+            snr_feedback_db: None,
+            airtime: attempt_airtime(rate, tx.payload_bytes, postambles, tx.use_rts),
+            now,
+        };
+
+        if tx.collided && !tx.use_rts {
+            core.stats.collisions += 1;
+            let flagged = hash_uniform(&[tx.id, 0x00DE_7EC7, core.params.collision_seed])
+                < core.params.detect_prob;
+            let timing = CollisionTiming {
+                start: tx.start,
+                header_end: tx.header_end,
+                end: tx.end,
+                first_other_start: tx.first_other_start,
+                max_other_end: tx.max_other_end,
+            };
+            if apply_collision_feedback(&mut outcome, &timing, &fate, flagged, postambles) {
+                core.stats.silent_losses += 1;
+            }
+        } else if fate.detected && fate.header_ok {
+            // Clean medium: the fate decides.
+            outcome.feedback_received = true;
+            outcome.acked = fate.delivered;
+            outcome.ber_feedback = fate.ber_feedback;
+            outcome.snr_feedback_db = fate.snr_feedback_db;
+        } else {
+            core.stats.silent_losses += 1;
+        }
+
+        core.ports[tx.port].adapter.on_outcome(&outcome);
+
+        if outcome.acked {
+            core.ports[tx.port].retries = 0;
+            core.ports[tx.port].cw = CW_MIN;
+            self.medium.on_acked(core, &tx);
+        } else {
+            let p = &mut core.ports[tx.port];
+            p.retries += 1;
+            if p.retries > MAX_RETRIES {
+                p.retries = 0;
+                p.cw = CW_MIN;
+                self.medium.on_dropped(core, &tx);
+            } else {
+                p.cw = (p.cw * 2 + 1).min(CW_MAX);
+            }
+        }
+
+        core.senders[tx.sender].busy = false;
+        self.medium.after_outcome(core, tx.sender);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softrate_adapt::misc::FixedRate;
+
+    /// A loopback medium: one saturated sender on a perfect channel.
+    struct Loopback {
+        delivered: u64,
+    }
+
+    impl Medium for Loopback {
+        type Event = ();
+        type TxInfo = ();
+
+        fn kickoff(&mut self, core: &mut MacCore<(), ()>) {
+            core.schedule_tx_start(0, None, CW_MIN);
+        }
+
+        fn pick_port(&mut self, _sender: usize) -> Option<usize> {
+            Some(0)
+        }
+
+        fn carrier_sense(&mut self, _core: &MacCore<(), ()>, _sender: usize) -> Option<f64> {
+            None
+        }
+
+        fn begin_attempt(
+            &mut self,
+            _sender: usize,
+            _port: usize,
+            _now: f64,
+            _attempt: &mut TxAttempt,
+        ) -> AttemptInfo<()> {
+            AttemptInfo {
+                payload_bytes: 1440,
+                counts_as_data: true,
+                audit_best: Some(3),
+                timeline: false,
+                info: (),
+            }
+        }
+
+        fn mark_collisions(&mut self, _tx: &mut ActiveTx<()>, _active: &mut [ActiveTx<()>]) {}
+
+        fn fate(&mut self, _tx: &ActiveTx<()>) -> FrameFate {
+            FrameFate {
+                detected: true,
+                header_ok: true,
+                delivered: true,
+                ber_feedback: Some(1e-9),
+                snr_feedback_db: Some(25.0),
+            }
+        }
+
+        fn on_acked(&mut self, core: &mut MacCore<(), ()>, _tx: &ActiveTx<()>) {
+            core.stats.frames_delivered += 1;
+            self.delivered += 1;
+        }
+
+        fn on_dropped(&mut self, _core: &mut MacCore<(), ()>, _tx: &ActiveTx<()>) {}
+
+        fn after_outcome(&mut self, core: &mut MacCore<(), ()>, sender: usize) {
+            if !core.senders[sender].start_pending {
+                let cw = core.ports[0].cw;
+                core.schedule_tx_start(sender, None, cw);
+            }
+        }
+
+        fn on_event(&mut self, _core: &mut MacCore<(), ()>, _ev: ()) {}
+    }
+
+    fn engine() -> MacEngine<Loopback> {
+        let params = MacParams {
+            postambles: false,
+            detect_prob: 0.8,
+            backoff_seed: 7,
+            collision_seed: 7,
+        };
+        let ports = vec![Port::new(Box::new(FixedRate::new(3, 6)))];
+        MacEngine::new(1, ports, params, Loopback { delivered: 0 })
+    }
+
+    #[test]
+    fn loopback_medium_saturates_the_engine() {
+        let mut e = engine();
+        e.run(0.5);
+        assert!(
+            e.core.stats.frames_sent > 100,
+            "{}",
+            e.core.stats.frames_sent
+        );
+        // The final frame may still be inside its feedback window when the
+        // clock runs out.
+        assert!(e.core.stats.frames_sent - e.core.stats.frames_delivered <= 1);
+        assert_eq!(e.core.stats.collisions, 0);
+        assert_eq!(e.core.stats.silent_losses, 0);
+        assert_eq!(e.core.stats.audit.accurate, e.core.stats.frames_sent);
+        // Each resolved frame is >= 3 events (TxStart, TxEnd, Outcome).
+        assert!(e.core.stats.events_processed >= 3 * e.core.stats.frames_delivered);
+        assert_eq!(e.medium.delivered, e.core.stats.frames_delivered);
+    }
+
+    #[test]
+    fn engine_runs_are_deterministic() {
+        let (mut a, mut b) = (engine(), engine());
+        a.run(0.3);
+        b.run(0.3);
+        assert_eq!(a.core.stats.frames_sent, b.core.stats.frames_sent);
+        assert_eq!(a.core.stats.events_processed, b.core.stats.events_processed);
+    }
+
+    #[test]
+    fn event_queue_is_preallocated_from_sender_count() {
+        let e = engine();
+        assert!(e.core.events.capacity() >= 8);
+    }
+
+    #[test]
+    fn audit_fractions_sum_to_one() {
+        let a = RateAudit {
+            overselect: 1,
+            accurate: 2,
+            underselect: 1,
+        };
+        let (o, acc, u) = a.fractions();
+        assert!((o + acc + u - 1.0).abs() < 1e-12);
+        assert_eq!(a.total(), 4);
+    }
+}

@@ -4,33 +4,33 @@
 //! The wireless hop is a single collision domain with an 802.11-like DCF
 //! (DIFS + binary-exponential backoff, base-rate feedback frames after
 //! SIFS, retry limit) and *probabilistic carrier sense* between client
-//! senders (§6.4). Frame fates on a clean medium come from per-link
-//! [`LinkTrace`]s; overlapping transmissions corrupt each other ("we assume
-//! both colliding frames are lost", §6.1), and the SoftRate feedback under
-//! collision follows §6.4: if the receiver's detector flags the collision
-//! (80 % of the time, 100 % for ideal SoftRate), the feedback carries the
-//! interference-free BER from the trace; otherwise a very high BER
-//! indicating a noise loss. Silent losses (preamble lost) yield no feedback
-//! at all, except that postamble-carrying frames whose tail outlives the
-//! interferer produce a postamble-only ACK (ideal mode).
+//! senders (§6.4). The DCF itself — backoff, in-flight tracking, the
+//! feedback-window state machine — lives in the shared
+//! [`MacEngine`](crate::mac::MacEngine); this module contributes
+//! [`TraceMedium`], the environment where frame fates on a clean medium
+//! come from per-link [`LinkTrace`]s, overlapping transmissions corrupt
+//! each other ("we assume both colliding frames are lost", §6.1), and the
+//! SoftRate feedback under collision follows §6.4: if the receiver's
+//! detector flags the collision (80 % of the time, 100 % for ideal
+//! SoftRate), the feedback carries the interference-free BER from the
+//! trace; otherwise a very high BER indicating a noise loss. Silent losses
+//! (preamble lost) yield no feedback at all, except that
+//! postamble-carrying frames whose tail outlives the interferer produce a
+//! postamble-only ACK (ideal mode).
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
-use softrate_core::adapter::{RateAdapter, TxOutcome};
-use softrate_trace::schema::{hash_uniform, LinkTrace};
+use softrate_trace::schema::{hash_uniform, FrameFate, LinkTrace};
 
 use crate::config::{SimConfig, TrafficKind};
-use crate::event::EventQueue;
-use crate::feedback::{apply_collision_feedback, CollisionTiming, HEADER_AIRTIME_FRAC};
-use crate::tcp::{TcpReceiver, TcpSender};
-use crate::timing::{
-    attempt_airtime, data_airtime, feedback_airtime, rts_cts_overhead, CW_MAX, CW_MIN, DIFS,
-    IP_TCP_HEADER, MAX_RETRIES, SIFS, SLOT,
+use crate::mac::{
+    ActiveTx, AttemptInfo, MacCore, MacEngine, MacEv, MacParams, Medium, Port, RunReport,
 };
+use crate::tcp::{TcpReceiver, TcpSender};
+use crate::timing::{CW_MIN, IP_TCP_HEADER};
+
+pub use crate::mac::RateAudit;
 
 /// Payload of a wireless MAC frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,15 +41,9 @@ enum Payload {
     Ack(u64),
 }
 
-/// Simulator events.
+/// Events above the MAC: transport timers and the wired segment.
 #[derive(Debug, Clone, Copy)]
-enum Ev {
-    /// A node's backoff expired: try to transmit.
-    TxStart { node: usize },
-    /// A transmission's air time ended.
-    TxEnd { tx: u64 },
-    /// Feedback window closed: resolve the attempt at the sender.
-    Outcome { tx: u64 },
+enum NetEv {
     /// A packet crossed the wired link.
     WiredDeliver {
         flow: usize,
@@ -62,42 +56,20 @@ enum Ev {
 }
 
 /// One unidirectional wireless link (client->AP data, or AP->client ACK
-/// path — and the converse for download flows).
+/// path — and the converse for download flows). The rate adapter and
+/// retry/CW state live in the engine's matching [`Port`].
 struct WLink {
     src: usize,
     flow: usize,
     trace: Arc<LinkTrace>,
-    adapter: Box<dyn RateAdapter>,
     queue: VecDeque<Payload>,
-    retries: u32,
-    cw: u32,
-    attempts: u64,
 }
 
-/// One wireless node (0 = AP, 1.. = clients).
+/// One wireless node's link service order (0 = AP, 1.. = clients); the
+/// busy/backoff state lives in the engine's matching `Sender`.
 struct WNode {
     links_out: Vec<usize>,
     rr: usize,
-    busy: bool,
-    start_pending: bool,
-}
-
-/// An in-flight wireless transmission.
-#[derive(Debug, Clone)]
-struct ActiveTx {
-    id: u64,
-    link: usize,
-    start: f64,
-    end: f64,
-    header_end: f64,
-    rate_idx: usize,
-    use_rts: bool,
-    payload: Payload,
-    attempt: u64,
-    collided: bool,
-    first_other_start: f64,
-    max_other_end: f64,
-    done: bool,
 }
 
 /// One TCP flow and its endpoints.
@@ -115,79 +87,384 @@ struct SimFlow {
     udp_delivered: u64,
 }
 
-/// Rate-selection accuracy tallies (Figures 14 and 18).
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct RateAudit {
-    /// Frames sent above the highest rate that would have succeeded.
-    pub overselect: u64,
-    /// Frames sent exactly at the oracle rate.
-    pub accurate: u64,
-    /// Frames sent below the oracle rate.
-    pub underselect: u64,
-}
+type Core = MacCore<NetEv, Payload>;
 
-impl RateAudit {
-    /// Total audited frames.
-    pub fn total(&self) -> u64 {
-        self.overselect + self.accurate + self.underselect
-    }
-
-    /// Fractions `(over, accurate, under)`.
-    pub fn fractions(&self) -> (f64, f64, f64) {
-        let t = self.total().max(1) as f64;
-        (
-            self.overselect as f64 / t,
-            self.accurate as f64 / t,
-            self.underselect as f64 / t,
-        )
-    }
-}
-
-/// Results of one simulation run.
-#[derive(Debug, Clone)]
-pub struct SimReport {
-    /// Algorithm under test.
-    pub adapter_name: String,
-    /// Sum of per-flow TCP goodputs, bit/s.
-    pub aggregate_goodput_bps: f64,
-    /// Per-flow TCP goodput, bit/s.
-    pub per_flow_goodput_bps: Vec<f64>,
-    /// Rate-selection accuracy over audited data frames.
-    pub audit: RateAudit,
-    /// Data frames transmitted on the air.
-    pub frames_sent: u64,
-    /// Data frames delivered intact.
-    pub frames_delivered: u64,
-    /// Frames corrupted by collisions.
-    pub collisions: u64,
-    /// Attempts that produced no feedback at all.
-    pub silent_losses: u64,
-    /// `(time, rate_idx)` of every data-frame attempt on flow 0's data
-    /// link (the Figure 15 timeline).
-    pub rate_timeline: Vec<(f64, usize)>,
-}
-
-/// The simulator.
-pub struct NetSim {
+/// The trace-backed single-collision-domain environment: probabilistic
+/// carrier sense, everything-corrupts-everything collisions, per-link
+/// [`LinkTrace`] fates, and the TCP/UDP + wired-segment layers above the
+/// MAC.
+struct TraceMedium {
     cfg: SimConfig,
-    events: EventQueue<Ev>,
     links: Vec<WLink>,
     nodes: Vec<WNode>,
     flows: Vec<SimFlow>,
-    active: Vec<ActiveTx>,
-    /// Transmissions past TxEnd awaiting Outcome.
-    pending: Vec<ActiveTx>,
-    next_tx_id: u64,
-    rng: SmallRng,
     wired_busy_to_lan: f64,
     wired_busy_to_ap: f64,
-    // statistics
-    frames_sent: u64,
-    frames_delivered: u64,
-    collisions: u64,
-    silent_losses: u64,
-    audit: RateAudit,
-    rate_timeline: Vec<(f64, usize)>,
+}
+
+impl TraceMedium {
+    // --- TCP plumbing -----------------------------------------------------
+
+    /// Moves sendable TCP segments of `flow` into its data link's MAC
+    /// queue, respecting the queue cap, and keeps the RTO timer armed.
+    fn pump_flow(&mut self, core: &mut Core, flow: usize) {
+        let now = core.now();
+        let data_link = self.flows[flow].data_link;
+        let upload = self.cfg.upload;
+        if self.cfg.traffic == TrafficKind::UdpBulk {
+            // Saturated source: keep the data link's MAC queue topped up.
+            // The queue lives at whichever node originates the data (client
+            // for uploads, AP for downloads); there is no transport-layer
+            // feedback and no retransmission timer.
+            while self.links[data_link].queue.len() < self.cfg.queue_cap {
+                let seq = self.flows[flow].udp_next;
+                self.flows[flow].udp_next += 1;
+                self.enqueue(core, data_link, Payload::Segment(seq));
+            }
+            return;
+        }
+        loop {
+            if upload {
+                // Sender sits on the client; segments enter the uplink MAC
+                // queue directly.
+                if self.links[data_link].queue.len() >= self.cfg.queue_cap {
+                    break;
+                }
+                match self.flows[flow].sender.next_segment(now) {
+                    Some(seq) => {
+                        self.enqueue(core, data_link, Payload::Segment(seq));
+                    }
+                    None => break,
+                }
+            } else {
+                // Sender sits on the LAN host; segments cross the wire
+                // first. The wired link is not the bottleneck; window
+                // limits apply at the sender.
+                match self.flows[flow].sender.next_segment(now) {
+                    Some(seq) => self.send_wired(core, flow, true, seq, false),
+                    None => break,
+                }
+            }
+        }
+        self.arm_rto(core, flow);
+    }
+
+    fn arm_rto(&mut self, core: &mut Core, flow: usize) {
+        if self.cfg.traffic == TrafficKind::UdpBulk {
+            return;
+        }
+        if !self.flows[flow].sender.needs_timer() {
+            return;
+        }
+        self.flows[flow].rto_epoch += 1;
+        let epoch = self.flows[flow].rto_epoch;
+        let rto = self.flows[flow].sender.current_rto();
+        core.events
+            .schedule_in(rto, MacEv::Medium(NetEv::Rto { flow, epoch }));
+    }
+
+    fn on_rto(&mut self, core: &mut Core, flow: usize, epoch: u64) {
+        if self.cfg.traffic == TrafficKind::UdpBulk && epoch != 0 {
+            return;
+        }
+        // Epoch 0 is the kick-off pseudo-timer.
+        if epoch != 0 && epoch != self.flows[flow].rto_epoch {
+            return; // stale timer
+        }
+        if epoch != 0 {
+            if !self.flows[flow].sender.needs_timer() {
+                return;
+            }
+            self.flows[flow].sender.on_timeout();
+        }
+        self.pump_flow(core, flow);
+    }
+
+    /// Sends a packet across the wired link (AP<->LAN gateway).
+    fn send_wired(
+        &mut self,
+        core: &mut Core,
+        flow: usize,
+        payload_is_segment: bool,
+        value: u64,
+        to_lan: bool,
+    ) {
+        let now = core.now();
+        let bytes = if payload_is_segment {
+            self.cfg.tcp.mss + IP_TCP_HEADER
+        } else {
+            40
+        };
+        let ser = bytes as f64 * 8.0 / self.cfg.wired_rate_bps;
+        let busy = if to_lan {
+            &mut self.wired_busy_to_lan
+        } else {
+            &mut self.wired_busy_to_ap
+        };
+        let start = busy.max(now);
+        *busy = start + ser;
+        let deliver = start + ser + self.cfg.wired_delay;
+        core.events.schedule(
+            deliver,
+            MacEv::Medium(NetEv::WiredDeliver {
+                flow,
+                payload_is_segment,
+                value,
+                to_lan,
+            }),
+        );
+    }
+
+    fn on_wired(
+        &mut self,
+        core: &mut Core,
+        flow: usize,
+        payload_is_segment: bool,
+        value: u64,
+        to_lan: bool,
+    ) {
+        if to_lan {
+            if payload_is_segment {
+                // Upload data reaching the LAN host: receive, ACK back.
+                let cum = self.flows[flow].receiver.on_segment(value);
+                self.send_wired(core, flow, false, cum, false);
+            } else {
+                // Download ACK reaching the LAN sender.
+                let restart = self.flows[flow].sender.on_ack(value, core.now());
+                if restart {
+                    self.arm_rto(core, flow);
+                }
+                self.pump_flow(core, flow);
+            }
+        } else {
+            // Arriving at the AP: onto the appropriate wireless queue.
+            let link = if payload_is_segment {
+                self.flows[flow].data_link // download data
+            } else {
+                self.flows[flow].ack_link // upload ACK path
+            };
+            if self.links[link].queue.len() < self.cfg.queue_cap {
+                let payload = if payload_is_segment {
+                    Payload::Segment(value)
+                } else {
+                    Payload::Ack(value)
+                };
+                self.enqueue(core, link, payload);
+            }
+            // else: drop-tail; TCP recovers.
+        }
+    }
+
+    // --- Wireless MAC -------------------------------------------------------
+
+    fn enqueue(&mut self, core: &mut Core, link: usize, payload: Payload) {
+        self.links[link].queue.push_back(payload);
+        let node = self.links[link].src;
+        if !core.senders[node].busy && !core.senders[node].start_pending {
+            let cw = self
+                .pick_port(node)
+                .map(|l| core.ports[l].cw)
+                .unwrap_or(CW_MIN);
+            core.schedule_tx_start(node, None, cw);
+        }
+    }
+
+    /// Hands a delivered wireless frame to the next layer.
+    fn deliver_payload(&mut self, core: &mut Core, link: usize, payload: Payload) {
+        let flow = self.links[link].flow;
+        let upload = self.cfg.upload;
+        if self.cfg.traffic == TrafficKind::UdpBulk {
+            // Datagram reached the far side of the wireless hop; count it
+            // and keep the source saturated. (The wired segment is never
+            // the bottleneck and UDP has no return traffic.)
+            if matches!(payload, Payload::Segment(_)) {
+                self.flows[flow].udp_delivered += 1;
+            }
+            self.pump_flow(core, flow);
+            return;
+        }
+        match payload {
+            Payload::Segment(seq) => {
+                if upload {
+                    // Client -> AP -> wired -> LAN receiver.
+                    self.send_wired(core, flow, true, seq, true);
+                } else {
+                    // AP -> client: the client is the TCP receiver; its ACK
+                    // rides the uplink.
+                    let cum = self.flows[flow].receiver.on_segment(seq);
+                    let ack_link = self.flows[flow].ack_link;
+                    if self.links[ack_link].queue.len() < self.cfg.queue_cap {
+                        self.enqueue(core, ack_link, Payload::Ack(cum));
+                    }
+                }
+            }
+            Payload::Ack(cum) => {
+                if upload {
+                    // AP -> client TCP ACK: feed the client-side sender.
+                    let restart = self.flows[flow].sender.on_ack(cum, core.now());
+                    if restart {
+                        self.arm_rto(core, flow);
+                    }
+                    self.pump_flow(core, flow);
+                } else {
+                    // Client -> AP TCP ACK: forward to the LAN sender.
+                    self.send_wired(core, flow, false, cum, true);
+                }
+            }
+        }
+        // Frame left the queue: the flow may have new room.
+        self.pump_flow(core, flow);
+    }
+}
+
+impl Medium for TraceMedium {
+    type Event = NetEv;
+    type TxInfo = Payload;
+
+    fn kickoff(&mut self, core: &mut Core) {
+        // Kick flows off, slightly staggered.
+        for f in 0..self.flows.len() {
+            let t0 = 0.002 * f as f64;
+            core.events
+                .schedule(t0, MacEv::Medium(NetEv::Rto { flow: f, epoch: 0 }));
+        }
+        for f in 0..self.flows.len() {
+            self.pump_flow(core, f);
+        }
+    }
+
+    /// Round-robin choice among the node's links with queued frames.
+    fn pick_port(&mut self, node: usize) -> Option<usize> {
+        let n = self.nodes[node].links_out.len();
+        for k in 0..n {
+            let idx = self.nodes[node].links_out[(self.nodes[node].rr + k) % n];
+            if !self.links[idx].queue.is_empty() {
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// Probabilistic carrier sense: the AP and clients always hear each
+    /// other; between clients the probability is configured (hidden
+    /// terminals, §6.4).
+    fn carrier_sense(&mut self, core: &Core, node: usize) -> Option<f64> {
+        let mut sensed_until: Option<f64> = None;
+        for tx in &core.active {
+            let other_src = tx.sender;
+            if other_src == node {
+                continue;
+            }
+            let p = if node == 0 || other_src == 0 {
+                1.0
+            } else {
+                self.cfg.carrier_sense_prob
+            };
+            let heard = hash_uniform(&[tx.id, node as u64, self.cfg.seed]) < p;
+            if heard {
+                sensed_until = Some(sensed_until.map_or(tx.end, |u: f64| u.max(tx.end)));
+            }
+        }
+        sensed_until
+    }
+
+    fn begin_attempt(
+        &mut self,
+        _node: usize,
+        port: usize,
+        now: f64,
+        _attempt: &mut softrate_core::adapter::TxAttempt,
+    ) -> AttemptInfo<Payload> {
+        let payload = *self.links[port]
+            .queue
+            .front()
+            .expect("picked link has a frame");
+        let payload_bytes = match payload {
+            Payload::Segment(_) => self.cfg.tcp.mss + IP_TCP_HEADER,
+            Payload::Ack(_) => 40,
+        };
+        let is_segment = matches!(payload, Payload::Segment(_));
+        AttemptInfo {
+            payload_bytes,
+            counts_as_data: is_segment,
+            // Audit against the omniscient oracle (Figures 14/18).
+            audit_best: is_segment.then(|| {
+                self.links[port]
+                    .trace
+                    .best_rate_at(now, self.cfg.frame_bits())
+            }),
+            timeline: is_segment && self.links[port].flow == 0 && port == self.flows[0].data_link,
+            info: payload,
+        }
+    }
+
+    /// Single collision domain: every pair of overlapping non-RTS
+    /// transmissions corrupts each other. RTS-protected transmissions
+    /// reserved the medium and neither corrupt nor get corrupted.
+    fn mark_collisions(&mut self, tx: &mut ActiveTx<Payload>, active: &mut [ActiveTx<Payload>]) {
+        if tx.use_rts {
+            return;
+        }
+        for o in active.iter_mut().filter(|o| !o.use_rts) {
+            o.collided = true;
+            o.first_other_start = o.first_other_start.min(tx.start);
+            o.max_other_end = o.max_other_end.max(tx.end);
+            tx.collided = true;
+            tx.first_other_start = tx.first_other_start.min(o.start);
+            tx.max_other_end = tx.max_other_end.max(o.end);
+        }
+    }
+
+    /// Clean-channel fate from the trace.
+    fn fate(&mut self, tx: &ActiveTx<Payload>) -> FrameFate {
+        self.links[tx.port].trace.frame_fate(
+            tx.rate_idx,
+            tx.start,
+            tx.payload_bytes * 8,
+            tx.port as u64,
+            tx.attempt,
+        )
+    }
+
+    fn on_acked(&mut self, core: &mut Core, tx: &ActiveTx<Payload>) {
+        core.stats.frames_delivered += u64::from(matches!(tx.info, Payload::Segment(_)));
+        self.links[tx.port].queue.pop_front();
+        let node = tx.sender;
+        self.nodes[node].rr = (self.nodes[node].rr + 1) % self.nodes[node].links_out.len().max(1);
+        self.deliver_payload(core, tx.port, tx.info);
+    }
+
+    fn on_dropped(&mut self, core: &mut Core, tx: &ActiveTx<Payload>) {
+        self.links[tx.port].queue.pop_front();
+        let flow = self.links[tx.port].flow;
+        self.pump_flow(core, flow); // queue space may have opened
+    }
+
+    fn after_outcome(&mut self, core: &mut Core, node: usize) {
+        if let Some(port) = self.pick_port(node) {
+            if !core.senders[node].start_pending {
+                let cw = core.ports[port].cw;
+                core.schedule_tx_start(node, None, cw);
+            }
+        }
+    }
+
+    fn on_event(&mut self, core: &mut Core, ev: NetEv) {
+        match ev {
+            NetEv::WiredDeliver {
+                flow,
+                payload_is_segment,
+                value,
+                to_lan,
+            } => self.on_wired(core, flow, payload_is_segment, value, to_lan),
+            NetEv::Rto { flow, epoch } => self.on_rto(core, flow, epoch),
+        }
+    }
+}
+
+/// The simulator: a [`MacEngine`] configured with a [`TraceMedium`].
+pub struct NetSim {
+    engine: MacEngine<TraceMedium>,
 }
 
 impl NetSim {
@@ -207,11 +484,10 @@ impl NetSim {
             .map(|_| WNode {
                 links_out: Vec::new(),
                 rr: 0,
-                busy: false,
-                start_pending: false,
             })
             .collect();
         let mut links = Vec::new();
+        let mut ports = Vec::new();
         let mut flows = Vec::new();
 
         for c in 0..cfg.n_clients {
@@ -221,39 +497,33 @@ impl NetSim {
 
             // Uplink: client -> AP.
             let up_id = links.len();
+            ports.push(Port::new(cfg.adapter.build(
+                &up_trace,
+                frame_bits,
+                payload_bytes,
+                cfg.seed ^ up_id as u64,
+            )));
             links.push(WLink {
                 src: client,
                 flow: c,
-                adapter: cfg.adapter.build(
-                    &up_trace,
-                    frame_bits,
-                    payload_bytes,
-                    cfg.seed ^ up_id as u64,
-                ),
                 trace: up_trace,
                 queue: VecDeque::new(),
-                retries: 0,
-                cw: CW_MIN,
-                attempts: 0,
             });
             nodes[client].links_out.push(up_id);
 
             // Downlink: AP -> client.
             let down_id = links.len();
+            ports.push(Port::new(cfg.adapter.build(
+                &down_trace,
+                frame_bits,
+                payload_bytes,
+                cfg.seed ^ down_id as u64 ^ 0xD0,
+            )));
             links.push(WLink {
                 src: 0,
                 flow: c,
-                adapter: cfg.adapter.build(
-                    &down_trace,
-                    frame_bits,
-                    payload_bytes,
-                    cfg.seed ^ down_id as u64 ^ 0xD0,
-                ),
                 trace: down_trace,
                 queue: VecDeque::new(),
-                retries: 0,
-                cw: CW_MIN,
-                attempts: 0,
             });
             nodes[0].links_out.push(down_id);
 
@@ -273,522 +543,55 @@ impl NetSim {
             });
         }
 
-        let rng = SmallRng::seed_from_u64(cfg.seed ^ 0x4E455453);
-        NetSim {
-            events: EventQueue::new(),
+        let params = MacParams {
+            postambles: cfg.adapter.postambles(),
+            detect_prob: cfg.adapter.detect_prob(),
+            backoff_seed: cfg.seed ^ 0x4E455453,
+            collision_seed: cfg.seed,
+        };
+        let n_senders = cfg.n_clients + 1;
+        let medium = TraceMedium {
+            cfg,
             links,
             nodes,
             flows,
-            active: Vec::new(),
-            pending: Vec::new(),
-            next_tx_id: 1,
-            rng,
             wired_busy_to_lan: 0.0,
             wired_busy_to_ap: 0.0,
-            frames_sent: 0,
-            frames_delivered: 0,
-            collisions: 0,
-            silent_losses: 0,
-            audit: RateAudit::default(),
-            rate_timeline: Vec::new(),
-            cfg,
+        };
+        NetSim {
+            engine: MacEngine::new(n_senders, ports, params, medium),
         }
     }
 
     /// Runs to `cfg.duration` and reports.
-    pub fn run(mut self) -> SimReport {
-        // Kick flows off, slightly staggered.
-        for f in 0..self.flows.len() {
-            let t0 = 0.002 * f as f64;
-            self.events.schedule(t0, Ev::Rto { flow: f, epoch: 0 });
-        }
-        for f in 0..self.flows.len() {
-            self.pump_flow(f);
-        }
+    pub fn run(mut self) -> RunReport {
+        let duration = self.engine.medium.cfg.duration;
+        self.engine.run(duration);
 
-        while let Some(ev) = self.events.pop() {
-            if ev.time > self.cfg.duration {
-                break;
-            }
-            match ev.event {
-                Ev::TxStart { node } => self.on_tx_start(node),
-                Ev::TxEnd { tx } => self.on_tx_end(tx),
-                Ev::Outcome { tx } => self.on_outcome(tx),
-                Ev::WiredDeliver {
-                    flow,
-                    payload_is_segment,
-                    value,
-                    to_lan,
-                } => self.on_wired(flow, payload_is_segment, value, to_lan),
-                Ev::Rto { flow, epoch } => self.on_rto(flow, epoch),
-            }
-        }
-
-        let duration = self.cfg.duration;
-        let mss_bits = self.cfg.tcp.mss as f64 * 8.0;
-        let per_flow: Vec<f64> = self
+        let m = &self.engine.medium;
+        let stats = &mut self.engine.core.stats;
+        let mss_bits = m.cfg.tcp.mss as f64 * 8.0;
+        let per_flow: Vec<f64> = m
             .flows
             .iter()
-            .map(|f| match self.cfg.traffic {
+            .map(|f| match m.cfg.traffic {
                 TrafficKind::Tcp => f.sender.delivered as f64 * mss_bits / duration,
                 TrafficKind::UdpBulk => f.udp_delivered as f64 * mss_bits / duration,
             })
             .collect();
-        SimReport {
-            adapter_name: self.cfg.adapter.name().to_string(),
+        RunReport {
+            adapter_name: m.cfg.adapter.name().to_string(),
             aggregate_goodput_bps: per_flow.iter().sum(),
             per_flow_goodput_bps: per_flow,
-            audit: self.audit,
-            frames_sent: self.frames_sent,
-            frames_delivered: self.frames_delivered,
-            collisions: self.collisions,
-            silent_losses: self.silent_losses,
-            rate_timeline: self.rate_timeline,
+            audit: stats.audit,
+            frames_sent: stats.frames_sent,
+            frames_delivered: stats.frames_delivered,
+            collisions: stats.collisions,
+            silent_losses: stats.silent_losses,
+            rate_timeline: std::mem::take(&mut stats.rate_timeline),
+            events_processed: stats.events_processed,
+            ..RunReport::default()
         }
-    }
-
-    // --- TCP plumbing -----------------------------------------------------
-
-    /// Moves sendable TCP segments of `flow` into its data link's MAC
-    /// queue, respecting the queue cap, and keeps the RTO timer armed.
-    fn pump_flow(&mut self, flow: usize) {
-        let now = self.events.now();
-        let data_link = self.flows[flow].data_link;
-        let upload = self.cfg.upload;
-        if self.cfg.traffic == TrafficKind::UdpBulk {
-            // Saturated source: keep the data link's MAC queue topped up.
-            // The queue lives at whichever node originates the data (client
-            // for uploads, AP for downloads); there is no transport-layer
-            // feedback and no retransmission timer.
-            while self.links[data_link].queue.len() < self.cfg.queue_cap {
-                let seq = self.flows[flow].udp_next;
-                self.flows[flow].udp_next += 1;
-                self.enqueue(data_link, Payload::Segment(seq));
-            }
-            return;
-        }
-        loop {
-            if upload {
-                // Sender sits on the client; segments enter the uplink MAC
-                // queue directly.
-                if self.links[data_link].queue.len() >= self.cfg.queue_cap {
-                    break;
-                }
-                match self.flows[flow].sender.next_segment(now) {
-                    Some(seq) => {
-                        self.enqueue(data_link, Payload::Segment(seq));
-                    }
-                    None => break,
-                }
-            } else {
-                // Sender sits on the LAN host; segments cross the wire
-                // first. The wired link is not the bottleneck; window
-                // limits apply at the sender.
-                match self.flows[flow].sender.next_segment(now) {
-                    Some(seq) => self.send_wired(flow, true, seq, false),
-                    None => break,
-                }
-            }
-        }
-        self.arm_rto(flow);
-    }
-
-    fn arm_rto(&mut self, flow: usize) {
-        if self.cfg.traffic == TrafficKind::UdpBulk {
-            return;
-        }
-        if !self.flows[flow].sender.needs_timer() {
-            return;
-        }
-        self.flows[flow].rto_epoch += 1;
-        let epoch = self.flows[flow].rto_epoch;
-        let rto = self.flows[flow].sender.current_rto();
-        self.events.schedule_in(rto, Ev::Rto { flow, epoch });
-    }
-
-    fn on_rto(&mut self, flow: usize, epoch: u64) {
-        if self.cfg.traffic == TrafficKind::UdpBulk && epoch != 0 {
-            return;
-        }
-        // Epoch 0 is the kick-off pseudo-timer.
-        if epoch != 0 && epoch != self.flows[flow].rto_epoch {
-            return; // stale timer
-        }
-        if epoch != 0 {
-            if !self.flows[flow].sender.needs_timer() {
-                return;
-            }
-            self.flows[flow].sender.on_timeout();
-        }
-        self.pump_flow(flow);
-    }
-
-    /// Sends a packet across the wired link (AP<->LAN gateway).
-    fn send_wired(&mut self, flow: usize, payload_is_segment: bool, value: u64, to_lan: bool) {
-        let now = self.events.now();
-        let bytes = if payload_is_segment {
-            self.cfg.tcp.mss + IP_TCP_HEADER
-        } else {
-            40
-        };
-        let ser = bytes as f64 * 8.0 / self.cfg.wired_rate_bps;
-        let busy = if to_lan {
-            &mut self.wired_busy_to_lan
-        } else {
-            &mut self.wired_busy_to_ap
-        };
-        let start = busy.max(now);
-        *busy = start + ser;
-        let deliver = start + ser + self.cfg.wired_delay;
-        self.events.schedule(
-            deliver,
-            Ev::WiredDeliver {
-                flow,
-                payload_is_segment,
-                value,
-                to_lan,
-            },
-        );
-    }
-
-    fn on_wired(&mut self, flow: usize, payload_is_segment: bool, value: u64, to_lan: bool) {
-        if to_lan {
-            if payload_is_segment {
-                // Upload data reaching the LAN host: receive, ACK back.
-                let cum = self.flows[flow].receiver.on_segment(value);
-                self.send_wired(flow, false, cum, false);
-            } else {
-                // Download ACK reaching the LAN sender.
-                let restart = self.flows[flow].sender.on_ack(value, self.events.now());
-                if restart {
-                    self.arm_rto(flow);
-                }
-                self.pump_flow(flow);
-            }
-        } else {
-            // Arriving at the AP: onto the appropriate wireless queue.
-            let link = if payload_is_segment {
-                self.flows[flow].data_link // download data
-            } else {
-                self.flows[flow].ack_link // upload ACK path
-            };
-            if self.links[link].queue.len() < self.cfg.queue_cap {
-                let payload = if payload_is_segment {
-                    Payload::Segment(value)
-                } else {
-                    Payload::Ack(value)
-                };
-                self.enqueue(link, payload);
-            }
-            // else: drop-tail; TCP recovers.
-        }
-    }
-
-    // --- Wireless MAC -------------------------------------------------------
-
-    fn enqueue(&mut self, link: usize, payload: Payload) {
-        self.links[link].queue.push_back(payload);
-        let node = self.links[link].src;
-        if !self.nodes[node].busy && !self.nodes[node].start_pending {
-            self.schedule_tx_start(node, None);
-        }
-    }
-
-    /// Schedules the node's next channel-access attempt after DIFS plus a
-    /// backoff drawn from the given link's contention window (or CW_MIN).
-    fn schedule_tx_start(&mut self, node: usize, after: Option<f64>) {
-        let cw = self.next_link_cw(node).unwrap_or(CW_MIN);
-        let slots = self.rng.gen_range(0..=cw) as f64;
-        let at = after.unwrap_or(self.events.now()) + DIFS + slots * SLOT;
-        self.nodes[node].start_pending = true;
-        self.events.schedule(at, Ev::TxStart { node });
-    }
-
-    /// Contention window of the link the node would serve next.
-    fn next_link_cw(&self, node: usize) -> Option<u32> {
-        self.pick_link(node).map(|l| self.links[l].cw)
-    }
-
-    /// Round-robin choice among the node's links with queued frames.
-    fn pick_link(&self, node: usize) -> Option<usize> {
-        let n = self.nodes[node].links_out.len();
-        for k in 0..n {
-            let idx = self.nodes[node].links_out[(self.nodes[node].rr + k) % n];
-            if !self.links[idx].queue.is_empty() {
-                return Some(idx);
-            }
-        }
-        None
-    }
-
-    fn on_tx_start(&mut self, node: usize) {
-        self.nodes[node].start_pending = false;
-        if self.nodes[node].busy {
-            return; // will reschedule when freed
-        }
-        let Some(link) = self.pick_link(node) else {
-            return;
-        };
-
-        // Carrier sense: the AP and clients always hear each other; between
-        // clients the probability is configured (hidden terminals, §6.4).
-        let mut sensed_until: Option<f64> = None;
-        for tx in &self.active {
-            let other_src = self.links[tx.link].src;
-            if other_src == node {
-                continue;
-            }
-            let p = if node == 0 || other_src == 0 {
-                1.0
-            } else {
-                self.cfg.carrier_sense_prob
-            };
-            let heard = hash_uniform(&[tx.id, node as u64, self.cfg.seed]) < p;
-            if heard {
-                sensed_until = Some(sensed_until.map_or(tx.end, |u: f64| u.max(tx.end)));
-            }
-        }
-        if let Some(until) = sensed_until {
-            self.schedule_tx_start(node, Some(until));
-            return;
-        }
-
-        // Transmit.
-        let now = self.events.now();
-        let l = &mut self.links[link];
-        let attempt = l.adapter.next_attempt(now);
-        let rate = softrate_phy::rates::PAPER_RATES[attempt.rate_idx];
-        let payload = *l.queue.front().expect("picked link has a frame");
-        let payload_bytes = match payload {
-            Payload::Segment(_) => self.cfg.tcp.mss + IP_TCP_HEADER,
-            Payload::Ack(_) => 40,
-        };
-        let postamble = self.cfg.adapter.postambles();
-        let rts = attempt.use_rts;
-        let air = data_airtime(rate, payload_bytes, postamble)
-            + if rts { rts_cts_overhead() } else { 0.0 };
-        let id = self.next_tx_id;
-        self.next_tx_id += 1;
-        l.attempts += 1;
-        let attempt_no = l.attempts;
-
-        let tx = ActiveTx {
-            id,
-            link,
-            start: now,
-            end: now + air,
-            header_end: now + air * HEADER_AIRTIME_FRAC,
-            rate_idx: attempt.rate_idx,
-            use_rts: rts,
-            payload,
-            attempt: attempt_no,
-            collided: false,
-            first_other_start: f64::INFINITY,
-            max_other_end: f64::NEG_INFINITY,
-            done: false,
-        };
-
-        // Overlap bookkeeping (single collision domain). RTS-protected
-        // transmissions reserved the medium and neither corrupt nor get
-        // corrupted.
-        if !rts {
-            // Two-phase to appease the borrow checker: collect first.
-            let mut others: Vec<(f64, f64)> = Vec::new();
-            for o in self.active.iter_mut().filter(|o| !o.use_rts) {
-                o.collided = true;
-                o.first_other_start = o.first_other_start.min(now);
-                o.max_other_end = o.max_other_end.max(now + air);
-                others.push((o.start, o.end));
-            }
-            let mut tx = tx;
-            for (os, oe) in others {
-                tx.collided = true;
-                tx.first_other_start = tx.first_other_start.min(os);
-                tx.max_other_end = tx.max_other_end.max(oe);
-            }
-            self.nodes[node].busy = true;
-            self.events.schedule(tx.end, Ev::TxEnd { tx: id });
-            self.active.push(tx);
-        } else {
-            self.nodes[node].busy = true;
-            self.events.schedule(tx.end, Ev::TxEnd { tx: id });
-            self.active.push(tx);
-        }
-
-        if matches!(payload, Payload::Segment(_)) {
-            self.frames_sent += 1;
-            // Audit against the omniscient oracle (Figures 14/18).
-            let best = self.links[link]
-                .trace
-                .best_rate_at(now, self.cfg.frame_bits());
-            match attempt.rate_idx.cmp(&best) {
-                std::cmp::Ordering::Greater => self.audit.overselect += 1,
-                std::cmp::Ordering::Equal => self.audit.accurate += 1,
-                std::cmp::Ordering::Less => self.audit.underselect += 1,
-            }
-            if self.links[link].flow == 0 && link == self.flows[0].data_link {
-                self.rate_timeline.push((now, attempt.rate_idx));
-            }
-        }
-    }
-
-    fn on_tx_end(&mut self, tx_id: u64) {
-        let idx = self
-            .active
-            .iter()
-            .position(|t| t.id == tx_id)
-            .expect("unknown tx");
-        let mut tx = self.active.swap_remove(idx);
-        tx.done = true;
-        // Sender waits a feedback window before concluding anything.
-        self.events.schedule(
-            tx.end + SIFS + feedback_airtime(),
-            Ev::Outcome { tx: tx_id },
-        );
-        self.pending.push(tx);
-    }
-
-    fn on_outcome(&mut self, tx_id: u64) {
-        let idx = self
-            .pending
-            .iter()
-            .position(|t| t.id == tx_id)
-            .expect("unknown pending tx");
-        let tx = self.pending.swap_remove(idx);
-        let now = self.events.now();
-        let link = tx.link;
-        let node = self.links[link].src;
-        let payload_bytes = match tx.payload {
-            Payload::Segment(_) => self.cfg.tcp.mss + IP_TCP_HEADER,
-            Payload::Ack(_) => 40,
-        };
-        let frame_bits = payload_bytes * 8;
-        let rate = softrate_phy::rates::PAPER_RATES[tx.rate_idx];
-
-        // Clean-channel fate from the trace (also needed under collision
-        // for the interference-free BER feedback).
-        let fate = self.links[link].trace.frame_fate(
-            tx.rate_idx,
-            tx.start,
-            frame_bits,
-            link as u64,
-            tx.attempt,
-        );
-
-        let postambles = self.cfg.adapter.postambles();
-        let mut outcome = TxOutcome {
-            rate_idx: tx.rate_idx,
-            acked: false,
-            feedback_received: false,
-            ber_feedback: None,
-            interference_flagged: false,
-            postamble_ack: false,
-            snr_feedback_db: None,
-            airtime: attempt_airtime(rate, payload_bytes, postambles, tx.use_rts),
-            now,
-        };
-
-        if tx.collided && !tx.use_rts {
-            self.collisions += 1;
-            let flagged =
-                hash_uniform(&[tx.id, 0x00DE_7EC7, self.cfg.seed]) < self.cfg.adapter.detect_prob();
-            let timing = CollisionTiming {
-                start: tx.start,
-                header_end: tx.header_end,
-                end: tx.end,
-                first_other_start: tx.first_other_start,
-                max_other_end: tx.max_other_end,
-            };
-            if apply_collision_feedback(&mut outcome, &timing, &fate, flagged, postambles) {
-                self.silent_losses += 1;
-            }
-        } else {
-            // Clean medium: the trace decides.
-            if fate.detected && fate.header_ok {
-                outcome.feedback_received = true;
-                outcome.acked = fate.delivered;
-                outcome.ber_feedback = fate.ber_feedback;
-                outcome.snr_feedback_db = fate.snr_feedback_db;
-            } else {
-                self.silent_losses += 1;
-            }
-        }
-
-        self.links[link].adapter.on_outcome(&outcome);
-
-        if outcome.acked {
-            self.frames_delivered += u64::from(matches!(tx.payload, Payload::Segment(_)));
-            self.links[link].queue.pop_front();
-            self.links[link].retries = 0;
-            self.links[link].cw = CW_MIN;
-            self.nodes[node].rr =
-                (self.nodes[node].rr + 1) % self.nodes[node].links_out.len().max(1);
-            self.deliver_payload(link, tx.payload);
-        } else {
-            let l = &mut self.links[link];
-            l.retries += 1;
-            if l.retries > MAX_RETRIES {
-                l.queue.pop_front();
-                l.retries = 0;
-                l.cw = CW_MIN;
-                let flow = l.flow;
-                self.pump_flow(flow); // queue space may have opened
-            } else {
-                l.cw = (l.cw * 2 + 1).min(CW_MAX);
-            }
-        }
-
-        self.nodes[node].busy = false;
-        if self.pick_link(node).is_some() && !self.nodes[node].start_pending {
-            self.schedule_tx_start(node, None);
-        }
-    }
-
-    /// Hands a delivered wireless frame to the next layer.
-    fn deliver_payload(&mut self, link: usize, payload: Payload) {
-        let flow = self.links[link].flow;
-        let upload = self.cfg.upload;
-        if self.cfg.traffic == TrafficKind::UdpBulk {
-            // Datagram reached the far side of the wireless hop; count it
-            // and keep the source saturated. (The wired segment is never
-            // the bottleneck and UDP has no return traffic.)
-            if matches!(payload, Payload::Segment(_)) {
-                self.flows[flow].udp_delivered += 1;
-            }
-            self.pump_flow(flow);
-            return;
-        }
-        match payload {
-            Payload::Segment(seq) => {
-                if upload {
-                    // Client -> AP -> wired -> LAN receiver.
-                    self.send_wired(flow, true, seq, true);
-                } else {
-                    // AP -> client: the client is the TCP receiver; its ACK
-                    // rides the uplink.
-                    let cum = self.flows[flow].receiver.on_segment(seq);
-                    let ack_link = self.flows[flow].ack_link;
-                    if self.links[ack_link].queue.len() < self.cfg.queue_cap {
-                        self.enqueue(ack_link, Payload::Ack(cum));
-                    }
-                }
-            }
-            Payload::Ack(cum) => {
-                if upload {
-                    // AP -> client TCP ACK: feed the client-side sender.
-                    let restart = self.flows[flow].sender.on_ack(cum, self.events.now());
-                    if restart {
-                        self.arm_rto(flow);
-                    }
-                    self.pump_flow(flow);
-                } else {
-                    // Client -> AP TCP ACK: forward to the LAN sender.
-                    self.send_wired(flow, false, cum, true);
-                }
-            }
-        }
-        // Frame left the queue: the flow may have new room.
-        self.pump_flow(flow);
     }
 }
 
@@ -827,7 +630,7 @@ mod tests {
         })
     }
 
-    fn run_with(adapter: AdapterKind, n_clients: usize, cs: f64, best: usize) -> SimReport {
+    fn run_with(adapter: AdapterKind, n_clients: usize, cs: f64, best: usize) -> RunReport {
         let mut cfg = SimConfig::new(adapter, n_clients);
         cfg.duration = 3.0;
         cfg.carrier_sense_prob = cs;
@@ -989,5 +792,14 @@ mod tests {
         assert_eq!(a.aggregate_goodput_bps, b.aggregate_goodput_bps);
         assert_eq!(a.frames_sent, b.frames_sent);
         assert_eq!(a.collisions, b.collisions);
+    }
+
+    #[test]
+    fn spatial_only_report_fields_stay_at_defaults() {
+        let r = run_with(AdapterKind::Fixed(3), 1, 1.0, 5);
+        assert_eq!(r.inter_cell_corruptions, 0);
+        assert_eq!(r.handoffs, 0);
+        assert!(r.initial_assoc.is_empty() && r.handoff_log.is_empty());
+        assert!(r.events_processed > 0, "the unified engine counts events");
     }
 }
