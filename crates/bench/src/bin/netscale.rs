@@ -9,17 +9,30 @@
 //! in `BENCH_netscale.json` at the repository root — the seed of the
 //! repo's perf trajectory (compare across PRs).
 //!
+//! Measurement hygiene: one unrecorded warmup run precedes the ladder
+//! and every point reports the best of two timed runs (the simulation is
+//! deterministic — only the wall clock varies), so a scheduler hiccup
+//! does not land in the committed trajectory.
+//!
 //! `--smoke` (or `SOFTRATE_SMOKE=1`) shrinks the ladder and the duration.
+//! `--profile` additionally prints a per-phase wall-time breakdown
+//! (sense / begin / collision / fate / roam / queue+dispatch) per ladder
+//! point, so future perf PRs know where the time goes. Profiled rows keep
+//! identical simulation results but carry timer overhead, so the JSON is
+//! only refreshed on unprofiled runs. `--gate` is the CI perf check: one
+//! quick 400-station measurement that must stay within 30% of the
+//! committed trajectory.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use softrate_bench::{banner, smoke_mode};
 use softrate_net::mobility::MobilitySpec;
 use softrate_net::sim::{SpatialConfig, SpatialSim};
 use softrate_net::spatial::{HandoffPolicy, RoamingSpec, SpatialSpec};
 use softrate_sim::config::AdapterKind;
+use softrate_sim::mac::PhaseProfile;
 
 /// One ladder point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct NetScaleRow {
     stations: usize,
     aps: usize,
@@ -35,7 +48,7 @@ struct NetScaleRow {
 }
 
 /// The whole result file.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct NetScaleResults {
     bench: String,
     smoke: bool,
@@ -67,14 +80,107 @@ fn spec(stations: usize) -> SpatialSpec {
     }
 }
 
+/// Prints one ladder point's per-phase wall-time breakdown.
+fn print_profile(p: &PhaseProfile) {
+    let pct = |s: f64| 100.0 * s / p.total_s.max(1e-12);
+    println!(
+        "          profile: sense {:6.3}s ({:4.1}%)  begin {:6.3}s ({:4.1}%)  \
+         collision {:6.3}s ({:4.1}%)  fate {:6.3}s ({:4.1}%)",
+        p.sense_s,
+        pct(p.sense_s),
+        p.begin_s,
+        pct(p.begin_s),
+        p.collision_s,
+        pct(p.collision_s),
+        p.fate_s,
+        pct(p.fate_s),
+    );
+    println!(
+        "                   roam  {:6.3}s ({:4.1}%)  queue+dispatch {:6.3}s ({:4.1}%)  \
+         deferrals {}  transmissions {}",
+        p.medium_ev_s,
+        pct(p.medium_ev_s),
+        p.queue_s,
+        pct(p.queue_s),
+        p.deferrals,
+        p.transmissions,
+    );
+}
+
+/// The CI perf gate (`--gate`): one quick 400-station measurement against
+/// the committed trajectory. Tolerance is generous (events/sec may drop
+/// to 70% of the committed row before the gate trips) because it has to
+/// absorb runner-to-runner hardware variance on top of real regressions;
+/// the committed numbers themselves come from full `netscale` runs on a
+/// quiet machine.
+fn run_gate() -> ! {
+    const GATE_STATIONS: usize = 400;
+    const GATE_SIM_SECONDS: f64 = 2.0;
+    const GATE_TOLERANCE: f64 = 0.70;
+    banner("netscale --gate — perf regression check vs BENCH_netscale.json");
+    let committed: NetScaleResults = match std::fs::read_to_string("BENCH_netscale.json")
+        .map_err(|e| e.to_string())
+        .and_then(|s| serde_json::from_str(&s).map_err(|e| e.to_string()))
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gate: cannot read committed BENCH_netscale.json: {e}");
+            std::process::exit(1);
+        }
+    };
+    let Some(baseline) = committed.rows.iter().find(|r| r.stations == GATE_STATIONS) else {
+        eprintln!("gate: committed file has no {GATE_STATIONS}-station row");
+        std::process::exit(1);
+    };
+    // Warmup, then best of two (the simulation is deterministic; only the
+    // clock varies).
+    let measure = |duration: f64| -> f64 {
+        let mut cfg = SpatialConfig::new(AdapterKind::SoftRate, spec(GATE_STATIONS));
+        cfg.duration = duration;
+        let sim = SpatialSim::new(cfg).expect("bench spec is valid");
+        let started = std::time::Instant::now();
+        let report = sim.run();
+        report.events_processed as f64 / started.elapsed().as_secs_f64().max(1e-9)
+    };
+    measure(0.5);
+    let events_per_sec = measure(GATE_SIM_SECONDS).max(measure(GATE_SIM_SECONDS));
+    let floor = baseline.events_per_sec * GATE_TOLERANCE;
+    println!(
+        "measured {events_per_sec:.0} events/s at {GATE_STATIONS} stations; committed {:.0}; floor {floor:.0}",
+        baseline.events_per_sec
+    );
+    if events_per_sec < floor {
+        eprintln!(
+            "gate FAILED: events/sec regressed more than {:.0}% below the committed trajectory",
+            (1.0 - GATE_TOLERANCE) * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("gate passed");
+    std::process::exit(0);
+}
+
 fn main() {
     let smoke = smoke_mode();
+    let profile = std::env::args().any(|a| a == "--profile");
+    if std::env::args().any(|a| a == "--gate") {
+        run_gate();
+    }
     banner("netscale — spatial simulator throughput vs station count");
     let (ladder, sim_seconds): (&[usize], f64) = if smoke {
         (&[20, 60], 2.0)
     } else {
-        (&[50, 100, 200, 400], 10.0)
+        (&[50, 100, 200, 400, 800, 1600], 10.0)
     };
+
+    // Warm the allocator, page cache, and branch predictors before any
+    // timed run — the first ladder point otherwise absorbs all the
+    // cold-start cost.
+    {
+        let mut cfg = SpatialConfig::new(AdapterKind::SoftRate, spec(50));
+        cfg.duration = 1.0;
+        SpatialSim::new(cfg).expect("bench spec is valid").run();
+    }
 
     println!(
         "{:>9} {:>5} {:>8} {:>9} {:>11} {:>13} {:>9} {:>11} {:>9}",
@@ -82,12 +188,29 @@ fn main() {
     );
     let mut rows = Vec::new();
     for &stations in ladder {
-        let mut cfg = SpatialConfig::new(AdapterKind::SoftRate, spec(stations));
-        cfg.duration = sim_seconds;
-        let sim = SpatialSim::new(cfg).expect("bench spec is valid");
-        let started = std::time::Instant::now();
-        let report = sim.run();
-        let wall = started.elapsed().as_secs_f64();
+        // Best of two timed runs per point (identical results — the
+        // simulation is deterministic; only the wall clock varies), so a
+        // scheduler hiccup doesn't land in the committed trajectory.
+        let mut wall = f64::INFINITY;
+        let mut best: Option<(softrate_sim::mac::RunReport, Option<PhaseProfile>)> = None;
+        for _ in 0..if profile { 1 } else { 2 } {
+            let mut cfg = SpatialConfig::new(AdapterKind::SoftRate, spec(stations));
+            cfg.duration = sim_seconds;
+            let sim = SpatialSim::new(cfg).expect("bench spec is valid");
+            let started = std::time::Instant::now();
+            let (report, phases) = if profile {
+                let (report, phases) = sim.run_profiled();
+                (report, Some(phases))
+            } else {
+                (sim.run(), None)
+            };
+            let w = started.elapsed().as_secs_f64();
+            if w < wall {
+                wall = w;
+                best = Some((report, phases));
+            }
+        }
+        let (report, phases) = best.expect("at least one run");
         let row = NetScaleRow {
             stations,
             aps: 9,
@@ -112,9 +235,22 @@ fn main() {
             row.goodput_bps / 1e6,
             row.handoffs
         );
+        if let Some(p) = &phases {
+            print_profile(p);
+        }
         rows.push(row);
     }
 
+    if profile {
+        eprintln!("[--profile run: BENCH_netscale.json left untouched (timer overhead)]");
+        return;
+    }
+    if smoke {
+        // Smoke ladders have no 400-station row and must not clobber the
+        // committed trajectory the CI gate compares against.
+        eprintln!("[--smoke run: BENCH_netscale.json left untouched (partial ladder)]");
+        return;
+    }
     let results = NetScaleResults {
         bench: "netscale".to_string(),
         smoke,

@@ -25,12 +25,13 @@ const NUM_SINUSOIDS: usize = 16;
 #[derive(Debug, Clone)]
 pub struct JakesFading {
     doppler_hz: f64,
-    /// Per-sinusoid angular Doppler for the in-phase component.
-    wi: [f64; NUM_SINUSOIDS],
-    /// Per-sinusoid angular Doppler for the quadrature component.
-    wq: [f64; NUM_SINUSOIDS],
-    phi: [f64; NUM_SINUSOIDS],
-    psi: [f64; NUM_SINUSOIDS],
+    /// Preinterleaved `(angular rate, phase)` pairs: entry `2n` is the
+    /// in-phase sinusoid `(wi_n, phi_n)`, entry `2n+1` the quadrature
+    /// `(wq_n, psi_n)`. One flat array keeps [`JakesFading::gain`] a
+    /// single fused pass over contiguous memory instead of four parallel
+    /// arrays; the per-component accumulation order is unchanged, so
+    /// gains are bit-identical to the split layout.
+    wp: [(f64, f64); 2 * NUM_SINUSOIDS],
     amp: f64,
 }
 
@@ -43,27 +44,25 @@ impl JakesFading {
         assert!(doppler_hz >= 0.0);
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x4A4B_4553_0001);
         let theta: f64 = rng.gen_range(-PI..PI);
-        let mut wi = [0.0; NUM_SINUSOIDS];
-        let mut wq = [0.0; NUM_SINUSOIDS];
-        let mut phi = [0.0; NUM_SINUSOIDS];
-        let mut psi = [0.0; NUM_SINUSOIDS];
+        let mut wp = [(0.0, 0.0); 2 * NUM_SINUSOIDS];
         for n in 0..NUM_SINUSOIDS {
             // Zheng–Xiao arrival angles: alpha_n = (2 pi n - pi + theta) / 4M.
             let alpha = (2.0 * PI * (n as f64 + 1.0) - PI + theta) / (4.0 * NUM_SINUSOIDS as f64);
-            wi[n] = 2.0 * PI * doppler_hz * alpha.cos();
-            wq[n] = 2.0 * PI * doppler_hz * alpha.sin();
-            phi[n] = rng.gen_range(-PI..PI);
-            psi[n] = rng.gen_range(-PI..PI);
+            let wi = 2.0 * PI * doppler_hz * alpha.cos();
+            let wq = 2.0 * PI * doppler_hz * alpha.sin();
+            // RNG draw order (phi_n then psi_n per sinusoid) is part of
+            // the seeded contract — keep it.
+            let phi = rng.gen_range(-PI..PI);
+            let psi = rng.gen_range(-PI..PI);
+            wp[2 * n] = (wi, phi);
+            wp[2 * n + 1] = (wq, psi);
         }
         // sqrt(2/M) per component gives E[h_I^2] = E[h_Q^2] = 1; a further
         // 1/sqrt(2) normalizes total mean power E[|h|^2] to 1.
         let amp = (2.0 / NUM_SINUSOIDS as f64).sqrt() / 2f64.sqrt();
         JakesFading {
             doppler_hz,
-            wi,
-            wq,
-            phi,
-            psi,
+            wp,
             amp,
         }
     }
@@ -85,11 +84,15 @@ impl JakesFading {
 
     /// Samples the complex channel gain at absolute time `t` (seconds).
     pub fn gain(&self, t: f64) -> Complex {
+        // One fused pass over the interleaved pairs: both quadratures
+        // accumulate in the original per-component order (even entries →
+        // `hi`, odd → `hq`), so the sums are bit-identical to the
+        // dual-loop formulation this replaced.
         let mut hi = 0.0;
         let mut hq = 0.0;
-        for n in 0..NUM_SINUSOIDS {
-            hi += (self.wi[n] * t + self.phi[n]).cos();
-            hq += (self.wq[n] * t + self.psi[n]).cos();
+        for pair in self.wp.chunks_exact(2) {
+            hi += (pair[0].0 * t + pair[0].1).cos();
+            hq += (pair[1].0 * t + pair[1].1).cos();
         }
         Complex::new(hi * self.amp, hq * self.amp)
     }

@@ -15,7 +15,7 @@
 //! [`LinkTrace`]: softrate_trace::schema::LinkTrace
 
 use softrate_channel::analytic::{
-    analytic_ber, frame_success_prob, DETECT_SNR_DB, HEADER_FAIL_BER,
+    analytic_ber, frame_success_prob, FrameSuccessMemo, DETECT_SNR_DB, HEADER_FAIL_BER,
 };
 use softrate_channel::jakes::JakesFading;
 use softrate_trace::schema::FrameFate;
@@ -58,6 +58,15 @@ impl StreamingLink {
         mean_snr_db + self.envelope_db(t)
     }
 
+    /// Consumes and returns the link's next fate coin (uniform `[0, 1)`).
+    ///
+    /// The fast path draws the coin itself so it can resolve the fate
+    /// through [`fate_from_draw`] with a memoized envelope — one draw per
+    /// attempt either way, so the coin sequence is unchanged.
+    pub fn draw(&mut self) -> f64 {
+        self.stream.next_f64()
+    }
+
     /// Draws the interference-free fate of a `frame_bits`-bit frame sent at
     /// `t` and `rate_idx` on a link whose mean SNR is `mean_snr_db`.
     ///
@@ -73,26 +82,58 @@ impl StreamingLink {
     ) -> FrameFate {
         let u = self.stream.next_f64();
         let snr = self.snr_db(mean_snr_db, t);
-        if snr < DETECT_SNR_DB {
-            return FrameFate {
-                detected: false,
-                header_ok: false,
-                delivered: false,
-                ber_feedback: None,
-                snr_feedback_db: None,
-            };
-        }
-        let ber = analytic_ber(snr, rate_idx);
-        let header_ok = ber < HEADER_FAIL_BER;
-        let p = frame_success_prob(ber, frame_bits);
-        FrameFate {
-            detected: true,
-            header_ok,
-            delivered: header_ok && u < p,
-            ber_feedback: header_ok.then_some(ber),
-            snr_feedback_db: header_ok.then_some(snr),
-        }
+        fate_from_draw(u, snr, rate_idx, frame_bits)
     }
+}
+
+/// The undetectable-frame fate and the detected-frame assembly shared by
+/// both fate resolvers below — one body, so the memoized and unmemoized
+/// paths cannot drift apart.
+fn fate_from_parts(u: f64, snr: f64, ber_and_p: Option<(f64, f64)>) -> FrameFate {
+    let Some((ber, p)) = ber_and_p else {
+        return FrameFate {
+            detected: false,
+            header_ok: false,
+            delivered: false,
+            ber_feedback: None,
+            snr_feedback_db: None,
+        };
+    };
+    let header_ok = ber < HEADER_FAIL_BER;
+    FrameFate {
+        detected: true,
+        header_ok,
+        delivered: header_ok && u < p,
+        ber_feedback: header_ok.then_some(ber),
+        snr_feedback_db: header_ok.then_some(snr),
+    }
+}
+
+/// Resolves a frame fate from an already-drawn coin `u` and an
+/// already-computed instantaneous SNR — the exact body
+/// [`StreamingLink::fate`] has always applied, split out so the spatial
+/// fast path can feed it a memoized envelope (and memoized BER/success
+/// values that are themselves bit-identical to the kernels).
+pub fn fate_from_draw(u: f64, snr: f64, rate_idx: usize, frame_bits: usize) -> FrameFate {
+    let parts = (snr >= DETECT_SNR_DB).then(|| {
+        let ber = analytic_ber(snr, rate_idx);
+        (ber, frame_success_prob(ber, frame_bits))
+    });
+    fate_from_parts(u, snr, parts)
+}
+
+/// [`fate_from_draw`] with the BER/success pair served by a
+/// [`FrameSuccessMemo`] — identical output (the memo returns the exact
+/// kernel values), cheaper on exact-SNR repeats.
+pub fn fate_from_draw_memo(
+    u: f64,
+    snr: f64,
+    rate_idx: usize,
+    frame_bits: usize,
+    memo: &mut FrameSuccessMemo,
+) -> FrameFate {
+    let parts = (snr >= DETECT_SNR_DB).then(|| memo.ber_and_success(snr, rate_idx, frame_bits));
+    fate_from_parts(u, snr, parts)
 }
 
 #[cfg(test)]

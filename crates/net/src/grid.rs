@@ -1,0 +1,290 @@
+//! A uniform spatial index over the transmissions currently on the air.
+//!
+//! The spatial medium's hot passes (carrier sense on every channel-access
+//! attempt, interference marking on every transmission) only care about
+//! active transmitters within a *provable* radius of a point — the
+//! conservative inversion of the path-loss model
+//! ([`crate::spatial::SpatialParams::range_for_threshold`]). This grid
+//! keeps the active set bucketed by position so those passes visit only
+//! the buckets a query disk overlaps, instead of every transmitter on the
+//! floor.
+//!
+//! Exactness contract: the grid is a *candidate* filter, never a decision
+//! maker. Entries carry the transmitter's position at insert time; a
+//! station drifts while its frame is on the air, so every query radius
+//! must be padded by the caller's drift bound (mobility speed × maximum
+//! airtime) on top of the threshold radius. Callers then run the exact
+//! SNR check on each candidate — pruned transmitters provably fail it, so
+//! results are byte-identical to a full scan (pinned by the goldens and
+//! by `grid_and_sorted_sense_plans_are_result_identical` in
+//! `softrate-net::sim`).
+//!
+//! Cell sizing: cells are square with side ≈ the largest query radius
+//! (clamped to at least 1 m and to at most [`MAX_CELLS`] total), so a
+//! disk query touches at most ~9 buckets. Small active sets skip the
+//! bucket walk entirely and scan a flat mirror of the entries — cheaper
+//! than touching even a handful of empty buckets.
+
+use crate::geometry::{Point, Rect};
+
+/// Bucket walks are skipped below this many active entries (a flat scan
+/// of so few entries is cheaper than visiting empty buckets).
+const LINEAR_CUTOFF: usize = 8;
+
+/// Upper bound on `cols × rows` (caps memory for huge, sparse floors).
+const MAX_CELLS: usize = 4096;
+
+/// One transmission on the air.
+#[derive(Debug, Clone, Copy)]
+pub struct TxEntry {
+    /// Transmitting station.
+    pub sender: usize,
+    /// The station's position at transmit start (it may have drifted
+    /// since — see the module docs for the padding contract).
+    pub pos: Point,
+    /// When the transmission leaves the air, seconds.
+    pub end: f64,
+}
+
+/// A uniform grid of the active transmitter set.
+#[derive(Debug)]
+pub struct ActiveGrid {
+    origin: Point,
+    /// Square cell side, meters.
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    cells: Vec<Vec<TxEntry>>,
+    /// Flat mirror of every entry, for small-set linear scans.
+    all: Vec<TxEntry>,
+}
+
+impl ActiveGrid {
+    /// A grid over `bounds` sized for query disks of radius `radius_hint`
+    /// meters (the largest threshold radius the caller will query).
+    pub fn new(bounds: Rect, radius_hint: f64) -> Self {
+        let width = bounds.width().max(1e-9);
+        let height = bounds.height().max(1e-9);
+        let mut cell = radius_hint.clamp(1.0, width.max(height));
+        let dims = |cell: f64| {
+            let cols = (width / cell).ceil().max(1.0) as usize;
+            let rows = (height / cell).ceil().max(1.0) as usize;
+            (cols, rows)
+        };
+        let (mut cols, mut rows) = dims(cell);
+        while cols * rows > MAX_CELLS {
+            cell *= 2.0;
+            (cols, rows) = dims(cell);
+        }
+        ActiveGrid {
+            origin: bounds.min,
+            cell,
+            cols,
+            rows,
+            cells: (0..cols * rows).map(|_| Vec::new()).collect(),
+            all: Vec::new(),
+        }
+    }
+
+    /// Number of active entries.
+    pub fn len(&self) -> usize {
+        self.all.len()
+    }
+
+    /// Whether no transmission is on the air.
+    pub fn is_empty(&self) -> bool {
+        self.all.is_empty()
+    }
+
+    /// The cell side the grid settled on, meters.
+    pub fn cell_m(&self) -> f64 {
+        self.cell
+    }
+
+    fn axis_index(&self, coord: f64, origin: f64, n: usize) -> usize {
+        let i = ((coord - origin) / self.cell).floor();
+        (i.max(0.0) as usize).min(n - 1)
+    }
+
+    fn cell_of(&self, p: Point) -> usize {
+        let cx = self.axis_index(p.x, self.origin.x, self.cols);
+        let cy = self.axis_index(p.y, self.origin.y, self.rows);
+        cy * self.cols + cx
+    }
+
+    /// Records a transmission starting at `pos`.
+    pub fn insert(&mut self, entry: TxEntry) {
+        let c = self.cell_of(entry.pos);
+        self.cells[c].push(entry);
+        self.all.push(entry);
+    }
+
+    /// Drops `sender`'s transmission (inserted at `pos`).
+    pub fn remove(&mut self, sender: usize, pos: Point) {
+        let c = self.cell_of(pos);
+        if let Some(i) = self.cells[c].iter().position(|e| e.sender == sender) {
+            self.cells[c].swap_remove(i);
+        }
+        if let Some(i) = self.all.iter().position(|e| e.sender == sender) {
+            self.all.swap_remove(i);
+        }
+    }
+
+    /// Visits every entry whose *insert-time* position lies within
+    /// `radius` of `center` — plus possibly a few just outside (cell
+    /// granularity); never fewer. Callers fold their drift bound into
+    /// `radius` and run the exact check per candidate. Visit order is
+    /// unspecified; callers must accumulate order-insensitively (min /
+    /// max / any), which every fast-path consumer does.
+    pub fn for_each_in_disk(&self, center: Point, radius: f64, mut f: impl FnMut(&TxEntry)) {
+        if self.all.len() <= LINEAR_CUTOFF {
+            let r2 = radius * radius;
+            for e in &self.all {
+                if dist2(e.pos, center) <= r2 {
+                    f(e);
+                }
+            }
+            return;
+        }
+        let ix0 = self.axis_index(center.x - radius, self.origin.x, self.cols);
+        let ix1 = self.axis_index(center.x + radius, self.origin.x, self.cols);
+        let iy0 = self.axis_index(center.y - radius, self.origin.y, self.rows);
+        let iy1 = self.axis_index(center.y + radius, self.origin.y, self.rows);
+        let r2 = radius * radius;
+        for iy in iy0..=iy1 {
+            for ix in ix0..=ix1 {
+                for e in &self.cells[iy * self.cols + ix] {
+                    if dist2(e.pos, center) <= r2 {
+                        f(e);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Squared Euclidean distance (the pruning comparisons never need the
+/// root).
+pub fn dist2(a: Point, b: Point) -> f64 {
+    let dx = a.x - b.x;
+    let dy = a.y - b.y;
+    dx * dx + dy * dy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounds() -> Rect {
+        Rect {
+            min: Point { x: -10.0, y: -10.0 },
+            max: Point { x: 90.0, y: 40.0 },
+        }
+    }
+
+    fn entry(sender: usize, x: f64, y: f64) -> TxEntry {
+        TxEntry {
+            sender,
+            pos: Point { x, y },
+            end: sender as f64,
+        }
+    }
+
+    fn collect_disk(g: &ActiveGrid, center: Point, r: f64) -> Vec<usize> {
+        let mut got = Vec::new();
+        g.for_each_in_disk(center, r, |e| got.push(e.sender));
+        got.sort_unstable();
+        got
+    }
+
+    #[test]
+    fn disk_query_is_a_superset_of_the_exact_disk_and_exact_on_distance() {
+        let mut g = ActiveGrid::new(bounds(), 15.0);
+        for (s, x, y) in [(0, 0.0, 0.0), (1, 30.0, 0.0), (2, 80.0, 30.0)] {
+            g.insert(entry(s, x, y));
+        }
+        // Radius 31 around the origin: senders 0 and 1 are inside, 2 far.
+        let got = collect_disk(&g, Point { x: 0.0, y: 0.0 }, 31.0);
+        assert!(got.contains(&0) && got.contains(&1));
+        assert!(!got.contains(&2), "85+ m away cannot appear at r=31");
+    }
+
+    #[test]
+    fn bucket_and_linear_paths_agree() {
+        // Push past LINEAR_CUTOFF so the bucket walk engages, then compare
+        // against a brute-force filter at several centers and radii.
+        let mut g = ActiveGrid::new(bounds(), 12.0);
+        let mut pts = Vec::new();
+        let mut u = crate::stream::SplitMix64::new(7);
+        for s in 0..40 {
+            let p = bounds().lerp(u.next_f64(), u.next_f64());
+            pts.push((s, p));
+            g.insert(TxEntry {
+                sender: s,
+                pos: p,
+                end: 0.0,
+            });
+        }
+        assert!(g.len() > LINEAR_CUTOFF);
+        for (cx, cy, r) in [(0.0, 0.0, 20.0), (45.0, 15.0, 13.0), (88.0, 38.0, 5.0)] {
+            let center = Point { x: cx, y: cy };
+            let got = collect_disk(&g, center, r);
+            let want: Vec<usize> = pts
+                .iter()
+                .filter(|(_, p)| dist2(*p, center) <= r * r)
+                .map(|(s, _)| *s)
+                .collect();
+            for s in &want {
+                assert!(got.contains(s), "in-disk sender {s} must be visited");
+            }
+            for s in &got {
+                assert!(
+                    dist2(pts[*s].1, center) <= r * r,
+                    "distance filter is exact"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn remove_clears_both_views() {
+        let mut g = ActiveGrid::new(bounds(), 10.0);
+        let e = entry(3, 5.0, 5.0);
+        g.insert(e);
+        assert_eq!(g.len(), 1);
+        g.remove(3, e.pos);
+        assert!(g.is_empty());
+        assert!(collect_disk(&g, e.pos, 50.0).is_empty());
+    }
+
+    #[test]
+    fn cell_count_is_capped_for_huge_floors() {
+        let huge = Rect {
+            min: Point { x: 0.0, y: 0.0 },
+            max: Point {
+                x: 100_000.0,
+                y: 100_000.0,
+            },
+        };
+        let g = ActiveGrid::new(huge, 1.0);
+        assert!(g.cols * g.rows <= MAX_CELLS);
+        assert!(g.cell_m() >= 1.0);
+    }
+
+    #[test]
+    fn queries_at_the_walls_stay_in_range() {
+        let mut g = ActiveGrid::new(bounds(), 10.0);
+        g.insert(entry(0, -10.0, -10.0));
+        g.insert(entry(1, 90.0, 40.0));
+        // Centers outside the bounds clamp to edge cells without panicking.
+        let got = collect_disk(
+            &g,
+            Point {
+                x: -500.0,
+                y: -500.0,
+            },
+            1000.0,
+        );
+        assert_eq!(got, vec![0, 1]);
+    }
+}

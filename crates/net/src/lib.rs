@@ -12,6 +12,8 @@
 //! * [`stream`] — SplitMix64, the per-link deterministic coin stream.
 //! * [`channel`] — [`channel::StreamingLink`]: Jakes fading + the
 //!   calibrated analytic SNR→BER map, sampled at transmit time.
+//! * [`grid`] — the uniform spatial index over active transmitters that
+//!   the fast path prunes carrier-sense/interference candidates with.
 //! * [`spatial`] — the `[topology.spatial]` specification and its resolved
 //!   parameters (grid, thresholds, roaming policy).
 //! * [`sim`] — the multi-cell simulator: the shared
@@ -29,6 +31,7 @@
 
 pub mod channel;
 pub mod geometry;
+pub mod grid;
 pub mod mobility;
 pub mod sim;
 pub mod spatial;

@@ -109,9 +109,17 @@ impl MobilitySpec {
 /// query, which would make the spatial simulator's hot loops slow down as
 /// sim time grows. A walker caches the current leg and resumes from it:
 /// with the non-decreasing query times a discrete-event loop produces, a
-/// whole run costs O(total legs) amortized. Positions are identical to
-/// `position_at` (pinned by tests); an out-of-order query falls back to
-/// the pure walk.
+/// whole run costs O(total legs) amortized. On top of the resume point,
+/// the walker caches every value that is constant for the lifetime of a
+/// leg (the spawn point, the current waypoint and travel time, the linear
+/// model's velocity components), so the common query is a pure
+/// interpolation with no RNG or trigonometric work. Positions are
+/// identical to `position_at` (pinned by tests); an out-of-order query
+/// falls back to the pure walk.
+///
+/// A walker is bound to one `(spec, bounds)` pair for its lifetime — the
+/// caches assume the model never changes between queries (which is how
+/// the simulator uses it: one walker per station per run).
 #[derive(Debug, Clone)]
 pub struct MobilityWalker {
     seed: u64,
@@ -120,6 +128,14 @@ pub struct MobilityWalker {
     leg: u64,
     cursor: f64,
     pos: Option<Point>,
+    /// Cached spawn point (identical to `spec.spawn`, computed once).
+    spawn: Option<Point>,
+    /// Current random-waypoint leg target and travel time, valid whenever
+    /// `pos` is `Some` (recomputed at each leg advance, not per query).
+    wp: Point,
+    travel: f64,
+    /// Cached linear-model velocity components `(speed·cos h, speed·sin h)`.
+    vel: Option<(f64, f64)>,
 }
 
 impl MobilityWalker {
@@ -130,13 +146,49 @@ impl MobilityWalker {
             leg: 0,
             cursor: 0.0,
             pos: None,
+            spawn: None,
+            wp: Point { x: 0.0, y: 0.0 },
+            travel: 0.0,
+            vel: None,
+        }
+    }
+
+    /// The station's spawn point (cached; equals `spec.spawn`).
+    fn spawn(&mut self, spec: &MobilitySpec, bounds: &Rect) -> Point {
+        match self.spawn {
+            Some(p) => p,
+            None => {
+                let p = spec.spawn(bounds, self.seed);
+                self.spawn = Some(p);
+                p
+            }
         }
     }
 
     /// Position at time `t`; equals `spec.position_at(bounds, seed, t)`.
     pub fn position(&mut self, spec: &MobilitySpec, bounds: &Rect, t: f64) -> Point {
-        let MobilitySpec::RandomWaypoint { speed_mps, pause_s } = *spec else {
-            return spec.position_at(bounds, self.seed, t); // O(1) models
+        let (speed_mps, pause_s) = match *spec {
+            MobilitySpec::Static => return self.spawn(spec, bounds),
+            MobilitySpec::Linear {
+                speed_mps,
+                heading_deg,
+            } => {
+                let p0 = self.spawn(spec, bounds);
+                if speed_mps <= 0.0 {
+                    return p0;
+                }
+                // `speed·cos h` / `speed·sin h` are cached; multiplying the
+                // cached products by `t` performs the same operations in
+                // the same order as the pure walk.
+                let (vx, vy) = *self.vel.get_or_insert_with(|| {
+                    let h = heading_deg.to_radians();
+                    (speed_mps * h.cos(), speed_mps * h.sin())
+                });
+                let dx = (p0.x - bounds.min.x) + vx * t;
+                let dy = (p0.y - bounds.min.y) + vy * t;
+                return bounds.fold(dx, dy);
+            }
+            MobilitySpec::RandomWaypoint { speed_mps, pause_s } => (speed_mps, pause_s),
         };
         if speed_mps <= 0.0 {
             return spec.position_at(bounds, self.seed, t);
@@ -144,30 +196,49 @@ impl MobilityWalker {
         if t < self.cursor {
             return spec.position_at(bounds, self.seed, t); // out of order
         }
-        let mut pos = *self
-            .pos
-            .get_or_insert_with(|| spec.spawn(bounds, self.seed));
+        let mut pos = match self.pos {
+            Some(p) => p,
+            None => {
+                // First query: enter leg 0 and cache its target.
+                let p = self.spawn(spec, bounds);
+                self.pos = Some(p);
+                let (wp, travel) = draw_leg(self.seed, self.leg, bounds, p, speed_mps);
+                self.wp = wp;
+                self.travel = travel;
+                p
+            }
+        };
         loop {
-            let mut draw = SplitMix64::new(mix_seed(self.seed, 0x5750_0000 | (self.leg + 1)));
-            let wp = bounds.lerp(draw.next_f64(), draw.next_f64());
-            let travel = (pos.dist(wp) / speed_mps).max(1e-6);
-            if t < self.cursor + travel {
-                let f = (t - self.cursor) / travel;
+            if t < self.cursor + self.travel {
+                let f = (t - self.cursor) / self.travel;
                 return Point {
-                    x: pos.x + (wp.x - pos.x) * f,
-                    y: pos.y + (wp.y - pos.y) * f,
+                    x: pos.x + (self.wp.x - pos.x) * f,
+                    y: pos.y + (self.wp.y - pos.y) * f,
                 };
             }
-            if t < self.cursor + travel + pause_s {
-                return wp;
+            if t < self.cursor + self.travel + pause_s {
+                return self.wp;
             }
-            // Leg fully behind `t`: advance the resume point.
-            self.cursor += travel + pause_s;
+            // Leg fully behind `t`: advance the resume point and cache the
+            // next leg's target and travel time.
+            self.cursor += self.travel + pause_s;
             self.leg += 1;
-            self.pos = Some(wp);
-            pos = wp;
+            self.pos = Some(self.wp);
+            pos = self.wp;
+            let (wp, travel) = draw_leg(self.seed, self.leg, bounds, pos, speed_mps);
+            self.wp = wp;
+            self.travel = travel;
         }
     }
+}
+
+/// Waypoint and travel time of random-waypoint leg `leg` starting at
+/// `pos` — the identical draw `MobilitySpec::position_at` performs.
+fn draw_leg(seed: u64, leg: u64, bounds: &Rect, pos: Point, speed_mps: f64) -> (Point, f64) {
+    let mut draw = SplitMix64::new(mix_seed(seed, 0x5750_0000 | (leg + 1)));
+    let wp = bounds.lerp(draw.next_f64(), draw.next_f64());
+    let travel = (pos.dist(wp) / speed_mps).max(1e-6);
+    (wp, travel)
 }
 
 #[cfg(test)]

@@ -27,18 +27,19 @@
 //! single-cell simulator does — structurally, because both run the same
 //! engine over `softrate_sim::feedback`.
 
-use softrate_channel::analytic::best_rate_for_snr;
+use softrate_channel::analytic::{FrameSuccessMemo, OracleBands};
 use softrate_core::adapter::{RateAdapter, TxAttempt};
 use softrate_sim::config::AdapterKind;
 use softrate_sim::mac::{
-    ActiveTx, AttemptInfo, HandoffRecord, MacCore, MacEngine, MacEv, MacParams, Medium, Port,
-    RunReport,
+    ActiveTx, AttemptInfo, HandoffRecord, MacCore, MacEngine, MacEv, MacParams, Medium,
+    PhaseProfile, Port, RunReport,
 };
-use softrate_sim::timing::IP_TCP_HEADER;
+use softrate_sim::timing::{data_airtime, rts_cts_overhead, IP_TCP_HEADER};
 use softrate_trace::schema::FrameFate;
 
-use crate::channel::StreamingLink;
+use crate::channel::{fate_from_draw_memo, StreamingLink};
 use crate::geometry::Point;
+use crate::grid::{dist2, ActiveGrid, TxEntry};
 use crate::mobility::MobilityWalker;
 use crate::spatial::{HandoffPolicy, SpatialParams, SpatialSpec};
 use crate::stream::mix_seed;
@@ -84,8 +85,9 @@ impl SpatialConfig {
     }
 }
 
-/// One station's medium-side state (the rate adapter and retry/CW state
-/// live in the engine's matching [`Port`]).
+/// One station's medium-side state (the rate adapter and retry state
+/// live in the engine's matching [`Port`], the contention window in the
+/// core's dense `cw` array).
 struct Station {
     /// Associated AP.
     ap: usize,
@@ -98,13 +100,17 @@ struct Station {
     delivered: u64,
 }
 
-/// Per-attempt data: the receiver AP and the mean signal SNR at start.
+/// Per-attempt data: the receiver AP, the mean signal SNR at start, and
+/// the transmitter's position at start (the grid key, and the anchor the
+/// drift-padded pruning reasons from).
 #[derive(Debug, Clone, Copy)]
 struct SpatialTx {
     /// Receiver AP.
     ap: usize,
     /// Mean (path-loss only) signal SNR at the receiver at start, dB.
     sig_snr_db: f64,
+    /// Transmitter position at transmit start.
+    start_pos: Point,
 }
 
 /// Medium-specific events: periodic association re-evaluation.
@@ -115,24 +121,76 @@ struct Roam {
 
 type Core = MacCore<Roam, SpatialTx>;
 
-/// Position of station `s` at time `t` via its resumable walker
-/// (identical to `params.station_pos`, amortized O(1) per query).
-fn walker_pos(walkers: &mut [MobilityWalker], params: &SpatialParams, s: usize, t: f64) -> Point {
-    walkers[s].position(&params.mobility, &params.bounds, t)
-}
+/// The `t` sentinel that can never equal a real query time's bits (the
+/// event loop never produces NaN timestamps), marking memo slots empty.
+const NO_TIME: u64 = u64::MAX; // f64::NAN bit patterns vary; u64::MAX is one of them
 
 /// The multi-cell geometric environment with streaming channels.
+///
+/// Its hot passes run on an exact-semantics fast path (DESIGN.md §7):
+/// conservative pruning radii inverted from the path-loss model, a
+/// uniform grid over active transmitters, and per-event memo caches for
+/// positions, station→AP SNRs, and fading envelopes. Every skipped
+/// candidate provably fails the exact check it skipped, and every cache
+/// hit returns the bit-identical value a fresh evaluation would — the
+/// unregenerated goldens in `tests/goldens/` pin that end to end.
 struct SpatialMedium {
     cfg: SpatialConfig,
     params: SpatialParams,
     stations: Vec<Station>,
     /// Per-station resumable mobility cursors (amortized O(1) positions).
     walkers: Vec<MobilityWalker>,
-    /// Scratch: the sensing station's position this TxStart.
-    sense_pos: Point,
-    /// Scratch: positions of every active transmitter this TxStart
-    /// (computed once by `carrier_sense`, reused by `mark_collisions`).
-    tx_pos: Vec<Point>,
+    /// Active transmitters bucketed by transmit-start position.
+    grid: ActiveGrid,
+    /// Conservative (padded) radius beyond which a transmitter cannot be
+    /// sensed: `range_for_threshold(sense_snr_db)`.
+    sense_radius_m: f64,
+    /// Squared certainly-audible / certainly-inaudible radii for the
+    /// sensing threshold (`range_band(sense_snr_db)`): the sense loop
+    /// classifies by squared distance and only evaluates the exact
+    /// path-loss expression inside the vanishing band between them.
+    sense_lo2: f64,
+    sense_hi2: f64,
+    /// The same bands widened by the drift pad, valid against a
+    /// transmitter's *insert-time* position: inside `sense_lo_ins2` the
+    /// transmitter is audible wherever it drifted to; outside
+    /// `sense_hi_ins2` it is inaudible wherever it drifted to. Between
+    /// them the current position decides (a band a few centimeters wide —
+    /// almost never entered).
+    sense_lo_ins2: f64,
+    sense_hi_ins2: f64,
+    /// Whether carrier sense walks grid buckets (large floors where the
+    /// sensing disk covers a small fraction of the area) or the
+    /// end-sorted active list (dense floors where most of the area is
+    /// audible anyway and the first audible hit ends the search). Both
+    /// paths visit a superset of the audible set and apply the identical
+    /// classification, so the choice is invisible in the results.
+    sense_via_grid: bool,
+    /// Active transmissions sorted by `end` descending (the first audible
+    /// entry in this order carries the defer-until maximum).
+    by_end: Vec<TxEntry>,
+    /// Conservative radius beyond which interference is below the 0 dB
+    /// noise floor: `range_for_threshold(0.0)`.
+    interference_radius_m: f64,
+    /// Maximum distance a station can drift while its frame is on the air
+    /// (mobility speed × slowest-rate airtime, padded) — added to every
+    /// radius compared against a transmit-*start* position.
+    drift_pad_m: f64,
+    /// Per-station `(t bits, position)` memo.
+    pos_cache: Vec<(u64, Point)>,
+    /// Per-`(station, ap)` `(t bits, mean SNR)` memo, station-major.
+    snr_ap_cache: Vec<(u64, f64)>,
+    /// Per-station `(epoch, t bits, envelope dB)` memo.
+    env_cache: Vec<(u64, u64, f64)>,
+    /// Shared memo over the analytic BER/success kernels.
+    fs_memo: FrameSuccessMemo,
+    /// The omniscient oracle as exact threshold compares.
+    oracle: OracleBands,
+    /// Scratch: carrier-sense candidates (reused, allocation-free).
+    sense_scratch: Vec<TxEntry>,
+    /// Scratch: per-AP "the new transmitter is within interference range
+    /// of this AP" flags (reused).
+    ap_near: Vec<bool>,
     // statistics
     inter_cell_corruptions: u64,
     handoffs: u64,
@@ -147,6 +205,131 @@ impl SpatialMedium {
     fn make_link(&self, st: usize, ap: usize, epoch: u64) -> StreamingLink {
         let pair = mix_seed(self.cfg.seed ^ 0x4C49_4E4B, ((st as u64) << 20) | ap as u64);
         StreamingLink::new(pair, mix_seed(pair, 0xFA7E ^ epoch), self.params.doppler_hz)
+    }
+
+    /// Position of station `st` at `t`: the per-event memo over the
+    /// resumable walker (identical to `params.station_pos`).
+    fn pos_at(&mut self, st: usize, t: f64) -> Point {
+        let bits = t.to_bits();
+        let (cached, p) = self.pos_cache[st];
+        if cached == bits {
+            return p;
+        }
+        let p = self.walkers[st].position(&self.params.mobility, &self.params.bounds, t);
+        self.pos_cache[st] = (bits, p);
+        p
+    }
+
+    /// Mean SNR between station `st` (at `t`) and AP `ap`: the ordered-
+    /// pair memo over `params.snr_between` (APs never move, so the pair
+    /// key is `(station, ap)` and the freshness key is `t`).
+    fn snr_to_ap(&mut self, st: usize, ap: usize, t: f64) -> f64 {
+        let bits = t.to_bits();
+        let idx = st * self.params.aps.len() + ap;
+        let (cached, v) = self.snr_ap_cache[idx];
+        if cached == bits {
+            return v;
+        }
+        let pos = self.pos_at(st, t);
+        let v = self.params.snr_between(pos, self.params.aps[ap]);
+        self.snr_ap_cache[idx] = (bits, v);
+        v
+    }
+
+    /// Fading envelope of `st`'s current link at `t`, dB — memoized so
+    /// the oracle audit at transmit time and the fate draw at the
+    /// feedback window share one Jakes evaluation. Keyed by association
+    /// epoch (a handoff swaps the fading process).
+    fn env_at(&mut self, st: usize, t: f64) -> f64 {
+        let bits = t.to_bits();
+        let epoch = self.stations[st].epoch;
+        let (e, cached, v) = self.env_cache[st];
+        if e == epoch && cached == bits {
+            return v;
+        }
+        let v = self.stations[st].link.envelope_db(t);
+        self.env_cache[st] = (epoch, bits, v);
+        v
+    }
+
+    /// Whether the transmission behind `e` is audible at `pos` right now
+    /// — identical verdict to evaluating `snr_between(current tx
+    /// position, pos) >= sense_snr_db` directly. The insert-position
+    /// bands (drift-widened) settle almost every candidate without
+    /// touching its walker; the thin in-between band falls through to the
+    /// current position, and only its own guard band evaluates the exact
+    /// path-loss expression.
+    fn audible_at(&mut self, e: &TxEntry, pos: Point, now: f64) -> bool {
+        let d2_ins = dist2(e.pos, pos);
+        if d2_ins <= self.sense_lo_ins2 {
+            return true;
+        }
+        if d2_ins >= self.sense_hi_ins2 {
+            return false;
+        }
+        let tpos = self.pos_at(e.sender, now);
+        let d2 = dist2(tpos, pos);
+        d2 <= self.sense_lo2
+            || (d2 < self.sense_hi2
+                && self.params.snr_between(tpos, pos) >= self.params.sense_snr_db)
+    }
+
+    /// Carrier sense over the end-descending active list: the first
+    /// audible entry carries the maximal end time, so the scan stops
+    /// there. Dense floors resolve in ~1 candidate.
+    fn sense_sorted(&mut self, st: usize, pos: Point, now: f64) -> Option<f64> {
+        for i in 0..self.by_end.len() {
+            let e = self.by_end[i];
+            if e.sender == st {
+                continue;
+            }
+            if self.audible_at(&e, pos, now) {
+                return Some(e.end);
+            }
+        }
+        None
+    }
+
+    /// Carrier sense over the grid buckets intersecting the sensing disk:
+    /// large floors visit a small fraction of the active set. Candidates
+    /// that cannot raise the accumulated horizon are skipped before any
+    /// classification.
+    fn sense_via_buckets(&mut self, st: usize, pos: Point, now: f64) -> Option<f64> {
+        let mut scratch = std::mem::take(&mut self.sense_scratch);
+        scratch.clear();
+        self.grid
+            .for_each_in_disk(pos, self.sense_radius_m + self.drift_pad_m, |e| {
+                if e.sender != st {
+                    scratch.push(*e);
+                }
+            });
+        let mut sensed_until: Option<f64> = None;
+        for e in &scratch {
+            if sensed_until.is_some_and(|u| e.end <= u) {
+                continue;
+            }
+            if self.audible_at(e, pos, now) {
+                sensed_until = Some(sensed_until.map_or(e.end, |u: f64| u.max(e.end)));
+            }
+        }
+        self.sense_scratch = scratch;
+        sensed_until
+    }
+
+    /// The AP with the strongest mean RSSI at `st`'s position at `t` —
+    /// `params.best_ap` routed through the SNR memo (same comparisons,
+    /// same first-wins tie-break).
+    fn best_ap_at(&mut self, st: usize, t: f64) -> (usize, f64) {
+        let mut best = 0;
+        let mut best_rssi = f64::NEG_INFINITY;
+        for a in 0..self.params.aps.len() {
+            let rssi = self.snr_to_ap(st, a, t);
+            if rssi > best_rssi {
+                best = a;
+                best_rssi = rssi;
+            }
+        }
+        (best, best_rssi)
     }
 
     fn make_adapter(&self, st: usize) -> Box<dyn RateAdapter> {
@@ -175,7 +358,7 @@ impl SpatialMedium {
             core.ports[st].adapter = self.make_adapter(st);
         }
         core.ports[st].retries = 0;
-        core.ports[st].cw = softrate_sim::timing::CW_MIN;
+        core.cw[st] = softrate_sim::timing::CW_MIN;
         self.handoffs += 1;
         self.handoff_log.push(HandoffRecord {
             t: now,
@@ -195,7 +378,7 @@ impl Medium for SpatialMedium {
         for s in 0..n {
             // Slight stagger so the whole floor doesn't draw backoff at the
             // exact same instant.
-            let cw = core.ports[s].cw;
+            let cw = core.cw[s];
             core.schedule_tx_start(s, Some(s as f64 * 2e-4), cw);
         }
         if let Some((_, interval, _)) = self.params.roaming {
@@ -213,29 +396,25 @@ impl Medium for SpatialMedium {
 
     /// Physical carrier sense: defer while any foreign transmitter is
     /// audible above the sensing threshold.
+    ///
+    /// Fast path: an idle medium returns immediately; otherwise the pass
+    /// visits only candidates the pruning radii admit and classifies
+    /// audibility by squared distance (exact path-loss math only inside
+    /// the guard bands). The result — the max end time over exactly the
+    /// audible set — is unchanged.
     fn carrier_sense(&mut self, core: &Core, st: usize) -> Option<f64> {
+        if core.active.is_empty() {
+            // Idle medium: nothing can be sensed, and nothing is worth
+            // computing (the attempt hooks fetch positions on demand).
+            return None;
+        }
         let now = core.now();
-        self.sense_pos = walker_pos(&mut self.walkers, &self.params, st, now);
-
-        // Positions of every active transmitter, computed once and shared
-        // with the interference pass in `mark_collisions`.
-        self.tx_pos.clear();
-        for i in 0..core.active.len() {
-            let s = core.active[i].sender;
-            let p = walker_pos(&mut self.walkers, &self.params, s, now);
-            self.tx_pos.push(p);
+        let pos = self.pos_at(st, now);
+        if self.sense_via_grid {
+            self.sense_via_buckets(st, pos, now)
+        } else {
+            self.sense_sorted(st, pos, now)
         }
-
-        let mut sensed_until: Option<f64> = None;
-        for (tx, &tpos) in core.active.iter().zip(&self.tx_pos) {
-            if tx.sender == st {
-                continue;
-            }
-            if self.params.snr_between(tpos, self.sense_pos) >= self.params.sense_snr_db {
-                sensed_until = Some(sensed_until.map_or(tx.end, |u: f64| u.max(tx.end)));
-            }
-        }
-        sensed_until
     }
 
     fn begin_attempt(
@@ -245,15 +424,15 @@ impl Medium for SpatialMedium {
         now: f64,
         attempt: &mut TxAttempt,
     ) -> AttemptInfo<SpatialTx> {
-        // Transmit toward the associated AP from the position the sensing
-        // pass just computed.
+        // Transmit toward the associated AP. Position, mean SNR, and
+        // envelope all come from the per-event memos (the carrier-sense
+        // pass typically warmed the position), and the oracle runs over
+        // the memoized analytic kernels — identical values throughout.
         let ap = self.stations[st].ap;
-        let ap_pos = self.params.aps[ap];
-        let sig_snr_db = self.params.snr_between(self.sense_pos, ap_pos);
-        let oracle_rate = best_rate_for_snr(
-            self.stations[st].link.snr_db(sig_snr_db, now),
-            self.cfg.frame_bits(),
-        );
+        let start_pos = self.pos_at(st, now);
+        let sig_snr_db = self.snr_to_ap(st, ap, now);
+        let env_db = self.env_at(st, now);
+        let oracle_rate = self.oracle.best_rate(sig_snr_db + env_db);
         if matches!(self.cfg.adapter, AdapterKind::Omniscient) {
             attempt.rate_idx = oracle_rate;
         }
@@ -263,7 +442,11 @@ impl Medium for SpatialMedium {
             // Audit against the instantaneous analytic oracle.
             audit_best: Some(oracle_rate),
             timeline: false,
-            info: SpatialTx { ap, sig_snr_db },
+            info: SpatialTx {
+                ap,
+                sig_snr_db,
+                start_pos,
+            },
         }
     }
 
@@ -272,16 +455,55 @@ impl Medium for SpatialMedium {
     /// less than `capture_sir_db` of margin. RTS-protected frames reserved
     /// the medium and neither corrupt nor get corrupted (as in the
     /// single-cell medium).
+    ///
+    /// Fast path: both corruption directions demand the interferer's mean
+    /// SNR at the victim's AP to clear the 0 dB noise floor, so any pair
+    /// separated by more than the interference radius (drift-padded when
+    /// the anchor is a transmit-start position) is skipped before the SNR
+    /// math — it provably cannot corrupt. The engine pushes `tx` onto the
+    /// active set right after this hook, so the grid insert lives here.
     fn mark_collisions(
         &mut self,
         tx: &mut ActiveTx<SpatialTx>,
         active: &mut [ActiveTx<SpatialTx>],
     ) {
+        let entry = TxEntry {
+            sender: tx.sender,
+            pos: tx.info.start_pos,
+            end: tx.end,
+        };
+        // Only the plan carrier sense consults is maintained (the choice
+        // is fixed at construction).
+        if self.sense_via_grid {
+            self.grid.insert(entry);
+        } else {
+            // Keep `by_end` sorted by end descending (ties keep insertion
+            // order; the active set is small, so the shift is trivial).
+            let at = self
+                .by_end
+                .iter()
+                .position(|e| e.end < entry.end)
+                .unwrap_or(self.by_end.len());
+            self.by_end.insert(at, entry);
+        }
         if tx.use_rts {
             return;
         }
+        let now = tx.start;
+        let my_pos = tx.info.start_pos;
         let ap_pos = self.params.aps[tx.info.ap];
-        for (i, &o_pos) in self.tx_pos.iter().enumerate() {
+        let r_int2 = self.interference_radius_m * self.interference_radius_m;
+        let r_int_drift = self.interference_radius_m + self.drift_pad_m;
+        let r_int_drift2 = r_int_drift * r_int_drift;
+
+        // Which APs can the *new* transmitter possibly interfere at? Its
+        // position is exact (no drift pad); one squared distance per AP.
+        let mut ap_near = std::mem::take(&mut self.ap_near);
+        ap_near.clear();
+        ap_near.extend(self.params.aps.iter().map(|&a| dist2(my_pos, a) <= r_int2));
+
+        #[allow(clippy::needless_range_loop)] // `active[i]` is re-borrowed mutably below
+        for i in 0..active.len() {
             let o = active[i];
             if o.use_rts {
                 continue;
@@ -289,39 +511,62 @@ impl Medium for SpatialMedium {
             // Does the new transmission corrupt `o` at `o`'s receiver?
             // Interference buried below the noise floor (mean SNR of the
             // interferer < 0 dB at the receiver) cannot corrupt anything
-            // the noise wasn't already corrupting.
-            let int_at_o = self
-                .params
-                .snr_between(self.sense_pos, self.params.aps[o.info.ap]);
-            if int_at_o >= 0.0 && o.info.sig_snr_db - int_at_o < self.params.capture_sir_db {
-                let om = &mut active[i];
-                om.collided = true;
-                om.first_other_start = om.first_other_start.min(tx.start);
-                om.max_other_end = om.max_other_end.max(tx.end);
-                if o.info.ap != tx.info.ap {
-                    self.inter_cell_corruptions += 1;
+            // the noise wasn't already corrupting — and beyond the
+            // interference radius it provably is buried.
+            if ap_near[o.info.ap] {
+                let int_at_o = self.snr_to_ap(tx.sender, o.info.ap, now);
+                if int_at_o >= 0.0 && o.info.sig_snr_db - int_at_o < self.params.capture_sir_db {
+                    let om = &mut active[i];
+                    om.collided = true;
+                    om.first_other_start = om.first_other_start.min(tx.start);
+                    om.max_other_end = om.max_other_end.max(tx.end);
+                    if o.info.ap != tx.info.ap {
+                        self.inter_cell_corruptions += 1;
+                    }
                 }
             }
-            // Does `o` corrupt the new transmission at our AP?
-            let int_at_mine = self.params.snr_between(o_pos, ap_pos);
-            if int_at_mine >= 0.0 && tx.info.sig_snr_db - int_at_mine < self.params.capture_sir_db {
-                tx.collided = true;
-                tx.first_other_start = tx.first_other_start.min(o.start);
-                tx.max_other_end = tx.max_other_end.max(o.end);
-                if o.info.ap != tx.info.ap {
-                    self.inter_cell_corruptions += 1;
+            // Does `o` corrupt the new transmission at our AP? `o` may
+            // have drifted since its start position was recorded, so the
+            // prune radius carries the drift pad.
+            if dist2(o.info.start_pos, ap_pos) <= r_int_drift2 {
+                let int_at_mine = self.snr_to_ap(o.sender, tx.info.ap, now);
+                if int_at_mine >= 0.0
+                    && tx.info.sig_snr_db - int_at_mine < self.params.capture_sir_db
+                {
+                    tx.collided = true;
+                    tx.first_other_start = tx.first_other_start.min(o.start);
+                    tx.max_other_end = tx.max_other_end.max(o.end);
+                    if o.info.ap != tx.info.ap {
+                        self.inter_cell_corruptions += 1;
+                    }
                 }
             }
         }
+        self.ap_near = ap_near;
     }
 
-    /// Interference-free fate from the streaming channel.
+    /// The transmission left the air: drop it from both indices.
+    fn on_air_end(&mut self, tx: &ActiveTx<SpatialTx>) {
+        if self.sense_via_grid {
+            self.grid.remove(tx.sender, tx.info.start_pos);
+        } else if let Some(i) = self.by_end.iter().position(|e| e.sender == tx.sender) {
+            self.by_end.remove(i);
+        }
+    }
+
+    /// Interference-free fate from the streaming channel — one coin draw
+    /// as always, with the envelope shared from the transmit-time memo
+    /// (same `t`, same link ⇒ same Jakes evaluation) and the BER/success
+    /// pair from the kernel memo.
     fn fate(&mut self, tx: &ActiveTx<SpatialTx>) -> FrameFate {
-        self.stations[tx.sender].link.fate(
-            tx.info.sig_snr_db,
-            tx.start,
+        let u = self.stations[tx.sender].link.draw();
+        let env_db = self.env_at(tx.sender, tx.start);
+        fate_from_draw_memo(
+            u,
+            tx.info.sig_snr_db + env_db,
             tx.rate_idx,
             tx.payload_bytes * 8,
+            &mut self.fs_memo,
         )
     }
 
@@ -341,7 +586,7 @@ impl Medium for SpatialMedium {
         }
         // Saturated uplink: there is always a next frame.
         if !core.senders[st].start_pending {
-            let cw = core.ports[st].cw;
+            let cw = core.cw[st];
             core.schedule_tx_start(st, None, cw);
         }
     }
@@ -352,10 +597,9 @@ impl Medium for SpatialMedium {
             return;
         };
         let now = core.now();
-        let pos = walker_pos(&mut self.walkers, &self.params, st, now);
         let cur = self.stations[st].ap;
-        let (best, best_rssi) = self.params.best_ap(pos);
-        let cur_rssi = self.params.snr_between(pos, self.params.aps[cur]);
+        let (best, best_rssi) = self.best_ap_at(st, now);
+        let cur_rssi = self.snr_to_ap(st, cur, now);
         if best != cur && best_rssi >= cur_rssi + hysteresis {
             if core.senders[st].busy {
                 self.stations[st].pending_handoff = Some(best);
@@ -389,11 +633,61 @@ impl SpatialSim {
             collision_seed: cfg.mac_seed,
         };
         let n = params.n_stations;
+        let n_aps = params.aps.len();
+        // Conservative pruning radii: exact inversions of the path-loss
+        // model for the sensing threshold and the 0 dB interference
+        // floor, plus the worst-case drift of a transmitter while its
+        // frame is on the air (slowest-rate airtime + RTS/CTS, at the
+        // mobility model's speed).
+        let (sense_lo, sense_radius_m) = params.range_band(params.sense_snr_db);
+        // A negative `lo` means "no distance certainly passes"; keep the
+        // squared form negative so `d² <= lo²` stays unsatisfiable.
+        let sense_lo2 = if sense_lo < 0.0 {
+            -1.0
+        } else {
+            sense_lo * sense_lo
+        };
+        let sense_hi2 = sense_radius_m * sense_radius_m;
+        let interference_radius_m = params.range_for_threshold(0.0);
+        let area = params.bounds.width() * params.bounds.height();
+        let max_airtime: f64 = softrate_phy::rates::PAPER_RATES
+            .iter()
+            .map(|&r| data_airtime(r, cfg.payload_bytes, cfg.adapter.postambles()))
+            .fold(0.0, f64::max)
+            + rts_cts_overhead();
+        let drift_pad_m = params.mobility.speed_mps() * max_airtime * (1.0 + 1e-9) + 1e-9;
+        let grid = ActiveGrid::new(params.bounds, sense_radius_m + drift_pad_m);
+        let sense_lo_ins = sense_lo - drift_pad_m;
+        let sense_lo_ins2 = if sense_lo_ins < 0.0 {
+            -1.0
+        } else {
+            sense_lo_ins * sense_lo_ins
+        };
+        let sense_hi_ins = sense_radius_m + drift_pad_m;
+        // Bucket walks pay off when the sensing disk covers a small
+        // fraction of the floor; on dense floors the end-sorted scan's
+        // first-hit exit wins. Either plan classifies identically.
+        let sense_via_grid = std::f64::consts::PI * sense_hi_ins * sense_hi_ins * 4.0 < area;
         let mut medium = SpatialMedium {
             stations: Vec::with_capacity(n),
             walkers,
-            sense_pos: Point { x: 0.0, y: 0.0 },
-            tx_pos: Vec::new(),
+            grid,
+            sense_radius_m,
+            sense_lo2,
+            sense_hi2,
+            sense_lo_ins2,
+            sense_hi_ins2: sense_hi_ins * sense_hi_ins,
+            sense_via_grid,
+            by_end: Vec::new(),
+            interference_radius_m,
+            drift_pad_m,
+            pos_cache: vec![(NO_TIME, Point { x: 0.0, y: 0.0 }); n],
+            snr_ap_cache: vec![(NO_TIME, 0.0); n * n_aps],
+            env_cache: vec![(0, NO_TIME, 0.0); n],
+            fs_memo: FrameSuccessMemo::new(),
+            oracle: OracleBands::new(cfg.frame_bits()),
+            sense_scratch: Vec::new(),
+            ap_near: Vec::with_capacity(n_aps),
             inter_cell_corruptions: 0,
             handoffs: 0,
             initial_assoc: Vec::with_capacity(n),
@@ -425,9 +719,21 @@ impl SpatialSim {
     pub fn run(mut self) -> RunReport {
         let duration = self.engine.medium.cfg.duration;
         self.engine.run(duration);
+        self.report()
+    }
 
+    /// [`SpatialSim::run`] with per-phase wall-time accounting (identical
+    /// results; see [`MacEngine::run_profiled`]).
+    pub fn run_profiled(mut self) -> (RunReport, PhaseProfile) {
+        let duration = self.engine.medium.cfg.duration;
+        let profile = self.engine.run_profiled(duration);
+        (self.report(), profile)
+    }
+
+    fn report(self) -> RunReport {
         let m = self.engine.medium;
         let stats = self.engine.core.stats;
+        let duration = m.cfg.duration;
         let useful_bits = (m.cfg.payload_bytes - IP_TCP_HEADER) as f64 * 8.0;
         let per_station: Vec<f64> = m
             .stations
@@ -646,6 +952,48 @@ mod tests {
             sr.aggregate_goodput_bps,
             omni.aggregate_goodput_bps
         );
+    }
+
+    /// The fast path's two carrier-sense plans (grid buckets vs the
+    /// end-sorted scan) must be indistinguishable in every output — they
+    /// visit different candidate supersets but apply the identical
+    /// classification. Forcing each plan over the same deployment pins
+    /// that, complementing the byte-identical goldens (which pin the fast
+    /// path against the pre-optimization engine).
+    #[test]
+    fn grid_and_sorted_sense_plans_are_result_identical() {
+        let mk = || {
+            let mut spec = small_spec(3, 40.0, 24);
+            spec.mobility = MobilitySpec::RandomWaypoint {
+                speed_mps: 3.0,
+                pause_s: 0.5,
+            };
+            spec.sense_snr_db = Some(20.0); // short sensing range: both plans plausible
+            spec.roaming = Some(RoamingSpec {
+                hysteresis_db: 2.0,
+                check_interval_s: None,
+                handoff: HandoffPolicy::Preserve,
+            });
+            let mut cfg = SpatialConfig::new(AdapterKind::SoftRate, spec);
+            cfg.duration = 3.0;
+            cfg
+        };
+        let forced = |via_grid: bool| {
+            let mut sim = SpatialSim::new(mk()).expect("valid spec");
+            sim.engine.medium.sense_via_grid = via_grid;
+            sim.run()
+        };
+        let g = forced(true);
+        let s = forced(false);
+        assert_eq!(g.aggregate_goodput_bps, s.aggregate_goodput_bps);
+        assert_eq!(g.per_flow_goodput_bps, s.per_flow_goodput_bps);
+        assert_eq!(g.frames_sent, s.frames_sent);
+        assert_eq!(g.frames_delivered, s.frames_delivered);
+        assert_eq!(g.collisions, s.collisions);
+        assert_eq!(g.silent_losses, s.silent_losses);
+        assert_eq!(g.inter_cell_corruptions, s.inter_cell_corruptions);
+        assert_eq!(g.handoff_log, s.handoff_log);
+        assert_eq!(g.events_processed, s.events_processed);
     }
 
     #[test]

@@ -194,6 +194,39 @@ impl SpatialParams {
         mean_snr_db(self.snr_ref_db, self.path_loss_exp, from.dist(to))
     }
 
+    /// Conservative two-sided inversion of the log-distance model for the
+    /// threshold test `snr_between >= threshold_db`: returns `(lo, hi)`
+    /// such that every link at distance `<= lo` certainly **passes** the
+    /// test and every link at distance `>= hi` certainly **fails** it.
+    ///
+    /// `snr_between(d) >= T` iff `max(d, 1) <= 10^((snr_ref − T)/(10·n))`
+    /// (the path-loss law is strictly monotone beyond the 1 m clamp), so
+    /// the exact inversion is the power term when `T <= snr_ref` and
+    /// *nothing* when `T > snr_ref` (even the clamped 1 m link is too
+    /// quiet — returns `(-1, 0)`: no distance passes, every distance
+    /// fails). Both radii carry a relative epsilon many orders of
+    /// magnitude above `powf`/`log10`/`sqrt` rounding: the threshold
+    /// margin a 1e−9 relative distance pad buys (~1e−8·n dB) dwarfs the
+    /// few-ulp error of evaluating the path-loss expression, so the
+    /// certain verdicts can never contradict the exact check. Inside the
+    /// vanishingly thin `(lo, hi)` band callers must still run the exact
+    /// check — which is what keeps the fast path byte-identical to the
+    /// full scan (the unregenerated goldens pin it).
+    pub fn range_band(&self, threshold_db: f64) -> (f64, f64) {
+        if threshold_db > self.snr_ref_db {
+            return (-1.0, 0.0);
+        }
+        let r = 10f64.powf((self.snr_ref_db - threshold_db) / (10.0 * self.path_loss_exp));
+        let r = r.max(1.0);
+        (r * (1.0 - 1e-9) - 1e-9, r * (1.0 + 1e-9) + 1e-9)
+    }
+
+    /// The conservative *outer* radius of [`SpatialParams::range_band`]:
+    /// beyond it, a link provably fails the threshold test.
+    pub fn range_for_threshold(&self, threshold_db: f64) -> f64 {
+        self.range_band(threshold_db).1
+    }
+
     /// The AP with the strongest mean RSSI at `pos`, and that RSSI in dB.
     pub fn best_ap(&self, pos: Point) -> (usize, f64) {
         let mut best = 0;
@@ -288,6 +321,41 @@ mod tests {
         assert_eq!(p.best_ap(near_middle).0, 1);
         let near_last = Point { x: 59.0, y: -1.0 };
         assert_eq!(p.best_ap(near_last).0, 2);
+    }
+
+    #[test]
+    fn range_band_brackets_the_exact_threshold_test() {
+        let p = spec().resolve().unwrap();
+        for threshold in [-5.0, 0.0, 7.5, 13.0, 30.0, 54.9] {
+            let (lo, hi) = p.range_band(threshold);
+            assert!(lo < hi);
+            // Certainly-inside distances pass the exact check, certainly-
+            // outside distances fail it, across a fine sweep.
+            let origin = Point { x: 0.0, y: 0.0 };
+            for k in 0..2000 {
+                let d = 0.5 + k as f64 * 0.1;
+                let to = Point { x: d, y: 0.0 };
+                let passes = p.snr_between(origin, to) >= threshold;
+                if d <= lo {
+                    assert!(passes, "d={d} <= lo={lo} must pass at T={threshold}");
+                }
+                if d >= hi {
+                    assert!(!passes, "d={d} >= hi={hi} must fail at T={threshold}");
+                }
+            }
+            assert_eq!(p.range_for_threshold(threshold), hi);
+        }
+    }
+
+    #[test]
+    fn range_band_above_reference_admits_nothing() {
+        let p = spec().resolve().unwrap();
+        let (lo, hi) = p.range_band(p.snr_ref_db + 1.0);
+        assert!(lo < 0.0, "no distance certainly passes");
+        assert_eq!(hi, 0.0, "every distance certainly fails");
+        // And the exact check agrees even at the 1 m clamp.
+        let a = Point { x: 0.0, y: 0.0 };
+        assert!(p.snr_between(a, a) < p.snr_ref_db + 1.0);
     }
 
     #[test]

@@ -150,13 +150,16 @@ pub struct Sender {
 /// One rate-adapted unidirectional link: the adapter and its retry/CW
 /// state. Single-cell media have one port per wireless link (the AP owns
 /// several); spatial media one per station.
+///
+/// The contention window lives in [`MacCore::cw`], not here: the deferral
+/// path reads it on every carrier-sensed TxStart, and keeping it in a
+/// dense array beside the other hot per-sender state avoids dragging a
+/// whole `Port` (adapter box and all) through the cache for one `u32`.
 pub struct Port {
     /// The rate-adaptation algorithm driving this link.
     pub adapter: Box<dyn RateAdapter>,
     /// Consecutive failed attempts for the head-of-line frame.
     pub retries: u32,
-    /// Current contention window.
-    pub cw: u32,
     /// Lifetime attempt counter (keys trace fate draws).
     pub attempts: u64,
 }
@@ -167,7 +170,6 @@ impl Port {
         Port {
             adapter,
             retries: 0,
-            cw: CW_MIN,
             attempts: 0,
         }
     }
@@ -265,8 +267,11 @@ pub struct MacCore<E, I> {
     pub events: EventQueue<MacEv<E>>,
     /// Backoff/busy state per sender.
     pub senders: Vec<Sender>,
-    /// Adapter + retry/CW state per port.
+    /// Adapter + retry state per port.
     pub ports: Vec<Port>,
+    /// Current contention window per port (dense — the deferral hot path
+    /// reads it on every carrier-sensed TxStart).
+    pub cw: Vec<u32>,
     /// Transmissions currently on the air.
     pub active: Vec<ActiveTx<I>>,
     /// Transmissions past TxEnd awaiting their feedback window.
@@ -284,10 +289,12 @@ impl<E, I> MacCore<E, I> {
     /// sizing the spatial simulator established; reallocation pauses show
     /// up directly in events/sec at scale).
     pub fn new(n_senders: usize, ports: Vec<Port>, params: MacParams) -> Self {
+        let cw = vec![CW_MIN; ports.len()];
         MacCore {
             events: EventQueue::with_capacity(n_senders * 8),
             senders: vec![Sender::default(); n_senders],
             ports,
+            cw,
             active: Vec::new(),
             pending: Vec::new(),
             stats: MacStats::default(),
@@ -354,12 +361,19 @@ pub trait Medium {
     ) -> AttemptInfo<Self::TxInfo>;
 
     /// Marks mutual corruption between the new transmission and the ones
-    /// already on the air.
+    /// already on the air. The engine always pushes `tx` onto the active
+    /// set right after this hook, so a medium that indexes active
+    /// transmitters (the spatial grid) inserts here.
     fn mark_collisions(
         &mut self,
         tx: &mut ActiveTx<Self::TxInfo>,
         active: &mut [ActiveTx<Self::TxInfo>],
     );
+
+    /// The transmission's air time ended and it left the active set (it
+    /// still awaits its feedback window). Media that index active
+    /// transmitters drop `tx` here; the default does nothing.
+    fn on_air_end(&mut self, _tx: &ActiveTx<Self::TxInfo>) {}
 
     /// The interference-free fate of `tx` (also consulted under collision
     /// for the §6.4 interference-free BER feedback).
@@ -387,12 +401,43 @@ pub trait Medium {
     fn on_event(&mut self, core: &mut MacCore<Self::Event, Self::TxInfo>, ev: Self::Event);
 }
 
+/// Wall-time breakdown of one profiled run: seconds spent inside each
+/// medium hook, with everything unaccounted (event-queue push/pop, engine
+/// dispatch, adapter calls, stats) folded into `queue_s`. Produced by
+/// [`MacEngine::run_profiled`]; the `netscale --profile` bench prints it so
+/// perf work knows where the time actually goes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseProfile {
+    /// Seconds inside [`Medium::carrier_sense`].
+    pub sense_s: f64,
+    /// Seconds inside [`Medium::begin_attempt`] (plus the adapter's
+    /// `next_attempt`, which the engine calls back-to-back with it).
+    pub begin_s: f64,
+    /// Seconds inside [`Medium::mark_collisions`].
+    pub collision_s: f64,
+    /// Seconds inside [`Medium::fate`].
+    pub fate_s: f64,
+    /// Seconds inside [`Medium::on_event`] (roaming checks, timers).
+    pub medium_ev_s: f64,
+    /// Residual: event-queue push/pop, dispatch, outcome resolution.
+    pub queue_s: f64,
+    /// Whole-run wall seconds.
+    pub total_s: f64,
+    /// TxStart events that found the medium busy and deferred.
+    pub deferrals: u64,
+    /// TxStart events that transmitted.
+    pub transmissions: u64,
+}
+
 /// The generic DCF discrete-event engine: one MAC, many media.
 pub struct MacEngine<M: Medium> {
     /// The shared MAC state.
     pub core: MacCore<M::Event, M::TxInfo>,
     /// The environment.
     pub medium: M,
+    /// Phase timers, populated only by [`MacEngine::run_profiled`] (the
+    /// unprofiled [`MacEngine::run`] never looks at the clock).
+    profile: Option<Box<PhaseProfile>>,
 }
 
 impl<M: Medium> MacEngine<M> {
@@ -401,6 +446,7 @@ impl<M: Medium> MacEngine<M> {
         MacEngine {
             core: MacCore::new(n_senders, ports, params),
             medium,
+            profile: None,
         }
     }
 
@@ -416,9 +462,28 @@ impl<M: Medium> MacEngine<M> {
                 MacEv::TxStart { sender } => self.on_tx_start(sender),
                 MacEv::TxEnd { tx } => self.on_tx_end(tx),
                 MacEv::Outcome { tx } => self.on_outcome(tx),
-                MacEv::Medium(e) => self.medium.on_event(&mut self.core, e),
+                MacEv::Medium(e) => {
+                    let t0 = self.profile.as_deref().map(|_| std::time::Instant::now());
+                    self.medium.on_event(&mut self.core, e);
+                    if let (Some(t0), Some(p)) = (t0, self.profile.as_deref_mut()) {
+                        p.medium_ev_s += t0.elapsed().as_secs_f64();
+                    }
+                }
             }
         }
+    }
+
+    /// [`MacEngine::run`] with per-phase wall-time accounting. Results are
+    /// identical to an unprofiled run (the timers observe, never steer);
+    /// the run is slightly slower from the clock reads around every hook.
+    pub fn run_profiled(&mut self, duration: f64) -> PhaseProfile {
+        self.profile = Some(Box::default());
+        let started = std::time::Instant::now();
+        self.run(duration);
+        let mut p = *self.profile.take().expect("set above");
+        p.total_s = started.elapsed().as_secs_f64();
+        p.queue_s = p.total_s - p.sense_s - p.begin_s - p.collision_s - p.fate_s - p.medium_ev_s;
+        p
     }
 
     fn on_tx_start(&mut self, sender: usize) {
@@ -431,16 +496,29 @@ impl<M: Medium> MacEngine<M> {
             return;
         };
 
-        if let Some(until) = self.medium.carrier_sense(core, sender) {
-            let cw = core.ports[port].cw;
+        let t0 = self.profile.as_deref().map(|_| std::time::Instant::now());
+        let sensed = self.medium.carrier_sense(core, sender);
+        if let (Some(t0), Some(p)) = (t0, self.profile.as_deref_mut()) {
+            p.sense_s += t0.elapsed().as_secs_f64();
+        }
+        if let Some(until) = sensed {
+            if let Some(p) = self.profile.as_deref_mut() {
+                p.deferrals += 1;
+            }
+            let cw = core.cw[port];
             core.schedule_tx_start(sender, Some(until), cw);
             return;
         }
 
         // Transmit.
         let now = core.events.now();
+        let t0 = self.profile.as_deref().map(|_| std::time::Instant::now());
         let mut attempt = core.ports[port].adapter.next_attempt(now);
         let info = self.medium.begin_attempt(sender, port, now, &mut attempt);
+        if let (Some(t0), Some(p)) = (t0, self.profile.as_deref_mut()) {
+            p.begin_s += t0.elapsed().as_secs_f64();
+            p.transmissions += 1;
+        }
         let rate = softrate_phy::rates::PAPER_RATES[attempt.rate_idx];
         let air = data_airtime(rate, info.payload_bytes, core.params.postambles)
             + if attempt.use_rts {
@@ -468,7 +546,11 @@ impl<M: Medium> MacEngine<M> {
             max_other_end: f64::NEG_INFINITY,
             info: info.info,
         };
+        let t0 = self.profile.as_deref().map(|_| std::time::Instant::now());
         self.medium.mark_collisions(&mut tx, &mut core.active);
+        if let (Some(t0), Some(p)) = (t0, self.profile.as_deref_mut()) {
+            p.collision_s += t0.elapsed().as_secs_f64();
+        }
 
         core.senders[sender].busy = true;
         core.events.schedule(tx.end, MacEv::TxEnd { tx: id });
@@ -497,6 +579,7 @@ impl<M: Medium> MacEngine<M> {
             .position(|t| t.id == tx_id)
             .expect("unknown tx");
         let tx = core.active.swap_remove(idx);
+        self.medium.on_air_end(&tx);
         // Sender waits a feedback window before concluding anything.
         core.events.schedule(
             tx.end + SIFS + feedback_airtime(),
@@ -519,7 +602,11 @@ impl<M: Medium> MacEngine<M> {
 
         // Interference-free fate from the medium (also needed under
         // collision for the §6.4 interference-free BER feedback).
+        let t0 = self.profile.as_deref().map(|_| std::time::Instant::now());
         let fate = self.medium.fate(&tx);
+        if let (Some(t0), Some(p)) = (t0, self.profile.as_deref_mut()) {
+            p.fate_s += t0.elapsed().as_secs_f64();
+        }
 
         let mut outcome = TxOutcome {
             rate_idx: tx.rate_idx,
@@ -561,17 +648,17 @@ impl<M: Medium> MacEngine<M> {
 
         if outcome.acked {
             core.ports[tx.port].retries = 0;
-            core.ports[tx.port].cw = CW_MIN;
+            core.cw[tx.port] = CW_MIN;
             self.medium.on_acked(core, &tx);
         } else {
             let p = &mut core.ports[tx.port];
             p.retries += 1;
             if p.retries > MAX_RETRIES {
                 p.retries = 0;
-                p.cw = CW_MIN;
+                core.cw[tx.port] = CW_MIN;
                 self.medium.on_dropped(core, &tx);
             } else {
-                p.cw = (p.cw * 2 + 1).min(CW_MAX);
+                core.cw[tx.port] = (core.cw[tx.port] * 2 + 1).min(CW_MAX);
             }
         }
 
@@ -643,7 +730,7 @@ mod tests {
 
         fn after_outcome(&mut self, core: &mut MacCore<(), ()>, sender: usize) {
             if !core.senders[sender].start_pending {
-                let cw = core.ports[0].cw;
+                let cw = core.cw[0];
                 core.schedule_tx_start(sender, None, cw);
             }
         }

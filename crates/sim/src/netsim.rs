@@ -261,10 +261,7 @@ impl TraceMedium {
         self.links[link].queue.push_back(payload);
         let node = self.links[link].src;
         if !core.senders[node].busy && !core.senders[node].start_pending {
-            let cw = self
-                .pick_port(node)
-                .map(|l| core.ports[l].cw)
-                .unwrap_or(CW_MIN);
+            let cw = self.pick_port(node).map(|l| core.cw[l]).unwrap_or(CW_MIN);
             core.schedule_tx_start(node, None, cw);
         }
     }
@@ -443,7 +440,7 @@ impl Medium for TraceMedium {
     fn after_outcome(&mut self, core: &mut Core, node: usize) {
         if let Some(port) = self.pick_port(node) {
             if !core.senders[node].start_pending {
-                let cw = core.ports[port].cw;
+                let cw = core.cw[port];
                 core.schedule_tx_start(node, None, cw);
             }
         }
