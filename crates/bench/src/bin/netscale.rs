@@ -22,14 +22,22 @@
 //! only refreshed on unprofiled runs. `--gate` is the CI perf check: one
 //! quick 400-station measurement that must stay within 30% of the
 //! committed trajectory.
+//!
+//! `--traffic tcp|onoff|udp` swaps the workload: `tcp` runs the ladder
+//! under per-station TCP NewReno uploads (AP transmitters carry the ACK
+//! downlink through the shared transport layer), `onoff` under bursty
+//! half-duty Poisson sources. Only the default saturated-UDP ladder ever
+//! rewrites `BENCH_netscale.json` — the committed trajectory the CI gate
+//! compares against is a UDP trajectory.
 
 use serde::{Deserialize, Serialize};
 use softrate_bench::{banner, smoke_mode};
 use softrate_net::mobility::MobilitySpec;
-use softrate_net::sim::{SpatialConfig, SpatialSim};
+use softrate_net::sim::{SpatialConfig, SpatialSim, SpatialTraffic};
 use softrate_net::spatial::{HandoffPolicy, RoamingSpec, SpatialSpec};
-use softrate_sim::config::AdapterKind;
+use softrate_sim::config::{AdapterKind, TrafficKind};
 use softrate_sim::mac::PhaseProfile;
+use softrate_sim::transport::TransportConfig;
 
 /// One ladder point.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -77,6 +85,25 @@ fn spec(stations: usize) -> SpatialSpec {
             check_interval_s: None,
             handoff: HandoffPolicy::Preserve,
         }),
+    }
+}
+
+/// The ladder workload selected by `--traffic` (default: the saturated
+/// uplink UDP the committed trajectory is measured under).
+fn traffic_for(mode: &str) -> SpatialTraffic {
+    let flows = |traffic| SpatialTraffic::Flows(TransportConfig::enterprise(traffic, true, 0x5A7A));
+    match mode {
+        "udp" => SpatialTraffic::SaturatedUplinkUdp,
+        "tcp" => flows(TrafficKind::Tcp),
+        "onoff" => flows(TrafficKind::OnOff {
+            rate_pps: 200.0,
+            on_s: 0.5,
+            off_s: 0.5,
+        }),
+        other => {
+            eprintln!("netscale: unknown --traffic `{other}` (udp | tcp | onoff)");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -166,7 +193,18 @@ fn main() {
     if std::env::args().any(|a| a == "--gate") {
         run_gate();
     }
-    banner("netscale — spatial simulator throughput vs station count");
+    let args: Vec<String> = std::env::args().collect();
+    let traffic_mode = args
+        .iter()
+        .position(|a| a == "--traffic")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("udp")
+        .to_string();
+    let traffic = traffic_for(&traffic_mode);
+    banner(&format!(
+        "netscale — spatial simulator throughput vs station count ({traffic_mode})"
+    ));
     let (ladder, sim_seconds): (&[usize], f64) = if smoke {
         (&[20, 60], 2.0)
     } else {
@@ -178,6 +216,7 @@ fn main() {
     // cold-start cost.
     {
         let mut cfg = SpatialConfig::new(AdapterKind::SoftRate, spec(50));
+        cfg.traffic = traffic.clone();
         cfg.duration = 1.0;
         SpatialSim::new(cfg).expect("bench spec is valid").run();
     }
@@ -195,6 +234,7 @@ fn main() {
         let mut best: Option<(softrate_sim::mac::RunReport, Option<PhaseProfile>)> = None;
         for _ in 0..if profile { 1 } else { 2 } {
             let mut cfg = SpatialConfig::new(AdapterKind::SoftRate, spec(stations));
+            cfg.traffic = traffic.clone();
             cfg.duration = sim_seconds;
             let sim = SpatialSim::new(cfg).expect("bench spec is valid");
             let started = std::time::Instant::now();
@@ -241,6 +281,14 @@ fn main() {
         rows.push(row);
     }
 
+    if traffic_mode != "udp" {
+        // The committed trajectory (and the CI gate reading it) is a
+        // saturated-UDP measurement; flow-traffic ladders are printed only.
+        eprintln!(
+            "[--traffic {traffic_mode} run: BENCH_netscale.json left untouched (UDP trajectory)]"
+        );
+        return;
+    }
     if profile {
         eprintln!("[--profile run: BENCH_netscale.json left untouched (timer overhead)]");
         return;

@@ -1,10 +1,10 @@
 //! The multi-cell spatial network simulator.
 //!
-//! N stations spread over a grid of APs, each saturated with uplink UDP
-//! traffic toward its associated AP. Every BSS runs the same 802.11-like
-//! DCF as the single-cell simulator — literally: the backoff/feedback
-//! state machine is the shared [`MacEngine`](softrate_sim::mac::MacEngine);
-//! this module contributes [`SpatialMedium`], the environment where:
+//! N stations spread over a grid of APs. Every BSS runs the same
+//! 802.11-like DCF as the single-cell simulator — literally: the
+//! backoff/feedback state machine is the shared
+//! [`MacEngine`](softrate_sim::mac::MacEngine); this module contributes
+//! [`SpatialMedium`], the environment where:
 //!
 //! * **Geometry decides everything.** Carrier sense is physical (a station
 //!   defers when another transmitter is audible above a mean-SNR
@@ -22,10 +22,20 @@
 //!   to a stronger AP past a hysteresis, with the rate adapter's learned
 //!   state either preserved or reset across the handoff (both policies are
 //!   first-class, so their cost can be measured).
+//! * **Pluggable transport.** The workload is a [`SpatialTraffic`]:
+//!   either the native saturated-uplink-UDP fast path (zero queues,
+//!   frames materialize on demand — byte-identical to the pre-transport
+//!   subsystem), or any [`TransportLayer`] workload — TCP NewReno in
+//!   both directions, queue-backed UDP download, bursty on–off sources —
+//!   with per-station uplink *and* downlink links, AP transmitters, and
+//!   flows that survive roaming handoffs (the TCP endpoints belong to the
+//!   station, not to the AP it happens to be associated with).
 //!
 //! The collision *feedback* semantics reproduce §6.4 exactly as the
 //! single-cell simulator does — structurally, because both run the same
 //! engine over `softrate_sim::feedback`.
+
+use std::collections::VecDeque;
 
 use softrate_channel::analytic::{FrameSuccessMemo, OracleBands};
 use softrate_core::adapter::{RateAdapter, TxAttempt};
@@ -34,7 +44,10 @@ use softrate_sim::mac::{
     ActiveTx, AttemptInfo, HandoffRecord, MacCore, MacEngine, MacEv, MacParams, Medium,
     PhaseProfile, Port, RunReport,
 };
-use softrate_sim::timing::{data_airtime, rts_cts_overhead, IP_TCP_HEADER};
+use softrate_sim::timing::{data_airtime, rts_cts_overhead, CW_MIN, IP_TCP_HEADER};
+use softrate_sim::transport::{
+    Payload, TransportConfig, TransportEv, TransportHost, TransportLayer,
+};
 use softrate_trace::schema::FrameFate;
 
 use crate::channel::{fate_from_draw_memo, StreamingLink};
@@ -44,6 +57,24 @@ use crate::mobility::MobilityWalker;
 use crate::spatial::{HandoffPolicy, SpatialParams, SpatialSpec};
 use crate::stream::mix_seed;
 
+/// The workload a spatial deployment carries.
+#[derive(Debug, Clone)]
+pub enum SpatialTraffic {
+    /// Saturated uplink UDP: every station always has a datagram for its
+    /// AP. The medium implements this as its native zero-queue fast path
+    /// (no AP transmitters, no MAC queues, no transport events) — the
+    /// degenerate [`TransportLayer`] configuration, kept inline so the
+    /// spatial hot path stays byte-identical to the pre-transport
+    /// subsystem (pinned by the unregenerated goldens and the `netscale`
+    /// event counts).
+    SaturatedUplinkUdp,
+    /// A [`TransportLayer`] workload: TCP NewReno upload/download,
+    /// queue-backed UDP in either direction, or the bursty on–off source.
+    /// Adds per-station downlink links and AP transmitters; per-station
+    /// flows survive roaming handoffs under both handoff policies.
+    Flows(TransportConfig),
+}
+
 /// Configuration of one spatial simulation run.
 #[derive(Debug, Clone)]
 pub struct SpatialConfig {
@@ -51,7 +82,8 @@ pub struct SpatialConfig {
     pub duration: f64,
     /// Rate-adaptation algorithm every station runs on its uplink.
     pub adapter: AdapterKind,
-    /// On-air bytes per data frame (payload + IP/TCP-sized headers).
+    /// On-air bytes per data frame (payload + IP/TCP-sized headers). In
+    /// `Flows` mode this is derived from the transport's MSS.
     pub payload_bytes: usize,
     /// Deployment seed: station spawns, trajectories, fading, and fate
     /// streams all derive from it.
@@ -64,10 +96,13 @@ pub struct SpatialConfig {
     pub mac_seed: u64,
     /// The deployment.
     pub spatial: SpatialSpec,
+    /// The workload.
+    pub traffic: SpatialTraffic,
 }
 
 impl SpatialConfig {
-    /// A default-duration run of `spatial` under `adapter`.
+    /// A default-duration saturated-uplink-UDP run of `spatial` under
+    /// `adapter`.
     pub fn new(adapter: AdapterKind, spatial: SpatialSpec) -> Self {
         SpatialConfig {
             duration: 10.0,
@@ -76,6 +111,7 @@ impl SpatialConfig {
             seed: 0x5A7A,
             mac_seed: 0x5A7A,
             spatial,
+            traffic: SpatialTraffic::SaturatedUplinkUdp,
         }
     }
 
@@ -93,37 +129,122 @@ struct Station {
     ap: usize,
     /// Association epoch (increments on every handoff; keys fate streams).
     epoch: u64,
-    /// Streaming channel to the current AP.
+    /// Streaming channel to the current AP (both directions: the fading
+    /// field between two places is reciprocal, and the fate stream is
+    /// shared — the single-threaded event loop makes interleaved draws
+    /// deterministic).
     link: StreamingLink,
     /// Handoff decided while a frame was in flight; applied at outcome.
     pending_handoff: Option<usize>,
     delivered: u64,
 }
 
-/// Per-attempt data: the receiver AP, the mean signal SNR at start, and
-/// the transmitter's position at start (the grid key, and the anchor the
+/// Per-attempt data: the BSS, the receiver (an AP for uplink frames, a
+/// station for downlink), the mean signal SNR at start, and the
+/// transmitter's position at start (the grid key, and the anchor the
 /// drift-padded pruning reasons from).
 #[derive(Debug, Clone, Copy)]
 struct SpatialTx {
-    /// Receiver AP.
+    /// The BSS this transmission belongs to (receiver AP for uplink,
+    /// transmitter AP for downlink).
     ap: usize,
+    /// `None`: the receiver is AP `ap` (uplink). `Some(st)`: the receiver
+    /// is station `st` (downlink).
+    rx_station: Option<usize>,
     /// Mean (path-loss only) signal SNR at the receiver at start, dB.
     sig_snr_db: f64,
     /// Transmitter position at transmit start.
     start_pos: Point,
+    /// What the frame carries (`Flows` mode; the saturated fast path's
+    /// frames are all anonymous datagrams).
+    payload: Payload,
 }
 
-/// Medium-specific events: periodic association re-evaluation.
+/// Medium-specific events: periodic association re-evaluation, plus the
+/// transport layer's timers and wired deliveries (`Flows` mode only).
 #[derive(Debug, Clone, Copy)]
-struct Roam {
-    st: usize,
+enum SpatialEv {
+    /// Association re-evaluation for one station.
+    Roam {
+        /// The station.
+        st: usize,
+    },
+    /// A transport-layer event.
+    Transport(TransportEv),
 }
 
-type Core = MacCore<Roam, SpatialTx>;
+type Core = MacCore<SpatialEv, SpatialTx>;
 
 /// The `t` sentinel that can never equal a real query time's bits (the
 /// event loop never produces NaN timestamps), marking memo slots empty.
 const NO_TIME: u64 = u64::MAX; // f64::NAN bit patterns vary; u64::MAX is one of them
+
+/// The flow-mode wireless fabric: MAC queues for both directions plus the
+/// shared transport layer above them.
+///
+/// Link/port ids: `s` in `0..n` is station `s`'s uplink (station → its
+/// current AP); `n + s` is its downlink (current AP → station). Sender
+/// ids: `0..n` are stations, `n + a` is AP `a`. A station's downlink
+/// queue belongs to whichever AP it is associated with *right now* — a
+/// handoff re-homes the queue (and its in-flight TCP state) wholesale,
+/// which is what lets flows survive roaming.
+struct FlowNet {
+    transport: TransportLayer,
+    /// MAC queue per link (uplinks then downlinks).
+    queues: Vec<VecDeque<Payload>>,
+    /// Stations currently associated with each AP (downlink service set).
+    ap_members: Vec<Vec<usize>>,
+    /// Per-AP round-robin cursor over its members.
+    ap_rr: Vec<usize>,
+    /// Whether each port has a frame on the air or awaiting its feedback
+    /// window. A handoff can re-home a downlink queue while its front is
+    /// in flight from the old AP; `pick_port` skips in-flight ports so
+    /// the queue front is never served by two transmitters at once.
+    port_inflight: Vec<bool>,
+    /// The port each sender's current (or last) attempt left from —
+    /// `after_outcome` uses it to clear the in-flight flag and to wake
+    /// the port's new owner when a handoff re-homed it mid-flight.
+    sender_port: Vec<usize>,
+}
+
+/// The [`TransportHost`] over the spatial medium: queue surface plus
+/// sender pokes (a frame landing on an idle sender's queue schedules its
+/// channel access).
+struct SpatialHost<'a> {
+    queues: &'a mut [VecDeque<Payload>],
+    stations: &'a [Station],
+    core: &'a mut Core,
+    n: usize,
+}
+
+impl TransportHost for SpatialHost<'_> {
+    fn now(&self) -> f64 {
+        self.core.now()
+    }
+
+    fn queue_len(&self, link: usize) -> usize {
+        self.queues[link].len()
+    }
+
+    fn enqueue(&mut self, link: usize, payload: Payload) {
+        self.queues[link].push_back(payload);
+        let sender = if link < self.n {
+            link
+        } else {
+            self.n + self.stations[link - self.n].ap
+        };
+        if !self.core.senders[sender].busy && !self.core.senders[sender].start_pending {
+            let cw = self.core.cw[link];
+            self.core.schedule_tx_start(sender, None, cw);
+        }
+    }
+
+    fn schedule_in(&mut self, delay: f64, ev: TransportEv) {
+        self.core
+            .events
+            .schedule_in(delay, MacEv::Medium(SpatialEv::Transport(ev)));
+    }
+}
 
 /// The multi-cell geometric environment with streaming channels.
 ///
@@ -140,6 +261,8 @@ struct SpatialMedium {
     stations: Vec<Station>,
     /// Per-station resumable mobility cursors (amortized O(1) positions).
     walkers: Vec<MobilityWalker>,
+    /// `Flows`-mode state; `None` on the saturated-uplink fast path.
+    flows: Option<FlowNet>,
     /// Active transmitters bucketed by transmit-start position.
     grid: ActiveGrid,
     /// Conservative (padded) radius beyond which a transmitter cannot be
@@ -220,6 +343,16 @@ impl SpatialMedium {
         p
     }
 
+    /// Position of transmitter `sender` at `t`: a walking station, or a
+    /// fixed AP (`Flows`-mode senders `n..n + n_aps`).
+    fn tx_pos(&mut self, sender: usize, t: f64) -> Point {
+        if sender < self.params.n_stations {
+            self.pos_at(sender, t)
+        } else {
+            self.params.aps[sender - self.params.n_stations]
+        }
+    }
+
     /// Mean SNR between station `st` (at `t`) and AP `ap`: the ordered-
     /// pair memo over `params.snr_between` (APs never move, so the pair
     /// key is `(station, ap)` and the freshness key is `t`).
@@ -234,6 +367,18 @@ impl SpatialMedium {
         let v = self.params.snr_between(pos, self.params.aps[ap]);
         self.snr_ap_cache[idx] = (bits, v);
         v
+    }
+
+    /// Mean SNR of transmitter `sender` heard at AP `ap` at `t`: the
+    /// memoized station→AP path for stations, the (static) AP→AP path for
+    /// `Flows`-mode AP transmitters.
+    fn snr_sender_to_ap(&mut self, sender: usize, ap: usize, t: f64) -> f64 {
+        if sender < self.params.n_stations {
+            self.snr_to_ap(sender, ap, t)
+        } else {
+            let from = self.params.aps[sender - self.params.n_stations];
+            self.params.snr_between(from, self.params.aps[ap])
+        }
     }
 
     /// Fading envelope of `st`'s current link at `t`, dB — memoized so
@@ -252,6 +397,12 @@ impl SpatialMedium {
         v
     }
 
+    /// The station whose link a port serves (uplink ports are the station
+    /// id; downlink ports are offset by the station count).
+    fn station_of_port(&self, port: usize) -> usize {
+        station_of_port(self.params.n_stations, port)
+    }
+
     /// Whether the transmission behind `e` is audible at `pos` right now
     /// — identical verdict to evaluating `snr_between(current tx
     /// position, pos) >= sense_snr_db` directly. The insert-position
@@ -267,7 +418,7 @@ impl SpatialMedium {
         if d2_ins >= self.sense_hi_ins2 {
             return false;
         }
-        let tpos = self.pos_at(e.sender, now);
+        let tpos = self.tx_pos(e.sender, now);
         let d2 = dist2(tpos, pos);
         d2 <= self.sense_lo2
             || (d2 < self.sense_hi2
@@ -277,10 +428,10 @@ impl SpatialMedium {
     /// Carrier sense over the end-descending active list: the first
     /// audible entry carries the maximal end time, so the scan stops
     /// there. Dense floors resolve in ~1 candidate.
-    fn sense_sorted(&mut self, st: usize, pos: Point, now: f64) -> Option<f64> {
+    fn sense_sorted(&mut self, sender: usize, pos: Point, now: f64) -> Option<f64> {
         for i in 0..self.by_end.len() {
             let e = self.by_end[i];
-            if e.sender == st {
+            if e.sender == sender {
                 continue;
             }
             if self.audible_at(&e, pos, now) {
@@ -294,12 +445,12 @@ impl SpatialMedium {
     /// large floors visit a small fraction of the active set. Candidates
     /// that cannot raise the accumulated horizon are skipped before any
     /// classification.
-    fn sense_via_buckets(&mut self, st: usize, pos: Point, now: f64) -> Option<f64> {
+    fn sense_via_buckets(&mut self, sender: usize, pos: Point, now: f64) -> Option<f64> {
         let mut scratch = std::mem::take(&mut self.sense_scratch);
         scratch.clear();
         self.grid
             .for_each_in_disk(pos, self.sense_radius_m + self.drift_pad_m, |e| {
-                if e.sender != st {
+                if e.sender != sender {
                     scratch.push(*e);
                 }
             });
@@ -345,6 +496,18 @@ impl SpatialMedium {
         )
     }
 
+    /// The downlink (AP → station) adapter for station `st`'s flow
+    /// (`Flows` mode only; distinct seed salt so uplink and downlink
+    /// tie-breaks are independent).
+    fn make_downlink_adapter(&self, st: usize) -> Box<dyn RateAdapter> {
+        self.cfg.adapter.build_with_oracle(
+            self.cfg.frame_bits(),
+            self.cfg.payload_bytes,
+            mix_seed(self.cfg.mac_seed ^ 0xADA7_D04E, st as u64),
+            Box::new(|_| 0),
+        )
+    }
+
     fn apply_handoff(&mut self, core: &mut Core, st: usize, to: usize, now: f64) {
         let from = self.stations[st].ap;
         if from == to {
@@ -354,11 +517,43 @@ impl SpatialMedium {
         self.stations[st].ap = to;
         self.stations[st].epoch = epoch;
         self.stations[st].link = self.make_link(st, to, epoch);
-        if matches!(self.params.roaming, Some((_, _, HandoffPolicy::Reset))) {
+        let reset = matches!(self.params.roaming, Some((_, _, HandoffPolicy::Reset)));
+        if reset {
             core.ports[st].adapter = self.make_adapter(st);
         }
         core.ports[st].retries = 0;
-        core.cw[st] = softrate_sim::timing::CW_MIN;
+        core.cw[st] = CW_MIN;
+        // Flow-mode bookkeeping: the downlink queue (and the flow's TCP
+        // state with it) re-homes to the new AP; the downlink adapter
+        // follows the handoff policy like the uplink one.
+        let n = self.params.n_stations;
+        if self.flows.is_some() {
+            if reset {
+                core.ports[n + st].adapter = self.make_downlink_adapter(st);
+            }
+            core.ports[n + st].retries = 0;
+            core.cw[n + st] = CW_MIN;
+        }
+        if let Some(fl) = self.flows.as_mut() {
+            fl.ap_members[from].retain(|&m| m != st);
+            fl.ap_members[to].push(st);
+            // Wake the new AP if the re-homed downlink queue has frames
+            // (the old AP no longer serves it; without a poke a pure
+            // download flow would stall until unrelated traffic arrives).
+            // Not while the old AP still has a frame of this port on the
+            // air or awaiting feedback: the queue front belongs to that
+            // transmission, and serving it twice would desync the queue
+            // (`after_outcome` wakes the new owner when it resolves).
+            let ap_sender = n + to;
+            if !fl.port_inflight[n + st]
+                && !fl.queues[n + st].is_empty()
+                && !core.senders[ap_sender].busy
+                && !core.senders[ap_sender].start_pending
+            {
+                let cw = core.cw[n + st];
+                core.schedule_tx_start(ap_sender, None, cw);
+            }
+        }
         self.handoffs += 1;
         self.handoff_log.push(HandoffRecord {
             t: now,
@@ -367,31 +562,97 @@ impl SpatialMedium {
             to,
         });
     }
+
+    /// Applies `st`'s deferred handoff once neither of its links has a
+    /// frame in flight (the station's own sender idle, and — in `Flows`
+    /// mode — no downlink frame of its port on the air or awaiting
+    /// feedback): every launched attempt resolves against the link state
+    /// it was launched on before the association changes underneath it.
+    fn try_apply_pending_handoff(&mut self, core: &mut Core, st: usize) {
+        if self.stations[st].pending_handoff.is_none() || core.senders[st].busy {
+            return;
+        }
+        let n = self.params.n_stations;
+        if self
+            .flows
+            .as_ref()
+            .is_some_and(|fl| fl.port_inflight[n + st])
+        {
+            return;
+        }
+        let to = self.stations[st].pending_handoff.take().expect("checked");
+        let now = core.now();
+        self.apply_handoff(core, st, to, now);
+    }
 }
 
 impl Medium for SpatialMedium {
-    type Event = Roam;
+    type Event = SpatialEv;
     type TxInfo = SpatialTx;
 
     fn kickoff(&mut self, core: &mut Core) {
         let n = self.params.n_stations;
-        for s in 0..n {
-            // Slight stagger so the whole floor doesn't draw backoff at the
-            // exact same instant.
-            let cw = core.cw[s];
-            core.schedule_tx_start(s, Some(s as f64 * 2e-4), cw);
+        match self.flows.as_mut() {
+            None => {
+                // Saturated uplink: slight stagger so the whole floor
+                // doesn't draw backoff at the exact same instant.
+                for s in 0..n {
+                    let cw = core.cw[s];
+                    core.schedule_tx_start(s, Some(s as f64 * 2e-4), cw);
+                }
+            }
+            Some(fl) => {
+                // Flow traffic: the transport schedules its own staggered
+                // kicks and primes the queues (whose enqueues wake the
+                // senders).
+                let FlowNet {
+                    transport, queues, ..
+                } = fl;
+                let mut host = SpatialHost {
+                    queues,
+                    stations: &self.stations,
+                    core,
+                    n,
+                };
+                transport.kickoff(&mut host);
+            }
         }
         if let Some((_, interval, _)) = self.params.roaming {
             for s in 0..n {
                 let first = interval * (1.0 + s as f64 / n as f64);
-                core.events.schedule(first, MacEv::Medium(Roam { st: s }));
+                core.events
+                    .schedule(first, MacEv::Medium(SpatialEv::Roam { st: s }));
             }
         }
     }
 
     /// Saturated uplink: every station always has a frame for its AP.
-    fn pick_port(&mut self, st: usize) -> Option<usize> {
-        Some(st)
+    /// Flow traffic: stations serve their uplink queue; APs round-robin
+    /// over their associated stations' downlink queues.
+    fn pick_port(&mut self, sender: usize) -> Option<usize> {
+        let n = self.params.n_stations;
+        match &self.flows {
+            None => Some(sender),
+            Some(fl) => {
+                // A port whose frame is on the air (or awaiting feedback)
+                // is never picked — after a mid-flight handoff the new AP
+                // must not serve the queue front the old AP still carries.
+                if sender < n {
+                    (!fl.queues[sender].is_empty() && !fl.port_inflight[sender]).then_some(sender)
+                } else {
+                    let a = sender - n;
+                    let members = &fl.ap_members[a];
+                    let m = members.len();
+                    for k in 0..m {
+                        let st = members[(fl.ap_rr[a] + k) % m];
+                        if !fl.queues[n + st].is_empty() && !fl.port_inflight[n + st] {
+                            return Some(n + st);
+                        }
+                    }
+                    None
+                }
+            }
+        }
     }
 
     /// Physical carrier sense: defer while any foreign transmitter is
@@ -402,50 +663,67 @@ impl Medium for SpatialMedium {
     /// audibility by squared distance (exact path-loss math only inside
     /// the guard bands). The result — the max end time over exactly the
     /// audible set — is unchanged.
-    fn carrier_sense(&mut self, core: &Core, st: usize) -> Option<f64> {
+    fn carrier_sense(&mut self, core: &Core, sender: usize) -> Option<f64> {
         if core.active.is_empty() {
             // Idle medium: nothing can be sensed, and nothing is worth
             // computing (the attempt hooks fetch positions on demand).
             return None;
         }
         let now = core.now();
-        let pos = self.pos_at(st, now);
+        let pos = self.tx_pos(sender, now);
         if self.sense_via_grid {
-            self.sense_via_buckets(st, pos, now)
+            self.sense_via_buckets(sender, pos, now)
         } else {
-            self.sense_sorted(st, pos, now)
+            self.sense_sorted(sender, pos, now)
         }
     }
 
     fn begin_attempt(
         &mut self,
-        st: usize,
-        _port: usize,
+        sender: usize,
+        port: usize,
         now: f64,
         attempt: &mut TxAttempt,
     ) -> AttemptInfo<SpatialTx> {
-        // Transmit toward the associated AP. Position, mean SNR, and
-        // envelope all come from the per-event memos (the carrier-sense
-        // pass typically warmed the position), and the oracle runs over
-        // the memoized analytic kernels — identical values throughout.
+        let n = self.params.n_stations;
+        let st = self.station_of_port(port);
         let ap = self.stations[st].ap;
-        let start_pos = self.pos_at(st, now);
+        // Mean SNR, envelope, and oracle all come from the per-event
+        // memos; the AP↔station path is reciprocal, so the downlink
+        // reuses the uplink's memoized values for the same instant.
         let sig_snr_db = self.snr_to_ap(st, ap, now);
         let env_db = self.env_at(st, now);
         let oracle_rate = self.oracle.best_rate(sig_snr_db + env_db);
         if matches!(self.cfg.adapter, AdapterKind::Omniscient) {
             attempt.rate_idx = oracle_rate;
         }
+        let start_pos = self.tx_pos(sender, now);
+        let (payload, rx_station) = match self.flows.as_mut() {
+            None => (Payload::Segment(0), None),
+            Some(fl) => {
+                let payload = *fl.queues[port].front().expect("picked link has a frame");
+                fl.port_inflight[port] = true;
+                fl.sender_port[sender] = port;
+                (payload, (port >= n).then_some(st))
+            }
+        };
+        let is_segment = payload.is_segment();
+        let payload_bytes = match &self.flows {
+            None => self.cfg.payload_bytes,
+            Some(fl) => fl.transport.payload_bytes(payload),
+        };
         AttemptInfo {
-            payload_bytes: self.cfg.payload_bytes,
-            counts_as_data: true,
-            // Audit against the instantaneous analytic oracle.
-            audit_best: Some(oracle_rate),
+            payload_bytes,
+            counts_as_data: is_segment,
+            // Audit data frames against the instantaneous analytic oracle.
+            audit_best: is_segment.then_some(oracle_rate),
             timeline: false,
             info: SpatialTx {
                 ap,
+                rx_station,
                 sig_snr_db,
                 start_pos,
+                payload,
             },
         }
     }
@@ -457,11 +735,12 @@ impl Medium for SpatialMedium {
     /// single-cell medium).
     ///
     /// Fast path: both corruption directions demand the interferer's mean
-    /// SNR at the victim's AP to clear the 0 dB noise floor, so any pair
-    /// separated by more than the interference radius (drift-padded when
-    /// the anchor is a transmit-start position) is skipped before the SNR
-    /// math — it provably cannot corrupt. The engine pushes `tx` onto the
-    /// active set right after this hook, so the grid insert lives here.
+    /// SNR at the victim's receiver to clear the 0 dB noise floor, so any
+    /// pair separated by more than the interference radius (drift-padded
+    /// when the anchor is a transmit-start position) is skipped before the
+    /// SNR math — it provably cannot corrupt. The engine pushes `tx` onto
+    /// the active set right after this hook, so the grid insert lives
+    /// here.
     fn mark_collisions(
         &mut self,
         tx: &mut ActiveTx<SpatialTx>,
@@ -491,7 +770,12 @@ impl Medium for SpatialMedium {
         }
         let now = tx.start;
         let my_pos = tx.info.start_pos;
-        let ap_pos = self.params.aps[tx.info.ap];
+        // My receiver's position: the BSS AP (uplink) or the destination
+        // station right now (downlink).
+        let my_rx_pos = match tx.info.rx_station {
+            None => self.params.aps[tx.info.ap],
+            Some(st) => self.pos_at(st, now),
+        };
         let r_int2 = self.interference_radius_m * self.interference_radius_m;
         let r_int_drift = self.interference_radius_m + self.drift_pad_m;
         let r_int_drift2 = r_int_drift * r_int_drift;
@@ -513,8 +797,16 @@ impl Medium for SpatialMedium {
             // interferer < 0 dB at the receiver) cannot corrupt anything
             // the noise wasn't already corrupting — and beyond the
             // interference radius it provably is buried.
-            if ap_near[o.info.ap] {
-                let int_at_o = self.snr_to_ap(tx.sender, o.info.ap, now);
+            let int_at_o = match o.info.rx_station {
+                None => {
+                    ap_near[o.info.ap].then(|| self.snr_sender_to_ap(tx.sender, o.info.ap, now))
+                }
+                Some(st_r) => {
+                    let rxp = self.pos_at(st_r, now);
+                    (dist2(my_pos, rxp) <= r_int2).then(|| self.params.snr_between(my_pos, rxp))
+                }
+            };
+            if let Some(int_at_o) = int_at_o {
                 if int_at_o >= 0.0 && o.info.sig_snr_db - int_at_o < self.params.capture_sir_db {
                     let om = &mut active[i];
                     om.collided = true;
@@ -525,11 +817,17 @@ impl Medium for SpatialMedium {
                     }
                 }
             }
-            // Does `o` corrupt the new transmission at our AP? `o` may
-            // have drifted since its start position was recorded, so the
-            // prune radius carries the drift pad.
-            if dist2(o.info.start_pos, ap_pos) <= r_int_drift2 {
-                let int_at_mine = self.snr_to_ap(o.sender, tx.info.ap, now);
+            // Does `o` corrupt the new transmission at my receiver? `o`
+            // may have drifted since its start position was recorded, so
+            // the prune radius carries the drift pad.
+            if dist2(o.info.start_pos, my_rx_pos) <= r_int_drift2 {
+                let int_at_mine = match tx.info.rx_station {
+                    None => self.snr_sender_to_ap(o.sender, tx.info.ap, now),
+                    Some(_) => {
+                        let opos = self.tx_pos(o.sender, now);
+                        self.params.snr_between(opos, my_rx_pos)
+                    }
+                };
                 if int_at_mine >= 0.0
                     && tx.info.sig_snr_db - int_at_mine < self.params.capture_sir_db
                 {
@@ -559,8 +857,9 @@ impl Medium for SpatialMedium {
     /// (same `t`, same link ⇒ same Jakes evaluation) and the BER/success
     /// pair from the kernel memo.
     fn fate(&mut self, tx: &ActiveTx<SpatialTx>) -> FrameFate {
-        let u = self.stations[tx.sender].link.draw();
-        let env_db = self.env_at(tx.sender, tx.start);
+        let st = self.station_of_port(tx.port);
+        let u = self.stations[st].link.draw();
+        let env_db = self.env_at(st, tx.start);
         fate_from_draw_memo(
             u,
             tx.info.sig_snr_db + env_db,
@@ -571,28 +870,126 @@ impl Medium for SpatialMedium {
     }
 
     fn on_acked(&mut self, core: &mut Core, tx: &ActiveTx<SpatialTx>) {
-        core.stats.frames_delivered += 1;
-        self.stations[tx.sender].delivered += 1;
-    }
-
-    fn on_dropped(&mut self, _core: &mut Core, _tx: &ActiveTx<SpatialTx>) {
-        // Frame dropped; the saturated source moves to the next.
-    }
-
-    fn after_outcome(&mut self, core: &mut Core, st: usize) {
-        if let Some(to) = self.stations[st].pending_handoff.take() {
-            let now = core.now();
-            self.apply_handoff(core, st, to, now);
+        let n = self.params.n_stations;
+        let flow = station_of_port(n, tx.port);
+        let Some(fl) = self.flows.as_mut() else {
+            core.stats.frames_delivered += 1;
+            self.stations[tx.sender].delivered += 1;
+            return;
+        };
+        core.stats.frames_delivered += u64::from(tx.info.payload.is_segment());
+        fl.queues[tx.port].pop_front();
+        if tx.sender >= n {
+            let a = tx.sender - n;
+            fl.ap_rr[a] = (fl.ap_rr[a] + 1) % fl.ap_members[a].len().max(1);
         }
-        // Saturated uplink: there is always a next frame.
-        if !core.senders[st].start_pending {
-            let cw = core.cw[st];
-            core.schedule_tx_start(st, None, cw);
+        let FlowNet {
+            transport, queues, ..
+        } = fl;
+        let mut host = SpatialHost {
+            queues: &mut *queues,
+            stations: &self.stations,
+            core: &mut *core,
+            n,
+        };
+        transport.on_frame_delivered(&mut host, flow, tx.info.payload);
+    }
+
+    fn on_dropped(&mut self, core: &mut Core, tx: &ActiveTx<SpatialTx>) {
+        let n = self.params.n_stations;
+        let flow = station_of_port(n, tx.port);
+        let Some(fl) = self.flows.as_mut() else {
+            // Saturated source: the frame evaporates, the next materializes.
+            return;
+        };
+        fl.queues[tx.port].pop_front();
+        let FlowNet {
+            transport, queues, ..
+        } = fl;
+        let mut host = SpatialHost {
+            queues: &mut *queues,
+            stations: &self.stations,
+            core: &mut *core,
+            n,
+        };
+        transport.on_frame_dropped(&mut host, flow);
+    }
+
+    fn after_outcome(&mut self, core: &mut Core, sender: usize) {
+        let n = self.params.n_stations;
+        if sender < n {
+            self.try_apply_pending_handoff(core, sender);
+        }
+        match &self.flows {
+            None => {
+                // Saturated uplink: there is always a next frame.
+                if !core.senders[sender].start_pending {
+                    let cw = core.cw[sender];
+                    core.schedule_tx_start(sender, None, cw);
+                }
+            }
+            Some(_) => {
+                // The attempt on `sender_port[sender]` just fully resolved
+                // (acked, dropped, or headed for a retry): the port is no
+                // longer in flight. A handoff deferred on this very frame
+                // can now go; afterwards, if the port's owner changed
+                // mid-stream, the new owner — who deliberately was not
+                // woken while the frame was in the air — picks up whatever
+                // the queue still holds.
+                let port = {
+                    let fl = self.flows.as_mut().expect("matched Some above");
+                    let port = fl.sender_port[sender];
+                    fl.port_inflight[port] = false;
+                    port
+                };
+                if port >= n {
+                    self.try_apply_pending_handoff(core, port - n);
+                }
+                let owner = if port < n {
+                    port
+                } else {
+                    n + self.stations[port - n].ap
+                };
+                let fl = self.flows.as_ref().expect("matched Some above");
+                if owner != sender
+                    && !fl.queues[port].is_empty()
+                    && !core.senders[owner].busy
+                    && !core.senders[owner].start_pending
+                {
+                    let cw = core.cw[port];
+                    core.schedule_tx_start(owner, None, cw);
+                }
+                if let Some(port) = self.pick_port(sender) {
+                    if !core.senders[sender].start_pending {
+                        let cw = core.cw[port];
+                        core.schedule_tx_start(sender, None, cw);
+                    }
+                }
+            }
         }
     }
 
-    /// Periodic association re-evaluation.
-    fn on_event(&mut self, core: &mut Core, Roam { st }: Roam) {
+    /// Periodic association re-evaluation, plus transport dispatch.
+    fn on_event(&mut self, core: &mut Core, ev: SpatialEv) {
+        let st = match ev {
+            SpatialEv::Transport(tev) => {
+                let n = self.params.n_stations;
+                if let Some(fl) = self.flows.as_mut() {
+                    let FlowNet {
+                        transport, queues, ..
+                    } = fl;
+                    let mut host = SpatialHost {
+                        queues,
+                        stations: &self.stations,
+                        core,
+                        n,
+                    };
+                    transport.on_event(&mut host, tev);
+                }
+                return;
+            }
+            SpatialEv::Roam { st } => st,
+        };
         let Some((hysteresis, interval, _)) = self.params.roaming else {
             return;
         };
@@ -601,14 +998,33 @@ impl Medium for SpatialMedium {
         let (best, best_rssi) = self.best_ap_at(st, now);
         let cur_rssi = self.snr_to_ap(st, cur, now);
         if best != cur && best_rssi >= cur_rssi + hysteresis {
-            if core.senders[st].busy {
+            // Defer while either of the station's links has a frame in
+            // flight: the pending attempt must resolve against the link
+            // state (fading process, epoch, adapter) it was launched on.
+            let n = self.params.n_stations;
+            let downlink_inflight = self
+                .flows
+                .as_ref()
+                .is_some_and(|fl| fl.port_inflight[n + st]);
+            if core.senders[st].busy || downlink_inflight {
                 self.stations[st].pending_handoff = Some(best);
             } else {
                 self.apply_handoff(core, st, best, now);
             }
         }
         core.events
-            .schedule(now + interval, MacEv::Medium(Roam { st }));
+            .schedule(now + interval, MacEv::Medium(SpatialEv::Roam { st }));
+    }
+}
+
+/// The station whose link a port serves, given `n` stations (uplink
+/// ports are the station id; downlink ports are offset by the station
+/// count).
+fn station_of_port(n: usize, port: usize) -> usize {
+    if port < n {
+        port
+    } else {
+        port - n
     }
 }
 
@@ -621,7 +1037,11 @@ pub struct SpatialSim {
 impl SpatialSim {
     /// Builds the deployment: lays out the grid, spawns stations, and
     /// associates each with its strongest AP.
-    pub fn new(cfg: SpatialConfig) -> Result<Self, crate::spatial::SpatialError> {
+    pub fn new(mut cfg: SpatialConfig) -> Result<Self, crate::spatial::SpatialError> {
+        if let SpatialTraffic::Flows(tc) = &cfg.traffic {
+            // Flow traffic sizes data frames from the transport's MSS.
+            cfg.payload_bytes = tc.tcp.mss + IP_TCP_HEADER;
+        }
         let params = cfg.spatial.resolve()?;
         let walkers = (0..params.n_stations)
             .map(|s| MobilityWalker::new(params.station_seed(cfg.seed, s)))
@@ -671,6 +1091,7 @@ impl SpatialSim {
         let mut medium = SpatialMedium {
             stations: Vec::with_capacity(n),
             walkers,
+            flows: None,
             grid,
             sense_radius_m,
             sense_lo2,
@@ -710,8 +1131,30 @@ impl SpatialSim {
                 delivered: 0,
             });
         }
+        let mut n_senders = n;
+        if let SpatialTraffic::Flows(tc) = &medium.cfg.traffic {
+            // Downlink ports (one per station) and AP transmitters.
+            for s in 0..n {
+                ports.push(Port::new(medium.make_downlink_adapter(s)));
+            }
+            n_senders = n + n_aps;
+            let mut ap_members = vec![Vec::new(); n_aps];
+            for (s, &a) in medium.initial_assoc.iter().enumerate() {
+                ap_members[a].push(s);
+            }
+            let upload = tc.upload;
+            let flow_links = (0..n).map(|s| if upload { (s, n + s) } else { (n + s, s) });
+            medium.flows = Some(FlowNet {
+                transport: TransportLayer::new(*tc, flow_links),
+                queues: (0..2 * n).map(|_| VecDeque::new()).collect(),
+                ap_members,
+                ap_rr: vec![0; n_aps],
+                port_inflight: vec![false; 2 * n],
+                sender_port: vec![0; n + n_aps],
+            });
+        }
         Ok(SpatialSim {
-            engine: MacEngine::new(n, ports, mac_params, medium),
+            engine: MacEngine::new(n_senders, ports, mac_params, medium),
         })
     }
 
@@ -734,12 +1177,18 @@ impl SpatialSim {
         let m = self.engine.medium;
         let stats = self.engine.core.stats;
         let duration = m.cfg.duration;
-        let useful_bits = (m.cfg.payload_bytes - IP_TCP_HEADER) as f64 * 8.0;
-        let per_station: Vec<f64> = m
-            .stations
-            .iter()
-            .map(|s| s.delivered as f64 * useful_bits / duration)
-            .collect();
+        let per_station: Vec<f64> = match &m.flows {
+            None => {
+                let useful_bits = (m.cfg.payload_bytes - IP_TCP_HEADER) as f64 * 8.0;
+                m.stations
+                    .iter()
+                    .map(|s| s.delivered as f64 * useful_bits / duration)
+                    .collect()
+            }
+            Some(fl) => (0..m.stations.len())
+                .map(|s| fl.transport.flow_goodput_bps(s, duration))
+                .collect(),
+        };
         RunReport {
             adapter_name: m.cfg.adapter.name().to_string(),
             aggregate_goodput_bps: per_station.iter().sum(),
@@ -764,6 +1213,7 @@ mod tests {
     use super::*;
     use crate::mobility::MobilitySpec;
     use crate::spatial::RoamingSpec;
+    use softrate_sim::config::TrafficKind;
 
     fn small_spec(cols: usize, spacing: f64, n_stations: usize) -> SpatialSpec {
         SpatialSpec {
@@ -783,6 +1233,13 @@ mod tests {
 
     fn run(cfg: SpatialConfig) -> RunReport {
         SpatialSim::new(cfg).expect("valid spec").run()
+    }
+
+    /// A flow-mode transport config mirroring the Figure 12 defaults with
+    /// an enterprise-grade wired backhaul (the wired segment must not be
+    /// the bottleneck of a whole floor).
+    fn flows(traffic: TrafficKind, upload: bool) -> SpatialTraffic {
+        SpatialTraffic::Flows(TransportConfig::enterprise(traffic, upload, 0x5A7A))
     }
 
     #[test]
@@ -1017,5 +1474,156 @@ mod tests {
         assert_eq!(r.per_flow_goodput_bps.len(), 120);
         assert!(r.frames_sent > 500, "sent {}", r.frames_sent);
         assert!(r.events_processed > 1000);
+    }
+
+    // ---- Flow-mode (pluggable transport) tests ---------------------------
+
+    #[test]
+    fn spatial_tcp_upload_moves_data() {
+        let mut cfg = SpatialConfig::new(AdapterKind::Fixed(2), small_spec(1, 20.0, 3));
+        cfg.traffic = flows(TrafficKind::Tcp, true);
+        cfg.duration = 3.0;
+        let r = run(cfg);
+        assert!(
+            r.aggregate_goodput_bps > 1e6,
+            "spatial TCP upload goodput {}",
+            r.aggregate_goodput_bps
+        );
+        // Every station's flow makes progress.
+        for (s, g) in r.per_flow_goodput_bps.iter().enumerate() {
+            assert!(*g > 1e5, "station {s} starved: {g}");
+        }
+    }
+
+    #[test]
+    fn spatial_tcp_download_moves_data() {
+        let mut cfg = SpatialConfig::new(AdapterKind::Fixed(2), small_spec(1, 20.0, 3));
+        cfg.traffic = flows(TrafficKind::Tcp, false);
+        cfg.duration = 3.0;
+        let r = run(cfg);
+        assert!(
+            r.aggregate_goodput_bps > 1e6,
+            "spatial TCP download goodput {}",
+            r.aggregate_goodput_bps
+        );
+        for (s, g) in r.per_flow_goodput_bps.iter().enumerate() {
+            assert!(*g > 1e5, "station {s} starved: {g}");
+        }
+    }
+
+    #[test]
+    fn spatial_tcp_is_deterministic() {
+        let mk = || {
+            let mut spec = small_spec(2, 30.0, 8);
+            spec.mobility = MobilitySpec::RandomWaypoint {
+                speed_mps: 1.5,
+                pause_s: 1.0,
+            };
+            spec.roaming = Some(RoamingSpec {
+                hysteresis_db: 2.0,
+                check_interval_s: None,
+                handoff: HandoffPolicy::Preserve,
+            });
+            let mut cfg = SpatialConfig::new(AdapterKind::SoftRate, spec);
+            cfg.traffic = flows(TrafficKind::Tcp, true);
+            cfg.duration = 2.0;
+            cfg
+        };
+        let a = run(mk());
+        let b = run(mk());
+        assert_eq!(a.aggregate_goodput_bps, b.aggregate_goodput_bps);
+        assert_eq!(a.frames_sent, b.frames_sent);
+        assert_eq!(a.per_flow_goodput_bps, b.per_flow_goodput_bps);
+        assert_eq!(a.handoff_log, b.handoff_log);
+        assert_eq!(a.events_processed, b.events_processed);
+    }
+
+    /// TCP flows must survive roaming: segments keep flowing across >= 1
+    /// handoff under *both* handoff policies (the TCP endpoints belong to
+    /// the station, not the AP).
+    #[test]
+    fn spatial_tcp_survives_handoffs_under_both_policies() {
+        for (policy, upload) in [
+            (HandoffPolicy::Preserve, true),
+            (HandoffPolicy::Reset, false),
+        ] {
+            let mut spec = small_spec(3, 24.0, 4);
+            spec.mobility = MobilitySpec::RandomWaypoint {
+                speed_mps: 12.0,
+                pause_s: 0.0,
+            };
+            spec.roaming = Some(RoamingSpec {
+                hysteresis_db: 1.0,
+                check_interval_s: Some(0.1),
+                handoff: policy,
+            });
+            let mut cfg = SpatialConfig::new(AdapterKind::SoftRate, spec);
+            cfg.traffic = flows(TrafficKind::Tcp, upload);
+            cfg.duration = 6.0;
+            let r = run(cfg);
+            assert!(r.handoffs > 0, "{policy:?}: fast walkers must roam");
+            // Goodput integrated over the run includes post-handoff
+            // delivery: every flow stays alive.
+            for (s, g) in r.per_flow_goodput_bps.iter().enumerate() {
+                assert!(
+                    *g > 1e5,
+                    "{policy:?} upload={upload}: station {s} stalled after handoff: {g}"
+                );
+            }
+            // The single-association invariant holds in flow mode too.
+            let mut assoc = r.initial_assoc.clone();
+            for h in &r.handoff_log {
+                assert_eq!(assoc[h.station], h.from, "chain broken");
+                assoc[h.station] = h.to;
+            }
+        }
+    }
+
+    #[test]
+    fn spatial_onoff_is_source_limited() {
+        let onoff = TrafficKind::OnOff {
+            rate_pps: 100.0,
+            on_s: 0.25,
+            off_s: 0.25,
+        };
+        let mut cfg = SpatialConfig::new(AdapterKind::Fixed(2), small_spec(1, 20.0, 4));
+        cfg.traffic = flows(onoff, true);
+        cfg.duration = 4.0;
+        let r = run(cfg);
+        // 4 stations x 100 pkt/s x 50% duty ≈ 200 pkt/s x 11200 bits.
+        let offered = 200.0 * 1400.0 * 8.0;
+        assert!(
+            r.aggregate_goodput_bps > 0.4 * offered,
+            "on-off goodput {} must approach offered {offered}",
+            r.aggregate_goodput_bps
+        );
+        assert!(
+            r.aggregate_goodput_bps < 1.5 * offered,
+            "on-off goodput {} must not saturate past the source",
+            r.aggregate_goodput_bps
+        );
+    }
+
+    /// The saturated fast path must out-deliver a TCP workload on the same
+    /// floor (window/ACK clocking costs throughput), and both must move
+    /// real data — a cheap cross-check that the two traffic paths share
+    /// the same wireless world.
+    #[test]
+    fn saturated_udp_outruns_tcp_on_the_same_floor() {
+        let mk = |traffic| {
+            let mut cfg = SpatialConfig::new(AdapterKind::Fixed(2), small_spec(1, 20.0, 4));
+            cfg.traffic = traffic;
+            cfg.duration = 2.0;
+            cfg
+        };
+        let udp = run(mk(SpatialTraffic::SaturatedUplinkUdp));
+        let tcp = run(mk(flows(TrafficKind::Tcp, true)));
+        assert!(udp.aggregate_goodput_bps > 1e6 && tcp.aggregate_goodput_bps > 1e6);
+        assert!(
+            udp.aggregate_goodput_bps >= 0.95 * tcp.aggregate_goodput_bps,
+            "saturated UDP {} must not trail TCP {}",
+            udp.aggregate_goodput_bps,
+            tcp.aggregate_goodput_bps
+        );
     }
 }

@@ -53,6 +53,20 @@ pub const BUILTINS: &[(&str, &str)] = &[
         "vehicular-driveby",
         include_str!("../scenarios/vehicular-driveby.toml"),
     ),
+    // Spatial flow traffic (the pluggable transport layer: TCP both
+    // directions over multi-cell geometry, bursty on-off sources).
+    (
+        "dense-enterprise-tcp",
+        include_str!("../scenarios/dense-enterprise-tcp.toml"),
+    ),
+    (
+        "roaming-tcp-download",
+        include_str!("../scenarios/roaming-tcp-download.toml"),
+    ),
+    (
+        "bursty-onoff-cell-edge",
+        include_str!("../scenarios/bursty-onoff-cell-edge.toml"),
+    ),
 ];
 
 /// Names of every built-in scenario, in catalogue order.
@@ -227,5 +241,37 @@ mod tests {
             policies.contains(&HandoffPolicy::Preserve) || sweeps_handoff,
             "Preserve must be exercised somewhere"
         );
+    }
+
+    /// The spatial library must exercise the pluggable transport: TCP in
+    /// both directions over multi-cell geometry (the paper's §6.2–§6.3
+    /// workload), a non-saturated on–off source, and TCP across roaming
+    /// handoffs — not just the saturated-uplink-UDP fast path.
+    #[test]
+    fn spatial_builtins_cover_flow_traffic() {
+        use crate::spec::{Direction, TrafficModel};
+        let spatial: Vec<_> = BUILTINS
+            .iter()
+            .map(|(n, _)| get(n).unwrap())
+            .filter(|s| s.topology.spatial.is_some())
+            .collect();
+        assert!(spatial
+            .iter()
+            .any(|s| s.traffic.kind == TrafficModel::Tcp
+                && matches!(s.direction(), Direction::Upload)));
+        assert!(spatial
+            .iter()
+            .any(|s| s.traffic.kind == TrafficModel::Tcp
+                && matches!(s.direction(), Direction::Download)));
+        assert!(spatial
+            .iter()
+            .any(|s| matches!(s.traffic.kind, TrafficModel::OnOff { .. })));
+        // TCP rides across handoffs somewhere (roaming + TCP in one spec).
+        assert!(spatial.iter().any(|s| s.traffic.kind == TrafficModel::Tcp
+            && s.topology.spatial.as_ref().unwrap().roaming.is_some()));
+        // And the saturated-uplink baseline is still present.
+        assert!(spatial
+            .iter()
+            .any(|s| s.traffic.kind == TrafficModel::UdpBulk));
     }
 }

@@ -12,11 +12,12 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize, Value};
 use softrate_adapt::snr::SnrTable;
-use softrate_net::sim::{SpatialConfig, SpatialSim};
+use softrate_net::sim::{SpatialConfig, SpatialSim, SpatialTraffic};
 use softrate_net::stream::mix_seed;
 use softrate_sim::config::{AdapterKind, SimConfig, TrafficKind};
 use softrate_sim::mac::RunReport;
 use softrate_sim::netsim::NetSim;
+use softrate_sim::transport::TransportConfig;
 use softrate_trace::par::par_map_threads;
 use softrate_trace::schema::LinkTrace;
 use softrate_trace::snr_training::{observations_from_trace, train_snr_table};
@@ -309,6 +310,46 @@ fn result_from_report(plan: &RunPlan, report: RunReport) -> RunResult {
     }
 }
 
+/// Maps the scenario traffic model onto the simulator's kind.
+fn traffic_kind(model: TrafficModel) -> TrafficKind {
+    match model {
+        TrafficModel::Tcp => TrafficKind::Tcp,
+        TrafficModel::UdpBulk => TrafficKind::UdpBulk,
+        TrafficModel::OnOff {
+            rate_pps,
+            on_s,
+            off_s,
+        } => TrafficKind::OnOff {
+            rate_pps,
+            on_s,
+            off_s,
+        },
+    }
+}
+
+/// The spatial workload for a plan: saturated uplink UDP stays on the
+/// medium's native zero-queue fast path (byte-identical to the
+/// pre-transport subsystem); everything else rides the shared
+/// [`softrate_sim::transport::TransportLayer`] over the
+/// [`TransportConfig::enterprise`] backhaul.
+fn spatial_traffic(plan: &RunPlan) -> SpatialTraffic {
+    let spec = &plan.spec;
+    match (spec.traffic.kind, spec.direction()) {
+        (TrafficModel::UdpBulk, Direction::Upload) => SpatialTraffic::SaturatedUplinkUdp,
+        (kind, dir) => {
+            let mut tc = TransportConfig::enterprise(
+                traffic_kind(kind),
+                matches!(dir, Direction::Upload),
+                plan.seed,
+            );
+            if let Some(cap) = spec.topology.queue_cap {
+                tc.queue_cap = cap;
+            }
+            SpatialTraffic::Flows(tc)
+        }
+    }
+}
+
 /// Executes one spatial plan on the streaming multi-cell simulator.
 ///
 /// The spatial seed derives from the *spec* seed (not the per-run seed)
@@ -329,6 +370,7 @@ fn run_spatial_plan(plan: &RunPlan) -> RunResult {
     cfg.duration = spec.duration;
     cfg.seed = mix_seed(spec.seed, 0x5A7A_11CE);
     cfg.mac_seed = plan.seed;
+    cfg.traffic = spatial_traffic(plan);
     let report = SpatialSim::new(cfg)
         .expect("validated spatial spec resolves")
         .run();
@@ -346,10 +388,7 @@ pub fn run_plan(plan: &RunPlan) -> RunResult {
     cfg.duration = spec.duration;
     cfg.upload = matches!(spec.direction(), Direction::Upload);
     cfg.carrier_sense_prob = spec.carrier_sense_prob();
-    cfg.traffic = match spec.traffic.kind {
-        TrafficModel::Tcp => TrafficKind::Tcp,
-        TrafficModel::UdpBulk => TrafficKind::UdpBulk,
-    };
+    cfg.traffic = traffic_kind(spec.traffic.kind);
     if let Some(cap) = spec.topology.queue_cap {
         cfg.queue_cap = cap;
     }

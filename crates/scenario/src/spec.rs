@@ -78,7 +78,9 @@ pub struct TopologySpec {
     /// (1.0 = perfect carrier sense, 0.0 = fully hidden terminals).
     /// Single-cell only: the spatial topology senses by geometry.
     pub carrier_sense_prob: Option<f64>,
-    /// MAC queue capacity in frames (default 50). Single-cell only.
+    /// MAC queue capacity in frames (default 50). Applies to single-cell
+    /// links and to spatial flow traffic (TCP / on–off / UDP download);
+    /// the saturated-uplink-UDP spatial fast path has no queues.
     pub queue_cap: Option<usize>,
     /// Multi-cell spatial deployment; routes the run to the streaming
     /// `softrate-net` simulator instead of the trace-driven one.
@@ -95,12 +97,24 @@ pub struct TrafficSpec {
 }
 
 /// Transport workload kinds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum TrafficModel {
     /// TCP NewReno bulk transfer.
     Tcp,
     /// Saturated UDP datagram stream.
     UdpBulk,
+    /// Non-saturated bursty source: Poisson datagram arrivals at
+    /// `rate_pps` during `on_s`-second bursts separated by `off_s`-second
+    /// silences (per-flow phase stagger; drop-tail at a full source
+    /// queue).
+    OnOff {
+        /// Mean arrival rate while on, packets/second (> 0).
+        rate_pps: f64,
+        /// Burst duration, seconds (> 0).
+        on_s: f64,
+        /// Silence between bursts, seconds (>= 0).
+        off_s: f64,
+    },
 }
 
 /// Flow direction over the wireless hop.
@@ -343,10 +357,21 @@ impl ScenarioSpec {
                         .into(),
                 );
             }
-            if self.topology.carrier_sense_prob.is_some() || self.topology.queue_cap.is_some() {
+            if self.topology.carrier_sense_prob.is_some() {
                 return fail(
-                    "carrier_sense_prob / queue_cap do not apply to a spatial topology \
+                    "carrier_sense_prob does not apply to a spatial topology \
                      (sensing is geometric: topology.spatial.sense_snr_db)"
+                        .into(),
+                );
+            }
+            if self.topology.queue_cap.is_some()
+                && self.traffic.kind == TrafficModel::UdpBulk
+                && matches!(self.direction(), Direction::Upload)
+            {
+                return fail(
+                    "queue_cap has no effect on saturated uplink UDP over a spatial \
+                     topology (the fast path is queueless); it applies to spatial \
+                     flow traffic — TCP, OnOff, or UDP download"
                         .into(),
                 );
             }
@@ -372,15 +397,6 @@ impl ScenarioSpec {
                         .into(),
                 );
             }
-            if self.traffic.kind != TrafficModel::UdpBulk
-                || matches!(self.direction(), Direction::Download)
-            {
-                return fail(
-                    "spatial topologies currently support saturated uplink UDP only \
-                     (traffic.kind = \"UdpBulk\", direction = \"Upload\")"
-                        .into(),
-                );
-            }
             for adapter in self.adapters() {
                 if matches!(
                     adapter,
@@ -396,6 +412,22 @@ impl ScenarioSpec {
         }
         if !self.probe_interval().is_finite() || self.probe_interval() <= 0.0 {
             return fail("probe_interval must be positive".into());
+        }
+        if let TrafficModel::OnOff {
+            rate_pps,
+            on_s,
+            off_s,
+        } = self.traffic.kind
+        {
+            if !rate_pps.is_finite() || rate_pps <= 0.0 {
+                return fail(format!("OnOff rate_pps must be positive, got {rate_pps}"));
+            }
+            if !on_s.is_finite() || on_s <= 0.0 {
+                return fail(format!("OnOff on_s must be positive, got {on_s}"));
+            }
+            if !off_s.is_finite() || off_s < 0.0 {
+                return fail(format!("OnOff off_s must be >= 0, got {off_s}"));
+            }
         }
         if self.channel.interference.is_some() && self.channel.model == ChannelModel::Phy {
             return fail(
@@ -606,10 +638,6 @@ mod tests {
         assert!(s.validate().is_err(), "spatial owns fading");
 
         let mut s = spatial_demo();
-        s.traffic.kind = TrafficModel::Tcp;
-        assert!(s.validate().is_err(), "spatial is UDP-only for now");
-
-        let mut s = spatial_demo();
         s.adapters = Some(vec![AdapterSpec::Snr { table: None }]);
         assert!(s.validate().is_err(), "no traces to train SNR tables on");
 
@@ -618,6 +646,78 @@ mod tests {
             sp.n_stations = 0;
         }
         assert!(s.validate().is_err(), "spatial resolve errors must surface");
+
+        // queue_cap on the queueless saturated-uplink fast path would be
+        // silently ignored — reject it instead.
+        let mut s = spatial_demo();
+        s.topology.queue_cap = Some(10);
+        assert!(
+            s.validate().is_err(),
+            "queue_cap + saturated UDP must clash"
+        );
+    }
+
+    #[test]
+    fn spatial_accepts_flow_traffic() {
+        // The "saturated uplink UDP only" restriction is gone: TCP in
+        // either direction, on-off sources, and queue_cap all validate.
+        let mut s = spatial_demo();
+        s.traffic.kind = TrafficModel::Tcp;
+        s.validate().expect("spatial TCP upload validates");
+        s.traffic.direction = Some(Direction::Download);
+        s.validate().expect("spatial TCP download validates");
+        s.topology.queue_cap = Some(32);
+        s.validate()
+            .expect("queue_cap applies to spatial flow traffic");
+        s.traffic.kind = TrafficModel::OnOff {
+            rate_pps: 100.0,
+            on_s: 0.5,
+            off_s: 0.5,
+        };
+        s.validate().expect("spatial on-off validates");
+        // And the flow-traffic spec round-trips through both formats.
+        let back = ScenarioSpec::from_toml(&s.to_toml()).unwrap();
+        assert_eq!(back, s, "TOML:\n{}", s.to_toml());
+        let back = ScenarioSpec::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn onoff_validation_rejects_nonsense() {
+        let base = |kind| {
+            let mut s = demo_spec();
+            s.sweep = None;
+            s.traffic.kind = kind;
+            s
+        };
+        assert!(base(TrafficModel::OnOff {
+            rate_pps: 0.0,
+            on_s: 0.5,
+            off_s: 0.5
+        })
+        .validate()
+        .is_err());
+        assert!(base(TrafficModel::OnOff {
+            rate_pps: 100.0,
+            on_s: 0.0,
+            off_s: 0.5
+        })
+        .validate()
+        .is_err());
+        assert!(base(TrafficModel::OnOff {
+            rate_pps: 100.0,
+            on_s: 0.5,
+            off_s: -1.0
+        })
+        .validate()
+        .is_err());
+        assert!(base(TrafficModel::OnOff {
+            rate_pps: 100.0,
+            on_s: 0.5,
+            off_s: 0.0
+        })
+        .validate()
+        .is_ok());
     }
 
     #[test]

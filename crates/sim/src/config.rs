@@ -128,7 +128,7 @@ impl AdapterKind {
 }
 
 /// What the flows carry over the wireless hop.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum TrafficKind {
     /// TCP NewReno bulk transfer (the paper's Figure 12 workload).
     #[default]
@@ -137,6 +137,18 @@ pub enum TrafficKind {
     /// counts delivered datagrams — isolates MAC + rate adaptation from
     /// transport dynamics.
     UdpBulk,
+    /// Non-saturated bursty datagram source: Poisson arrivals at
+    /// `rate_pps` during `on_s`-second bursts separated by `off_s`-second
+    /// silences (each flow's duty cycle is phase-staggered). Arrivals that
+    /// find the source queue full are dropped.
+    OnOff {
+        /// Mean arrival rate while the source is on, packets/second.
+        rate_pps: f64,
+        /// Burst duration, seconds (> 0).
+        on_s: f64,
+        /// Silence duration between bursts, seconds (>= 0).
+        off_s: f64,
+    },
 }
 
 /// Full simulation configuration (Figure 12 topology).

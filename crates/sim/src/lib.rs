@@ -16,6 +16,11 @@
 //!   resolution, retries, and rate-adapter plumbing, generic over a
 //!   [`mac::Medium`] that supplies frame fates, carrier sense, and
 //!   collision topology.
+//! * [`transport`] — the pluggable transport layer shared by every
+//!   medium: TCP NewReno flows (both directions), saturated UDP, a
+//!   non-saturated Poisson on–off source, the wired AP↔LAN segment, and
+//!   RFC 6298 RTO timer plumbing, all behind the
+//!   [`transport::TransportHost`] seam.
 //! * [`netsim`] — the Figure 12 simulation: the engine configured with a
 //!   trace-backed single-collision-domain medium (probabilistic carrier
 //!   sense, drop-tail queues, a 50 Mbps / 10 ms wired segment, TCP/UDP
@@ -31,6 +36,7 @@ pub mod mac;
 pub mod netsim;
 pub mod tcp;
 pub mod timing;
+pub mod transport;
 
 /// Convenient glob-import of the most common items.
 pub mod prelude {
@@ -40,4 +46,5 @@ pub mod prelude {
     pub use crate::netsim::NetSim;
     pub use crate::tcp::{TcpConfig, TcpReceiver, TcpSender};
     pub use crate::timing::{attempt_airtime, data_airtime, lossless_airtimes};
+    pub use crate::transport::{Payload, TransportConfig, TransportEv, TransportLayer};
 }

@@ -6,15 +6,18 @@
 //! SIFS, retry limit) and *probabilistic carrier sense* between client
 //! senders (§6.4). The DCF itself — backoff, in-flight tracking, the
 //! feedback-window state machine — lives in the shared
-//! [`MacEngine`](crate::mac::MacEngine); this module contributes
-//! [`TraceMedium`], the environment where frame fates on a clean medium
-//! come from per-link [`LinkTrace`]s, overlapping transmissions corrupt
-//! each other ("we assume both colliding frames are lost", §6.1), and the
-//! SoftRate feedback under collision follows §6.4: if the receiver's
-//! detector flags the collision (80 % of the time, 100 % for ideal
-//! SoftRate), the feedback carries the interference-free BER from the
-//! trace; otherwise a very high BER indicating a noise loss. Silent losses
-//! (preamble lost) yield no feedback at all, except that
+//! [`MacEngine`](crate::mac::MacEngine); everything above the MAC — TCP
+//! NewReno flows in either direction, saturated UDP, the bursty on–off
+//! source, the wired AP↔LAN hop, and the RTO plumbing — lives in the
+//! shared [`TransportLayer`](crate::transport::TransportLayer). This
+//! module contributes [`TraceMedium`], the environment where frame fates
+//! on a clean medium come from per-link [`LinkTrace`]s, overlapping
+//! transmissions corrupt each other ("we assume both colliding frames are
+//! lost", §6.1), and the SoftRate feedback under collision follows §6.4:
+//! if the receiver's detector flags the collision (80 % of the time, 100 %
+//! for ideal SoftRate), the feedback carries the interference-free BER
+//! from the trace; otherwise a very high BER indicating a noise loss.
+//! Silent losses (preamble lost) yield no feedback at all, except that
 //! postamble-carrying frames whose tail outlives the interferer produce a
 //! postamble-only ACK (ideal mode).
 
@@ -23,37 +26,14 @@ use std::sync::Arc;
 
 use softrate_trace::schema::{hash_uniform, FrameFate, LinkTrace};
 
-use crate::config::{SimConfig, TrafficKind};
+use crate::config::SimConfig;
 use crate::mac::{
     ActiveTx, AttemptInfo, MacCore, MacEngine, MacEv, MacParams, Medium, Port, RunReport,
 };
-use crate::tcp::{TcpReceiver, TcpSender};
-use crate::timing::{CW_MIN, IP_TCP_HEADER};
+use crate::timing::CW_MIN;
+use crate::transport::{Payload, TransportConfig, TransportEv, TransportHost, TransportLayer};
 
 pub use crate::mac::RateAudit;
-
-/// Payload of a wireless MAC frame.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Payload {
-    /// A TCP data segment.
-    Segment(u64),
-    /// A TCP cumulative ACK.
-    Ack(u64),
-}
-
-/// Events above the MAC: transport timers and the wired segment.
-#[derive(Debug, Clone, Copy)]
-enum NetEv {
-    /// A packet crossed the wired link.
-    WiredDeliver {
-        flow: usize,
-        payload_is_segment: bool,
-        value: u64,
-        to_lan: bool,
-    },
-    /// TCP retransmission timer.
-    Rto { flow: usize, epoch: u64 },
-}
 
 /// One unidirectional wireless link (client->AP data, or AP->client ACK
 /// path — and the converse for download flows). The rate adapter and
@@ -72,274 +52,83 @@ struct WNode {
     rr: usize,
 }
 
-/// One TCP flow and its endpoints.
-struct SimFlow {
-    sender: TcpSender,
-    receiver: TcpReceiver,
-    rto_epoch: u64,
-    /// Link carrying this flow's data segments over the air.
-    data_link: usize,
-    /// Link carrying this flow's TCP ACKs over the air.
-    ack_link: usize,
-    /// Next datagram sequence number (UDP bulk traffic only).
-    udp_next: u64,
-    /// Datagrams delivered end to end (UDP bulk traffic only).
-    udp_delivered: u64,
+type Core = MacCore<TransportEv, Payload>;
+
+/// Round-robin choice among the node's links with queued frames (free
+/// function: the transport host needs it while the medium is split into
+/// fields).
+fn pick_link(nodes: &[WNode], links: &[WLink], node: usize) -> Option<usize> {
+    let n = nodes[node].links_out.len();
+    for k in 0..n {
+        let idx = nodes[node].links_out[(nodes[node].rr + k) % n];
+        if !links[idx].queue.is_empty() {
+            return Some(idx);
+        }
+    }
+    None
 }
 
-type Core = MacCore<NetEv, Payload>;
+/// The [`TransportHost`] over the trace-backed medium: MAC queues indexed
+/// by link id, sender pokes through the engine core.
+struct TraceHost<'a> {
+    links: &'a mut Vec<WLink>,
+    nodes: &'a mut Vec<WNode>,
+    core: &'a mut Core,
+}
+
+impl TransportHost for TraceHost<'_> {
+    fn now(&self) -> f64 {
+        self.core.now()
+    }
+
+    fn queue_len(&self, link: usize) -> usize {
+        self.links[link].queue.len()
+    }
+
+    fn enqueue(&mut self, link: usize, payload: Payload) {
+        self.links[link].queue.push_back(payload);
+        let node = self.links[link].src;
+        if !self.core.senders[node].busy && !self.core.senders[node].start_pending {
+            let cw = pick_link(self.nodes, self.links, node)
+                .map(|l| self.core.cw[l])
+                .unwrap_or(CW_MIN);
+            self.core.schedule_tx_start(node, None, cw);
+        }
+    }
+
+    fn schedule_in(&mut self, delay: f64, ev: TransportEv) {
+        self.core.events.schedule_in(delay, MacEv::Medium(ev));
+    }
+}
 
 /// The trace-backed single-collision-domain environment: probabilistic
 /// carrier sense, everything-corrupts-everything collisions, per-link
-/// [`LinkTrace`] fates, and the TCP/UDP + wired-segment layers above the
-/// MAC.
+/// [`LinkTrace`] fates, and the shared transport layer above the MAC.
 struct TraceMedium {
     cfg: SimConfig,
     links: Vec<WLink>,
     nodes: Vec<WNode>,
-    flows: Vec<SimFlow>,
-    wired_busy_to_lan: f64,
-    wired_busy_to_ap: f64,
-}
-
-impl TraceMedium {
-    // --- TCP plumbing -----------------------------------------------------
-
-    /// Moves sendable TCP segments of `flow` into its data link's MAC
-    /// queue, respecting the queue cap, and keeps the RTO timer armed.
-    fn pump_flow(&mut self, core: &mut Core, flow: usize) {
-        let now = core.now();
-        let data_link = self.flows[flow].data_link;
-        let upload = self.cfg.upload;
-        if self.cfg.traffic == TrafficKind::UdpBulk {
-            // Saturated source: keep the data link's MAC queue topped up.
-            // The queue lives at whichever node originates the data (client
-            // for uploads, AP for downloads); there is no transport-layer
-            // feedback and no retransmission timer.
-            while self.links[data_link].queue.len() < self.cfg.queue_cap {
-                let seq = self.flows[flow].udp_next;
-                self.flows[flow].udp_next += 1;
-                self.enqueue(core, data_link, Payload::Segment(seq));
-            }
-            return;
-        }
-        loop {
-            if upload {
-                // Sender sits on the client; segments enter the uplink MAC
-                // queue directly.
-                if self.links[data_link].queue.len() >= self.cfg.queue_cap {
-                    break;
-                }
-                match self.flows[flow].sender.next_segment(now) {
-                    Some(seq) => {
-                        self.enqueue(core, data_link, Payload::Segment(seq));
-                    }
-                    None => break,
-                }
-            } else {
-                // Sender sits on the LAN host; segments cross the wire
-                // first. The wired link is not the bottleneck; window
-                // limits apply at the sender.
-                match self.flows[flow].sender.next_segment(now) {
-                    Some(seq) => self.send_wired(core, flow, true, seq, false),
-                    None => break,
-                }
-            }
-        }
-        self.arm_rto(core, flow);
-    }
-
-    fn arm_rto(&mut self, core: &mut Core, flow: usize) {
-        if self.cfg.traffic == TrafficKind::UdpBulk {
-            return;
-        }
-        if !self.flows[flow].sender.needs_timer() {
-            return;
-        }
-        self.flows[flow].rto_epoch += 1;
-        let epoch = self.flows[flow].rto_epoch;
-        let rto = self.flows[flow].sender.current_rto();
-        core.events
-            .schedule_in(rto, MacEv::Medium(NetEv::Rto { flow, epoch }));
-    }
-
-    fn on_rto(&mut self, core: &mut Core, flow: usize, epoch: u64) {
-        if self.cfg.traffic == TrafficKind::UdpBulk && epoch != 0 {
-            return;
-        }
-        // Epoch 0 is the kick-off pseudo-timer.
-        if epoch != 0 && epoch != self.flows[flow].rto_epoch {
-            return; // stale timer
-        }
-        if epoch != 0 {
-            if !self.flows[flow].sender.needs_timer() {
-                return;
-            }
-            self.flows[flow].sender.on_timeout();
-        }
-        self.pump_flow(core, flow);
-    }
-
-    /// Sends a packet across the wired link (AP<->LAN gateway).
-    fn send_wired(
-        &mut self,
-        core: &mut Core,
-        flow: usize,
-        payload_is_segment: bool,
-        value: u64,
-        to_lan: bool,
-    ) {
-        let now = core.now();
-        let bytes = if payload_is_segment {
-            self.cfg.tcp.mss + IP_TCP_HEADER
-        } else {
-            40
-        };
-        let ser = bytes as f64 * 8.0 / self.cfg.wired_rate_bps;
-        let busy = if to_lan {
-            &mut self.wired_busy_to_lan
-        } else {
-            &mut self.wired_busy_to_ap
-        };
-        let start = busy.max(now);
-        *busy = start + ser;
-        let deliver = start + ser + self.cfg.wired_delay;
-        core.events.schedule(
-            deliver,
-            MacEv::Medium(NetEv::WiredDeliver {
-                flow,
-                payload_is_segment,
-                value,
-                to_lan,
-            }),
-        );
-    }
-
-    fn on_wired(
-        &mut self,
-        core: &mut Core,
-        flow: usize,
-        payload_is_segment: bool,
-        value: u64,
-        to_lan: bool,
-    ) {
-        if to_lan {
-            if payload_is_segment {
-                // Upload data reaching the LAN host: receive, ACK back.
-                let cum = self.flows[flow].receiver.on_segment(value);
-                self.send_wired(core, flow, false, cum, false);
-            } else {
-                // Download ACK reaching the LAN sender.
-                let restart = self.flows[flow].sender.on_ack(value, core.now());
-                if restart {
-                    self.arm_rto(core, flow);
-                }
-                self.pump_flow(core, flow);
-            }
-        } else {
-            // Arriving at the AP: onto the appropriate wireless queue.
-            let link = if payload_is_segment {
-                self.flows[flow].data_link // download data
-            } else {
-                self.flows[flow].ack_link // upload ACK path
-            };
-            if self.links[link].queue.len() < self.cfg.queue_cap {
-                let payload = if payload_is_segment {
-                    Payload::Segment(value)
-                } else {
-                    Payload::Ack(value)
-                };
-                self.enqueue(core, link, payload);
-            }
-            // else: drop-tail; TCP recovers.
-        }
-    }
-
-    // --- Wireless MAC -------------------------------------------------------
-
-    fn enqueue(&mut self, core: &mut Core, link: usize, payload: Payload) {
-        self.links[link].queue.push_back(payload);
-        let node = self.links[link].src;
-        if !core.senders[node].busy && !core.senders[node].start_pending {
-            let cw = self.pick_port(node).map(|l| core.cw[l]).unwrap_or(CW_MIN);
-            core.schedule_tx_start(node, None, cw);
-        }
-    }
-
-    /// Hands a delivered wireless frame to the next layer.
-    fn deliver_payload(&mut self, core: &mut Core, link: usize, payload: Payload) {
-        let flow = self.links[link].flow;
-        let upload = self.cfg.upload;
-        if self.cfg.traffic == TrafficKind::UdpBulk {
-            // Datagram reached the far side of the wireless hop; count it
-            // and keep the source saturated. (The wired segment is never
-            // the bottleneck and UDP has no return traffic.)
-            if matches!(payload, Payload::Segment(_)) {
-                self.flows[flow].udp_delivered += 1;
-            }
-            self.pump_flow(core, flow);
-            return;
-        }
-        match payload {
-            Payload::Segment(seq) => {
-                if upload {
-                    // Client -> AP -> wired -> LAN receiver.
-                    self.send_wired(core, flow, true, seq, true);
-                } else {
-                    // AP -> client: the client is the TCP receiver; its ACK
-                    // rides the uplink.
-                    let cum = self.flows[flow].receiver.on_segment(seq);
-                    let ack_link = self.flows[flow].ack_link;
-                    if self.links[ack_link].queue.len() < self.cfg.queue_cap {
-                        self.enqueue(core, ack_link, Payload::Ack(cum));
-                    }
-                }
-            }
-            Payload::Ack(cum) => {
-                if upload {
-                    // AP -> client TCP ACK: feed the client-side sender.
-                    let restart = self.flows[flow].sender.on_ack(cum, core.now());
-                    if restart {
-                        self.arm_rto(core, flow);
-                    }
-                    self.pump_flow(core, flow);
-                } else {
-                    // Client -> AP TCP ACK: forward to the LAN sender.
-                    self.send_wired(core, flow, false, cum, true);
-                }
-            }
-        }
-        // Frame left the queue: the flow may have new room.
-        self.pump_flow(core, flow);
-    }
+    transport: TransportLayer,
+    /// Flow 0's data link (the Figure 15 rate-timeline observation point).
+    timeline_link: usize,
 }
 
 impl Medium for TraceMedium {
-    type Event = NetEv;
+    type Event = TransportEv;
     type TxInfo = Payload;
 
     fn kickoff(&mut self, core: &mut Core) {
-        // Kick flows off, slightly staggered.
-        for f in 0..self.flows.len() {
-            let t0 = 0.002 * f as f64;
-            core.events
-                .schedule(t0, MacEv::Medium(NetEv::Rto { flow: f, epoch: 0 }));
-        }
-        for f in 0..self.flows.len() {
-            self.pump_flow(core, f);
-        }
+        let mut host = TraceHost {
+            links: &mut self.links,
+            nodes: &mut self.nodes,
+            core,
+        };
+        self.transport.kickoff(&mut host);
     }
 
     /// Round-robin choice among the node's links with queued frames.
     fn pick_port(&mut self, node: usize) -> Option<usize> {
-        let n = self.nodes[node].links_out.len();
-        for k in 0..n {
-            let idx = self.nodes[node].links_out[(self.nodes[node].rr + k) % n];
-            if !self.links[idx].queue.is_empty() {
-                return Some(idx);
-            }
-        }
-        None
+        pick_link(&self.nodes, &self.links, node)
     }
 
     /// Probabilistic carrier sense: the AP and clients always hear each
@@ -376,11 +165,8 @@ impl Medium for TraceMedium {
             .queue
             .front()
             .expect("picked link has a frame");
-        let payload_bytes = match payload {
-            Payload::Segment(_) => self.cfg.tcp.mss + IP_TCP_HEADER,
-            Payload::Ack(_) => 40,
-        };
-        let is_segment = matches!(payload, Payload::Segment(_));
+        let payload_bytes = payload.on_air_bytes(self.cfg.tcp.mss);
+        let is_segment = payload.is_segment();
         AttemptInfo {
             payload_bytes,
             counts_as_data: is_segment,
@@ -390,7 +176,7 @@ impl Medium for TraceMedium {
                     .trace
                     .best_rate_at(now, self.cfg.frame_bits())
             }),
-            timeline: is_segment && self.links[port].flow == 0 && port == self.flows[0].data_link,
+            timeline: is_segment && self.links[port].flow == 0 && port == self.timeline_link,
             info: payload,
         }
     }
@@ -424,17 +210,28 @@ impl Medium for TraceMedium {
     }
 
     fn on_acked(&mut self, core: &mut Core, tx: &ActiveTx<Payload>) {
-        core.stats.frames_delivered += u64::from(matches!(tx.info, Payload::Segment(_)));
+        core.stats.frames_delivered += u64::from(tx.info.is_segment());
         self.links[tx.port].queue.pop_front();
         let node = tx.sender;
         self.nodes[node].rr = (self.nodes[node].rr + 1) % self.nodes[node].links_out.len().max(1);
-        self.deliver_payload(core, tx.port, tx.info);
+        let flow = self.links[tx.port].flow;
+        let mut host = TraceHost {
+            links: &mut self.links,
+            nodes: &mut self.nodes,
+            core,
+        };
+        self.transport.on_frame_delivered(&mut host, flow, tx.info);
     }
 
     fn on_dropped(&mut self, core: &mut Core, tx: &ActiveTx<Payload>) {
         self.links[tx.port].queue.pop_front();
         let flow = self.links[tx.port].flow;
-        self.pump_flow(core, flow); // queue space may have opened
+        let mut host = TraceHost {
+            links: &mut self.links,
+            nodes: &mut self.nodes,
+            core,
+        };
+        self.transport.on_frame_dropped(&mut host, flow); // queue space may have opened
     }
 
     fn after_outcome(&mut self, core: &mut Core, node: usize) {
@@ -446,16 +243,13 @@ impl Medium for TraceMedium {
         }
     }
 
-    fn on_event(&mut self, core: &mut Core, ev: NetEv) {
-        match ev {
-            NetEv::WiredDeliver {
-                flow,
-                payload_is_segment,
-                value,
-                to_lan,
-            } => self.on_wired(core, flow, payload_is_segment, value, to_lan),
-            NetEv::Rto { flow, epoch } => self.on_rto(core, flow, epoch),
-        }
+    fn on_event(&mut self, core: &mut Core, ev: TransportEv) {
+        let mut host = TraceHost {
+            links: &mut self.links,
+            nodes: &mut self.nodes,
+            core,
+        };
+        self.transport.on_event(&mut host, ev);
     }
 }
 
@@ -475,7 +269,7 @@ impl NetSim {
             "need two traces (up/down) per client"
         );
         let frame_bits = cfg.frame_bits();
-        let payload_bytes = cfg.tcp.mss + IP_TCP_HEADER;
+        let payload_bytes = cfg.tcp.mss + crate::timing::IP_TCP_HEADER;
 
         let mut nodes: Vec<WNode> = (0..=cfg.n_clients)
             .map(|_| WNode {
@@ -485,7 +279,7 @@ impl NetSim {
             .collect();
         let mut links = Vec::new();
         let mut ports = Vec::new();
-        let mut flows = Vec::new();
+        let mut flow_links = Vec::new();
 
         for c in 0..cfg.n_clients {
             let client = c + 1;
@@ -524,19 +318,10 @@ impl NetSim {
             });
             nodes[0].links_out.push(down_id);
 
-            let (data_link, ack_link) = if cfg.upload {
+            flow_links.push(if cfg.upload {
                 (up_id, down_id)
             } else {
                 (down_id, up_id)
-            };
-            flows.push(SimFlow {
-                sender: TcpSender::new(cfg.tcp),
-                receiver: TcpReceiver::new(),
-                rto_epoch: 0,
-                data_link,
-                ack_link,
-                udp_next: 0,
-                udp_delivered: 0,
             });
         }
 
@@ -547,13 +332,25 @@ impl NetSim {
             collision_seed: cfg.seed,
         };
         let n_senders = cfg.n_clients + 1;
+        let timeline_link = flow_links[0].0;
+        let transport = TransportLayer::new(
+            TransportConfig {
+                traffic: cfg.traffic,
+                upload: cfg.upload,
+                tcp: cfg.tcp,
+                queue_cap: cfg.queue_cap,
+                wired_rate_bps: cfg.wired_rate_bps,
+                wired_delay: cfg.wired_delay,
+                seed: cfg.seed,
+            },
+            flow_links,
+        );
         let medium = TraceMedium {
             cfg,
             links,
             nodes,
-            flows,
-            wired_busy_to_lan: 0.0,
-            wired_busy_to_ap: 0.0,
+            transport,
+            timeline_link,
         };
         NetSim {
             engine: MacEngine::new(n_senders, ports, params, medium),
@@ -567,14 +364,8 @@ impl NetSim {
 
         let m = &self.engine.medium;
         let stats = &mut self.engine.core.stats;
-        let mss_bits = m.cfg.tcp.mss as f64 * 8.0;
-        let per_flow: Vec<f64> = m
-            .flows
-            .iter()
-            .map(|f| match m.cfg.traffic {
-                TrafficKind::Tcp => f.sender.delivered as f64 * mss_bits / duration,
-                TrafficKind::UdpBulk => f.udp_delivered as f64 * mss_bits / duration,
-            })
+        let per_flow: Vec<f64> = (0..m.transport.n_flows())
+            .map(|f| m.transport.flow_goodput_bps(f, duration))
             .collect();
         RunReport {
             adapter_name: m.cfg.adapter.name().to_string(),
@@ -595,7 +386,7 @@ impl NetSim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::AdapterKind;
+    use crate::config::{AdapterKind, TrafficKind};
     use softrate_trace::schema::TraceEntry;
 
     /// A trace following the paper's Figure 5 profile: BER changes by one
@@ -780,6 +571,41 @@ mod tests {
             "download UDP goodput {}",
             r.aggregate_goodput_bps
         );
+    }
+
+    #[test]
+    fn onoff_traffic_is_paced_by_the_source_not_the_link() {
+        // 300 pkt/s at a 50 % duty cycle on a clean fast channel: the
+        // wireless link could carry far more, so goodput must track the
+        // offered load (~150 pkt/s × 11200 bits ≈ 1.7 Mbit/s), not the
+        // link capacity.
+        let mut cfg = SimConfig::new(AdapterKind::Fixed(3), 1);
+        cfg.duration = 4.0;
+        cfg.traffic = TrafficKind::OnOff {
+            rate_pps: 300.0,
+            on_s: 0.25,
+            off_s: 0.25,
+        };
+        let traces = (0..2).map(|_| synthetic_trace(5)).collect();
+        let r = NetSim::new(cfg, traces).run();
+        let offered_bps = 150.0 * 1400.0 * 8.0;
+        assert!(
+            r.aggregate_goodput_bps > 0.5 * offered_bps,
+            "on-off goodput {} must approach the offered {offered_bps}",
+            r.aggregate_goodput_bps
+        );
+        assert!(
+            r.aggregate_goodput_bps < 2.0 * offered_bps,
+            "on-off goodput {} must stay near the offered load, not saturate",
+            r.aggregate_goodput_bps
+        );
+        // A saturated source on the same channel moves far more.
+        let mut sat = SimConfig::new(AdapterKind::Fixed(3), 1);
+        sat.duration = 4.0;
+        sat.traffic = TrafficKind::UdpBulk;
+        let traces = (0..2).map(|_| synthetic_trace(5)).collect();
+        let s = NetSim::new(sat, traces).run();
+        assert!(s.aggregate_goodput_bps > 3.0 * r.aggregate_goodput_bps);
     }
 
     #[test]

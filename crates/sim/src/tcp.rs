@@ -70,8 +70,6 @@ pub struct TcpSender {
     rto: f64,
     /// Exponential RTO backoff exponent.
     backoff: u32,
-    /// Epoch counter invalidating stale RTO timer events.
-    pub timer_epoch: u64,
     /// Total segments newly delivered (goodput accounting).
     pub delivered: u64,
     /// Total retransmissions sent.
@@ -96,7 +94,6 @@ impl TcpSender {
             rttvar: 0.0,
             rto: 1.0,
             backoff: 0,
-            timer_epoch: 0,
             delivered: 0,
             retransmissions: 0,
             timeouts: 0,
@@ -107,6 +104,21 @@ impl TcpSender {
     /// Segments currently in flight.
     pub fn in_flight(&self) -> u64 {
         self.next_new - self.snd_una
+    }
+
+    /// Oldest unacknowledged segment.
+    pub fn snd_una(&self) -> u64 {
+        self.snd_una
+    }
+
+    /// Next never-sent segment.
+    pub fn next_new(&self) -> u64 {
+        self.next_new
+    }
+
+    /// Current receiver-window limit from the configuration, segments.
+    pub fn rcv_wnd(&self) -> f64 {
+        self.cfg.rcv_wnd
     }
 
     /// Current congestion window (segments).
@@ -146,11 +158,27 @@ impl TcpSender {
             let newly = cum_ack - self.snd_una;
             self.delivered += newly;
 
-            // RTT sample from the latest cleanly-sent segment (Karn).
-            if let Some(&(sent, retx)) = self.sent_at.get(&(cum_ack - 1)) {
-                if !retx {
-                    self.rtt_sample(now - sent);
+            // RTT sample from the latest cleanly-sent segment in the acked
+            // range (Karn: retransmitted segments are ambiguous — their ACK
+            // may answer either copy — but segments sent exactly once are
+            // fair game even when the ACK that covers them also covers a
+            // retransmission, e.g. the one that just filled the hole).
+            // When that happens the sample measures send-to-cumulative-ACK
+            // time, which a hole-induced stall inflates; taking the
+            // *latest* clean segment minimizes the inflation, and the
+            // residual bias is deliberately conservative — it only ever
+            // raises the post-recovery RTO.
+            let mut sample = None;
+            for s in (self.snd_una..cum_ack).rev() {
+                if let Some(&(sent, retx)) = self.sent_at.get(&s) {
+                    if !retx {
+                        sample = Some(now - sent);
+                        break;
+                    }
                 }
+            }
+            if let Some(rtt) = sample {
+                self.rtt_sample(rtt);
             }
             for s in self.snd_una..cum_ack {
                 self.sent_at.remove(&s);
@@ -211,12 +239,10 @@ impl TcpSender {
         self.recovery = None;
         self.retransmit_now = Some(self.snd_una);
         self.backoff += 1;
-        self.timer_epoch += 1;
-        // All in-flight segments are now suspect; their RTT samples would
-        // violate Karn's rule anyway.
-        for (_, v) in self.sent_at.iter_mut() {
-            v.1 = true;
-        }
+        // Karn's rule only makes *retransmitted* segments ambiguous; the
+        // retransmission itself is flagged when `next_segment` sends it.
+        // Segments sent exactly once keep their clean timestamps, so the
+        // ACK that ends the recovery can still contribute an RTT sample.
     }
 
     /// Whether any data is outstanding (RTO timer should be armed).
@@ -240,28 +266,40 @@ impl TcpSender {
     }
 }
 
-/// The receiver: cumulative ACKs with out-of-order buffering.
-#[derive(Debug, Default)]
+/// The receiver: cumulative ACKs with out-of-order buffering, bounded by
+/// the advertised receive window.
+#[derive(Debug)]
 pub struct TcpReceiver {
     rcv_nxt: u64,
+    /// Advertised window, segments: nothing at or above
+    /// `rcv_nxt + rcv_wnd` is buffered (a conforming sender never sends
+    /// there; a misbehaving one must not balloon receiver memory).
+    rcv_wnd: u64,
     out_of_order: BTreeSet<u64>,
 }
 
 impl TcpReceiver {
-    /// Creates a receiver expecting segment 0.
-    pub fn new() -> Self {
-        Self::default()
+    /// Creates a receiver expecting segment 0 that buffers at most
+    /// `rcv_wnd` segments ahead of the cumulative ACK point.
+    pub fn new(rcv_wnd: u64) -> Self {
+        TcpReceiver {
+            rcv_nxt: 0,
+            rcv_wnd: rcv_wnd.max(1),
+            out_of_order: BTreeSet::new(),
+        }
     }
 
     /// Accepts a segment; returns the cumulative ACK to send back (the
-    /// next expected segment).
+    /// next expected segment). Segments beyond the receive window are
+    /// discarded (still answered with the current cumulative ACK, as a
+    /// real receiver would).
     pub fn on_segment(&mut self, seq: u64) -> u64 {
         if seq == self.rcv_nxt {
             self.rcv_nxt += 1;
             while self.out_of_order.remove(&self.rcv_nxt) {
                 self.rcv_nxt += 1;
             }
-        } else if seq > self.rcv_nxt {
+        } else if seq > self.rcv_nxt && seq < self.rcv_nxt + self.rcv_wnd {
             self.out_of_order.insert(seq);
         }
         self.rcv_nxt
@@ -270,6 +308,12 @@ impl TcpReceiver {
     /// Next expected segment (current cumulative ACK value).
     pub fn rcv_nxt(&self) -> u64 {
         self.rcv_nxt
+    }
+
+    /// Out-of-order segments currently buffered (test/diagnostic surface;
+    /// bounded by the receive window).
+    pub fn buffered(&self) -> usize {
+        self.out_of_order.len()
     }
 }
 
@@ -319,7 +363,7 @@ mod tests {
 
     #[test]
     fn receiver_cumulative_and_out_of_order() {
-        let mut r = TcpReceiver::new();
+        let mut r = TcpReceiver::new(256);
         assert_eq!(r.on_segment(0), 1);
         assert_eq!(r.on_segment(2), 1, "gap holds the ACK");
         assert_eq!(r.on_segment(3), 1);
@@ -419,6 +463,80 @@ mod tests {
         // sample must be taken (srtt stays None).
         s.on_ack(1, 30.0);
         assert!(s.srtt.is_none());
+    }
+
+    /// Regression (Karn sampling bug): a cumulative ACK released by a
+    /// retransmission filling the hole also covers segments that were
+    /// cleanly sent exactly once — those must contribute an RTT sample.
+    /// Pre-fix, `on_timeout` marked every in-flight segment retransmitted
+    /// and `on_ack` looked only at `cum_ack - 1`, so the whole range was
+    /// discarded and `srtt` stayed `None`.
+    #[test]
+    fn karn_mixed_range_samples_latest_clean_segment() {
+        let mut s = TcpSender::new(TcpConfig {
+            initial_cwnd: 4.0,
+            ..Default::default()
+        });
+        let w = drain(&mut s, 0.0);
+        assert_eq!(w, vec![0, 1, 2, 3]);
+        // Segment 0 is lost; 1..4 reach the receiver and raise two dup
+        // ACKs (the third ACK frame is lost) — below the fast-retransmit
+        // threshold, so the sender stalls until the RTO fires.
+        assert!(!s.on_ack(0, 0.02));
+        assert!(!s.on_ack(0, 0.03));
+        s.on_timeout();
+        assert_eq!(s.next_segment(1.0), Some(0), "RTO retransmits the hole");
+        // The retransmission fills the hole: one cumulative ACK covers the
+        // retransmitted 0 *and* the cleanly-sent 1..4.
+        s.on_ack(4, 1.05);
+        let srtt = s.srtt.expect("clean segments 1..4 must yield a sample");
+        assert!(
+            (srtt - 1.05).abs() < 1e-9,
+            "sample must come from the latest clean segment (sent at 0.0): {srtt}"
+        );
+    }
+
+    /// Regression (Karn strictness): segments sent exactly once keep their
+    /// clean timestamps across a timeout — only actual retransmissions are
+    /// ambiguous.
+    #[test]
+    fn timeout_does_not_taint_unretransmitted_segments() {
+        let mut s = TcpSender::new(TcpConfig {
+            initial_cwnd: 4.0,
+            ..Default::default()
+        });
+        drain(&mut s, 0.0);
+        s.on_timeout();
+        assert_eq!(s.next_segment(0.9), Some(0));
+        // ACK of just the retransmitted hole: ambiguous, no sample.
+        s.on_ack(1, 1.0);
+        assert!(s.srtt.is_none(), "retransmitted segment must not sample");
+        // ACK of the cleanly-sent 1..4: valid sample.
+        s.on_ack(4, 1.1);
+        assert!(s.srtt.is_some(), "clean segments must sample");
+    }
+
+    /// Regression (receive-window bug): a misbehaving sender pushing
+    /// segments arbitrarily far above `rcv_nxt` must not balloon the
+    /// receiver's out-of-order buffer — pre-fix, `out_of_order` grew
+    /// without bound.
+    #[test]
+    fn receiver_window_bounds_out_of_order_buffer() {
+        let mut r = TcpReceiver::new(8);
+        for k in 0..10_000u64 {
+            // Way beyond any plausible window.
+            assert_eq!(r.on_segment(100 + k * 131), 0, "gap at 0 holds the ACK");
+        }
+        assert!(
+            r.buffered() <= 8,
+            "out-of-order buffer must stay within the window, got {}",
+            r.buffered()
+        );
+        // In-window out-of-order data still buffers and releases normally.
+        assert_eq!(r.on_segment(3), 0);
+        assert_eq!(r.on_segment(1), 0);
+        assert_eq!(r.on_segment(0), 2);
+        assert_eq!(r.on_segment(2), 4);
     }
 
     #[test]

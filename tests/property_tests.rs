@@ -149,3 +149,86 @@ proptest! {
         prop_assert_eq!(bit_error_rate(&info, &out.bits), 0.0);
     }
 }
+
+// ---- TCP NewReno sender invariants ------------------------------------
+
+use softrate::sim::tcp::{TcpConfig, TcpSender};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // The NewReno sender's structural invariants hold under arbitrary
+    // interleavings of sends, cumulative ACKs, duplicate ACKs, and
+    // timeouts: `cwnd >= 1`, new data respects
+    // `in_flight <= floor(cwnd.min(rcv_wnd))` (retransmissions are
+    // exempt — they re-send below `snd_una + wnd` by construction),
+    // `delivered` is monotone and never exceeds what was sent, and
+    // `snd_una <= next_new`.
+    #[test]
+    fn tcp_sender_invariants_under_random_interleavings(
+        init_cwnd in 1u32..16,
+        ops in proptest::collection::vec(any::<u8>(), 1..300),
+        randoms in proptest::collection::vec(any::<u16>(), 1..64),
+    ) {
+        let cfg = TcpConfig {
+            initial_cwnd: init_cwnd as f64,
+            rcv_wnd: 12.0,
+            ..Default::default()
+        };
+        let mut s = TcpSender::new(cfg);
+        let mut prev_delivered = 0u64;
+        for (i, &op) in ops.iter().enumerate() {
+            let now = i as f64 * 0.01;
+            let r = randoms[i % randoms.len()] as u64;
+            match op % 4 {
+                0 => {
+                    let before_next = s.next_new();
+                    if let Some(seq) = s.next_segment(now) {
+                        if seq == before_next {
+                            // New data obeys the send window at send time.
+                            let wnd = (s.cwnd().min(s.rcv_wnd()).floor() as u64).max(1);
+                            prop_assert!(
+                                s.in_flight() <= wnd,
+                                "in_flight {} > window {}",
+                                s.in_flight(),
+                                wnd
+                            );
+                        }
+                    }
+                }
+                1 => {
+                    // A plausible cumulative ACK: somewhere in (snd_una,
+                    // next_new].
+                    if s.in_flight() > 0 {
+                        let cum = s.snd_una() + 1 + r % s.in_flight();
+                        s.on_ack(cum, now);
+                    }
+                }
+                2 => {
+                    // Duplicate ACK.
+                    s.on_ack(s.snd_una(), now);
+                }
+                _ => {
+                    // RTO expiry (the plumbing only fires it with data
+                    // outstanding; mirror that guard).
+                    if s.in_flight() > 0 {
+                        s.on_timeout();
+                    }
+                }
+            }
+            prop_assert!(s.cwnd() >= 1.0, "cwnd {} < 1", s.cwnd());
+            prop_assert!(s.snd_una() <= s.next_new(), "snd_una past next_new");
+            prop_assert!(
+                s.delivered >= prev_delivered,
+                "delivered must be monotone"
+            );
+            prop_assert!(
+                s.delivered <= s.next_new(),
+                "cannot deliver unsent data: {} > {}",
+                s.delivered,
+                s.next_new()
+            );
+            prev_delivered = s.delivered;
+        }
+    }
+}

@@ -134,3 +134,76 @@ fn non_overlapping_domains_never_exchange_interference() {
     assert_eq!(aps.len(), 2);
     assert!(r.frames_delivered > 0);
 }
+
+// ---- Spatial flow traffic (the pluggable transport layer) --------------
+
+/// Acceptance: `dense-enterprise-tcp` completes deterministically across
+/// thread counts — the spatial-TCP analogue of the UDP determinism pin.
+#[test]
+fn dense_enterprise_tcp_jsonl_is_byte_identical_across_threads() {
+    let mut spec = builtin::get("dense-enterprise-tcp").expect("builtin exists");
+    spec.duration = 1.0;
+    let plans = expand(&spec).expect("expands");
+    let a = to_jsonl(&run_all(&plans, Some(1)));
+    let b = to_jsonl(&run_all(&plans, Some(4)));
+    let c = to_jsonl(&run_all(&plans, Some(4)));
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "thread count must not change spatial-TCP results");
+    assert_eq!(b, c, "repeat runs must be byte-identical");
+}
+
+/// Acceptance: roaming scenarios deliver TCP segments across >= 1 handoff
+/// under both Preserve and Reset policies — through the scenario engine,
+/// on the shipped `roaming-tcp-download` builtin (whose sweep covers both
+/// policies).
+#[test]
+fn roaming_tcp_download_delivers_across_handoffs_under_both_policies() {
+    let mut spec = builtin::get("roaming-tcp-download").expect("builtin exists");
+    spec.duration = 6.0;
+    let results = run_all(&expand(&spec).unwrap(), None);
+    assert_eq!(results.len(), 2, "one run per handoff policy");
+    for r in &results {
+        let policy: String = r
+            .params
+            .iter()
+            .find(|(k, _)| k.contains("handoff"))
+            .map(|(_, v)| format!("{v:?}"))
+            .expect("handoff policy is a sweep axis");
+        assert!(r.handoffs > 0, "{policy}: walking stations must roam");
+        assert!(
+            r.goodput_bps > 1e6,
+            "{policy}: TCP download must keep delivering across handoffs, got {}",
+            r.goodput_bps
+        );
+        // Delivery is spread over stations, not carried by survivors of a
+        // stalled majority: at least half the flows make real progress.
+        let alive = r.per_flow_goodput_bps.iter().filter(|&&g| g > 1e4).count();
+        assert!(
+            alive * 2 >= r.per_flow_goodput_bps.len(),
+            "{policy}: too many stalled flows ({alive}/{})",
+            r.per_flow_goodput_bps.len()
+        );
+    }
+}
+
+/// The bursty on-off builtin is source-limited: offered load, not link
+/// capacity, bounds its goodput (per station: 200 pkt/s x 50% duty x
+/// 1400-byte payloads = 1.12 Mbit/s).
+#[test]
+fn bursty_onoff_cell_edge_is_source_limited() {
+    let mut spec = builtin::get("bursty-onoff-cell-edge").expect("builtin exists");
+    spec.duration = 3.0;
+    let results = run_all(&expand(&spec).unwrap(), None);
+    assert!(!results.is_empty());
+    let n = spec.topology.spatial.as_ref().unwrap().n_stations as f64;
+    let offered = n * 100.0 * 1400.0 * 8.0; // per-station mean offered bits/s
+    for r in &results {
+        assert!(r.goodput_bps > 0.0);
+        assert!(
+            r.goodput_bps < offered,
+            "{}: goodput {} cannot exceed offered {offered}",
+            r.adapter,
+            r.goodput_bps
+        );
+    }
+}
