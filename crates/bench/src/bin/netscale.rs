@@ -16,19 +16,28 @@
 //!
 //! `--smoke` (or `SOFTRATE_SMOKE=1`) shrinks the ladder and the duration.
 //! `--profile` additionally prints a per-phase wall-time breakdown
-//! (sense / begin / collision / fate / roam / queue+dispatch) per ladder
-//! point, so future perf PRs know where the time goes. Profiled rows keep
-//! identical simulation results but carry timer overhead, so the JSON is
-//! only refreshed on unprofiled runs. `--gate` is the CI perf check: one
-//! quick 400-station measurement that must stay within 30% of the
-//! committed trajectory.
+//! (sense / begin / collision / fate / roam / transport / outcome /
+//! queue+dispatch) per ladder point, so future perf PRs know where the
+//! time goes. Profiled rows keep identical simulation results but carry
+//! timer overhead, so the JSON is only refreshed on unprofiled runs.
+//! `--gate` is the CI perf check: one quick 400-station measurement that
+//! must stay within 30% of the committed trajectory — and, when the
+//! committed file carries a TCP trajectory, a second 400-station
+//! TCP-traffic measurement against it.
 //!
 //! `--traffic tcp|onoff|udp` swaps the workload: `tcp` runs the ladder
 //! under per-station TCP NewReno uploads (AP transmitters carry the ACK
 //! downlink through the shared transport layer), `onoff` under bursty
-//! half-duty Poisson sources. Only the default saturated-UDP ladder ever
-//! rewrites `BENCH_netscale.json` — the committed trajectory the CI gate
-//! compares against is a UDP trajectory.
+//! half-duty Poisson sources. The default saturated-UDP ladder rewrites
+//! the `rows` trajectory in `BENCH_netscale.json`; the TCP ladder (a
+//! shorter one — the gate only needs its 400-station point) rewrites
+//! `tcp_rows`; `onoff` ladders are printed only.
+//!
+//! `--metrics <path>` attaches the telemetry recorder to every ladder run
+//! and writes the per-station metrics JSONL to `path`. The recorder never
+//! touches the event queue or any RNG, so `events` at every ladder point
+//! is unchanged — but the wall numbers carry recorder overhead, so
+//! metrics runs never rewrite `BENCH_netscale.json`.
 
 use serde::{Deserialize, Serialize};
 use softrate_bench::{banner, smoke_mode};
@@ -60,7 +69,12 @@ struct NetScaleRow {
 struct NetScaleResults {
     bench: String,
     smoke: bool,
+    /// The saturated-uplink-UDP trajectory (the primary CI gate).
     rows: Vec<NetScaleRow>,
+    /// The TCP-traffic trajectory (`--traffic tcp`); absent until a full
+    /// TCP ladder has been committed, at which point the gate also pins
+    /// its 400-station row.
+    tcp_rows: Option<Vec<NetScaleRow>>,
 }
 
 fn spec(stations: usize) -> SpatialSpec {
@@ -123,10 +137,18 @@ fn print_profile(p: &PhaseProfile) {
         pct(p.fate_s),
     );
     println!(
-        "                   roam  {:6.3}s ({:4.1}%)  queue+dispatch {:6.3}s ({:4.1}%)  \
-         deferrals {}  transmissions {}",
+        "                   roam  {:6.3}s ({:4.1}%)  transport {:6.3}s ({:4.1}%)  \
+         outcome {:6.3}s ({:4.1}%)",
         p.medium_ev_s,
         pct(p.medium_ev_s),
+        p.transport_s,
+        pct(p.transport_s),
+        p.outcome_s,
+        pct(p.outcome_s),
+    );
+    println!(
+        "                   queue+dispatch {:6.3}s ({:4.1}%)  \
+         deferrals {}  transmissions {}",
         p.queue_s,
         pct(p.queue_s),
         p.deferrals,
@@ -161,27 +183,47 @@ fn run_gate() -> ! {
     };
     // Warmup, then best of two (the simulation is deterministic; only the
     // clock varies).
-    let measure = |duration: f64| -> f64 {
+    let measure = |traffic: &SpatialTraffic, duration: f64| -> f64 {
         let mut cfg = SpatialConfig::new(AdapterKind::SoftRate, spec(GATE_STATIONS));
         cfg.duration = duration;
+        cfg.traffic = traffic.clone();
         let sim = SpatialSim::new(cfg).expect("bench spec is valid");
         let started = std::time::Instant::now();
         let report = sim.run();
         report.events_processed as f64 / started.elapsed().as_secs_f64().max(1e-9)
     };
-    measure(0.5);
-    let events_per_sec = measure(GATE_SIM_SECONDS).max(measure(GATE_SIM_SECONDS));
-    let floor = baseline.events_per_sec * GATE_TOLERANCE;
-    println!(
-        "measured {events_per_sec:.0} events/s at {GATE_STATIONS} stations; committed {:.0}; floor {floor:.0}",
-        baseline.events_per_sec
-    );
-    if events_per_sec < floor {
-        eprintln!(
-            "gate FAILED: events/sec regressed more than {:.0}% below the committed trajectory",
-            (1.0 - GATE_TOLERANCE) * 100.0
+    let check = |label: &str, traffic: &SpatialTraffic, committed_eps: f64| {
+        measure(traffic, 0.5);
+        let events_per_sec =
+            measure(traffic, GATE_SIM_SECONDS).max(measure(traffic, GATE_SIM_SECONDS));
+        let floor = committed_eps * GATE_TOLERANCE;
+        println!(
+            "{label}: measured {events_per_sec:.0} events/s at {GATE_STATIONS} stations; \
+             committed {committed_eps:.0}; floor {floor:.0}"
         );
-        std::process::exit(1);
+        if events_per_sec < floor {
+            eprintln!(
+                "gate FAILED ({label}): events/sec regressed more than {:.0}% below the \
+                 committed trajectory",
+                (1.0 - GATE_TOLERANCE) * 100.0
+            );
+            std::process::exit(1);
+        }
+    };
+    check(
+        "udp",
+        &SpatialTraffic::SaturatedUplinkUdp,
+        baseline.events_per_sec,
+    );
+    // The TCP ladder point, once a TCP trajectory has been committed.
+    if let Some(tcp_baseline) = committed
+        .tcp_rows
+        .as_ref()
+        .and_then(|rows| rows.iter().find(|r| r.stations == GATE_STATIONS))
+    {
+        check("tcp", &traffic_for("tcp"), tcp_baseline.events_per_sec);
+    } else {
+        println!("(no committed TCP trajectory with a {GATE_STATIONS}-station row; udp only)");
     }
     println!("gate passed");
     std::process::exit(0);
@@ -201,12 +243,21 @@ fn main() {
         .map(|s| s.as_str())
         .unwrap_or("udp")
         .to_string();
+    let metrics_path = args
+        .iter()
+        .position(|a| a == "--metrics")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let traffic = traffic_for(&traffic_mode);
     banner(&format!(
         "netscale — spatial simulator throughput vs station count ({traffic_mode})"
     ));
     let (ladder, sim_seconds): (&[usize], f64) = if smoke {
         (&[20, 60], 2.0)
+    } else if traffic_mode == "tcp" {
+        // The TCP trajectory exists for the CI gate's 400-station point;
+        // a short ladder around it keeps the full run affordable.
+        (&[50, 100, 200, 400], 10.0)
     } else {
         (&[50, 100, 200, 400, 800, 1600], 10.0)
     };
@@ -226,7 +277,8 @@ fn main() {
         "stations", "aps", "sim s", "wall s", "events", "events/s", "speedup", "Mbit/s", "handoffs"
     );
     let mut rows = Vec::new();
-    for &stations in ladder {
+    let mut metrics_out = String::new();
+    for (ladder_idx, &stations) in ladder.iter().enumerate() {
         // Best of two timed runs per point (identical results — the
         // simulation is deterministic; only the wall clock varies), so a
         // scheduler hiccup doesn't land in the committed trajectory.
@@ -236,6 +288,9 @@ fn main() {
             let mut cfg = SpatialConfig::new(AdapterKind::SoftRate, spec(stations));
             cfg.traffic = traffic.clone();
             cfg.duration = sim_seconds;
+            if metrics_path.is_some() {
+                cfg.telemetry = Some(softrate_telemetry::RecorderConfig::default());
+            }
             let sim = SpatialSim::new(cfg).expect("bench spec is valid");
             let started = std::time::Instant::now();
             let (report, phases) = if profile {
@@ -250,7 +305,12 @@ fn main() {
                 best = Some((report, phases));
             }
         }
-        let (report, phases) = best.expect("at least one run");
+        let (mut report, phases) = best.expect("at least one run");
+        if let Some(mut telemetry) = report.telemetry.take() {
+            // One "run" per ladder point, in ladder order.
+            telemetry.stamp_run_idx(ladder_idx as u64);
+            metrics_out.push_str(&telemetry.metrics_jsonl());
+        }
         let row = NetScaleRow {
             stations,
             aps: 9,
@@ -281,11 +341,23 @@ fn main() {
         rows.push(row);
     }
 
-    if traffic_mode != "udp" {
-        // The committed trajectory (and the CI gate reading it) is a
-        // saturated-UDP measurement; flow-traffic ladders are printed only.
+    if let Some(path) = &metrics_path {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(path, &metrics_out) {
+            Ok(()) => eprintln!("[wrote {path}]"),
+            Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+        }
+        // Recorder overhead is in the wall numbers: never commit them.
+        eprintln!("[--metrics run: BENCH_netscale.json left untouched (recorder overhead)]");
+        return;
+    }
+    if traffic_mode == "onoff" {
+        // Only the UDP and TCP trajectories are committed; on-off ladders
+        // are printed only.
         eprintln!(
-            "[--traffic {traffic_mode} run: BENCH_netscale.json left untouched (UDP trajectory)]"
+            "[--traffic {traffic_mode} run: BENCH_netscale.json left untouched (uncommitted workload)]"
         );
         return;
     }
@@ -299,10 +371,25 @@ fn main() {
         eprintln!("[--smoke run: BENCH_netscale.json left untouched (partial ladder)]");
         return;
     }
-    let results = NetScaleResults {
-        bench: "netscale".to_string(),
-        smoke,
-        rows,
+    // Full unprofiled run: refresh this workload's trajectory, preserving
+    // the other one from the committed file.
+    let committed: Option<NetScaleResults> = std::fs::read_to_string("BENCH_netscale.json")
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok());
+    let results = if traffic_mode == "tcp" {
+        NetScaleResults {
+            bench: "netscale".to_string(),
+            smoke,
+            rows: committed.map(|c| c.rows).unwrap_or_default(),
+            tcp_rows: Some(rows),
+        }
+    } else {
+        NetScaleResults {
+            bench: "netscale".to_string(),
+            smoke,
+            rows,
+            tcp_rows: committed.and_then(|c| c.tcp_rows),
+        }
     };
     let path = "BENCH_netscale.json";
     match serde_json::to_string_pretty(&results) {

@@ -98,6 +98,10 @@ pub struct SpatialConfig {
     pub spatial: SpatialSpec,
     /// The workload.
     pub traffic: SpatialTraffic,
+    /// Telemetry recorder configuration; `None` (the default) disables the
+    /// recorder entirely — the disabled path must leave every simulation
+    /// result byte-identical.
+    pub telemetry: Option<softrate_telemetry::RecorderConfig>,
 }
 
 impl SpatialConfig {
@@ -112,6 +116,7 @@ impl SpatialConfig {
             mac_seed: 0x5A7A,
             spatial,
             traffic: SpatialTraffic::SaturatedUplinkUdp,
+            telemetry: None,
         }
     }
 
@@ -228,6 +233,14 @@ impl TransportHost for SpatialHost<'_> {
 
     fn enqueue(&mut self, link: usize, payload: Payload) {
         self.queues[link].push_back(payload);
+        if self.core.recorder.is_some() {
+            let station = station_of_port(self.n, link);
+            let depth = self.queues[link].len();
+            let now = self.core.now();
+            if let Some(rec) = self.core.recorder.as_deref_mut() {
+                rec.on_enqueue(now, station, depth);
+            }
+        }
         let sender = if link < self.n {
             link
         } else {
@@ -243,6 +256,10 @@ impl TransportHost for SpatialHost<'_> {
         self.core
             .events
             .schedule_in(delay, MacEv::Medium(SpatialEv::Transport(ev)));
+    }
+
+    fn recorder(&mut self) -> Option<&mut softrate_telemetry::Recorder> {
+        self.core.recorder.as_deref_mut()
     }
 }
 
@@ -561,6 +578,9 @@ impl SpatialMedium {
             from,
             to,
         });
+        if let Some(rec) = core.recorder.as_deref_mut() {
+            rec.on_handoff(now, st);
+        }
     }
 
     /// Applies `st`'s deferred handoff once neither of its links has a
@@ -814,6 +834,9 @@ impl Medium for SpatialMedium {
                     om.max_other_end = om.max_other_end.max(tx.end);
                     if o.info.ap != tx.info.ap {
                         self.inter_cell_corruptions += 1;
+                        om.corrupt_inter_cell = true;
+                    } else {
+                        om.corrupt_same_cell = true;
                     }
                 }
             }
@@ -836,6 +859,9 @@ impl Medium for SpatialMedium {
                     tx.max_other_end = tx.max_other_end.max(o.end);
                     if o.info.ap != tx.info.ap {
                         self.inter_cell_corruptions += 1;
+                        tx.corrupt_inter_cell = true;
+                    } else {
+                        tx.corrupt_same_cell = true;
                     }
                 }
             }
@@ -1015,6 +1041,18 @@ impl Medium for SpatialMedium {
         core.events
             .schedule(now + interval, MacEv::Medium(SpatialEv::Roam { st }));
     }
+
+    /// Telemetry groups per station: a station's uplink and downlink ports
+    /// both report as that station.
+    fn telemetry_station(&self, port: usize) -> usize {
+        station_of_port(self.params.n_stations, port)
+    }
+
+    /// Transport timers and wired deliveries are transport work; `Roam`
+    /// events are the medium's own.
+    fn event_is_transport(&self, ev: &SpatialEv) -> bool {
+        matches!(ev, SpatialEv::Transport(_))
+    }
 }
 
 /// The station whose link a port serves, given `n` stations (uplink
@@ -1153,9 +1191,13 @@ impl SpatialSim {
                 sender_port: vec![0; n + n_aps],
             });
         }
-        Ok(SpatialSim {
-            engine: MacEngine::new(n_senders, ports, mac_params, medium),
-        })
+        let mut engine = MacEngine::new(n_senders, ports, mac_params, medium);
+        if let Some(tcfg) = engine.medium.cfg.telemetry.clone() {
+            engine.core.recorder = Some(Box::new(softrate_telemetry::Recorder::new(
+                tcfg, n, n_senders,
+            )));
+        }
+        Ok(SpatialSim { engine })
     }
 
     /// Runs to `cfg.duration` and reports.
@@ -1173,10 +1215,16 @@ impl SpatialSim {
         (self.report(), profile)
     }
 
-    fn report(self) -> RunReport {
+    fn report(mut self) -> RunReport {
+        let duration = self.engine.medium.cfg.duration;
+        let telemetry = self
+            .engine
+            .core
+            .recorder
+            .take()
+            .map(|rec| rec.finish(duration));
         let m = self.engine.medium;
         let stats = self.engine.core.stats;
-        let duration = m.cfg.duration;
         let per_station: Vec<f64> = match &m.flows {
             None => {
                 let useful_bits = (m.cfg.payload_bytes - IP_TCP_HEADER) as f64 * 8.0;
@@ -1204,6 +1252,7 @@ impl SpatialSim {
             initial_assoc: m.initial_assoc,
             handoff_log: m.handoff_log,
             events_processed: stats.events_processed,
+            telemetry,
         }
     }
 }

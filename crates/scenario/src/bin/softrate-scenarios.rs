@@ -5,6 +5,7 @@
 //! softrate-scenarios show <name | --file spec.toml> [--expanded]
 //! softrate-scenarios run  <name | --file spec.toml> [--threads N]
 //!                         [--out results.jsonl] [--duration SECS] [--seed N]
+//!                         [--metrics metrics.jsonl] [--trace trace.jsonl]
 //! softrate-scenarios sweep --file spec.toml [--threads N] [--out results.jsonl]
 //! ```
 //!
@@ -16,9 +17,13 @@
 
 use std::process::ExitCode;
 
-use softrate_scenario::engine::{self, expand, run_all, summary_table, to_jsonl};
+use softrate_scenario::engine::{
+    self, expand, run_all_with_telemetry, summary_table, telemetry_metrics_jsonl,
+    telemetry_trace_jsonl, to_jsonl,
+};
 use softrate_scenario::spec::ScenarioSpec;
 use softrate_scenario::{builtin, toml};
+use softrate_telemetry::RecorderConfig;
 
 fn usage() -> &'static str {
     "softrate-scenarios — declarative scenario engine for the SoftRate reproduction
@@ -28,11 +33,19 @@ USAGE:
     softrate-scenarios show <name | --file spec.toml> [--expanded]
     softrate-scenarios run  <--name name | --file spec.toml> [--threads N]
                             [--out results.jsonl] [--duration SECS] [--seed N]
-                            [--only RUN_IDX]
+                            [--only RUN_IDX] [--metrics metrics.jsonl]
+                            [--trace trace.jsonl]
     softrate-scenarios sweep --file spec.toml [--threads N] [--out results.jsonl]
+                            [--metrics metrics.jsonl] [--trace trace.jsonl]
 
 The scenario may be given as a bare positional name, `--name <builtin>`,
 or `--file <spec.toml|spec.json>`.
+
+`--metrics` turns on the telemetry recorder and writes per-station
+interval/totals/histogram rows (deterministic JSONL, byte-identical
+across thread counts). `--trace` additionally streams per-frame
+lifecycle rows into the given file (implies --metrics if absent; inspect
+both with `softrate-inspect`).
 
 COMMANDS:
     list    Catalogue the built-in scenario library
@@ -51,6 +64,8 @@ struct Args {
     seed: Option<u64>,
     only: Option<usize>,
     expanded: bool,
+    metrics: Option<String>,
+    trace: Option<String>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -63,6 +78,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         seed: None,
         only: None,
         expanded: false,
+        metrics: None,
+        trace: None,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -103,6 +120,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                         .map_err(|_| "--only must be a run index".to_string())?,
                 )
             }
+            "--metrics" => args.metrics = Some(value_of("--metrics")?),
+            "--trace" => args.trace = Some(value_of("--trace")?),
             "--expanded" => args.expanded = true,
             "--help" | "-h" => return Err(String::new()),
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
@@ -207,18 +226,36 @@ fn cmd_run(args: &Args, require_sweep: bool) -> Result<(), String> {
             .map(|t| t.to_string())
             .unwrap_or_else(|| "auto".to_string()),
     );
+    let telemetry = (args.metrics.is_some() || args.trace.is_some()).then(|| RecorderConfig {
+        trace: args.trace.is_some(),
+        ..RecorderConfig::default()
+    });
     let started = std::time::Instant::now();
-    let results = run_all(&plans, threads);
+    let with_telemetry = run_all_with_telemetry(&plans, threads, telemetry);
     eprintln!("completed in {:.2}s", started.elapsed().as_secs_f64());
+    let results: Vec<_> = with_telemetry.iter().map(|(r, _)| r.clone()).collect();
     print!("{}", summary_table(&results));
     if let Some(out) = &args.out {
-        let jsonl = to_jsonl(&results);
-        if let Some(parent) = std::path::Path::new(out).parent() {
-            let _ = std::fs::create_dir_all(parent);
-        }
-        std::fs::write(out, jsonl).map_err(|e| format!("cannot write {out}: {e}"))?;
-        eprintln!("[wrote {out}]");
+        write_file(out, &to_jsonl(&results))?;
     }
+    if args.metrics.is_some() || args.trace.is_some() {
+        if let Some(path) = &args.metrics {
+            write_file(path, &telemetry_metrics_jsonl(&with_telemetry))?;
+        }
+        if let Some(path) = &args.trace {
+            write_file(path, &telemetry_trace_jsonl(&with_telemetry))?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes `text` to `path`, creating parent directories as needed.
+fn write_file(path: &str, text: &str) -> Result<(), String> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!("[wrote {path}]");
     Ok(())
 }
 

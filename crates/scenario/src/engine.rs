@@ -18,6 +18,7 @@ use softrate_sim::config::{AdapterKind, SimConfig, TrafficKind};
 use softrate_sim::mac::RunReport;
 use softrate_sim::netsim::NetSim;
 use softrate_sim::transport::TransportConfig;
+use softrate_telemetry::{RecorderConfig, TelemetryReport};
 use softrate_trace::par::par_map_threads;
 use softrate_trace::schema::LinkTrace;
 use softrate_trace::snr_training::{observations_from_trace, train_snr_table};
@@ -356,7 +357,10 @@ fn spatial_traffic(plan: &RunPlan) -> SpatialTraffic {
 /// for the same reason single-cell traces do: every adapter in a matrix
 /// shares one deployment — station spawns, trajectories, and fading — so
 /// algorithms are compared over identical channel realizations (§6.1).
-fn run_spatial_plan(plan: &RunPlan) -> RunResult {
+fn run_spatial_plan(
+    plan: &RunPlan,
+    telemetry: Option<&RecorderConfig>,
+) -> (RunResult, Option<TelemetryReport>) {
     let spec = &plan.spec;
     let mut spatial = spec
         .topology
@@ -371,16 +375,33 @@ fn run_spatial_plan(plan: &RunPlan) -> RunResult {
     cfg.seed = mix_seed(spec.seed, 0x5A7A_11CE);
     cfg.mac_seed = plan.seed;
     cfg.traffic = spatial_traffic(plan);
+    cfg.telemetry = telemetry.cloned();
     let report = SpatialSim::new(cfg)
         .expect("validated spatial spec resolves")
         .run();
-    result_from_report(plan, report)
+    finish_report(plan, report)
 }
 
-/// Executes one plan.
-pub fn run_plan(plan: &RunPlan) -> RunResult {
+/// Splits the engine report into the JSONL result row and the (stamped)
+/// telemetry report.
+fn finish_report(plan: &RunPlan, mut report: RunReport) -> (RunResult, Option<TelemetryReport>) {
+    let mut telemetry = report.telemetry.take();
+    if let Some(t) = telemetry.as_mut() {
+        t.stamp_run_idx(plan.run_idx as u64);
+    }
+    (result_from_report(plan, report), telemetry)
+}
+
+/// Executes one plan, optionally with the telemetry recorder attached.
+///
+/// With `telemetry: None` the recorder is never constructed and the run is
+/// bit-identical to the pre-telemetry engine.
+pub fn run_plan_with_telemetry(
+    plan: &RunPlan,
+    telemetry: Option<&RecorderConfig>,
+) -> (RunResult, Option<TelemetryReport>) {
     if plan.spec.topology.spatial.is_some() {
-        return run_spatial_plan(plan);
+        return run_spatial_plan(plan, telemetry);
     }
     let traces = traces_for(plan);
     let spec = &plan.spec;
@@ -393,20 +414,61 @@ pub fn run_plan(plan: &RunPlan) -> RunResult {
         cfg.queue_cap = cap;
     }
     cfg.seed = plan.seed;
+    cfg.telemetry = telemetry.cloned();
 
     let report = NetSim::new(cfg, traces).run();
-    result_from_report(plan, report)
+    finish_report(plan, report)
+}
+
+/// Executes one plan.
+pub fn run_plan(plan: &RunPlan) -> RunResult {
+    run_plan_with_telemetry(plan, None).0
 }
 
 /// Executes every plan across `threads` workers (defaulting to the
 /// machine's parallelism), returning results in matrix order.
 pub fn run_all(plans: &[RunPlan], threads: Option<usize>) -> Vec<RunResult> {
+    run_all_with_telemetry(plans, threads, None)
+        .into_iter()
+        .map(|(r, _)| r)
+        .collect()
+}
+
+/// [`run_all`] with an optional telemetry recorder per run. Results (and
+/// their telemetry reports) come back in matrix order regardless of the
+/// worker count, so the concatenated metrics/trace JSONL streams are
+/// byte-identical across thread counts.
+pub fn run_all_with_telemetry(
+    plans: &[RunPlan],
+    threads: Option<usize>,
+    telemetry: Option<RecorderConfig>,
+) -> Vec<(RunResult, Option<TelemetryReport>)> {
     let threads = threads.unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1)
     });
-    par_map_threads(threads, plans.to_vec(), |plan| run_plan(&plan))
+    par_map_threads(threads, plans.to_vec(), move |plan| {
+        run_plan_with_telemetry(&plan, telemetry.as_ref())
+    })
+}
+
+/// Concatenates the per-run metrics JSONL streams in matrix order.
+pub fn telemetry_metrics_jsonl(results: &[(RunResult, Option<TelemetryReport>)]) -> String {
+    results
+        .iter()
+        .filter_map(|(_, t)| t.as_ref())
+        .map(TelemetryReport::metrics_jsonl)
+        .collect()
+}
+
+/// Concatenates the per-run frame-trace JSONL streams in matrix order.
+pub fn telemetry_trace_jsonl(results: &[(RunResult, Option<TelemetryReport>)]) -> String {
+    results
+        .iter()
+        .filter_map(|(_, t)| t.as_ref())
+        .map(TelemetryReport::trace_jsonl)
+        .collect()
 }
 
 /// Convenience: expand + run in one call.

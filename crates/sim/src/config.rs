@@ -178,6 +178,10 @@ pub struct SimConfig {
     pub wired_delay: f64,
     /// Master seed.
     pub seed: u64,
+    /// Telemetry recorder configuration; `None` (the default) disables the
+    /// recorder entirely — the disabled path must leave every simulation
+    /// result byte-identical.
+    pub telemetry: Option<softrate_telemetry::RecorderConfig>,
 }
 
 impl SimConfig {
@@ -195,6 +199,7 @@ impl SimConfig {
             wired_rate_bps: 50e6,
             wired_delay: 0.010,
             seed: 0x51AB,
+            telemetry: None,
         }
     }
 

@@ -24,6 +24,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use softrate_core::adapter::{RateAdapter, TxAttempt, TxOutcome};
+use softrate_telemetry::{LossCause, OutcomeEvent, Recorder, TelemetryReport};
 use softrate_trace::schema::{hash_uniform, FrameFate};
 
 use crate::event::EventQueue;
@@ -112,6 +113,8 @@ pub struct RunReport {
     pub handoff_log: Vec<HandoffRecord>,
     /// Events processed by the discrete-event loop.
     pub events_processed: u64,
+    /// Telemetry streams, when a [`Recorder`] was installed for the run.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 /// Engine events. `Medium(E)` carries everything above or beside the MAC —
@@ -200,8 +203,16 @@ pub struct ActiveTx<I> {
     pub payload_bytes: usize,
     /// The port's attempt counter at transmit time.
     pub attempt: u64,
+    /// Whether this frame counts toward `frames_sent` (data frames only).
+    pub counts_as_data: bool,
     /// A concurrent transmission corrupted this one.
     pub collided: bool,
+    /// A corrupting transmission came from the same cell (telemetry loss
+    /// attribution: same-cell corruption is a collision).
+    pub corrupt_same_cell: bool,
+    /// A corrupting transmission came from a different BSS (telemetry
+    /// loss attribution: inter-cell corruption is interference capture).
+    pub corrupt_inter_cell: bool,
     /// Earliest start among corrupting transmissions.
     pub first_other_start: f64,
     /// Latest end among corrupting transmissions.
@@ -278,6 +289,11 @@ pub struct MacCore<E, I> {
     pub pending: Vec<ActiveTx<I>>,
     /// Shared run statistics.
     pub stats: MacStats,
+    /// The telemetry seam: `None` (the default) costs one branch per
+    /// hook; `Some` observes the run without perturbing it (the recorder
+    /// never draws randomness or schedules events). Installed by the
+    /// simulators at construction, taken back out at report time.
+    pub recorder: Option<Box<Recorder>>,
     params: MacParams,
     rng: SmallRng,
     next_tx_id: u64,
@@ -298,6 +314,7 @@ impl<E, I> MacCore<E, I> {
             active: Vec::new(),
             pending: Vec::new(),
             stats: MacStats::default(),
+            recorder: None,
             rng: SmallRng::seed_from_u64(params.backoff_seed),
             params,
             next_tx_id: 1,
@@ -313,6 +330,11 @@ impl<E, I> MacCore<E, I> {
     /// backoff drawn from contention window `cw` (callers read it from the
     /// port the sender would serve, or pass [`CW_MIN`]).
     pub fn schedule_tx_start(&mut self, sender: usize, after: Option<f64>, cw: u32) {
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            // Channel access starts the moment the sender begins
+            // contending; deferrals keep the same period open.
+            rec.mark_access_start(sender, self.events.now());
+        }
         let slots = self.rng.gen_range(0..=cw) as f64;
         let at = after.unwrap_or(self.events.now()) + DIFS + slots * SLOT;
         self.senders[sender].start_pending = true;
@@ -399,6 +421,22 @@ pub trait Medium {
 
     /// Dispatches a medium-specific event.
     fn on_event(&mut self, core: &mut MacCore<Self::Event, Self::TxInfo>, ev: Self::Event);
+
+    /// The station (flow) index that owns `port`'s frames, for telemetry
+    /// attribution. Downlink ports map to the *receiving* station so the
+    /// per-station view covers both directions. Defaults to the port
+    /// index (one port per station).
+    fn telemetry_station(&self, port: usize) -> usize {
+        port
+    }
+
+    /// Whether `ev` is transport-layer work (TCP/UDP timers, wired-hop
+    /// deliveries, source arrivals) rather than a medium-native event
+    /// (roaming checks). Drives the `transport` row of
+    /// `netscale --profile`; defaults to `false`.
+    fn event_is_transport(&self, _ev: &Self::Event) -> bool {
+        false
+    }
 }
 
 /// Wall-time breakdown of one profiled run: seconds spent inside each
@@ -417,9 +455,18 @@ pub struct PhaseProfile {
     pub collision_s: f64,
     /// Seconds inside [`Medium::fate`].
     pub fate_s: f64,
-    /// Seconds inside [`Medium::on_event`] (roaming checks, timers).
+    /// Seconds inside [`Medium::on_event`] for medium-native events
+    /// (roaming checks).
     pub medium_ev_s: f64,
-    /// Residual: event-queue push/pop, dispatch, outcome resolution.
+    /// Seconds inside [`Medium::on_event`] for transport-layer events
+    /// (TCP timers, wired hops, arrivals — see
+    /// [`Medium::event_is_transport`]).
+    pub transport_s: f64,
+    /// Seconds resolving outcomes after the fate draw: ACK/drop
+    /// bookkeeping plus `on_acked`/`on_dropped`/`after_outcome`, where
+    /// transport pumps new segments into the MAC queues.
+    pub outcome_s: f64,
+    /// Residual: event-queue push/pop, dispatch, stats.
     pub queue_s: f64,
     /// Whole-run wall seconds.
     pub total_s: f64,
@@ -464,9 +511,14 @@ impl<M: Medium> MacEngine<M> {
                 MacEv::Outcome { tx } => self.on_outcome(tx),
                 MacEv::Medium(e) => {
                     let t0 = self.profile.as_deref().map(|_| std::time::Instant::now());
+                    let transport = t0.is_some() && self.medium.event_is_transport(&e);
                     self.medium.on_event(&mut self.core, e);
                     if let (Some(t0), Some(p)) = (t0, self.profile.as_deref_mut()) {
-                        p.medium_ev_s += t0.elapsed().as_secs_f64();
+                        if transport {
+                            p.transport_s += t0.elapsed().as_secs_f64();
+                        } else {
+                            p.medium_ev_s += t0.elapsed().as_secs_f64();
+                        }
                     }
                 }
             }
@@ -482,7 +534,14 @@ impl<M: Medium> MacEngine<M> {
         self.run(duration);
         let mut p = *self.profile.take().expect("set above");
         p.total_s = started.elapsed().as_secs_f64();
-        p.queue_s = p.total_s - p.sense_s - p.begin_s - p.collision_s - p.fate_s - p.medium_ev_s;
+        p.queue_s = p.total_s
+            - p.sense_s
+            - p.begin_s
+            - p.collision_s
+            - p.fate_s
+            - p.medium_ev_s
+            - p.transport_s
+            - p.outcome_s;
         p
     }
 
@@ -493,6 +552,10 @@ impl<M: Medium> MacEngine<M> {
             return; // will reschedule when freed
         }
         let Some(port) = self.medium.pick_port(sender) else {
+            if let Some(rec) = core.recorder.as_deref_mut() {
+                // Nothing to send: whatever access period was open ends.
+                rec.clear_access_start(sender);
+            }
             return;
         };
 
@@ -504,6 +567,13 @@ impl<M: Medium> MacEngine<M> {
         if let Some(until) = sensed {
             if let Some(p) = self.profile.as_deref_mut() {
                 p.deferrals += 1;
+            }
+            if core.recorder.is_some() {
+                let station = self.medium.telemetry_station(port);
+                let now = core.events.now();
+                if let Some(rec) = core.recorder.as_deref_mut() {
+                    rec.on_defer(now, station, sender);
+                }
             }
             let cw = core.cw[port];
             core.schedule_tx_start(sender, Some(until), cw);
@@ -541,7 +611,10 @@ impl<M: Medium> MacEngine<M> {
             use_rts: attempt.use_rts,
             payload_bytes: info.payload_bytes,
             attempt: core.ports[port].attempts,
+            counts_as_data: info.counts_as_data,
             collided: false,
+            corrupt_same_cell: false,
+            corrupt_inter_cell: false,
             first_other_start: f64::INFINITY,
             max_other_end: f64::NEG_INFINITY,
             info: info.info,
@@ -550,6 +623,13 @@ impl<M: Medium> MacEngine<M> {
         self.medium.mark_collisions(&mut tx, &mut core.active);
         if let (Some(t0), Some(p)) = (t0, self.profile.as_deref_mut()) {
             p.collision_s += t0.elapsed().as_secs_f64();
+        }
+
+        if core.recorder.is_some() {
+            let station = self.medium.telemetry_station(port);
+            if let Some(rec) = core.recorder.as_deref_mut() {
+                rec.on_tx(now, station, sender, id, tx.rate_idx, tx.attempt, air);
+            }
         }
 
         core.senders[sender].busy = true;
@@ -646,6 +726,50 @@ impl<M: Medium> MacEngine<M> {
 
         core.ports[tx.port].adapter.on_outcome(&outcome);
 
+        if core.recorder.is_some() {
+            // Attribution happens here because this is where the fate is
+            // decided: the medium marked *who* corrupted the frame at
+            // transmit time, the feedback window just resolved *whether*
+            // it survived. Exactly one cause per failure:
+            //   - corrupted by a same-cell transmission  -> collision
+            //   - corrupted only by another BSS          -> capture
+            //   - failed with no interferer (incl. RTS-protected
+            //     collisions, which the exchange shields) -> fading
+            let cause = if outcome.acked {
+                None
+            } else if tx.collided && !tx.use_rts {
+                if tx.corrupt_same_cell {
+                    Some(LossCause::Collision)
+                } else {
+                    Some(LossCause::InterferenceCapture)
+                }
+            } else {
+                Some(LossCause::Fading)
+            };
+            let dropped = !outcome.acked && core.ports[tx.port].retries + 1 > MAX_RETRIES;
+            let station = self.medium.telemetry_station(tx.port);
+            if let Some(rec) = core.recorder.as_deref_mut() {
+                rec.on_outcome(
+                    now,
+                    OutcomeEvent {
+                        station,
+                        sender: tx.sender,
+                        tx_id: tx.id,
+                        rate_idx: tx.rate_idx,
+                        attempt: tx.attempt,
+                        acked: outcome.acked,
+                        dropped,
+                        counts_as_data: tx.counts_as_data,
+                        payload_bytes: tx.payload_bytes,
+                        airtime_s: tx.end - tx.start,
+                        snr_db: fate.snr_feedback_db,
+                        cause,
+                    },
+                );
+            }
+        }
+
+        let t0 = self.profile.as_deref().map(|_| std::time::Instant::now());
         if outcome.acked {
             core.ports[tx.port].retries = 0;
             core.cw[tx.port] = CW_MIN;
@@ -664,6 +788,9 @@ impl<M: Medium> MacEngine<M> {
 
         core.senders[tx.sender].busy = false;
         self.medium.after_outcome(core, tx.sender);
+        if let (Some(t0), Some(p)) = (t0, self.profile.as_deref_mut()) {
+            p.outcome_s += t0.elapsed().as_secs_f64();
+        }
     }
 }
 

@@ -87,6 +87,14 @@ impl TransportHost for TraceHost<'_> {
 
     fn enqueue(&mut self, link: usize, payload: Payload) {
         self.links[link].queue.push_back(payload);
+        if self.core.recorder.is_some() {
+            let station = self.links[link].flow;
+            let depth = self.links[link].queue.len();
+            let now = self.core.now();
+            if let Some(rec) = self.core.recorder.as_deref_mut() {
+                rec.on_enqueue(now, station, depth);
+            }
+        }
         let node = self.links[link].src;
         if !self.core.senders[node].busy && !self.core.senders[node].start_pending {
             let cw = pick_link(self.nodes, self.links, node)
@@ -98,6 +106,10 @@ impl TransportHost for TraceHost<'_> {
 
     fn schedule_in(&mut self, delay: f64, ev: TransportEv) {
         self.core.events.schedule_in(delay, MacEv::Medium(ev));
+    }
+
+    fn recorder(&mut self) -> Option<&mut softrate_telemetry::Recorder> {
+        self.core.recorder.as_deref_mut()
     }
 }
 
@@ -190,9 +202,11 @@ impl Medium for TraceMedium {
         }
         for o in active.iter_mut().filter(|o| !o.use_rts) {
             o.collided = true;
+            o.corrupt_same_cell = true;
             o.first_other_start = o.first_other_start.min(tx.start);
             o.max_other_end = o.max_other_end.max(tx.end);
             tx.collided = true;
+            tx.corrupt_same_cell = true;
             tx.first_other_start = tx.first_other_start.min(o.start);
             tx.max_other_end = tx.max_other_end.max(o.end);
         }
@@ -250,6 +264,18 @@ impl Medium for TraceMedium {
             core,
         };
         self.transport.on_event(&mut host, ev);
+    }
+
+    /// Telemetry groups per wireless flow: both directions of flow `f`
+    /// (client `f`'s uplink and downlink) report as station `f`.
+    fn telemetry_station(&self, port: usize) -> usize {
+        self.links[port].flow
+    }
+
+    /// Every Medium event here is transport work (TCP timers, wired-hop
+    /// deliveries, on-off source arrivals).
+    fn event_is_transport(&self, _ev: &TransportEv) -> bool {
+        true
     }
 }
 
@@ -352,9 +378,15 @@ impl NetSim {
             transport,
             timeline_link,
         };
-        NetSim {
-            engine: MacEngine::new(n_senders, ports, params, medium),
+        let mut engine = MacEngine::new(n_senders, ports, params, medium);
+        if let Some(tcfg) = engine.medium.cfg.telemetry.clone() {
+            engine.core.recorder = Some(Box::new(softrate_telemetry::Recorder::new(
+                tcfg,
+                engine.medium.cfg.n_clients,
+                n_senders,
+            )));
         }
+        NetSim { engine }
     }
 
     /// Runs to `cfg.duration` and reports.
@@ -362,6 +394,12 @@ impl NetSim {
         let duration = self.engine.medium.cfg.duration;
         self.engine.run(duration);
 
+        let telemetry = self
+            .engine
+            .core
+            .recorder
+            .take()
+            .map(|rec| rec.finish(duration));
         let m = &self.engine.medium;
         let stats = &mut self.engine.core.stats;
         let per_flow: Vec<f64> = (0..m.transport.n_flows())
@@ -378,6 +416,7 @@ impl NetSim {
             silent_losses: stats.silent_losses,
             rate_timeline: std::mem::take(&mut stats.rate_timeline),
             events_processed: stats.events_processed,
+            telemetry,
             ..RunReport::default()
         }
     }

@@ -68,6 +68,8 @@ pub struct TcpSender {
     srtt: Option<f64>,
     rttvar: f64,
     rto: f64,
+    /// The most recent clean RTT sample, until telemetry takes it.
+    last_rtt: Option<f64>,
     /// Exponential RTO backoff exponent.
     backoff: u32,
     /// Total segments newly delivered (goodput accounting).
@@ -93,6 +95,7 @@ impl TcpSender {
             srtt: None,
             rttvar: 0.0,
             rto: 1.0,
+            last_rtt: None,
             backoff: 0,
             delivered: 0,
             retransmissions: 0,
@@ -250,7 +253,14 @@ impl TcpSender {
         self.in_flight() > 0
     }
 
+    /// The latest clean (Karn-valid) RTT sample, consumed on read so each
+    /// sample is observed once. Telemetry only; never steers the sender.
+    pub fn take_rtt_sample(&mut self) -> Option<f64> {
+        self.last_rtt.take()
+    }
+
     fn rtt_sample(&mut self, rtt: f64) {
+        self.last_rtt = Some(rtt);
         match self.srtt {
             None => {
                 self.srtt = Some(rtt);

@@ -94,6 +94,12 @@ pub trait TransportHost {
     fn enqueue(&mut self, link: usize, payload: Payload);
     /// Schedules a transport event `delay` seconds from now.
     fn schedule_in(&mut self, delay: f64, ev: TransportEv);
+    /// The engine's telemetry recorder, when one is installed (hosts that
+    /// hold a [`crate::mac::MacCore`] forward its recorder; the default
+    /// keeps telemetry off).
+    fn recorder(&mut self) -> Option<&mut softrate_telemetry::Recorder> {
+        None
+    }
 }
 
 /// Transport configuration, shared by every medium.
@@ -352,6 +358,10 @@ impl TransportLayer {
     fn on_tcp_ack<H: TransportHost>(&mut self, host: &mut H, flow: usize, cum: u64) {
         let now = host.now();
         let new_data = self.flows[flow].sender.on_ack(cum, now);
+        if let Some(rec) = host.recorder() {
+            let s = &mut self.flows[flow].sender;
+            rec.on_tcp_ack(now, flow, s.take_rtt_sample(), s.cwnd(), s.current_rto());
+        }
         if new_data {
             // RFC 6298 §5.3: restart the timer when new data is ACKed
             // (and §5.2: `arm_rto` turns it off if everything is ACKed).

@@ -1,0 +1,107 @@
+//! `softrate-inspect` — summarize, validate, and diff telemetry streams.
+//!
+//! ```text
+//! softrate-inspect summarize <metrics.jsonl>
+//! softrate-inspect diff <a.jsonl> <b.jsonl>
+//! softrate-inspect validate --schema <schema.json> <file.jsonl>...
+//! ```
+//!
+//! `summarize` prints per-run aggregates, the loss-attribution breakdown,
+//! histogram percentiles, and any anomalies. `diff` aligns two metrics
+//! streams by (run, station, interval) and reports divergences (exit 1 if
+//! the streams differ). `validate` checks every row of every file against
+//! a checked-in schema (exit 1 on the first violation).
+
+use std::fs;
+use std::process::ExitCode;
+
+use softrate_telemetry::inspect::{diff, summarize, Schema};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: softrate-inspect summarize <metrics.jsonl>\n\
+         \x20      softrate-inspect diff <a.jsonl> <b.jsonl>\n\
+         \x20      softrate-inspect validate --schema <schema.json> <file.jsonl>..."
+    );
+    ExitCode::from(2)
+}
+
+fn read(path: &str) -> Result<String, ExitCode> {
+    fs::read_to_string(path).map_err(|e| {
+        eprintln!("softrate-inspect: {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match (cmd.as_str(), &args[1..]) {
+        ("summarize", [path]) => {
+            let text = match read(path) {
+                Ok(t) => t,
+                Err(c) => return c,
+            };
+            match summarize(&text) {
+                Ok(report) => {
+                    print!("{report}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("softrate-inspect: {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        ("diff", [a, b]) => {
+            let (ta, tb) = match (read(a), read(b)) {
+                (Ok(ta), Ok(tb)) => (ta, tb),
+                (Err(c), _) | (_, Err(c)) => return c,
+            };
+            match diff(&ta, &tb) {
+                Ok((report, identical)) => {
+                    print!("{report}");
+                    if identical {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("softrate-inspect: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        ("validate", rest) if rest.len() >= 3 && rest[0] == "--schema" => {
+            let schema_text = match read(&rest[1]) {
+                Ok(t) => t,
+                Err(c) => return c,
+            };
+            let schema = match Schema::parse(&schema_text) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("softrate-inspect: {}: {e}", rest[1]);
+                    return ExitCode::FAILURE;
+                }
+            };
+            for path in &rest[2..] {
+                let text = match read(path) {
+                    Ok(t) => t,
+                    Err(c) => return c,
+                };
+                match schema.validate_stream(&text) {
+                    Ok(n) => println!("{path}: {n} rows valid"),
+                    Err(e) => {
+                        eprintln!("softrate-inspect: {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,480 @@
+//! The logic behind the `softrate-inspect` binary: parse, summarize,
+//! validate, and diff telemetry JSONL streams.
+//!
+//! Kept in the library (rather than the binary) so the operations are
+//! unit-testable and available to other tools.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Value};
+
+use crate::histogram::LogHistogram;
+use crate::rows::{AnomalyRow, HistRow, IntervalRow, TotalsRow, TraceRow};
+
+/// Any telemetry row, discriminated by its `kind` field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Row {
+    /// A per-station per-interval metrics row.
+    Interval(IntervalRow),
+    /// A per-station whole-run totals row.
+    Totals(TotalsRow),
+    /// A histogram row.
+    Hist(HistRow),
+    /// An anomaly row.
+    Anomaly(AnomalyRow),
+    /// A frame-lifecycle trace row.
+    Frame(TraceRow),
+}
+
+/// Parses one JSONL line into a typed row.
+pub fn parse_line(line: &str) -> Result<Row, String> {
+    let v = serde_json::parse_value(line).map_err(|e| e.to_string())?;
+    let kind = match v.get("kind") {
+        Some(Value::Str(s)) => s.clone(),
+        _ => return Err("row has no string `kind` field".to_string()),
+    };
+    let err = |e: serde::DeError| format!("{kind}: {e}");
+    match kind.as_str() {
+        "interval" => IntervalRow::from_value(&v).map(Row::Interval).map_err(err),
+        "totals" => TotalsRow::from_value(&v).map(Row::Totals).map_err(err),
+        "hist" => HistRow::from_value(&v).map(Row::Hist).map_err(err),
+        "anomaly" => AnomalyRow::from_value(&v).map(Row::Anomaly).map_err(err),
+        "frame" => TraceRow::from_value(&v).map(Row::Frame).map_err(err),
+        other => Err(format!("unknown row kind `{other}`")),
+    }
+}
+
+/// Parses a whole JSONL stream (blank lines skipped), reporting the first
+/// offending line number on error.
+pub fn parse_stream(text: &str) -> Result<Vec<Row>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| parse_line(l).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+// --- summarize --------------------------------------------------------
+
+/// Human-readable summary of a metrics stream: per-run aggregates, the
+/// loss-attribution breakdown, histogram percentiles, and anomalies.
+pub fn summarize(text: &str) -> Result<String, String> {
+    let rows = parse_stream(text)?;
+    let mut out = String::new();
+    // (run_idx -> aggregated totals)
+    let mut runs: BTreeMap<u64, Vec<TotalsRow>> = BTreeMap::new();
+    let mut hists: Vec<&HistRow> = Vec::new();
+    let mut anomalies: Vec<&AnomalyRow> = Vec::new();
+    let mut n_intervals = 0usize;
+    for r in &rows {
+        match r {
+            Row::Totals(t) => runs.entry(t.run_idx).or_default().push(t.clone()),
+            Row::Hist(h) => hists.push(h),
+            Row::Anomaly(a) => anomalies.push(a),
+            Row::Interval(_) => n_intervals += 1,
+            Row::Frame(_) => {}
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{} rows: {} interval, {} totals, {} hist, {} anomaly",
+        rows.len(),
+        n_intervals,
+        runs.values().map(Vec::len).sum::<usize>(),
+        hists.len(),
+        anomalies.len()
+    );
+    for (run, totals) in &runs {
+        let stations = totals.len();
+        let sum = |f: fn(&TotalsRow) -> u64| totals.iter().map(f).sum::<u64>();
+        let attempts = sum(|t| t.attempts);
+        let retries = sum(|t| t.retries);
+        let (lc, lf, lcap) = (
+            sum(|t| t.loss_collision),
+            sum(|t| t.loss_fading),
+            sum(|t| t.loss_capture),
+        );
+        let goodput: f64 = totals.iter().map(|t| t.goodput_bps).sum();
+        let pct = |n: u64| {
+            if retries == 0 {
+                0.0
+            } else {
+                100.0 * n as f64 / retries as f64
+            }
+        };
+        let _ = writeln!(
+            out,
+            "run {run}: {stations} stations, {attempts} attempts, \
+             {:.2} Mbit/s aggregate goodput",
+            goodput / 1e6
+        );
+        let _ = writeln!(
+            out,
+            "  losses {retries}: collision {lc} ({:.1}%), fading {lf} ({:.1}%), \
+             capture {lcap} ({:.1}%)",
+            pct(lc),
+            pct(lf),
+            pct(lcap)
+        );
+        let drops = sum(|t| t.drops);
+        let handoffs = sum(|t| t.handoffs);
+        let _ = writeln!(out, "  drops {drops}, handoffs {handoffs}");
+    }
+    for h in hists {
+        if h.count == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "hist {} (run {}): n={} p50={:.6}{} p90={:.6}{} p99={:.6}{}",
+            h.metric, h.run_idx, h.count, h.p50, h.unit, h.p90, h.unit, h.p99, h.unit
+        );
+    }
+    for a in anomalies {
+        let _ = writeln!(
+            out,
+            "anomaly run {} station {} at t={:.3}: {} ({})",
+            a.run_idx, a.station, a.t, a.anomaly, a.detail
+        );
+    }
+    Ok(out)
+}
+
+// --- diff -------------------------------------------------------------
+
+/// Diffs two metrics streams, aligning interval rows by
+/// `(run_idx, station, t0)` and totals by `(run_idx, station)`. Returns
+/// the report and whether the streams were equivalent.
+pub fn diff(a: &str, b: &str) -> Result<(String, bool), String> {
+    let (ra, rb) = (parse_stream(a)?, parse_stream(b)?);
+    let mut out = String::new();
+    let mut identical = true;
+
+    type IKey = (u64, u64, u64);
+    let ikey = |r: &IntervalRow| (r.run_idx, r.station, r.t0.to_bits());
+    let tkey = |r: &TotalsRow| (r.run_idx, r.station);
+    let mut ia: BTreeMap<IKey, &IntervalRow> = BTreeMap::new();
+    let mut ta: BTreeMap<(u64, u64), &TotalsRow> = BTreeMap::new();
+    let mut ha: BTreeMap<(u64, String), &HistRow> = BTreeMap::new();
+    for r in &ra {
+        match r {
+            Row::Interval(x) => {
+                ia.insert(ikey(x), x);
+            }
+            Row::Totals(x) => {
+                ta.insert(tkey(x), x);
+            }
+            Row::Hist(x) => {
+                ha.insert((x.run_idx, x.metric.clone()), x);
+            }
+            _ => {}
+        }
+    }
+    let mut seen_i = 0usize;
+    let mut seen_t = 0usize;
+    for r in &rb {
+        match r {
+            Row::Interval(x) => match ia.remove(&ikey(x)) {
+                Some(y) if y == x => seen_i += 1,
+                Some(y) => {
+                    identical = false;
+                    let _ = writeln!(
+                        out,
+                        "interval run {} station {} t0={:.3}: goodput {:.0} -> {:.0} bps, \
+                         losses (c/f/cap) {}/{}/{} -> {}/{}/{}",
+                        x.run_idx,
+                        x.station,
+                        x.t0,
+                        y.goodput_bps,
+                        x.goodput_bps,
+                        y.loss_collision,
+                        y.loss_fading,
+                        y.loss_capture,
+                        x.loss_collision,
+                        x.loss_fading,
+                        x.loss_capture
+                    );
+                }
+                None => {
+                    identical = false;
+                    let _ = writeln!(
+                        out,
+                        "interval run {} station {} t0={:.3}: only in B",
+                        x.run_idx, x.station, x.t0
+                    );
+                }
+            },
+            Row::Totals(x) => match ta.remove(&tkey(x)) {
+                Some(y) if y == x => seen_t += 1,
+                Some(y) => {
+                    identical = false;
+                    let _ = writeln!(
+                        out,
+                        "totals run {} station {}: goodput {:.0} -> {:.0} bps, \
+                         retries {} -> {}",
+                        x.run_idx, x.station, y.goodput_bps, x.goodput_bps, y.retries, x.retries
+                    );
+                }
+                None => {
+                    identical = false;
+                    let _ = writeln!(
+                        out,
+                        "totals run {} station {}: only in B",
+                        x.run_idx, x.station
+                    );
+                }
+            },
+            Row::Hist(x) => {
+                if let Some(y) = ha.remove(&(x.run_idx, x.metric.clone())) {
+                    if y != x {
+                        identical = false;
+                        let _ = writeln!(
+                            out,
+                            "hist {} run {}: p50 {:.6} -> {:.6}, p99 {:.6} -> {:.6}, \
+                             n {} -> {}",
+                            x.metric, x.run_idx, y.p50, x.p50, y.p99, x.p99, y.count, x.count
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    for k in ia.keys() {
+        identical = false;
+        let _ = writeln!(
+            out,
+            "interval run {} station {} t0={:.3}: only in A",
+            k.0,
+            k.1,
+            f64::from_bits(k.2)
+        );
+    }
+    for k in ta.keys() {
+        identical = false;
+        let _ = writeln!(out, "totals run {} station {}: only in A", k.0, k.1);
+    }
+    let _ = writeln!(
+        out,
+        "{} interval and {} totals rows match{}",
+        seen_i,
+        seen_t,
+        if identical {
+            "; streams equivalent"
+        } else {
+            ""
+        }
+    );
+    Ok((out, identical))
+}
+
+// --- validate ---------------------------------------------------------
+
+/// A checked-in row schema: `kind -> field -> type`, where type is one of
+/// `uint`, `int`, `number`, `string`, `bool`, `array`, optionally
+/// prefixed `?` for nullable fields. Validation is strict: unknown kinds,
+/// missing fields, extra fields, and type mismatches are all errors.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    kinds: BTreeMap<String, BTreeMap<String, String>>,
+}
+
+impl Schema {
+    /// Parses the schema's JSON source.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let v = serde_json::parse_value(text).map_err(|e| e.to_string())?;
+        let Value::Map(kind_entries) = &v else {
+            return Err("schema must be a JSON object".to_string());
+        };
+        let mut kinds = BTreeMap::new();
+        for (kind, fields_v) in kind_entries {
+            let Value::Map(field_entries) = fields_v else {
+                return Err(format!("schema `{kind}` must be an object"));
+            };
+            let mut fields = BTreeMap::new();
+            for (f, ty_v) in field_entries {
+                let Value::Str(ty) = ty_v else {
+                    return Err(format!("schema {kind}.{f}: type must be a string"));
+                };
+                let bare = ty.strip_prefix('?').unwrap_or(ty);
+                if !matches!(
+                    bare,
+                    "uint" | "int" | "number" | "string" | "bool" | "array"
+                ) {
+                    return Err(format!("schema {kind}.{f}: unknown type `{bare}`"));
+                }
+                fields.insert(f.clone(), ty.clone());
+            }
+            kinds.insert(kind.clone(), fields);
+        }
+        Ok(Schema { kinds })
+    }
+
+    fn type_matches(ty: &str, v: &Value) -> bool {
+        match ty {
+            "uint" => matches!(v, Value::UInt(_)) || matches!(v, Value::Int(i) if *i >= 0),
+            "int" => matches!(v, Value::Int(_) | Value::UInt(_)),
+            "number" => matches!(v, Value::Float(_) | Value::Int(_) | Value::UInt(_)),
+            "string" => matches!(v, Value::Str(_)),
+            "bool" => matches!(v, Value::Bool(_)),
+            "array" => matches!(v, Value::Seq(_)),
+            _ => false,
+        }
+    }
+
+    /// Validates one JSONL line against the schema.
+    pub fn validate_line(&self, line: &str) -> Result<(), String> {
+        let v = serde_json::parse_value(line).map_err(|e| e.to_string())?;
+        let Value::Map(m) = &v else {
+            return Err("row is not an object".to_string());
+        };
+        let kind = match v.get("kind") {
+            Some(Value::Str(s)) => s.clone(),
+            _ => return Err("row has no string `kind`".to_string()),
+        };
+        let Some(fields) = self.kinds.get(&kind) else {
+            return Err(format!("kind `{kind}` not in schema"));
+        };
+        for (f, ty) in fields {
+            let nullable = ty.starts_with('?');
+            let ty = ty.strip_prefix('?').unwrap_or(ty);
+            match v.get(f) {
+                None | Some(Value::Null) if nullable => {}
+                None => return Err(format!("{kind}: missing field `{f}`")),
+                Some(Value::Null) => return Err(format!("{kind}.{f}: null but not nullable")),
+                Some(val) => {
+                    if !Self::type_matches(ty, val) {
+                        return Err(format!("{kind}.{f}: expected {ty}"));
+                    }
+                }
+            }
+        }
+        for (f, _) in m {
+            if !fields.contains_key(f) {
+                return Err(format!("{kind}: unexpected field `{f}`"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates a whole stream; returns the number of valid rows.
+    pub fn validate_stream(&self, text: &str) -> Result<usize, String> {
+        let mut n = 0usize;
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            self.validate_line(line)
+                .map_err(|e| format!("line {}: {e}", i + 1))?;
+            n += 1;
+        }
+        Ok(n)
+    }
+}
+
+/// Recomputes an arbitrary percentile from a serialized histogram row
+/// (used by `softrate-inspect percentile`-style queries and tests).
+pub fn hist_percentile(row: &HistRow, q: f64) -> f64 {
+    LogHistogram::from_row(row).percentile(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{LossCause, OutcomeEvent, Recorder, RecorderConfig};
+
+    fn sample_report() -> crate::TelemetryReport {
+        let mut r = Recorder::new(RecorderConfig::default(), 2, 2);
+        r.on_enqueue(0.01, 0, 2);
+        r.on_outcome(
+            0.02,
+            OutcomeEvent {
+                station: 0,
+                sender: 0,
+                tx_id: 1,
+                rate_idx: 4,
+                attempt: 1,
+                acked: true,
+                dropped: false,
+                counts_as_data: true,
+                payload_bytes: 1440,
+                airtime_s: 400e-6,
+                snr_db: Some(21.0),
+                cause: None,
+            },
+        );
+        r.on_outcome(
+            0.03,
+            OutcomeEvent {
+                station: 1,
+                sender: 1,
+                tx_id: 2,
+                rate_idx: 2,
+                attempt: 1,
+                acked: false,
+                dropped: false,
+                counts_as_data: true,
+                payload_bytes: 1440,
+                airtime_s: 900e-6,
+                snr_db: None,
+                cause: Some(LossCause::Collision),
+            },
+        );
+        r.finish(0.5)
+    }
+
+    #[test]
+    fn parse_roundtrips_every_row_kind() {
+        let rep = sample_report();
+        let rows = parse_stream(&rep.metrics_jsonl()).unwrap();
+        assert!(rows.iter().any(|r| matches!(r, Row::Interval(_))));
+        assert!(rows.iter().any(|r| matches!(r, Row::Totals(_))));
+        assert!(rows.iter().any(|r| matches!(r, Row::Hist(_))));
+        assert!(parse_line("{\"kind\":\"nope\"}").is_err());
+        assert!(parse_line("{\"no_kind\":1}").is_err());
+    }
+
+    #[test]
+    fn summarize_reports_attribution() {
+        let rep = sample_report();
+        let s = summarize(&rep.metrics_jsonl()).unwrap();
+        assert!(s.contains("collision 1"), "{s}");
+        assert!(s.contains("2 stations"), "{s}");
+    }
+
+    #[test]
+    fn diff_finds_changes_and_equivalence() {
+        let rep = sample_report();
+        let jsonl = rep.metrics_jsonl();
+        let (_, same) = diff(&jsonl, &jsonl).unwrap();
+        assert!(same);
+        let mut other = rep.clone();
+        other.totals[0].goodput_bps += 1.0;
+        let (report, same) = diff(&jsonl, &other.metrics_jsonl()).unwrap();
+        assert!(!same);
+        assert!(report.contains("totals run 0 station 0"), "{report}");
+    }
+
+    #[test]
+    fn schema_validates_and_rejects() {
+        let schema = Schema::parse(
+            r#"{"interval": {"kind":"string","run_idx":"uint","station":"uint",
+                "t0":"number","t1":"number","attempts":"uint","frames_sent":"uint",
+                "frames_delivered":"uint","retries":"uint","drops":"uint",
+                "goodput_bps":"number","loss_collision":"uint","loss_fading":"uint",
+                "loss_capture":"uint","rate_idx":"?uint","snr_db":"?number",
+                "queue_depth":"?uint","cwnd":"?number","rto_s":"?number",
+                "rtt_s":"?number","handoffs":"uint"}}"#,
+        )
+        .unwrap();
+        let rep = sample_report();
+        let line = serde_json::to_string(&rep.intervals[0]).unwrap();
+        schema.validate_line(&line).unwrap();
+        assert!(schema.validate_line("{\"kind\":\"totals\"}").is_err());
+        assert!(schema
+            .validate_line("{\"kind\":\"interval\",\"t0\":\"oops\"}")
+            .is_err());
+        assert!(Schema::parse("{\"x\":{\"f\":\"complex\"}}").is_err());
+    }
+}

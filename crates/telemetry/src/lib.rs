@@ -1,0 +1,44 @@
+//! Zero-cost-when-off telemetry for the SoftRate simulators.
+//!
+//! The paper's central claim (§6) is *diagnostic*: richer per-frame
+//! information lets a rate adapter attribute losses to collision vs.
+//! channel fading and react correctly. This crate makes that attribution a
+//! first-class simulator output instead of something inferred from one
+//! aggregate `RunReport` per run. It has three pillars:
+//!
+//! 1. **Time-series metrics** — per-station counters and gauges sampled on
+//!    a configurable interval (goodput, retries, current rate, SNR, queue
+//!    depth, cwnd/RTO, handoffs) plus log-bucketed HDR-style histograms
+//!    for MAC access delay, per-frame airtime, and TCP RTT, emitted as
+//!    deterministic JSONL.
+//! 2. **Frame-lifecycle tracing** — structured records following a frame
+//!    from enqueue → carrier-sense deferral → transmission → fate →
+//!    retry/drop, filterable by station and time window, backed by a
+//!    bounded ring-buffer "flight recorder" that dumps on anomaly
+//!    (goodput collapse, retry storm).
+//! 3. **Loss attribution** — every failed attempt tagged collision /
+//!    fading / interference-capture at the point the fate is decided,
+//!    aggregated per station per interval (the paper's §6 loss-vs-fading
+//!    analysis).
+//!
+//! The [`Recorder`] is the seam the simulators thread through their MAC
+//! engine, transport layer, and media. It is deliberately inert: it never
+//! touches an RNG, never schedules an event, and never changes a decision
+//! — so an enabled recorder observes a run that is bit-identical to a
+//! disabled one, and a disabled one (`Option::None` at the seam) costs a
+//! single branch per hook.
+//!
+//! The `softrate-inspect` binary (see [`inspect`]) summarizes, computes
+//! percentiles over, validates, and diffs the emitted JSONL streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod inspect;
+pub mod recorder;
+pub mod rows;
+
+pub use histogram::LogHistogram;
+pub use recorder::{LossCause, OutcomeEvent, Recorder, RecorderConfig, TelemetryReport};
+pub use rows::{AnomalyRow, HistRow, IntervalRow, TotalsRow, TraceRow};

@@ -1,0 +1,735 @@
+//! The [`Recorder`]: the seam the simulators thread telemetry through.
+//!
+//! One recorder observes one run. The MAC engine, the transport layer and
+//! the media call its `on_*` hooks at the points where the observed facts
+//! are decided (the medium knows *why* a frame died; the transport knows
+//! the RTT sample); the recorder only accumulates — it never draws
+//! randomness, schedules events, or feeds anything back into the
+//! simulation, which is what makes the enabled and disabled paths produce
+//! bit-identical runs.
+//!
+//! Interval sampling is *lazy*: rather than scheduling sampling events
+//! (which would perturb `events_processed`), every hook first closes all
+//! sampling intervals that ended strictly before its timestamp. Because
+//! hook timestamps are the simulation clock — which never goes backwards —
+//! closed intervals are final, and the rows come out in deterministic
+//! (time, station) order regardless of host thread count.
+
+use std::collections::VecDeque;
+
+use crate::histogram::LogHistogram;
+use crate::rows::{AnomalyRow, HistRow, IntervalRow, TotalsRow, TraceRow};
+
+/// Why a failed attempt failed. Decided where the fate is decided: the
+/// engine combines the medium's corruption bookkeeping with the feedback
+/// outcome, so every failure gets exactly one cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossCause {
+    /// Corrupted by a concurrent same-cell transmission.
+    Collision,
+    /// Lost to the channel itself (fading, noise) with no interferer.
+    Fading,
+    /// Corrupted by an inter-cell transmission the capture effect did not
+    /// suppress (spatial media only).
+    InterferenceCapture,
+}
+
+impl LossCause {
+    /// Short serialized name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LossCause::Collision => "collision",
+            LossCause::Fading => "fading",
+            LossCause::InterferenceCapture => "capture",
+        }
+    }
+}
+
+/// Recorder configuration: sampling interval, trace filters, flight
+/// recorder sizing, anomaly thresholds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecorderConfig {
+    /// Metrics sampling interval, simulated seconds.
+    pub interval: f64,
+    /// Whether frame-lifecycle tracing (and the flight recorder) is on.
+    pub trace: bool,
+    /// Restrict the streamed trace to one station.
+    pub trace_station: Option<usize>,
+    /// Streamed-trace window start, simulated seconds.
+    pub trace_from: f64,
+    /// Streamed-trace window end, simulated seconds.
+    pub trace_until: f64,
+    /// Flight-recorder ring capacity, records.
+    pub ring_capacity: usize,
+    /// Anomaly rule: failed attempts per station per interval at or above
+    /// this trips a `retry-storm`.
+    pub retry_storm: u64,
+    /// Anomaly rule: a station that delivered at least this many frames
+    /// in one interval and zero in the next trips a `goodput-collapse`.
+    pub collapse_min_delivered: u64,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            interval: 0.1,
+            trace: false,
+            trace_station: None,
+            trace_from: 0.0,
+            trace_until: f64::INFINITY,
+            ring_capacity: 4096,
+            retry_storm: 64,
+            collapse_min_delivered: 10,
+        }
+    }
+}
+
+/// Everything the telemetry of one run produced, ready to serialize.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetryReport {
+    /// Per-station per-interval rows, in (interval, station) order.
+    pub intervals: Vec<IntervalRow>,
+    /// Per-station whole-run totals.
+    pub totals: Vec<TotalsRow>,
+    /// Whole-run histograms (access delay, airtime, TCP RTT).
+    pub hists: Vec<HistRow>,
+    /// Anomalies detected at interval boundaries.
+    pub anomalies: Vec<AnomalyRow>,
+    /// Streamed + flight-recorder-dumped frame-lifecycle records.
+    pub trace: Vec<TraceRow>,
+}
+
+impl TelemetryReport {
+    /// Stamps `run_idx` into every row (the scenario engine writes many
+    /// runs into one stream, in run order).
+    pub fn stamp_run_idx(&mut self, run_idx: u64) {
+        for r in &mut self.intervals {
+            r.run_idx = run_idx;
+        }
+        for r in &mut self.totals {
+            r.run_idx = run_idx;
+        }
+        for r in &mut self.hists {
+            r.run_idx = run_idx;
+        }
+        for r in &mut self.anomalies {
+            r.run_idx = run_idx;
+        }
+        for r in &mut self.trace {
+            r.run_idx = run_idx;
+        }
+    }
+
+    /// The metrics stream: interval rows, then totals, then histograms,
+    /// then anomalies, one JSON object per line.
+    pub fn metrics_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.intervals {
+            out.push_str(&serde_json::to_string(r).expect("interval row serializes"));
+            out.push('\n');
+        }
+        for r in &self.totals {
+            out.push_str(&serde_json::to_string(r).expect("totals row serializes"));
+            out.push('\n');
+        }
+        for r in &self.hists {
+            out.push_str(&serde_json::to_string(r).expect("hist row serializes"));
+            out.push('\n');
+        }
+        for r in &self.anomalies {
+            out.push_str(&serde_json::to_string(r).expect("anomaly row serializes"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The trace stream: frame-lifecycle rows, one JSON object per line.
+    pub fn trace_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.trace {
+            out.push_str(&serde_json::to_string(r).expect("trace row serializes"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One resolved MAC attempt, as reported by the engine at the close of
+/// the feedback window (grouped into a struct because the outcome is the
+/// widest telemetry point).
+#[derive(Debug, Clone, Copy)]
+pub struct OutcomeEvent {
+    /// Station (flow) the frame belongs to.
+    pub station: usize,
+    /// Physical transmitter index.
+    pub sender: usize,
+    /// Transmission id.
+    pub tx_id: u64,
+    /// Transmit rate index.
+    pub rate_idx: usize,
+    /// The port's attempt counter at transmit time.
+    pub attempt: u64,
+    /// Whether the frame was acknowledged.
+    pub acked: bool,
+    /// Whether a failed frame exhausted its retries and was dropped.
+    pub dropped: bool,
+    /// Whether the frame counts as data (vs. protocol feedback).
+    pub counts_as_data: bool,
+    /// On-air payload size, bytes.
+    pub payload_bytes: usize,
+    /// Frame air time, seconds.
+    pub airtime_s: f64,
+    /// Per-frame SNR feedback, dB, when the header decoded.
+    pub snr_db: Option<f64>,
+    /// Loss attribution; `Some` exactly when `!acked`.
+    pub cause: Option<LossCause>,
+}
+
+/// Per-station accumulator for the open interval (and, with a different
+/// lifetime, the whole run).
+#[derive(Debug, Clone, Copy, Default)]
+struct Accum {
+    touched: bool,
+    attempts: u64,
+    frames_sent: u64,
+    frames_delivered: u64,
+    retries: u64,
+    drops: u64,
+    data_bytes: u64,
+    loss_collision: u64,
+    loss_fading: u64,
+    loss_capture: u64,
+    handoffs: u64,
+    air_s: f64,
+    rate_idx: Option<u64>,
+    snr_db: Option<f64>,
+    queue_depth: Option<u64>,
+    cwnd: Option<f64>,
+    rto_s: Option<f64>,
+    rtt_s: Option<f64>,
+}
+
+impl Accum {
+    fn fold_into(&self, tot: &mut Accum) {
+        tot.touched |= self.touched;
+        tot.attempts += self.attempts;
+        tot.frames_sent += self.frames_sent;
+        tot.frames_delivered += self.frames_delivered;
+        tot.retries += self.retries;
+        tot.drops += self.drops;
+        tot.data_bytes += self.data_bytes;
+        tot.loss_collision += self.loss_collision;
+        tot.loss_fading += self.loss_fading;
+        tot.loss_capture += self.loss_capture;
+        tot.handoffs += self.handoffs;
+        tot.air_s += self.air_s;
+    }
+}
+
+/// The per-run telemetry accumulator. See the module docs for the
+/// determinism contract.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    cfg: RecorderConfig,
+    cur: Vec<Accum>,
+    totals: Vec<Accum>,
+    prev_delivered: Vec<u64>,
+    cur_idx: u64,
+    /// Per-sender start of the current channel-access period (NaN = none).
+    access_start: Vec<f64>,
+    h_access: LogHistogram,
+    h_airtime: LogHistogram,
+    h_rtt: LogHistogram,
+    intervals: Vec<IntervalRow>,
+    anomalies: Vec<AnomalyRow>,
+    trace: Vec<TraceRow>,
+    ring: VecDeque<TraceRow>,
+}
+
+/// Finest histogram resolution: 1 µs (a slot is 9 µs).
+const HIST_BASE_S: f64 = 1e-6;
+
+impl Recorder {
+    /// A recorder for a run with `n_stations` stations (flows) driven by
+    /// `n_senders` physical transmitters.
+    pub fn new(cfg: RecorderConfig, n_stations: usize, n_senders: usize) -> Self {
+        assert!(cfg.interval > 0.0, "sampling interval must be positive");
+        Recorder {
+            cur: vec![Accum::default(); n_stations],
+            totals: vec![Accum::default(); n_stations],
+            prev_delivered: vec![0; n_stations],
+            cur_idx: 0,
+            access_start: vec![f64::NAN; n_senders],
+            h_access: LogHistogram::new(HIST_BASE_S),
+            h_airtime: LogHistogram::new(HIST_BASE_S),
+            h_rtt: LogHistogram::new(HIST_BASE_S),
+            intervals: Vec::new(),
+            anomalies: Vec::new(),
+            trace: Vec::new(),
+            ring: VecDeque::new(),
+            cfg,
+        }
+    }
+
+    /// The configuration this recorder runs under.
+    pub fn config(&self) -> &RecorderConfig {
+        &self.cfg
+    }
+
+    // --- interval machinery -------------------------------------------
+
+    /// Closes every interval that ended at or before `now`.
+    fn advance(&mut self, now: f64) {
+        let idx = (now / self.cfg.interval).floor() as u64;
+        while self.cur_idx < idx {
+            let t0 = self.cur_idx as f64 * self.cfg.interval;
+            let t1 = (self.cur_idx + 1) as f64 * self.cfg.interval;
+            self.close_interval(t0, t1);
+            self.cur_idx += 1;
+        }
+    }
+
+    /// Emits rows for the open interval `[t0, t1)` and resets it.
+    fn close_interval(&mut self, t0: f64, t1: f64) {
+        let span = (t1 - t0).max(1e-12);
+        let mut dump = false;
+        for st in 0..self.cur.len() {
+            let a = std::mem::take(&mut self.cur[st]);
+            a.fold_into(&mut self.totals[st]);
+            if a.touched {
+                self.intervals.push(IntervalRow {
+                    kind: "interval".to_string(),
+                    run_idx: 0,
+                    station: st as u64,
+                    t0,
+                    t1,
+                    attempts: a.attempts,
+                    frames_sent: a.frames_sent,
+                    frames_delivered: a.frames_delivered,
+                    retries: a.retries,
+                    drops: a.drops,
+                    goodput_bps: a.data_bytes as f64 * 8.0 / span,
+                    loss_collision: a.loss_collision,
+                    loss_fading: a.loss_fading,
+                    loss_capture: a.loss_capture,
+                    rate_idx: a.rate_idx,
+                    snr_db: a.snr_db,
+                    queue_depth: a.queue_depth,
+                    cwnd: a.cwnd,
+                    rto_s: a.rto_s,
+                    rtt_s: a.rtt_s,
+                    handoffs: a.handoffs,
+                });
+            }
+            if a.retries >= self.cfg.retry_storm {
+                self.anomalies.push(AnomalyRow {
+                    kind: "anomaly".to_string(),
+                    run_idx: 0,
+                    station: st as u64,
+                    t: t1,
+                    anomaly: "retry-storm".to_string(),
+                    detail: format!("{} failed attempts in one interval", a.retries),
+                });
+                dump = true;
+            }
+            if self.prev_delivered[st] >= self.cfg.collapse_min_delivered && a.frames_delivered == 0
+            {
+                self.anomalies.push(AnomalyRow {
+                    kind: "anomaly".to_string(),
+                    run_idx: 0,
+                    station: st as u64,
+                    t: t1,
+                    anomaly: "goodput-collapse".to_string(),
+                    detail: format!(
+                        "delivered {} then 0 in the next interval",
+                        self.prev_delivered[st]
+                    ),
+                });
+                dump = true;
+            }
+            self.prev_delivered[st] = a.frames_delivered;
+        }
+        if dump && self.cfg.trace {
+            // Flight recorder: replay the ring into the trace stream so
+            // the records leading up to the anomaly survive even if the
+            // stream filter excluded them.
+            for mut row in self.ring.drain(..) {
+                row.dump = true;
+                self.trace.push(row);
+            }
+        }
+    }
+
+    // --- tracing -------------------------------------------------------
+
+    fn trace_row(&mut self, row: TraceRow) {
+        if !self.cfg.trace {
+            return;
+        }
+        let pass = self
+            .cfg
+            .trace_station
+            .is_none_or(|s| s as u64 == row.station)
+            && row.t >= self.cfg.trace_from
+            && row.t < self.cfg.trace_until;
+        if self.ring.len() == self.cfg.ring_capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(row.clone());
+        if pass {
+            self.trace.push(row);
+        }
+    }
+
+    fn frame_row(t: f64, station: usize, sender: usize, ev: &str) -> TraceRow {
+        TraceRow {
+            kind: "frame".to_string(),
+            run_idx: 0,
+            t,
+            station: station as u64,
+            sender: sender as u64,
+            ev: ev.to_string(),
+            tx_id: None,
+            rate_idx: None,
+            attempt: None,
+            airtime_s: None,
+            snr_db: None,
+            cause: None,
+            queue_depth: None,
+            dump: false,
+        }
+    }
+
+    // --- hooks ---------------------------------------------------------
+
+    /// A frame entered a MAC queue that now holds `depth` frames.
+    pub fn on_enqueue(&mut self, now: f64, station: usize, depth: usize) {
+        self.advance(now);
+        let a = &mut self.cur[station];
+        a.touched = true;
+        a.queue_depth = Some(depth as u64);
+        if self.cfg.trace {
+            let mut row = Self::frame_row(now, station, station, "enqueue");
+            row.queue_depth = Some(depth as u64);
+            self.trace_row(row);
+        }
+    }
+
+    /// `sender` began contending for the channel (first backoff schedule
+    /// of an access period). No-op while a period is already open.
+    pub fn mark_access_start(&mut self, sender: usize, now: f64) {
+        if self.access_start[sender].is_nan() {
+            self.access_start[sender] = now;
+        }
+    }
+
+    /// `sender` had nothing to send: the access period (if any) ends.
+    pub fn clear_access_start(&mut self, sender: usize) {
+        self.access_start[sender] = f64::NAN;
+    }
+
+    /// `sender` sensed the medium busy and deferred.
+    pub fn on_defer(&mut self, now: f64, station: usize, sender: usize) {
+        self.advance(now);
+        self.cur[station].touched = true;
+        if self.cfg.trace {
+            self.trace_row(Self::frame_row(now, station, sender, "defer"));
+        }
+    }
+
+    /// A frame went on the air: closes the sender's access period and
+    /// records the access delay.
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_tx(
+        &mut self,
+        now: f64,
+        station: usize,
+        sender: usize,
+        tx_id: u64,
+        rate_idx: usize,
+        attempt: u64,
+        airtime_s: f64,
+    ) {
+        self.advance(now);
+        let started = self.access_start[sender];
+        self.access_start[sender] = f64::NAN;
+        let delay = if started.is_nan() { 0.0 } else { now - started };
+        self.h_access.record(delay);
+        self.cur[station].touched = true;
+        if self.cfg.trace {
+            let mut row = Self::frame_row(now, station, sender, "tx");
+            row.tx_id = Some(tx_id);
+            row.rate_idx = Some(rate_idx as u64);
+            row.attempt = Some(attempt);
+            row.airtime_s = Some(airtime_s);
+            self.trace_row(row);
+        }
+    }
+
+    /// The feedback window of an attempt closed: the widest telemetry
+    /// point (counters, attribution, gauges, airtime histogram, trace).
+    pub fn on_outcome(&mut self, now: f64, ev: OutcomeEvent) {
+        debug_assert_eq!(ev.acked, ev.cause.is_none(), "cause iff failed");
+        self.advance(now);
+        self.h_airtime.record(ev.airtime_s);
+        let a = &mut self.cur[ev.station];
+        a.touched = true;
+        a.attempts += 1;
+        a.air_s += ev.airtime_s;
+        a.rate_idx = Some(ev.rate_idx as u64);
+        if ev.snr_db.is_some() {
+            a.snr_db = ev.snr_db;
+        }
+        if ev.counts_as_data {
+            a.frames_sent += 1;
+        }
+        if ev.acked {
+            if ev.counts_as_data {
+                a.frames_delivered += 1;
+                a.data_bytes += ev.payload_bytes as u64;
+            }
+        } else {
+            a.retries += 1;
+            match ev.cause {
+                Some(LossCause::Collision) => a.loss_collision += 1,
+                Some(LossCause::Fading) => a.loss_fading += 1,
+                Some(LossCause::InterferenceCapture) => a.loss_capture += 1,
+                None => {}
+            }
+            if ev.dropped {
+                a.drops += 1;
+            }
+        }
+        if self.cfg.trace {
+            let step = if ev.acked {
+                "ack"
+            } else if ev.dropped {
+                "drop"
+            } else {
+                "retry"
+            };
+            let mut row = Self::frame_row(now, ev.station, ev.sender, step);
+            row.tx_id = Some(ev.tx_id);
+            row.rate_idx = Some(ev.rate_idx as u64);
+            row.attempt = Some(ev.attempt);
+            row.airtime_s = Some(ev.airtime_s);
+            row.snr_db = ev.snr_db;
+            row.cause = ev.cause.map(|c| c.name().to_string());
+            self.trace_row(row);
+        }
+    }
+
+    /// A TCP cumulative ACK was processed on `station`'s flow.
+    pub fn on_tcp_ack(
+        &mut self,
+        now: f64,
+        station: usize,
+        rtt_s: Option<f64>,
+        cwnd: f64,
+        rto_s: f64,
+    ) {
+        self.advance(now);
+        let a = &mut self.cur[station];
+        a.touched = true;
+        a.cwnd = Some(cwnd);
+        a.rto_s = Some(rto_s);
+        if let Some(rtt) = rtt_s {
+            a.rtt_s = Some(rtt);
+            self.h_rtt.record(rtt);
+        }
+        if self.cfg.trace {
+            let mut row = Self::frame_row(now, station, station, "tcp_ack");
+            row.airtime_s = rtt_s;
+            self.trace_row(row);
+        }
+    }
+
+    /// `station` completed a handoff.
+    pub fn on_handoff(&mut self, now: f64, station: usize) {
+        self.advance(now);
+        let a = &mut self.cur[station];
+        a.touched = true;
+        a.handoffs += 1;
+        if self.cfg.trace {
+            self.trace_row(Self::frame_row(now, station, station, "handoff"));
+        }
+    }
+
+    // --- finalization --------------------------------------------------
+
+    /// Closes the run at `duration` seconds and produces the report:
+    /// every complete interval, the final partial interval (if any),
+    /// per-station totals, and the three histograms.
+    pub fn finish(mut self, duration: f64) -> TelemetryReport {
+        self.advance(duration);
+        let t0 = self.cur_idx as f64 * self.cfg.interval;
+        if duration - t0 > 1e-12 {
+            self.close_interval(t0, duration);
+        }
+        let span = duration.max(1e-12);
+        let mut totals = Vec::new();
+        for (st, a) in self.totals.iter().enumerate() {
+            if !a.touched {
+                continue;
+            }
+            totals.push(TotalsRow {
+                kind: "totals".to_string(),
+                run_idx: 0,
+                station: st as u64,
+                attempts: a.attempts,
+                frames_sent: a.frames_sent,
+                frames_delivered: a.frames_delivered,
+                retries: a.retries,
+                drops: a.drops,
+                goodput_bps: a.data_bytes as f64 * 8.0 / span,
+                loss_collision: a.loss_collision,
+                loss_fading: a.loss_fading,
+                loss_capture: a.loss_capture,
+                handoffs: a.handoffs,
+                air_s: a.air_s,
+            });
+        }
+        let hists = vec![
+            self.h_access.to_row("access_delay", "s", 0),
+            self.h_airtime.to_row("airtime", "s", 0),
+            self.h_rtt.to_row("tcp_rtt", "s", 0),
+        ];
+        TelemetryReport {
+            intervals: self.intervals,
+            totals,
+            hists,
+            anomalies: self.anomalies,
+            trace: self.trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(station: usize, acked: bool, cause: Option<LossCause>) -> OutcomeEvent {
+        OutcomeEvent {
+            station,
+            sender: station,
+            tx_id: 1,
+            rate_idx: 3,
+            attempt: 1,
+            acked,
+            dropped: false,
+            counts_as_data: true,
+            payload_bytes: 1440,
+            airtime_s: 500e-6,
+            snr_db: Some(17.5),
+            cause,
+        }
+    }
+
+    #[test]
+    fn intervals_close_lazily_and_attribute_losses() {
+        let cfg = RecorderConfig {
+            interval: 0.1,
+            ..RecorderConfig::default()
+        };
+        let mut r = Recorder::new(cfg, 2, 2);
+        r.on_outcome(0.05, outcome(0, true, None));
+        r.on_outcome(0.07, outcome(1, false, Some(LossCause::Collision)));
+        // Crossing into interval 2 closes interval 0 only.
+        r.on_outcome(0.25, outcome(0, false, Some(LossCause::Fading)));
+        let rep = r.finish(0.30);
+        // Interval [0,0.1): both stations; [0.2,0.3): station 0.
+        assert_eq!(rep.intervals.len(), 3);
+        assert_eq!(rep.intervals[0].station, 0);
+        assert_eq!(rep.intervals[0].frames_delivered, 1);
+        assert!((rep.intervals[0].goodput_bps - 1440.0 * 8.0 / 0.1).abs() < 1e-6);
+        assert_eq!(rep.intervals[1].station, 1);
+        assert_eq!(rep.intervals[1].loss_collision, 1);
+        assert_eq!(rep.intervals[2].t0, 0.2);
+        assert_eq!(rep.intervals[2].loss_fading, 1);
+        // Totals: every failure has exactly one cause.
+        let t: &TotalsRow = &rep.totals[0];
+        assert_eq!(t.retries, t.loss_collision + t.loss_fading + t.loss_capture);
+        assert_eq!(rep.hists.len(), 3);
+        assert_eq!(rep.hists[1].count, 3); // airtime: one per outcome
+    }
+
+    #[test]
+    fn access_delay_spans_deferrals() {
+        let mut r = Recorder::new(RecorderConfig::default(), 1, 1);
+        r.mark_access_start(0, 1.0);
+        r.mark_access_start(0, 1.5); // ignored: period already open
+        r.on_defer(1.2, 0, 0);
+        r.on_tx(2.0, 0, 0, 1, 3, 1, 500e-6);
+        let rep = r.finish(3.0);
+        let access = &rep.hists[0];
+        assert_eq!(access.count, 1);
+        // Delay = 1.0 s, far above p50 of an empty histogram.
+        assert!(access.p50 > 0.9 && access.p50 < 1.1, "p50 = {}", access.p50);
+    }
+
+    #[test]
+    fn trace_filters_and_flight_recorder_dump() {
+        let cfg = RecorderConfig {
+            interval: 0.1,
+            trace: true,
+            trace_station: Some(1),
+            retry_storm: 3,
+            ..RecorderConfig::default()
+        };
+        let mut r = Recorder::new(cfg, 2, 2);
+        // Station 0 is filtered out of the stream but rides the ring.
+        for i in 0..3 {
+            let mut ev = outcome(0, false, Some(LossCause::Fading));
+            ev.tx_id = i;
+            r.on_outcome(0.01 * (i + 1) as f64, ev);
+        }
+        r.on_outcome(0.05, outcome(1, true, None));
+        let rep = r.finish(0.2);
+        // Streamed: only station 1's ack...
+        let streamed: Vec<_> = rep.trace.iter().filter(|t| !t.dump).collect();
+        assert_eq!(streamed.len(), 1);
+        assert_eq!(streamed[0].station, 1);
+        // ...but the retry storm on station 0 dumped the ring.
+        assert_eq!(rep.anomalies.len(), 1);
+        assert_eq!(rep.anomalies[0].anomaly, "retry-storm");
+        assert!(rep.trace.iter().filter(|t| t.dump).count() >= 3);
+    }
+
+    #[test]
+    fn goodput_collapse_fires_on_silence() {
+        let cfg = RecorderConfig {
+            interval: 0.1,
+            collapse_min_delivered: 2,
+            ..RecorderConfig::default()
+        };
+        let mut r = Recorder::new(cfg, 1, 1);
+        for i in 0..3 {
+            let mut ev = outcome(0, true, None);
+            ev.tx_id = i;
+            r.on_outcome(0.01 * (i + 1) as f64, ev);
+        }
+        // Nothing in [0.1, 0.2): collapse detected at its close.
+        let rep = r.finish(0.25);
+        assert!(rep
+            .anomalies
+            .iter()
+            .any(|a| a.anomaly == "goodput-collapse"));
+    }
+
+    #[test]
+    fn report_is_deterministic_and_stampable() {
+        let mk = || {
+            let mut r = Recorder::new(RecorderConfig::default(), 2, 2);
+            r.on_enqueue(0.01, 0, 3);
+            r.on_outcome(0.02, outcome(0, true, None));
+            r.on_tcp_ack(0.03, 0, Some(0.012), 4.0, 0.2);
+            r.finish(1.0)
+        };
+        let (a, mut b) = (mk(), mk());
+        assert_eq!(a, b);
+        assert_eq!(a.metrics_jsonl(), b.metrics_jsonl());
+        b.stamp_run_idx(7);
+        assert!(b.intervals.iter().all(|r| r.run_idx == 7));
+        assert!(b.metrics_jsonl().contains("\"run_idx\":7"));
+    }
+}

@@ -1,0 +1,180 @@
+//! The serialized row types of the two telemetry streams.
+//!
+//! Every row carries a `kind` discriminator so a stream can be parsed
+//! line-by-line without context: the metrics stream holds `"interval"`,
+//! `"totals"`, `"hist"` and `"anomaly"` rows, the trace stream `"frame"`
+//! rows. Field order is fixed by declaration order, values are produced
+//! deterministically by the [`crate::Recorder`], so two runs of the same
+//! configuration — at any thread count — serialize byte-identically.
+
+use serde::{Deserialize, Serialize};
+
+/// One station's counters and gauges over one sampling interval.
+///
+/// Counters are attributed at *outcome* time (when the feedback window
+/// closes), so a frame transmitted just before a boundary may land in the
+/// next interval; gauges (`rate_idx`, `snr_db`, `queue_depth`, `cwnd`,
+/// `rto_s`, `rtt_s`) hold the last value observed within the interval.
+/// Stations with no activity in an interval emit no row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntervalRow {
+    /// Row discriminator: always `"interval"`.
+    pub kind: String,
+    /// The run this row belongs to (stamped by the scenario engine).
+    pub run_idx: u64,
+    /// Station (flow) index.
+    pub station: u64,
+    /// Interval start, simulated seconds.
+    pub t0: f64,
+    /// Interval end, simulated seconds.
+    pub t1: f64,
+    /// MAC attempts resolved in the interval (data and feedback frames).
+    pub attempts: u64,
+    /// Data-frame attempts among them.
+    pub frames_sent: u64,
+    /// Data frames delivered intact.
+    pub frames_delivered: u64,
+    /// Failed attempts (each one causes a retry or a drop).
+    pub retries: u64,
+    /// Frames abandoned after exhausting the retry limit.
+    pub drops: u64,
+    /// Delivered data payload bytes × 8 / interval length, bit/s.
+    pub goodput_bps: f64,
+    /// Failed attempts attributed to a same-cell collision.
+    pub loss_collision: u64,
+    /// Failed attempts attributed to channel fading.
+    pub loss_fading: u64,
+    /// Failed attempts attributed to inter-cell interference capture.
+    pub loss_capture: u64,
+    /// Last transmit rate index observed in the interval.
+    pub rate_idx: Option<u64>,
+    /// Last per-frame SNR feedback observed, dB.
+    pub snr_db: Option<f64>,
+    /// Last MAC queue depth observed at an enqueue.
+    pub queue_depth: Option<u64>,
+    /// Last TCP congestion window observed, segments.
+    pub cwnd: Option<f64>,
+    /// Last TCP retransmission timeout observed, seconds.
+    pub rto_s: Option<f64>,
+    /// Last clean TCP RTT sample observed, seconds.
+    pub rtt_s: Option<f64>,
+    /// Handoffs completed in the interval.
+    pub handoffs: u64,
+}
+
+/// One station's whole-run totals (one row per station at run end).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TotalsRow {
+    /// Row discriminator: always `"totals"`.
+    pub kind: String,
+    /// The run this row belongs to.
+    pub run_idx: u64,
+    /// Station (flow) index.
+    pub station: u64,
+    /// MAC attempts resolved over the run.
+    pub attempts: u64,
+    /// Data-frame attempts among them.
+    pub frames_sent: u64,
+    /// Data frames delivered intact.
+    pub frames_delivered: u64,
+    /// Failed attempts.
+    pub retries: u64,
+    /// Frames dropped after the retry limit.
+    pub drops: u64,
+    /// Delivered data payload bytes × 8 / run duration, bit/s.
+    pub goodput_bps: f64,
+    /// Failed attempts attributed to same-cell collisions.
+    pub loss_collision: u64,
+    /// Failed attempts attributed to channel fading.
+    pub loss_fading: u64,
+    /// Failed attempts attributed to inter-cell interference capture.
+    pub loss_capture: u64,
+    /// Handoffs completed over the run.
+    pub handoffs: u64,
+    /// Total air occupancy of this station's resolved attempts, seconds.
+    pub air_s: f64,
+}
+
+/// One log-bucketed histogram (see [`crate::LogHistogram`]), serialized
+/// as sparse `(bucket_index, count)` pairs plus precomputed percentiles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistRow {
+    /// Row discriminator: always `"hist"`.
+    pub kind: String,
+    /// The run this row belongs to.
+    pub run_idx: u64,
+    /// Metric name (`access_delay`, `airtime`, `tcp_rtt`).
+    pub metric: String,
+    /// Unit of recorded values (`s`).
+    pub unit: String,
+    /// Bucketing base: values below it land in the underflow bucket.
+    pub base: f64,
+    /// Total recorded values.
+    pub count: u64,
+    /// Values below `base`.
+    pub underflow: u64,
+    /// 50th percentile (geometric bucket midpoint).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Sparse `(bucket index, count)` pairs, ascending by index.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// An anomaly the recorder detected at an interval boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnomalyRow {
+    /// Row discriminator: always `"anomaly"`.
+    pub kind: String,
+    /// The run this row belongs to.
+    pub run_idx: u64,
+    /// Station the anomaly was detected on.
+    pub station: u64,
+    /// End of the interval that tripped the rule, simulated seconds.
+    pub t: f64,
+    /// Rule that tripped: `"retry-storm"` or `"goodput-collapse"`.
+    pub anomaly: String,
+    /// Human-readable numbers behind the verdict.
+    pub detail: String,
+}
+
+/// One frame-lifecycle trace record.
+///
+/// `ev` is one of `enqueue`, `defer`, `tx`, `ack`, `retry`, `drop`,
+/// `tcp_ack`, `handoff`; the optional fields are populated where they
+/// make sense for the event. Rows with `dump = true` were replayed out of
+/// the flight-recorder ring when an anomaly fired (they may duplicate
+/// rows already streamed through the station/time filter).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRow {
+    /// Row discriminator: always `"frame"`.
+    pub kind: String,
+    /// The run this row belongs to.
+    pub run_idx: u64,
+    /// Event time, simulated seconds.
+    pub t: f64,
+    /// Station (flow) the frame belongs to.
+    pub station: u64,
+    /// Physical transmitter index (a station, or the AP).
+    pub sender: u64,
+    /// Lifecycle step.
+    pub ev: String,
+    /// Transmission id, for steps tied to one attempt.
+    pub tx_id: Option<u64>,
+    /// Transmit rate index.
+    pub rate_idx: Option<u64>,
+    /// The port's attempt counter at transmit time.
+    pub attempt: Option<u64>,
+    /// Frame air time, seconds.
+    pub airtime_s: Option<f64>,
+    /// Per-frame SNR feedback, dB.
+    pub snr_db: Option<f64>,
+    /// Loss attribution (`collision`, `fading`, `capture`) on failures.
+    pub cause: Option<String>,
+    /// MAC queue depth after an enqueue.
+    pub queue_depth: Option<u64>,
+    /// This row was dumped from the flight-recorder ring on an anomaly.
+    pub dump: bool,
+}

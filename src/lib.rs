@@ -18,6 +18,10 @@
 //! * [`scenario`] — the declarative scenario engine: TOML/JSON specs,
 //!   parameter sweeps, a built-in scenario library, and a parallel runner
 //!   with deterministic JSON-lines results.
+//! * [`telemetry`] — the zero-cost-when-off observability seam: per-station
+//!   time-series metrics, frame-lifecycle tracing with a flight recorder,
+//!   and per-cause loss attribution, all as deterministic JSONL (inspect
+//!   with the `softrate-inspect` binary).
 //!
 //! Start with `cargo run --release --example quickstart` for a guided tour
 //! of the cross-layer loop, then explore scenarios with the
@@ -33,6 +37,7 @@ pub use softrate_net as net;
 pub use softrate_phy as phy;
 pub use softrate_scenario as scenario;
 pub use softrate_sim as sim;
+pub use softrate_telemetry as telemetry;
 pub use softrate_trace as trace;
 
 /// The most commonly used items from every layer.

@@ -1,0 +1,200 @@
+//! Integration tests of the telemetry seam through the facade crate.
+//!
+//! The hard invariants of the observability PR, end to end:
+//!
+//! * disabled path — a run with `telemetry: None` is byte-identical to
+//!   one that never heard of the recorder, and enabling the recorder
+//!   changes neither the results JSONL nor `events_processed`;
+//! * enabled path — the metrics and trace streams are byte-identical
+//!   across thread counts at acceptance scale (>= 100 stations);
+//! * attribution — every failed attempt carries exactly one loss cause,
+//!   so per-station `retries == collision + fading + capture`;
+//! * the emitted streams validate against the checked-in schema.
+
+use softrate::net::mobility::MobilitySpec;
+use softrate::net::sim::{SpatialConfig, SpatialSim};
+use softrate::net::spatial::SpatialSpec;
+use softrate::scenario::builtin;
+use softrate::scenario::engine::{
+    expand, run_all, run_all_with_telemetry, telemetry_metrics_jsonl, telemetry_trace_jsonl,
+    to_jsonl,
+};
+use softrate::sim::config::AdapterKind;
+use softrate::telemetry::inspect::Schema;
+use softrate::telemetry::{RecorderConfig, TelemetryReport};
+
+/// A shortened builtin: the spec's topology and adapters, test runtime.
+fn short(name: &str, duration: f64) -> softrate::scenario::spec::ScenarioSpec {
+    let mut spec = builtin::get(name).expect("builtin exists");
+    spec.duration = duration;
+    spec
+}
+
+/// Runs a builtin with the recorder on and returns `(results_jsonl,
+/// metrics_jsonl, trace_jsonl, reports)`.
+fn run_with_recorder(
+    name: &str,
+    duration: f64,
+    threads: usize,
+    cfg: RecorderConfig,
+) -> (String, String, String, Vec<Option<TelemetryReport>>) {
+    let plans = expand(&short(name, duration)).expect("expands");
+    let with = run_all_with_telemetry(&plans, Some(threads), Some(cfg));
+    let results: Vec<_> = with.iter().map(|(r, _)| r.clone()).collect();
+    let reports = with.iter().map(|(_, t)| t.clone()).collect();
+    (
+        to_jsonl(&results),
+        telemetry_metrics_jsonl(&with),
+        telemetry_trace_jsonl(&with),
+        reports,
+    )
+}
+
+#[test]
+fn recorder_does_not_change_results_on_either_medium() {
+    // fast-fading exercises the trace-backed path, dense-enterprise the
+    // spatial path; both must produce byte-identical results JSONL with
+    // the recorder on, off, and tracing.
+    for name in ["fast-fading", "dense-enterprise"] {
+        let plans = expand(&short(name, 0.5)).expect("expands");
+        let off = to_jsonl(&run_all(&plans, Some(2)));
+        let cfg = RecorderConfig {
+            trace: true,
+            ..RecorderConfig::default()
+        };
+        let with = run_all_with_telemetry(&plans, Some(2), Some(cfg));
+        let on = to_jsonl(&with.iter().map(|(r, _)| r.clone()).collect::<Vec<_>>());
+        assert!(!off.is_empty());
+        assert_eq!(off, on, "{name}: recorder must not perturb results");
+        assert!(
+            with.iter().all(|(_, t)| t.is_some()),
+            "{name}: every run must yield a telemetry report"
+        );
+    }
+}
+
+/// A small two-cell deployment driven through `SpatialSim` directly, so
+/// the test can compare `events_processed` (the scenario engine's
+/// results rows do not carry it).
+fn two_cell_cfg(telemetry: Option<RecorderConfig>) -> SpatialConfig {
+    let spec = SpatialSpec {
+        ap_cols: 2,
+        ap_rows: 1,
+        ap_spacing_m: 25.0,
+        n_stations: 16,
+        snr_ref_db: None,
+        path_loss_exp: None,
+        sense_snr_db: None,
+        capture_sir_db: None,
+        doppler_hz: None,
+        mobility: MobilitySpec::Static,
+        roaming: None,
+    };
+    let mut cfg = SpatialConfig::new(AdapterKind::SoftRate, spec);
+    cfg.duration = 1.0;
+    cfg.telemetry = telemetry;
+    cfg
+}
+
+#[test]
+fn recorder_does_not_change_events_processed() {
+    let off = SpatialSim::new(two_cell_cfg(None)).expect("valid").run();
+    let on = SpatialSim::new(two_cell_cfg(Some(RecorderConfig::default())))
+        .expect("valid")
+        .run();
+    assert_eq!(off.events_processed, on.events_processed);
+    assert_eq!(off.aggregate_goodput_bps, on.aggregate_goodput_bps);
+    assert_eq!(off.frames_sent, on.frames_sent);
+    assert_eq!(off.frames_delivered, on.frames_delivered);
+    assert_eq!(off.collisions, on.collisions);
+    assert!(
+        off.telemetry.is_none(),
+        "disabled path must carry no report"
+    );
+    let report = on.telemetry.expect("enabled path must carry a report");
+    assert!(!report.totals.is_empty());
+}
+
+#[test]
+fn metrics_jsonl_is_byte_identical_across_thread_counts() {
+    // Acceptance scale: dense-enterprise is the >= 100-station builtin.
+    let cfg = RecorderConfig {
+        trace: true,
+        ..RecorderConfig::default()
+    };
+    let (_, m1, t1, _) = run_with_recorder("dense-enterprise", 0.5, 1, cfg.clone());
+    let (_, m2, t2, _) = run_with_recorder("dense-enterprise", 0.5, 2, cfg.clone());
+    let (_, m8, t8, _) = run_with_recorder("dense-enterprise", 0.5, 8, cfg);
+    assert!(!m1.is_empty());
+    assert_eq!(m1, m2, "metrics must not depend on thread count");
+    assert_eq!(m2, m8, "metrics must not depend on thread count");
+    assert!(!t1.is_empty());
+    assert_eq!(t1, t2, "trace must not depend on thread count");
+    assert_eq!(t2, t8, "trace must not depend on thread count");
+}
+
+#[test]
+fn every_failed_attempt_has_exactly_one_cause() {
+    // hidden-terminal manufactures same-cell collisions on the
+    // trace-backed medium; dense-enterprise loses frames to fading and
+    // inter-cell capture on the spatial medium.
+    for (name, duration) in [("hidden-terminal", 1.0), ("dense-enterprise", 0.5)] {
+        let (_, _, _, reports) = run_with_recorder(name, duration, 2, RecorderConfig::default());
+        let mut retries = 0u64;
+        let mut attributed = 0u64;
+        for report in reports.iter().flatten() {
+            for row in &report.totals {
+                let causes = row.loss_collision + row.loss_fading + row.loss_capture;
+                assert_eq!(
+                    row.retries, causes,
+                    "{name} run {} station {}: every failure needs one cause",
+                    row.run_idx, row.station
+                );
+                retries += row.retries;
+                attributed += causes;
+            }
+            for row in &report.intervals {
+                assert_eq!(
+                    row.retries,
+                    row.loss_collision + row.loss_fading + row.loss_capture,
+                    "{name}: interval rows must balance too"
+                );
+            }
+        }
+        assert!(
+            retries > 0,
+            "{name}: the scenario must actually lose frames"
+        );
+        assert_eq!(retries, attributed);
+    }
+}
+
+#[test]
+fn hidden_terminal_losses_are_attributed_to_collisions() {
+    let (_, _, _, reports) =
+        run_with_recorder("hidden-terminal", 1.0, 2, RecorderConfig::default());
+    let collision: u64 = reports
+        .iter()
+        .flatten()
+        .flat_map(|r| &r.totals)
+        .map(|t| t.loss_collision)
+        .sum();
+    assert!(
+        collision > 0,
+        "hidden terminals must produce collision-attributed losses"
+    );
+}
+
+#[test]
+fn emitted_streams_validate_against_the_checked_in_schema() {
+    let schema = Schema::parse(include_str!("schemas/telemetry.schema.json")).expect("schema");
+    let cfg = RecorderConfig {
+        trace: true,
+        ..RecorderConfig::default()
+    };
+    let (_, metrics, trace, _) = run_with_recorder("fast-fading", 0.5, 2, cfg);
+    let n = schema.validate_stream(&metrics).expect("metrics validate");
+    assert!(n > 0, "metrics stream must not be empty");
+    let n = schema.validate_stream(&trace).expect("trace validates");
+    assert!(n > 0, "trace stream must not be empty");
+}
