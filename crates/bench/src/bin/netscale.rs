@@ -34,10 +34,11 @@
 //! `tcp_rows`; `onoff` ladders are printed only.
 //!
 //! `--metrics <path>` attaches the telemetry recorder to every ladder run
-//! and writes the per-station metrics JSONL to `path`. The recorder never
-//! touches the event queue or any RNG, so `events` at every ladder point
-//! is unchanged — but the wall numbers carry recorder overhead, so
-//! metrics runs never rewrite `BENCH_netscale.json`.
+//! and writes the per-station metrics JSONL to `path`; `--decisions
+//! <path>` additionally streams the rate-decision ledger. The recorder
+//! never touches the event queue or any RNG, so `events` at every ladder
+//! point is unchanged — but the wall numbers carry recorder overhead, so
+//! recorder runs never rewrite `BENCH_netscale.json`.
 
 use serde::{Deserialize, Serialize};
 use softrate_bench::{banner, smoke_mode};
@@ -248,6 +249,11 @@ fn main() {
         .position(|a| a == "--metrics")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let decisions_path = args
+        .iter()
+        .position(|a| a == "--decisions")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let traffic = traffic_for(&traffic_mode);
     banner(&format!(
         "netscale — spatial simulator throughput vs station count ({traffic_mode})"
@@ -278,6 +284,7 @@ fn main() {
     );
     let mut rows = Vec::new();
     let mut metrics_out = String::new();
+    let mut decisions_out = String::new();
     for (ladder_idx, &stations) in ladder.iter().enumerate() {
         // Best of two timed runs per point (identical results — the
         // simulation is deterministic; only the wall clock varies), so a
@@ -288,8 +295,11 @@ fn main() {
             let mut cfg = SpatialConfig::new(AdapterKind::SoftRate, spec(stations));
             cfg.traffic = traffic.clone();
             cfg.duration = sim_seconds;
-            if metrics_path.is_some() {
-                cfg.telemetry = Some(softrate_telemetry::RecorderConfig::default());
+            if metrics_path.is_some() || decisions_path.is_some() {
+                cfg.telemetry = Some(softrate_telemetry::RecorderConfig {
+                    decisions: decisions_path.is_some(),
+                    ..softrate_telemetry::RecorderConfig::default()
+                });
             }
             let sim = SpatialSim::new(cfg).expect("bench spec is valid");
             let started = std::time::Instant::now();
@@ -310,6 +320,7 @@ fn main() {
             // One "run" per ladder point, in ladder order.
             telemetry.stamp_run_idx(ladder_idx as u64);
             metrics_out.push_str(&telemetry.metrics_jsonl());
+            decisions_out.push_str(&telemetry.decisions_jsonl());
         }
         let row = NetScaleRow {
             stations,
@@ -341,16 +352,22 @@ fn main() {
         rows.push(row);
     }
 
-    if let Some(path) = &metrics_path {
-        if let Some(parent) = std::path::Path::new(path).parent() {
-            let _ = std::fs::create_dir_all(parent);
-        }
-        match std::fs::write(path, &metrics_out) {
-            Ok(()) => eprintln!("[wrote {path}]"),
-            Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+    if metrics_path.is_some() || decisions_path.is_some() {
+        for (path, out) in [
+            (&metrics_path, &metrics_out),
+            (&decisions_path, &decisions_out),
+        ] {
+            let Some(path) = path else { continue };
+            if let Some(parent) = std::path::Path::new(path).parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            match std::fs::write(path, out) {
+                Ok(()) => eprintln!("[wrote {path}]"),
+                Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+            }
         }
         // Recorder overhead is in the wall numbers: never commit them.
-        eprintln!("[--metrics run: BENCH_netscale.json left untouched (recorder overhead)]");
+        eprintln!("[recorder run: BENCH_netscale.json left untouched (recorder overhead)]");
         return;
     }
     if traffic_mode == "onoff" {

@@ -59,16 +59,127 @@ impl TxOutcome {
     }
 }
 
+/// What caused a rate-adaptation decision (the decision-ledger trigger
+/// taxonomy; see DESIGN.md §10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DecisionTrigger {
+    /// Feedback for a delivered frame drove the decision.
+    Ack,
+    /// Feedback for a corrupted/undelivered frame drove the decision.
+    Loss,
+    /// A silent-loss (no feedback at all) limit tripped.
+    Timeout,
+    /// A deliberate sampling/probing transmission at a non-best rate.
+    Probe,
+    /// A roaming handoff that preserved adapter state.
+    HandoffPreserve,
+    /// A roaming handoff that reset adapter state.
+    HandoffReset,
+}
+
+impl DecisionTrigger {
+    /// Stable lower-snake name used in the decision JSONL stream.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DecisionTrigger::Ack => "ack",
+            DecisionTrigger::Loss => "loss",
+            DecisionTrigger::Timeout => "timeout",
+            DecisionTrigger::Probe => "probe",
+            DecisionTrigger::HandoffPreserve => "handoff_preserve",
+            DecisionTrigger::HandoffReset => "handoff_reset",
+        }
+    }
+}
+
+/// One rate-adaptation decision, recorded by an adapter into a
+/// [`DecisionCtx`] at the moment it changes (or deliberately deviates
+/// from) its current rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateDecision {
+    /// Rate before the decision.
+    pub old_rate: RateIdx,
+    /// Rate after the decision.
+    pub new_rate: RateIdx,
+    /// What prompted the decision.
+    pub trigger: DecisionTrigger,
+    /// SNR input observed at decision time, dB (if the adapter had one).
+    pub snr_db: Option<f64>,
+    /// BER input observed at decision time (if the adapter had one).
+    pub ber: Option<f64>,
+    /// Adapter-specific reason code, e.g. SoftRate's
+    /// "threshold-crossing" vs SampleRate's "airtime-table-winner".
+    pub reason: &'static str,
+}
+
+/// Decision sink handed to the `_ctx` adapter entry points.
+///
+/// Disabled (`DecisionCtx::disabled()`, the default used by the plain
+/// trait methods) it is a no-op that never allocates, so the enabled and
+/// disabled paths run the exact same adapter logic — the ledger's
+/// zero-cost-when-off guarantee. The MAC engine drains `decisions` into
+/// the telemetry recorder after each adapter call.
+#[derive(Debug, Default)]
+pub struct DecisionCtx {
+    enabled: bool,
+    /// Decisions recorded since the last drain, in call order.
+    pub decisions: Vec<RateDecision>,
+}
+
+impl DecisionCtx {
+    /// A sink that records nothing (the default for plain trait calls).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A sink that records every decision for the engine to drain.
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            decisions: Vec::new(),
+        }
+    }
+
+    /// Whether this sink records decisions.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one decision (no-op when disabled).
+    pub fn record(&mut self, decision: RateDecision) {
+        if self.enabled {
+            self.decisions.push(decision);
+        }
+    }
+}
+
 /// A bit-rate adaptation algorithm.
+///
+/// Implementations provide the `_ctx` entry points; the plain
+/// `next_attempt` / `on_outcome` methods delegate with a disabled
+/// [`DecisionCtx`], so the decision ledger shares one code path with
+/// the ledger-off configuration and cannot drift from it.
 pub trait RateAdapter: Send {
     /// Short name used in result tables ("SoftRate", "RRAA", ...).
     fn name(&self) -> &'static str;
 
+    /// Chooses the rate (and RTS policy) for the next transmission,
+    /// recording any rate decision made here (e.g. a sampling probe)
+    /// into `ctx`.
+    fn next_attempt_ctx(&mut self, now: f64, ctx: &mut DecisionCtx) -> TxAttempt;
+
+    /// Digests the outcome of a transmission attempt, recording any
+    /// resulting rate decision into `ctx`.
+    fn on_outcome_ctx(&mut self, outcome: &TxOutcome, ctx: &mut DecisionCtx);
+
     /// Chooses the rate (and RTS policy) for the next transmission.
-    fn next_attempt(&mut self, now: f64) -> TxAttempt;
+    fn next_attempt(&mut self, now: f64) -> TxAttempt {
+        self.next_attempt_ctx(now, &mut DecisionCtx::disabled())
+    }
 
     /// Digests the outcome of a transmission attempt.
-    fn on_outcome(&mut self, outcome: &TxOutcome);
+    fn on_outcome(&mut self, outcome: &TxOutcome) {
+        self.on_outcome_ctx(outcome, &mut DecisionCtx::disabled())
+    }
 
     /// Number of rates in the table this adapter adapts over.
     fn num_rates(&self) -> usize;
@@ -97,5 +208,25 @@ mod tests {
         o.postamble_ack = false;
         o.feedback_received = true;
         assert!(!o.is_silent_loss());
+    }
+
+    #[test]
+    fn disabled_ctx_records_nothing() {
+        let decision = RateDecision {
+            old_rate: 0,
+            new_rate: 1,
+            trigger: DecisionTrigger::Ack,
+            snr_db: None,
+            ber: Some(1e-4),
+            reason: "test",
+        };
+        let mut off = DecisionCtx::disabled();
+        off.record(decision.clone());
+        assert!(!off.is_enabled());
+        assert!(off.decisions.is_empty());
+        let mut on = DecisionCtx::enabled();
+        on.record(decision);
+        assert_eq!(on.decisions.len(), 1);
+        assert_eq!(on.decisions[0].trigger.name(), "ack");
     }
 }

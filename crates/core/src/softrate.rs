@@ -11,7 +11,9 @@
 
 use std::sync::Arc;
 
-use crate::adapter::{RateAdapter, RateIdx, TxAttempt, TxOutcome};
+use crate::adapter::{
+    DecisionCtx, DecisionTrigger, RateAdapter, RateDecision, RateIdx, TxAttempt, TxOutcome,
+};
 use crate::recovery::{ErrorRecovery, FrameArq};
 use crate::thresholds::{select_rate, RateThresholds};
 use softrate_phy::rates::{BitRate, PAPER_RATES};
@@ -121,14 +123,14 @@ impl RateAdapter for SoftRate {
         "SoftRate"
     }
 
-    fn next_attempt(&mut self, _now: f64) -> TxAttempt {
+    fn next_attempt_ctx(&mut self, _now: f64, _ctx: &mut DecisionCtx) -> TxAttempt {
         TxAttempt {
             rate_idx: self.current,
             use_rts: false,
         }
     }
 
-    fn on_outcome(&mut self, outcome: &TxOutcome) {
+    fn on_outcome_ctx(&mut self, outcome: &TxOutcome, ctx: &mut DecisionCtx) {
         if let Some(ber) = outcome.ber_feedback {
             // Feedback carries the interference-free BER (the receiver's
             // collision detector already excised interfered symbols), so a
@@ -137,6 +139,7 @@ impl RateAdapter for SoftRate {
             // collisions falls out of the feedback definition.
             self.silent_losses = 0;
             self.last_ber = Some(ber);
+            let old = self.current;
             self.current = select_rate(
                 self.current,
                 ber,
@@ -145,6 +148,20 @@ impl RateAdapter for SoftRate {
                 &*self.cfg.recovery,
                 self.cfg.max_jump,
             );
+            if self.current != old {
+                ctx.record(RateDecision {
+                    old_rate: old,
+                    new_rate: self.current,
+                    trigger: if outcome.acked {
+                        DecisionTrigger::Ack
+                    } else {
+                        DecisionTrigger::Loss
+                    },
+                    snr_db: outcome.snr_feedback_db,
+                    ber: Some(ber),
+                    reason: "threshold-crossing",
+                });
+            }
         } else if outcome.postamble_ack {
             // Postamble-only ACK: the preamble was lost to interference but
             // the frame tail was clean — a collision, not attenuation.
@@ -155,6 +172,14 @@ impl RateAdapter for SoftRate {
             if self.silent_losses >= self.cfg.silent_loss_limit {
                 self.silent_losses = 0;
                 if self.current > 0 {
+                    ctx.record(RateDecision {
+                        old_rate: self.current,
+                        new_rate: self.current - 1,
+                        trigger: DecisionTrigger::Timeout,
+                        snr_db: None,
+                        ber: None,
+                        reason: "silent-loss-limit",
+                    });
                     self.current -= 1;
                 }
                 // A silent loss gives no BER measurement; forget the stale

@@ -38,7 +38,7 @@
 use std::collections::VecDeque;
 
 use softrate_channel::analytic::{FrameSuccessMemo, OracleBands};
-use softrate_core::adapter::{RateAdapter, TxAttempt};
+use softrate_core::adapter::{DecisionTrigger, RateAdapter, TxAttempt};
 use softrate_sim::config::AdapterKind;
 use softrate_sim::mac::{
     ActiveTx, AttemptInfo, HandoffRecord, MacCore, MacEngine, MacEv, MacParams, Medium,
@@ -48,6 +48,7 @@ use softrate_sim::timing::{data_airtime, rts_cts_overhead, CW_MIN, IP_TCP_HEADER
 use softrate_sim::transport::{
     Payload, TransportConfig, TransportEv, TransportHost, TransportLayer,
 };
+use softrate_telemetry::DecisionEvent;
 use softrate_trace::schema::FrameFate;
 
 use crate::channel::{fate_from_draw_memo, StreamingLink};
@@ -580,6 +581,44 @@ impl SpatialMedium {
         });
         if let Some(rec) = core.recorder.as_deref_mut() {
             rec.on_handoff(now, st);
+        }
+        // Decision ledger: a handoff is a rate-adaptation event. Under
+        // Preserve the adapter carries its state to the new AP — one
+        // marker row per affected port, rate unchanged. Under Reset the
+        // adapter was rebuilt; the engine files the resulting rate under
+        // `handoff_reset` at the port's next transmission (the fresh
+        // adapter's choice isn't observable here without perturbing it).
+        if core.ledger.ctx.is_enabled() {
+            let mut ports = vec![st];
+            if self.flows.is_some() {
+                ports.push(n + st);
+            }
+            for port in ports {
+                if reset {
+                    core.ledger.handoff_reset[port] = true;
+                    continue;
+                }
+                let Some(rate) = core.ledger.rate[port] else {
+                    continue; // never transmitted: nothing to mark
+                };
+                let adapter = core.ports[port].adapter.name();
+                if let Some(rec) = core.recorder.as_deref_mut() {
+                    rec.on_decision(
+                        now,
+                        DecisionEvent {
+                            station: st,
+                            port,
+                            adapter,
+                            old_rate: rate,
+                            new_rate: rate,
+                            trigger: DecisionTrigger::HandoffPreserve.name(),
+                            snr_db: None,
+                            ber: None,
+                            reason: "ap-change",
+                        },
+                    );
+                }
+            }
         }
     }
 

@@ -1,6 +1,8 @@
 //! Reference adapters: fixed-rate and the omniscient oracle of §6.1.
 
-use softrate_core::adapter::{RateAdapter, RateIdx, TxAttempt, TxOutcome};
+use softrate_core::adapter::{
+    DecisionCtx, DecisionTrigger, RateAdapter, RateDecision, RateIdx, TxAttempt, TxOutcome,
+};
 
 /// An adapter pinned to one rate (baseline / debugging aid).
 pub struct FixedRate {
@@ -24,14 +26,14 @@ impl RateAdapter for FixedRate {
         "Fixed"
     }
 
-    fn next_attempt(&mut self, _now: f64) -> TxAttempt {
+    fn next_attempt_ctx(&mut self, _now: f64, _ctx: &mut DecisionCtx) -> TxAttempt {
         TxAttempt {
             rate_idx: self.rate_idx,
             use_rts: false,
         }
     }
 
-    fn on_outcome(&mut self, _outcome: &TxOutcome) {}
+    fn on_outcome_ctx(&mut self, _outcome: &TxOutcome, _ctx: &mut DecisionCtx) {}
 
     fn num_rates(&self) -> usize {
         self.num_rates
@@ -45,12 +47,18 @@ impl RateAdapter for FixedRate {
 pub struct Omniscient {
     oracle: Box<dyn FnMut(f64) -> RateIdx + Send>,
     num_rates: usize,
+    /// Last rate returned, for ledger change detection only.
+    last_rate: Option<RateIdx>,
 }
 
 impl Omniscient {
     /// Creates an omniscient adapter around a `time -> best rate` oracle.
     pub fn new(num_rates: usize, oracle: Box<dyn FnMut(f64) -> RateIdx + Send>) -> Self {
-        Omniscient { oracle, num_rates }
+        Omniscient {
+            oracle,
+            num_rates,
+            last_rate: None,
+        }
     }
 }
 
@@ -59,15 +67,31 @@ impl RateAdapter for Omniscient {
         "Omniscient"
     }
 
-    fn next_attempt(&mut self, now: f64) -> TxAttempt {
+    fn next_attempt_ctx(&mut self, now: f64, ctx: &mut DecisionCtx) -> TxAttempt {
         let r = (self.oracle)(now).min(self.num_rates - 1);
+        if let Some(prev) = self.last_rate {
+            if prev != r {
+                // Not feedback-driven: the oracle reads the channel
+                // directly, so the change files under the probe class
+                // (decided at transmit time) — see DESIGN.md §10.
+                ctx.record(RateDecision {
+                    old_rate: prev,
+                    new_rate: r,
+                    trigger: DecisionTrigger::Probe,
+                    snr_db: None,
+                    ber: None,
+                    reason: "oracle-lookup",
+                });
+            }
+        }
+        self.last_rate = Some(r);
         TxAttempt {
             rate_idx: r,
             use_rts: false,
         }
     }
 
-    fn on_outcome(&mut self, _outcome: &TxOutcome) {}
+    fn on_outcome_ctx(&mut self, _outcome: &TxOutcome, _ctx: &mut DecisionCtx) {}
 
     fn num_rates(&self) -> usize {
         self.num_rates

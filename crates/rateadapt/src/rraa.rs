@@ -8,7 +8,9 @@
 //! An adaptive RTS filter (A-RTS) turns RTS/CTS on when losses look like
 //! collisions.
 
-use softrate_core::adapter::{RateAdapter, RateIdx, TxAttempt, TxOutcome};
+use softrate_core::adapter::{
+    DecisionCtx, DecisionTrigger, RateAdapter, RateDecision, RateIdx, TxAttempt, TxOutcome,
+};
 use std::collections::VecDeque;
 
 /// Scaling factor between `P_MTL` of the next rate and `P_ORI` of the
@@ -94,7 +96,7 @@ impl RateAdapter for Rraa {
         "RRAA"
     }
 
-    fn next_attempt(&mut self, _now: f64) -> TxAttempt {
+    fn next_attempt_ctx(&mut self, _now: f64, _ctx: &mut DecisionCtx) -> TxAttempt {
         let use_rts = self.rts_counter > 0;
         if self.rts_counter > 0 {
             self.rts_counter -= 1;
@@ -106,7 +108,7 @@ impl RateAdapter for Rraa {
         }
     }
 
-    fn on_outcome(&mut self, outcome: &TxOutcome) {
+    fn on_outcome_ctx(&mut self, outcome: &TxOutcome, ctx: &mut DecisionCtx) {
         // --- A-RTS filter (RRAA §4.3): grow the RTS window when unprotected
         // frames are lost, shrink it when RTS-protected frames are lost or
         // unprotected frames succeed.
@@ -134,6 +136,14 @@ impl RateAdapter for Rraa {
         // with at least half a window of evidence.
         if self.window.len() >= ewnd / 2 && p > self.p_mtl[self.current] && self.current > 0 {
             let to = self.current - 1;
+            ctx.record(RateDecision {
+                old_rate: self.current,
+                new_rate: to,
+                trigger: DecisionTrigger::Loss,
+                snr_db: outcome.snr_feedback_db,
+                ber: None,
+                reason: "p-above-mtl",
+            });
             self.change_rate(to);
             return;
         }
@@ -141,6 +151,14 @@ impl RateAdapter for Rraa {
         if self.window.len() >= ewnd {
             if p < self.p_ori[self.current] && self.current + 1 < self.p_mtl.len() {
                 let to = self.current + 1;
+                ctx.record(RateDecision {
+                    old_rate: self.current,
+                    new_rate: to,
+                    trigger: DecisionTrigger::Ack,
+                    snr_db: outcome.snr_feedback_db,
+                    ber: None,
+                    reason: "p-below-ori",
+                });
                 self.change_rate(to);
             } else {
                 // Window complete without a decision: slide anew.

@@ -11,7 +11,9 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use softrate_core::adapter::{RateAdapter, RateIdx, TxAttempt, TxOutcome};
+use softrate_core::adapter::{
+    DecisionCtx, DecisionTrigger, RateAdapter, RateDecision, RateIdx, TxAttempt, TxOutcome,
+};
 use std::collections::VecDeque;
 
 /// How often a sampling frame is inserted (every Nth frame).
@@ -42,6 +44,10 @@ pub struct SampleRate {
     consecutive_failures: Vec<u32>,
     frames_sent: u64,
     current: RateIdx,
+    /// Whether the most recent outcome was a delivery — classifies a
+    /// best-rate change in the ledger (ack vs loss); ledger-only state,
+    /// never read by the rate logic.
+    last_acked: Option<bool>,
     rng: SmallRng,
 }
 
@@ -64,6 +70,7 @@ impl SampleRate {
             // Bicket starts at the highest rate and backs off as failures
             // accumulate.
             current: n - 1,
+            last_acked: None,
             rng: SmallRng::seed_from_u64(seed),
         }
     }
@@ -146,15 +153,37 @@ impl RateAdapter for SampleRate {
         "SampleRate"
     }
 
-    fn next_attempt(&mut self, now: f64) -> TxAttempt {
+    fn next_attempt_ctx(&mut self, now: f64, ctx: &mut DecisionCtx) -> TxAttempt {
         self.prune(now);
         let best = self.best_rate();
         self.frames_sent += 1;
-        let rate_idx = if self.frames_sent.is_multiple_of(SAMPLE_EVERY) {
+        let sampling = self.frames_sent.is_multiple_of(SAMPLE_EVERY);
+        let rate_idx = if sampling {
             self.sample_rate_candidate(best).unwrap_or(best)
         } else {
             best
         };
+        if rate_idx != self.current {
+            let (trigger, reason) = if sampling && rate_idx != best {
+                (DecisionTrigger::Probe, "sampling")
+            } else {
+                (
+                    match self.last_acked {
+                        Some(true) | None => DecisionTrigger::Ack,
+                        Some(false) => DecisionTrigger::Loss,
+                    },
+                    "airtime-table-winner",
+                )
+            };
+            ctx.record(RateDecision {
+                old_rate: self.current,
+                new_rate: rate_idx,
+                trigger,
+                snr_db: None,
+                ber: None,
+                reason,
+            });
+        }
         self.current = rate_idx;
         TxAttempt {
             rate_idx,
@@ -162,7 +191,7 @@ impl RateAdapter for SampleRate {
         }
     }
 
-    fn on_outcome(&mut self, outcome: &TxOutcome) {
+    fn on_outcome_ctx(&mut self, outcome: &TxOutcome, _ctx: &mut DecisionCtx) {
         self.history.push_back(Record {
             t: outcome.now,
             rate_idx: outcome.rate_idx,
@@ -174,6 +203,7 @@ impl RateAdapter for SampleRate {
         } else {
             self.consecutive_failures[outcome.rate_idx] += 1;
         }
+        self.last_acked = Some(outcome.acked);
         self.prune(outcome.now);
     }
 

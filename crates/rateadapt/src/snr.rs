@@ -11,7 +11,9 @@
 //! `softrate-trace::snr_training`.
 
 use serde::{Deserialize, Serialize};
-use softrate_core::adapter::{RateAdapter, RateIdx, TxAttempt, TxOutcome};
+use softrate_core::adapter::{
+    DecisionCtx, DecisionTrigger, RateAdapter, RateDecision, RateIdx, TxAttempt, TxOutcome,
+};
 
 /// A trained SNR threshold table: the minimum preamble SNR (dB) at which
 /// each rate sustains acceptably low loss in the training environment.
@@ -115,14 +117,14 @@ impl RateAdapter for SnrAdapter {
         self.label
     }
 
-    fn next_attempt(&mut self, _now: f64) -> TxAttempt {
+    fn next_attempt_ctx(&mut self, _now: f64, _ctx: &mut DecisionCtx) -> TxAttempt {
         TxAttempt {
             rate_idx: self.current,
             use_rts: false,
         }
     }
 
-    fn on_outcome(&mut self, outcome: &TxOutcome) {
+    fn on_outcome_ctx(&mut self, outcome: &TxOutcome, ctx: &mut DecisionCtx) {
         if let Some(snr) = outcome.snr_feedback_db {
             self.silent_losses = 0;
             let tracked = match self.mode {
@@ -133,7 +135,22 @@ impl RateAdapter for SnrAdapter {
                 },
             };
             self.snr_state = Some(tracked);
-            self.current = self.table.select(tracked);
+            let to = self.table.select(tracked);
+            if to != self.current {
+                ctx.record(RateDecision {
+                    old_rate: self.current,
+                    new_rate: to,
+                    trigger: if outcome.acked {
+                        DecisionTrigger::Ack
+                    } else {
+                        DecisionTrigger::Loss
+                    },
+                    snr_db: Some(tracked),
+                    ber: None,
+                    reason: "snr-table-lookup",
+                });
+            }
+            self.current = to;
         } else if outcome.is_silent_loss() {
             // No SNR measurement at all: like other protocols, back off
             // after a run of silent losses.
@@ -142,6 +159,14 @@ impl RateAdapter for SnrAdapter {
                 self.silent_losses = 0;
                 self.snr_state = None;
                 if self.current > 0 {
+                    ctx.record(RateDecision {
+                        old_rate: self.current,
+                        new_rate: self.current - 1,
+                        trigger: DecisionTrigger::Timeout,
+                        snr_db: None,
+                        ber: None,
+                        reason: "silent-loss-limit",
+                    });
                     self.current -= 1;
                 }
             }

@@ -6,6 +6,7 @@
 //! softrate-scenarios run  <name | --file spec.toml> [--threads N]
 //!                         [--out results.jsonl] [--duration SECS] [--seed N]
 //!                         [--metrics metrics.jsonl] [--trace trace.jsonl]
+//!                         [--decisions decisions.jsonl]
 //! softrate-scenarios sweep --file spec.toml [--threads N] [--out results.jsonl]
 //! ```
 //!
@@ -18,8 +19,8 @@
 use std::process::ExitCode;
 
 use softrate_scenario::engine::{
-    self, expand, run_all_with_telemetry, summary_table, telemetry_metrics_jsonl,
-    telemetry_trace_jsonl, to_jsonl,
+    self, expand, run_all_with_telemetry, summary_table, telemetry_decisions_jsonl,
+    telemetry_metrics_jsonl, telemetry_trace_jsonl, to_jsonl,
 };
 use softrate_scenario::spec::ScenarioSpec;
 use softrate_scenario::{builtin, toml};
@@ -34,9 +35,10 @@ USAGE:
     softrate-scenarios run  <--name name | --file spec.toml> [--threads N]
                             [--out results.jsonl] [--duration SECS] [--seed N]
                             [--only RUN_IDX] [--metrics metrics.jsonl]
-                            [--trace trace.jsonl]
+                            [--trace trace.jsonl] [--decisions decisions.jsonl]
     softrate-scenarios sweep --file spec.toml [--threads N] [--out results.jsonl]
                             [--metrics metrics.jsonl] [--trace trace.jsonl]
+                            [--decisions decisions.jsonl]
 
 The scenario may be given as a bare positional name, `--name <builtin>`,
 or `--file <spec.toml|spec.json>`.
@@ -44,8 +46,10 @@ or `--file <spec.toml|spec.json>`.
 `--metrics` turns on the telemetry recorder and writes per-station
 interval/totals/histogram rows (deterministic JSONL, byte-identical
 across thread counts). `--trace` additionally streams per-frame
-lifecycle rows into the given file (implies --metrics if absent; inspect
-both with `softrate-inspect`).
+lifecycle rows into the given file (implies --metrics if absent).
+`--decisions` streams the rate-decision ledger — one row per
+rate-adaptation decision with trigger class and SNR/BER input — into the
+given file. Inspect all three with `softrate-inspect`.
 
 COMMANDS:
     list    Catalogue the built-in scenario library
@@ -66,6 +70,7 @@ struct Args {
     expanded: bool,
     metrics: Option<String>,
     trace: Option<String>,
+    decisions: Option<String>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -80,6 +85,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         expanded: false,
         metrics: None,
         trace: None,
+        decisions: None,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -122,6 +128,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--metrics" => args.metrics = Some(value_of("--metrics")?),
             "--trace" => args.trace = Some(value_of("--trace")?),
+            "--decisions" => args.decisions = Some(value_of("--decisions")?),
             "--expanded" => args.expanded = true,
             "--help" | "-h" => return Err(String::new()),
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
@@ -226,10 +233,12 @@ fn cmd_run(args: &Args, require_sweep: bool) -> Result<(), String> {
             .map(|t| t.to_string())
             .unwrap_or_else(|| "auto".to_string()),
     );
-    let telemetry = (args.metrics.is_some() || args.trace.is_some()).then(|| RecorderConfig {
-        trace: args.trace.is_some(),
-        ..RecorderConfig::default()
-    });
+    let telemetry = (args.metrics.is_some() || args.trace.is_some() || args.decisions.is_some())
+        .then(|| RecorderConfig {
+            trace: args.trace.is_some(),
+            decisions: args.decisions.is_some(),
+            ..RecorderConfig::default()
+        });
     let started = std::time::Instant::now();
     let with_telemetry = run_all_with_telemetry(&plans, threads, telemetry);
     eprintln!("completed in {:.2}s", started.elapsed().as_secs_f64());
@@ -238,13 +247,14 @@ fn cmd_run(args: &Args, require_sweep: bool) -> Result<(), String> {
     if let Some(out) = &args.out {
         write_file(out, &to_jsonl(&results))?;
     }
-    if args.metrics.is_some() || args.trace.is_some() {
-        if let Some(path) = &args.metrics {
-            write_file(path, &telemetry_metrics_jsonl(&with_telemetry))?;
-        }
-        if let Some(path) = &args.trace {
-            write_file(path, &telemetry_trace_jsonl(&with_telemetry))?;
-        }
+    if let Some(path) = &args.metrics {
+        write_file(path, &telemetry_metrics_jsonl(&with_telemetry))?;
+    }
+    if let Some(path) = &args.trace {
+        write_file(path, &telemetry_trace_jsonl(&with_telemetry))?;
+    }
+    if let Some(path) = &args.decisions {
+        write_file(path, &telemetry_decisions_jsonl(&with_telemetry))?;
     }
     Ok(())
 }

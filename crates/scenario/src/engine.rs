@@ -471,6 +471,16 @@ pub fn telemetry_trace_jsonl(results: &[(RunResult, Option<TelemetryReport>)]) -
         .collect()
 }
 
+/// Concatenates the per-run rate-decision ledger JSONL streams in matrix
+/// order.
+pub fn telemetry_decisions_jsonl(results: &[(RunResult, Option<TelemetryReport>)]) -> String {
+    results
+        .iter()
+        .filter_map(|(_, t)| t.as_ref())
+        .map(TelemetryReport::decisions_jsonl)
+        .collect()
+}
+
 /// Convenience: expand + run in one call.
 pub fn run_spec(spec: &ScenarioSpec, threads: Option<usize>) -> Result<Vec<RunResult>, SpecError> {
     Ok(run_all(&expand(spec)?, threads))

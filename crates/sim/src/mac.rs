@@ -23,8 +23,8 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use softrate_core::adapter::{RateAdapter, TxAttempt, TxOutcome};
-use softrate_telemetry::{LossCause, OutcomeEvent, Recorder, TelemetryReport};
+use softrate_core::adapter::{DecisionCtx, DecisionTrigger, RateAdapter, TxAttempt, TxOutcome};
+use softrate_telemetry::{DecisionEvent, LossCause, OutcomeEvent, Recorder, TelemetryReport};
 use softrate_trace::schema::{hash_uniform, FrameFate};
 
 use crate::event::EventQueue;
@@ -268,6 +268,26 @@ pub struct MacStats {
     pub events_processed: u64,
 }
 
+/// Decision-ledger bookkeeping threaded through the engine: the reusable
+/// sink handed to every adapter `_ctx` call plus the per-port rate the
+/// ledger last reported. Inert (the sink is disabled, nothing is read or
+/// written) unless the installed recorder's ledger is on — the same
+/// zero-cost-when-off contract as the recorder itself.
+#[derive(Debug, Default)]
+pub struct LedgerState {
+    /// The decision sink handed to adapter `next_attempt_ctx` /
+    /// `on_outcome_ctx` calls; drained by the engine after each call.
+    pub ctx: DecisionCtx,
+    /// The rate the ledger believes each port is at: the `new_rate` of
+    /// its last row, or its last transmitted rate. `None` until the port
+    /// first transmits.
+    pub rate: Vec<Option<usize>>,
+    /// Ports whose adapter was rebuilt by a Reset handoff since their
+    /// last transmission (the next transmission files the rate change
+    /// under `handoff_reset`).
+    pub handoff_reset: Vec<bool>,
+}
+
 /// The engine state a [`Medium`] implementation may inspect and drive:
 /// the event queue, sender/port state, in-flight transmissions, and the
 /// shared statistics. Splitting this from the medium itself is what lets
@@ -294,6 +314,9 @@ pub struct MacCore<E, I> {
     /// never draws randomness or schedules events). Installed by the
     /// simulators at construction, taken back out at report time.
     pub recorder: Option<Box<Recorder>>,
+    /// Decision-ledger state; enabled at run start iff the recorder's
+    /// ledger is on (see [`MacCore::sync_ledger`]).
+    pub ledger: LedgerState,
     params: MacParams,
     rng: SmallRng,
     next_tx_id: u64,
@@ -306,6 +329,7 @@ impl<E, I> MacCore<E, I> {
     /// up directly in events/sec at scale).
     pub fn new(n_senders: usize, ports: Vec<Port>, params: MacParams) -> Self {
         let cw = vec![CW_MIN; ports.len()];
+        let n_ports = ports.len();
         MacCore {
             events: EventQueue::with_capacity(n_senders * 8),
             senders: vec![Sender::default(); n_senders],
@@ -315,9 +339,31 @@ impl<E, I> MacCore<E, I> {
             pending: Vec::new(),
             stats: MacStats::default(),
             recorder: None,
+            ledger: LedgerState {
+                ctx: DecisionCtx::disabled(),
+                rate: vec![None; n_ports],
+                handoff_reset: vec![false; n_ports],
+            },
             rng: SmallRng::seed_from_u64(params.backoff_seed),
             params,
             next_tx_id: 1,
+        }
+    }
+
+    /// Aligns the decision-ledger sink with the installed recorder's
+    /// configuration. Called once at run start, after the simulator has
+    /// installed (or not installed) the recorder.
+    pub fn sync_ledger(&mut self) {
+        let on = self
+            .recorder
+            .as_deref()
+            .is_some_and(|r| r.wants_decisions());
+        if on != self.ledger.ctx.is_enabled() {
+            self.ledger.ctx = if on {
+                DecisionCtx::enabled()
+            } else {
+                DecisionCtx::disabled()
+            };
         }
     }
 
@@ -499,6 +545,7 @@ impl<M: Medium> MacEngine<M> {
 
     /// Runs the event loop to `duration` simulated seconds.
     pub fn run(&mut self, duration: f64) {
+        self.core.sync_ledger();
         self.medium.kickoff(&mut self.core);
         while let Some(ev) = self.core.events.pop() {
             if ev.time > duration {
@@ -545,6 +592,85 @@ impl<M: Medium> MacEngine<M> {
         p
     }
 
+    /// Drains adapter-recorded decisions into the ledger and, at transmit
+    /// time (`tx_rate = Some`), reconciles the ledger's view of the
+    /// port's rate with the rate actually going on the air. The
+    /// reconciliation catches the two rate changes no adapter observes:
+    /// a medium override of the attempt (the spatial omniscient oracle)
+    /// and the first frame after a Reset handoff rebuilt the adapter.
+    fn drain_decisions(&mut self, now: f64, port: usize, tx_rate: Option<usize>) {
+        let core = &mut self.core;
+        if !core.ledger.ctx.is_enabled() {
+            return;
+        }
+        let station = self.medium.telemetry_station(port);
+        let adapter = core.ports[port].adapter.name();
+        let mut pending = std::mem::take(&mut core.ledger.ctx.decisions);
+        for d in pending.drain(..) {
+            core.ledger.rate[port] = Some(d.new_rate);
+            if let Some(rec) = core.recorder.as_deref_mut() {
+                rec.on_decision(
+                    now,
+                    DecisionEvent {
+                        station,
+                        port,
+                        adapter,
+                        old_rate: d.old_rate,
+                        new_rate: d.new_rate,
+                        trigger: d.trigger.name(),
+                        snr_db: d.snr_db,
+                        ber: d.ber,
+                        reason: d.reason,
+                    },
+                );
+            }
+        }
+        core.ledger.ctx.decisions = pending; // keep the sink's capacity
+        let Some(tx_rate) = tx_rate else {
+            return;
+        };
+        let prev = core.ledger.rate[port];
+        let reset = std::mem::replace(&mut core.ledger.handoff_reset[port], false);
+        let engine_row = if reset {
+            // A Reset handoff rebuilt the adapter: file the (possibly
+            // identical) rate under handoff_reset exactly once.
+            Some((
+                prev.unwrap_or(tx_rate),
+                DecisionTrigger::HandoffReset.name(),
+                "adapter-reset",
+            ))
+        } else {
+            match prev {
+                Some(r) if r != tx_rate => {
+                    // The medium overrode the adapter's attempt — decided
+                    // at transmit time, so it files under the probe class
+                    // (DESIGN.md §10).
+                    Some((r, DecisionTrigger::Probe.name(), "medium-override"))
+                }
+                _ => None,
+            }
+        };
+        if let Some((old_rate, trigger, reason)) = engine_row {
+            if let Some(rec) = core.recorder.as_deref_mut() {
+                rec.on_decision(
+                    now,
+                    DecisionEvent {
+                        station,
+                        port,
+                        adapter,
+                        old_rate,
+                        new_rate: tx_rate,
+                        trigger,
+                        snr_db: None,
+                        ber: None,
+                        reason,
+                    },
+                );
+            }
+        }
+        core.ledger.rate[port] = Some(tx_rate);
+    }
+
     fn on_tx_start(&mut self, sender: usize) {
         let core = &mut self.core;
         core.senders[sender].start_pending = false;
@@ -583,12 +709,18 @@ impl<M: Medium> MacEngine<M> {
         // Transmit.
         let now = core.events.now();
         let t0 = self.profile.as_deref().map(|_| std::time::Instant::now());
-        let mut attempt = core.ports[port].adapter.next_attempt(now);
+        let mut attempt = core.ports[port]
+            .adapter
+            .next_attempt_ctx(now, &mut core.ledger.ctx);
         let info = self.medium.begin_attempt(sender, port, now, &mut attempt);
         if let (Some(t0), Some(p)) = (t0, self.profile.as_deref_mut()) {
             p.begin_s += t0.elapsed().as_secs_f64();
             p.transmissions += 1;
         }
+        // Ledger: adapter decisions from `next_attempt` (sampling probes,
+        // oracle moves), then reconcile against the rate going on the air.
+        self.drain_decisions(now, port, Some(attempt.rate_idx));
+        let core = &mut self.core;
         let rate = softrate_phy::rates::PAPER_RATES[attempt.rate_idx];
         let air = data_airtime(rate, info.payload_bytes, core.params.postambles)
             + if attempt.use_rts {
@@ -724,7 +856,11 @@ impl<M: Medium> MacEngine<M> {
             core.stats.silent_losses += 1;
         }
 
-        core.ports[tx.port].adapter.on_outcome(&outcome);
+        core.ports[tx.port]
+            .adapter
+            .on_outcome_ctx(&outcome, &mut core.ledger.ctx);
+        self.drain_decisions(now, tx.port, None);
+        let core = &mut self.core;
 
         if core.recorder.is_some() {
             // Attribution happens here because this is where the fate is

@@ -1,27 +1,45 @@
-//! `softrate-inspect` — summarize, validate, and diff telemetry streams.
+//! `softrate-inspect` — summarize, validate, diff, and analyze telemetry
+//! streams, including the rate-decision ledger.
 //!
 //! ```text
-//! softrate-inspect summarize <metrics.jsonl>
+//! softrate-inspect summarize <metrics.jsonl> [--top N] [--by COLUMN]
 //! softrate-inspect diff <a.jsonl> <b.jsonl>
 //! softrate-inspect validate --schema <schema.json> <file.jsonl>...
+//! softrate-inspect timeline <metrics.jsonl> <decisions.jsonl>
+//!                           [--station S] [--run R]
+//! softrate-inspect adapt <decisions.jsonl> [--metrics m.jsonl] [--drop-db N]
+//! softrate-inspect compare <a.metrics> <a.decisions> <b.metrics> <b.decisions>
+//!                           [--json out.jsonl] [--drop-db N]
 //! ```
 //!
 //! `summarize` prints per-run aggregates, the loss-attribution breakdown,
-//! histogram percentiles, and any anomalies. `diff` aligns two metrics
-//! streams by (run, station, interval) and reports divergences (exit 1 if
-//! the streams differ). `validate` checks every row of every file against
-//! a checked-in schema (exit 1 on the first violation).
+//! histogram percentiles (p50/p90/p95/p99), and any anomalies; `--top N`
+//! ranks the N highest stations by `--by` (default `goodput`), and the
+//! command exits 1 when any station's loss-attribution counts do not
+//! balance its retries. `diff` aligns two metrics streams by (run,
+//! station, interval) and reports divergences (exit 1 if the streams
+//! differ). `validate` checks every row of every file against a
+//! checked-in schema (exit 1 on the first violation). `timeline` renders
+//! each station's rate-vs-SNR step series with decision markers (aligned
+//! JSONL plus an ASCII sparkline). `adapt` reports churn, oscillation,
+//! trigger-class fractions, and time-to-recover after SNR drops.
+//! `compare` builds a per-run league table of goodput/retries/churn/
+//! time-to-recover deltas between two (metrics, decisions) run pairs;
+//! `--json` additionally writes machine-readable rows.
 
 use std::fs;
 use std::process::ExitCode;
 
-use softrate_telemetry::inspect::{diff, summarize, Schema};
+use softrate_telemetry::inspect::{adapt_report, compare, diff, summarize_with, timeline, Schema};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: softrate-inspect summarize <metrics.jsonl>\n\
+        "usage: softrate-inspect summarize <metrics.jsonl> [--top N] [--by COLUMN]\n\
          \x20      softrate-inspect diff <a.jsonl> <b.jsonl>\n\
-         \x20      softrate-inspect validate --schema <schema.json> <file.jsonl>..."
+         \x20      softrate-inspect validate --schema <schema.json> <file.jsonl>...\n\
+         \x20      softrate-inspect timeline <metrics.jsonl> <decisions.jsonl> [--station S] [--run R]\n\
+         \x20      softrate-inspect adapt <decisions.jsonl> [--metrics m.jsonl] [--drop-db N]\n\
+         \x20      softrate-inspect compare <a.metrics> <a.decisions> <b.metrics> <b.decisions> [--json out.jsonl] [--drop-db N]"
     );
     ExitCode::from(2)
 }
@@ -33,26 +51,78 @@ fn read(path: &str) -> Result<String, ExitCode> {
     })
 }
 
+type Flags = Vec<(String, String)>;
+
+/// Splits `rest` into positional arguments and `--flag value` pairs.
+fn split_flags(rest: &[String]) -> Result<(Vec<String>, Flags), String> {
+    let mut pos = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.push((name.to_string(), v.clone()));
+        } else {
+            pos.push(a.clone());
+        }
+    }
+    Ok((pos, flags))
+}
+
+fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    flags: &[(String, String)],
+    name: &str,
+) -> Result<Option<T>, String> {
+    flag(flags, name)
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("--{name} {v}: not a valid value"))
+        })
+        .transpose()
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("softrate-inspect: {msg}");
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         return usage();
     };
-    match (cmd.as_str(), &args[1..]) {
+    let (pos, flags) = match split_flags(&args[1..]) {
+        Ok(x) => x,
+        Err(e) => return fail(&e),
+    };
+    match (cmd.as_str(), pos.as_slice()) {
         ("summarize", [path]) => {
             let text = match read(path) {
                 Ok(t) => t,
                 Err(c) => return c,
             };
-            match summarize(&text) {
-                Ok(report) => {
+            let top_n = match parse_flag::<usize>(&flags, "top") {
+                Ok(n) => n,
+                Err(e) => return fail(&e),
+            };
+            let by = flag(&flags, "by").unwrap_or("goodput");
+            match summarize_with(&text, top_n.map(|n| (n, by))) {
+                Ok((report, balanced)) => {
                     print!("{report}");
-                    ExitCode::SUCCESS
+                    if balanced {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
                 }
-                Err(e) => {
-                    eprintln!("softrate-inspect: {path}: {e}");
-                    ExitCode::FAILURE
-                }
+                Err(e) => fail(&format!("{path}: {e}")),
             }
         }
         ("diff", [a, b]) => {
@@ -69,38 +139,97 @@ fn main() -> ExitCode {
                         ExitCode::FAILURE
                     }
                 }
-                Err(e) => {
-                    eprintln!("softrate-inspect: {e}");
-                    ExitCode::FAILURE
-                }
+                Err(e) => fail(&e),
             }
         }
-        ("validate", rest) if rest.len() >= 3 && rest[0] == "--schema" => {
-            let schema_text = match read(&rest[1]) {
+        ("validate", paths) if !paths.is_empty() && flag(&flags, "schema").is_some() => {
+            let schema_path = flag(&flags, "schema").expect("checked");
+            let schema_text = match read(schema_path) {
                 Ok(t) => t,
                 Err(c) => return c,
             };
             let schema = match Schema::parse(&schema_text) {
                 Ok(s) => s,
-                Err(e) => {
-                    eprintln!("softrate-inspect: {}: {e}", rest[1]);
-                    return ExitCode::FAILURE;
-                }
+                Err(e) => return fail(&format!("{schema_path}: {e}")),
             };
-            for path in &rest[2..] {
+            for path in paths {
                 let text = match read(path) {
                     Ok(t) => t,
                     Err(c) => return c,
                 };
                 match schema.validate_stream(&text) {
                     Ok(n) => println!("{path}: {n} rows valid"),
-                    Err(e) => {
-                        eprintln!("softrate-inspect: {path}: {e}");
-                        return ExitCode::FAILURE;
-                    }
+                    Err(e) => return fail(&format!("{path}: {e}")),
                 }
             }
             ExitCode::SUCCESS
+        }
+        ("timeline", [metrics, decisions]) => {
+            let (tm, td) = match (read(metrics), read(decisions)) {
+                (Ok(tm), Ok(td)) => (tm, td),
+                (Err(c), _) | (_, Err(c)) => return c,
+            };
+            let station = match parse_flag::<u64>(&flags, "station") {
+                Ok(s) => s,
+                Err(e) => return fail(&e),
+            };
+            let run = match parse_flag::<u64>(&flags, "run") {
+                Ok(r) => r,
+                Err(e) => return fail(&e),
+            };
+            match timeline(&tm, &td, station, run) {
+                Ok(report) => {
+                    print!("{report}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        ("adapt", [decisions]) => {
+            let td = match read(decisions) {
+                Ok(t) => t,
+                Err(c) => return c,
+            };
+            let tm = match flag(&flags, "metrics").map(read).transpose() {
+                Ok(t) => t,
+                Err(c) => return c,
+            };
+            let drop_db = match parse_flag::<f64>(&flags, "drop-db") {
+                Ok(d) => d.unwrap_or(5.0),
+                Err(e) => return fail(&e),
+            };
+            match adapt_report(&td, tm.as_deref(), drop_db) {
+                Ok(report) => {
+                    print!("{report}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        ("compare", [am, ad, bm, bd]) => {
+            let texts: Result<Vec<String>, ExitCode> =
+                [am, ad, bm, bd].iter().map(|p| read(p)).collect();
+            let texts = match texts {
+                Ok(t) => t,
+                Err(c) => return c,
+            };
+            let drop_db = match parse_flag::<f64>(&flags, "drop-db") {
+                Ok(d) => d.unwrap_or(5.0),
+                Err(e) => return fail(&e),
+            };
+            match compare(&texts[0], &texts[1], &texts[2], &texts[3], drop_db) {
+                Ok((table, jsonl)) => {
+                    print!("{table}");
+                    if let Some(out) = flag(&flags, "json") {
+                        if let Err(e) = fs::write(out, &jsonl) {
+                            return fail(&format!("cannot write {out}: {e}"));
+                        }
+                        eprintln!("[wrote {out}]");
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(&e),
+            }
         }
         _ => usage(),
     }

@@ -117,6 +117,7 @@ impl LogHistogram {
             underflow: self.underflow,
             p50: self.percentile(0.50),
             p90: self.percentile(0.90),
+            p95: self.percentile(0.95),
             p99: self.percentile(0.99),
             buckets: self.buckets.iter().map(|(&i, &c)| (i, c)).collect(),
         }
@@ -179,8 +180,10 @@ mod tests {
         }
         assert_eq!(h.count(), 100);
         let p50 = h.percentile(0.50);
+        let p95 = h.percentile(0.95);
         let p99 = h.percentile(0.99);
         assert!(p50 > 40.0 && p50 < 64.0, "p50 = {p50}");
+        assert!(p95 >= p50 && p95 <= p99, "p95 = {p95} must sit between");
         assert!(p99 > 90.0 && p99 <= 128.0, "p99 = {p99}");
         assert!(h.percentile(1.0) >= p99);
     }

@@ -1,5 +1,6 @@
 //! The logic behind the `softrate-inspect` binary: parse, summarize,
-//! validate, and diff telemetry JSONL streams.
+//! validate, diff, and analyze telemetry JSONL streams (including the
+//! rate-decision ledger: `timeline`, `adapt`, `compare`).
 //!
 //! Kept in the library (rather than the binary) so the operations are
 //! unit-testable and available to other tools.
@@ -10,7 +11,7 @@ use std::fmt::Write as _;
 use serde::{Deserialize, Value};
 
 use crate::histogram::LogHistogram;
-use crate::rows::{AnomalyRow, HistRow, IntervalRow, TotalsRow, TraceRow};
+use crate::rows::{AnomalyRow, DecisionRow, HistRow, IntervalRow, TotalsRow, TraceRow};
 
 /// Any telemetry row, discriminated by its `kind` field.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +26,8 @@ pub enum Row {
     Anomaly(AnomalyRow),
     /// A frame-lifecycle trace row.
     Frame(TraceRow),
+    /// A rate-decision ledger row.
+    Decision(DecisionRow),
 }
 
 /// Parses one JSONL line into a typed row.
@@ -41,6 +44,7 @@ pub fn parse_line(line: &str) -> Result<Row, String> {
         "hist" => HistRow::from_value(&v).map(Row::Hist).map_err(err),
         "anomaly" => AnomalyRow::from_value(&v).map(Row::Anomaly).map_err(err),
         "frame" => TraceRow::from_value(&v).map(Row::Frame).map_err(err),
+        "decision" => DecisionRow::from_value(&v).map(Row::Decision).map_err(err),
         other => Err(format!("unknown row kind `{other}`")),
     }
 }
@@ -57,9 +61,35 @@ pub fn parse_stream(text: &str) -> Result<Vec<Row>, String> {
 
 // --- summarize --------------------------------------------------------
 
+/// A sortable per-station column of the totals rows (for `--top`).
+fn totals_column(t: &TotalsRow, col: &str) -> Option<f64> {
+    Some(match col {
+        "goodput" | "goodput_bps" => t.goodput_bps,
+        "attempts" => t.attempts as f64,
+        "frames_sent" => t.frames_sent as f64,
+        "frames_delivered" => t.frames_delivered as f64,
+        "retries" => t.retries as f64,
+        "drops" => t.drops as f64,
+        "loss_collision" => t.loss_collision as f64,
+        "loss_fading" => t.loss_fading as f64,
+        "loss_capture" => t.loss_capture as f64,
+        "handoffs" => t.handoffs as f64,
+        "air_s" => t.air_s,
+        _ => return None,
+    })
+}
+
 /// Human-readable summary of a metrics stream: per-run aggregates, the
 /// loss-attribution breakdown, histogram percentiles, and anomalies.
 pub fn summarize(text: &str) -> Result<String, String> {
+    summarize_with(text, None).map(|(out, _)| out)
+}
+
+/// [`summarize`] with options: `top = (N, column)` appends the N highest
+/// stations per run by `column`. The returned flag is `false` when any
+/// station's loss-attribution counts do not balance against its retries
+/// (`softrate-inspect summarize` exits non-zero on that).
+pub fn summarize_with(text: &str, top: Option<(usize, &str)>) -> Result<(String, bool), String> {
     let rows = parse_stream(text)?;
     let mut out = String::new();
     // (run_idx -> aggregated totals)
@@ -67,24 +97,36 @@ pub fn summarize(text: &str) -> Result<String, String> {
     let mut hists: Vec<&HistRow> = Vec::new();
     let mut anomalies: Vec<&AnomalyRow> = Vec::new();
     let mut n_intervals = 0usize;
+    let mut n_decisions = 0usize;
     for r in &rows {
         match r {
             Row::Totals(t) => runs.entry(t.run_idx).or_default().push(t.clone()),
             Row::Hist(h) => hists.push(h),
             Row::Anomaly(a) => anomalies.push(a),
             Row::Interval(_) => n_intervals += 1,
+            Row::Decision(_) => n_decisions += 1,
             Row::Frame(_) => {}
         }
     }
     let _ = writeln!(
         out,
-        "{} rows: {} interval, {} totals, {} hist, {} anomaly",
+        "{} rows: {} interval, {} totals, {} hist, {} anomaly, {} decision",
         rows.len(),
         n_intervals,
         runs.values().map(Vec::len).sum::<usize>(),
         hists.len(),
-        anomalies.len()
+        anomalies.len(),
+        n_decisions
     );
+    if let Some((_, col)) = top {
+        if !runs.is_empty() && totals_column(&runs.values().next().unwrap()[0], col).is_none() {
+            return Err(format!(
+                "--by `{col}` is not a sortable totals column (try goodput, \
+                 retries, drops, attempts, handoffs, air_s, loss_*)"
+            ));
+        }
+    }
+    let mut balanced = true;
     for (run, totals) in &runs {
         let stations = totals.len();
         let sum = |f: fn(&TotalsRow) -> u64| totals.iter().map(f).sum::<u64>();
@@ -120,6 +162,44 @@ pub fn summarize(text: &str) -> Result<String, String> {
         let drops = sum(|t| t.drops);
         let handoffs = sum(|t| t.handoffs);
         let _ = writeln!(out, "  drops {drops}, handoffs {handoffs}");
+        for t in totals {
+            let causes = t.loss_collision + t.loss_fading + t.loss_capture;
+            if causes != t.retries {
+                balanced = false;
+                let _ = writeln!(
+                    out,
+                    "  IMBALANCE station {}: retries {} != attributed losses {} \
+                     (collision {} + fading {} + capture {})",
+                    t.station, t.retries, causes, t.loss_collision, t.loss_fading, t.loss_capture
+                );
+            }
+        }
+        if let Some((n, col)) = top {
+            let mut ranked: Vec<&TotalsRow> = totals.iter().collect();
+            // Descending by the column, station index breaking ties so the
+            // listing is deterministic.
+            ranked.sort_by(|a, b| {
+                let (va, vb) = (
+                    totals_column(a, col).unwrap_or(0.0),
+                    totals_column(b, col).unwrap_or(0.0),
+                );
+                vb.partial_cmp(&va)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.station.cmp(&b.station))
+            });
+            let _ = writeln!(out, "  top {} stations by {col}:", n.min(ranked.len()));
+            for t in ranked.iter().take(n) {
+                let _ = writeln!(
+                    out,
+                    "    station {:>4}: {col}={:.3} goodput={:.2} Mbit/s retries={} drops={}",
+                    t.station,
+                    totals_column(t, col).unwrap_or(0.0),
+                    t.goodput_bps / 1e6,
+                    t.retries,
+                    t.drops
+                );
+            }
+        }
     }
     for h in hists {
         if h.count == 0 {
@@ -127,8 +207,18 @@ pub fn summarize(text: &str) -> Result<String, String> {
         }
         let _ = writeln!(
             out,
-            "hist {} (run {}): n={} p50={:.6}{} p90={:.6}{} p99={:.6}{}",
-            h.metric, h.run_idx, h.count, h.p50, h.unit, h.p90, h.unit, h.p99, h.unit
+            "hist {} (run {}): n={} p50={:.6}{} p90={:.6}{} p95={:.6}{} p99={:.6}{}",
+            h.metric,
+            h.run_idx,
+            h.count,
+            h.p50,
+            h.unit,
+            h.p90,
+            h.unit,
+            h.p95,
+            h.unit,
+            h.p99,
+            h.unit
         );
     }
     for a in anomalies {
@@ -138,7 +228,10 @@ pub fn summarize(text: &str) -> Result<String, String> {
             a.run_idx, a.station, a.t, a.anomaly, a.detail
         );
     }
-    Ok(out)
+    if !balanced {
+        let _ = writeln!(out, "loss attribution DOES NOT balance");
+    }
+    Ok((out, balanced))
 }
 
 // --- diff -------------------------------------------------------------
@@ -267,6 +360,535 @@ pub fn diff(a: &str, b: &str) -> Result<(String, bool), String> {
         }
     );
     Ok((out, identical))
+}
+
+// --- timeline ---------------------------------------------------------
+
+/// One merged point on a station's rate/SNR timeline: an interval gauge
+/// sample or a ledger decision.
+#[derive(Debug, Clone)]
+struct TimelinePoint {
+    t_us: u64,
+    rate: Option<u64>,
+    snr_db: Option<f64>,
+    /// `Some((trigger, reason))` when the point is a ledger decision.
+    decision: Option<(String, String)>,
+}
+
+/// Sparkline glyphs, lowest to highest; a space means "no sample yet".
+const SPARK: &[u8] = b".:-=+*#%@";
+
+fn spark_row(vals: &[Option<f64>], lo: f64, hi: f64) -> String {
+    vals.iter()
+        .map(|v| match v {
+            None => ' ',
+            Some(x) => {
+                let f = if hi > lo { (x - lo) / (hi - lo) } else { 0.5 };
+                let i = (f.clamp(0.0, 1.0) * (SPARK.len() - 1) as f64).round() as usize;
+                SPARK[i] as char
+            }
+        })
+        .collect()
+}
+
+fn trigger_char(trigger: &str) -> char {
+    match trigger {
+        "ack" => 'a',
+        "loss" => 'l',
+        "timeout" => 't',
+        "probe" => 'p',
+        "handoff_preserve" => 'h',
+        "handoff_reset" => 'R',
+        _ => '?',
+    }
+}
+
+fn json_opt_u64(v: Option<u64>) -> String {
+    v.map(|x| x.to_string())
+        .unwrap_or_else(|| "null".to_string())
+}
+
+fn json_opt_f64(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:?}"))
+        .unwrap_or_else(|| "null".to_string())
+}
+
+/// Per-station rate-vs-SNR step series with decision markers: merges the
+/// metrics stream's interval gauges with the decision ledger, and emits,
+/// per `(run, station)`, aligned `"timeline"` JSONL rows followed by an
+/// ASCII sparkline pair (rate on top, SNR below, decision-trigger markers
+/// between). Filterable by station and run.
+pub fn timeline(
+    metrics: &str,
+    decisions: &str,
+    station: Option<u64>,
+    run: Option<u64>,
+) -> Result<String, String> {
+    let want = |r: u64, s: u64| run.is_none_or(|x| x == r) && station.is_none_or(|x| x == s);
+    let mut groups: BTreeMap<(u64, u64), Vec<TimelinePoint>> = BTreeMap::new();
+    for row in parse_stream(metrics)? {
+        if let Row::Interval(i) = row {
+            if want(i.run_idx, i.station) && (i.rate_idx.is_some() || i.snr_db.is_some()) {
+                groups
+                    .entry((i.run_idx, i.station))
+                    .or_default()
+                    .push(TimelinePoint {
+                        t_us: (i.t1 * 1e6).round() as u64,
+                        rate: i.rate_idx,
+                        snr_db: i.snr_db,
+                        decision: None,
+                    });
+            }
+        }
+    }
+    for row in parse_stream(decisions)? {
+        if let Row::Decision(d) = row {
+            if want(d.run_idx, d.station) {
+                groups
+                    .entry((d.run_idx, d.station))
+                    .or_default()
+                    .push(TimelinePoint {
+                        t_us: d.t_us,
+                        rate: Some(d.new_rate),
+                        snr_db: d.snr_db,
+                        decision: Some((d.trigger, d.reason)),
+                    });
+            }
+        }
+    }
+    if groups.is_empty() {
+        return Err("no matching rows (check --station/--run filters)".to_string());
+    }
+    const WIDTH: usize = 72;
+    let mut out = String::new();
+    for ((run_idx, st), mut points) in groups {
+        // Stable merge: time first, interval samples before decisions at
+        // the same instant (the gauge describes the state *entering* it).
+        points.sort_by_key(|p| (p.t_us, p.decision.is_some()));
+        let n_dec = points.iter().filter(|p| p.decision.is_some()).count();
+        let _ = writeln!(
+            out,
+            "run {run_idx} station {st}: {} points, {n_dec} decisions",
+            points.len()
+        );
+        for p in &points {
+            let (trig, reason) = match &p.decision {
+                Some((t, r)) => (format!("\"{t}\""), format!("\"{r}\"")),
+                None => ("null".to_string(), "null".to_string()),
+            };
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"timeline\",\"run_idx\":{run_idx},\"station\":{st},\
+                 \"t_us\":{},\"rate\":{},\"snr_db\":{},\"trigger\":{trig},\"reason\":{reason}}}",
+                p.t_us,
+                json_opt_u64(p.rate),
+                json_opt_f64(p.snr_db),
+            );
+        }
+        let (t0, t1) = (points[0].t_us, points[points.len() - 1].t_us);
+        let span = (t1 - t0).max(1);
+        let col = |t: u64| (((t - t0) as u128 * (WIDTH as u128 - 1)) / span as u128) as usize;
+        let mut rate_cols: Vec<Option<f64>> = vec![None; WIDTH];
+        let mut snr_cols: Vec<Option<f64>> = vec![None; WIDTH];
+        let mut marks: Vec<u32> = vec![0; WIDTH];
+        let mut mark_ch: Vec<char> = vec![' '; WIDTH];
+        let mut max_rate = 0f64;
+        let (mut snr_lo, mut snr_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for p in &points {
+            let c = col(p.t_us);
+            if let Some(r) = p.rate {
+                rate_cols[c] = Some(r as f64);
+                max_rate = max_rate.max(r as f64);
+            }
+            if let Some(s) = p.snr_db {
+                snr_cols[c] = Some(s);
+                snr_lo = snr_lo.min(s);
+                snr_hi = snr_hi.max(s);
+            }
+            if let Some((trigger, _)) = &p.decision {
+                marks[c] += 1;
+                mark_ch[c] = trigger_char(trigger);
+            }
+        }
+        // A step series: carry the last sample forward through empty
+        // columns so the sparkline reads as rate/SNR held over time.
+        for cols in [&mut rate_cols, &mut snr_cols] {
+            let mut last = None;
+            for v in cols.iter_mut() {
+                match v {
+                    Some(x) => last = Some(*x),
+                    None => *v = last,
+                }
+            }
+        }
+        let _ = writeln!(out, "  rate |{}|", spark_row(&rate_cols, 0.0, max_rate));
+        let marker_line: String = marks
+            .iter()
+            .zip(&mark_ch)
+            .map(|(&n, &ch)| if n > 1 { '*' } else { ch })
+            .collect();
+        let _ = writeln!(out, "  dec  |{marker_line}|");
+        if snr_lo.is_finite() {
+            let _ = writeln!(
+                out,
+                "  snr  |{}|  [{snr_lo:.1}..{snr_hi:.1} dB]",
+                spark_row(&snr_cols, snr_lo, snr_hi)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "       t = {:.3}s .. {:.3}s  (markers: a=ack l=loss t=timeout p=probe \
+             h=handoff_preserve R=handoff_reset *=multiple)",
+            t0 as f64 / 1e6,
+            t1 as f64 / 1e6
+        );
+    }
+    Ok(out)
+}
+
+// --- adapt ------------------------------------------------------------
+
+/// Adaptation-behavior statistics for one `(run, station)` ledger slice.
+#[derive(Debug, Clone, Default)]
+pub struct AdaptStats {
+    /// Ledger rows seen.
+    pub decisions: u64,
+    /// Rows that actually changed the rate (`old != new`).
+    pub changes: u64,
+    /// Rate changes per simulated second (churn).
+    pub churn_per_s: f64,
+    /// Fraction of changes that exactly revert the previous change
+    /// (A→B immediately followed by B→A): 0 = monotone, 1 = ping-pong.
+    pub oscillation: f64,
+    /// Ledger rows per trigger class.
+    pub triggers: BTreeMap<String, u64>,
+    /// SNR drops of at least the threshold observed on this station.
+    pub snr_drops: u64,
+    /// Drops after which the rate returned to its pre-drop value.
+    pub recovered: u64,
+    /// Seconds from each recovered drop to its recovery, summed.
+    pub recover_total_s: f64,
+    /// Slowest single recovery, seconds.
+    pub recover_max_s: f64,
+}
+
+impl AdaptStats {
+    /// Mean time-to-recover over the recovered drops, if any.
+    pub fn mean_recover_s(&self) -> Option<f64> {
+        (self.recovered > 0).then(|| self.recover_total_s / self.recovered as f64)
+    }
+}
+
+/// Computes per-`(run, station)` adaptation statistics from a decision
+/// ledger. `durations` supplies each run's length in seconds (from the
+/// metrics stream when available); runs not in the map fall back to the
+/// ledger's own time span. `drop_db` is the SNR-drop threshold for the
+/// time-to-recover analysis.
+pub fn adapt_stats(
+    decisions: &str,
+    durations: &BTreeMap<u64, f64>,
+    drop_db: f64,
+) -> Result<BTreeMap<(u64, u64), AdaptStats>, String> {
+    let mut groups: BTreeMap<(u64, u64), Vec<DecisionRow>> = BTreeMap::new();
+    for row in parse_stream(decisions)? {
+        if let Row::Decision(d) = row {
+            groups.entry((d.run_idx, d.station)).or_default().push(d);
+        }
+    }
+    let mut out = BTreeMap::new();
+    for ((run, st), rows) in groups {
+        // Ledger rows are already in event-loop (time) order; keep it.
+        let mut s = AdaptStats {
+            decisions: rows.len() as u64,
+            ..AdaptStats::default()
+        };
+        let mut last_snr: Option<f64> = None;
+        let mut prev_change: Option<(u64, u64)> = None;
+        let mut reversals = 0u64;
+        // Open SNR drops awaiting recovery: (drop time, pre-drop rate).
+        let mut open_drops: Vec<(u64, u64)> = Vec::new();
+        let mut cur_rate: Option<u64> = None;
+        for d in &rows {
+            *s.triggers.entry(d.trigger.clone()).or_insert(0) += 1;
+            let rate_before = cur_rate.unwrap_or(d.old_rate);
+            if let Some(snr) = d.snr_db {
+                if let Some(prev) = last_snr {
+                    if prev - snr >= drop_db {
+                        s.snr_drops += 1;
+                        open_drops.push((d.t_us, rate_before));
+                    }
+                }
+                last_snr = Some(snr);
+            }
+            if d.old_rate != d.new_rate {
+                s.changes += 1;
+                if let Some((from, to)) = prev_change {
+                    if d.old_rate == to && d.new_rate == from {
+                        reversals += 1;
+                    }
+                }
+                prev_change = Some((d.old_rate, d.new_rate));
+            }
+            cur_rate = Some(d.new_rate);
+            open_drops.retain(|&(t_drop, pre_rate)| {
+                if d.new_rate >= pre_rate {
+                    s.recovered += 1;
+                    let dt = (d.t_us - t_drop) as f64 / 1e6;
+                    s.recover_total_s += dt;
+                    s.recover_max_s = s.recover_max_s.max(dt);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        let span = durations.get(&run).copied().unwrap_or_else(|| {
+            let (t0, t1) = (rows[0].t_us, rows[rows.len() - 1].t_us);
+            ((t1 - t0) as f64 / 1e6).max(1e-9)
+        });
+        s.churn_per_s = s.changes as f64 / span.max(1e-9);
+        s.oscillation = if s.changes > 0 {
+            reversals as f64 / s.changes as f64
+        } else {
+            0.0
+        };
+        out.insert((run, st), s);
+    }
+    Ok(out)
+}
+
+/// Extracts each run's duration (max interval end) from a metrics stream.
+pub fn run_durations(metrics: &str) -> Result<BTreeMap<u64, f64>, String> {
+    let mut out: BTreeMap<u64, f64> = BTreeMap::new();
+    for row in parse_stream(metrics)? {
+        if let Row::Interval(i) = row {
+            let e = out.entry(i.run_idx).or_insert(0.0);
+            *e = e.max(i.t1);
+        }
+    }
+    Ok(out)
+}
+
+/// Human-readable adaptation-behavior report over a decision ledger:
+/// per-station churn, oscillation score, trigger-class fractions, and
+/// time-to-recover after each SNR drop of at least `drop_db` dB.
+pub fn adapt_report(
+    decisions: &str,
+    metrics: Option<&str>,
+    drop_db: f64,
+) -> Result<String, String> {
+    let durations = match metrics {
+        Some(m) => run_durations(m)?,
+        None => BTreeMap::new(),
+    };
+    let stats = adapt_stats(decisions, &durations, drop_db)?;
+    if stats.is_empty() {
+        return Err("no decision rows in the ledger".to_string());
+    }
+    let mut out = String::new();
+    let mut runs: BTreeMap<u64, Vec<(u64, &AdaptStats)>> = BTreeMap::new();
+    for ((run, st), s) in &stats {
+        runs.entry(*run).or_default().push((*st, s));
+    }
+    for (run, stations) in &runs {
+        let agg = |f: &dyn Fn(&AdaptStats) -> u64| stations.iter().map(|(_, s)| f(s)).sum::<u64>();
+        let decisions = agg(&|s| s.decisions);
+        let changes = agg(&|s| s.changes);
+        let drops = agg(&|s| s.snr_drops);
+        let recovered = agg(&|s| s.recovered);
+        let churn: f64 =
+            stations.iter().map(|(_, s)| s.churn_per_s).sum::<f64>() / stations.len() as f64;
+        let osc: f64 =
+            stations.iter().map(|(_, s)| s.oscillation).sum::<f64>() / stations.len() as f64;
+        let recover_total: f64 = stations.iter().map(|(_, s)| s.recover_total_s).sum();
+        let recover_max = stations
+            .iter()
+            .map(|(_, s)| s.recover_max_s)
+            .fold(0.0, f64::max);
+        let _ = writeln!(
+            out,
+            "run {run}: {} stations, {decisions} decisions, {changes} rate changes, \
+             churn {churn:.3}/s/station, oscillation {osc:.3}",
+            stations.len()
+        );
+        let mut triggers: BTreeMap<&str, u64> = BTreeMap::new();
+        for (_, s) in stations {
+            for (t, n) in &s.triggers {
+                *triggers.entry(t).or_insert(0) += n;
+            }
+        }
+        let parts: Vec<String> = triggers
+            .iter()
+            .map(|(t, n)| format!("{t} {n} ({:.1}%)", 100.0 * *n as f64 / decisions as f64))
+            .collect();
+        let _ = writeln!(out, "  triggers: {}", parts.join(", "));
+        if drops > 0 {
+            let mean = if recovered > 0 {
+                format!("{:.4}s", recover_total / recovered as f64)
+            } else {
+                "n/a".to_string()
+            };
+            let _ = writeln!(
+                out,
+                "  snr drops >= {drop_db:.1} dB: {drops} \
+                 (recovered {recovered}, mean time-to-recover {mean}, max {recover_max:.4}s)"
+            );
+        } else {
+            let _ = writeln!(out, "  snr drops >= {drop_db:.1} dB: 0");
+        }
+        for (st, s) in stations {
+            let _ = writeln!(
+                out,
+                "  station {st:>4}: {} decisions, {} changes, churn {:.3}/s, \
+                 oscillation {:.3}, drops {} (recovered {})",
+                s.decisions, s.changes, s.churn_per_s, s.oscillation, s.snr_drops, s.recovered
+            );
+        }
+    }
+    Ok(out)
+}
+
+// --- compare ----------------------------------------------------------
+
+/// One run's aggregate figures on one side of a comparison.
+#[derive(Debug, Clone, Default)]
+struct RunFigures {
+    goodput_bps: f64,
+    retries: u64,
+    drops: u64,
+    churn_per_s: f64,
+    mean_recover_s: Option<f64>,
+}
+
+fn run_figures(
+    metrics: &str,
+    decisions: &str,
+    drop_db: f64,
+) -> Result<BTreeMap<u64, RunFigures>, String> {
+    let mut out: BTreeMap<u64, RunFigures> = BTreeMap::new();
+    for row in parse_stream(metrics)? {
+        if let Row::Totals(t) = row {
+            let f = out.entry(t.run_idx).or_default();
+            f.goodput_bps += t.goodput_bps;
+            f.retries += t.retries;
+            f.drops += t.drops;
+        }
+    }
+    let durations = run_durations(metrics)?;
+    let stats = adapt_stats(decisions, &durations, drop_db)?;
+    let mut churn: BTreeMap<u64, (f64, usize)> = BTreeMap::new();
+    let mut recover: BTreeMap<u64, (f64, u64)> = BTreeMap::new();
+    for ((run, _), s) in &stats {
+        let c = churn.entry(*run).or_insert((0.0, 0));
+        c.0 += s.churn_per_s;
+        c.1 += 1;
+        let r = recover.entry(*run).or_insert((0.0, 0));
+        r.0 += s.recover_total_s;
+        r.1 += s.recovered;
+    }
+    for (run, (total, n)) in churn {
+        out.entry(run).or_default().churn_per_s = total / n.max(1) as f64;
+    }
+    for (run, (total, n)) in recover {
+        if n > 0 {
+            out.entry(run).or_default().mean_recover_s = Some(total / n as f64);
+        }
+    }
+    Ok(out)
+}
+
+/// Compares two runs' (metrics, decisions) stream pairs: per `run_idx`, a
+/// league table of goodput / retries / drops / churn / time-to-recover
+/// deltas. Returns `(human table, machine-readable JSONL)`.
+pub fn compare(
+    a_metrics: &str,
+    a_decisions: &str,
+    b_metrics: &str,
+    b_decisions: &str,
+    drop_db: f64,
+) -> Result<(String, String), String> {
+    let fa = run_figures(a_metrics, a_decisions, drop_db)?;
+    let fb = run_figures(b_metrics, b_decisions, drop_db)?;
+    let runs: std::collections::BTreeSet<u64> = fa.keys().chain(fb.keys()).copied().collect();
+    if runs.is_empty() {
+        return Err("no totals rows in either metrics stream".to_string());
+    }
+    let mut table = String::new();
+    let mut jsonl = String::new();
+    let _ = writeln!(
+        table,
+        "{:>4} {:>12} {:>12} {:>8} {:>10} {:>10} {:>8} {:>9} {:>9} {:>8} {:>11} {:>11}",
+        "run",
+        "goodput_a",
+        "goodput_b",
+        "d%",
+        "retries_a",
+        "retries_b",
+        "d%",
+        "churn_a",
+        "churn_b",
+        "d%",
+        "recover_a",
+        "recover_b"
+    );
+    let pct = |a: f64, b: f64| {
+        if a.abs() > 1e-12 {
+            100.0 * (b - a) / a
+        } else if b.abs() > 1e-12 {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    };
+    let def = RunFigures::default();
+    for run in runs {
+        let a = fa.get(&run).unwrap_or(&def);
+        let b = fb.get(&run).unwrap_or(&def);
+        let fmt_rec = |r: Option<f64>| {
+            r.map(|x| format!("{x:.4}s"))
+                .unwrap_or_else(|| "n/a".to_string())
+        };
+        let _ = writeln!(
+            table,
+            "{run:>4} {:>12.3} {:>12.3} {:>+8.1} {:>10} {:>10} {:>+8.1} {:>9.3} {:>9.3} {:>+8.1} {:>11} {:>11}",
+            a.goodput_bps / 1e6,
+            b.goodput_bps / 1e6,
+            pct(a.goodput_bps, b.goodput_bps),
+            a.retries,
+            b.retries,
+            pct(a.retries as f64, b.retries as f64),
+            a.churn_per_s,
+            b.churn_per_s,
+            pct(a.churn_per_s, b.churn_per_s),
+            fmt_rec(a.mean_recover_s),
+            fmt_rec(b.mean_recover_s),
+        );
+        let _ = writeln!(
+            jsonl,
+            "{{\"kind\":\"compare\",\"run_idx\":{run},\
+             \"goodput_a_bps\":{:?},\"goodput_b_bps\":{:?},\
+             \"retries_a\":{},\"retries_b\":{},\
+             \"drops_a\":{},\"drops_b\":{},\
+             \"churn_a_per_s\":{:?},\"churn_b_per_s\":{:?},\
+             \"recover_a_s\":{},\"recover_b_s\":{}}}",
+            a.goodput_bps,
+            b.goodput_bps,
+            a.retries,
+            b.retries,
+            a.drops,
+            b.drops,
+            a.churn_per_s,
+            b.churn_per_s,
+            json_opt_f64(a.mean_recover_s),
+            json_opt_f64(b.mean_recover_s),
+        );
+    }
+    let _ = writeln!(
+        table,
+        "(goodput Mbit/s; churn = mean rate changes/s/station; recover = mean \
+         time back to the pre-drop rate after a >= {drop_db:.1} dB SNR drop)"
+    );
+    Ok((table, jsonl))
 }
 
 // --- validate ---------------------------------------------------------
@@ -454,6 +1076,120 @@ mod tests {
         let (report, same) = diff(&jsonl, &other.metrics_jsonl()).unwrap();
         assert!(!same);
         assert!(report.contains("totals run 0 station 0"), "{report}");
+    }
+
+    fn decision_line(
+        t_us: u64,
+        station: u64,
+        old: u64,
+        new: u64,
+        trigger: &str,
+        snr: Option<f64>,
+        reason: &str,
+    ) -> String {
+        let row = DecisionRow {
+            kind: "decision".to_string(),
+            run_idx: 0,
+            t_us,
+            station,
+            port: station,
+            adapter: "SoftRate".to_string(),
+            old_rate: old,
+            new_rate: new,
+            trigger: trigger.to_string(),
+            snr_db: snr,
+            ber: None,
+            reason: reason.to_string(),
+        };
+        format!("{}\n", serde_json::to_string(&row).unwrap())
+    }
+
+    fn sample_ledger() -> String {
+        // Station 0: climbs, takes a 6 dB SNR hit, sheds two rates, then
+        // recovers; the 5→4→5 pair is one oscillation reversal.
+        let mut s = String::new();
+        s += &decision_line(100_000, 0, 4, 5, "ack", Some(22.0), "threshold-crossing");
+        s += &decision_line(200_000, 0, 5, 4, "loss", Some(16.0), "threshold-crossing");
+        s += &decision_line(250_000, 0, 4, 5, "ack", Some(21.5), "threshold-crossing");
+        s += &decision_line(300_000, 0, 5, 3, "loss", Some(15.0), "threshold-crossing");
+        s += &decision_line(500_000, 0, 3, 5, "ack", Some(21.0), "threshold-crossing");
+        s += &decision_line(400_000, 1, 2, 2, "handoff_preserve", None, "ap-change");
+        s
+    }
+
+    #[test]
+    fn adapt_stats_measure_churn_oscillation_and_recovery() {
+        let ledger = sample_ledger();
+        let durations = BTreeMap::from([(0u64, 1.0f64)]);
+        let stats = adapt_stats(&ledger, &durations, 5.0).unwrap();
+        let s0 = &stats[&(0, 0)];
+        assert_eq!(s0.decisions, 5);
+        assert_eq!(s0.changes, 5);
+        assert!((s0.churn_per_s - 5.0).abs() < 1e-12);
+        // Three exact reversals (5->4, 4->5 revert each other; 3->5
+        // reverts 5->3) out of 5 changes.
+        assert!((s0.oscillation - 0.6).abs() < 1e-12, "{}", s0.oscillation);
+        // Two >= 5 dB drops (22 -> 16 at 200ms, 21.5 -> 15 at 300ms); the
+        // rate is back to its pre-drop value at 250ms resp. 500ms, so the
+        // recover times are 0.05s and 0.2s.
+        assert_eq!(s0.snr_drops, 2);
+        assert_eq!(s0.recovered, 2);
+        assert!((s0.mean_recover_s().unwrap() - 0.125).abs() < 1e-12);
+        assert_eq!(s0.triggers["ack"], 3);
+        assert_eq!(s0.triggers["loss"], 2);
+        // The handoff_preserve row is not a rate change.
+        let s1 = &stats[&(0, 1)];
+        assert_eq!(s1.decisions, 1);
+        assert_eq!(s1.changes, 0);
+        let report = adapt_report(&ledger, None, 5.0).unwrap();
+        assert!(report.contains("snr drops >= 5.0 dB: 2"), "{report}");
+        assert!(report.contains("handoff_preserve 1"), "{report}");
+    }
+
+    #[test]
+    fn timeline_aligns_and_marks_decisions() {
+        let rep = sample_report();
+        let ledger = sample_ledger();
+        let out = timeline(&rep.metrics_jsonl(), &ledger, Some(0), Some(0)).unwrap();
+        assert!(out.contains("\"kind\":\"timeline\""), "{out}");
+        assert!(out.contains("\"trigger\":\"ack\""), "{out}");
+        assert!(out.contains("rate |"), "{out}");
+        assert!(out.contains("dec  |"), "{out}");
+        // Station filter excludes station 1's handoff row.
+        assert!(!out.contains("\"trigger\":\"handoff_preserve\""), "{out}");
+        assert!(timeline(&rep.metrics_jsonl(), &ledger, Some(99), None).is_err());
+    }
+
+    #[test]
+    fn compare_builds_league_table_and_jsonl() {
+        let rep = sample_report();
+        let metrics = rep.metrics_jsonl();
+        let ledger = sample_ledger();
+        let (table, jsonl) = compare(&metrics, &ledger, &metrics, &ledger, 5.0).unwrap();
+        assert!(table.contains("goodput_a"), "{table}");
+        assert!(jsonl.contains("\"kind\":\"compare\""), "{jsonl}");
+        assert!(jsonl.contains("\"run_idx\":0"), "{jsonl}");
+        // Identical inputs: every delta column is +0.0.
+        assert!(table.contains("+0.0"), "{table}");
+    }
+
+    #[test]
+    fn summarize_top_ranks_and_imbalance_fails() {
+        let rep = sample_report();
+        let (out, balanced) = summarize_with(&rep.metrics_jsonl(), Some((2, "retries"))).unwrap();
+        assert!(balanced, "{out}");
+        assert!(out.contains("top 2 stations by retries"), "{out}");
+        // Station 1 has the retry; it must rank first.
+        let top_block = out.split("top 2 stations").nth(1).unwrap();
+        let first = top_block.lines().nth(1).unwrap();
+        assert!(first.contains("station    1"), "{first}");
+        // Corrupt one totals row: retries no longer match the causes.
+        let mut broken = rep.clone();
+        broken.totals[1].retries += 1;
+        let (out, balanced) = summarize_with(&broken.metrics_jsonl(), None).unwrap();
+        assert!(!balanced);
+        assert!(out.contains("IMBALANCE station 1"), "{out}");
+        assert!(summarize_with(&rep.metrics_jsonl(), Some((1, "nope"))).is_err());
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //!    fading / interference-capture at the point the fate is decided,
 //!    aggregated per station per interval (the paper's §6 loss-vs-fading
 //!    analysis).
+//! 4. **The rate-decision ledger** — one row per rate-adaptation decision
+//!    (old/new rate, trigger class, SNR/BER input, adapter-specific
+//!    reason code), recorded by adapters through the `DecisionCtx` seam
+//!    and drained by the MAC engine, so "why did the adapter pick rate r
+//!    at time t" is a first-class question (see DESIGN.md §10).
 //!
 //! The [`Recorder`] is the seam the simulators thread through their MAC
 //! engine, transport layer, and media. It is deliberately inert: it never
@@ -40,5 +45,7 @@ pub mod recorder;
 pub mod rows;
 
 pub use histogram::LogHistogram;
-pub use recorder::{LossCause, OutcomeEvent, Recorder, RecorderConfig, TelemetryReport};
-pub use rows::{AnomalyRow, HistRow, IntervalRow, TotalsRow, TraceRow};
+pub use recorder::{
+    DecisionEvent, LossCause, OutcomeEvent, Recorder, RecorderConfig, TelemetryReport,
+};
+pub use rows::{AnomalyRow, DecisionRow, HistRow, IntervalRow, TotalsRow, TraceRow};

@@ -18,7 +18,7 @@
 use std::collections::VecDeque;
 
 use crate::histogram::LogHistogram;
-use crate::rows::{AnomalyRow, HistRow, IntervalRow, TotalsRow, TraceRow};
+use crate::rows::{AnomalyRow, DecisionRow, HistRow, IntervalRow, TotalsRow, TraceRow};
 
 /// Why a failed attempt failed. Decided where the fate is decided: the
 /// engine combines the medium's corruption bookkeeping with the feedback
@@ -53,6 +53,8 @@ pub struct RecorderConfig {
     pub interval: f64,
     /// Whether frame-lifecycle tracing (and the flight recorder) is on.
     pub trace: bool,
+    /// Whether the rate-decision ledger is on.
+    pub decisions: bool,
     /// Restrict the streamed trace to one station.
     pub trace_station: Option<usize>,
     /// Streamed-trace window start, simulated seconds.
@@ -74,6 +76,7 @@ impl Default for RecorderConfig {
         RecorderConfig {
             interval: 0.1,
             trace: false,
+            decisions: false,
             trace_station: None,
             trace_from: 0.0,
             trace_until: f64::INFINITY,
@@ -97,6 +100,8 @@ pub struct TelemetryReport {
     pub anomalies: Vec<AnomalyRow>,
     /// Streamed + flight-recorder-dumped frame-lifecycle records.
     pub trace: Vec<TraceRow>,
+    /// Rate-decision ledger rows, in decision order.
+    pub decisions: Vec<DecisionRow>,
 }
 
 impl TelemetryReport {
@@ -116,6 +121,9 @@ impl TelemetryReport {
             r.run_idx = run_idx;
         }
         for r in &mut self.trace {
+            r.run_idx = run_idx;
+        }
+        for r in &mut self.decisions {
             r.run_idx = run_idx;
         }
     }
@@ -152,6 +160,16 @@ impl TelemetryReport {
         }
         out
     }
+
+    /// The decision ledger: one JSON object per rate decision.
+    pub fn decisions_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.decisions {
+            out.push_str(&serde_json::to_string(r).expect("decision row serializes"));
+            out.push('\n');
+        }
+        out
+    }
 }
 
 /// One resolved MAC attempt, as reported by the engine at the close of
@@ -183,6 +201,32 @@ pub struct OutcomeEvent {
     pub snr_db: Option<f64>,
     /// Loss attribution; `Some` exactly when `!acked`.
     pub cause: Option<LossCause>,
+}
+
+/// One rate-adaptation decision, as reported by the engine (the engine
+/// resolves the adapter's [`softrate_core`-side] decision record into
+/// station/port coordinates and trigger names before calling the hook).
+#[derive(Debug, Clone, Copy)]
+pub struct DecisionEvent<'a> {
+    /// Station (flow) the deciding port belongs to.
+    pub station: usize,
+    /// Port index inside the simulator.
+    pub port: usize,
+    /// Adapter short name.
+    pub adapter: &'a str,
+    /// Rate index before the decision.
+    pub old_rate: usize,
+    /// Rate index after the decision.
+    pub new_rate: usize,
+    /// Trigger class name (`ack`, `loss`, `timeout`, `probe`,
+    /// `handoff_preserve`, `handoff_reset`).
+    pub trigger: &'a str,
+    /// SNR input at decision time, dB.
+    pub snr_db: Option<f64>,
+    /// BER input at decision time.
+    pub ber: Option<f64>,
+    /// Adapter-specific reason code.
+    pub reason: &'a str,
 }
 
 /// Per-station accumulator for the open interval (and, with a different
@@ -243,6 +287,7 @@ pub struct Recorder {
     intervals: Vec<IntervalRow>,
     anomalies: Vec<AnomalyRow>,
     trace: Vec<TraceRow>,
+    decisions: Vec<DecisionRow>,
     ring: VecDeque<TraceRow>,
 }
 
@@ -266,6 +311,7 @@ impl Recorder {
             intervals: Vec::new(),
             anomalies: Vec::new(),
             trace: Vec::new(),
+            decisions: Vec::new(),
             ring: VecDeque::new(),
             cfg,
         }
@@ -544,6 +590,36 @@ impl Recorder {
         }
     }
 
+    /// A rate-adaptation decision was made. Ledger rows are appended in
+    /// call order — the engine calls this from its (single-threaded,
+    /// deterministic) event loop, so the ledger is byte-identical across
+    /// host thread counts. The hook touches no interval or histogram
+    /// state: enabling the ledger never changes the other two streams.
+    pub fn on_decision(&mut self, now: f64, ev: DecisionEvent<'_>) {
+        if !self.cfg.decisions {
+            return;
+        }
+        self.decisions.push(DecisionRow {
+            kind: "decision".to_string(),
+            run_idx: 0,
+            t_us: (now * 1e6).round() as u64,
+            station: ev.station as u64,
+            port: ev.port as u64,
+            adapter: ev.adapter.to_string(),
+            old_rate: ev.old_rate as u64,
+            new_rate: ev.new_rate as u64,
+            trigger: ev.trigger.to_string(),
+            snr_db: ev.snr_db,
+            ber: ev.ber,
+            reason: ev.reason.to_string(),
+        });
+    }
+
+    /// Whether the engine should bother collecting decisions at all.
+    pub fn wants_decisions(&self) -> bool {
+        self.cfg.decisions
+    }
+
     /// `station` completed a handoff.
     pub fn on_handoff(&mut self, now: f64, station: usize) {
         self.advance(now);
@@ -600,6 +676,7 @@ impl Recorder {
             hists,
             anomalies: self.anomalies,
             trace: self.trace,
+            decisions: self.decisions,
         }
     }
 }
@@ -714,6 +791,42 @@ mod tests {
             .anomalies
             .iter()
             .any(|a| a.anomaly == "goodput-collapse"));
+    }
+
+    #[test]
+    fn decision_ledger_records_only_when_enabled() {
+        let ev = DecisionEvent {
+            station: 2,
+            port: 2,
+            adapter: "SoftRate",
+            old_rate: 3,
+            new_rate: 1,
+            trigger: "loss",
+            snr_db: None,
+            ber: Some(2e-3),
+            reason: "threshold-crossing",
+        };
+        let mut off = Recorder::new(RecorderConfig::default(), 4, 4);
+        assert!(!off.wants_decisions());
+        off.on_decision(0.123456, ev);
+        assert!(off.finish(1.0).decisions.is_empty());
+        let mut on = Recorder::new(
+            RecorderConfig {
+                decisions: true,
+                ..RecorderConfig::default()
+            },
+            4,
+            4,
+        );
+        assert!(on.wants_decisions());
+        on.on_decision(0.123456, ev);
+        let rep = on.finish(1.0);
+        assert_eq!(rep.decisions.len(), 1);
+        let row = &rep.decisions[0];
+        assert_eq!(row.t_us, 123456);
+        assert_eq!((row.old_rate, row.new_rate), (3, 1));
+        assert_eq!(row.trigger, "loss");
+        assert!(rep.decisions_jsonl().contains("\"kind\":\"decision\""));
     }
 
     #[test]

@@ -1,9 +1,11 @@
-//! The serialized row types of the two telemetry streams.
+//! The serialized row types of the three telemetry streams.
 //!
 //! Every row carries a `kind` discriminator so a stream can be parsed
 //! line-by-line without context: the metrics stream holds `"interval"`,
 //! `"totals"`, `"hist"` and `"anomaly"` rows, the trace stream `"frame"`
-//! rows. Field order is fixed by declaration order, values are produced
+//! rows, and the decision ledger `"decision"` rows (one per
+//! rate-adaptation decision). Field order is fixed by declaration order,
+//! values are produced
 //! deterministically by the [`crate::Recorder`], so two runs of the same
 //! configuration — at any thread count — serialize byte-identically.
 
@@ -117,6 +119,8 @@ pub struct HistRow {
     pub p50: f64,
     /// 90th percentile.
     pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
     /// 99th percentile.
     pub p99: f64,
     /// Sparse `(bucket index, count)` pairs, ascending by index.
@@ -177,4 +181,41 @@ pub struct TraceRow {
     pub queue_depth: Option<u64>,
     /// This row was dumped from the flight-recorder ring on an anomaly.
     pub dump: bool,
+}
+
+/// One rate-adaptation decision (the decision-ledger stream).
+///
+/// Emitted at the moment an adapter changes (or deliberately deviates
+/// from) its current rate, or when the engine/medium overrides the
+/// adapter's choice (the spatial omniscient oracle, roaming handoffs).
+/// Rows appear in deterministic (time, station, call) order, so the
+/// ledger is byte-identical across thread counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionRow {
+    /// Row discriminator: always `"decision"`.
+    pub kind: String,
+    /// The run this row belongs to.
+    pub run_idx: u64,
+    /// Decision time, integer simulated microseconds.
+    pub t_us: u64,
+    /// Station (flow) the deciding port belongs to.
+    pub station: u64,
+    /// Port index inside the simulator (uplink/downlink ports differ).
+    pub port: u64,
+    /// Adapter short name ("SoftRate", "SampleRate", ...).
+    pub adapter: String,
+    /// Rate index before the decision.
+    pub old_rate: u64,
+    /// Rate index after the decision.
+    pub new_rate: u64,
+    /// Trigger class: `ack`, `loss`, `timeout`, `probe`,
+    /// `handoff_preserve`, or `handoff_reset`.
+    pub trigger: String,
+    /// SNR input observed at decision time, dB (if any).
+    pub snr_db: Option<f64>,
+    /// BER input observed at decision time (if any).
+    pub ber: Option<f64>,
+    /// Adapter-specific reason code (e.g. `threshold-crossing`,
+    /// `airtime-table-winner`, `silent-loss-limit`).
+    pub reason: String,
 }
