@@ -3,11 +3,15 @@
 //!
 //! The scaling story of `softrate-net`: streaming channels keep memory
 //! O(stations), so the only question is event-loop throughput. This bench
-//! runs a roaming random-waypoint deployment on a 3x3 AP grid at a ladder
-//! of station counts and reports simulated seconds, wall seconds,
-//! events/sec, and sim-time speedup, then drops machine-readable results
-//! in `BENCH_netscale.json` at the repository root — the seed of the
-//! repo's perf trajectory (compare across PRs).
+//! runs a roaming random-waypoint deployment at a ladder of station
+//! counts — 3x3-AP floors up to 1600 stations, then constant-density
+//! city-scale floors at 10k/50k/100k — and reports simulated seconds,
+//! wall seconds, events/sec, and sim-time speedup, then drops
+//! machine-readable results in `BENCH_netscale.json` at the repository
+//! root — the seed of the repo's perf trajectory (compare across PRs).
+//! Every rung (station count, AP grid, simulated seconds, kickoff
+//! stagger) is defined once in [`LADDER`]; the traffic modes and the
+//! smoke ladder select rungs from it rather than redefining them.
 //!
 //! Measurement hygiene: one unrecorded warmup run precedes the ladder
 //! and every point reports the best of two timed runs (the simulation is
@@ -17,13 +21,21 @@
 //! `--smoke` (or `SOFTRATE_SMOKE=1`) shrinks the ladder and the duration.
 //! `--profile` additionally prints a per-phase wall-time breakdown
 //! (sense / begin / collision / fate / roam / transport / outcome /
-//! queue+dispatch) per ladder point, so future perf PRs know where the
-//! time goes. Profiled rows keep identical simulation results but carry
-//! timer overhead, so the JSON is only refreshed on unprofiled runs.
-//! `--gate` is the CI perf check: one quick 400-station measurement that
-//! must stay within 30% of the committed trajectory — and, when the
-//! committed file carries a TCP trajectory, a second 400-station
-//! TCP-traffic measurement against it.
+//! sync / queue+dispatch) per ladder point, so future perf PRs know where
+//! the time goes. Profiled rows keep identical simulation results but
+//! carry timer overhead, so the JSON is only refreshed on unprofiled
+//! runs. `--gate` is the CI perf check: one quick 400-station measurement
+//! that must stay within 30% of the committed trajectory — plus, when the
+//! committed file carries them, a 400-station TCP point and a sharded
+//! 1600-station point (skipped with a notice when the host has fewer
+//! cores than the committed row's shard count).
+//!
+//! `--shards N` runs the ladder under the conservative parallel scheduler
+//! (`SpatialConfig::shards = N`). Results are byte-identical to the
+//! sequential rows — the shard-invariance suite pins that — so the rung
+//! table is shared and only the wall numbers differ; a full unprofiled
+//! sharded UDP run rewrites the `sharded_rows` trajectory (tagged with
+//! the shard count and the host cores the measurement had).
 //!
 //! `--traffic tcp|onoff|udp` swaps the workload: `tcp` runs the ladder
 //! under per-station TCP NewReno uploads (AP transmitters carry the ACK
@@ -49,6 +61,65 @@ use softrate_sim::config::{AdapterKind, TrafficKind};
 use softrate_sim::mac::PhaseProfile;
 use softrate_sim::transport::TransportConfig;
 
+/// One ladder rung: the deployment and measurement window, defined once
+/// for every traffic mode and shard count.
+#[derive(Debug, Clone, Copy)]
+struct Rung {
+    stations: usize,
+    /// AP grid (`cols x rows` at 25 m pitch) — scaled with the station
+    /// count so per-AP density stays at the dense-enterprise ~160-180
+    /// stations/AP, keeping per-event cost comparable across the ladder.
+    ap_cols: usize,
+    ap_rows: usize,
+    /// Simulated seconds: long enough at the small rungs for a stable
+    /// rate, shortened at city scale so the full ladder stays affordable.
+    sim_seconds: f64,
+    /// Saturated-uplink kickoff stagger — the default 200 µs up to 1600
+    /// stations (the committed-trajectory shape), compressed at city
+    /// scale so the whole floor still kicks off in the first fraction of
+    /// the (shorter) run.
+    stagger_s: f64,
+}
+
+const fn rung(stations: usize, ap_cols: usize, ap_rows: usize, sim_seconds: f64) -> Rung {
+    Rung {
+        stations,
+        ap_cols,
+        ap_rows,
+        sim_seconds,
+        stagger_s: 2e-4,
+    }
+}
+
+const fn city(stations: usize, ap_cols: usize, ap_rows: usize, sim_seconds: f64) -> Rung {
+    Rung {
+        stations,
+        ap_cols,
+        ap_rows,
+        sim_seconds,
+        // Kick the whole floor off within the first fifth of the run.
+        stagger_s: sim_seconds / (5.0 * stations as f64),
+    }
+}
+
+/// The one ladder table. Traffic modes take prefixes/slices of it; the
+/// 10k/50k/100k city rungs are UDP-only (the TCP gate needs only its
+/// 400-station point).
+const LADDER: &[Rung] = &[
+    rung(50, 3, 3, 10.0),
+    rung(100, 3, 3, 10.0),
+    rung(200, 3, 3, 10.0),
+    rung(400, 3, 3, 10.0),
+    rung(800, 3, 3, 10.0),
+    rung(1600, 3, 3, 10.0),
+    city(10_000, 8, 8, 2.0),
+    city(50_000, 18, 18, 1.0),
+    city(100_000, 25, 25, 0.5),
+];
+
+/// The smoke ladder (tiny rungs, not part of [`LADDER`]'s trajectory).
+const SMOKE_LADDER: &[Rung] = &[rung(20, 3, 3, 2.0), rung(60, 3, 3, 2.0)];
+
 /// One ladder point.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct NetScaleRow {
@@ -63,6 +134,13 @@ struct NetScaleRow {
     goodput_bps: f64,
     frames_sent: u64,
     handoffs: u64,
+    /// Spatial domains the run was scheduled over (`None`/1 = sequential
+    /// engine; pre-sharding rows carry `None`).
+    shards: Option<usize>,
+    /// Host cores available when the row was measured — the context a
+    /// parallel-efficiency comparison needs (a 4-shard row measured on one
+    /// core is a correctness datapoint, not a speedup claim).
+    cores: Option<usize>,
 }
 
 /// The whole result file.
@@ -76,14 +154,18 @@ struct NetScaleResults {
     /// TCP ladder has been committed, at which point the gate also pins
     /// its 400-station row.
     tcp_rows: Option<Vec<NetScaleRow>>,
+    /// The sharded-scheduler UDP trajectory (`--shards N`); once
+    /// committed, the gate also pins its 1600-station row on hosts with
+    /// enough cores.
+    sharded_rows: Option<Vec<NetScaleRow>>,
 }
 
-fn spec(stations: usize) -> SpatialSpec {
+fn spec(r: &Rung) -> SpatialSpec {
     SpatialSpec {
-        ap_cols: 3,
-        ap_rows: 3,
+        ap_cols: r.ap_cols,
+        ap_rows: r.ap_rows,
         ap_spacing_m: 25.0,
-        n_stations: stations,
+        n_stations: r.stations,
         snr_ref_db: None,
         path_loss_exp: None,
         // Sensing range of roughly one cell pitch: real spatial reuse,
@@ -103,6 +185,18 @@ fn spec(stations: usize) -> SpatialSpec {
     }
 }
 
+/// The run configuration for one rung (traffic, duration, stagger,
+/// shards) — the single place a ladder row's parameters turn into a
+/// [`SpatialConfig`].
+fn config(r: &Rung, traffic: &SpatialTraffic, shards: usize) -> SpatialConfig {
+    let mut cfg = SpatialConfig::new(AdapterKind::SoftRate, spec(r));
+    cfg.traffic = traffic.clone();
+    cfg.duration = r.sim_seconds;
+    cfg.kickoff_stagger_s = r.stagger_s;
+    cfg.shards = shards;
+    cfg
+}
+
 /// The ladder workload selected by `--traffic` (default: the saturated
 /// uplink UDP the committed trajectory is measured under).
 fn traffic_for(mode: &str) -> SpatialTraffic {
@@ -120,6 +214,10 @@ fn traffic_for(mode: &str) -> SpatialTraffic {
             std::process::exit(2);
         }
     }
+}
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Prints one ladder point's per-phase wall-time breakdown.
@@ -148,8 +246,10 @@ fn print_profile(p: &PhaseProfile) {
         pct(p.outcome_s),
     );
     println!(
-        "                   queue+dispatch {:6.3}s ({:4.1}%)  \
+        "                   sync  {:6.3}s ({:4.1}%)  queue+dispatch {:6.3}s ({:4.1}%)  \
          deferrals {}  transmissions {}",
+        p.sync_s,
+        pct(p.sync_s),
         p.queue_s,
         pct(p.queue_s),
         p.deferrals,
@@ -157,14 +257,15 @@ fn print_profile(p: &PhaseProfile) {
     );
 }
 
-/// The CI perf gate (`--gate`): one quick 400-station measurement against
-/// the committed trajectory. Tolerance is generous (events/sec may drop
-/// to 70% of the committed row before the gate trips) because it has to
-/// absorb runner-to-runner hardware variance on top of real regressions;
-/// the committed numbers themselves come from full `netscale` runs on a
+/// The CI perf gate (`--gate`): quick measurements against the committed
+/// trajectory. Tolerance is generous (events/sec may drop to 70% of the
+/// committed row before the gate trips) because it has to absorb
+/// runner-to-runner hardware variance on top of real regressions; the
+/// committed numbers themselves come from full `netscale` runs on a
 /// quiet machine.
 fn run_gate() -> ! {
     const GATE_STATIONS: usize = 400;
+    const GATE_SHARD_STATIONS: usize = 1600;
     const GATE_SIM_SECONDS: f64 = 2.0;
     const GATE_TOLERANCE: f64 = 0.70;
     banner("netscale --gate — perf regression check vs BENCH_netscale.json");
@@ -184,22 +285,29 @@ fn run_gate() -> ! {
     };
     // Warmup, then best of two (the simulation is deterministic; only the
     // clock varies).
-    let measure = |traffic: &SpatialTraffic, duration: f64| -> f64 {
-        let mut cfg = SpatialConfig::new(AdapterKind::SoftRate, spec(GATE_STATIONS));
+    let measure = |stations: usize, traffic: &SpatialTraffic, duration: f64, shards| -> f64 {
+        let rung = LADDER
+            .iter()
+            .find(|r| r.stations == stations)
+            .expect("gate rungs are in the ladder table");
+        let mut cfg = config(rung, traffic, shards);
         cfg.duration = duration;
-        cfg.traffic = traffic.clone();
         let sim = SpatialSim::new(cfg).expect("bench spec is valid");
         let started = std::time::Instant::now();
         let report = sim.run();
         report.events_processed as f64 / started.elapsed().as_secs_f64().max(1e-9)
     };
-    let check = |label: &str, traffic: &SpatialTraffic, committed_eps: f64| {
-        measure(traffic, 0.5);
-        let events_per_sec =
-            measure(traffic, GATE_SIM_SECONDS).max(measure(traffic, GATE_SIM_SECONDS));
-        let floor = committed_eps * GATE_TOLERANCE;
+    let check = |label: &str, stations: usize, traffic: &SpatialTraffic, shards, committed_eps| {
+        measure(stations, traffic, 0.5, shards);
+        let events_per_sec = measure(stations, traffic, GATE_SIM_SECONDS, shards).max(measure(
+            stations,
+            traffic,
+            GATE_SIM_SECONDS,
+            shards,
+        ));
+        let floor: f64 = committed_eps * GATE_TOLERANCE;
         println!(
-            "{label}: measured {events_per_sec:.0} events/s at {GATE_STATIONS} stations; \
+            "{label}: measured {events_per_sec:.0} events/s at {stations} stations; \
              committed {committed_eps:.0}; floor {floor:.0}"
         );
         if events_per_sec < floor {
@@ -213,7 +321,9 @@ fn run_gate() -> ! {
     };
     check(
         "udp",
+        GATE_STATIONS,
         &SpatialTraffic::SaturatedUplinkUdp,
+        1,
         baseline.events_per_sec,
     );
     // The TCP ladder point, once a TCP trajectory has been committed.
@@ -222,9 +332,44 @@ fn run_gate() -> ! {
         .as_ref()
         .and_then(|rows| rows.iter().find(|r| r.stations == GATE_STATIONS))
     {
-        check("tcp", &traffic_for("tcp"), tcp_baseline.events_per_sec);
+        check(
+            "tcp",
+            GATE_STATIONS,
+            &traffic_for("tcp"),
+            1,
+            tcp_baseline.events_per_sec,
+        );
     } else {
         println!("(no committed TCP trajectory with a {GATE_STATIONS}-station row; udp only)");
+    }
+    // The sharded ladder point: pins the parallel scheduler's throughput
+    // at ≥70% of the committed sharded trajectory — but only on hosts
+    // with at least as many cores as the committed row had shards (a
+    // smaller host cannot reproduce the parallelism, only the results).
+    if let Some(srow) = committed
+        .sharded_rows
+        .as_ref()
+        .and_then(|rows| rows.iter().find(|r| r.stations == GATE_SHARD_STATIONS))
+    {
+        let cores = host_cores();
+        let srow_shards = srow.shards.unwrap_or(1);
+        if cores < srow_shards {
+            println!(
+                "(sharded gate skipped: host has {cores} core(s), committed row used \
+                 {srow_shards} shards on {} core(s))",
+                srow.cores.unwrap_or(1)
+            );
+        } else {
+            check(
+                "sharded-udp",
+                GATE_SHARD_STATIONS,
+                &SpatialTraffic::SaturatedUplinkUdp,
+                srow_shards,
+                srow.events_per_sec,
+            );
+        }
+    } else {
+        println!("(no committed sharded trajectory with a {GATE_SHARD_STATIONS}-station row)");
     }
     println!("gate passed");
     std::process::exit(0);
@@ -244,6 +389,12 @@ fn main() {
         .map(|s| s.as_str())
         .unwrap_or("udp")
         .to_string();
+    let shards: usize = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().expect("--shards takes a positive integer"))
+        .unwrap_or(1);
     let metrics_path = args
         .iter()
         .position(|a| a == "--metrics")
@@ -255,46 +406,54 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned();
     let traffic = traffic_for(&traffic_mode);
+    let cores = host_cores();
     banner(&format!(
-        "netscale — spatial simulator throughput vs station count ({traffic_mode})"
+        "netscale — spatial simulator throughput vs station count \
+         ({traffic_mode}, {shards} shard(s), {cores} core(s))"
     ));
-    let (ladder, sim_seconds): (&[usize], f64) = if smoke {
-        (&[20, 60], 2.0)
+    let ladder: &[Rung] = if smoke {
+        SMOKE_LADDER
     } else if traffic_mode == "tcp" {
         // The TCP trajectory exists for the CI gate's 400-station point;
         // a short ladder around it keeps the full run affordable.
-        (&[50, 100, 200, 400], 10.0)
+        &LADDER[..4]
     } else {
-        (&[50, 100, 200, 400, 800, 1600], 10.0)
+        LADDER
     };
 
     // Warm the allocator, page cache, and branch predictors before any
     // timed run — the first ladder point otherwise absorbs all the
     // cold-start cost.
     {
-        let mut cfg = SpatialConfig::new(AdapterKind::SoftRate, spec(50));
-        cfg.traffic = traffic.clone();
+        let mut cfg = config(&LADDER[0], &traffic, shards);
         cfg.duration = 1.0;
         SpatialSim::new(cfg).expect("bench spec is valid").run();
     }
 
     println!(
-        "{:>9} {:>5} {:>8} {:>9} {:>11} {:>13} {:>9} {:>11} {:>9}",
-        "stations", "aps", "sim s", "wall s", "events", "events/s", "speedup", "Mbit/s", "handoffs"
+        "{:>9} {:>5} {:>7} {:>8} {:>9} {:>12} {:>13} {:>9} {:>11} {:>9}",
+        "stations",
+        "aps",
+        "shards",
+        "sim s",
+        "wall s",
+        "events",
+        "events/s",
+        "speedup",
+        "Mbit/s",
+        "handoffs"
     );
     let mut rows = Vec::new();
     let mut metrics_out = String::new();
     let mut decisions_out = String::new();
-    for (ladder_idx, &stations) in ladder.iter().enumerate() {
+    for (ladder_idx, rung) in ladder.iter().enumerate() {
         // Best of two timed runs per point (identical results — the
         // simulation is deterministic; only the wall clock varies), so a
         // scheduler hiccup doesn't land in the committed trajectory.
         let mut wall = f64::INFINITY;
         let mut best: Option<(softrate_sim::mac::RunReport, Option<PhaseProfile>)> = None;
         for _ in 0..if profile { 1 } else { 2 } {
-            let mut cfg = SpatialConfig::new(AdapterKind::SoftRate, spec(stations));
-            cfg.traffic = traffic.clone();
-            cfg.duration = sim_seconds;
+            let mut cfg = config(rung, &traffic, shards);
             if metrics_path.is_some() || decisions_path.is_some() {
                 cfg.telemetry = Some(softrate_telemetry::RecorderConfig {
                     decisions: decisions_path.is_some(),
@@ -323,21 +482,24 @@ fn main() {
             decisions_out.push_str(&telemetry.decisions_jsonl());
         }
         let row = NetScaleRow {
-            stations,
-            aps: 9,
-            sim_seconds,
+            stations: rung.stations,
+            aps: rung.ap_cols * rung.ap_rows,
+            sim_seconds: rung.sim_seconds,
             wall_seconds: wall,
             events: report.events_processed,
             events_per_sec: report.events_processed as f64 / wall.max(1e-9),
-            speedup: sim_seconds / wall.max(1e-9),
+            speedup: rung.sim_seconds / wall.max(1e-9),
             goodput_bps: report.aggregate_goodput_bps,
             frames_sent: report.frames_sent,
             handoffs: report.handoffs,
+            shards: Some(shards),
+            cores: Some(cores),
         };
         println!(
-            "{:>9} {:>5} {:>8.1} {:>9.3} {:>11} {:>13.0} {:>9.1} {:>11.2} {:>9}",
+            "{:>9} {:>5} {:>7} {:>8.1} {:>9.3} {:>12} {:>13.0} {:>9.1} {:>11.2} {:>9}",
             row.stations,
             row.aps,
+            row.shards.unwrap_or(1),
             row.sim_seconds,
             row.wall_seconds,
             row.events,
@@ -370,11 +532,11 @@ fn main() {
         eprintln!("[recorder run: BENCH_netscale.json left untouched (recorder overhead)]");
         return;
     }
-    if traffic_mode == "onoff" {
-        // Only the UDP and TCP trajectories are committed; on-off ladders
-        // are printed only.
+    if traffic_mode == "onoff" || (shards > 1 && traffic_mode != "udp") {
+        // Only the UDP, TCP, and sharded-UDP trajectories are committed.
         eprintln!(
-            "[--traffic {traffic_mode} run: BENCH_netscale.json left untouched (uncommitted workload)]"
+            "[--traffic {traffic_mode} run: BENCH_netscale.json left untouched \
+             (uncommitted workload)]"
         );
         return;
     }
@@ -389,7 +551,7 @@ fn main() {
         return;
     }
     // Full unprofiled run: refresh this workload's trajectory, preserving
-    // the other one from the committed file.
+    // the other ones from the committed file.
     let committed: Option<NetScaleResults> = std::fs::read_to_string("BENCH_netscale.json")
         .ok()
         .and_then(|s| serde_json::from_str(&s).ok());
@@ -397,15 +559,31 @@ fn main() {
         NetScaleResults {
             bench: "netscale".to_string(),
             smoke,
-            rows: committed.map(|c| c.rows).unwrap_or_default(),
+            rows: committed
+                .as_ref()
+                .map(|c| c.rows.clone())
+                .unwrap_or_default(),
             tcp_rows: Some(rows),
+            sharded_rows: committed.and_then(|c| c.sharded_rows),
+        }
+    } else if shards > 1 {
+        NetScaleResults {
+            bench: "netscale".to_string(),
+            smoke,
+            rows: committed
+                .as_ref()
+                .map(|c| c.rows.clone())
+                .unwrap_or_default(),
+            tcp_rows: committed.and_then(|c| c.tcp_rows),
+            sharded_rows: Some(rows),
         }
     } else {
         NetScaleResults {
             bench: "netscale".to_string(),
             smoke,
             rows,
-            tcp_rows: committed.and_then(|c| c.tcp_rows),
+            tcp_rows: committed.as_ref().and_then(|c| c.tcp_rows.clone()),
+            sharded_rows: committed.and_then(|c| c.sharded_rows),
         }
     };
     let path = "BENCH_netscale.json";

@@ -44,6 +44,7 @@ use softrate_sim::mac::{
     ActiveTx, AttemptInfo, HandoffRecord, MacCore, MacEngine, MacEv, MacParams, Medium,
     PhaseProfile, Port, RunReport,
 };
+use softrate_sim::shard::ShardableMedium;
 use softrate_sim::timing::{data_airtime, rts_cts_overhead, CW_MIN, IP_TCP_HEADER};
 use softrate_sim::transport::{
     Payload, TransportConfig, TransportEv, TransportHost, TransportLayer,
@@ -99,6 +100,16 @@ pub struct SpatialConfig {
     pub spatial: SpatialSpec,
     /// The workload.
     pub traffic: SpatialTraffic,
+    /// Spatial domains for the conservative parallel scheduler
+    /// ([`softrate_sim::shard`]). `1` (the default) runs the sequential
+    /// engine; any count produces byte-identical results (pinned by the
+    /// shard-invariance suite) — only the wall-clock profile changes.
+    pub shards: usize,
+    /// Saturated-uplink kickoff stagger between consecutive stations,
+    /// seconds — spreads the floor's first backoff draws so they do not
+    /// all land on one instant. Large ladders scale it down so the whole
+    /// floor still kicks off within the first simulated second.
+    pub kickoff_stagger_s: f64,
     /// Telemetry recorder configuration; `None` (the default) disables the
     /// recorder entirely — the disabled path must leave every simulation
     /// result byte-identical.
@@ -117,6 +128,8 @@ impl SpatialConfig {
             mac_seed: 0x5A7A,
             spatial,
             traffic: SpatialTraffic::SaturatedUplinkUdp,
+            shards: 1,
+            kickoff_stagger_s: 2e-4,
             telemetry: None,
         }
     }
@@ -319,8 +332,11 @@ struct SpatialMedium {
     drift_pad_m: f64,
     /// Per-station `(t bits, position)` memo.
     pos_cache: Vec<(u64, Point)>,
-    /// Per-`(station, ap)` `(t bits, mean SNR)` memo, station-major.
-    snr_ap_cache: Vec<(u64, f64)>,
+    /// Per-station `(t bits, ap, mean SNR)` memo — one slot per station
+    /// rather than a station×AP matrix, so memory stays O(stations) on
+    /// ladder-scale floors (100k stations × 625 APs would be a gigabyte).
+    /// Value-transparent: a miss recomputes the identical value.
+    snr_ap_cache: Vec<(u64, u32, f64)>,
     /// Per-station `(epoch, t bits, envelope dB)` memo.
     env_cache: Vec<(u64, u64, f64)>,
     /// Shared memo over the analytic BER/success kernels.
@@ -329,6 +345,11 @@ struct SpatialMedium {
     oracle: OracleBands,
     /// Scratch: carrier-sense candidates (reused, allocation-free).
     sense_scratch: Vec<TxEntry>,
+    /// Positions of active-set mutations (insert/remove) since the last
+    /// window barrier — the sharded scheduler's sense-invalidation feed.
+    /// Empty and unmaintained (`log_muts` off) on sequential runs.
+    mut_log: Vec<(f64, f64)>,
+    log_muts: bool,
     /// Scratch: per-AP "the new transmitter is within interference range
     /// of this AP" flags (reused).
     ap_near: Vec<bool>,
@@ -376,14 +397,13 @@ impl SpatialMedium {
     /// key is `(station, ap)` and the freshness key is `t`).
     fn snr_to_ap(&mut self, st: usize, ap: usize, t: f64) -> f64 {
         let bits = t.to_bits();
-        let idx = st * self.params.aps.len() + ap;
-        let (cached, v) = self.snr_ap_cache[idx];
-        if cached == bits {
+        let (cached, cached_ap, v) = self.snr_ap_cache[st];
+        if cached == bits && cached_ap == ap as u32 {
             return v;
         }
         let pos = self.pos_at(st, t);
         let v = self.params.snr_between(pos, self.params.aps[ap]);
-        self.snr_ap_cache[idx] = (bits, v);
+        self.snr_ap_cache[st] = (bits, ap as u32, v);
         v
     }
 
@@ -437,6 +457,42 @@ impl SpatialMedium {
             return false;
         }
         let tpos = self.tx_pos(e.sender, now);
+        let d2 = dist2(tpos, pos);
+        d2 <= self.sense_lo2
+            || (d2 < self.sense_hi2
+                && self.params.snr_between(tpos, pos) >= self.params.sense_snr_db)
+    }
+
+    /// Transmitter position at `t` from *private* mobility cursors (the
+    /// sharded scheduler's worker path). Walker positions are a pure
+    /// function of `t` (pinned against `position_at` by tests), so a
+    /// private cursor returns the bit-identical point the medium's own
+    /// walker and `pos_cache` would — without touching either.
+    fn walker_pos(&self, walkers: &mut [MobilityWalker], sender: usize, t: f64) -> Point {
+        if sender < self.params.n_stations {
+            walkers[sender].position(&self.params.mobility, &self.params.bounds, t)
+        } else {
+            self.params.aps[sender - self.params.n_stations]
+        }
+    }
+
+    /// [`SpatialMedium::audible_at`] against private mobility cursors:
+    /// the identical band classification and exact fallthrough, memo-free.
+    fn audible_pure(
+        &self,
+        walkers: &mut [MobilityWalker],
+        e: &TxEntry,
+        pos: Point,
+        now: f64,
+    ) -> bool {
+        let d2_ins = dist2(e.pos, pos);
+        if d2_ins <= self.sense_lo_ins2 {
+            return true;
+        }
+        if d2_ins >= self.sense_hi_ins2 {
+            return false;
+        }
+        let tpos = self.walker_pos(walkers, e.sender, now);
         let d2 = dist2(tpos, pos);
         d2 <= self.sense_lo2
             || (d2 < self.sense_hi2
@@ -655,9 +711,10 @@ impl Medium for SpatialMedium {
             None => {
                 // Saturated uplink: slight stagger so the whole floor
                 // doesn't draw backoff at the exact same instant.
+                let stagger = self.cfg.kickoff_stagger_s;
                 for s in 0..n {
                     let cw = core.cw[s];
-                    core.schedule_tx_start(s, Some(s as f64 * 2e-4), cw);
+                    core.schedule_tx_start(s, Some(s as f64 * stagger), cw);
                 }
             }
             Some(fl) => {
@@ -810,6 +867,9 @@ impl Medium for SpatialMedium {
             pos: tx.info.start_pos,
             end: tx.end,
         };
+        if self.log_muts {
+            self.mut_log.push((entry.pos.x, entry.pos.y));
+        }
         // Only the plan carrier sense consults is maintained (the choice
         // is fixed at construction).
         if self.sense_via_grid {
@@ -910,6 +970,10 @@ impl Medium for SpatialMedium {
 
     /// The transmission left the air: drop it from both indices.
     fn on_air_end(&mut self, tx: &ActiveTx<SpatialTx>) {
+        if self.log_muts {
+            self.mut_log
+                .push((tx.info.start_pos.x, tx.info.start_pos.y));
+        }
         if self.sense_via_grid {
             self.grid.remove(tx.sender, tx.info.start_pos);
         } else if let Some(i) = self.by_end.iter().position(|e| e.sender == tx.sender) {
@@ -1105,6 +1169,126 @@ fn station_of_port(n: usize, port: usize) -> usize {
     }
 }
 
+/// Per-worker carrier-sense scratch for the sharded scheduler: private
+/// mobility cursors (one full set per domain — positions are pure in `t`,
+/// so private cursors agree bit-for-bit with the medium's) plus a reused
+/// candidate buffer mirroring `sense_scratch`.
+struct SpatialSenseScratch {
+    walkers: Vec<MobilityWalker>,
+    cand: Vec<TxEntry>,
+}
+
+impl ShardableMedium for SpatialMedium {
+    type Scratch = SpatialSenseScratch;
+
+    fn make_scratch(&self) -> SpatialSenseScratch {
+        SpatialSenseScratch {
+            walkers: self.walkers.clone(),
+            cand: Vec::new(),
+        }
+    }
+
+    /// Domains are vertical strips of the floor; a sender's home strip is
+    /// its initial AP's x-coordinate (stations) or its own (AP
+    /// transmitters). Load balance only — the merge restores global order,
+    /// so stations roaming across strips need no re-mapping.
+    fn domain_of(&self, sender: usize, domains: usize) -> usize {
+        let n = self.params.n_stations;
+        let ap = if sender < n {
+            self.initial_assoc[sender]
+        } else {
+            sender - n
+        };
+        let b = &self.params.bounds;
+        let w = b.max.x - b.min.x;
+        if w <= 0.0 {
+            return 0;
+        }
+        let f = (self.params.aps[ap].x - b.min.x) / w;
+        ((f * domains as f64) as usize).min(domains - 1)
+    }
+
+    /// [`Medium::carrier_sense`] evaluated from worker threads against the
+    /// frozen window-start active set: same emptiness fast path (the
+    /// sense indices' population equals `core.active`'s), same plan, same
+    /// candidate order, same band classification — via private cursors
+    /// instead of the `&mut self` memos.
+    fn sense_pure(
+        &self,
+        scratch: &mut SpatialSenseScratch,
+        sender: usize,
+        t: f64,
+    ) -> (Option<f64>, (f64, f64)) {
+        let SpatialSenseScratch { walkers, cand } = scratch;
+        let pos = self.walker_pos(walkers, sender, t);
+        let sensed = if self.sense_via_grid {
+            if self.grid.is_empty() {
+                None
+            } else {
+                cand.clear();
+                self.grid
+                    .for_each_in_disk(pos, self.sense_radius_m + self.drift_pad_m, |e| {
+                        if e.sender != sender {
+                            cand.push(*e);
+                        }
+                    });
+                let mut sensed_until: Option<f64> = None;
+                for e in cand.iter() {
+                    if sensed_until.is_some_and(|u| e.end <= u) {
+                        continue;
+                    }
+                    if self.audible_pure(walkers, e, pos, t) {
+                        sensed_until = Some(sensed_until.map_or(e.end, |u: f64| u.max(e.end)));
+                    }
+                }
+                sensed_until
+            }
+        } else {
+            let mut sensed = None;
+            for e in &self.by_end {
+                if e.sender == sender {
+                    continue;
+                }
+                if self.audible_pure(walkers, e, pos, t) {
+                    sensed = Some(e.end);
+                    break;
+                }
+            }
+            sensed
+        };
+        (sensed, (pos.x, pos.y))
+    }
+
+    /// An active-set mutation beyond the drift-widened certainly-inaudible
+    /// radius of the sensing position cannot flip any `audible_at` verdict
+    /// (inserted entry: certainly inaudible; removed entry: was certainly
+    /// inaudible, so dropping it changes nothing), hence cannot change the
+    /// sensed max-end either.
+    fn inval_radius2(&self) -> f64 {
+        self.sense_hi_ins2
+    }
+
+    fn mutations(&self) -> &[(f64, f64)] {
+        &self.mut_log
+    }
+
+    fn clear_mutations(&mut self) {
+        self.mut_log.clear();
+    }
+
+    fn set_mutation_logging(&mut self, on: bool) {
+        self.log_muts = on;
+    }
+
+    /// ~11 slots of backoff: comfortably beyond DIFS + the mean draw, so
+    /// most channel-access events land beyond the window and batch into
+    /// the parallel drains, while the window stays short enough that the
+    /// frozen active set rarely mutates under a precomputed sense.
+    fn lookahead(&self) -> f64 {
+        1e-4
+    }
+}
+
 /// The multi-cell simulator: a [`MacEngine`] configured with a
 /// [`SpatialMedium`].
 pub struct SpatialSim {
@@ -1180,11 +1364,13 @@ impl SpatialSim {
             interference_radius_m,
             drift_pad_m,
             pos_cache: vec![(NO_TIME, Point { x: 0.0, y: 0.0 }); n],
-            snr_ap_cache: vec![(NO_TIME, 0.0); n * n_aps],
+            snr_ap_cache: vec![(NO_TIME, 0, 0.0); n],
             env_cache: vec![(0, NO_TIME, 0.0); n],
             fs_memo: FrameSuccessMemo::new(),
             oracle: OracleBands::new(cfg.frame_bits()),
             sense_scratch: Vec::new(),
+            mut_log: Vec::new(),
+            log_muts: false,
             ap_near: Vec::with_capacity(n_aps),
             inter_cell_corruptions: 0,
             handoffs: 0,
@@ -1239,10 +1425,17 @@ impl SpatialSim {
         Ok(SpatialSim { engine })
     }
 
-    /// Runs to `cfg.duration` and reports.
+    /// Runs to `cfg.duration` and reports. `cfg.shards > 1` runs the
+    /// conservative sharded scheduler; results are byte-identical either
+    /// way (the shard-invariance suite pins it).
     pub fn run(mut self) -> RunReport {
         let duration = self.engine.medium.cfg.duration;
-        self.engine.run(duration);
+        let shards = self.engine.medium.cfg.shards;
+        if shards > 1 {
+            self.engine.run_sharded(duration, shards);
+        } else {
+            self.engine.run(duration);
+        }
         self.report()
     }
 
@@ -1250,7 +1443,12 @@ impl SpatialSim {
     /// results; see [`MacEngine::run_profiled`]).
     pub fn run_profiled(mut self) -> (RunReport, PhaseProfile) {
         let duration = self.engine.medium.cfg.duration;
-        let profile = self.engine.run_profiled(duration);
+        let shards = self.engine.medium.cfg.shards;
+        let profile = if shards > 1 {
+            self.engine.run_profiled_sharded(duration, shards)
+        } else {
+            self.engine.run_profiled(duration)
+        };
         (self.report(), profile)
     }
 
@@ -1399,6 +1597,60 @@ mod tests {
         assert_eq!(a.frames_sent, b.frames_sent);
         assert_eq!(a.handoffs, b.handoffs);
         assert_eq!(a.handoff_log, b.handoff_log);
+    }
+
+    /// The conservative sharded scheduler must reproduce the sequential
+    /// engine bit for bit — every counter, every goodput, every handoff,
+    /// and the event count — for any shard count, on both the saturated
+    /// fast path and flow traffic, with mobility and roaming in play.
+    #[test]
+    fn sharded_runs_reproduce_sequential_exactly() {
+        let mk = |shards: usize, traffic: Option<SpatialTraffic>| {
+            let mut spec = small_spec(3, 25.0, 18);
+            spec.mobility = MobilitySpec::RandomWaypoint {
+                speed_mps: 3.0,
+                pause_s: 0.5,
+            };
+            spec.roaming = Some(RoamingSpec {
+                hysteresis_db: 1.0,
+                check_interval_s: Some(0.2),
+                handoff: HandoffPolicy::Preserve,
+            });
+            let mut cfg = SpatialConfig::new(AdapterKind::SoftRate, spec);
+            cfg.duration = 2.0;
+            cfg.shards = shards;
+            if let Some(t) = traffic {
+                cfg.traffic = t;
+            }
+            cfg
+        };
+        for traffic in [None, Some(flows(TrafficKind::Tcp, false))] {
+            let base = run(mk(1, traffic.clone()));
+            assert!(base.frames_sent > 0);
+            for shards in [2usize, 4] {
+                let r = run(mk(shards, traffic.clone()));
+                assert_eq!(r.events_processed, base.events_processed, "shards={shards}");
+                assert_eq!(r.frames_sent, base.frames_sent, "shards={shards}");
+                assert_eq!(r.frames_delivered, base.frames_delivered, "shards={shards}");
+                assert_eq!(r.collisions, base.collisions, "shards={shards}");
+                assert_eq!(r.silent_losses, base.silent_losses, "shards={shards}");
+                assert_eq!(
+                    r.per_flow_goodput_bps, base.per_flow_goodput_bps,
+                    "shards={shards}"
+                );
+                assert_eq!(r.handoff_log, base.handoff_log, "shards={shards}");
+                assert_eq!(
+                    r.inter_cell_corruptions, base.inter_cell_corruptions,
+                    "shards={shards}"
+                );
+                assert_eq!(r.audit.accurate, base.audit.accurate, "shards={shards}");
+                assert_eq!(r.audit.overselect, base.audit.overselect, "shards={shards}");
+                assert_eq!(
+                    r.audit.underselect, base.audit.underselect,
+                    "shards={shards}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -3,11 +3,12 @@
 //! ```text
 //! softrate-scenarios list
 //! softrate-scenarios show <name | --file spec.toml> [--expanded]
-//! softrate-scenarios run  <name | --file spec.toml> [--threads N]
+//! softrate-scenarios run  <name | --file spec.toml> [--threads N] [--shards N]
 //!                         [--out results.jsonl] [--duration SECS] [--seed N]
 //!                         [--metrics metrics.jsonl] [--trace trace.jsonl]
 //!                         [--decisions decisions.jsonl]
-//! softrate-scenarios sweep --file spec.toml [--threads N] [--out results.jsonl]
+//! softrate-scenarios sweep --file spec.toml [--threads N] [--shards N]
+//!                         [--out results.jsonl]
 //! ```
 //!
 //! `run` and `sweep` both execute the *full* expanded matrix in parallel;
@@ -19,8 +20,8 @@
 use std::process::ExitCode;
 
 use softrate_scenario::engine::{
-    self, expand, run_all_with_telemetry, summary_table, telemetry_decisions_jsonl,
-    telemetry_metrics_jsonl, telemetry_trace_jsonl, to_jsonl,
+    self, expand, summary_table, telemetry_decisions_jsonl, telemetry_metrics_jsonl,
+    telemetry_trace_jsonl, to_jsonl,
 };
 use softrate_scenario::spec::ScenarioSpec;
 use softrate_scenario::{builtin, toml};
@@ -33,12 +34,12 @@ USAGE:
     softrate-scenarios list
     softrate-scenarios show <name | --file spec.toml> [--expanded]
     softrate-scenarios run  <--name name | --file spec.toml> [--threads N]
-                            [--out results.jsonl] [--duration SECS] [--seed N]
-                            [--only RUN_IDX] [--metrics metrics.jsonl]
+                            [--shards N] [--out results.jsonl] [--duration SECS]
+                            [--seed N] [--only RUN_IDX] [--metrics metrics.jsonl]
                             [--trace trace.jsonl] [--decisions decisions.jsonl]
-    softrate-scenarios sweep --file spec.toml [--threads N] [--out results.jsonl]
-                            [--metrics metrics.jsonl] [--trace trace.jsonl]
-                            [--decisions decisions.jsonl]
+    softrate-scenarios sweep --file spec.toml [--threads N] [--shards N]
+                            [--out results.jsonl] [--metrics metrics.jsonl]
+                            [--trace trace.jsonl] [--decisions decisions.jsonl]
 
 The scenario may be given as a bare positional name, `--name <builtin>`,
 or `--file <spec.toml|spec.json>`.
@@ -47,6 +48,9 @@ or `--file <spec.toml|spec.json>`.
 interval/totals/histogram rows (deterministic JSONL, byte-identical
 across thread counts). `--trace` additionally streams per-frame
 lifecycle rows into the given file (implies --metrics if absent).
+`--shards N` schedules each spatial run over N spatial domains (the
+conservative parallel engine); results and every telemetry stream are
+byte-identical to `--shards 1` — only the wall clock changes.
 `--decisions` streams the rate-decision ledger — one row per
 rate-adaptation decision with trigger class and SNR/BER input — into the
 given file. Inspect all three with `softrate-inspect`.
@@ -64,6 +68,7 @@ struct Args {
     file: Option<String>,
     out: Option<String>,
     threads: Option<usize>,
+    shards: Option<usize>,
     duration: Option<f64>,
     seed: Option<u64>,
     only: Option<usize>,
@@ -79,6 +84,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         file: None,
         out: None,
         threads: None,
+        shards: None,
         duration: None,
         seed: None,
         only: None,
@@ -103,6 +109,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     value_of("--threads")?
                         .parse()
                         .map_err(|_| "--threads must be an integer".to_string())?,
+                )
+            }
+            "--shards" => {
+                args.shards = Some(
+                    value_of("--shards")?
+                        .parse()
+                        .map_err(|_| "--shards must be an integer".to_string())?,
                 )
             }
             "--duration" => {
@@ -224,8 +237,9 @@ fn cmd_run(args: &Args, require_sweep: bool) -> Result<(), String> {
         }
     }
     let threads = args.threads.map(|t| t.max(1));
+    let shards = args.shards.unwrap_or(1).max(1);
     eprintln!(
-        "scenario `{}`: {} runs x {:.1}s simulated, {} threads",
+        "scenario `{}`: {} runs x {:.1}s simulated, {} threads, {shards} shard(s)",
         spec.name,
         plans.len(),
         spec.duration,
@@ -240,7 +254,14 @@ fn cmd_run(args: &Args, require_sweep: bool) -> Result<(), String> {
             ..RecorderConfig::default()
         });
     let started = std::time::Instant::now();
-    let with_telemetry = run_all_with_telemetry(&plans, threads, telemetry);
+    let with_telemetry = engine::run_all_with_options(
+        &plans,
+        &engine::RunOptions {
+            threads,
+            telemetry,
+            shards,
+        },
+    );
     eprintln!("completed in {:.2}s", started.elapsed().as_secs_f64());
     let results: Vec<_> = with_telemetry.iter().map(|(r, _)| r.clone()).collect();
     print!("{}", summary_table(&results));

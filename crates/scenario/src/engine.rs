@@ -360,6 +360,7 @@ fn spatial_traffic(plan: &RunPlan) -> SpatialTraffic {
 fn run_spatial_plan(
     plan: &RunPlan,
     telemetry: Option<&RecorderConfig>,
+    shards: usize,
 ) -> (RunResult, Option<TelemetryReport>) {
     let spec = &plan.spec;
     let mut spatial = spec
@@ -376,6 +377,7 @@ fn run_spatial_plan(
     cfg.mac_seed = plan.seed;
     cfg.traffic = spatial_traffic(plan);
     cfg.telemetry = telemetry.cloned();
+    cfg.shards = shards.max(1);
     let report = SpatialSim::new(cfg)
         .expect("validated spatial spec resolves")
         .run();
@@ -400,8 +402,38 @@ pub fn run_plan_with_telemetry(
     plan: &RunPlan,
     telemetry: Option<&RecorderConfig>,
 ) -> (RunResult, Option<TelemetryReport>) {
+    run_plan_with_options(
+        plan,
+        &RunOptions {
+            telemetry: telemetry.cloned(),
+            ..RunOptions::default()
+        },
+    )
+}
+
+/// Execution options for a plan matrix, beyond the plans themselves.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Worker threads across the matrix (`None`: the machine's
+    /// parallelism).
+    pub threads: Option<usize>,
+    /// Telemetry recorder per run; `None` never constructs a recorder.
+    pub telemetry: Option<RecorderConfig>,
+    /// Spatial domains for the conservative parallel scheduler — spatial
+    /// topologies only, single-cell runs ignore it. `0`/`1` runs the
+    /// sequential engine; every value produces byte-identical results
+    /// (the shard-invariance suite pins it).
+    pub shards: usize,
+}
+
+/// [`run_plan_with_telemetry`] with the full option set.
+pub fn run_plan_with_options(
+    plan: &RunPlan,
+    opts: &RunOptions,
+) -> (RunResult, Option<TelemetryReport>) {
+    let telemetry = opts.telemetry.as_ref();
     if plan.spec.topology.spatial.is_some() {
-        return run_spatial_plan(plan, telemetry);
+        return run_spatial_plan(plan, telemetry, opts.shards);
     }
     let traces = traces_for(plan);
     let spec = &plan.spec;
@@ -443,13 +475,31 @@ pub fn run_all_with_telemetry(
     threads: Option<usize>,
     telemetry: Option<RecorderConfig>,
 ) -> Vec<(RunResult, Option<TelemetryReport>)> {
-    let threads = threads.unwrap_or_else(|| {
+    run_all_with_options(
+        plans,
+        &RunOptions {
+            threads,
+            telemetry,
+            shards: 1,
+        },
+    )
+}
+
+/// [`run_all_with_telemetry`] with the full option set (notably
+/// `shards`, the spatial scheduler's domain count — results stay
+/// byte-identical for every value).
+pub fn run_all_with_options(
+    plans: &[RunPlan],
+    opts: &RunOptions,
+) -> Vec<(RunResult, Option<TelemetryReport>)> {
+    let threads = opts.threads.unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1)
     });
+    let opts = opts.clone();
     par_map_threads(threads, plans.to_vec(), move |plan| {
-        run_plan_with_telemetry(&plan, telemetry.as_ref())
+        run_plan_with_options(&plan, &opts)
     })
 }
 

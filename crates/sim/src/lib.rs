@@ -27,13 +27,14 @@
 //!   flows, and rate-selection auditing against the omniscient oracle).
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 pub mod config;
 pub mod event;
 pub mod feedback;
 pub mod mac;
 pub mod netsim;
+pub mod shard;
 pub mod tcp;
 pub mod timing;
 pub mod transport;

@@ -317,9 +317,33 @@ pub struct MacCore<E, I> {
     /// Decision-ledger state; enabled at run start iff the recorder's
     /// ledger is on (see [`MacCore::sync_ledger`]).
     pub ledger: LedgerState,
+    /// Sharded-run routing, installed only by the PDES scheduler
+    /// (`crate::shard`): channel-access schedules beyond the window
+    /// horizon are staged to their sender's domain wheel instead of the
+    /// near queue. `None` on sequential runs — one branch of overhead.
+    pub(crate) route: Option<Box<ShardRoute<E>>>,
     params: MacParams,
     rng: SmallRng,
     next_tx_id: u64,
+}
+
+/// Cross-domain event routing for sharded runs (see `crate::shard`). The
+/// near queue (`MacCore::events`) keeps everything inside the current
+/// window plus the rare engine-scheduled events (TxEnd, Outcome, medium
+/// timers); the overwhelming bulk — channel-access schedules — is staged
+/// per spatial domain and applied to the domain wheels at the next window
+/// barrier.
+pub(crate) struct ShardRoute<E> {
+    /// End of the window being dispatched: schedules earlier than this
+    /// join the near queue (they must interleave with the live merge).
+    pub(crate) horizon: f64,
+    /// Sender → spatial domain (load-balance only: ordering is restored
+    /// by the global `(time, seq)` merge, so the map may go stale across
+    /// handoffs without affecting results).
+    pub(crate) domain_of: Vec<u32>,
+    /// Staged `(time, seq, event)` triples per domain, applied to the
+    /// domain wheels in parallel at the window barrier.
+    pub(crate) stage: Vec<Vec<(f64, u64, MacEv<E>)>>,
 }
 
 impl<E, I> MacCore<E, I> {
@@ -344,6 +368,7 @@ impl<E, I> MacCore<E, I> {
                 rate: vec![None; n_ports],
                 handoff_reset: vec![false; n_ports],
             },
+            route: None,
             rng: SmallRng::seed_from_u64(params.backoff_seed),
             params,
             next_tx_id: 1,
@@ -384,7 +409,27 @@ impl<E, I> MacCore<E, I> {
         let slots = self.rng.gen_range(0..=cw) as f64;
         let at = after.unwrap_or(self.events.now()) + DIFS + slots * SLOT;
         self.senders[sender].start_pending = true;
-        self.events.schedule(at, MacEv::TxStart { sender });
+        match self.route.as_deref_mut() {
+            None => self.events.schedule(at, MacEv::TxStart { sender }),
+            Some(rt) => {
+                // Sharded run: the sequence number still comes from the
+                // near queue's counter (identical assignment order to the
+                // sequential engine); only the storage differs.
+                let seq = self.events.alloc_seq();
+                // `<=`: an arrival exactly at the horizon must dispatch in
+                // the *current* window — the merge includes near events with
+                // `t <= horizon`, so staging it would let a same-time event
+                // with a larger seq jump ahead (seen on the 10k city rung,
+                // where roam-wave timers make exact-horizon hits routine).
+                if at <= rt.horizon {
+                    self.events
+                        .schedule_with_seq(at, seq, MacEv::TxStart { sender });
+                } else {
+                    let d = rt.domain_of[sender] as usize;
+                    rt.stage[d].push((at, seq, MacEv::TxStart { sender }));
+                }
+            }
+        }
     }
 }
 
@@ -514,6 +559,12 @@ pub struct PhaseProfile {
     pub outcome_s: f64,
     /// Residual: event-queue push/pop, dispatch, stats.
     pub queue_s: f64,
+    /// Sharded runs only: wall seconds in the PDES window machinery —
+    /// applying cross-domain staged events, draining domain wheels to the
+    /// window horizon, precomputing carrier senses against the frozen
+    /// active set, and the window barriers themselves. Zero on sequential
+    /// runs.
+    pub sync_s: f64,
     /// Whole-run wall seconds.
     pub total_s: f64,
     /// TxStart events that found the medium busy and deferred.
@@ -530,7 +581,7 @@ pub struct MacEngine<M: Medium> {
     pub medium: M,
     /// Phase timers, populated only by [`MacEngine::run_profiled`] (the
     /// unprofiled [`MacEngine::run`] never looks at the clock).
-    profile: Option<Box<PhaseProfile>>,
+    pub(crate) profile: Option<Box<PhaseProfile>>,
 }
 
 impl<M: Medium> MacEngine<M> {
@@ -579,7 +630,14 @@ impl<M: Medium> MacEngine<M> {
         self.profile = Some(Box::default());
         let started = std::time::Instant::now();
         self.run(duration);
-        let mut p = *self.profile.take().expect("set above");
+        self.finish_profile(started)
+    }
+
+    /// Closes out a profiled run started by [`MacEngine::run_profiled`]
+    /// or the sharded equivalent: folds everything unattributed into
+    /// `queue_s`.
+    pub(crate) fn finish_profile(&mut self, started: std::time::Instant) -> PhaseProfile {
+        let mut p = *self.profile.take().expect("profiling was enabled");
         p.total_s = started.elapsed().as_secs_f64();
         p.queue_s = p.total_s
             - p.sense_s
@@ -588,7 +646,8 @@ impl<M: Medium> MacEngine<M> {
             - p.fate_s
             - p.medium_ev_s
             - p.transport_s
-            - p.outcome_s;
+            - p.outcome_s
+            - p.sync_s;
         p
     }
 
@@ -672,6 +731,17 @@ impl<M: Medium> MacEngine<M> {
     }
 
     fn on_tx_start(&mut self, sender: usize) {
+        self.on_tx_start_with(sender, None);
+    }
+
+    /// [`MacEngine::on_tx_start`] with an optionally injected carrier-sense
+    /// verdict. The shard scheduler precomputes senses against the frozen
+    /// window-start active set in parallel and injects any that survived
+    /// the range-band invalidation check; `None` (and the sequential
+    /// engine always) evaluates [`Medium::carrier_sense`] in place. An
+    /// injected verdict must equal what `carrier_sense` would return at
+    /// this exact dispatch point — the shard-invariance suite pins that.
+    pub(crate) fn on_tx_start_with(&mut self, sender: usize, pre: Option<Option<f64>>) {
         let core = &mut self.core;
         core.senders[sender].start_pending = false;
         if core.senders[sender].busy {
@@ -685,11 +755,17 @@ impl<M: Medium> MacEngine<M> {
             return;
         };
 
-        let t0 = self.profile.as_deref().map(|_| std::time::Instant::now());
-        let sensed = self.medium.carrier_sense(core, sender);
-        if let (Some(t0), Some(p)) = (t0, self.profile.as_deref_mut()) {
-            p.sense_s += t0.elapsed().as_secs_f64();
-        }
+        let sensed = match pre {
+            Some(sensed) => sensed,
+            None => {
+                let t0 = self.profile.as_deref().map(|_| std::time::Instant::now());
+                let sensed = self.medium.carrier_sense(core, sender);
+                if let (Some(t0), Some(p)) = (t0, self.profile.as_deref_mut()) {
+                    p.sense_s += t0.elapsed().as_secs_f64();
+                }
+                sensed
+            }
+        };
         if let Some(until) = sensed {
             if let Some(p) = self.profile.as_deref_mut() {
                 p.deferrals += 1;
@@ -783,7 +859,7 @@ impl<M: Medium> MacEngine<M> {
         }
     }
 
-    fn on_tx_end(&mut self, tx_id: u64) {
+    pub(crate) fn on_tx_end(&mut self, tx_id: u64) {
         let core = &mut self.core;
         let idx = core
             .active
@@ -800,7 +876,7 @@ impl<M: Medium> MacEngine<M> {
         core.pending.push(tx);
     }
 
-    fn on_outcome(&mut self, tx_id: u64) {
+    pub(crate) fn on_outcome(&mut self, tx_id: u64) {
         let core = &mut self.core;
         let idx = core
             .pending
