@@ -105,6 +105,12 @@ pub struct SpatialConfig {
     /// engine; any count produces byte-identical results (pinned by the
     /// shard-invariance suite) — only the wall-clock profile changes.
     pub shards: usize,
+    /// Cap on shard-pool worker threads (the dispatching thread also
+    /// works), or `None` for the host default (cores − 1). The scenario
+    /// engine sets this when the run matrix itself is parallel, so
+    /// `--threads` × `--shards` does not oversubscribe the host. Sizing
+    /// only — results are byte-identical for every value.
+    pub shard_workers: Option<usize>,
     /// Saturated-uplink kickoff stagger between consecutive stations,
     /// seconds — spreads the floor's first backoff draws so they do not
     /// all land on one instant. Large ladders scale it down so the whole
@@ -129,6 +135,7 @@ impl SpatialConfig {
             spatial,
             traffic: SpatialTraffic::SaturatedUplinkUdp,
             shards: 1,
+            shard_workers: None,
             kickoff_stagger_s: 2e-4,
             telemetry: None,
         }
@@ -1286,6 +1293,10 @@ impl ShardableMedium for SpatialMedium {
     /// frozen active set rarely mutates under a precomputed sense.
     fn lookahead(&self) -> f64 {
         1e-4
+    }
+
+    fn pool_workers(&self) -> Option<usize> {
+        self.cfg.shard_workers
     }
 }
 

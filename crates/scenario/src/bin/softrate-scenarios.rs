@@ -260,6 +260,7 @@ fn cmd_run(args: &Args, require_sweep: bool) -> Result<(), String> {
             threads,
             telemetry,
             shards,
+            shard_workers: None,
         },
     );
     eprintln!("completed in {:.2}s", started.elapsed().as_secs_f64());

@@ -361,6 +361,7 @@ fn run_spatial_plan(
     plan: &RunPlan,
     telemetry: Option<&RecorderConfig>,
     shards: usize,
+    shard_workers: Option<usize>,
 ) -> (RunResult, Option<TelemetryReport>) {
     let spec = &plan.spec;
     let mut spatial = spec
@@ -378,6 +379,7 @@ fn run_spatial_plan(
     cfg.traffic = spatial_traffic(plan);
     cfg.telemetry = telemetry.cloned();
     cfg.shards = shards.max(1);
+    cfg.shard_workers = shard_workers;
     let report = SpatialSim::new(cfg)
         .expect("validated spatial spec resolves")
         .run();
@@ -424,6 +426,11 @@ pub struct RunOptions {
     /// sequential engine; every value produces byte-identical results
     /// (the shard-invariance suite pins it).
     pub shards: usize,
+    /// Cap on shard-pool worker threads per run, or `None` to size
+    /// automatically: [`run_all_with_options`] divides the host's cores
+    /// between the matrix workers so `threads` × `shards` never
+    /// oversubscribes. Sizing only — results are byte-identical.
+    pub shard_workers: Option<usize>,
 }
 
 /// [`run_plan_with_telemetry`] with the full option set.
@@ -433,7 +440,7 @@ pub fn run_plan_with_options(
 ) -> (RunResult, Option<TelemetryReport>) {
     let telemetry = opts.telemetry.as_ref();
     if plan.spec.topology.spatial.is_some() {
-        return run_spatial_plan(plan, telemetry, opts.shards);
+        return run_spatial_plan(plan, telemetry, opts.shards, opts.shard_workers);
     }
     let traces = traces_for(plan);
     let spec = &plan.spec;
@@ -481,6 +488,7 @@ pub fn run_all_with_telemetry(
             threads,
             telemetry,
             shards: 1,
+            shard_workers: None,
         },
     )
 }
@@ -492,12 +500,21 @@ pub fn run_all_with_options(
     plans: &[RunPlan],
     opts: &RunOptions,
 ) -> Vec<(RunResult, Option<TelemetryReport>)> {
-    let threads = opts.threads.unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-    });
-    let opts = opts.clone();
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let threads = opts.threads.unwrap_or(cores);
+    let mut opts = opts.clone();
+    // Sharded runs executing concurrently must share the machine: give
+    // each matrix worker an equal slice of the cores (minus the worker
+    // itself, which also dispatches) so threads × shards never spawns
+    // more pool threads than the host has.
+    if opts.shards > 1 && opts.shard_workers.is_none() {
+        let concurrent = threads.min(plans.len()).max(1);
+        if concurrent > 1 {
+            opts.shard_workers = Some((cores / concurrent).saturating_sub(1));
+        }
+    }
     par_map_threads(threads, plans.to_vec(), move |plan| {
         run_plan_with_options(&plan, &opts)
     })

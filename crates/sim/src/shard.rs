@@ -40,8 +40,10 @@
 // Both are locally justified below; the rest of the crate stays safe.
 #![allow(unsafe_code)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::marker::PhantomData;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use crate::event::{EventQueue, Scheduled};
 use crate::mac::{MacEngine, MacEv, Medium, ShardRoute};
@@ -98,6 +100,14 @@ pub trait ShardableMedium: Medium + Sync {
     /// more; anything is *correct* (the merge and the invalidation band
     /// do not depend on it).
     fn lookahead(&self) -> f64;
+
+    /// Cap on pool worker threads for this run (the caller thread also
+    /// works), or `None` for the host default (cores − 1). The scenario
+    /// engine sets this to divide the machine between concurrent matrix
+    /// runs so `--threads` × `--shards` does not oversubscribe the host.
+    fn pool_workers(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// One domain's lane: its timing wheel, the staged cross-window inserts,
@@ -129,20 +139,35 @@ const NO_SENSE: PreSense = PreSense {
 
 /// Mutable per-index access to the domain lanes from pool workers. Each
 /// index is claimed by exactly one worker per scatter (the work-stealing
-/// counter hands out every index once), so the aliasing rules hold.
+/// counter hands out every index once), so the aliasing rules hold. The
+/// raw pointer is captured from the exclusive borrow at construction —
+/// writing through a pointer derived from a shared reborrow of the slice
+/// would violate the aliasing model even for disjoint indices.
 struct LaneCells<'a, T> {
-    lanes: &'a mut [T],
+    ptr: *mut T,
+    len: usize,
+    _lanes: PhantomData<&'a mut [T]>,
 }
 
 // SAFETY: workers only access disjoint indices (enforced by the scatter
-// index counter), and the pool joins before the borrow ends.
-unsafe impl<T> Sync for LaneCells<'_, T> {}
+// index counter), the pool barrier retires before the borrow ends, and
+// `T: Send` makes handing a `&mut T` to another thread sound.
+unsafe impl<T: Send> Sync for LaneCells<'_, T> {}
 
-impl<T> LaneCells<'_, T> {
+impl<'a, T> LaneCells<'a, T> {
+    fn new(lanes: &'a mut [T]) -> Self {
+        LaneCells {
+            ptr: lanes.as_mut_ptr(),
+            len: lanes.len(),
+            _lanes: PhantomData,
+        }
+    }
+
     /// One lane, mutably. Callers must hold `i` exclusively.
     #[allow(clippy::mut_from_ref)]
     unsafe fn lane(&self, i: usize) -> &mut T {
-        unsafe { &mut *(self.lanes.as_ptr().cast_mut().add(i)) }
+        debug_assert!(i < self.len);
+        unsafe { &mut *self.ptr.add(i) }
     }
 }
 
@@ -154,12 +179,44 @@ struct PoolJob {
     next: AtomicUsize,
     n: usize,
     remaining: AtomicUsize,
+    /// Set when any participant's `task(i)` panicked; `scatter` re-raises
+    /// after the barrier instead of hanging or swallowing it.
+    panicked: AtomicBool,
 }
 
 struct PoolShared {
     job: Mutex<(u64, Option<Arc<PoolJob>>)>,
     wake: Condvar,
     done: Condvar,
+}
+
+impl PoolShared {
+    /// The pool mutex, ignoring poisoning: the guarded state is a plain
+    /// (generation, job) pair that is never left half-written, and the
+    /// completion path must keep working mid-unwind.
+    fn lock(&self) -> MutexGuard<'_, (u64, Option<Arc<PoolJob>>)> {
+        self.job.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Retires one participant's share of `job`. The final decrement
+    /// takes the pool mutex before notifying so the predicate change is
+    /// serialized with the waiter's check-then-wait in `scatter` — a
+    /// notify between the waiter's `remaining` load and its `wait` would
+    /// otherwise be lost and the barrier would hang forever.
+    fn finish(&self, job: &PoolJob) {
+        if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.lock();
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Runs one participant's share of `job`, recording (not propagating) a
+/// panic so the worker survives and the barrier still retires.
+fn work_caught(job: &PoolJob) {
+    if std::panic::catch_unwind(AssertUnwindSafe(|| work(job))).is_err() {
+        job.panicked.store(true, Ordering::Release);
+    }
 }
 
 /// A persistent worker pool for the window barriers. Condvar-parked (no
@@ -187,7 +244,7 @@ impl ShardPool {
                     let mut seen = 0u64;
                     loop {
                         let job = {
-                            let mut guard = shared.job.lock().expect("pool lock");
+                            let mut guard = shared.lock();
                             loop {
                                 if guard.0 == u64::MAX {
                                     return;
@@ -198,13 +255,11 @@ impl ShardPool {
                                         break Arc::clone(job);
                                     }
                                 }
-                                guard = shared.wake.wait(guard).expect("pool wait");
+                                guard = shared.wake.wait(guard).unwrap_or_else(|e| e.into_inner());
                             }
                         };
-                        work(&job);
-                        if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                            shared.done.notify_all();
-                        }
+                        work_caught(&job);
+                        shared.finish(&job);
                     }
                 })
             })
@@ -212,12 +267,15 @@ impl ShardPool {
         ShardPool { shared, handles }
     }
 
-    /// Auto-sized for `shards` domains on this host: no threads unless
-    /// the host has spare cores (a single-core host runs every phase
-    /// inline, same results).
-    pub(crate) fn auto(shards: usize) -> Self {
+    /// Sized for `shards` domains within an optional worker budget: at
+    /// most cores − 1 threads (the caller thread also works — a
+    /// single-core host runs every phase inline, same results), at most
+    /// `shards − 1`, and at most `budget` when given (see
+    /// [`ShardableMedium::pool_workers`]).
+    pub(crate) fn sized(shards: usize, budget: Option<usize>) -> Self {
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-        Self::new(cores.saturating_sub(1).min(shards.saturating_sub(1)))
+        let workers = cores.saturating_sub(1).min(shards.saturating_sub(1));
+        Self::new(budget.map_or(workers, |b| workers.min(b)))
     }
 
     /// Runs `task(i)` for every `i in 0..n`, the caller thread included,
@@ -240,18 +298,34 @@ impl ShardPool {
             next: AtomicUsize::new(0),
             n,
             remaining: AtomicUsize::new(self.handles.len() + 1),
+            panicked: AtomicBool::new(false),
         });
         {
-            let mut guard = self.shared.job.lock().expect("pool lock");
+            let mut guard = self.shared.lock();
             guard.0 += 1;
             guard.1 = Some(Arc::clone(&job));
             self.shared.wake.notify_all();
         }
-        work(&job);
+        let caller = std::panic::catch_unwind(AssertUnwindSafe(|| work(&job)));
+        // The barrier must retire even when the caller's own slice
+        // panicked: workers may still be using the lifetime-erased task,
+        // and unwinding past it would dangle their borrow.
         if job.remaining.fetch_sub(1, Ordering::AcqRel) != 1 {
-            let mut guard = self.shared.job.lock().expect("pool lock");
+            let mut guard = self.shared.lock();
             while job.remaining.load(Ordering::Acquire) != 0 {
-                guard = self.shared.done.wait(guard).expect("pool wait");
+                guard = self
+                    .shared
+                    .done
+                    .wait(guard)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        match caller {
+            Err(payload) => std::panic::resume_unwind(payload),
+            Ok(()) => {
+                if job.panicked.load(Ordering::Acquire) {
+                    panic!("ShardPool task panicked on a worker thread");
+                }
             }
         }
     }
@@ -260,7 +334,7 @@ impl ShardPool {
 impl Drop for ShardPool {
     fn drop(&mut self) {
         {
-            let mut guard = self.shared.job.lock().expect("pool lock");
+            let mut guard = self.shared.lock();
             *guard = (u64::MAX, None);
             self.shared.wake.notify_all();
         }
@@ -301,7 +375,7 @@ where
             self.run(duration);
             return;
         }
-        let pool = ShardPool::auto(shards);
+        let pool = ShardPool::sized(shards, self.medium.pool_workers());
         self.core.sync_ledger();
         let h = self.medium.lookahead();
         debug_assert!(h > 0.0, "lookahead must be positive");
@@ -345,10 +419,8 @@ where
             let t0 = self.profile.as_deref().map(|_| std::time::Instant::now());
             {
                 let medium = &self.medium;
-                let lane_cells = LaneCells { lanes: &mut lanes };
-                let scratch_cells = LaneCells {
-                    lanes: &mut scratches,
-                };
+                let lane_cells = LaneCells::new(&mut lanes);
+                let scratch_cells = LaneCells::new(&mut scratches);
                 pool.scatter(shards, &|d| {
                     // SAFETY: index `d` is handed out exactly once.
                     let lane = unsafe { lane_cells.lane(d) };
@@ -523,12 +595,32 @@ mod tests {
     #[test]
     fn lane_cells_give_disjoint_access() {
         let mut lanes = vec![0u64; 8];
-        let cells = LaneCells { lanes: &mut lanes };
+        let cells = LaneCells::new(&mut lanes);
         let pool = ShardPool::new(2);
         pool.scatter(8, &|i| {
             let lane = unsafe { cells.lane(i) };
             *lane = i as u64 + 1;
         });
         assert_eq!(lanes, (1..=8).collect::<Vec<u64>>());
+    }
+
+    /// A panicking task must propagate out of `scatter` (not hang the
+    /// barrier), and the pool must stay usable for later scatters.
+    #[test]
+    fn pool_propagates_task_panics_and_survives() {
+        let pool = ShardPool::new(2);
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scatter(8, &|i| {
+                if i == 5 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(res.is_err(), "panic in a task must escape scatter");
+        let hits: Vec<AtomicU64> = (0..8).map(|_| AtomicU64::new(0)).collect();
+        pool.scatter(8, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
 }

@@ -204,6 +204,7 @@ fn all_streams(spec: &softrate::scenario::spec::ScenarioSpec, shards: usize) -> 
             ..RecorderConfig::default()
         }),
         shards,
+        shard_workers: None,
     };
     let results = run_all_with_options(&plans, &opts);
     let jsonl = to_jsonl(&results.iter().map(|(r, _)| r.clone()).collect::<Vec<_>>());
