@@ -74,6 +74,7 @@ fn main() {
             kind: TrafficModel::Tcp,
             direction: None,
         },
+        faults: None,
         adapters: Some(adapters.clone()),
         sweep: Some(Sweep(vec![SweepAxis {
             param: "channel.fading.Flat.doppler_hz".into(),

@@ -53,6 +53,7 @@ fn main() {
             kind: TrafficModel::Tcp,
             direction: None,
         },
+        faults: None,
         adapters: Some(adapters.to_vec()),
         sweep: Some(Sweep(vec![SweepAxis {
             param: "topology.carrier_sense_prob".into(),

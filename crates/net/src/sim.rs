@@ -40,6 +40,7 @@ use std::collections::VecDeque;
 use softrate_channel::analytic::{FrameSuccessMemo, OracleBands};
 use softrate_core::adapter::{DecisionTrigger, RateAdapter, TxAttempt};
 use softrate_sim::config::AdapterKind;
+use softrate_sim::fault::{FaultConfig, FaultDriver, FaultLoss};
 use softrate_sim::mac::{
     ActiveTx, AttemptInfo, HandoffRecord, MacCore, MacEngine, MacEv, MacParams, Medium,
     PhaseProfile, Port, RunReport,
@@ -50,13 +51,13 @@ use softrate_sim::transport::{
     Payload, TransportConfig, TransportEv, TransportHost, TransportLayer,
 };
 use softrate_telemetry::DecisionEvent;
-use softrate_trace::schema::FrameFate;
+use softrate_trace::schema::{hash_uniform, FrameFate};
 
 use crate::channel::{fate_from_draw_memo, StreamingLink};
 use crate::geometry::Point;
 use crate::grid::{dist2, ActiveGrid, TxEntry};
 use crate::mobility::MobilityWalker;
-use crate::spatial::{HandoffPolicy, SpatialParams, SpatialSpec};
+use crate::spatial::{HandoffPolicy, SpatialError, SpatialParams, SpatialSpec};
 use crate::stream::mix_seed;
 
 /// The workload a spatial deployment carries.
@@ -120,6 +121,11 @@ pub struct SpatialConfig {
     /// recorder entirely — the disabled path must leave every simulation
     /// result byte-identical.
     pub telemetry: Option<softrate_telemetry::RecorderConfig>,
+    /// Deterministic fault injection (`softrate-faults`); `None` (the
+    /// default) — and an all-`None` table — keep every fault seam
+    /// untouched, so faults-off runs stay byte-identical to a build
+    /// without the subsystem (pinned by the unregenerated goldens).
+    pub faults: Option<FaultConfig>,
 }
 
 impl SpatialConfig {
@@ -138,6 +144,7 @@ impl SpatialConfig {
             shard_workers: None,
             kickoff_stagger_s: 2e-4,
             telemetry: None,
+            faults: None,
         }
     }
 
@@ -184,6 +191,10 @@ struct SpatialTx {
     /// What the frame carries (`Flows` mode; the saturated fast path's
     /// frames are all anonymous datagrams).
     payload: Payload,
+    /// A jammer burst crushed this reception's SIR at transmit time
+    /// (resolved as a [`FaultLoss::Jamming`] loss at the feedback
+    /// window). Always `false` faults-off.
+    jammed: bool,
 }
 
 /// Medium-specific events: periodic association re-evaluation, plus the
@@ -197,6 +208,88 @@ enum SpatialEv {
     },
     /// A transport-layer event.
     Transport(TransportEv),
+    /// A fault-lifecycle event (`softrate-faults`).
+    Fault(FaultEv),
+}
+
+/// One scheduled fault-lifecycle event. All of them are pre-scheduled at
+/// kickoff into the ordinary near event queue, so they dispatch in exact
+/// global `(time, seq)` order on both the sequential and the sharded
+/// scheduler — shard counts cannot reorder faults.
+#[derive(Debug, Clone, Copy)]
+enum FaultEv {
+    /// AP `ap` dies: queued downlink frames drop with accounting, and
+    /// every reception in its BSS resolves as an outage until restart.
+    ApDown {
+        /// The AP.
+        ap: usize,
+    },
+    /// AP `ap` restarts (and resumes serving whatever queued up).
+    ApUp {
+        /// The AP.
+        ap: usize,
+    },
+    /// Churn joiner `st` becomes active and starts transmitting.
+    Join {
+        /// The station.
+        st: usize,
+    },
+    /// Churn leaver `st` falls silent (after its in-flight frame, if
+    /// any, resolves).
+    Leave {
+        /// The station.
+        st: usize,
+    },
+    /// Wave boundary marker for the metrics stream: one start/end pair
+    /// per join/leave wave, so interval fault tags cover the whole ramp
+    /// instead of flapping per station.
+    ChurnPhase {
+        /// Join wave (`true`) or leave wave (`false`).
+        join: bool,
+        /// Wave start (`true`) or end (`false`).
+        start: bool,
+    },
+    /// Jammer burst on/off.
+    Jam {
+        /// Burst starts (`true`) or ends (`false`).
+        on: bool,
+    },
+    /// Noise-floor step on/off.
+    Noise {
+        /// Step starts (`true`) or ends (`false`).
+        on: bool,
+    },
+}
+
+/// Salt for the churn join-jitter draw (station → offset within the
+/// join ramp).
+const JOIN_SALT: u64 = 0x4A4F_494E; // "JOIN"
+/// Salt for the churn leave-jitter draw.
+const LEAVE_SALT: u64 = 0x4C45_4156; // "LEAV"
+
+/// Live fault-injection state. `None` on the medium when faults are off
+/// — every seam that consults it is a single `Option` check, keeping
+/// faults-off runs byte-identical to a build without the subsystem.
+struct FaultState {
+    /// The lowered fault schedule, as configured.
+    config: FaultConfig,
+    /// Which APs are currently dark.
+    ap_down: Vec<bool>,
+    /// When each dark AP went dark (valid while `ap_down[a]` holds;
+    /// the reassociation rows measure recovery time against it).
+    ap_down_since: Vec<f64>,
+    /// Cached `ap_down.iter().any()` — the roam path branches on it.
+    any_ap_down: bool,
+    /// Churn joiners that have not joined yet: no kickoff, no port picks.
+    dormant: Vec<bool>,
+    /// Churn leavers that have left: idle forever after.
+    left: Vec<bool>,
+    /// Noise-floor rise currently applied to every link, dB (0 idle).
+    noise_delta_db: f64,
+    /// Whether the jammer burst is currently on the air.
+    jammer_on: bool,
+    /// Seed for the churn join/leave jitter draws.
+    seed: u64,
 }
 
 type Core = MacCore<SpatialEv, SpatialTx>;
@@ -360,6 +453,8 @@ struct SpatialMedium {
     /// Scratch: per-AP "the new transmitter is within interference range
     /// of this AP" flags (reused).
     ap_near: Vec<bool>,
+    /// Live fault-injection state (`None` faults-off).
+    faults: Option<FaultState>,
     // statistics
     inter_cell_corruptions: u64,
     handoffs: u64,
@@ -645,6 +740,15 @@ impl SpatialMedium {
         if let Some(rec) = core.recorder.as_deref_mut() {
             rec.on_handoff(now, st);
         }
+        // A station fleeing a dark AP is the resilience headline: record
+        // its time-to-reassociate against the outage start.
+        if let Some(fs) = &self.faults {
+            if fs.ap_down[from] {
+                if let Some(rec) = core.recorder.as_deref_mut() {
+                    rec.on_reassoc(now, st, from, to, now - fs.ap_down_since[from]);
+                }
+            }
+        }
         // Decision ledger: a handoff is a rate-adaptation event. Under
         // Preserve the adapter carries its state to the new AP — one
         // marker row per affected port, rate unchanged. Under Reset the
@@ -706,6 +810,193 @@ impl SpatialMedium {
         let now = core.now();
         self.apply_handoff(core, st, to, now);
     }
+
+    /// AP death: its members' queued downlink frames are lost, with full
+    /// accounting — the transport hears about every drop (TCP reacts with
+    /// its ordinary loss machinery) and the count lands in the fault row.
+    /// The in-flight queue front (a frame already on the air) is left for
+    /// the MAC to resolve; it lands as an `outage` loss with the AP dark.
+    /// The transport's reaction may legally re-enqueue (a retransmission);
+    /// the drop count is taken up front so those new frames wait for the
+    /// AP to return instead of dying with it.
+    fn drop_downlink_queues(&mut self, core: &mut Core, ap: usize) -> u64 {
+        let n = self.params.n_stations;
+        if self.flows.is_none() {
+            return 0;
+        }
+        let members: Vec<usize> = self.flows.as_ref().expect("checked").ap_members[ap].clone();
+        let mut dropped = 0u64;
+        for st in members {
+            let port = n + st;
+            let fl = self.flows.as_mut().expect("checked");
+            let protected = if fl.port_inflight[port] {
+                fl.queues[port].pop_front()
+            } else {
+                None
+            };
+            let mut to_drop = fl.queues[port].len();
+            while to_drop > 0 {
+                to_drop -= 1;
+                dropped += 1;
+                let fl = self.flows.as_mut().expect("checked");
+                fl.queues[port].pop_front();
+                let FlowNet {
+                    transport, queues, ..
+                } = fl;
+                let mut host = SpatialHost {
+                    queues: &mut *queues,
+                    stations: &self.stations,
+                    core: &mut *core,
+                    n,
+                };
+                transport.on_frame_dropped(&mut host, st);
+            }
+            if let Some(p) = protected {
+                self.flows.as_mut().expect("checked").queues[port].push_front(p);
+            }
+        }
+        dropped
+    }
+
+    /// An AP restart: poke the returned transmitter if any member's
+    /// downlink queue accumulated frames while it was dark.
+    fn wake_ap(&mut self, core: &mut Core, ap: usize) {
+        let n = self.params.n_stations;
+        let Some(fl) = self.flows.as_ref() else {
+            return;
+        };
+        let sender = n + ap;
+        if core.senders[sender].busy || core.senders[sender].start_pending {
+            return;
+        }
+        for &st in &fl.ap_members[ap] {
+            if !fl.queues[n + st].is_empty() && !fl.port_inflight[n + st] {
+                let cw = core.cw[n + st];
+                core.schedule_tx_start(sender, None, cw);
+                return;
+            }
+        }
+    }
+
+    /// Dispatches one scheduled fault-lifecycle event. Every effect is a
+    /// plain data write applied at dispatch time (exact global event
+    /// order), so the sharded scheduler replays faults identically; none
+    /// of them touch carrier sense or consume engine randomness.
+    fn on_fault_event(&mut self, core: &mut Core, fev: FaultEv) {
+        let now = core.now();
+        match fev {
+            FaultEv::ApDown { ap } => {
+                {
+                    let fs = self
+                        .faults
+                        .as_mut()
+                        .expect("fault event implies fault state");
+                    fs.ap_down[ap] = true;
+                    fs.ap_down_since[ap] = now;
+                    fs.any_ap_down = true;
+                }
+                // Flag first, then drain: a drain-triggered retransmission
+                // that wakes the dying AP is refused by `pick_port`.
+                let dropped = self.drop_downlink_queues(core, ap);
+                if let Some(rec) = core.recorder.as_deref_mut() {
+                    rec.on_fault(
+                        now,
+                        "ap_outage",
+                        "start",
+                        format!("ap={ap} dropped_queued={dropped}"),
+                    );
+                }
+            }
+            FaultEv::ApUp { ap } => {
+                let fs = self
+                    .faults
+                    .as_mut()
+                    .expect("fault event implies fault state");
+                fs.ap_down[ap] = false;
+                fs.any_ap_down = fs.ap_down.iter().any(|&d| d);
+                if let Some(rec) = core.recorder.as_deref_mut() {
+                    rec.on_fault(now, "ap_outage", "end", format!("ap={ap}"));
+                }
+                self.wake_ap(core, ap);
+            }
+            FaultEv::Join { st } => {
+                let fs = self
+                    .faults
+                    .as_mut()
+                    .expect("fault event implies fault state");
+                if !fs.dormant[st] {
+                    return;
+                }
+                fs.dormant[st] = false;
+                // Churn runs on the saturated-uplink workload (validated
+                // at construction): the joiner's first channel access
+                // starts here instead of at kickoff.
+                if !core.senders[st].busy && !core.senders[st].start_pending {
+                    let cw = core.cw[st];
+                    core.schedule_tx_start(st, None, cw);
+                }
+            }
+            FaultEv::Leave { st } => {
+                let fs = self
+                    .faults
+                    .as_mut()
+                    .expect("fault event implies fault state");
+                fs.left[st] = true;
+                // An in-flight frame resolves normally; `pick_port`
+                // refuses every later access, so the sender goes idle.
+            }
+            FaultEv::ChurnPhase { join, start } => {
+                let c = self
+                    .faults
+                    .as_ref()
+                    .and_then(|f| f.config.churn)
+                    .expect("churn phase implies churn config");
+                let (label, detail) = if join {
+                    ("churn_join", format!("join_count={}", c.join_count))
+                } else {
+                    ("churn_leave", format!("leave_count={}", c.leave_count))
+                };
+                if let Some(rec) = core.recorder.as_deref_mut() {
+                    rec.on_fault(now, label, if start { "start" } else { "end" }, detail);
+                }
+            }
+            FaultEv::Jam { on } => {
+                let fs = self
+                    .faults
+                    .as_mut()
+                    .expect("fault event implies fault state");
+                fs.jammer_on = on;
+                let j = fs.config.jammer.expect("jam event implies jammer config");
+                if let Some(rec) = core.recorder.as_deref_mut() {
+                    rec.on_fault(
+                        now,
+                        "jammer",
+                        if on { "start" } else { "end" },
+                        format!("x={} y={} power_db={}", j.x, j.y, j.power_db),
+                    );
+                }
+            }
+            FaultEv::Noise { on } => {
+                let fs = self
+                    .faults
+                    .as_mut()
+                    .expect("fault event implies fault state");
+                let s = fs
+                    .config
+                    .noise_step
+                    .expect("noise event implies noise config");
+                fs.noise_delta_db = if on { s.delta_db } else { 0.0 };
+                if let Some(rec) = core.recorder.as_deref_mut() {
+                    rec.on_fault(
+                        now,
+                        "noise_step",
+                        if on { "start" } else { "end" },
+                        format!("delta_db={}", s.delta_db),
+                    );
+                }
+            }
+        }
+    }
 }
 
 impl Medium for SpatialMedium {
@@ -714,12 +1005,83 @@ impl Medium for SpatialMedium {
 
     fn kickoff(&mut self, core: &mut Core) {
         let n = self.params.n_stations;
+        // Pre-schedule every fault-lifecycle event. They ride the
+        // ordinary near event queue, so both schedulers dispatch them in
+        // exact global `(time, seq)` order — shard counts cannot reorder
+        // faults relative to traffic.
+        if let Some(fs) = &self.faults {
+            let c = fs.config;
+            let mut at = |t: f64, fev: FaultEv| {
+                core.events
+                    .schedule(t, MacEv::Medium(SpatialEv::Fault(fev)));
+            };
+            if let Some(o) = c.ap_outage {
+                at(o.at, FaultEv::ApDown { ap: o.ap });
+                at(o.at + o.duration, FaultEv::ApUp { ap: o.ap });
+            }
+            if let Some(j) = c.jammer {
+                at(j.at, FaultEv::Jam { on: true });
+                at(j.at + j.duration, FaultEv::Jam { on: false });
+            }
+            if let Some(s) = c.noise_step {
+                at(s.at, FaultEv::Noise { on: true });
+                if let Some(d) = s.duration {
+                    at(s.at + d, FaultEv::Noise { on: false });
+                }
+            }
+            if let Some(ch) = c.churn {
+                if ch.join_count > 0 {
+                    at(
+                        ch.join_at,
+                        FaultEv::ChurnPhase {
+                            join: true,
+                            start: true,
+                        },
+                    );
+                    for s in n.saturating_sub(ch.join_count)..n {
+                        let u = hash_uniform(&[fs.seed, JOIN_SALT, s as u64]);
+                        at(ch.join_at + ch.join_ramp_s * u, FaultEv::Join { st: s });
+                    }
+                    at(
+                        ch.join_at + ch.join_ramp_s,
+                        FaultEv::ChurnPhase {
+                            join: true,
+                            start: false,
+                        },
+                    );
+                }
+                if ch.leave_count > 0 {
+                    at(
+                        ch.leave_at,
+                        FaultEv::ChurnPhase {
+                            join: false,
+                            start: true,
+                        },
+                    );
+                    for s in 0..ch.leave_count.min(n) {
+                        let u = hash_uniform(&[fs.seed, LEAVE_SALT, s as u64]);
+                        at(ch.leave_at + ch.leave_ramp_s * u, FaultEv::Leave { st: s });
+                    }
+                    at(
+                        ch.leave_at + ch.leave_ramp_s,
+                        FaultEv::ChurnPhase {
+                            join: false,
+                            start: false,
+                        },
+                    );
+                }
+            }
+        }
         match self.flows.as_mut() {
             None => {
                 // Saturated uplink: slight stagger so the whole floor
-                // doesn't draw backoff at the exact same instant.
+                // doesn't draw backoff at the exact same instant. Churn
+                // joiners stay dormant; their `Join` event kicks them.
                 let stagger = self.cfg.kickoff_stagger_s;
                 for s in 0..n {
+                    if self.faults.as_ref().is_some_and(|f| f.dormant[s]) {
+                        continue;
+                    }
                     let cw = core.cw[s];
                     core.schedule_tx_start(s, Some(s as f64 * stagger), cw);
                 }
@@ -754,6 +1116,18 @@ impl Medium for SpatialMedium {
     /// over their associated stations' downlink queues.
     fn pick_port(&mut self, sender: usize) -> Option<usize> {
         let n = self.params.n_stations;
+        if let Some(fs) = &self.faults {
+            // Dormant joiners and departed leavers never transmit; a
+            // dark AP transmits nothing (its queues drained at death,
+            // and whatever re-accumulates waits for the restart).
+            if sender < n {
+                if fs.dormant[sender] || fs.left[sender] {
+                    return None;
+                }
+            } else if fs.ap_down[sender - n] {
+                return None;
+            }
+        }
         match &self.flows {
             None => Some(sender),
             Some(fl) => {
@@ -814,13 +1188,38 @@ impl Medium for SpatialMedium {
         // Mean SNR, envelope, and oracle all come from the per-event
         // memos; the AP↔station path is reciprocal, so the downlink
         // reuses the uplink's memoized values for the same instant.
-        let sig_snr_db = self.snr_to_ap(st, ap, now);
+        let mut sig_snr_db = self.snr_to_ap(st, ap, now);
+        if let Some(fs) = &self.faults {
+            // A noise-floor step shaves margin off every link — the
+            // oracle's included, since the channel really did get worse.
+            sig_snr_db -= fs.noise_delta_db;
+        }
         let env_db = self.env_at(st, now);
         let oracle_rate = self.oracle.best_rate(sig_snr_db + env_db);
         if matches!(self.cfg.adapter, AdapterKind::Omniscient) {
             attempt.rate_idx = oracle_rate;
         }
         let start_pos = self.tx_pos(sender, now);
+        let mut jammed = false;
+        if let Some(j) = self
+            .faults
+            .as_ref()
+            .filter(|f| f.jammer_on)
+            .and_then(|f| f.config.jammer)
+        {
+            // The burst corrupts any reception whose signal-to-jammer
+            // ratio at the receiver falls below the capture threshold —
+            // the same SIR rule concurrent 802.11 transmitters obey. The
+            // verdict is fixed at transmit time (data, not sensing), so
+            // it never perturbs the sharded scheduler's frozen senses.
+            let rx_pos = if port < n {
+                self.params.aps[ap]
+            } else {
+                self.pos_at(st, now)
+            };
+            let jam_db = self.params.snr_between(Point { x: j.x, y: j.y }, rx_pos) + j.power_db;
+            jammed = jam_db >= 0.0 && sig_snr_db - jam_db < self.params.capture_sir_db;
+        }
         let (payload, rx_station) = match self.flows.as_mut() {
             None => (Payload::Segment(0), None),
             Some(fl) => {
@@ -847,8 +1246,26 @@ impl Medium for SpatialMedium {
                 sig_snr_db,
                 start_pos,
                 payload,
+                jammed,
             },
         }
+    }
+
+    /// Resolve fault-injected losses at the feedback window: a dark AP's
+    /// BSS hears nothing (uplink receptions and the AP's own mid-flight
+    /// downlink frame alike), and a jammer burst kills receptions whose
+    /// SIR it crushed. Runs after [`Medium::fate`] — the channel coin was
+    /// already drawn — and consumes no randomness itself, so fault
+    /// precedence never shifts the fate stream.
+    fn fault_loss(&mut self, tx: &ActiveTx<SpatialTx>) -> Option<FaultLoss> {
+        let fs = self.faults.as_ref()?;
+        if fs.ap_down[tx.info.ap] {
+            return Some(FaultLoss::Outage);
+        }
+        if tx.info.jammed {
+            return Some(FaultLoss::Jamming);
+        }
+        None
     }
 
     /// Interference bookkeeping: a concurrent transmission corrupts a
@@ -1124,6 +1541,10 @@ impl Medium for SpatialMedium {
                 }
                 return;
             }
+            SpatialEv::Fault(fev) => {
+                self.on_fault_event(core, fev);
+                return;
+            }
             SpatialEv::Roam { st } => st,
         };
         let Some((hysteresis, interval, _)) = self.params.roaming else {
@@ -1131,9 +1552,44 @@ impl Medium for SpatialMedium {
         };
         let now = core.now();
         let cur = self.stations[st].ap;
-        let (best, best_rssi) = self.best_ap_at(st, now);
+        // With an AP dark, the candidate set shrinks to the live APs and
+        // a station stranded on the dark one re-homes without waiting out
+        // the hysteresis (association to a dead AP is worth nothing).
+        // The gate requires an *active* outage, so faults-off — and
+        // faulted runs outside the outage window — take the original
+        // path untouched.
+        let (best, best_rssi, bypass_hysteresis) =
+            if self.faults.as_ref().is_some_and(|f| f.any_ap_down) {
+                let down = self
+                    .faults
+                    .as_ref()
+                    .map(|f| f.ap_down.clone())
+                    .expect("checked");
+                let mut best = usize::MAX;
+                let mut best_rssi = f64::NEG_INFINITY;
+                for (a, &is_down) in down.iter().enumerate() {
+                    if is_down {
+                        continue;
+                    }
+                    let rssi = self.snr_to_ap(st, a, now);
+                    if rssi > best_rssi {
+                        best = a;
+                        best_rssi = rssi;
+                    }
+                }
+                if best == usize::MAX {
+                    // Every AP is dark: nowhere to go; check again later.
+                    core.events
+                        .schedule(now + interval, MacEv::Medium(SpatialEv::Roam { st }));
+                    return;
+                }
+                (best, best_rssi, down[cur])
+            } else {
+                let (best, best_rssi) = self.best_ap_at(st, now);
+                (best, best_rssi, false)
+            };
         let cur_rssi = self.snr_to_ap(st, cur, now);
-        if best != cur && best_rssi >= cur_rssi + hysteresis {
+        if best != cur && (bypass_hysteresis || best_rssi >= cur_rssi + hysteresis) {
             // Defer while either of the station's links has a frame in
             // flight: the pending attempt must resolve against the link
             // state (fading process, epoch, adapter) it was launched on.
@@ -1315,6 +1771,32 @@ impl SpatialSim {
             cfg.payload_bytes = tc.tcp.mss + IP_TCP_HEADER;
         }
         let params = cfg.spatial.resolve()?;
+        if let Some(fc) = &cfg.faults {
+            if let Some(o) = &fc.ap_outage {
+                if o.ap >= params.aps.len() {
+                    return Err(SpatialError(format!(
+                        "faults.ap_outage.ap = {} out of range ({} APs)",
+                        o.ap,
+                        params.aps.len()
+                    )));
+                }
+            }
+            if let Some(ch) = &fc.churn {
+                if ch.join_count > params.n_stations || ch.leave_count > params.n_stations {
+                    return Err(SpatialError(format!(
+                        "faults.churn join/leave counts ({}/{}) exceed n_stations = {}",
+                        ch.join_count, ch.leave_count, params.n_stations
+                    )));
+                }
+                if matches!(cfg.traffic, SpatialTraffic::Flows(_)) {
+                    return Err(SpatialError(
+                        "faults.churn requires the saturated-uplink workload \
+                         (flow-mode joins would need per-flow transport setup)"
+                            .into(),
+                    ));
+                }
+            }
+        }
         let walkers = (0..params.n_stations)
             .map(|s| MobilityWalker::new(params.station_seed(cfg.seed, s)))
             .collect();
@@ -1360,6 +1842,27 @@ impl SpatialSim {
         // fraction of the floor; on dense floors the end-sorted scan's
         // first-hit exit wins. Either plan classifies identically.
         let sense_via_grid = std::f64::consts::PI * sense_hi_ins * sense_hi_ins * 4.0 < area;
+        // An all-`None` `[faults]` table lowers to no state at all, so an
+        // empty table is provably identical to no table (pinned by test).
+        let faults = cfg.faults.filter(|f| !f.is_noop()).map(|f| {
+            let mut dormant = vec![false; n];
+            if let Some(ch) = f.churn {
+                for d in dormant.iter_mut().skip(n.saturating_sub(ch.join_count)) {
+                    *d = true;
+                }
+            }
+            FaultState {
+                config: f,
+                ap_down: vec![false; n_aps],
+                ap_down_since: vec![0.0; n_aps],
+                any_ap_down: false,
+                dormant,
+                left: vec![false; n],
+                noise_delta_db: 0.0,
+                jammer_on: false,
+                seed: mix_seed(cfg.mac_seed, 0x4641_554C), // "FAUL"
+            }
+        });
         let mut medium = SpatialMedium {
             stations: Vec::with_capacity(n),
             walkers,
@@ -1383,6 +1886,7 @@ impl SpatialSim {
             mut_log: Vec::new(),
             log_muts: false,
             ap_near: Vec::with_capacity(n_aps),
+            faults,
             inter_cell_corruptions: 0,
             handoffs: 0,
             initial_assoc: Vec::with_capacity(n),
@@ -1432,6 +1936,16 @@ impl SpatialSim {
             engine.core.recorder = Some(Box::new(softrate_telemetry::Recorder::new(
                 tcfg, n, n_senders,
             )));
+        }
+        // SoftPHY hint corruption lives in the engine core (it degrades
+        // what the adapter sees at the feedback window, after telemetry
+        // observed the truth), keyed by the MAC seed like the rest of
+        // the MAC-layer randomness.
+        if let Some(h) = engine.medium.cfg.faults.and_then(|f| f.hint) {
+            if h.drop_prob > 0.0 || h.quantize_db > 0.0 {
+                let seed = mix_seed(engine.medium.cfg.mac_seed, 0x4849_4E54);
+                engine.core.faults = Some(FaultDriver::new(h, seed));
+            }
         }
         Ok(SpatialSim { engine })
     }

@@ -20,8 +20,8 @@
 use std::process::ExitCode;
 
 use softrate_scenario::engine::{
-    self, expand, summary_table, telemetry_decisions_jsonl, telemetry_metrics_jsonl,
-    telemetry_trace_jsonl, to_jsonl,
+    self, expand, outcomes_to_jsonl, summary_table, telemetry_decisions_jsonl,
+    telemetry_metrics_jsonl, telemetry_trace_jsonl,
 };
 use softrate_scenario::spec::ScenarioSpec;
 use softrate_scenario::{builtin, toml};
@@ -254,7 +254,7 @@ fn cmd_run(args: &Args, require_sweep: bool) -> Result<(), String> {
             ..RecorderConfig::default()
         });
     let started = std::time::Instant::now();
-    let with_telemetry = engine::run_all_with_options(
+    let outcomes = engine::run_all_checked(
         &plans,
         &engine::RunOptions {
             threads,
@@ -264,10 +264,22 @@ fn cmd_run(args: &Args, require_sweep: bool) -> Result<(), String> {
         },
     );
     eprintln!("completed in {:.2}s", started.elapsed().as_secs_f64());
+    // A panicking run is captured as a structured `kind: "error"` row
+    // (in matrix order, alongside the healthy results) and the command
+    // exits non-zero — the rest of the matrix still completes and every
+    // requested output file is still written.
+    let with_telemetry: Vec<_> = outcomes
+        .iter()
+        .filter_map(|o| o.as_ref().ok().cloned())
+        .collect();
     let results: Vec<_> = with_telemetry.iter().map(|(r, _)| r.clone()).collect();
     print!("{}", summary_table(&results));
+    let failures: Vec<_> = outcomes.iter().filter_map(|o| o.as_ref().err()).collect();
+    for f in &failures {
+        eprintln!("run {} ({}) PANICKED: {}", f.run_idx, f.adapter, f.error);
+    }
     if let Some(out) = &args.out {
-        write_file(out, &to_jsonl(&results))?;
+        write_file(out, &outcomes_to_jsonl(&outcomes))?;
     }
     if let Some(path) = &args.metrics {
         write_file(path, &telemetry_metrics_jsonl(&with_telemetry))?;
@@ -277,6 +289,13 @@ fn cmd_run(args: &Args, require_sweep: bool) -> Result<(), String> {
     }
     if let Some(path) = &args.decisions {
         write_file(path, &telemetry_decisions_jsonl(&with_telemetry))?;
+    }
+    if !failures.is_empty() {
+        return Err(format!(
+            "{} of {} runs panicked (see their `kind: \"error\"` result rows)",
+            failures.len(),
+            outcomes.len()
+        ));
     }
     Ok(())
 }

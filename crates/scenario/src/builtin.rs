@@ -67,6 +67,13 @@ pub const BUILTINS: &[(&str, &str)] = &[
         "bursty-onoff-cell-edge",
         include_str!("../scenarios/bursty-onoff-cell-edge.toml"),
     ),
+    // Fault injection (the `[faults]` axis: softrate-faults).
+    ("ap-blackout", include_str!("../scenarios/ap-blackout.toml")),
+    (
+        "jammer-burst-cell-edge",
+        include_str!("../scenarios/jammer-burst-cell-edge.toml"),
+    ),
+    ("flash-crowd", include_str!("../scenarios/flash-crowd.toml")),
 ];
 
 /// Names of every built-in scenario, in catalogue order.
@@ -241,6 +248,33 @@ mod tests {
             policies.contains(&HandoffPolicy::Preserve) || sweeps_handoff,
             "Preserve must be exercised somewhere"
         );
+    }
+
+    /// The library must exercise the fault axis: an AP blackout with
+    /// roaming to recover through, a jammer burst, and a churn wave —
+    /// the three scenarios the resilience report compares adapters on.
+    #[test]
+    fn fault_builtins_cover_the_fault_axis() {
+        let faulted: Vec<_> = BUILTINS
+            .iter()
+            .map(|(n, _)| get(n).unwrap())
+            .filter(|s| s.faults.is_some())
+            .collect();
+        assert!(faulted.len() >= 3, "need >= 3 fault built-ins");
+        assert!(
+            faulted.iter().any(|s| s.faults.unwrap().ap_outage.is_some()
+                && s.topology.spatial.as_ref().unwrap().roaming.is_some()),
+            "an AP outage needs roaming to re-home through"
+        );
+        assert!(faulted.iter().any(|s| s.faults.unwrap().jammer.is_some()));
+        assert!(faulted.iter().any(|s| s.faults.unwrap().churn.is_some()));
+        for s in &faulted {
+            assert!(
+                !s.faults.unwrap().lower().is_noop(),
+                "{}: noop faults",
+                s.name
+            );
+        }
     }
 
     /// The spatial library must exercise the pluggable transport: TCP in

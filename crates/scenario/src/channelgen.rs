@@ -203,6 +203,7 @@ mod tests {
                 kind: TrafficModel::Tcp,
                 direction: None,
             },
+            faults: None,
             adapters: None,
             sweep: None,
         }

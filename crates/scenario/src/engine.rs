@@ -377,6 +377,9 @@ fn run_spatial_plan(
     cfg.seed = mix_seed(spec.seed, 0x5A7A_11CE);
     cfg.mac_seed = plan.seed;
     cfg.traffic = spatial_traffic(plan);
+    // A present-but-empty [faults] table lowers to None here, keeping the
+    // faults-off engine path provably untouched.
+    cfg.faults = spec.faults.map(|f| f.lower()).filter(|f| !f.is_noop());
     cfg.telemetry = telemetry.cloned();
     cfg.shards = shards.max(1);
     cfg.shard_workers = shard_workers;
@@ -454,6 +457,13 @@ pub fn run_plan_with_options(
     }
     cfg.seed = plan.seed;
     cfg.telemetry = telemetry.cloned();
+    // Hint corruption is the only fault class the single-cell medium
+    // honours (validation rejects the geometric ones); zero-effect
+    // settings lower to None so the seam stays untouched.
+    cfg.hint_faults = spec
+        .faults
+        .and_then(|f| f.lower().hint)
+        .filter(|h| h.drop_prob > 0.0 || h.quantize_db > 0.0);
 
     let report = NetSim::new(cfg, traces).run();
     finish_report(plan, report)
@@ -462,6 +472,95 @@ pub fn run_plan_with_options(
 /// Executes one plan.
 pub fn run_plan(plan: &RunPlan) -> RunResult {
     run_plan_with_telemetry(plan, None).0
+}
+
+/// One structured JSONL row for a run that panicked instead of
+/// completing. The leading `kind: "error"` discriminates it from
+/// [`RunResult`] rows (which have no `kind`) in a mixed results file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FailedRunRow {
+    /// Always `"error"` — the row discriminator.
+    pub kind: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// Matrix position of the failed run.
+    pub run_idx: usize,
+    /// Adapter label.
+    pub adapter: String,
+    /// Swept parameter assignments.
+    pub params: Vec<(String, Value)>,
+    /// The run's seed (reproduce with `run --only <idx>`).
+    pub seed: u64,
+    /// The panic message.
+    pub error: String,
+}
+
+/// What one checked run produced: a result (plus telemetry), or the
+/// structured record of its panic (boxed — the failure path is cold and
+/// the row is bigger than the hot `Ok` tuple's pointer budget).
+pub type RunOutcome = Result<(RunResult, Option<TelemetryReport>), Box<FailedRunRow>>;
+
+/// Renders a panic payload (the `Box<dyn Any>` from `catch_unwind`) as
+/// text; `panic!` with a literal gives `&str`, with `format!` a `String`.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// [`run_plan_with_options`], but a panicking engine yields a
+/// [`FailedRunRow`] instead of tearing down the whole matrix. The
+/// `AssertUnwindSafe` is sound because the run's entire mutable state is
+/// constructed inside the closure and abandoned on unwind — nothing
+/// shared survives to observe a broken invariant.
+pub fn run_plan_checked(plan: &RunPlan, opts: &RunOptions) -> RunOutcome {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_plan_with_options(plan, opts)
+    }))
+    .map_err(|payload| {
+        Box::new(FailedRunRow {
+            kind: "error".into(),
+            scenario: plan.spec.name.clone(),
+            run_idx: plan.run_idx,
+            adapter: plan.adapter.label(),
+            params: plan.params.clone(),
+            seed: plan.seed,
+            error: panic_message(payload.as_ref()),
+        })
+    })
+}
+
+/// Crash-proof [`run_all_with_options`]: every plan runs to completion
+/// or to a captured panic; one bad run never costs the rest of the
+/// matrix. Outcomes come back in matrix order (byte-identical across
+/// thread counts, like everything else here). Callers decide the exit
+/// status — `softrate-scenarios run` exits non-zero if any row failed.
+pub fn run_all_checked(plans: &[RunPlan], opts: &RunOptions) -> Vec<RunOutcome> {
+    let opts = size_shard_workers(plans, opts);
+    par_map_threads(
+        opts.threads.unwrap_or_else(default_threads),
+        plans.to_vec(),
+        move |plan| run_plan_checked(&plan, &opts),
+    )
+}
+
+/// Serializes checked outcomes as JSON-lines in matrix order: result
+/// rows for completed runs, `kind: "error"` rows for panicked ones.
+pub fn outcomes_to_jsonl(outcomes: &[RunOutcome]) -> String {
+    let mut out = String::new();
+    for o in outcomes {
+        let line = match o {
+            Ok((r, _)) => serde_json::to_string(r).expect("results serialize"),
+            Err(f) => serde_json::to_string(f.as_ref()).expect("failed-run rows serialize"),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
 }
 
 /// Executes every plan across `threads` workers (defaulting to the
@@ -500,24 +599,37 @@ pub fn run_all_with_options(
     plans: &[RunPlan],
     opts: &RunOptions,
 ) -> Vec<(RunResult, Option<TelemetryReport>)> {
-    let cores = std::thread::available_parallelism()
+    let opts = size_shard_workers(plans, opts);
+    par_map_threads(
+        opts.threads.unwrap_or_else(default_threads),
+        plans.to_vec(),
+        move |plan| run_plan_with_options(&plan, &opts),
+    )
+}
+
+/// The host's available parallelism (the `threads: None` default).
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
         .map(|p| p.get())
-        .unwrap_or(1);
+        .unwrap_or(1)
+}
+
+/// Resolves the automatic shard-pool sizing: sharded runs executing
+/// concurrently must share the machine, so each matrix worker gets an
+/// equal slice of the cores (minus the worker itself, which also
+/// dispatches) and `threads` × `shards` never spawns more pool threads
+/// than the host has.
+fn size_shard_workers(plans: &[RunPlan], opts: &RunOptions) -> RunOptions {
+    let cores = default_threads();
     let threads = opts.threads.unwrap_or(cores);
     let mut opts = opts.clone();
-    // Sharded runs executing concurrently must share the machine: give
-    // each matrix worker an equal slice of the cores (minus the worker
-    // itself, which also dispatches) so threads × shards never spawns
-    // more pool threads than the host has.
     if opts.shards > 1 && opts.shard_workers.is_none() {
         let concurrent = threads.min(plans.len()).max(1);
         if concurrent > 1 {
             opts.shard_workers = Some((cores / concurrent).saturating_sub(1));
         }
     }
-    par_map_threads(threads, plans.to_vec(), move |plan| {
-        run_plan_with_options(&plan, &opts)
-    })
+    opts
 }
 
 /// Concatenates the per-run metrics JSONL streams in matrix order.
@@ -656,6 +768,7 @@ mod tests {
                 kind: TrafficModel::Tcp,
                 direction: None,
             },
+            faults: None,
             adapters: Some(vec![AdapterSpec::SoftRate, AdapterSpec::Omniscient]),
             sweep: Some(Sweep(vec![
                 SweepAxis {
@@ -767,6 +880,58 @@ mod tests {
             results[0].goodput_bps
         );
         assert!(results[0].frames_sent > 0);
+    }
+
+    #[test]
+    fn checked_matrix_survives_a_panicking_run() {
+        use softrate_net::mobility::MobilitySpec;
+        use softrate_net::spatial::SpatialSpec;
+        let mut s = sweep_spec();
+        s.adapters = Some(vec![AdapterSpec::SoftRate]);
+        s.sweep = None;
+        let mut plans = expand(&s).unwrap();
+        assert_eq!(plans.len(), 1);
+        // Hand-build a poisoned plan (expand would reject its spec): a
+        // spatial topology that fails to resolve trips the engine's
+        // "validated spatial spec resolves" expect — a real panic, not a
+        // simulated one.
+        let mut bad = plans[0].clone();
+        bad.run_idx = 1;
+        bad.spec.topology.spatial = Some(SpatialSpec {
+            ap_cols: 1,
+            ap_rows: 1,
+            ap_spacing_m: 30.0,
+            n_stations: 0,
+            snr_ref_db: None,
+            path_loss_exp: None,
+            sense_snr_db: None,
+            capture_sir_db: None,
+            doppler_hz: None,
+            mobility: MobilitySpec::Static,
+            roaming: None,
+        });
+        plans.push(bad);
+
+        let outcomes = run_all_checked(&plans, &RunOptions::default());
+        assert_eq!(outcomes.len(), 2, "the panic must not kill the matrix");
+        assert!(outcomes[0].is_ok(), "the healthy run completes");
+        let failed = outcomes[1].as_ref().expect_err("poisoned run fails");
+        assert_eq!(failed.kind, "error");
+        assert_eq!(failed.run_idx, 1);
+        assert_eq!(failed.seed, plans[1].seed);
+        assert!(!failed.error.is_empty(), "panic message captured");
+
+        let jsonl = outcomes_to_jsonl(&outcomes);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(
+            !lines[0].contains("\"kind\""),
+            "result rows carry no kind discriminator"
+        );
+        assert!(lines[1].contains("\"kind\":\"error\""));
+        // The healthy row still parses as a RunResult.
+        let parsed: RunResult = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(parsed.run_idx, 0);
     }
 
     #[test]

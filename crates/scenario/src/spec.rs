@@ -10,6 +10,7 @@ use serde::{DeError, Deserialize, Serialize, Value};
 use softrate_channel::model::FadingSpec;
 use softrate_channel::pathloss::Attenuation;
 use softrate_net::spatial::SpatialSpec;
+use softrate_sim::fault;
 
 use crate::toml;
 
@@ -55,6 +56,10 @@ pub struct ScenarioSpec {
     pub channel: ChannelSpec,
     /// What the flows carry.
     pub traffic: TrafficSpec,
+    /// Deterministic fault injection (`softrate-faults`): outages,
+    /// jammer bursts, SNR cliffs, churn, hint corruption. Omitted (or
+    /// empty) means faults-off — byte-identical to a pre-fault build.
+    pub faults: Option<FaultsSpec>,
     /// Adapters under test — one run per adapter (an implicit matrix axis).
     /// Defaults to SoftRate alone when omitted.
     pub adapters: Option<Vec<AdapterSpec>>,
@@ -215,6 +220,144 @@ impl AdapterSpec {
             AdapterSpec::Charm { .. } => "CHARM".into(),
             AdapterSpec::Omniscient => "Omniscient".into(),
             AdapterSpec::Fixed { rate_idx } => format!("Fixed-{rate_idx}"),
+        }
+    }
+}
+
+/// The `[faults]` table: deterministic fault injection, sweepable like
+/// any other axis (e.g. `"faults.jammer.power_db" = [0.0, 10.0]`).
+///
+/// Every class is optional and at most one fault of each class runs per
+/// point. An empty table is exactly equivalent to no table at all: the
+/// engine lowers a no-op spec to `None`, so faults-off runs stay
+/// byte-identical to pre-fault builds (pinned by test). All classes
+/// except `hint` need geometry and therefore a spatial topology.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultsSpec {
+    /// AP blackout + restart: the AP stops receiving/acking/sending at
+    /// `at`, drops its queued downlink frames (with accounting), and
+    /// returns at `at + duration`; stations re-home via roaming.
+    pub ap_outage: Option<ApOutageSpec>,
+    /// Stationary wideband jammer burst: receptions whose
+    /// signal-to-jammer ratio falls below the capture SIR are corrupted
+    /// while the burst is on. Attacks receptions, not airtime.
+    pub jammer: Option<JammerSpec>,
+    /// Noise-floor step: every link's SNR drops by `delta_db` (an SNR
+    /// cliff), recovering after `duration` if one is given.
+    pub noise_step: Option<NoiseStepSpec>,
+    /// Station churn: a join wave (flash crowd) and/or a leave wave.
+    pub churn: Option<ChurnSpec>,
+    /// SoftPHY hint corruption: per-frame confidences dropped or
+    /// quantized. The only class that also applies to the single-cell
+    /// trace topology.
+    pub hint: Option<HintFaultsSpec>,
+}
+
+/// `[faults.ap_outage]`: timed AP death and restart.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ApOutageSpec {
+    /// Index of the AP to kill (row-major grid order).
+    pub ap: usize,
+    /// Outage start, seconds into the run.
+    pub at: f64,
+    /// Outage length, seconds; the AP restarts at `at + duration`.
+    pub duration: f64,
+}
+
+/// `[faults.jammer]`: a timed jammer burst at a fixed position.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JammerSpec {
+    /// Jammer x position, metres.
+    pub x: f64,
+    /// Jammer y position, metres.
+    pub y: f64,
+    /// Transmit power relative to an AP's reference power, dB
+    /// (0 = as loud as an AP; positive = louder). Defaults to 0.
+    pub power_db: Option<f64>,
+    /// Burst start, seconds into the run.
+    pub at: f64,
+    /// Burst length, seconds.
+    pub duration: f64,
+}
+
+/// `[faults.noise_step]`: a timed step change in the noise floor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseStepSpec {
+    /// Step start, seconds into the run.
+    pub at: f64,
+    /// SNR reduction while active, dB (positive = worse channel).
+    pub delta_db: f64,
+    /// Step length, seconds; omitted holds the step to the run's end.
+    pub duration: Option<f64>,
+}
+
+/// `[faults.churn]`: join/leave waves. Joiners are the *last*
+/// `join_count` stations (dormant until their individual join time
+/// `join_at + U(0, join_ramp_s)`, a seeded per-station draw); leavers
+/// are the *first* `leave_count` stations. Omitted counts default to 0.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnSpec {
+    /// How many stations join late (default 0).
+    pub join_count: Option<usize>,
+    /// Earliest join time, seconds (default 0).
+    pub join_at: Option<f64>,
+    /// Width of the join wave, seconds (default 0 = all at once).
+    pub join_ramp_s: Option<f64>,
+    /// How many stations leave mid-run (default 0).
+    pub leave_count: Option<usize>,
+    /// Earliest leave time, seconds (default 0).
+    pub leave_at: Option<f64>,
+    /// Width of the leave wave, seconds (default 0).
+    pub leave_ramp_s: Option<f64>,
+}
+
+/// `[faults.hint]`: SoftPHY hint corruption, the paper's own
+/// robustness knob (§6.4 runs SoftRate with degraded feedback).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HintFaultsSpec {
+    /// Probability a frame's BER/SNR hints are lost entirely
+    /// (default 0).
+    pub drop_prob: Option<f64>,
+    /// Quantization step for surviving hints, dB (default 0 = exact).
+    pub quantize_db: Option<f64>,
+}
+
+impl FaultsSpec {
+    /// Lowers the serde-facing table into the plain-data
+    /// [`softrate_sim::fault::FaultConfig`] the simulators consume,
+    /// applying defaults (mirrors how `TrafficSpec` lowers into
+    /// `TrafficKind`).
+    pub fn lower(&self) -> fault::FaultConfig {
+        fault::FaultConfig {
+            ap_outage: self.ap_outage.map(|o| fault::ApOutage {
+                ap: o.ap,
+                at: o.at,
+                duration: o.duration,
+            }),
+            jammer: self.jammer.map(|j| fault::Jammer {
+                x: j.x,
+                y: j.y,
+                power_db: j.power_db.unwrap_or(0.0),
+                at: j.at,
+                duration: j.duration,
+            }),
+            noise_step: self.noise_step.map(|s| fault::NoiseStep {
+                at: s.at,
+                delta_db: s.delta_db,
+                duration: s.duration,
+            }),
+            churn: self.churn.map(|c| fault::Churn {
+                join_count: c.join_count.unwrap_or(0),
+                join_at: c.join_at.unwrap_or(0.0),
+                join_ramp_s: c.join_ramp_s.unwrap_or(0.0),
+                leave_count: c.leave_count.unwrap_or(0),
+                leave_at: c.leave_at.unwrap_or(0.0),
+                leave_ramp_s: c.leave_ramp_s.unwrap_or(0.0),
+            }),
+            hint: self.hint.map(|h| fault::HintFaults {
+                drop_prob: h.drop_prob.unwrap_or(0.0),
+                quantize_db: h.quantize_db.unwrap_or(0.0),
+            }),
         }
     }
 }
@@ -413,6 +556,9 @@ impl ScenarioSpec {
         if !self.probe_interval().is_finite() || self.probe_interval() <= 0.0 {
             return fail("probe_interval must be positive".into());
         }
+        if let Some(f) = &self.faults {
+            self.validate_faults(f)?;
+        }
         if let TrafficModel::OnOff {
             rate_pps,
             on_s,
@@ -482,6 +628,110 @@ impl ScenarioSpec {
         }
         Ok(())
     }
+
+    /// Fault-table checks (split out of [`Self::validate`] for length).
+    fn validate_faults(&self, f: &FaultsSpec) -> Result<(), SpecError> {
+        let fail = |msg: String| Err(SpecError(format!("scenario `{}`: {msg}", self.name)));
+        let timed = |what: &str, at: f64, duration: f64| {
+            if !at.is_finite() || at < 0.0 {
+                return fail(format!("{what}.at must be >= 0, got {at}"));
+            }
+            if !duration.is_finite() || duration <= 0.0 {
+                return fail(format!("{what}.duration must be positive, got {duration}"));
+            }
+            Ok(())
+        };
+        let spatial = self.topology.spatial.as_ref();
+        if spatial.is_none()
+            && (f.ap_outage.is_some()
+                || f.jammer.is_some()
+                || f.noise_step.is_some()
+                || f.churn.is_some())
+        {
+            return fail(
+                "faults.ap_outage / jammer / noise_step / churn need geometry and \
+                 therefore [topology.spatial]; only faults.hint applies to the \
+                 single-cell topology"
+                    .into(),
+            );
+        }
+        if let Some(o) = &f.ap_outage {
+            timed("faults.ap_outage", o.at, o.duration)?;
+            let n_aps = spatial.map(|sp| sp.ap_cols * sp.ap_rows).unwrap_or(0);
+            if o.ap >= n_aps {
+                return fail(format!(
+                    "faults.ap_outage.ap {} out of range (grid has {n_aps} APs)",
+                    o.ap
+                ));
+            }
+        }
+        if let Some(j) = &f.jammer {
+            timed("faults.jammer", j.at, j.duration)?;
+            if !j.x.is_finite() || !j.y.is_finite() || !j.power_db.unwrap_or(0.0).is_finite() {
+                return fail("faults.jammer position/power must be finite".into());
+            }
+        }
+        if let Some(s) = &f.noise_step {
+            if !s.at.is_finite() || s.at < 0.0 {
+                return fail(format!("faults.noise_step.at must be >= 0, got {}", s.at));
+            }
+            if !s.delta_db.is_finite() {
+                return fail("faults.noise_step.delta_db must be finite".into());
+            }
+            if let Some(d) = s.duration {
+                if !d.is_finite() || d <= 0.0 {
+                    return fail(format!(
+                        "faults.noise_step.duration must be positive, got {d}"
+                    ));
+                }
+            }
+        }
+        if let Some(c) = &f.churn {
+            // Churn changes who contends, which only the queueless
+            // saturated-uplink medium models (dormant/left stations simply
+            // stop being pollable senders); flow traffic would need
+            // per-station transport teardown.
+            if !(self.traffic.kind == TrafficModel::UdpBulk
+                && matches!(self.direction(), Direction::Upload))
+            {
+                return fail(
+                    "faults.churn requires the saturated uplink UDP workload \
+                     (traffic.kind = \"UdpBulk\", direction Upload)"
+                        .into(),
+                );
+            }
+            for (name, v) in [
+                ("join_at", c.join_at),
+                ("join_ramp_s", c.join_ramp_s),
+                ("leave_at", c.leave_at),
+                ("leave_ramp_s", c.leave_ramp_s),
+            ] {
+                let v = v.unwrap_or(0.0);
+                if !v.is_finite() || v < 0.0 {
+                    return fail(format!("faults.churn.{name} must be >= 0, got {v}"));
+                }
+            }
+            let n = spatial.map(|sp| sp.n_stations).unwrap_or(0);
+            let (join, leave) = (c.join_count.unwrap_or(0), c.leave_count.unwrap_or(0));
+            if join > n || leave > n {
+                return fail(format!(
+                    "faults.churn join_count {join} / leave_count {leave} exceed \
+                     n_stations {n}"
+                ));
+            }
+        }
+        if let Some(h) = &f.hint {
+            let p = h.drop_prob.unwrap_or(0.0);
+            if !(0.0..=1.0).contains(&p) {
+                return fail(format!("faults.hint.drop_prob must be in [0,1], got {p}"));
+            }
+            let q = h.quantize_db.unwrap_or(0.0);
+            if !q.is_finite() || q < 0.0 {
+                return fail(format!("faults.hint.quantize_db must be >= 0, got {q}"));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -512,6 +762,7 @@ mod tests {
                 kind: TrafficModel::Tcp,
                 direction: None,
             },
+            faults: None,
             adapters: Some(vec![
                 AdapterSpec::SoftRate,
                 AdapterSpec::Fixed { rate_idx: 3 },
@@ -718,6 +969,167 @@ mod tests {
         })
         .validate()
         .is_ok());
+    }
+
+    fn faulted_demo() -> ScenarioSpec {
+        let mut s = spatial_demo();
+        s.faults = Some(FaultsSpec {
+            ap_outage: Some(ApOutageSpec {
+                ap: 1,
+                at: 0.5,
+                duration: 0.5,
+            }),
+            jammer: Some(JammerSpec {
+                x: 45.0,
+                y: 0.0,
+                power_db: Some(6.0),
+                at: 0.2,
+                duration: 0.3,
+            }),
+            noise_step: Some(NoiseStepSpec {
+                at: 1.0,
+                delta_db: 8.0,
+                duration: Some(0.4),
+            }),
+            churn: Some(ChurnSpec {
+                join_count: Some(5),
+                join_at: Some(0.3),
+                join_ramp_s: Some(0.2),
+                leave_count: None,
+                leave_at: None,
+                leave_ramp_s: None,
+            }),
+            hint: Some(HintFaultsSpec {
+                drop_prob: Some(0.25),
+                quantize_db: Some(2.0),
+            }),
+        });
+        s
+    }
+
+    #[test]
+    fn faulted_spec_roundtrips_and_lowers() {
+        let s = faulted_demo();
+        s.validate().unwrap();
+        let text = s.to_toml();
+        let back = ScenarioSpec::from_toml(&text).unwrap();
+        assert_eq!(back, s, "TOML:\n{text}");
+        assert_eq!(back.to_toml(), text);
+        let back = ScenarioSpec::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+
+        let lowered = s.faults.unwrap().lower();
+        assert!(!lowered.is_noop());
+        assert_eq!(lowered.ap_outage.unwrap().ap, 1);
+        assert_eq!(lowered.jammer.unwrap().power_db, 6.0);
+        assert_eq!(lowered.churn.unwrap().leave_count, 0);
+        assert_eq!(lowered.hint.unwrap().drop_prob, 0.25);
+        // Defaults fill omitted sub-fields.
+        let minimal = FaultsSpec {
+            ap_outage: None,
+            jammer: None,
+            noise_step: None,
+            churn: None,
+            hint: None,
+        };
+        assert!(minimal.lower().is_noop());
+    }
+
+    #[test]
+    fn fault_validation_rejects_nonsense() {
+        // Geometry-dependent classes need a spatial topology.
+        let mut s = demo_spec();
+        s.sweep = None;
+        s.faults = Some(FaultsSpec {
+            ap_outage: None,
+            jammer: Some(JammerSpec {
+                x: 0.0,
+                y: 0.0,
+                power_db: None,
+                at: 0.1,
+                duration: 0.1,
+            }),
+            noise_step: None,
+            churn: None,
+            hint: None,
+        });
+        assert!(s.validate().is_err(), "jammer without spatial must clash");
+
+        // ...but hint corruption alone is fine single-cell.
+        let mut s = demo_spec();
+        s.sweep = None;
+        s.faults = Some(FaultsSpec {
+            ap_outage: None,
+            jammer: None,
+            noise_step: None,
+            churn: None,
+            hint: Some(HintFaultsSpec {
+                drop_prob: Some(0.5),
+                quantize_db: None,
+            }),
+        });
+        s.validate().expect("single-cell hint faults validate");
+
+        let mut s = faulted_demo();
+        s.faults.as_mut().unwrap().ap_outage.as_mut().unwrap().ap = 9;
+        assert!(s.validate().is_err(), "AP index out of grid range");
+
+        let mut s = faulted_demo();
+        s.faults.as_mut().unwrap().jammer.as_mut().unwrap().duration = 0.0;
+        assert!(s.validate().is_err(), "zero-length jammer burst");
+
+        let mut s = faulted_demo();
+        s.faults
+            .as_mut()
+            .unwrap()
+            .churn
+            .as_mut()
+            .unwrap()
+            .join_count = Some(999);
+        assert!(s.validate().is_err(), "join_count beyond n_stations");
+
+        let mut s = faulted_demo();
+        s.traffic.kind = TrafficModel::Tcp;
+        assert!(s.validate().is_err(), "churn needs saturated uplink UDP");
+
+        let mut s = faulted_demo();
+        s.faults.as_mut().unwrap().hint.as_mut().unwrap().drop_prob = Some(1.5);
+        assert!(s.validate().is_err(), "drop_prob > 1");
+
+        let mut s = faulted_demo();
+        s.faults
+            .as_mut()
+            .unwrap()
+            .noise_step
+            .as_mut()
+            .unwrap()
+            .duration = Some(-1.0);
+        assert!(s.validate().is_err(), "negative noise-step duration");
+    }
+
+    #[test]
+    fn empty_faults_table_parses_as_noop() {
+        let text = r#"
+name = "tiny"
+duration = 1.0
+seed = 3
+
+[topology]
+n_clients = 1
+
+[channel]
+model = "Analytic"
+snr_db = 20.0
+fading = "None"
+
+[traffic]
+kind = "Tcp"
+
+[faults]
+"#;
+        let spec = ScenarioSpec::from_toml(text).unwrap();
+        let f = spec.faults.expect("empty [faults] table parses to Some");
+        assert!(f.lower().is_noop(), "empty table lowers to a no-op");
     }
 
     #[test]

@@ -182,6 +182,10 @@ pub struct SimConfig {
     /// recorder entirely — the disabled path must leave every simulation
     /// result byte-identical.
     pub telemetry: Option<softrate_telemetry::RecorderConfig>,
+    /// SoftPHY hint corruption (`softrate-faults`) — the only fault class
+    /// that applies to the single-collision-domain trace medium (the
+    /// others need geometry). `None` keeps the seam untouched.
+    pub hint_faults: Option<crate::fault::HintFaults>,
 }
 
 impl SimConfig {
@@ -200,6 +204,7 @@ impl SimConfig {
             wired_delay: 0.010,
             seed: 0x51AB,
             telemetry: None,
+            hint_faults: None,
         }
     }
 

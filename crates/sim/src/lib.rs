@@ -9,6 +9,10 @@
 //! * [`tcp`] — TCP NewReno endpoints (slow start, congestion avoidance,
 //!   fast retransmit/recovery, RTO with Karn + backoff).
 //! * [`config`] — topology + algorithm selection ([`config::AdapterKind`]).
+//! * [`fault`] — deterministic fault injection (`softrate-faults`): AP
+//!   outages, jammer bursts, noise-floor steps, station churn, and
+//!   SoftPHY hint corruption, all timed-event or seeded-stochastic so
+//!   faulted runs stay byte-identical across thread and shard counts.
 //! * [`feedback`] — the §6.4 collision-feedback semantics, shared with the
 //!   multi-cell spatial simulator (`softrate-net`).
 //! * [`mac`] — the generic DCF engine ([`mac::MacEngine`]) behind every
@@ -31,6 +35,7 @@
 
 pub mod config;
 pub mod event;
+pub mod fault;
 pub mod feedback;
 pub mod mac;
 pub mod netsim;

@@ -28,6 +28,7 @@ use softrate_telemetry::{DecisionEvent, LossCause, OutcomeEvent, Recorder, Telem
 use softrate_trace::schema::{hash_uniform, FrameFate};
 
 use crate::event::EventQueue;
+use crate::fault::{FaultDriver, FaultLoss};
 use crate::feedback::{apply_collision_feedback, CollisionTiming, HEADER_AIRTIME_FRAC};
 use crate::timing::{
     attempt_airtime, data_airtime, feedback_airtime, rts_cts_overhead, CW_MAX, CW_MIN, DIFS,
@@ -317,6 +318,11 @@ pub struct MacCore<E, I> {
     /// Decision-ledger state; enabled at run start iff the recorder's
     /// ledger is on (see [`MacCore::sync_ledger`]).
     pub ledger: LedgerState,
+    /// The SoftPHY hint-corruption seam (`softrate-faults`): `None` (the
+    /// default) costs one branch per resolved outcome; `Some` degrades
+    /// the feedback the *adapter* sees after the ground-truth fate is
+    /// drawn and recorded — telemetry keeps observing the truth.
+    pub faults: Option<FaultDriver>,
     /// Sharded-run routing, installed only by the PDES scheduler
     /// (`crate::shard`): channel-access schedules beyond the window
     /// horizon are staged to their sender's domain wheel instead of the
@@ -368,6 +374,7 @@ impl<E, I> MacCore<E, I> {
                 rate: vec![None; n_ports],
                 handoff_reset: vec![false; n_ports],
             },
+            faults: None,
             route: None,
             rng: SmallRng::seed_from_u64(params.backoff_seed),
             params,
@@ -440,8 +447,8 @@ impl<E, I> MacCore<E, I> {
 /// Hook order within one transmission: [`Medium::pick_port`] →
 /// [`Medium::carrier_sense`] → the port adapter's `next_attempt` →
 /// [`Medium::begin_attempt`] → [`Medium::mark_collisions`]; then at the
-/// feedback window [`Medium::fate`] → (`on_acked` | retry | `on_dropped`)
-/// → [`Medium::after_outcome`].
+/// feedback window [`Medium::fate`] → [`Medium::fault_loss`] →
+/// (`on_acked` | retry | `on_dropped`) → [`Medium::after_outcome`].
 pub trait Medium {
     /// Medium-specific events (transport timers, wired hops, roaming).
     type Event: Copy;
@@ -491,6 +498,18 @@ pub trait Medium {
     /// The interference-free fate of `tx` (also consulted under collision
     /// for the §6.4 interference-free BER feedback).
     fn fate(&mut self, tx: &ActiveTx<Self::TxInfo>) -> FrameFate;
+
+    /// Whether an injected fault kills `tx` at its feedback window: an
+    /// [`FaultLoss::Outage`] (the receiver is dark — a silent loss) or a
+    /// [`FaultLoss::Jamming`] burst (the reception is swamped — resolved
+    /// like a collision the detector may flag). Consulted *after*
+    /// [`Medium::fate`] so the fate stream is drawn uniformly whether or
+    /// not faults fire, and takes precedence over organic collision
+    /// resolution (exactly one cause per failure). Defaults to `None`:
+    /// faults-off media never see this seam.
+    fn fault_loss(&mut self, _tx: &ActiveTx<Self::TxInfo>) -> Option<FaultLoss> {
+        None
+    }
 
     /// The frame was delivered: advance queues and hand the payload up.
     fn on_acked(
@@ -908,28 +927,68 @@ impl<M: Medium> MacEngine<M> {
             now,
         };
 
-        if tx.collided && !tx.use_rts {
-            core.stats.collisions += 1;
-            let flagged = hash_uniform(&[tx.id, 0x00DE_7EC7, core.params.collision_seed])
-                < core.params.detect_prob;
-            let timing = CollisionTiming {
-                start: tx.start,
-                header_end: tx.header_end,
-                end: tx.end,
-                first_other_start: tx.first_other_start,
-                max_other_end: tx.max_other_end,
-            };
-            if apply_collision_feedback(&mut outcome, &timing, &fate, flagged, postambles) {
+        // Injected faults resolve first (exactly one cause per failure;
+        // a frame that is both jammed and collided counts as jammed —
+        // the adversarial event wins the attribution).
+        let fault = self.medium.fault_loss(&tx);
+        match fault {
+            Some(FaultLoss::Outage) => {
+                // The receiver is powered off: nothing decodes, nothing
+                // feeds back. A silent loss with a name.
                 core.stats.silent_losses += 1;
             }
-        } else if fate.detected && fate.header_ok {
-            // Clean medium: the fate decides.
-            outcome.feedback_received = true;
-            outcome.acked = fate.delivered;
-            outcome.ber_feedback = fate.ber_feedback;
-            outcome.snr_feedback_db = fate.snr_feedback_db;
-        } else {
-            core.stats.silent_losses += 1;
+            Some(FaultLoss::Jamming) => {
+                // The jammer swamps the whole reception, RTS-protected or
+                // not (the exchange shields against *802.11* contenders,
+                // not a wideband interferer). Resolved with the collision
+                // feedback machinery — the receiver's detector may flag
+                // the interference — under a distinct draw salt so the
+                // jam stream never correlates with organic collisions.
+                let flagged = hash_uniform(&[tx.id, 0x4A41_4D00, core.params.collision_seed])
+                    < core.params.detect_prob;
+                let timing = CollisionTiming {
+                    start: tx.start,
+                    header_end: tx.header_end,
+                    end: tx.end,
+                    first_other_start: tx.start,
+                    max_other_end: tx.end,
+                };
+                if apply_collision_feedback(&mut outcome, &timing, &fate, flagged, postambles) {
+                    core.stats.silent_losses += 1;
+                }
+            }
+            None if tx.collided && !tx.use_rts => {
+                core.stats.collisions += 1;
+                let flagged = hash_uniform(&[tx.id, 0x00DE_7EC7, core.params.collision_seed])
+                    < core.params.detect_prob;
+                let timing = CollisionTiming {
+                    start: tx.start,
+                    header_end: tx.header_end,
+                    end: tx.end,
+                    first_other_start: tx.first_other_start,
+                    max_other_end: tx.max_other_end,
+                };
+                if apply_collision_feedback(&mut outcome, &timing, &fate, flagged, postambles) {
+                    core.stats.silent_losses += 1;
+                }
+            }
+            None if fate.detected && fate.header_ok => {
+                // Clean medium: the fate decides.
+                outcome.feedback_received = true;
+                outcome.acked = fate.delivered;
+                outcome.ber_feedback = fate.ber_feedback;
+                outcome.snr_feedback_db = fate.snr_feedback_db;
+            }
+            None => {
+                core.stats.silent_losses += 1;
+            }
+        }
+
+        // SoftPHY hint corruption degrades what the *adapter* sees; the
+        // recorder below keeps the ground-truth fate (telemetry observes
+        // the world, the adapter observes the pipeline).
+        if let Some(fd) = core.faults.as_mut() {
+            fd.corrupt_hints(tx.id, &mut outcome);
         }
 
         core.ports[tx.port]
@@ -943,12 +1002,18 @@ impl<M: Medium> MacEngine<M> {
             // decided: the medium marked *who* corrupted the frame at
             // transmit time, the feedback window just resolved *whether*
             // it survived. Exactly one cause per failure:
+            //   - killed by an injected fault            -> outage/jamming
             //   - corrupted by a same-cell transmission  -> collision
             //   - corrupted only by another BSS          -> capture
             //   - failed with no interferer (incl. RTS-protected
             //     collisions, which the exchange shields) -> fading
             let cause = if outcome.acked {
                 None
+            } else if let Some(fl) = fault {
+                Some(match fl {
+                    FaultLoss::Outage => LossCause::Outage,
+                    FaultLoss::Jamming => LossCause::Jamming,
+                })
             } else if tx.collided && !tx.use_rts {
                 if tx.corrupt_same_cell {
                     Some(LossCause::Collision)

@@ -386,6 +386,15 @@ impl NetSim {
                 n_senders,
             )));
         }
+        // SoftPHY hint corruption (`softrate-faults`): installed in the
+        // engine core so the adapter sees degraded feedback while the
+        // recorder keeps observing the ground truth.
+        if let Some(h) = engine.medium.cfg.hint_faults {
+            if h.drop_prob > 0.0 || h.quantize_db > 0.0 {
+                let seed = engine.medium.cfg.seed ^ 0x4849_4E54;
+                engine.core.faults = Some(crate::fault::FaultDriver::new(h, seed));
+            }
+        }
         NetSim { engine }
     }
 

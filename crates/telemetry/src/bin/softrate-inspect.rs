@@ -10,6 +10,7 @@
 //! softrate-inspect adapt <decisions.jsonl> [--metrics m.jsonl] [--drop-db N]
 //! softrate-inspect compare <a.metrics> <a.decisions> <b.metrics> <b.decisions>
 //!                           [--json out.jsonl] [--drop-db N]
+//! softrate-inspect resilience <metrics.jsonl> [--threshold F]
 //! ```
 //!
 //! `summarize` prints per-run aggregates, the loss-attribution breakdown,
@@ -25,12 +26,19 @@
 //! trigger-class fractions, and time-to-recover after SNR drops.
 //! `compare` builds a per-run league table of goodput/retries/churn/
 //! time-to-recover deltas between two (metrics, decisions) run pairs;
-//! `--json` additionally writes machine-readable rows.
+//! `--json` additionally writes machine-readable rows. `resilience`
+//! reads a fault-injected metrics stream and reports, per run, each
+//! fault window's goodput dip, time-to-reassociate statistics, and the
+//! time for aggregate goodput to climb back above `--threshold`
+//! (default 0.9) of its pre-fault baseline; it exits 1 when any run
+//! never recovers, which is what CI gates the fault scenarios on.
 
 use std::fs;
 use std::process::ExitCode;
 
-use softrate_telemetry::inspect::{adapt_report, compare, diff, summarize_with, timeline, Schema};
+use softrate_telemetry::inspect::{
+    adapt_report, compare, diff, resilience, summarize_with, timeline, Schema,
+};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -39,7 +47,8 @@ fn usage() -> ExitCode {
          \x20      softrate-inspect validate --schema <schema.json> <file.jsonl>...\n\
          \x20      softrate-inspect timeline <metrics.jsonl> <decisions.jsonl> [--station S] [--run R]\n\
          \x20      softrate-inspect adapt <decisions.jsonl> [--metrics m.jsonl] [--drop-db N]\n\
-         \x20      softrate-inspect compare <a.metrics> <a.decisions> <b.metrics> <b.decisions> [--json out.jsonl] [--drop-db N]"
+         \x20      softrate-inspect compare <a.metrics> <a.decisions> <b.metrics> <b.decisions> [--json out.jsonl] [--drop-db N]\n\
+         \x20      softrate-inspect resilience <metrics.jsonl> [--threshold F]"
     );
     ExitCode::from(2)
 }
@@ -229,6 +238,30 @@ fn main() -> ExitCode {
                     ExitCode::SUCCESS
                 }
                 Err(e) => fail(&e),
+            }
+        }
+        ("resilience", [metrics]) => {
+            let text = match read(metrics) {
+                Ok(t) => t,
+                Err(c) => return c,
+            };
+            let threshold = match parse_flag::<f64>(&flags, "threshold") {
+                Ok(t) => t.unwrap_or(0.9),
+                Err(e) => return fail(&e),
+            };
+            if !(0.0..=1.0).contains(&threshold) {
+                return fail("--threshold must be within [0, 1]");
+            }
+            match resilience(&text, threshold) {
+                Ok((report, recovered)) => {
+                    print!("{report}");
+                    if recovered {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => fail(&format!("{metrics}: {e}")),
             }
         }
         _ => usage(),

@@ -11,7 +11,9 @@ use std::fmt::Write as _;
 use serde::{Deserialize, Value};
 
 use crate::histogram::LogHistogram;
-use crate::rows::{AnomalyRow, DecisionRow, HistRow, IntervalRow, TotalsRow, TraceRow};
+use crate::rows::{
+    AnomalyRow, DecisionRow, FaultRow, HistRow, IntervalRow, ReassocRow, TotalsRow, TraceRow,
+};
 
 /// Any telemetry row, discriminated by its `kind` field.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +30,10 @@ pub enum Row {
     Frame(TraceRow),
     /// A rate-decision ledger row.
     Decision(DecisionRow),
+    /// A fault start/end marker row.
+    Fault(FaultRow),
+    /// A post-outage re-association row.
+    Reassoc(ReassocRow),
 }
 
 /// Parses one JSONL line into a typed row.
@@ -45,6 +51,8 @@ pub fn parse_line(line: &str) -> Result<Row, String> {
         "anomaly" => AnomalyRow::from_value(&v).map(Row::Anomaly).map_err(err),
         "frame" => TraceRow::from_value(&v).map(Row::Frame).map_err(err),
         "decision" => DecisionRow::from_value(&v).map(Row::Decision).map_err(err),
+        "fault" => FaultRow::from_value(&v).map(Row::Fault).map_err(err),
+        "reassoc" => ReassocRow::from_value(&v).map(Row::Reassoc).map_err(err),
         other => Err(format!("unknown row kind `{other}`")),
     }
 }
@@ -73,6 +81,8 @@ fn totals_column(t: &TotalsRow, col: &str) -> Option<f64> {
         "loss_collision" => t.loss_collision as f64,
         "loss_fading" => t.loss_fading as f64,
         "loss_capture" => t.loss_capture as f64,
+        "loss_outage" => t.loss_outage as f64,
+        "loss_jamming" => t.loss_jamming as f64,
         "handoffs" => t.handoffs as f64,
         "air_s" => t.air_s,
         _ => return None,
@@ -98,6 +108,8 @@ pub fn summarize_with(text: &str, top: Option<(usize, &str)>) -> Result<(String,
     let mut anomalies: Vec<&AnomalyRow> = Vec::new();
     let mut n_intervals = 0usize;
     let mut n_decisions = 0usize;
+    let mut n_faults = 0usize;
+    let mut n_reassocs = 0usize;
     for r in &rows {
         match r {
             Row::Totals(t) => runs.entry(t.run_idx).or_default().push(t.clone()),
@@ -105,18 +117,23 @@ pub fn summarize_with(text: &str, top: Option<(usize, &str)>) -> Result<(String,
             Row::Anomaly(a) => anomalies.push(a),
             Row::Interval(_) => n_intervals += 1,
             Row::Decision(_) => n_decisions += 1,
+            Row::Fault(_) => n_faults += 1,
+            Row::Reassoc(_) => n_reassocs += 1,
             Row::Frame(_) => {}
         }
     }
     let _ = writeln!(
         out,
-        "{} rows: {} interval, {} totals, {} hist, {} anomaly, {} decision",
+        "{} rows: {} interval, {} totals, {} hist, {} anomaly, {} decision, \
+         {} fault, {} reassoc",
         rows.len(),
         n_intervals,
         runs.values().map(Vec::len).sum::<usize>(),
         hists.len(),
         anomalies.len(),
-        n_decisions
+        n_decisions,
+        n_faults,
+        n_reassocs
     );
     if let Some((_, col)) = top {
         if !runs.is_empty() && totals_column(&runs.values().next().unwrap()[0], col).is_none() {
@@ -137,6 +154,7 @@ pub fn summarize_with(text: &str, top: Option<(usize, &str)>) -> Result<(String,
             sum(|t| t.loss_fading),
             sum(|t| t.loss_capture),
         );
+        let (lout, ljam) = (sum(|t| t.loss_outage), sum(|t| t.loss_jamming));
         let goodput: f64 = totals.iter().map(|t| t.goodput_bps).sum();
         let pct = |n: u64| {
             if retries == 0 {
@@ -154,23 +172,33 @@ pub fn summarize_with(text: &str, top: Option<(usize, &str)>) -> Result<(String,
         let _ = writeln!(
             out,
             "  losses {retries}: collision {lc} ({:.1}%), fading {lf} ({:.1}%), \
-             capture {lcap} ({:.1}%)",
+             capture {lcap} ({:.1}%), outage {lout} ({:.1}%), jamming {ljam} ({:.1}%)",
             pct(lc),
             pct(lf),
-            pct(lcap)
+            pct(lcap),
+            pct(lout),
+            pct(ljam)
         );
         let drops = sum(|t| t.drops);
         let handoffs = sum(|t| t.handoffs);
         let _ = writeln!(out, "  drops {drops}, handoffs {handoffs}");
         for t in totals {
-            let causes = t.loss_collision + t.loss_fading + t.loss_capture;
+            let causes =
+                t.loss_collision + t.loss_fading + t.loss_capture + t.loss_outage + t.loss_jamming;
             if causes != t.retries {
                 balanced = false;
                 let _ = writeln!(
                     out,
                     "  IMBALANCE station {}: retries {} != attributed losses {} \
-                     (collision {} + fading {} + capture {})",
-                    t.station, t.retries, causes, t.loss_collision, t.loss_fading, t.loss_capture
+                     (collision {} + fading {} + capture {} + outage {} + jamming {})",
+                    t.station,
+                    t.retries,
+                    causes,
+                    t.loss_collision,
+                    t.loss_fading,
+                    t.loss_capture,
+                    t.loss_outage,
+                    t.loss_jamming
                 );
             }
         }
@@ -891,6 +919,181 @@ pub fn compare(
     Ok((table, jsonl))
 }
 
+// --- resilience -------------------------------------------------------
+
+/// One fault's lifetime within a run, paired from its start/end marker
+/// rows. `end` is `None` for a fault that held to the end of the run
+/// (e.g. an unbounded noise step).
+#[derive(Debug, Clone)]
+struct FaultWindow {
+    fault: String,
+    detail: String,
+    start: f64,
+    end: Option<f64>,
+}
+
+/// Resilience report over a fault-tagged metrics stream: per run, the
+/// fault windows, the goodput dip each one caused, re-association
+/// latency after AP outages, and the time for aggregate goodput to
+/// recover to `threshold` (e.g. 0.9) of its pre-fault baseline after
+/// the last fault ends. Returns the report and whether every
+/// fault-injected run recovered — `softrate-inspect resilience` exits
+/// non-zero otherwise, which is the CI gate for the fault scenarios.
+pub fn resilience(metrics: &str, threshold: f64) -> Result<(String, bool), String> {
+    let rows = parse_stream(metrics)?;
+    // Per run: fault markers, reassociations, and the aggregate goodput
+    // time series (summed across stations per interval start).
+    let mut faults: BTreeMap<u64, Vec<&FaultRow>> = BTreeMap::new();
+    let mut reassocs: BTreeMap<u64, Vec<&ReassocRow>> = BTreeMap::new();
+    let mut series: BTreeMap<u64, BTreeMap<u64, (f64, f64)>> = BTreeMap::new();
+    for r in &rows {
+        match r {
+            Row::Fault(f) => faults.entry(f.run_idx).or_default().push(f),
+            Row::Reassoc(x) => reassocs.entry(x.run_idx).or_default().push(x),
+            Row::Interval(i) => {
+                let e = series
+                    .entry(i.run_idx)
+                    .or_default()
+                    .entry(i.t0.to_bits())
+                    .or_insert((i.t1, 0.0));
+                e.1 += i.goodput_bps;
+            }
+            _ => {}
+        }
+    }
+    if faults.is_empty() {
+        return Err("no fault rows in the stream (was the run fault-injected \
+                    and recorded with --metrics?)"
+            .to_string());
+    }
+    let mut out = String::new();
+    let mut all_recovered = true;
+    for (run, marks) in &faults {
+        // Pair start/end markers per fault class, in time order.
+        let mut windows: Vec<FaultWindow> = Vec::new();
+        for m in marks {
+            match m.phase.as_str() {
+                "start" => windows.push(FaultWindow {
+                    fault: m.fault.clone(),
+                    detail: m.detail.clone(),
+                    start: m.t,
+                    end: None,
+                }),
+                _ => {
+                    if let Some(w) = windows
+                        .iter_mut()
+                        .rev()
+                        .find(|w| w.fault == m.fault && w.end.is_none())
+                    {
+                        w.end = Some(m.t);
+                    }
+                }
+            }
+        }
+        let ts = series.get(run).cloned().unwrap_or_default();
+        let points: Vec<(f64, f64, f64)> = ts
+            .iter()
+            .map(|(t0, &(t1, g))| (f64::from_bits(*t0), t1, g))
+            .collect();
+        let first_fault = windows
+            .iter()
+            .map(|w| w.start)
+            .fold(f64::INFINITY, f64::min);
+        let pre: Vec<f64> = points
+            .iter()
+            .filter(|&&(_, t1, _)| t1 <= first_fault)
+            .map(|&(_, _, g)| g)
+            .collect();
+        // Baseline = mean aggregate goodput over fully pre-fault
+        // intervals; a fault at t=0 leaves none, in which case the run's
+        // overall mean stands in (recovery then means "back to typical").
+        let baseline = if pre.is_empty() {
+            let all: Vec<f64> = points.iter().map(|&(_, _, g)| g).collect();
+            all.iter().sum::<f64>() / all.len().max(1) as f64
+        } else {
+            pre.iter().sum::<f64>() / pre.len() as f64
+        };
+        let _ = writeln!(
+            out,
+            "run {run}: {} fault window(s), baseline {:.2} Mbit/s",
+            windows.len(),
+            baseline / 1e6
+        );
+        let mut last_end: Option<f64> = None;
+        for w in &windows {
+            let during: Vec<f64> = points
+                .iter()
+                .filter(|&&(t0, t1, _)| t1 > w.start && t0 < w.end.unwrap_or(f64::INFINITY))
+                .map(|&(_, _, g)| g)
+                .collect();
+            let dip = during.iter().copied().fold(f64::INFINITY, f64::min);
+            let span = match w.end {
+                Some(e) => {
+                    last_end = Some(last_end.unwrap_or(0.0).max(e));
+                    format!("{:.3}s..{:.3}s", w.start, e)
+                }
+                None => format!("{:.3}s..end-of-run", w.start),
+            };
+            let dip_txt = if dip.is_finite() {
+                format!(
+                    "goodput dip to {:.2} Mbit/s ({:.0}% of baseline)",
+                    dip / 1e6,
+                    if baseline > 0.0 {
+                        100.0 * dip / baseline
+                    } else {
+                        0.0
+                    }
+                )
+            } else {
+                "no interval overlaps the window".to_string()
+            };
+            let _ = writeln!(out, "  {} {span} [{}]: {dip_txt}", w.fault, w.detail);
+        }
+        if let Some(rs) = reassocs.get(run) {
+            let n = rs.len();
+            let mean = rs.iter().map(|r| r.outage_s).sum::<f64>() / n.max(1) as f64;
+            let max = rs.iter().map(|r| r.outage_s).fold(0.0, f64::max);
+            let _ = writeln!(
+                out,
+                "  reassociations: {n}, time-to-reassociate mean {mean:.3}s max {max:.3}s"
+            );
+        }
+        // Recovery: the first interval starting after the last fault end
+        // whose aggregate goodput is back above threshold x baseline.
+        if let Some(end) = last_end {
+            let recovery = points
+                .iter()
+                .filter(|&&(t0, _, g)| t0 >= end && g >= threshold * baseline)
+                .map(|&(t0, _, _)| t0)
+                .next();
+            match recovery {
+                Some(t) => {
+                    let _ = writeln!(
+                        out,
+                        "  goodput recovered to >= {:.0}% of baseline {:.3}s after the \
+                         last fault ended (at t={t:.3}s)",
+                        100.0 * threshold,
+                        t - end
+                    );
+                }
+                None => {
+                    all_recovered = false;
+                    let _ = writeln!(
+                        out,
+                        "  NOT RECOVERED: goodput never regained {:.0}% of baseline \
+                         after the last fault ended at {end:.3}s",
+                        100.0 * threshold
+                    );
+                }
+            }
+        }
+    }
+    if !all_recovered {
+        let _ = writeln!(out, "one or more runs did not recover");
+    }
+    Ok((out, all_recovered))
+}
+
 // --- validate ---------------------------------------------------------
 
 /// A checked-in row schema: `kind -> field -> type`, where type is one of
@@ -1199,9 +1402,10 @@ mod tests {
                 "t0":"number","t1":"number","attempts":"uint","frames_sent":"uint",
                 "frames_delivered":"uint","retries":"uint","drops":"uint",
                 "goodput_bps":"number","loss_collision":"uint","loss_fading":"uint",
-                "loss_capture":"uint","rate_idx":"?uint","snr_db":"?number",
+                "loss_capture":"uint","loss_outage":"uint","loss_jamming":"uint",
+                "rate_idx":"?uint","snr_db":"?number",
                 "queue_depth":"?uint","cwnd":"?number","rto_s":"?number",
-                "rtt_s":"?number","handoffs":"uint"}}"#,
+                "rtt_s":"?number","handoffs":"uint","fault":"?string"}}"#,
         )
         .unwrap();
         let rep = sample_report();
@@ -1212,5 +1416,108 @@ mod tests {
             .validate_line("{\"kind\":\"interval\",\"t0\":\"oops\"}")
             .is_err());
         assert!(Schema::parse("{\"x\":{\"f\":\"complex\"}}").is_err());
+    }
+
+    fn interval_line(t0: f64, t1: f64, goodput_bps: f64, fault: Option<&str>) -> String {
+        let row = IntervalRow {
+            kind: "interval".to_string(),
+            run_idx: 0,
+            station: 0,
+            t0,
+            t1,
+            attempts: 10,
+            frames_sent: 10,
+            frames_delivered: 9,
+            retries: 1,
+            drops: 0,
+            goodput_bps,
+            loss_collision: 1,
+            loss_fading: 0,
+            loss_capture: 0,
+            loss_outage: 0,
+            loss_jamming: 0,
+            rate_idx: Some(5),
+            snr_db: Some(20.0),
+            queue_depth: None,
+            cwnd: None,
+            rto_s: None,
+            rtt_s: None,
+            handoffs: 0,
+            fault: fault.map(str::to_string),
+        };
+        format!("{}\n", serde_json::to_string(&row).unwrap())
+    }
+
+    fn fault_line(t: f64, fault: &str, phase: &str, detail: &str) -> String {
+        let row = FaultRow {
+            kind: "fault".to_string(),
+            run_idx: 0,
+            t,
+            fault: fault.to_string(),
+            phase: phase.to_string(),
+            detail: detail.to_string(),
+        };
+        format!("{}\n", serde_json::to_string(&row).unwrap())
+    }
+
+    /// A synthetic ap-blackout run: steady 10 Mbit/s, the AP dies from
+    /// 1.0s to 2.5s (goodput collapses to 2 Mbit/s), a slow interval at
+    /// 5 Mbit/s right after restart, then back to 9.5 Mbit/s at 3.0s.
+    fn blackout_stream(recovers: bool) -> String {
+        let mut s = String::new();
+        s += &fault_line(1.0, "ap_outage", "start", "ap=1 dropped_queued=3");
+        s += &fault_line(2.5, "ap_outage", "end", "ap=1");
+        let row = ReassocRow {
+            kind: "reassoc".to_string(),
+            run_idx: 0,
+            t: 1.2,
+            station: 7,
+            from_ap: 1,
+            to_ap: 0,
+            outage_s: 0.2,
+        };
+        s += &format!("{}\n", serde_json::to_string(&row).unwrap());
+        s += &interval_line(0.0, 0.5, 10e6, None);
+        s += &interval_line(0.5, 1.0, 10e6, None);
+        s += &interval_line(1.0, 1.5, 2e6, Some("ap_outage"));
+        s += &interval_line(1.5, 2.0, 2e6, Some("ap_outage"));
+        s += &interval_line(2.0, 2.5, 2e6, Some("ap_outage"));
+        s += &interval_line(2.5, 3.0, 5e6, None);
+        if recovers {
+            s += &interval_line(3.0, 3.5, 9.5e6, None);
+        }
+        s
+    }
+
+    #[test]
+    fn resilience_measures_dip_reassociation_and_recovery() {
+        let (out, ok) = resilience(&blackout_stream(true), 0.9).unwrap();
+        assert!(ok, "{out}");
+        // Baseline from the two pre-fault intervals, dip during the window.
+        assert!(out.contains("baseline 10.00 Mbit/s"), "{out}");
+        assert!(
+            out.contains("dip to 2.00 Mbit/s (20% of baseline)"),
+            "{out}"
+        );
+        assert!(
+            out.contains("reassociations: 1, time-to-reassociate mean 0.200s max 0.200s"),
+            "{out}"
+        );
+        // The 5 Mbit/s interval at 2.5s is below 90% of baseline; the
+        // 9.5 Mbit/s one at 3.0s clears it — 0.5s after the fault ended.
+        assert!(
+            out.contains("recovered to >= 90% of baseline 0.500s"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn resilience_flags_a_run_that_never_recovers() {
+        let (out, ok) = resilience(&blackout_stream(false), 0.9).unwrap();
+        assert!(!ok, "{out}");
+        assert!(out.contains("NOT RECOVERED"), "{out}");
+        // A fault-free stream is an error, not a vacuous pass.
+        let rep = sample_report();
+        assert!(resilience(&rep.metrics_jsonl(), 0.9).is_err());
     }
 }

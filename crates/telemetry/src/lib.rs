@@ -48,4 +48,6 @@ pub use histogram::LogHistogram;
 pub use recorder::{
     DecisionEvent, LossCause, OutcomeEvent, Recorder, RecorderConfig, TelemetryReport,
 };
-pub use rows::{AnomalyRow, DecisionRow, HistRow, IntervalRow, TotalsRow, TraceRow};
+pub use rows::{
+    AnomalyRow, DecisionRow, FaultRow, HistRow, IntervalRow, ReassocRow, TotalsRow, TraceRow,
+};

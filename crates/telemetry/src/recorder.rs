@@ -18,7 +18,9 @@
 use std::collections::VecDeque;
 
 use crate::histogram::LogHistogram;
-use crate::rows::{AnomalyRow, DecisionRow, HistRow, IntervalRow, TotalsRow, TraceRow};
+use crate::rows::{
+    AnomalyRow, DecisionRow, FaultRow, HistRow, IntervalRow, ReassocRow, TotalsRow, TraceRow,
+};
 
 /// Why a failed attempt failed. Decided where the fate is decided: the
 /// engine combines the medium's corruption bookkeeping with the feedback
@@ -32,6 +34,10 @@ pub enum LossCause {
     /// Corrupted by an inter-cell transmission the capture effect did not
     /// suppress (spatial media only).
     InterferenceCapture,
+    /// Killed by an injected AP/receiver outage (`softrate-faults`).
+    Outage,
+    /// Killed by an injected jammer burst (`softrate-faults`).
+    Jamming,
 }
 
 impl LossCause {
@@ -41,6 +47,8 @@ impl LossCause {
             LossCause::Collision => "collision",
             LossCause::Fading => "fading",
             LossCause::InterferenceCapture => "capture",
+            LossCause::Outage => "outage",
+            LossCause::Jamming => "jamming",
         }
     }
 }
@@ -98,6 +106,11 @@ pub struct TelemetryReport {
     pub hists: Vec<HistRow>,
     /// Anomalies detected at interval boundaries.
     pub anomalies: Vec<AnomalyRow>,
+    /// Fault-injection lifecycle events, in event order (empty on
+    /// faults-off runs).
+    pub faults: Vec<FaultRow>,
+    /// Fault-driven re-associations, in completion order.
+    pub reassocs: Vec<ReassocRow>,
     /// Streamed + flight-recorder-dumped frame-lifecycle records.
     pub trace: Vec<TraceRow>,
     /// Rate-decision ledger rows, in decision order.
@@ -120,6 +133,12 @@ impl TelemetryReport {
         for r in &mut self.anomalies {
             r.run_idx = run_idx;
         }
+        for r in &mut self.faults {
+            r.run_idx = run_idx;
+        }
+        for r in &mut self.reassocs {
+            r.run_idx = run_idx;
+        }
         for r in &mut self.trace {
             r.run_idx = run_idx;
         }
@@ -129,7 +148,8 @@ impl TelemetryReport {
     }
 
     /// The metrics stream: interval rows, then totals, then histograms,
-    /// then anomalies, one JSON object per line.
+    /// then anomalies, then fault lifecycle events, then
+    /// re-associations, one JSON object per line.
     pub fn metrics_jsonl(&self) -> String {
         let mut out = String::new();
         for r in &self.intervals {
@@ -146,6 +166,14 @@ impl TelemetryReport {
         }
         for r in &self.anomalies {
             out.push_str(&serde_json::to_string(r).expect("anomaly row serializes"));
+            out.push('\n');
+        }
+        for r in &self.faults {
+            out.push_str(&serde_json::to_string(r).expect("fault row serializes"));
+            out.push('\n');
+        }
+        for r in &self.reassocs {
+            out.push_str(&serde_json::to_string(r).expect("reassoc row serializes"));
             out.push('\n');
         }
         out
@@ -243,6 +271,8 @@ struct Accum {
     loss_collision: u64,
     loss_fading: u64,
     loss_capture: u64,
+    loss_outage: u64,
+    loss_jamming: u64,
     handoffs: u64,
     air_s: f64,
     rate_idx: Option<u64>,
@@ -265,6 +295,8 @@ impl Accum {
         tot.loss_collision += self.loss_collision;
         tot.loss_fading += self.loss_fading;
         tot.loss_capture += self.loss_capture;
+        tot.loss_outage += self.loss_outage;
+        tot.loss_jamming += self.loss_jamming;
         tot.handoffs += self.handoffs;
         tot.air_s += self.air_s;
     }
@@ -286,6 +318,14 @@ pub struct Recorder {
     h_rtt: LogHistogram,
     intervals: Vec<IntervalRow>,
     anomalies: Vec<AnomalyRow>,
+    faults: Vec<FaultRow>,
+    reassocs: Vec<ReassocRow>,
+    /// Fault classes currently active (label per started-but-unended
+    /// fault).
+    active_faults: Vec<String>,
+    /// Fault classes active at any point during the open interval —
+    /// seeded from `active_faults` every time an interval closes.
+    interval_faults: Vec<String>,
     trace: Vec<TraceRow>,
     decisions: Vec<DecisionRow>,
     ring: VecDeque<TraceRow>,
@@ -310,6 +350,10 @@ impl Recorder {
             h_rtt: LogHistogram::new(HIST_BASE_S),
             intervals: Vec::new(),
             anomalies: Vec::new(),
+            faults: Vec::new(),
+            reassocs: Vec::new(),
+            active_faults: Vec::new(),
+            interval_faults: Vec::new(),
             trace: Vec::new(),
             decisions: Vec::new(),
             ring: VecDeque::new(),
@@ -338,6 +382,18 @@ impl Recorder {
     /// Emits rows for the open interval `[t0, t1)` and resets it.
     fn close_interval(&mut self, t0: f64, t1: f64) {
         let span = (t1 - t0).max(1e-12);
+        // Fault tag: every class active at any point during the interval,
+        // sorted and deduplicated so the label is order-independent.
+        let fault_tag = if self.interval_faults.is_empty() {
+            None
+        } else {
+            let mut labels = self.interval_faults.clone();
+            labels.sort();
+            labels.dedup();
+            Some(labels.join(","))
+        };
+        // The next interval starts with whatever is still active.
+        self.interval_faults = self.active_faults.clone();
         let mut dump = false;
         for st in 0..self.cur.len() {
             let a = std::mem::take(&mut self.cur[st]);
@@ -358,6 +414,8 @@ impl Recorder {
                     loss_collision: a.loss_collision,
                     loss_fading: a.loss_fading,
                     loss_capture: a.loss_capture,
+                    loss_outage: a.loss_outage,
+                    loss_jamming: a.loss_jamming,
                     rate_idx: a.rate_idx,
                     snr_db: a.snr_db,
                     queue_depth: a.queue_depth,
@@ -365,6 +423,7 @@ impl Recorder {
                     rto_s: a.rto_s,
                     rtt_s: a.rtt_s,
                     handoffs: a.handoffs,
+                    fault: fault_tag.clone(),
                 });
             }
             if a.retries >= self.cfg.retry_storm {
@@ -540,6 +599,8 @@ impl Recorder {
                 Some(LossCause::Collision) => a.loss_collision += 1,
                 Some(LossCause::Fading) => a.loss_fading += 1,
                 Some(LossCause::InterferenceCapture) => a.loss_capture += 1,
+                Some(LossCause::Outage) => a.loss_outage += 1,
+                Some(LossCause::Jamming) => a.loss_jamming += 1,
                 None => {}
             }
             if ev.dropped {
@@ -620,6 +681,55 @@ impl Recorder {
         self.cfg.decisions
     }
 
+    /// An injected fault started (`phase = "start"`) or ended
+    /// (`phase = "end"`). Inert like every hook: records the lifecycle
+    /// row and maintains the active-fault label set that tags interval
+    /// rows — never touches counters or histograms.
+    pub fn on_fault(&mut self, now: f64, fault: &str, phase: &str, detail: String) {
+        self.advance(now);
+        self.faults.push(FaultRow {
+            kind: "fault".to_string(),
+            run_idx: 0,
+            t: now,
+            fault: fault.to_string(),
+            phase: phase.to_string(),
+            detail,
+        });
+        match phase {
+            "start" => {
+                self.active_faults.push(fault.to_string());
+                self.interval_faults.push(fault.to_string());
+            }
+            _ => {
+                if let Some(i) = self.active_faults.iter().position(|f| f == fault) {
+                    self.active_faults.remove(i);
+                }
+            }
+        }
+    }
+
+    /// `station` re-associated away from a dark AP, `outage_s` seconds
+    /// after the outage began (the time-to-reassociate metric).
+    pub fn on_reassoc(
+        &mut self,
+        now: f64,
+        station: usize,
+        from_ap: usize,
+        to_ap: usize,
+        outage_s: f64,
+    ) {
+        self.advance(now);
+        self.reassocs.push(ReassocRow {
+            kind: "reassoc".to_string(),
+            run_idx: 0,
+            t: now,
+            station: station as u64,
+            from_ap: from_ap as u64,
+            to_ap: to_ap as u64,
+            outage_s,
+        });
+    }
+
     /// `station` completed a handoff.
     pub fn on_handoff(&mut self, now: f64, station: usize) {
         self.advance(now);
@@ -661,6 +771,8 @@ impl Recorder {
                 loss_collision: a.loss_collision,
                 loss_fading: a.loss_fading,
                 loss_capture: a.loss_capture,
+                loss_outage: a.loss_outage,
+                loss_jamming: a.loss_jamming,
                 handoffs: a.handoffs,
                 air_s: a.air_s,
             });
@@ -675,6 +787,8 @@ impl Recorder {
             totals,
             hists,
             anomalies: self.anomalies,
+            faults: self.faults,
+            reassocs: self.reassocs,
             trace: self.trace,
             decisions: self.decisions,
         }
@@ -725,9 +839,64 @@ mod tests {
         assert_eq!(rep.intervals[2].loss_fading, 1);
         // Totals: every failure has exactly one cause.
         let t: &TotalsRow = &rep.totals[0];
-        assert_eq!(t.retries, t.loss_collision + t.loss_fading + t.loss_capture);
+        assert_eq!(
+            t.retries,
+            t.loss_collision + t.loss_fading + t.loss_capture + t.loss_outage + t.loss_jamming
+        );
         assert_eq!(rep.hists.len(), 3);
         assert_eq!(rep.hists[1].count, 3); // airtime: one per outcome
+    }
+
+    #[test]
+    fn fault_rows_tag_overlapping_intervals() {
+        let cfg = RecorderConfig {
+            interval: 0.1,
+            ..RecorderConfig::default()
+        };
+        let mut r = Recorder::new(cfg, 1, 1);
+        r.on_outcome(0.05, outcome(0, true, None));
+        r.on_fault(0.15, "ap_outage", "start", "ap 1 down".to_string());
+        r.on_outcome(0.17, outcome(0, false, Some(LossCause::Outage)));
+        r.on_outcome(0.25, outcome(0, false, Some(LossCause::Jamming)));
+        r.on_fault(0.28, "ap_outage", "end", "ap 1 up".to_string());
+        r.on_outcome(0.35, outcome(0, true, None));
+        let rep = r.finish(0.4);
+        assert_eq!(rep.faults.len(), 2);
+        assert_eq!(rep.faults[0].phase, "start");
+        // [0,0.1): clean; [0.1,0.2) and [0.2,0.3): tagged; [0.3,0.4):
+        // clean again (the fault ended in the previous interval).
+        assert_eq!(rep.intervals.len(), 4);
+        assert_eq!(rep.intervals[0].fault, None);
+        assert_eq!(rep.intervals[1].fault, Some("ap_outage".to_string()));
+        assert_eq!(rep.intervals[1].loss_outage, 1);
+        assert_eq!(rep.intervals[2].fault, Some("ap_outage".to_string()));
+        assert_eq!(rep.intervals[2].loss_jamming, 1);
+        assert_eq!(rep.intervals[3].fault, None);
+        // The five-way balance holds per interval under fault load.
+        for row in &rep.intervals {
+            assert_eq!(
+                row.retries,
+                row.loss_collision
+                    + row.loss_fading
+                    + row.loss_capture
+                    + row.loss_outage
+                    + row.loss_jamming
+            );
+        }
+        // The metrics stream carries the lifecycle rows.
+        assert!(rep.metrics_jsonl().contains("\"kind\":\"fault\""));
+    }
+
+    #[test]
+    fn reassoc_rows_record_time_to_reassociate() {
+        let mut r = Recorder::new(RecorderConfig::default(), 4, 4);
+        r.on_reassoc(2.75, 3, 1, 0, 0.75);
+        let rep = r.finish(3.0);
+        assert_eq!(rep.reassocs.len(), 1);
+        let row = &rep.reassocs[0];
+        assert_eq!((row.station, row.from_ap, row.to_ap), (3, 1, 0));
+        assert!((row.outage_s - 0.75).abs() < 1e-12);
+        assert!(rep.metrics_jsonl().contains("\"kind\":\"reassoc\""));
     }
 
     #[test]

@@ -2,8 +2,9 @@
 //!
 //! Every row carries a `kind` discriminator so a stream can be parsed
 //! line-by-line without context: the metrics stream holds `"interval"`,
-//! `"totals"`, `"hist"` and `"anomaly"` rows, the trace stream `"frame"`
-//! rows, and the decision ledger `"decision"` rows (one per
+//! `"totals"`, `"hist"`, `"anomaly"`, `"fault"` and `"reassoc"` rows,
+//! the trace stream `"frame"` rows, and the decision ledger `"decision"`
+//! rows (one per
 //! rate-adaptation decision). Field order is fixed by declaration order,
 //! values are produced
 //! deterministically by the [`crate::Recorder`], so two runs of the same
@@ -48,6 +49,10 @@ pub struct IntervalRow {
     pub loss_fading: u64,
     /// Failed attempts attributed to inter-cell interference capture.
     pub loss_capture: u64,
+    /// Failed attempts attributed to an AP/receiver outage.
+    pub loss_outage: u64,
+    /// Failed attempts attributed to a jammer burst.
+    pub loss_jamming: u64,
     /// Last transmit rate index observed in the interval.
     pub rate_idx: Option<u64>,
     /// Last per-frame SNR feedback observed, dB.
@@ -62,6 +67,12 @@ pub struct IntervalRow {
     pub rtt_s: Option<f64>,
     /// Handoffs completed in the interval.
     pub handoffs: u64,
+    /// Comma-joined labels of the fault classes active anywhere in the
+    /// interval (e.g. `"ap_outage"`, `"jammer,noise_step"`); `None` when
+    /// no fault overlapped the interval — and always `None` on
+    /// faults-off runs, keeping their bytes identical to before the
+    /// fault subsystem existed.
+    pub fault: Option<String>,
 }
 
 /// One station's whole-run totals (one row per station at run end).
@@ -91,6 +102,10 @@ pub struct TotalsRow {
     pub loss_fading: u64,
     /// Failed attempts attributed to inter-cell interference capture.
     pub loss_capture: u64,
+    /// Failed attempts attributed to an AP/receiver outage.
+    pub loss_outage: u64,
+    /// Failed attempts attributed to a jammer burst.
+    pub loss_jamming: u64,
     /// Handoffs completed over the run.
     pub handoffs: u64,
     /// Total air occupancy of this station's resolved attempts, seconds.
@@ -175,12 +190,57 @@ pub struct TraceRow {
     pub airtime_s: Option<f64>,
     /// Per-frame SNR feedback, dB.
     pub snr_db: Option<f64>,
-    /// Loss attribution (`collision`, `fading`, `capture`) on failures.
+    /// Loss attribution (`collision`, `fading`, `capture`, `outage`,
+    /// `jamming`) on failures.
     pub cause: Option<String>,
     /// MAC queue depth after an enqueue.
     pub queue_depth: Option<u64>,
     /// This row was dumped from the flight-recorder ring on an anomaly.
     pub dump: bool,
+}
+
+/// One fault-injection lifecycle event (metrics stream).
+///
+/// Emitted when an injected fault starts or ends, so resilience
+/// analysis can window the metrics around each disturbance without
+/// re-parsing the scenario spec.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultRow {
+    /// Row discriminator: always `"fault"`.
+    pub kind: String,
+    /// The run this row belongs to.
+    pub run_idx: u64,
+    /// Event time, simulated seconds.
+    pub t: f64,
+    /// Fault class: `ap_outage`, `jammer`, `noise_step`, `churn_join`,
+    /// or `churn_leave`.
+    pub fault: String,
+    /// Lifecycle phase: `"start"` or `"end"`.
+    pub phase: String,
+    /// Human-readable specifics (which AP, how many frames dropped,
+    /// the SNR delta, ...).
+    pub detail: String,
+}
+
+/// One fault-driven re-association (metrics stream): a station found a
+/// new AP while its old one was dark. `outage_s` is the station's
+/// time-to-reassociate — the headline resilience metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReassocRow {
+    /// Row discriminator: always `"reassoc"`.
+    pub kind: String,
+    /// The run this row belongs to.
+    pub run_idx: u64,
+    /// Handoff completion time, simulated seconds.
+    pub t: f64,
+    /// Station that re-homed.
+    pub station: u64,
+    /// The AP it fled (the one that went dark).
+    pub from_ap: u64,
+    /// The AP it landed on.
+    pub to_ap: u64,
+    /// Seconds between the outage start and this re-association.
+    pub outage_s: f64,
 }
 
 /// One rate-adaptation decision (the decision-ledger stream).

@@ -150,7 +150,11 @@ fn every_failed_attempt_has_exactly_one_cause() {
         let mut attributed = 0u64;
         for report in reports.iter().flatten() {
             for row in &report.totals {
-                let causes = row.loss_collision + row.loss_fading + row.loss_capture;
+                let causes = row.loss_collision
+                    + row.loss_fading
+                    + row.loss_capture
+                    + row.loss_outage
+                    + row.loss_jamming;
                 assert_eq!(
                     row.retries, causes,
                     "{name} run {} station {}: every failure needs one cause",
@@ -162,7 +166,11 @@ fn every_failed_attempt_has_exactly_one_cause() {
             for row in &report.intervals {
                 assert_eq!(
                     row.retries,
-                    row.loss_collision + row.loss_fading + row.loss_capture,
+                    row.loss_collision
+                        + row.loss_fading
+                        + row.loss_capture
+                        + row.loss_outage
+                        + row.loss_jamming,
                     "{name}: interval rows must balance too"
                 );
             }
