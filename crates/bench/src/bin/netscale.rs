@@ -188,12 +188,13 @@ fn spec(r: &Rung) -> SpatialSpec {
 /// The run configuration for one rung (traffic, duration, stagger,
 /// shards) — the single place a ladder row's parameters turn into a
 /// [`SpatialConfig`].
-fn config(r: &Rung, traffic: &SpatialTraffic, shards: usize) -> SpatialConfig {
+fn config(r: &Rung, traffic: &SpatialTraffic, shards: usize, batch: bool) -> SpatialConfig {
     let mut cfg = SpatialConfig::new(AdapterKind::SoftRate, spec(r));
     cfg.traffic = traffic.clone();
     cfg.duration = r.sim_seconds;
     cfg.kickoff_stagger_s = r.stagger_s;
     cfg.shards = shards;
+    cfg.batch = batch;
     cfg
 }
 
@@ -255,6 +256,42 @@ fn print_profile(p: &PhaseProfile) {
         p.deferrals,
         p.transmissions,
     );
+    // Batch statistics: kernel time plus the same-tick cohort-size
+    // distribution (width ≥ 2 cohorts only — width-1 "cohorts" are the
+    // ordinary scalar path and are not counted).
+    let (p50, p95) = cohort_percentiles(&p.cohort_hist);
+    println!(
+        "                   kernel {:6.3}s ({:4.1}%)  cohorts {}  \
+         width p50 {}  p95 {}  max {}",
+        p.kernel_s,
+        pct(p.kernel_s),
+        p.cohorts,
+        p50,
+        p95,
+        p.cohort_max,
+    );
+}
+
+/// p50/p95 cohort widths from the profile's width histogram (bucket `i`
+/// < 15 holds width `i + 1`; the final bucket is "16 or wider", reported
+/// as 16+ via the max column).
+fn cohort_percentiles(hist: &[u64; 16]) -> (u64, u64) {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return (0, 0);
+    }
+    let rank = |q: f64| -> u64 {
+        let target = (q * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in hist.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return (i + 1) as u64;
+            }
+        }
+        16
+    };
+    (rank(0.50), rank(0.95))
 }
 
 /// The CI perf gate (`--gate`): quick measurements against the committed
@@ -266,7 +303,9 @@ fn print_profile(p: &PhaseProfile) {
 fn run_gate() -> ! {
     const GATE_STATIONS: usize = 400;
     const GATE_SHARD_STATIONS: usize = 1600;
+    const GATE_CITY_STATIONS: usize = 10_000;
     const GATE_SIM_SECONDS: f64 = 2.0;
+    const GATE_CITY_SIM_SECONDS: f64 = 0.5;
     const GATE_TOLERANCE: f64 = 0.70;
     banner("netscale --gate — perf regression check vs BENCH_netscale.json");
     let committed: NetScaleResults = match std::fs::read_to_string("BENCH_netscale.json")
@@ -290,19 +329,24 @@ fn run_gate() -> ! {
             .iter()
             .find(|r| r.stations == stations)
             .expect("gate rungs are in the ladder table");
-        let mut cfg = config(rung, traffic, shards);
+        let mut cfg = config(rung, traffic, shards, true);
         cfg.duration = duration;
         let sim = SpatialSim::new(cfg).expect("bench spec is valid");
         let started = std::time::Instant::now();
         let report = sim.run();
         report.events_processed as f64 / started.elapsed().as_secs_f64().max(1e-9)
     };
-    let check = |label: &str, stations: usize, traffic: &SpatialTraffic, shards, committed_eps| {
-        measure(stations, traffic, 0.5, shards);
-        let events_per_sec = measure(stations, traffic, GATE_SIM_SECONDS, shards).max(measure(
+    let check = |label: &str,
+                 stations: usize,
+                 traffic: &SpatialTraffic,
+                 shards,
+                 sim_seconds: f64,
+                 committed_eps| {
+        measure(stations, traffic, sim_seconds / 4.0, shards);
+        let events_per_sec = measure(stations, traffic, sim_seconds, shards).max(measure(
             stations,
             traffic,
-            GATE_SIM_SECONDS,
+            sim_seconds,
             shards,
         ));
         let floor: f64 = committed_eps * GATE_TOLERANCE;
@@ -324,8 +368,28 @@ fn run_gate() -> ! {
         GATE_STATIONS,
         &SpatialTraffic::SaturatedUplinkUdp,
         1,
+        GATE_SIM_SECONDS,
         baseline.events_per_sec,
     );
+    // The 10k-station city rung: pins throughput at ladder scale, where
+    // the cohort-batched hot path and the memo layers carry the load. A
+    // shorter window keeps the gate affordable (events/sec is a rate).
+    if let Some(city) = committed
+        .rows
+        .iter()
+        .find(|r| r.stations == GATE_CITY_STATIONS)
+    {
+        check(
+            "udp-10k",
+            GATE_CITY_STATIONS,
+            &SpatialTraffic::SaturatedUplinkUdp,
+            1,
+            GATE_CITY_SIM_SECONDS,
+            city.events_per_sec,
+        );
+    } else {
+        println!("(no committed {GATE_CITY_STATIONS}-station row; small rung only)");
+    }
     // The TCP ladder point, once a TCP trajectory has been committed.
     if let Some(tcp_baseline) = committed
         .tcp_rows
@@ -337,6 +401,7 @@ fn run_gate() -> ! {
             GATE_STATIONS,
             &traffic_for("tcp"),
             1,
+            GATE_SIM_SECONDS,
             tcp_baseline.events_per_sec,
         );
     } else {
@@ -365,6 +430,7 @@ fn run_gate() -> ! {
                 GATE_SHARD_STATIONS,
                 &SpatialTraffic::SaturatedUplinkUdp,
                 srow_shards,
+                GATE_SIM_SECONDS,
                 srow.events_per_sec,
             );
         }
@@ -395,6 +461,22 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|s| s.parse().expect("--shards takes a positive integer"))
         .unwrap_or(1);
+    // `--batch off` is the escape hatch: cohort width 1 through the same
+    // dispatch path, byte-identical results (the equality suite pins it).
+    let batch = match args
+        .iter()
+        .position(|a| a == "--batch")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("on")
+    {
+        "on" => true,
+        "off" => false,
+        other => {
+            eprintln!("netscale: unknown --batch `{other}` (on | off)");
+            std::process::exit(2);
+        }
+    };
     let metrics_path = args
         .iter()
         .position(|a| a == "--metrics")
@@ -425,7 +507,7 @@ fn main() {
     // timed run — the first ladder point otherwise absorbs all the
     // cold-start cost.
     {
-        let mut cfg = config(&LADDER[0], &traffic, shards);
+        let mut cfg = config(&LADDER[0], &traffic, shards, batch);
         cfg.duration = 1.0;
         SpatialSim::new(cfg).expect("bench spec is valid").run();
     }
@@ -453,7 +535,7 @@ fn main() {
         let mut wall = f64::INFINITY;
         let mut best: Option<(softrate_sim::mac::RunReport, Option<PhaseProfile>)> = None;
         for _ in 0..if profile { 1 } else { 2 } {
-            let mut cfg = config(rung, &traffic, shards);
+            let mut cfg = config(rung, &traffic, shards, batch);
             if metrics_path.is_some() || decisions_path.is_some() {
                 cfg.telemetry = Some(softrate_telemetry::RecorderConfig {
                     decisions: decisions_path.is_some(),
@@ -542,6 +624,11 @@ fn main() {
     }
     if profile {
         eprintln!("[--profile run: BENCH_netscale.json left untouched (timer overhead)]");
+        return;
+    }
+    if !batch {
+        // The committed trajectory is the default (batched) hot path.
+        eprintln!("[--batch off run: BENCH_netscale.json left untouched (escape hatch)]");
         return;
     }
     if smoke {

@@ -37,7 +37,7 @@
 
 use std::collections::VecDeque;
 
-use softrate_channel::analytic::{FrameSuccessMemo, OracleBands};
+use softrate_channel::analytic::{FrameSuccessMemo, OracleBands, DETECT_SNR_DB};
 use softrate_core::adapter::{DecisionTrigger, RateAdapter, TxAttempt};
 use softrate_sim::config::AdapterKind;
 use softrate_sim::fault::{FaultConfig, FaultDriver, FaultLoss};
@@ -112,6 +112,13 @@ pub struct SpatialConfig {
     /// `--threads` × `--shards` does not oversubscribe the host. Sizing
     /// only — results are byte-identical for every value.
     pub shard_workers: Option<usize>,
+    /// Same-tick cohort batching (`true`, the default): the engine drains
+    /// every event sharing a timestamp before dispatching and lets the
+    /// medium warm its memo layers through the contiguous-lane channel
+    /// kernels. `false` forces cohort width 1 through the *same* code
+    /// path — the `--batch off` escape hatch, byte-identical by
+    /// construction (pinned by the batched-vs-unbatched equality suite).
+    pub batch: bool,
     /// Saturated-uplink kickoff stagger between consecutive stations,
     /// seconds — spreads the floor's first backoff draws so they do not
     /// all land on one instant. Large ladders scale it down so the whole
@@ -142,6 +149,7 @@ impl SpatialConfig {
             traffic: SpatialTraffic::SaturatedUplinkUdp,
             shards: 1,
             shard_workers: None,
+            batch: true,
             kickoff_stagger_s: 2e-4,
             telemetry: None,
             faults: None,
@@ -347,6 +355,7 @@ impl TransportHost for SpatialHost<'_> {
 
     fn enqueue(&mut self, link: usize, payload: Payload) {
         self.queues[link].push_back(payload);
+        self.core.lanes.queue_depth[link] = self.queues[link].len() as u32;
         if self.core.recorder.is_some() {
             let station = station_of_port(self.n, link);
             let depth = self.queues[link].len();
@@ -360,8 +369,8 @@ impl TransportHost for SpatialHost<'_> {
         } else {
             self.n + self.stations[link - self.n].ap
         };
-        if !self.core.senders[sender].busy && !self.core.senders[sender].start_pending {
-            let cw = self.core.cw[link];
+        if !self.core.lanes.busy[sender] && !self.core.lanes.start_pending[sender] {
+            let cw = self.core.lanes.cw[link];
             self.core.schedule_tx_start(sender, None, cw);
         }
     }
@@ -441,6 +450,15 @@ struct SpatialMedium {
     env_cache: Vec<(u64, u64, f64)>,
     /// Shared memo over the analytic BER/success kernels.
     fs_memo: FrameSuccessMemo,
+    /// Scratch for [`Medium::prepare_cohort`] (reused, allocation-free):
+    /// `(station, instant)` envelope evaluations the cohort will need.
+    coh_env: Vec<(u32, f64)>,
+    /// Scratch: gathered [`FrameSuccessMemo::eval_many`] key lanes and
+    /// the (discarded) output pairs for the cohort's outcome members.
+    coh_snr: Vec<f64>,
+    coh_rate: Vec<u32>,
+    coh_bits: Vec<u64>,
+    coh_out: Vec<(f64, f64)>,
     /// The omniscient oracle as exact threshold compares.
     oracle: OracleBands,
     /// Scratch: carrier-sense candidates (reused, allocation-free).
@@ -697,8 +715,8 @@ impl SpatialMedium {
         if reset {
             core.ports[st].adapter = self.make_adapter(st);
         }
-        core.ports[st].retries = 0;
-        core.cw[st] = CW_MIN;
+        core.lanes.retries[st] = 0;
+        core.lanes.cw[st] = CW_MIN;
         // Flow-mode bookkeeping: the downlink queue (and the flow's TCP
         // state with it) re-homes to the new AP; the downlink adapter
         // follows the handoff policy like the uplink one.
@@ -707,8 +725,8 @@ impl SpatialMedium {
             if reset {
                 core.ports[n + st].adapter = self.make_downlink_adapter(st);
             }
-            core.ports[n + st].retries = 0;
-            core.cw[n + st] = CW_MIN;
+            core.lanes.retries[n + st] = 0;
+            core.lanes.cw[n + st] = CW_MIN;
         }
         if let Some(fl) = self.flows.as_mut() {
             fl.ap_members[from].retain(|&m| m != st);
@@ -723,10 +741,10 @@ impl SpatialMedium {
             let ap_sender = n + to;
             if !fl.port_inflight[n + st]
                 && !fl.queues[n + st].is_empty()
-                && !core.senders[ap_sender].busy
-                && !core.senders[ap_sender].start_pending
+                && !core.lanes.busy[ap_sender]
+                && !core.lanes.start_pending[ap_sender]
             {
-                let cw = core.cw[n + st];
+                let cw = core.lanes.cw[n + st];
                 core.schedule_tx_start(ap_sender, None, cw);
             }
         }
@@ -762,10 +780,10 @@ impl SpatialMedium {
             }
             for port in ports {
                 if reset {
-                    core.ledger.handoff_reset[port] = true;
+                    core.lanes.handoff_reset[port] = true;
                     continue;
                 }
-                let Some(rate) = core.ledger.rate[port] else {
+                let Some(rate) = core.lanes.last_rate[port] else {
                     continue; // never transmitted: nothing to mark
                 };
                 let adapter = core.ports[port].adapter.name();
@@ -795,7 +813,7 @@ impl SpatialMedium {
     /// feedback): every launched attempt resolves against the link state
     /// it was launched on before the association changes underneath it.
     fn try_apply_pending_handoff(&mut self, core: &mut Core, st: usize) {
-        if self.stations[st].pending_handoff.is_none() || core.senders[st].busy {
+        if self.stations[st].pending_handoff.is_none() || core.lanes.busy[st] {
             return;
         }
         let n = self.params.n_stations;
@@ -854,6 +872,8 @@ impl SpatialMedium {
             if let Some(p) = protected {
                 self.flows.as_mut().expect("checked").queues[port].push_front(p);
             }
+            core.lanes.queue_depth[port] =
+                self.flows.as_ref().expect("checked").queues[port].len() as u32;
         }
         dropped
     }
@@ -866,12 +886,12 @@ impl SpatialMedium {
             return;
         };
         let sender = n + ap;
-        if core.senders[sender].busy || core.senders[sender].start_pending {
+        if core.lanes.busy[sender] || core.lanes.start_pending[sender] {
             return;
         }
         for &st in &fl.ap_members[ap] {
             if !fl.queues[n + st].is_empty() && !fl.port_inflight[n + st] {
-                let cw = core.cw[n + st];
+                let cw = core.lanes.cw[n + st];
                 core.schedule_tx_start(sender, None, cw);
                 return;
             }
@@ -931,8 +951,8 @@ impl SpatialMedium {
                 // Churn runs on the saturated-uplink workload (validated
                 // at construction): the joiner's first channel access
                 // starts here instead of at kickoff.
-                if !core.senders[st].busy && !core.senders[st].start_pending {
-                    let cw = core.cw[st];
+                if !core.lanes.busy[st] && !core.lanes.start_pending[st] {
+                    let cw = core.lanes.cw[st];
                     core.schedule_tx_start(st, None, cw);
                 }
             }
@@ -1082,7 +1102,7 @@ impl Medium for SpatialMedium {
                     if self.faults.as_ref().is_some_and(|f| f.dormant[s]) {
                         continue;
                     }
-                    let cw = core.cw[s];
+                    let cw = core.lanes.cw[s];
                     core.schedule_tx_start(s, Some(s as f64 * stagger), cw);
                 }
             }
@@ -1422,6 +1442,109 @@ impl Medium for SpatialMedium {
         )
     }
 
+    /// Same-tick cohort prewarm: one coherent sweep through the batched
+    /// channel kernels so the member dispatches that follow hit warm memo
+    /// slots.
+    ///
+    /// Two passes, both value-transparent (memo writes only — a miss at
+    /// dispatch recomputes the identical number, so `--batch off` is
+    /// byte-identical by construction):
+    ///
+    /// 1. **Envelopes.** Every Jakes evaluation the cohort will demand —
+    ///    TxStart members sample their station's link at the cohort tick
+    ///    (the transmit-time oracle audit), Outcome members at their
+    ///    transmit instant (the fate draw shares the transmit-time
+    ///    evaluation) — gathered, deduplicated against warm cache slots,
+    ///    and swept four lanes at a time through
+    ///    [`StreamingLink::envelope_db_x4`].
+    /// 2. **Frame-success pairs.** The outcome members' `(SNR, rate,
+    ///    bits)` memo keys, swept through
+    ///    [`FrameSuccessMemo::eval_many`]'s unrolled miss kernel.
+    ///
+    /// Best-effort by design: a TxStart that ends up deferring wastes its
+    /// envelope warm, an AP sender's port is unknown until `pick_port`
+    /// (skipped), and a duplicate station in one cohort keeps only the
+    /// last slot — none of which can perturb values.
+    fn prepare_cohort(&mut self, core: &Core, t: f64, cohort: &[MacEv<SpatialEv>]) {
+        let _ = t;
+        let mut env = std::mem::take(&mut self.coh_env);
+        env.clear();
+        // Only `Outcome` members are worth warming: an outcome always
+        // evaluates its fate (envelope at the recorded start instant plus
+        // the frame-success key), whereas a same-tick `TxStart` storm is
+        // deferral-dominated — most members lose carrier sense and never
+        // touch the channel, so batch-evaluating their envelopes would
+        // burn the kernel's win on values nobody reads. (Skipping them is
+        // sound: the prewarm is best-effort by contract, and a skipped
+        // member simply computes its envelope at dispatch as before.)
+        for ev in cohort {
+            if let MacEv::Outcome { tx } = *ev {
+                if let Some(p) = core.pending.iter().find(|p| p.id == tx) {
+                    let st = self.station_of_port(p.port);
+                    let (e, cached, _) = self.env_cache[st];
+                    if e != self.stations[st].epoch || cached != p.start.to_bits() {
+                        env.push((st as u32, p.start));
+                    }
+                }
+            }
+        }
+        for q in env.chunks(4) {
+            if let [a, b, c, d] = *q {
+                let g = StreamingLink::envelope_db_x4(
+                    [
+                        &self.stations[a.0 as usize].link,
+                        &self.stations[b.0 as usize].link,
+                        &self.stations[c.0 as usize].link,
+                        &self.stations[d.0 as usize].link,
+                    ],
+                    [a.1, b.1, c.1, d.1],
+                );
+                for (l, &(st, at)) in q.iter().enumerate() {
+                    let st = st as usize;
+                    self.env_cache[st] = (self.stations[st].epoch, at.to_bits(), g[l]);
+                }
+            } else {
+                for &(st, at) in q {
+                    self.env_at(st as usize, at);
+                }
+            }
+        }
+        env.clear();
+        self.coh_env = env;
+
+        let mut snrs = std::mem::take(&mut self.coh_snr);
+        let mut rates = std::mem::take(&mut self.coh_rate);
+        let mut bits = std::mem::take(&mut self.coh_bits);
+        let mut out = std::mem::take(&mut self.coh_out);
+        snrs.clear();
+        rates.clear();
+        bits.clear();
+        for ev in cohort {
+            if let MacEv::Outcome { tx } = *ev {
+                if let Some(p) = core.pending.iter().find(|p| p.id == tx) {
+                    let st = self.station_of_port(p.port);
+                    let snr = p.info.sig_snr_db + self.env_at(st, p.start);
+                    // Below the detection floor the fate never consults
+                    // the memo; warming those keys would only pollute it.
+                    if snr >= DETECT_SNR_DB {
+                        snrs.push(snr);
+                        rates.push(p.rate_idx as u32);
+                        bits.push((p.payload_bytes * 8) as u64);
+                    }
+                }
+            }
+        }
+        if snrs.len() >= 2 {
+            out.clear();
+            out.resize(snrs.len(), (0.0, 0.0));
+            self.fs_memo.eval_many(&snrs, &rates, &bits, &mut out);
+        }
+        self.coh_snr = snrs;
+        self.coh_rate = rates;
+        self.coh_bits = bits;
+        self.coh_out = out;
+    }
+
     fn on_acked(&mut self, core: &mut Core, tx: &ActiveTx<SpatialTx>) {
         let n = self.params.n_stations;
         let flow = station_of_port(n, tx.port);
@@ -1432,6 +1555,7 @@ impl Medium for SpatialMedium {
         };
         core.stats.frames_delivered += u64::from(tx.info.payload.is_segment());
         fl.queues[tx.port].pop_front();
+        core.lanes.queue_depth[tx.port] = fl.queues[tx.port].len() as u32;
         if tx.sender >= n {
             let a = tx.sender - n;
             fl.ap_rr[a] = (fl.ap_rr[a] + 1) % fl.ap_members[a].len().max(1);
@@ -1456,6 +1580,7 @@ impl Medium for SpatialMedium {
             return;
         };
         fl.queues[tx.port].pop_front();
+        core.lanes.queue_depth[tx.port] = fl.queues[tx.port].len() as u32;
         let FlowNet {
             transport, queues, ..
         } = fl;
@@ -1476,8 +1601,8 @@ impl Medium for SpatialMedium {
         match &self.flows {
             None => {
                 // Saturated uplink: there is always a next frame.
-                if !core.senders[sender].start_pending {
-                    let cw = core.cw[sender];
+                if !core.lanes.start_pending[sender] {
+                    let cw = core.lanes.cw[sender];
                     core.schedule_tx_start(sender, None, cw);
                 }
             }
@@ -1506,15 +1631,15 @@ impl Medium for SpatialMedium {
                 let fl = self.flows.as_ref().expect("matched Some above");
                 if owner != sender
                     && !fl.queues[port].is_empty()
-                    && !core.senders[owner].busy
-                    && !core.senders[owner].start_pending
+                    && !core.lanes.busy[owner]
+                    && !core.lanes.start_pending[owner]
                 {
-                    let cw = core.cw[port];
+                    let cw = core.lanes.cw[port];
                     core.schedule_tx_start(owner, None, cw);
                 }
                 if let Some(port) = self.pick_port(sender) {
-                    if !core.senders[sender].start_pending {
-                        let cw = core.cw[port];
+                    if !core.lanes.start_pending[sender] {
+                        let cw = core.lanes.cw[port];
                         core.schedule_tx_start(sender, None, cw);
                     }
                 }
@@ -1598,7 +1723,7 @@ impl Medium for SpatialMedium {
                 .flows
                 .as_ref()
                 .is_some_and(|fl| fl.port_inflight[n + st]);
-            if core.senders[st].busy || downlink_inflight {
+            if core.lanes.busy[st] || downlink_inflight {
                 self.stations[st].pending_handoff = Some(best);
             } else {
                 self.apply_handoff(core, st, best, now);
@@ -1881,6 +2006,11 @@ impl SpatialSim {
             snr_ap_cache: vec![(NO_TIME, 0, 0.0); n],
             env_cache: vec![(0, NO_TIME, 0.0); n],
             fs_memo: FrameSuccessMemo::new(),
+            coh_env: Vec::new(),
+            coh_snr: Vec::new(),
+            coh_rate: Vec::new(),
+            coh_bits: Vec::new(),
+            coh_out: Vec::new(),
             oracle: OracleBands::new(cfg.frame_bits()),
             sense_scratch: Vec::new(),
             mut_log: Vec::new(),
@@ -1932,6 +2062,7 @@ impl SpatialSim {
             });
         }
         let mut engine = MacEngine::new(n_senders, ports, mac_params, medium);
+        engine.core.batch = engine.medium.cfg.batch;
         if let Some(tcfg) = engine.medium.cfg.telemetry.clone() {
             engine.core.recorder = Some(Box::new(softrate_telemetry::Recorder::new(
                 tcfg, n, n_senders,

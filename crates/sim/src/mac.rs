@@ -141,41 +141,89 @@ pub enum MacEv<E> {
     Medium(E),
 }
 
-/// One backoff/busy state machine — a physical transmitter (a station, or
-/// the AP which serves many ports round-robin).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Sender {
-    /// A transmission is on the air or awaiting its outcome.
-    pub busy: bool,
-    /// A TxStart event is already scheduled.
-    pub start_pending: bool,
+/// The per-station hot state in struct-of-arrays form: every field the
+/// dispatch loop touches per event, as parallel dense `Vec`s indexed by
+/// sender id (`busy`/`start_pending`) or port id (the rest).
+///
+/// This replaces the old per-station structs (`Sender { busy,
+/// start_pending }` and the retry/attempt counters that rode on `Port`
+/// next to its boxed adapter): a TxStart that defers now reads
+/// `start_pending`/`busy`/`cw` from three contiguous arrays instead of
+/// dragging a pointer-chased `Port` (vtable and all) through the cache,
+/// and an outcome bumps `retries`/`attempts`/`cw` in dense lanes. The
+/// trailing gauges (`last_rate`, `last_snr_db`, `queue_depth`) are
+/// observability lanes: the engine and media keep them current, nothing
+/// in the dispatch path reads them back, so they can never perturb
+/// results.
+#[derive(Debug, Clone, Default)]
+pub struct StationLanes {
+    /// Per sender: a transmission is on the air or awaiting its outcome.
+    pub busy: Vec<bool>,
+    /// Per sender: a TxStart event is already scheduled.
+    pub start_pending: Vec<bool>,
+    /// Per port: current contention window (the deferral hot path reads
+    /// it on every carrier-sensed TxStart).
+    pub cw: Vec<u32>,
+    /// Per port: consecutive failed attempts for the head-of-line frame.
+    pub retries: Vec<u32>,
+    /// Per port: lifetime attempt counter (keys trace fate draws).
+    pub attempts: Vec<u64>,
+    /// Per port: the rate the decision ledger believes the port is at
+    /// (`new_rate` of its last row, or its last transmitted rate; `None`
+    /// until the port first transmits).
+    pub last_rate: Vec<Option<usize>>,
+    /// Per port: adapter was rebuilt by a Reset handoff since the last
+    /// transmission (the next transmission files the rate change under
+    /// `handoff_reset`).
+    pub handoff_reset: Vec<bool>,
+    /// Per port, gauge: SNR feedback of the last resolved attempt that
+    /// carried any (dB). `NAN` until then.
+    pub last_snr_db: Vec<f64>,
+    /// Per port, gauge: frames queued behind the head-of-line frame.
+    /// Maintained by queue-owning media (flow mode); saturated sources
+    /// leave it at zero.
+    pub queue_depth: Vec<u32>,
 }
 
-/// One rate-adapted unidirectional link: the adapter and its retry/CW
-/// state. Single-cell media have one port per wireless link (the AP owns
+impl StationLanes {
+    /// Lanes for `n_senders` transmitters driving `n_ports` links.
+    pub fn new(n_senders: usize, n_ports: usize) -> Self {
+        StationLanes {
+            busy: vec![false; n_senders],
+            start_pending: vec![false; n_senders],
+            cw: vec![CW_MIN; n_ports],
+            retries: vec![0; n_ports],
+            attempts: vec![0; n_ports],
+            last_rate: vec![None; n_ports],
+            handoff_reset: vec![false; n_ports],
+            last_snr_db: vec![f64::NAN; n_ports],
+            queue_depth: vec![0; n_ports],
+        }
+    }
+
+    /// Number of transmitters.
+    pub fn n_senders(&self) -> usize {
+        self.busy.len()
+    }
+}
+
+/// One rate-adapted unidirectional link: the adapter driving it.
+/// Single-cell media have one port per wireless link (the AP owns
 /// several); spatial media one per station.
 ///
-/// The contention window lives in [`MacCore::cw`], not here: the deferral
-/// path reads it on every carrier-sensed TxStart, and keeping it in a
-/// dense array beside the other hot per-sender state avoids dragging a
-/// whole `Port` (adapter box and all) through the cache for one `u32`.
+/// All the hot per-port counters (contention window, retries, attempts)
+/// live in [`MacCore::lanes`], not here: the dispatch loop touches them
+/// every event, and keeping them in dense arrays avoids dragging the
+/// adapter box through the cache for a few integers.
 pub struct Port {
     /// The rate-adaptation algorithm driving this link.
     pub adapter: Box<dyn RateAdapter>,
-    /// Consecutive failed attempts for the head-of-line frame.
-    pub retries: u32,
-    /// Lifetime attempt counter (keys trace fate draws).
-    pub attempts: u64,
 }
 
 impl Port {
     /// A fresh port around `adapter`.
     pub fn new(adapter: Box<dyn RateAdapter>) -> Self {
-        Port {
-            adapter,
-            retries: 0,
-            attempts: 0,
-        }
+        Port { adapter }
     }
 }
 
@@ -279,14 +327,6 @@ pub struct LedgerState {
     /// The decision sink handed to adapter `next_attempt_ctx` /
     /// `on_outcome_ctx` calls; drained by the engine after each call.
     pub ctx: DecisionCtx,
-    /// The rate the ledger believes each port is at: the `new_rate` of
-    /// its last row, or its last transmitted rate. `None` until the port
-    /// first transmits.
-    pub rate: Vec<Option<usize>>,
-    /// Ports whose adapter was rebuilt by a Reset handoff since their
-    /// last transmission (the next transmission files the rate change
-    /// under `handoff_reset`).
-    pub handoff_reset: Vec<bool>,
 }
 
 /// The engine state a [`Medium`] implementation may inspect and drive:
@@ -297,13 +337,15 @@ pub struct LedgerState {
 pub struct MacCore<E, I> {
     /// The discrete-event queue.
     pub events: EventQueue<MacEv<E>>,
-    /// Backoff/busy state per sender.
-    pub senders: Vec<Sender>,
-    /// Adapter + retry state per port.
+    /// The per-sender / per-port hot state, in struct-of-arrays lanes.
+    pub lanes: StationLanes,
+    /// Adapter per port (cold beside [`MacCore::lanes`]).
     pub ports: Vec<Port>,
-    /// Current contention window per port (dense — the deferral hot path
-    /// reads it on every carrier-sensed TxStart).
-    pub cw: Vec<u32>,
+    /// Whether dispatch forms same-tick cohorts (the default). `false`
+    /// forces cohort width 1 through the identical code path — the
+    /// `--batch off` escape hatch; results are byte-identical either way
+    /// (cohort prewarm is value-transparent by contract).
+    pub batch: bool,
     /// Transmissions currently on the air.
     pub active: Vec<ActiveTx<I>>,
     /// Transmissions past TxEnd awaiting their feedback window.
@@ -358,21 +400,18 @@ impl<E, I> MacCore<E, I> {
     /// sizing the spatial simulator established; reallocation pauses show
     /// up directly in events/sec at scale).
     pub fn new(n_senders: usize, ports: Vec<Port>, params: MacParams) -> Self {
-        let cw = vec![CW_MIN; ports.len()];
         let n_ports = ports.len();
         MacCore {
             events: EventQueue::with_capacity(n_senders * 8),
-            senders: vec![Sender::default(); n_senders],
+            lanes: StationLanes::new(n_senders, n_ports),
             ports,
-            cw,
+            batch: true,
             active: Vec::new(),
             pending: Vec::new(),
             stats: MacStats::default(),
             recorder: None,
             ledger: LedgerState {
                 ctx: DecisionCtx::disabled(),
-                rate: vec![None; n_ports],
-                handoff_reset: vec![false; n_ports],
             },
             faults: None,
             route: None,
@@ -415,7 +454,7 @@ impl<E, I> MacCore<E, I> {
         }
         let slots = self.rng.gen_range(0..=cw) as f64;
         let at = after.unwrap_or(self.events.now()) + DIFS + slots * SLOT;
-        self.senders[sender].start_pending = true;
+        self.lanes.start_pending[sender] = true;
         match self.route.as_deref_mut() {
             None => self.events.schedule(at, MacEv::TxStart { sender }),
             Some(rt) => {
@@ -547,6 +586,28 @@ pub trait Medium {
     fn event_is_transport(&self, _ev: &Self::Event) -> bool {
         false
     }
+
+    /// Called once per same-tick cohort of width ≥ 2, after the cohort
+    /// was drained from the queue and before any member dispatches. The
+    /// medium may batch-warm its memo layers through the contiguous-lane
+    /// channel kernels (`gain_many`/`gain_x4`, `eval_many`) so the
+    /// per-event dispatch that follows hits warm slots instead of doing N
+    /// scattered kernel evaluations.
+    ///
+    /// **Contract: value-transparent.** The hook must not consume
+    /// randomness, schedule events, or mutate any state an event handler
+    /// reads for *values* — only memo caches, whose misses recompute the
+    /// identical numbers. That is what makes batched dispatch provably
+    /// byte-identical to `--batch off` with no ordering argument at all.
+    /// Defaults to nothing (trace-backed and loopback media have no
+    /// kernels to warm).
+    fn prepare_cohort(
+        &mut self,
+        _core: &MacCore<Self::Event, Self::TxInfo>,
+        _t: f64,
+        _cohort: &[MacEv<Self::Event>],
+    ) {
+    }
 }
 
 /// Wall-time breakdown of one profiled run: seconds spent inside each
@@ -584,12 +645,24 @@ pub struct PhaseProfile {
     /// active set, and the window barriers themselves. Zero on sequential
     /// runs.
     pub sync_s: f64,
+    /// Seconds inside [`Medium::prepare_cohort`] — the batched kernel
+    /// sweeps that warm the memo layers ahead of same-tick dispatch.
+    pub kernel_s: f64,
     /// Whole-run wall seconds.
     pub total_s: f64,
     /// TxStart events that found the medium busy and deferred.
     pub deferrals: u64,
     /// TxStart events that transmitted.
     pub transmissions: u64,
+    /// Batched dispatch cohorts formed (same-tick groups of width ≥ 2;
+    /// singleton ticks go down the ordinary scalar path uncounted).
+    pub cohorts: u64,
+    /// Widest cohort seen.
+    pub cohort_max: u64,
+    /// Cohort-width histogram over the counted (width ≥ 2) cohorts:
+    /// bucket `i < 15` counts cohorts of width `i + 1`; bucket 15 counts
+    /// widths ≥ 16. Percentiles (p50/p95) fall out of the cumulative sum.
+    pub cohort_hist: [u64; 16],
 }
 
 /// The generic DCF discrete-event engine: one MAC, many media.
@@ -614,28 +687,75 @@ impl<M: Medium> MacEngine<M> {
     }
 
     /// Runs the event loop to `duration` simulated seconds.
+    ///
+    /// Dispatch is batch-first: each pop drains the rest of its exact
+    /// tick into a cohort, hands the cohort to
+    /// [`Medium::prepare_cohort`] (one coherent kernel sweep over the
+    /// medium's memo layers), then dispatches the members one by one.
+    /// Sequence numbers are allocated monotonically at schedule time, so
+    /// every event already queued at this tick precedes anything a
+    /// cohort member's handler can newly schedule — pre-draining the
+    /// tick and dispatching in pop order *is* the sequential `(time,
+    /// seq)` order, and a handler-scheduled same-tick event simply forms
+    /// the next cohort. With `core.batch` off the drain is skipped and
+    /// every cohort has width 1 through this same code path.
     pub fn run(&mut self, duration: f64) {
         self.core.sync_ledger();
         self.medium.kickoff(&mut self.core);
+        let mut cohort: Vec<MacEv<M::Event>> = Vec::new();
         while let Some(ev) = self.core.events.pop() {
             if ev.time > duration {
                 break;
             }
             self.core.stats.events_processed += 1;
-            match ev.event {
-                MacEv::TxStart { sender } => self.on_tx_start(sender),
-                MacEv::TxEnd { tx } => self.on_tx_end(tx),
-                MacEv::Outcome { tx } => self.on_outcome(tx),
-                MacEv::Medium(e) => {
-                    let t0 = self.profile.as_deref().map(|_| std::time::Instant::now());
-                    let transport = t0.is_some() && self.medium.event_is_transport(&e);
-                    self.medium.on_event(&mut self.core, e);
-                    if let (Some(t0), Some(p)) = (t0, self.profile.as_deref_mut()) {
-                        if transport {
-                            p.transport_s += t0.elapsed().as_secs_f64();
-                        } else {
-                            p.medium_ev_s += t0.elapsed().as_secs_f64();
-                        }
+            cohort.clear();
+            cohort.push(ev.event);
+            if self.core.batch {
+                while self
+                    .core
+                    .events
+                    .peek_key()
+                    .is_some_and(|(t, _)| t == ev.time)
+                {
+                    let next = self.core.events.pop().expect("peeked non-empty");
+                    self.core.stats.events_processed += 1;
+                    cohort.push(next.event);
+                }
+            }
+            if cohort.len() >= 2 {
+                if let Some(p) = self.profile.as_deref_mut() {
+                    p.cohorts += 1;
+                    p.cohort_max = p.cohort_max.max(cohort.len() as u64);
+                    p.cohort_hist[(cohort.len() - 1).min(15)] += 1;
+                }
+                let t0 = self.profile.as_deref().map(|_| std::time::Instant::now());
+                self.medium.prepare_cohort(&self.core, ev.time, &cohort);
+                if let (Some(t0), Some(p)) = (t0, self.profile.as_deref_mut()) {
+                    p.kernel_s += t0.elapsed().as_secs_f64();
+                }
+            }
+            for &e in &cohort {
+                self.dispatch(e);
+            }
+        }
+    }
+
+    /// Dispatches one engine event — the single body behind both the
+    /// cohort loop above and the sharded merge loop.
+    pub(crate) fn dispatch(&mut self, ev: MacEv<M::Event>) {
+        match ev {
+            MacEv::TxStart { sender } => self.on_tx_start(sender),
+            MacEv::TxEnd { tx } => self.on_tx_end(tx),
+            MacEv::Outcome { tx } => self.on_outcome(tx),
+            MacEv::Medium(e) => {
+                let t0 = self.profile.as_deref().map(|_| std::time::Instant::now());
+                let transport = t0.is_some() && self.medium.event_is_transport(&e);
+                self.medium.on_event(&mut self.core, e);
+                if let (Some(t0), Some(p)) = (t0, self.profile.as_deref_mut()) {
+                    if transport {
+                        p.transport_s += t0.elapsed().as_secs_f64();
+                    } else {
+                        p.medium_ev_s += t0.elapsed().as_secs_f64();
                     }
                 }
             }
@@ -666,7 +786,8 @@ impl<M: Medium> MacEngine<M> {
             - p.medium_ev_s
             - p.transport_s
             - p.outcome_s
-            - p.sync_s;
+            - p.sync_s
+            - p.kernel_s;
         p
     }
 
@@ -685,7 +806,7 @@ impl<M: Medium> MacEngine<M> {
         let adapter = core.ports[port].adapter.name();
         let mut pending = std::mem::take(&mut core.ledger.ctx.decisions);
         for d in pending.drain(..) {
-            core.ledger.rate[port] = Some(d.new_rate);
+            core.lanes.last_rate[port] = Some(d.new_rate);
             if let Some(rec) = core.recorder.as_deref_mut() {
                 rec.on_decision(
                     now,
@@ -707,8 +828,8 @@ impl<M: Medium> MacEngine<M> {
         let Some(tx_rate) = tx_rate else {
             return;
         };
-        let prev = core.ledger.rate[port];
-        let reset = std::mem::replace(&mut core.ledger.handoff_reset[port], false);
+        let prev = core.lanes.last_rate[port];
+        let reset = std::mem::replace(&mut core.lanes.handoff_reset[port], false);
         let engine_row = if reset {
             // A Reset handoff rebuilt the adapter: file the (possibly
             // identical) rate under handoff_reset exactly once.
@@ -746,7 +867,7 @@ impl<M: Medium> MacEngine<M> {
                 );
             }
         }
-        core.ledger.rate[port] = Some(tx_rate);
+        core.lanes.last_rate[port] = Some(tx_rate);
     }
 
     fn on_tx_start(&mut self, sender: usize) {
@@ -762,8 +883,8 @@ impl<M: Medium> MacEngine<M> {
     /// this exact dispatch point — the shard-invariance suite pins that.
     pub(crate) fn on_tx_start_with(&mut self, sender: usize, pre: Option<Option<f64>>) {
         let core = &mut self.core;
-        core.senders[sender].start_pending = false;
-        if core.senders[sender].busy {
+        core.lanes.start_pending[sender] = false;
+        if core.lanes.busy[sender] {
             return; // will reschedule when freed
         }
         let Some(port) = self.medium.pick_port(sender) else {
@@ -796,7 +917,7 @@ impl<M: Medium> MacEngine<M> {
                     rec.on_defer(now, station, sender);
                 }
             }
-            let cw = core.cw[port];
+            let cw = core.lanes.cw[port];
             core.schedule_tx_start(sender, Some(until), cw);
             return;
         }
@@ -825,7 +946,7 @@ impl<M: Medium> MacEngine<M> {
             };
         let id = core.next_tx_id;
         core.next_tx_id += 1;
-        core.ports[port].attempts += 1;
+        core.lanes.attempts[port] += 1;
 
         let mut tx = ActiveTx {
             id,
@@ -837,7 +958,7 @@ impl<M: Medium> MacEngine<M> {
             rate_idx: attempt.rate_idx,
             use_rts: attempt.use_rts,
             payload_bytes: info.payload_bytes,
-            attempt: core.ports[port].attempts,
+            attempt: core.lanes.attempts[port],
             counts_as_data: info.counts_as_data,
             collided: false,
             corrupt_same_cell: false,
@@ -859,7 +980,7 @@ impl<M: Medium> MacEngine<M> {
             }
         }
 
-        core.senders[sender].busy = true;
+        core.lanes.busy[sender] = true;
         core.events.schedule(tx.end, MacEv::TxEnd { tx: id });
         core.active.push(tx);
 
@@ -1023,7 +1144,7 @@ impl<M: Medium> MacEngine<M> {
             } else {
                 Some(LossCause::Fading)
             };
-            let dropped = !outcome.acked && core.ports[tx.port].retries + 1 > MAX_RETRIES;
+            let dropped = !outcome.acked && core.lanes.retries[tx.port] + 1 > MAX_RETRIES;
             let station = self.medium.telemetry_station(tx.port);
             if let Some(rec) = core.recorder.as_deref_mut() {
                 rec.on_outcome(
@@ -1046,24 +1167,26 @@ impl<M: Medium> MacEngine<M> {
             }
         }
 
+        if let Some(snr) = fate.snr_feedback_db {
+            core.lanes.last_snr_db[tx.port] = snr;
+        }
         let t0 = self.profile.as_deref().map(|_| std::time::Instant::now());
         if outcome.acked {
-            core.ports[tx.port].retries = 0;
-            core.cw[tx.port] = CW_MIN;
+            core.lanes.retries[tx.port] = 0;
+            core.lanes.cw[tx.port] = CW_MIN;
             self.medium.on_acked(core, &tx);
         } else {
-            let p = &mut core.ports[tx.port];
-            p.retries += 1;
-            if p.retries > MAX_RETRIES {
-                p.retries = 0;
-                core.cw[tx.port] = CW_MIN;
+            core.lanes.retries[tx.port] += 1;
+            if core.lanes.retries[tx.port] > MAX_RETRIES {
+                core.lanes.retries[tx.port] = 0;
+                core.lanes.cw[tx.port] = CW_MIN;
                 self.medium.on_dropped(core, &tx);
             } else {
-                core.cw[tx.port] = (core.cw[tx.port] * 2 + 1).min(CW_MAX);
+                core.lanes.cw[tx.port] = (core.lanes.cw[tx.port] * 2 + 1).min(CW_MAX);
             }
         }
 
-        core.senders[tx.sender].busy = false;
+        core.lanes.busy[tx.sender] = false;
         self.medium.after_outcome(core, tx.sender);
         if let (Some(t0), Some(p)) = (t0, self.profile.as_deref_mut()) {
             p.outcome_s += t0.elapsed().as_secs_f64();
@@ -1133,8 +1256,8 @@ mod tests {
         fn on_dropped(&mut self, _core: &mut MacCore<(), ()>, _tx: &ActiveTx<()>) {}
 
         fn after_outcome(&mut self, core: &mut MacCore<(), ()>, sender: usize) {
-            if !core.senders[sender].start_pending {
-                let cw = core.cw[0];
+            if !core.lanes.start_pending[sender] {
+                let cw = core.lanes.cw[0];
                 core.schedule_tx_start(sender, None, cw);
             }
         }
@@ -1180,6 +1303,23 @@ mod tests {
         b.run(0.3);
         assert_eq!(a.core.stats.frames_sent, b.core.stats.frames_sent);
         assert_eq!(a.core.stats.events_processed, b.core.stats.events_processed);
+    }
+
+    #[test]
+    fn batch_off_is_byte_identical() {
+        let (mut on, mut off) = (engine(), engine());
+        off.core.batch = false;
+        on.run(0.3);
+        off.run(0.3);
+        assert_eq!(on.core.stats.frames_sent, off.core.stats.frames_sent);
+        assert_eq!(
+            on.core.stats.frames_delivered,
+            off.core.stats.frames_delivered
+        );
+        assert_eq!(
+            on.core.stats.events_processed,
+            off.core.stats.events_processed
+        );
     }
 
     #[test]

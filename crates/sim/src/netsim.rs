@@ -46,7 +46,8 @@ struct WLink {
 }
 
 /// One wireless node's link service order (0 = AP, 1.. = clients); the
-/// busy/backoff state lives in the engine's matching `Sender`.
+/// busy/backoff state lives in the engine's [`crate::mac::StationLanes`]
+/// slots.
 struct WNode {
     links_out: Vec<usize>,
     rr: usize,
@@ -96,9 +97,9 @@ impl TransportHost for TraceHost<'_> {
             }
         }
         let node = self.links[link].src;
-        if !self.core.senders[node].busy && !self.core.senders[node].start_pending {
+        if !self.core.lanes.busy[node] && !self.core.lanes.start_pending[node] {
             let cw = pick_link(self.nodes, self.links, node)
-                .map(|l| self.core.cw[l])
+                .map(|l| self.core.lanes.cw[l])
                 .unwrap_or(CW_MIN);
             self.core.schedule_tx_start(node, None, cw);
         }
@@ -250,8 +251,8 @@ impl Medium for TraceMedium {
 
     fn after_outcome(&mut self, core: &mut Core, node: usize) {
         if let Some(port) = self.pick_port(node) {
-            if !core.senders[node].start_pending {
-                let cw = core.cw[port];
+            if !core.lanes.start_pending[node] {
+                let cw = core.lanes.cw[port];
                 core.schedule_tx_start(node, None, cw);
             }
         }

@@ -379,7 +379,7 @@ where
         self.core.sync_ledger();
         let h = self.medium.lookahead();
         debug_assert!(h > 0.0, "lookahead must be positive");
-        let n_senders = self.core.senders.len();
+        let n_senders = self.core.lanes.n_senders();
         self.core.route = Some(Box::new(ShardRoute {
             horizon: h,
             domain_of: (0..n_senders)
@@ -401,6 +401,7 @@ where
             .collect();
         let mut scratches: Vec<M::Scratch> =
             (0..shards).map(|_| self.medium.make_scratch()).collect();
+        let mut cohort: Vec<MacEv<M::Event>> = Vec::new();
 
         let mut horizon = h;
         'run: loop {
@@ -457,6 +458,7 @@ where
             // (time, seq) order, merging the sorted batches with the live
             // near queue. ----
             let mut cursor = vec![0usize; shards];
+            let mut prepared_t = f64::NAN;
             loop {
                 let mut best: Option<(f64, u64, Src)> = None;
                 for (d, lane) in lanes.iter().enumerate() {
@@ -479,6 +481,39 @@ where
                 };
                 if t > duration {
                     break 'run;
+                }
+                // Same-tick cohort prewarm across the lane batches: the
+                // lane wheels hold only channel-access events, so a tick
+                // that spans lanes is a TxStart cohort whose geometry and
+                // envelope memos one batched kernel sweep can warm before
+                // the members dispatch. Best-effort (near-queue events are
+                // only peekable, not readable) — prewarm is
+                // value-transparent, so partial coverage is still exact.
+                if self.core.batch && t != prepared_t {
+                    prepared_t = t;
+                    cohort.clear();
+                    for (d, lane) in lanes.iter().enumerate() {
+                        let mut i = cursor[d];
+                        while let Some(ev) = lane.batch.get(i) {
+                            if ev.time != t {
+                                break;
+                            }
+                            cohort.push(ev.event);
+                            i += 1;
+                        }
+                    }
+                    if cohort.len() >= 2 {
+                        let t0 = self.profile.as_deref().map(|_| std::time::Instant::now());
+                        self.medium.prepare_cohort(&self.core, t, &cohort);
+                        if let (Some(t0), Some(p)) = (t0, self.profile.as_deref_mut()) {
+                            p.kernel_s += t0.elapsed().as_secs_f64();
+                        }
+                        if let Some(p) = self.profile.as_deref_mut() {
+                            p.cohorts += 1;
+                            p.cohort_max = p.cohort_max.max(cohort.len() as u64);
+                            p.cohort_hist[(cohort.len() - 1).min(15)] += 1;
+                        }
+                    }
                 }
                 let (event, pre) = match src {
                     Src::Near => (self.core.events.pop().expect("peeked").event, NO_SENSE),

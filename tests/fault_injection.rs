@@ -43,6 +43,17 @@ fn full_recorder() -> RecorderConfig {
 /// Runs a spec and returns all four streams in matrix order:
 /// `(results, metrics, trace, decisions)`.
 fn streams(spec: &ScenarioSpec, threads: usize, shards: usize) -> (String, String, String, String) {
+    streams_opts(spec, threads, shards, false)
+}
+
+/// [`streams`] with the cohort-batching escape hatch exposed — the
+/// faulted batched-vs-unbatched equality test runs the identical harness.
+fn streams_opts(
+    spec: &ScenarioSpec,
+    threads: usize,
+    shards: usize,
+    batch_off: bool,
+) -> (String, String, String, String) {
     let plans = expand(spec).expect("spec expands");
     let with = run_all_with_options(
         &plans,
@@ -51,6 +62,7 @@ fn streams(spec: &ScenarioSpec, threads: usize, shards: usize) -> (String, Strin
             telemetry: Some(full_recorder()),
             shards,
             shard_workers: None,
+            batch_off,
         },
     );
     let results: Vec<_> = with.iter().map(|(r, _)| r.clone()).collect();
@@ -135,6 +147,38 @@ fn ap_blackout_reassociates_attributes_and_recovers() {
     assert!(recovered, "ap-blackout must recover:\n{res}");
     assert!(res.contains("reassociations:"), "{res}");
     assert!(res.contains("time-to-reassociate"), "{res}");
+}
+
+/// Acceptance: `--batch off` is byte-identical under active fault
+/// injection too — the ap-blackout outage (queue drops, re-association,
+/// outage-attributed losses) exercises every fault seam while the cohort
+/// prewarm is live, and all four streams must not move a byte.
+#[test]
+fn ap_blackout_is_byte_identical_with_batching_off() {
+    let mut spec = builtin::get("ap-blackout").expect("builtin exists");
+    spec.duration = 1.6;
+    spec.adapters = Some(vec![AdapterSpec::SoftRate]);
+    spec.faults
+        .as_mut()
+        .expect("ap-blackout declares [faults]")
+        .ap_outage = Some(ApOutageSpec {
+        ap: 1,
+        at: 0.4,
+        duration: 0.5,
+    });
+    let batched = streams_opts(&spec, 1, 1, false);
+    assert!(
+        batched.1.contains("\"fault\":\"ap_outage\""),
+        "the outage must actually fire"
+    );
+    let unbatched = streams_opts(&spec, 1, 1, true);
+    assert_eq!(batched.0, unbatched.0, "results diverged with --batch off");
+    assert_eq!(batched.1, unbatched.1, "metrics diverged with --batch off");
+    assert_eq!(batched.2, unbatched.2, "trace diverged with --batch off");
+    assert_eq!(
+        batched.3, unbatched.3,
+        "decisions diverged with --batch off"
+    );
 }
 
 #[test]
